@@ -1,0 +1,30 @@
+"""Ablation: maintaining the frequency->block index on the hot path.
+
+The index buys O(1) ``support(f)`` / ``objects_with_frequency(f)`` at
+the price of a couple of dict operations per block birth/death.  This
+bench quantifies that price on the paper's stream1 workload.
+"""
+
+import pytest
+
+from repro.core.profile import SProfile
+
+from benchmarks.conftest import consume_update_only
+
+N = 40_000
+M = 10_000
+
+
+@pytest.mark.parametrize(
+    "indexed", [False, True], ids=["plain", "freq-indexed"]
+)
+def test_ablation_freq_index(benchmark, stream_lists, indexed):
+    benchmark.group = "ablation: frequency index"
+    ids, adds = stream_lists("stream1", N, M)
+
+    def setup():
+        return (SProfile(M, track_freq_index=indexed), ids, adds), {}
+
+    benchmark.pedantic(
+        consume_update_only, setup=setup, rounds=3, iterations=1
+    )

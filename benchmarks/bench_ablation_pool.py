@@ -1,0 +1,29 @@
+"""Ablation: block recycling (free list) vs fresh allocation.
+
+DESIGN.md calls out the block pool as a measured design choice: the
+update loop births/kills a block on most events, so recycling spares
+CPython object construction.  ``recycle_blocks=False`` allocates a new
+``Block`` every time.
+"""
+
+import pytest
+
+from repro.core.profile import SProfile
+
+from benchmarks.conftest import consume_update_only
+
+N = 40_000
+M = 10_000
+
+
+@pytest.mark.parametrize("recycle", [True, False], ids=["pool", "no-pool"])
+def test_ablation_block_pool(benchmark, stream_lists, recycle):
+    benchmark.group = "ablation: block pool"
+    ids, adds = stream_lists("stream1", N, M)
+
+    def setup():
+        return (SProfile(M, recycle_blocks=recycle), ids, adds), {}
+
+    benchmark.pedantic(
+        consume_update_only, setup=setup, rounds=3, iterations=1
+    )

@@ -1,0 +1,61 @@
+"""Overhead of the DynamicProfiler facade vs the flat SProfile.
+
+Two regimes: a dense stream over a known universe (pure interning
+overhead) and a registration-heavy stream where the universe grows
+throughout (amortized doubling at work).
+"""
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.profile import SProfile
+
+N = 20_000
+M = 5_000
+
+
+def _consume_flat(profile, id_list, add_list):
+    add = profile.add
+    remove = profile.remove
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+
+
+def test_flat_sprofile_baseline(benchmark, stream_lists):
+    benchmark.group = "dynamic overhead: known universe"
+    ids, adds = stream_lists("stream1", N, M)
+
+    def setup():
+        return (SProfile(M), ids, adds), {}
+
+    benchmark.pedantic(_consume_flat, setup=setup, rounds=3, iterations=1)
+
+
+def test_dynamic_on_known_universe(benchmark, stream_lists):
+    benchmark.group = "dynamic overhead: known universe"
+    ids, adds = stream_lists("stream1", N, M)
+
+    def setup():
+        profiler = DynamicProfiler(initial_capacity=M)
+        for x in range(M):
+            profiler.register(x)
+        return (profiler, ids, adds), {}
+
+    benchmark.pedantic(_consume_flat, setup=setup, rounds=3, iterations=1)
+
+
+def test_dynamic_registration_heavy(benchmark):
+    """Every event introduces a fresh id: growth machinery dominates."""
+    benchmark.group = "dynamic overhead: growing universe"
+    count = N
+
+    def setup():
+        return (DynamicProfiler(), count), {}
+
+    def run(profiler, total):
+        add = profiler.add
+        for i in range(total):
+            add(("user", i))
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

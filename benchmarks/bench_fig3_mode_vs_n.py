@@ -1,0 +1,32 @@
+"""Figure 3: mode upkeep vs n — heap vs S-Profile, streams 1-3.
+
+Paper setting: m = 10^8, n up to 10^8, C++.  Here: m = 10^4 with two n
+points per stream (the full sweep lives in ``python -m repro bench
+--figure 3``).  Expected shape: S-Profile faster than the heap at every
+point, on every stream.
+"""
+
+import pytest
+
+from benchmarks.conftest import consume_with_query, profiler_setup
+
+M = 10_000
+N_VALUES = (10_000, 40_000)
+STREAMS = ("stream1", "stream2", "stream3")
+PROFILERS = ("heap-max", "sprofile")
+
+
+@pytest.mark.parametrize("n_events", N_VALUES)
+@pytest.mark.parametrize("stream_name", STREAMS)
+@pytest.mark.parametrize("profiler_name", PROFILERS)
+def test_fig3_mode_upkeep(
+    benchmark, stream_lists, profiler_name, stream_name, n_events
+):
+    benchmark.group = f"fig3 {stream_name} n={n_events}"
+    ids, adds = stream_lists(stream_name, n_events, M)
+    benchmark.pedantic(
+        consume_with_query,
+        setup=profiler_setup(profiler_name, M, ids, adds, "max_frequency"),
+        rounds=3,
+        iterations=1,
+    )

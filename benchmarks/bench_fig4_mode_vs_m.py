@@ -1,0 +1,32 @@
+"""Figure 4: mode upkeep vs m — heap vs S-Profile, streams 1-3.
+
+Paper setting: n = 10^8 fixed, m swept to 10^8.  Here: n = 2*10^4 with
+two m points per stream.  Expected shape: S-Profile faster at every m.
+"""
+
+import pytest
+
+from benchmarks.conftest import consume_with_query, profiler_setup
+
+N = 20_000
+M_VALUES = (5_000, 40_000)
+STREAMS = ("stream1", "stream2", "stream3")
+PROFILERS = ("heap-max", "sprofile")
+
+
+@pytest.mark.parametrize("universe", M_VALUES)
+@pytest.mark.parametrize("stream_name", STREAMS)
+@pytest.mark.parametrize("profiler_name", PROFILERS)
+def test_fig4_mode_upkeep(
+    benchmark, stream_lists, profiler_name, stream_name, universe
+):
+    benchmark.group = f"fig4 {stream_name} m={universe}"
+    ids, adds = stream_lists(stream_name, N, universe)
+    benchmark.pedantic(
+        consume_with_query,
+        setup=profiler_setup(
+            profiler_name, universe, ids, adds, "max_frequency"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,32 @@
+"""Figure 5: per-m cost trend on stream1 — S-Profile flat, heap grows.
+
+Paper setting: n = 10^8 fixed, m in 2*10^7 .. 10^8; the heap's curve
+climbs while S-Profile's stays flat.  Here n = 2*10^4 with three m
+points.  In pure Python the heap's growth is muted (its average sift on
+near-uniform frequencies is shallow, and interpreter overhead swamps
+cache effects — see EXPERIMENTS.md), but S-Profile's flatness and its
+lead at every m are the reproducible shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import consume_with_query, profiler_setup
+
+N = 20_000
+M_VALUES = (5_000, 20_000, 80_000)
+PROFILERS = ("heap-max", "sprofile")
+
+
+@pytest.mark.parametrize("universe", M_VALUES)
+@pytest.mark.parametrize("profiler_name", PROFILERS)
+def test_fig5_trend(benchmark, stream_lists, profiler_name, universe):
+    benchmark.group = f"fig5 stream1 m={universe}"
+    ids, adds = stream_lists("stream1", N, universe)
+    benchmark.pedantic(
+        consume_with_query,
+        setup=profiler_setup(
+            profiler_name, universe, ids, adds, "max_frequency"
+        ),
+        rounds=3,
+        iterations=1,
+    )

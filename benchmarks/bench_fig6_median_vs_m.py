@@ -1,0 +1,31 @@
+"""Figure 6 (right): median upkeep vs m — balanced tree vs S-Profile.
+
+Paper setting: n = 10^6 fixed, m swept to 10^8; the tree's cost grows
+superlinearly with m while S-Profile's "hardly varies".  Here
+n = 10^4 with two m points.
+"""
+
+import pytest
+
+from benchmarks.conftest import consume_with_query, profiler_setup
+
+N = 10_000
+M_VALUES = (2_500, 20_000)
+PROFILERS = ("tree-skiplist", "tree-treap", "sprofile")
+
+
+@pytest.mark.parametrize("universe", M_VALUES)
+@pytest.mark.parametrize("profiler_name", PROFILERS)
+def test_fig6_median_vs_m(
+    benchmark, stream_lists, profiler_name, universe
+):
+    benchmark.group = f"fig6-right median m={universe}"
+    ids, adds = stream_lists("stream1", N, universe)
+    benchmark.pedantic(
+        consume_with_query,
+        setup=profiler_setup(
+            profiler_name, universe, ids, adds, "median_frequency"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,33 @@
+"""Figure 6 (left): median upkeep vs n — balanced tree vs S-Profile.
+
+Paper setting: m = 10^6, n swept to 10^8, GNU PBDS tree; 13x-452x
+speedups.  Here m = 5*10^3 with two n points.  The skip list is the
+PBDS analogue (all m frequencies stored as individual entries); the
+counted treap collapses equal keys and represents the best case for a
+tree, included to bound the claim from below.
+"""
+
+import pytest
+
+from benchmarks.conftest import consume_with_query, profiler_setup
+
+M = 5_000
+N_VALUES = (5_000, 20_000)
+PROFILERS = ("tree-skiplist", "tree-treap", "sprofile")
+
+
+@pytest.mark.parametrize("n_events", N_VALUES)
+@pytest.mark.parametrize("profiler_name", PROFILERS)
+def test_fig6_median_vs_n(
+    benchmark, stream_lists, profiler_name, n_events
+):
+    benchmark.group = f"fig6-left median n={n_events}"
+    ids, adds = stream_lists("stream1", n_events, M)
+    benchmark.pedantic(
+        consume_with_query,
+        setup=profiler_setup(
+            profiler_name, M, ids, adds, "median_frequency"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,45 @@
+"""Graph shaving (paper section 2.3): S-Profile peel vs re-scan peel.
+
+The S-Profile-driven peel is O(V + E); the textbook reference recomputes
+the minimum degree per step, O(V^2).  Also benches core decomposition
+against networkx's implementation for external context.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.apps.graph_shaving import (
+    core_decomposition,
+    densest_subgraph,
+    reference_densest_subgraph,
+)
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return nx.gnp_random_graph(600, 0.015, seed=7)
+
+
+@pytest.fixture(scope="module")
+def edge_list(random_graph):
+    return list(random_graph.edges())
+
+
+def test_densest_subgraph_sprofile(benchmark, edge_list):
+    benchmark.group = "densest subgraph peel"
+    benchmark(densest_subgraph, edge_list)
+
+
+def test_densest_subgraph_rescan_reference(benchmark, edge_list):
+    benchmark.group = "densest subgraph peel"
+    benchmark(reference_densest_subgraph, edge_list)
+
+
+def test_core_decomposition_sprofile(benchmark, random_graph):
+    benchmark.group = "core decomposition"
+    benchmark(core_decomposition, random_graph)
+
+
+def test_core_decomposition_networkx(benchmark, random_graph):
+    benchmark.group = "core decomposition"
+    benchmark(nx.core_number, random_graph)

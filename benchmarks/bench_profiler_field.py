@@ -1,0 +1,26 @@
+"""The whole field: update-only throughput of every registered profiler.
+
+Not a paper figure — a wider sanity sweep showing where each structure
+sits on one common workload (stream1, the paper's uniform case).
+"""
+
+import pytest
+
+from repro.baselines.registry import available_profilers
+
+from benchmarks.conftest import consume_update_only, profiler_setup
+
+N = 10_000
+M = 5_000
+
+
+@pytest.mark.parametrize("profiler_name", available_profilers())
+def test_field_update_only(benchmark, stream_lists, profiler_name):
+    benchmark.group = "profiler field (update only)"
+    ids, adds = stream_lists("stream1", N, M)
+    benchmark.pedantic(
+        consume_update_only,
+        setup=profiler_setup(profiler_name, M, ids, adds),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,53 @@
+"""Query latency: the O(1)/O(k) read-side claims of section 2.2.
+
+After loading a paper stream, each query is timed in isolation.  The
+bucket oracle's O(m)-per-query costs sit alongside for contrast.
+"""
+
+import pytest
+
+from repro.baselines.bucket import BucketProfiler
+from repro.core.profile import SProfile
+from repro.bench.workloads import build_stream
+
+N = 50_000
+M = 20_000
+
+
+@pytest.fixture(scope="module")
+def loaded_sprofile():
+    stream = build_stream("stream2", N, M, seed=0)
+    profile = SProfile(M, track_freq_index=True)
+    profile.consume_arrays(*stream.arrays())
+    return profile
+
+
+@pytest.fixture(scope="module")
+def loaded_bucket():
+    stream = build_stream("stream2", N, M, seed=0)
+    profile = BucketProfiler(M)
+    profile.consume_arrays(*stream.arrays())
+    return profile
+
+
+QUERIES = {
+    "mode": lambda p: p.mode(),
+    "median": lambda p: p.median_frequency(),
+    "quantile-p99": lambda p: p.quantile(0.99),
+    "top-10": lambda p: p.top_k(10),
+    "top-1000": lambda p: p.top_k(1000),
+    "support-0": lambda p: p.support(0),
+    "histogram": lambda p: p.histogram(),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_query_latency_sprofile(benchmark, loaded_sprofile, query_name):
+    benchmark.group = f"query: {query_name}"
+    benchmark(QUERIES[query_name], loaded_sprofile)
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_query_latency_bucket_oracle(benchmark, loaded_bucket, query_name):
+    benchmark.group = f"query: {query_name}"
+    benchmark(QUERIES[query_name], loaded_bucket)

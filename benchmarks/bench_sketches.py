@@ -1,0 +1,72 @@
+"""Exact vs approximate: S-Profile heavy hitters vs the sketches.
+
+The paper's positioning against approximate stream summaries (related
+work refs [1], [5]): when O(m) memory is acceptable, S-Profile gives
+exact answers at O(1) per event.  This bench puts update throughput of
+the exact structure next to SpaceSaving (O(log k)) and Count-Min
+(O(depth) numpy row updates, high constant per call in Python).
+"""
+
+import pytest
+
+from repro.approx.countmin import CountMinSketch
+from repro.approx.spacesaving import SpaceSaving
+from repro.core.profile import SProfile
+from repro.bench.workloads import build_stream
+
+N = 20_000
+M = 5_000
+
+
+@pytest.fixture(scope="module")
+def add_only_ids():
+    stream = build_stream("stream1", N, M, seed=0)
+    return stream.ids.tolist()
+
+
+def _feed(structure, ids):
+    add = structure.add
+    for x in ids:
+        add(x)
+
+
+def test_exact_sprofile(benchmark, add_only_ids):
+    benchmark.group = "exact vs sketch: add throughput"
+
+    def setup():
+        return (SProfile(M), add_only_ids), {}
+
+    benchmark.pedantic(_feed, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("k", [64, 1024])
+def test_spacesaving(benchmark, add_only_ids, k):
+    benchmark.group = "exact vs sketch: add throughput"
+
+    def setup():
+        return (SpaceSaving(k), add_only_ids), {}
+
+    benchmark.pedantic(_feed, setup=setup, rounds=3, iterations=1)
+
+
+def test_countmin(benchmark, add_only_ids):
+    benchmark.group = "exact vs sketch: add throughput"
+
+    def setup():
+        return (CountMinSketch(272, 5), add_only_ids), {}
+
+    benchmark.pedantic(_feed, setup=setup, rounds=3, iterations=1)
+
+
+def test_heavy_hitter_query_exact(benchmark, add_only_ids):
+    benchmark.group = "exact vs sketch: heavy hitters query"
+    profile = SProfile(M)
+    _feed(profile, add_only_ids)
+    benchmark(profile.heavy_hitters, 0.001)
+
+
+def test_heavy_hitter_query_spacesaving(benchmark, add_only_ids):
+    benchmark.group = "exact vs sketch: heavy hitters query"
+    sketch = SpaceSaving(1024)
+    _feed(sketch, add_only_ids)
+    benchmark(sketch.heavy_hitters, 0.001)

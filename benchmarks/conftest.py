@@ -1,0 +1,70 @@
+"""Shared scaffolding for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates one paper figure (or one ablation)
+at a pytest-friendly scale; the full sweeps behind EXPERIMENTS.md run
+through ``python -m repro bench`` (see repro.bench.figures).
+
+The timed region matches the paper's measurement: apply every stream
+event and read the tracked statistic after each one.  Profilers are
+rebuilt per round via ``benchmark.pedantic(setup=...)`` so rounds never
+observe each other's state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import make_profiler
+from repro.bench.workloads import build_stream
+
+
+@pytest.fixture(scope="session")
+def stream_lists():
+    """Factory returning (ids, adds) python lists for a workload (cached)."""
+    cache: dict = {}
+
+    def get(name: str, n_events: int, universe: int, seed: int = 0):
+        key = (name, n_events, universe, seed)
+        if key not in cache:
+            stream = build_stream(name, n_events, universe, seed=seed)
+            cache[key] = (stream.ids.tolist(), stream.adds.tolist())
+        return cache[key]
+
+    return get
+
+
+def consume_with_query(profiler, id_list, add_list, query_name: str):
+    """The paper's workload: per-event update + statistic read."""
+    add = profiler.add
+    remove = profiler.remove
+    query = getattr(profiler, query_name)
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+        query()
+
+
+def consume_update_only(profiler, id_list, add_list):
+    add = profiler.add
+    remove = profiler.remove
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+
+
+def profiler_setup(name: str, capacity: int, *extra_args, **kwargs):
+    """A pedantic-compatible setup callable building a fresh profiler.
+
+    ``benchmark.pedantic`` replaces its ``args`` with whatever ``setup``
+    returns, so the setup closure carries the workload arguments too.
+    """
+
+    def setup():
+        profiler = make_profiler(name, capacity, **kwargs)
+        return (profiler, *extra_args), {}
+
+    return setup

@@ -1,0 +1,26 @@
+"""One-command mini-reproduction of every figure in the paper.
+
+Runs the figure harness at the "tiny" smoke scale (a few seconds) and
+prints the paper-style tables.  For the numbers recorded in
+EXPERIMENTS.md, run the real thing::
+
+    python -m repro bench --all --scale small
+
+Run with::
+
+    python examples/paper_figures_quick.py
+"""
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.reporting import format_figure
+
+
+def main() -> None:
+    print("Mini-reproduction at smoke scale — shapes, not conclusions.\n")
+    for figure in FIGURES:
+        result = run_figure(figure, scale="tiny", repeats=1)
+        print(format_figure(result))
+
+
+if __name__ == "__main__":
+    main()

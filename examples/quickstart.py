@@ -1,0 +1,74 @@
+"""Quickstart: the S-Profile API in two minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DynamicProfiler, SProfile
+from repro.core.stats import summarize
+
+
+def fixed_universe_tour() -> None:
+    """Dense integer ids in [0, m): the paper's exact setting."""
+    print("=== fixed universe (SProfile) ===")
+    profile = SProfile(capacity=1000)
+
+    # A log stream: (object, action) tuples, frequencies move by +-1.
+    for event in [(7, True), (7, True), (3, True), (7, True), (3, False)]:
+        obj, is_add = event
+        profile.update(obj, is_add)
+
+    mode = profile.mode()
+    print(f"mode: object {mode.example} with frequency {mode.frequency}")
+    print(f"top-3: {profile.top_k(3)}")
+    print(f"median frequency over all 1000 objects: "
+          f"{profile.median_frequency()}")
+    print(f"99th percentile frequency: {profile.quantile(0.99)}")
+    print(f"objects at frequency 0: {profile.support(0)}")
+
+    # Negative frequencies are allowed by default (more removes than
+    # adds) — the paper's semantics for log streams.
+    profile.remove(42)
+    least = profile.least()
+    print(f"least: object {least.example} at frequency {least.frequency}")
+
+    # Full distribution summary, computed from the block walk.
+    print(summarize(profile))
+    print()
+
+
+def dynamic_universe_tour() -> None:
+    """Arbitrary hashable ids; the universe grows as ids appear."""
+    print("=== dynamic universe (DynamicProfiler) ===")
+    likes = DynamicProfiler()
+    for user in ["ada", "bob", "ada", "cyd", "ada", "bob"]:
+        likes.add(user)
+    likes.remove("bob")  # one unlike
+
+    print(f"tracked objects: {len(likes)}")
+    print(f"mode: {likes.mode()}")
+    print(f"board: {likes.top_k(3)}")
+    print(f"median score: {likes.median_frequency()}")
+    print(f"histogram: {likes.histogram()}")
+    print()
+
+
+def checkpoint_tour() -> None:
+    """Profiles serialize to JSON-safe dicts and restore losslessly."""
+    from repro.core.checkpoint import profile_from_state, profile_to_state
+
+    print("=== checkpointing ===")
+    profile = SProfile(16)
+    for obj in (1, 1, 2, 9, 9, 9):
+        profile.add(obj)
+    state = profile_to_state(profile)
+    restored = profile_from_state(state)
+    print(f"restored mode: {restored.mode()} "
+          f"(events processed: {restored.n_events})")
+
+
+if __name__ == "__main__":
+    fixed_universe_tour()
+    dynamic_universe_tour()
+    checkpoint_tour()

@@ -1,0 +1,71 @@
+"""Trending content on a social platform: the paper's motivating workload.
+
+A stream of like/unlike events over a heavy-tailed (Zipf) catalogue of
+videos.  A :class:`TopKTracker` maintains the trending board with O(1)
+updates and fires notifications when the board's membership changes —
+mid-stream we inject a "viral" video and watch it displace the incumbents.
+
+Run with::
+
+    python examples/trending_leaderboard.py
+"""
+
+import numpy as np
+
+from repro.apps.leaderboard import Leaderboard
+from repro.apps.topk_tracker import TopKTracker
+from repro.streams.distributions import ZipfSampler
+
+CATALOGUE = 5_000
+EVENTS_PER_PHASE = 30_000
+BOARD_SIZE = 5
+
+
+def video_name(index: int) -> str:
+    return f"video-{index:04d}"
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    sampler = ZipfSampler(CATALOGUE, exponent=1.4)
+    tracker = TopKTracker(BOARD_SIZE)
+    board = Leaderboard()
+
+    changes = []
+    tracker.on_change(changes.append)
+
+    def feed(ids: np.ndarray) -> None:
+        for index in ids.tolist():
+            name = video_name(index)
+            if rng.random() < 0.05:
+                tracker.unlike(name)
+                board.dislike(name)
+            else:
+                tracker.like(name)
+                board.like(name)
+
+    print(f"Phase 1: organic Zipf traffic over {CATALOGUE} videos")
+    feed(sampler.sample(rng, EVENTS_PER_PHASE))
+    print(board.render(BOARD_SIZE))
+    print(f"(board membership changed {len(changes)} times so far)\n")
+
+    print("Phase 2: video-4242 goes viral (20% of all traffic)")
+    organic = sampler.sample(rng, EVENTS_PER_PHASE)
+    viral_mask = rng.random(EVENTS_PER_PHASE) < 0.20
+    organic[viral_mask] = 4242
+    feed(organic)
+    print(board.render(BOARD_SIZE))
+
+    viral = video_name(4242)
+    entered_with_viral = [
+        change for change in changes if viral in change.entered
+    ]
+    assert entered_with_viral, "the viral video must have entered the board"
+    print(f"\n'{viral}' entered the trending board "
+          f"(score {board.score(viral)}, "
+          f"better than {board.score_percentile(viral):.1%} of catalogue)")
+    print(f"median catalogue score: {board.median_score()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim enabling legacy editable installs (no-network env)."""
+from setuptools import setup
+
+setup()

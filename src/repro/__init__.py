@@ -1,0 +1,64 @@
+"""repro — S-Profile: O(1) profiling of dynamic arrays with finite values.
+
+Reproduction of Yang, Yu, Deng, Liu, *Optimal Algorithm for Profiling
+Dynamic Arrays with Finite Values* (EDBT 2019; arXiv:1812.05306).
+
+Quick start::
+
+    from repro import SProfile
+
+    profile = SProfile(capacity=1_000_000)
+    profile.add(42)
+    profile.remove(7)
+    profile.mode()              # most frequent object, O(1)
+    profile.median_frequency()  # O(1)
+    profile.top_k(10)           # O(k)
+
+Package map:
+
+- :mod:`repro.core` — the paper's algorithm and its query surface.
+- :mod:`repro.baselines` — heap / balanced-tree / bucket comparators.
+- :mod:`repro.streams` — log-stream generators (paper section 3 setup),
+  sliding windows, persistence.
+- :mod:`repro.apps` — applications from section 2.3 (graph shaving,
+  top-k tracking) and beyond.
+- :mod:`repro.bench` — harness regenerating every figure of the paper.
+"""
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.profile import SProfile
+from repro.core.queries import ModeResult, TopEntry
+from repro.core.snapshot import ProfileSnapshot
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    InvariantViolationError,
+    ReproError,
+    StreamConfigError,
+    UnknownObjectError,
+    UnsupportedQueryError,
+    WindowError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityError",
+    "CheckpointError",
+    "DynamicProfiler",
+    "EmptyProfileError",
+    "FrequencyUnderflowError",
+    "InvariantViolationError",
+    "ModeResult",
+    "ProfileSnapshot",
+    "ReproError",
+    "SProfile",
+    "StreamConfigError",
+    "TopEntry",
+    "UnknownObjectError",
+    "UnsupportedQueryError",
+    "WindowError",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""``python -m repro`` — command-line front door.
+
+Subcommands
+-----------
+``bench``
+    Regenerate the paper's figures (see ``repro.bench.cli``).
+``profile``
+    Run a named workload through S-Profile and print a statistics
+    summary — a quick way to see the library work end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.cli import main as bench_main
+from repro.bench.workloads import WORKLOAD_NAMES, build_stream
+from repro.core.profile import SProfile
+from repro.core.stats import summarize
+
+
+def _profile_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Profile a synthetic log stream with S-Profile.",
+    )
+    parser.add_argument(
+        "--stream", default="stream1", choices=WORKLOAD_NAMES
+    )
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--universe", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    stream = build_stream(
+        args.stream, args.events, args.universe, seed=args.seed
+    )
+    profile = SProfile(args.universe)
+    profile.consume_arrays(*stream.arrays())
+
+    print(f"stream={args.stream} events={len(stream):,} "
+          f"universe={args.universe:,}")
+    print(summarize(profile))
+    mode = profile.mode()
+    print(
+        f"mode: object {mode.example} at frequency {mode.frequency} "
+        f"({mode.count} object(s) tie)"
+    )
+    least = profile.least()
+    print(
+        f"least: object {least.example} at frequency {least.frequency} "
+        f"({least.count} object(s) tie)"
+    )
+    print(f"top-{args.top}:")
+    for rank, entry in enumerate(profile.top_k(args.top), start=1):
+        print(f"  {rank:>3}. object {entry.obj:>8}  freq {entry.frequency}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("usage: python -m repro {bench,profile} ...")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "bench":
+        return bench_main(rest)
+    if command == "profile":
+        return _profile_main(rest)
+    print(f"unknown command {command!r}; use 'bench' or 'profile'",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

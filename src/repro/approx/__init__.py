@@ -1,0 +1,22 @@
+"""Approximate frequency summaries — the sketch side of the trade.
+
+The paper's related work (refs [1], [5], [8], [11]) covers
+space-efficient *approximate* frequency maintenance; S-Profile's pitch
+is that when the object universe fits in memory (O(m) space is
+acceptable), every answer can be exact and O(1).  This subpackage
+implements the two classic sketches so the trade is measurable in one
+codebase:
+
+- :class:`~repro.approx.spacesaving.SpaceSaving` — deterministic
+  top-k/heavy-hitter summary with k counters.
+- :class:`~repro.approx.countmin.CountMinSketch` — randomized frequency
+  estimator with additive error, supporting removals (the "turnstile"
+  setting, matching the paper's add/remove streams).
+
+See ``benchmarks/bench_sketches.py`` and the error-bound property tests.
+"""
+
+from repro.approx.countmin import CountMinSketch
+from repro.approx.spacesaving import SpaceSaving
+
+__all__ = ["CountMinSketch", "SpaceSaving"]

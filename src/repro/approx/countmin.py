@@ -1,0 +1,114 @@
+"""Count-Min sketch: randomized frequency estimation in sublinear space.
+
+Cormode & Muthukrishnan, *An improved data stream summary: the
+count-min sketch and its applications* (J. Algorithms 2005).  A
+``depth x width`` counter matrix with one pairwise-independent hash row
+per depth; an update touches one counter per row, a point query takes
+the row-wise minimum.
+
+Guarantees for add-only streams (``N`` = total mass):
+
+- estimates never underestimate;
+- with width ``w = ceil(e / eps)`` and depth ``d = ceil(ln(1/delta))``,
+  ``estimate <= true + eps * N`` with probability ``>= 1 - delta``.
+
+Removals are supported (the paper's streams remove 30% of the time);
+with removals the sketch operates in the turnstile setting where the
+one-sided guarantee holds for the *net* counts as long as they remain
+non-negative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+__all__ = ["CountMinSketch"]
+
+_MERSENNE = (1 << 61) - 1  # modulus for the universal hash family
+
+
+class CountMinSketch:
+    """Frequency estimator with additive error ``eps * N``.
+
+    Construct either directly (``width``, ``depth``) or from an error
+    target via :meth:`from_error`.
+    """
+
+    def __init__(
+        self, width: int, depth: int, *, seed: int | None = 0
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise CapacityError(
+                f"width and depth must be positive, got {width}x{depth}"
+            )
+        self._width = width
+        self._depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        # Universal hashing: h_i(x) = ((a_i * x + b_i) mod p) mod width.
+        self._a = rng.integers(1, _MERSENNE, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE, size=depth, dtype=np.int64)
+        self._n = 0
+
+    @classmethod
+    def from_error(
+        cls, eps: float, delta: float, *, seed: int | None = 0
+    ) -> "CountMinSketch":
+        """Size the sketch for additive error ``eps*N`` w.p. ``1-delta``."""
+        if not 0.0 < eps < 1.0:
+            raise CapacityError(f"eps must be in (0, 1), got {eps}")
+        if not 0.0 < delta < 1.0:
+            raise CapacityError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(math.e / eps)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width, depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total(self) -> int:
+        """Net mass (adds - removes) seen so far."""
+        return self._n
+
+    def _rows(self, obj: Hashable) -> np.ndarray:
+        key = hash(obj) & ((1 << 60) - 1)
+        return ((self._a * key + self._b) % _MERSENNE) % self._width
+
+    def add(self, obj: Hashable, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``obj``.  O(depth)."""
+        self._table[np.arange(self._depth), self._rows(obj)] += count
+        self._n += count
+
+    def remove(self, obj: Hashable, count: int = 1) -> None:
+        """Remove ``count`` occurrences (turnstile update).  O(depth)."""
+        self.add(obj, -count)
+
+    def estimate(self, obj: Hashable) -> int:
+        """Point estimate: row-wise minimum.  Never underestimates the
+        net count in the add-only / non-negative regime."""
+        return int(
+            self._table[np.arange(self._depth), self._rows(obj)].min()
+        )
+
+    def error_bound(self, delta_margin: float = 0.0) -> float:
+        """Additive error ``e/width * N`` that holds w.h.p. (add-only)."""
+        if self._n <= 0:
+            return 0.0
+        return (math.e / self._width) * self._n * (1.0 + delta_margin)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self._width}, depth={self._depth}, "
+            f"total={self._n})"
+        )

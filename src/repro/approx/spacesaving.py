@@ -1,0 +1,147 @@
+"""SpaceSaving: deterministic heavy-hitter summary with k counters.
+
+Metwally, Agrawal, El Abbadi, *Efficient computation of frequent and
+top-k elements in data streams* (ICDT 2005).  The structure keeps at
+most ``k`` monitored objects; an unmonitored arrival evicts the current
+minimum counter and inherits its count (which becomes the new object's
+overestimation error).
+
+Guarantees (for add-only streams of N events):
+
+- every estimate overestimates: ``true <= estimate <= true + error``;
+- ``error <= N / k`` for every monitored object;
+- any object with true frequency > N/k is monitored (no false
+  negatives for phi-heavy hitters when ``k >= 1/phi``).
+
+The min-counter lookup reuses this package's own machinery: counts
+change by +1 (or inherit-and-increment on eviction), so the monitored
+set is tracked with an :class:`~repro.baselines.heap.IndexedBinaryHeap`
+keyed by count — an honest O(log k) implementation rather than the
+linked-list "stream summary" (equivalent answers, simpler code).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.heap import IndexedBinaryHeap
+from repro.core.queries import TopEntry
+from repro.errors import CapacityError
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Approximate top-k / heavy hitters in O(k) space, add-only.
+
+    Parameters
+    ----------
+    k:
+        Number of monitored counters.  Error is bounded by N/k after N
+        adds.
+
+    Examples
+    --------
+    >>> sketch = SpaceSaving(2)
+    >>> for obj in ["a", "a", "b", "a", "c"]:
+    ...     sketch.add(obj)
+    >>> sketch.estimate("a") >= 3
+    True
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise CapacityError(f"k must be positive, got {k}")
+        self._k = k
+        self._counts: list[int] = [0] * k
+        self._errors: list[int] = [0] * k
+        self._objects: list[Hashable | None] = [None] * k
+        self._slot_of: dict[Hashable, int] = {}
+        self._heap = IndexedBinaryHeap(self._counts, max_heap=False)
+        self._n = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def n_events(self) -> int:
+        """Adds processed so far."""
+        return self._n
+
+    def add(self, obj: Hashable) -> None:
+        """Count one occurrence of ``obj``.  O(log k)."""
+        self._n += 1
+        slot = self._slot_of.get(obj)
+        if slot is None:
+            # Evict the minimum counter; the new object inherits its
+            # count as overestimation error.
+            slot = self._heap.peek()
+            victim = self._objects[slot]
+            if victim is not None:
+                del self._slot_of[victim]
+            self._objects[slot] = obj
+            self._slot_of[obj] = slot
+            self._errors[slot] = self._counts[slot]
+        self._counts[slot] += 1
+        self._heap.increased(slot)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        """Is ``obj`` currently monitored?"""
+        return obj in self._slot_of
+
+    def estimate(self, obj: Hashable) -> int:
+        """Estimated count: exact-or-over for monitored objects, the
+        minimum counter value (the worst case) for unmonitored ones."""
+        slot = self._slot_of.get(obj)
+        if slot is not None:
+            return self._counts[slot]
+        if self._n == 0:
+            return 0
+        return self._counts[self._heap.peek()]
+
+    def error_bound(self, obj: Hashable) -> int:
+        """Upper bound on the overestimation of ``estimate(obj)``."""
+        slot = self._slot_of.get(obj)
+        if slot is not None:
+            return self._errors[slot]
+        if self._n == 0:
+            return 0
+        return self._counts[self._heap.peek()]
+
+    def guaranteed_count(self, obj: Hashable) -> int:
+        """A certain lower bound on the true count of ``obj``."""
+        return self.estimate(obj) - self.error_bound(obj)
+
+    def top_k(self, k: int | None = None) -> list[TopEntry]:
+        """Monitored objects by estimated count, descending."""
+        entries = [
+            TopEntry(obj, self._counts[slot])
+            for obj, slot in self._slot_of.items()
+        ]
+        entries.sort(key=lambda entry: (-entry.frequency, repr(entry.obj)))
+        if k is not None:
+            if k < 0:
+                raise CapacityError(f"k must be >= 0, got {k}")
+            entries = entries[:k]
+        return entries
+
+    def heavy_hitters(self, phi: float) -> list[TopEntry]:
+        """Objects whose estimate exceeds ``phi * N``.
+
+        Superset guarantee: contains every true phi-heavy hitter when
+        ``k >= 1/phi``; may contain false positives whose guaranteed
+        count is below the threshold.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise CapacityError(f"phi must be in (0, 1], got {phi}")
+        threshold = phi * self._n
+        return [
+            entry for entry in self.top_k() if entry.frequency > threshold
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSaving(k={self._k}, monitored={len(self._slot_of)}, "
+            f"events={self._n})"
+        )

@@ -1,0 +1,111 @@
+"""Like/dislike leaderboard over arbitrary object ids.
+
+A thin, ergonomic wrapper over :class:`~repro.core.dynamic.DynamicProfiler`
+for the paper's motivating scenario — users "(dis)like" objects and the
+system must serve popularity queries at any time.  Net scores may go
+negative (more dislikes than likes), which is exactly the
+negative-frequency regime S-Profile supports natively.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.queries import TopEntry
+from repro.errors import CapacityError
+
+__all__ = ["Leaderboard"]
+
+
+class Leaderboard:
+    """Net-score leaderboard: likes add one, dislikes remove one.
+
+    Examples
+    --------
+    >>> board = Leaderboard()
+    >>> board.like("cat-video")
+    >>> board.like("cat-video")
+    >>> board.dislike("ad")
+    >>> board.top(2)
+    [TopEntry(obj='cat-video', frequency=2), TopEntry(obj='ad', frequency=-1)]
+    """
+
+    def __init__(self) -> None:
+        self._profiler = DynamicProfiler(allow_negative=True)
+
+    @property
+    def profiler(self) -> DynamicProfiler:
+        return self._profiler
+
+    def like(self, obj: Hashable, times: int = 1) -> None:
+        """Record ``times`` likes for ``obj``."""
+        if times < 0:
+            raise CapacityError(f"times must be >= 0, got {times}")
+        for _ in range(times):
+            self._profiler.add(obj)
+
+    def dislike(self, obj: Hashable, times: int = 1) -> None:
+        """Record ``times`` dislikes for ``obj``."""
+        if times < 0:
+            raise CapacityError(f"times must be >= 0, got {times}")
+        for _ in range(times):
+            self._profiler.remove(obj)
+
+    def score(self, obj: Hashable) -> int:
+        """Net score (likes - dislikes); 0 for unknown objects."""
+        return self._profiler.frequency(obj)
+
+    def top(self, n: int = 10) -> list[TopEntry]:
+        """The ``n`` best-scoring objects, descending."""
+        return self._profiler.top_k(n)
+
+    def bottom(self, n: int = 10) -> list[TopEntry]:
+        """The ``n`` worst-scoring objects, ascending."""
+        return self._profiler.bottom_k(n)
+
+    def leader(self) -> TopEntry | None:
+        """The single best-scoring object, or ``None`` if empty."""
+        if len(self._profiler) == 0:
+            return None
+        result = self._profiler.mode()
+        return TopEntry(result.example, result.frequency)
+
+    def median_score(self) -> int:
+        """Median net score across all tracked objects."""
+        return self._profiler.median_frequency()
+
+    def score_percentile(self, obj: Hashable) -> float:
+        """Fraction of tracked objects scoring strictly below ``obj``.
+
+        O(#distinct scores) via the histogram walk.
+        """
+        size = len(self._profiler)
+        if size == 0 or obj not in self._profiler:
+            return 0.0
+        score = self._profiler.frequency(obj)
+        below = 0
+        for value, count in self._profiler.histogram():
+            if value >= score:
+                break
+            below += count
+        return below / size
+
+    def render(self, n: int = 10) -> str:
+        """Human-readable board, one line per entry."""
+        lines = [f"{'rank':>4}  {'score':>8}  object"]
+        for rank, entry in enumerate(self.top(n), start=1):
+            lines.append(f"{rank:>4}  {entry.frequency:>8}  {entry.obj!r}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._profiler)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._profiler
+
+    def __repr__(self) -> str:
+        return (
+            f"Leaderboard(tracked={len(self._profiler)}, "
+            f"events={self._profiler.n_events})"
+        )

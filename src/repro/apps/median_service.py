@@ -1,0 +1,116 @@
+"""Streaming quantile monitoring with alert rules.
+
+The paper's section 3.2 benchmark maintains the *median* of the dynamic
+array under updates.  :class:`MedianMonitor` packages that capability as
+an operational service: feed log events, read any quantile in O(1), and
+register threshold alerts (e.g. "p99 object frequency exceeded 1000" —
+a hot-key detector for a cache or a rate-limiting tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.profile import SProfile
+from repro.errors import CapacityError
+
+__all__ = ["QuantileAlert", "MedianMonitor"]
+
+
+@dataclass(frozen=True)
+class QuantileAlert:
+    """A threshold rule on a frequency quantile.
+
+    ``direction`` is ``"above"`` (fire when value > threshold) or
+    ``"below"`` (fire when value < threshold).  Alerts fire on *edge
+    transitions* — once when the condition becomes true, again only
+    after it has become false in between.
+    """
+
+    name: str
+    quantile: float
+    threshold: int
+    direction: str = "above"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise CapacityError(
+                f"quantile must be in [0, 1], got {self.quantile}"
+            )
+        if self.direction not in ("above", "below"):
+            raise CapacityError(
+                f"direction must be 'above' or 'below', "
+                f"got {self.direction!r}"
+            )
+
+    def is_breached(self, value: int) -> bool:
+        if self.direction == "above":
+            return value > self.threshold
+        return value < self.threshold
+
+
+class MedianMonitor:
+    """O(1)-per-event quantile monitor over a fixed object universe.
+
+    Examples
+    --------
+    >>> monitor = MedianMonitor(capacity=100)
+    >>> fired = []
+    >>> monitor.add_alert(
+    ...     QuantileAlert("hot", quantile=1.0, threshold=2),
+    ...     lambda alert, value: fired.append((alert.name, value)),
+    ... )
+    >>> for _ in range(4):
+    ...     monitor.record(7)
+    >>> fired
+    [('hot', 3)]
+    """
+
+    def __init__(self, capacity: int, *, allow_negative: bool = True) -> None:
+        self._profile = SProfile(capacity, allow_negative=allow_negative)
+        self._alerts: list[
+            tuple[QuantileAlert, Callable[[QuantileAlert, int], None]]
+        ] = []
+        self._breached: dict[str, bool] = {}
+
+    @property
+    def profile(self) -> SProfile:
+        return self._profile
+
+    def add_alert(
+        self,
+        alert: QuantileAlert,
+        callback: Callable[[QuantileAlert, int], None],
+    ) -> None:
+        """Register a rule; ``callback(alert, value)`` fires on breach."""
+        if any(existing.name == alert.name for existing, __ in self._alerts):
+            raise CapacityError(f"duplicate alert name {alert.name!r}")
+        self._alerts.append((alert, callback))
+        self._breached[alert.name] = False
+
+    def record(self, obj: int, is_add: bool = True) -> None:
+        """Feed one event and evaluate the alert rules."""
+        self._profile.update(obj, is_add)
+        for alert, callback in self._alerts:
+            value = self._profile.quantile(alert.quantile)
+            breached = alert.is_breached(value)
+            if breached and not self._breached[alert.name]:
+                callback(alert, value)
+            self._breached[alert.name] = breached
+
+    def median(self) -> int:
+        return self._profile.median_frequency()
+
+    def quantile(self, q: float) -> int:
+        return self._profile.quantile(q)
+
+    def spread(self) -> tuple[int, int]:
+        """``(min, max)`` frequency across the universe."""
+        return (self._profile.min_frequency(), self._profile.max_frequency())
+
+    def __repr__(self) -> str:
+        return (
+            f"MedianMonitor(capacity={self._profile.capacity}, "
+            f"alerts={len(self._alerts)}, events={self._profile.n_events})"
+        )

@@ -1,0 +1,106 @@
+"""Top-K popularity tracking with enter/exit notifications.
+
+The paper's motivating question: "How can we efficiently know the most
+popular objects (include users), i.e. mode, top-K popular ones ... in a
+fast and large log stream at any time?"  :class:`TopKTracker` answers it
+as a service: feed events, read the board, and subscribe to membership
+changes (who entered / left the top K) — the signal a trending-topics
+pipeline actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.queries import TopEntry
+from repro.errors import CapacityError
+
+__all__ = ["TopKChange", "TopKTracker"]
+
+
+@dataclass(frozen=True)
+class TopKChange:
+    """Membership diff produced by one event."""
+
+    entered: tuple
+    exited: tuple
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.entered and not self.exited
+
+
+class TopKTracker:
+    """Maintains the K most frequent objects of a dynamic stream.
+
+    Updates are O(1) (profiler) + O(K) (board diff).  Subscribers
+    registered with :meth:`on_change` receive a :class:`TopKChange`
+    whenever the membership of the board changes.
+
+    Examples
+    --------
+    >>> tracker = TopKTracker(2)
+    >>> for video in ["a", "b", "a", "c", "c", "c"]:
+    ...     _ = tracker.like(video)
+    >>> [entry.obj for entry in tracker.board()]
+    ['c', 'a']
+    """
+
+    def __init__(self, k: int, *, allow_negative: bool = True) -> None:
+        if k <= 0:
+            raise CapacityError(f"k must be positive, got {k}")
+        self._k = k
+        self._profiler = DynamicProfiler(allow_negative=allow_negative)
+        self._members: set[Hashable] = set()
+        self._callbacks: list[Callable[[TopKChange], None]] = []
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def profiler(self) -> DynamicProfiler:
+        return self._profiler
+
+    def on_change(self, callback: Callable[[TopKChange], None]) -> None:
+        """Subscribe to board-membership changes."""
+        self._callbacks.append(callback)
+
+    def like(self, obj: Hashable) -> TopKChange:
+        """Process an "add" event and report the board diff."""
+        self._profiler.add(obj)
+        return self._refresh()
+
+    def unlike(self, obj: Hashable) -> TopKChange:
+        """Process a "remove" event and report the board diff."""
+        self._profiler.remove(obj)
+        return self._refresh()
+
+    def update(self, obj: Hashable, is_add: bool) -> TopKChange:
+        return self.like(obj) if is_add else self.unlike(obj)
+
+    def board(self) -> list[TopEntry]:
+        """The current top-K ``(object, frequency)``, descending."""
+        return self._profiler.top_k(self._k)
+
+    def frequency(self, obj: Hashable) -> int:
+        return self._profiler.frequency(obj)
+
+    def _refresh(self) -> TopKChange:
+        new_members = {entry.obj for entry in self._profiler.top_k(self._k)}
+        entered = tuple(sorted(new_members - self._members, key=repr))
+        exited = tuple(sorted(self._members - new_members, key=repr))
+        self._members = new_members
+        change = TopKChange(entered=entered, exited=exited)
+        if not change.is_noop:
+            for callback in self._callbacks:
+                callback(change)
+        return change
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKTracker(k={self._k}, tracked={len(self._profiler)}, "
+            f"events={self._profiler.n_events})"
+        )

@@ -1,0 +1,50 @@
+"""Baseline profilers the paper compares S-Profile against.
+
+Every class here maintains the same frequency array under the same ±1
+event stream, differing only in the machinery that keeps order
+statistics queryable:
+
+- :class:`~repro.baselines.bucket.BucketProfiler` — no machinery;
+  queries re-scan.  The ground-truth oracle for the test suite.
+- :class:`~repro.baselines.heap.HeapProfiler` — indexed binary heap
+  (paper section 3.1 comparator): O(log m) updates, O(1) mode.
+- :class:`~repro.baselines.tree_profiler.TreeProfiler` over an
+  order-statistic multiset (treap, AVL, skip list, Fenwick, sorted
+  list) — the paper's balanced-tree comparator (section 3.2, GNU PBDS
+  stand-in): O(log m) updates, O(log m) quantiles.
+
+Use :func:`~repro.baselines.registry.make_profiler` to construct any of
+them (and S-Profile itself) by name.
+"""
+
+from repro.baselines.avl import AVLMultiset
+from repro.baselines.base import ProfilerBase, QUERY_NAMES
+from repro.baselines.bucket import BucketProfiler
+from repro.baselines.fenwick import FenwickMultiset
+from repro.baselines.heap import HeapProfiler, IndexedBinaryHeap
+from repro.baselines.registry import (
+    available_profilers,
+    make_profiler,
+    profiler_supports,
+)
+from repro.baselines.skiplist import IndexableSkipList
+from repro.baselines.sortedlist import SortedListMultiset
+from repro.baselines.treap import TreapMultiset
+from repro.baselines.tree_profiler import TreeProfiler
+
+__all__ = [
+    "AVLMultiset",
+    "BucketProfiler",
+    "FenwickMultiset",
+    "HeapProfiler",
+    "IndexableSkipList",
+    "IndexedBinaryHeap",
+    "ProfilerBase",
+    "QUERY_NAMES",
+    "SortedListMultiset",
+    "TreapMultiset",
+    "TreeProfiler",
+    "available_profilers",
+    "make_profiler",
+    "profiler_supports",
+]

@@ -1,0 +1,271 @@
+"""Order-statistic AVL multiset — balanced-tree baseline #2.
+
+Deterministic counterpart of :class:`~repro.baselines.treap.TreapMultiset`
+with worst-case O(log d) height (d = distinct keys).  Same collapsed
+equal-key representation, same interface; exists so benchmark results do
+not hinge on a single tree implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["AVLMultiset"]
+
+
+class _Node:
+    __slots__ = ("key", "count", "size", "height", "left", "right")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.count = 1
+        self.size = 1
+        self.height = 1
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+def _height(node: _Node | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _size(node: _Node | None) -> int:
+    return node.size if node is not None else 0
+
+
+def _pull(node: _Node) -> None:
+    node.size = node.count + _size(node.left) + _size(node.right)
+    left_h = _height(node.left)
+    right_h = _height(node.right)
+    node.height = (left_h if left_h > right_h else right_h) + 1
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    node.left = pivot.right
+    pivot.right = node
+    _pull(node)
+    _pull(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    node.right = pivot.left
+    pivot.left = node
+    _pull(node)
+    _pull(pivot)
+    return pivot
+
+
+def _rebalance(node: _Node) -> _Node:
+    _pull(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLMultiset:
+    """Multiset of integers with worst-case O(log d) order statistics."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self._len = 0
+
+    @classmethod
+    def from_zeros(cls, count: int) -> "AVLMultiset":
+        """Bulk-build with ``count`` copies of zero.  O(1)."""
+        self = cls()
+        if count > 0:
+            node = _Node(0)
+            node.count = count
+            node.size = count
+            self._root = node
+            self._len = count
+        return self
+
+    def __len__(self) -> int:
+        return self._len
+
+    def insert(self, key: int) -> None:
+        """Add one occurrence of ``key``.  O(log d) worst case."""
+        self._root = self._insert(self._root, key)
+        self._len += 1
+
+    def _insert(self, node: _Node | None, key: int) -> _Node:
+        if node is None:
+            return _Node(key)
+        if key == node.key:
+            node.count += 1
+            _pull(node)
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+        else:
+            node.right = self._insert(node.right, key)
+        return _rebalance(node)
+
+    def erase_one(self, key: int) -> None:
+        """Remove one occurrence of ``key``; KeyError if absent."""
+        self._root = self._erase(self._root, key)
+        self._len -= 1
+
+    def _erase(self, node: _Node | None, key: int) -> _Node | None:
+        if node is None:
+            raise KeyError(key)
+        if key < node.key:
+            node.left = self._erase(node.left, key)
+        elif key > node.key:
+            node.right = self._erase(node.right, key)
+        elif node.count > 1:
+            node.count -= 1
+            _pull(node)
+            return node
+        else:
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with the in-order successor's payload, then remove
+            # that successor node from the right subtree.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key = successor.key
+            node.count = successor.count
+            successor.count = 1  # make the successor erasable in one step
+            node.right = self._erase_min(node.right)
+        return _rebalance(node)
+
+    def _erase_min(self, node: _Node) -> _Node | None:
+        if node.left is None:
+            return node.right
+        node.left = self._erase_min(node.left)
+        return _rebalance(node)
+
+    def kth(self, index: int) -> int:
+        """The ``index``-th smallest element (0-based).  O(log d)."""
+        if not 0 <= index < self._len:
+            raise IndexError(f"index {index} out of range [0, {self._len})")
+        node = self._root
+        while node is not None:
+            left_size = _size(node.left)
+            if index < left_size:
+                node = node.left
+            elif index < left_size + node.count:
+                return node.key
+            else:
+                index -= left_size + node.count
+                node = node.right
+        raise AssertionError("size bookkeeping violated")
+
+    def rank_lt(self, key: int) -> int:
+        """Number of elements strictly below ``key``.  O(log d)."""
+        acc = 0
+        node = self._root
+        while node is not None:
+            if key <= node.key:
+                node = node.left
+            else:
+                acc += node.count + _size(node.left)
+                node = node.right
+        return acc
+
+    def count_of(self, key: int) -> int:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.count
+            node = node.left if key < node.key else node.right
+        return 0
+
+    def min(self) -> int:
+        if self._root is None:
+            raise IndexError("min of empty multiset")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max(self) -> int:
+        if self._root is None:
+            raise IndexError("max of empty multiset")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` ascending."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.count
+            node = node.right
+
+    def check_structure(self) -> bool:
+        """O(d) verification of BST order, sizes, heights and balance."""
+        ok = True
+
+        def walk(node: _Node | None) -> tuple[int, int, int, int] | None:
+            # returns (size, height, min_key, max_key)
+            nonlocal ok
+            if node is None or not ok:
+                return None
+            left = walk(node.left)
+            right = walk(node.right)
+            if not ok:
+                return None
+            size = node.count
+            height = 1
+            lo = hi = node.key
+            if node.left is not None:
+                assert left is not None
+                if left[3] >= node.key:
+                    ok = False
+                    return None
+                size += left[0]
+                height = max(height, left[1] + 1)
+                lo = left[2]
+            if node.right is not None:
+                assert right is not None
+                if right[2] <= node.key:
+                    ok = False
+                    return None
+                size += right[0]
+                height = max(height, right[1] + 1)
+                hi = right[3]
+            balance = (left[1] if left else 0) - (right[1] if right else 0)
+            if (
+                size != node.size
+                or height != node.height
+                or node.count < 1
+                or abs(balance) > 1
+            ):
+                ok = False
+                return None
+            return (size, height, lo, hi)
+
+        result = walk(self._root)
+        if not ok:
+            return False
+        total = result[0] if result is not None else 0
+        return total == self._len
+
+    def __repr__(self) -> str:
+        return f"AVLMultiset(len={self._len})"

@@ -1,0 +1,144 @@
+"""Bucket profiler: O(1) updates, queries by full re-scan.
+
+This is the paper's introduction baseline ("one can use m buckets to
+store the frequency of each distinct element; the mode can be calculated
+in O(n + m) time") and the *oracle* of the test suite: every query is a
+direct textbook computation over the raw frequency array, with no shared
+state or cleverness, so agreement with it is strong evidence of
+correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from repro.baselines.base import ProfilerBase
+from repro.core.queries import ModeResult, TopEntry
+from repro.errors import CapacityError
+
+__all__ = ["BucketProfiler"]
+
+
+class BucketProfiler(ProfilerBase):
+    """Ground-truth profiler: trivially correct, deliberately slow."""
+
+    SUPPORTED_QUERIES = frozenset(
+        {
+            "frequency",
+            "mode",
+            "least",
+            "max_frequency",
+            "min_frequency",
+            "top_k",
+            "kth_most_frequent",
+            "median",
+            "quantile",
+            "histogram",
+            "support",
+        }
+    )
+
+    name = "bucket"
+
+    def _after_add(self, x: int, new_freq: int) -> None:
+        pass  # the frequency array is the whole state
+
+    def _after_remove(self, x: int, new_freq: int) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Queries by re-scan
+    # ------------------------------------------------------------------
+
+    def mode(self) -> ModeResult:
+        """O(m) scan for the maximum."""
+        self._capacity_checked()
+        best = max(self._freq)
+        winners = [x for x, f in enumerate(self._freq) if f == best]
+        return ModeResult(frequency=best, count=len(winners), example=winners[0])
+
+    def least(self) -> ModeResult:
+        """O(m) scan for the minimum."""
+        self._capacity_checked()
+        worst = min(self._freq)
+        losers = [x for x, f in enumerate(self._freq) if f == worst]
+        return ModeResult(frequency=worst, count=len(losers), example=losers[0])
+
+    def max_frequency(self) -> int:
+        self._capacity_checked()
+        return max(self._freq)
+
+    def min_frequency(self) -> int:
+        self._capacity_checked()
+        return min(self._freq)
+
+    def mode_objects(self, limit: int | None = None) -> list[int]:
+        """All objects attaining the maximum frequency."""
+        self._capacity_checked()
+        best = max(self._freq)
+        out = [x for x, f in enumerate(self._freq) if f == best]
+        return out if limit is None else out[:limit]
+
+    def least_objects(self, limit: int | None = None) -> list[int]:
+        """All objects attaining the minimum frequency."""
+        self._capacity_checked()
+        worst = min(self._freq)
+        out = [x for x, f in enumerate(self._freq) if f == worst]
+        return out if limit is None else out[:limit]
+
+    def top_k(self, k: int) -> list[TopEntry]:
+        """O(m log k) via a bounded heap."""
+        if k < 0:
+            raise CapacityError(f"k must be >= 0, got {k}")
+        # Tie-break on object id so the output is deterministic.
+        best = heapq.nlargest(
+            min(k, self._m),
+            ((f, -x) for x, f in enumerate(self._freq)),
+        )
+        return [TopEntry(-neg_x, f) for f, neg_x in best]
+
+    def bottom_k(self, k: int) -> list[TopEntry]:
+        """O(m log k) via a bounded heap."""
+        if k < 0:
+            raise CapacityError(f"k must be >= 0, got {k}")
+        worst = heapq.nsmallest(
+            min(k, self._m),
+            ((f, x) for x, f in enumerate(self._freq)),
+        )
+        return [TopEntry(x, f) for f, x in worst]
+
+    def kth_most_frequent(self, k: int) -> TopEntry:
+        m = self._capacity_checked()
+        if not 1 <= k <= m:
+            raise CapacityError(f"k must be in [1, {m}], got {k}")
+        f, neg_x = heapq.nlargest(
+            k, ((f, -x) for x, f in enumerate(self._freq))
+        )[-1]
+        return TopEntry(-neg_x, f)
+
+    def median_frequency(self) -> int:
+        """O(m log m): sort a copy, index the lower median."""
+        m = self._capacity_checked()
+        return sorted(self._freq)[(m - 1) // 2]
+
+    def quantile(self, q: float) -> int:
+        m = self._capacity_checked()
+        self._check_quantile(q)
+        return sorted(self._freq)[int(q * (m - 1))]
+
+    def histogram(self) -> list[tuple[int, int]]:
+        return sorted(Counter(self._freq).items())
+
+    def support(self, f: int) -> int:
+        return sum(1 for v in self._freq if v == f)
+
+    def majority(self) -> int | None:
+        """Object with more than half the total mass, if any."""
+        total = self.total
+        if self._m == 0 or total <= 0:
+            return None
+        top = self.mode()
+        if 2 * top.frequency > total:
+            return top.example
+        return None

@@ -1,0 +1,195 @@
+"""Fenwick-tree multiset over the frequency value domain — baseline #4.
+
+Instead of ordering *objects*, this structure counts how many objects sit
+at each frequency *value* and keeps prefix sums in a binary indexed tree:
+updates are O(log F) and the k-th order statistic is one binary-lifting
+descent, where F is the width of the value domain seen so far.
+
+This baseline is not in the paper; it is included because it is the
+natural "bucket the frequencies" answer a practitioner would try, and it
+illustrates that S-Profile also beats structures indexed by value rather
+than by rank (see ``benchmarks/bench_profiler_field.py``).  The domain
+grows geometrically in both directions, so negative frequencies are
+supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["FenwickMultiset"]
+
+
+class FenwickMultiset:
+    """Multiset of integers backed by a binary indexed tree.
+
+    The value domain is ``[lo, lo + size)`` with ``size`` a power of two;
+    inserting outside the domain triggers an O(size) geometric rebuild
+    (amortized O(1) per insert).
+    """
+
+    def __init__(self, lo: int = 0, span: int = 2) -> None:
+        size = 1
+        while size < span:
+            size <<= 1
+        self._lo = lo
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._counts = [0] * size
+        self._len = 0
+
+    @classmethod
+    def from_zeros(cls, count: int) -> "FenwickMultiset":
+        """Bulk-build with ``count`` zeros.  O(1) domain, O(1) work."""
+        self = cls(lo=0, span=2)
+        if count > 0:
+            self._counts[0] = count
+            self._rebuild_tree()
+            self._len = count
+        return self
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        """Current covered value range ``[lo, hi)``."""
+        return (self._lo, self._lo + self._size)
+
+    def insert(self, key: int) -> None:
+        """Add one occurrence of ``key``.  O(log F) amortized."""
+        if not self._lo <= key < self._lo + self._size:
+            self._grow_to_cover(key)
+        index = key - self._lo
+        self._counts[index] += 1
+        self._tree_add(index, 1)
+        self._len += 1
+
+    def erase_one(self, key: int) -> None:
+        """Remove one occurrence of ``key``; KeyError if absent."""
+        index = key - self._lo
+        if not 0 <= index < self._size or self._counts[index] == 0:
+            raise KeyError(key)
+        self._counts[index] -= 1
+        self._tree_add(index, -1)
+        self._len -= 1
+
+    def kth(self, index: int) -> int:
+        """The ``index``-th smallest element (0-based).  O(log F)."""
+        if not 0 <= index < self._len:
+            raise IndexError(f"index {index} out of range [0, {self._len})")
+        remaining = index + 1
+        position = 0
+        bitmask = self._size
+        tree = self._tree
+        while bitmask:
+            probe = position + bitmask
+            if probe <= self._size and tree[probe] < remaining:
+                remaining -= tree[probe]
+                position = probe
+            bitmask >>= 1
+        return self._lo + position
+
+    def rank_lt(self, key: int) -> int:
+        """Number of elements strictly below ``key``.  O(log F)."""
+        index = key - self._lo
+        if index <= 0:
+            return 0
+        if index >= self._size:
+            return self._len
+        return self._prefix(index)
+
+    def count_of(self, key: int) -> int:
+        """Multiplicity of ``key``.  O(1)."""
+        index = key - self._lo
+        if not 0 <= index < self._size:
+            return 0
+        return self._counts[index]
+
+    def min(self) -> int:
+        if self._len == 0:
+            raise IndexError("min of empty multiset")
+        return self.kth(0)
+
+    def max(self) -> int:
+        if self._len == 0:
+            raise IndexError("max of empty multiset")
+        return self.kth(self._len - 1)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` ascending.  O(F)."""
+        lo = self._lo
+        for index, count in enumerate(self._counts):
+            if count:
+                yield lo + index, count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _tree_add(self, index: int, delta: int) -> None:
+        position = index + 1
+        tree = self._tree
+        size = self._size
+        while position <= size:
+            tree[position] += delta
+            position += position & (-position)
+
+    def _prefix(self, index: int) -> int:
+        """Sum of counts at domain indices ``< index``."""
+        acc = 0
+        tree = self._tree
+        while index > 0:
+            acc += tree[index]
+            index -= index & (-index)
+        return acc
+
+    def _grow_to_cover(self, key: int) -> None:
+        lo = self._lo
+        hi = self._lo + self._size
+        new_lo = lo
+        new_hi = hi
+        while key < new_lo:
+            new_lo -= max(new_hi - new_lo, 2)
+        while key >= new_hi:
+            new_hi += max(new_hi - new_lo, 2)
+        span = new_hi - new_lo
+        size = 1
+        while size < span:
+            size <<= 1
+        new_counts = [0] * size
+        offset = lo - new_lo
+        new_counts[offset : offset + self._size] = self._counts
+        self._lo = new_lo
+        self._size = size
+        self._counts = new_counts
+        self._rebuild_tree()
+
+    def _rebuild_tree(self) -> None:
+        """O(size) Fenwick construction from the counts array."""
+        size = self._size
+        tree = [0] * (size + 1)
+        counts = self._counts
+        for index in range(1, size + 1):
+            tree[index] += counts[index - 1]
+            parent = index + (index & (-index))
+            if parent <= size:
+                tree[parent] += tree[index]
+        self._tree = tree
+
+    def check_structure(self) -> bool:
+        """O(F log F) verification used by tests."""
+        if sum(self._counts) != self._len:
+            return False
+        if any(count < 0 for count in self._counts):
+            return False
+        for index in range(self._size + 1):
+            expected = sum(self._counts[:index])
+            if self._prefix(index) != expected:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"FenwickMultiset(len={self._len}, domain={self.domain})"
+        )

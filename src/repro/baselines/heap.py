@@ -1,0 +1,286 @@
+"""Indexed binary heap — the paper's section 3.1 comparator.
+
+"Heap is a kind of binary tree where the value in parent node must be
+larger or equal to the values in its children.  Used to maintain the
+sorted frequency array, it is easy to obtain the mode (the root has the
+largest frequency)."
+
+A plain ``heapq`` cannot adjust the key of an interior element, so the
+baseline is an *indexed* (addressable) heap: a position array maps every
+object id to its heap slot, making increase-key / decrease-key O(log m)
+sift operations.  This is the textbook structure the paper benchmarks
+against; the implementation avoids per-comparison indirection so the
+comparison with S-Profile is not a strawman.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import ProfilerBase
+from repro.core.queries import ModeResult
+from repro.errors import CapacityError, FrequencyUnderflowError
+
+__all__ = ["IndexedBinaryHeap", "HeapProfiler"]
+
+
+class IndexedBinaryHeap:
+    """Binary heap over object ids keyed by a shared key array.
+
+    Parameters
+    ----------
+    keys:
+        The key list, indexed by object id.  The heap keeps a *reference*:
+        callers mutate ``keys[x]`` by ±1 and then call :meth:`increased` /
+        :meth:`decreased` to restore heap order.
+    max_heap:
+        Root holds the largest key when True, the smallest when False.
+    """
+
+    __slots__ = ("_keys", "_heap", "_pos", "_max")
+
+    def __init__(self, keys: list[int], *, max_heap: bool = True) -> None:
+        self._keys = keys
+        n = len(keys)
+        self._heap = list(range(n))
+        self._pos = list(range(n))
+        self._max = max_heap
+        # Floyd heapify: O(n), needed when initial keys are not uniform.
+        for idx in range(n // 2 - 1, -1, -1):
+            self._sift_down(idx)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek(self) -> int:
+        """Object id at the root (extreme key).  O(1)."""
+        if not self._heap:
+            raise IndexError("peek on empty heap")
+        return self._heap[0]
+
+    def position_of(self, x: int) -> int:
+        """Current heap slot of object ``x``."""
+        return self._pos[x]
+
+    def increased(self, x: int) -> None:
+        """Restore order after ``keys[x]`` grew."""
+        if self._max:
+            self._sift_up(self._pos[x])
+        else:
+            self._sift_down(self._pos[x])
+
+    def decreased(self, x: int) -> None:
+        """Restore order after ``keys[x]`` shrank."""
+        if self._max:
+            self._sift_down(self._pos[x])
+        else:
+            self._sift_up(self._pos[x])
+
+    def _sift_up(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._pos
+        keys = self._keys
+        item = heap[idx]
+        key = keys[item]
+        if self._max:
+            while idx > 0:
+                parent_idx = (idx - 1) >> 1
+                parent = heap[parent_idx]
+                if keys[parent] >= key:
+                    break
+                heap[idx] = parent
+                pos[parent] = idx
+                idx = parent_idx
+        else:
+            while idx > 0:
+                parent_idx = (idx - 1) >> 1
+                parent = heap[parent_idx]
+                if keys[parent] <= key:
+                    break
+                heap[idx] = parent
+                pos[parent] = idx
+                idx = parent_idx
+        heap[idx] = item
+        pos[item] = idx
+
+    def _sift_down(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._pos
+        keys = self._keys
+        n = len(heap)
+        item = heap[idx]
+        key = keys[item]
+        if self._max:
+            while True:
+                child_idx = 2 * idx + 1
+                if child_idx >= n:
+                    break
+                child = heap[child_idx]
+                right_idx = child_idx + 1
+                if right_idx < n and keys[heap[right_idx]] > keys[child]:
+                    child_idx = right_idx
+                    child = heap[right_idx]
+                if keys[child] <= key:
+                    break
+                heap[idx] = child
+                pos[child] = idx
+                idx = child_idx
+        else:
+            while True:
+                child_idx = 2 * idx + 1
+                if child_idx >= n:
+                    break
+                child = heap[child_idx]
+                right_idx = child_idx + 1
+                if right_idx < n and keys[heap[right_idx]] < keys[child]:
+                    child_idx = right_idx
+                    child = heap[right_idx]
+                if keys[child] >= key:
+                    break
+                heap[idx] = child
+                pos[child] = idx
+                idx = child_idx
+        heap[idx] = item
+        pos[item] = idx
+
+    def check_heap_property(self) -> bool:
+        """O(n) verification used by tests."""
+        heap = self._heap
+        keys = self._keys
+        n = len(heap)
+        for idx in range(1, n):
+            parent = heap[(idx - 1) >> 1]
+            child = heap[idx]
+            if self._max and keys[parent] < keys[child]:
+                return False
+            if not self._max and keys[parent] > keys[child]:
+                return False
+        for idx, item in enumerate(heap):
+            if self._pos[item] != idx:
+                return False
+        return True
+
+
+class HeapProfiler(ProfilerBase):
+    """Mode (or least-frequent) upkeep with an indexed binary heap.
+
+    ``kind="max"`` answers the mode, ``kind="min"`` the least-frequent
+    object — a single heap cannot do both, which is part of the paper's
+    argument for S-Profile's wider applicability.  Tie counts are not
+    available from a heap, so ``mode().count is None``.
+    """
+
+    name = "heap"
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        kind: str = "max",
+        allow_negative: bool = True,
+    ) -> None:
+        if kind not in ("max", "min"):
+            raise CapacityError(f"kind must be 'max' or 'min', got {kind!r}")
+        super().__init__(capacity, allow_negative=allow_negative)
+        self._kind = kind
+        self._heap = IndexedBinaryHeap(self._freq, max_heap=(kind == "max"))
+        self.name = f"heap-{kind}"
+        if kind == "max":
+            self.SUPPORTED_QUERIES = frozenset(
+                {"frequency", "mode", "max_frequency"}
+            )
+        else:
+            self.SUPPORTED_QUERIES = frozenset(
+                {"frequency", "least", "min_frequency"}
+            )
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: Sequence[int],
+        *,
+        kind: str = "max",
+        allow_negative: bool = True,
+    ) -> "HeapProfiler":
+        self = cls(len(frequencies), kind=kind, allow_negative=allow_negative)
+        self._freq[:] = list(frequencies)
+        self._base_total = sum(self._freq)
+        self._heap = IndexedBinaryHeap(self._freq, max_heap=(kind == "max"))
+        return self
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def heap(self) -> IndexedBinaryHeap:
+        return self._heap
+
+    # add/remove are overridden flat (no _after hooks): the sift call is
+    # the only indirection, matching the one-call depth of SProfile's
+    # update path so the benchmark compares structures, not call stacks.
+
+    def add(self, x: int) -> None:
+        """Increment ``freq[x]`` and restore heap order.  O(log m)."""
+        if not 0 <= x < self._m:
+            raise CapacityError(f"object id {x} out of range [0, {self._m})")
+        self._freq[x] += 1
+        self._n_adds += 1
+        heap = self._heap
+        if self._kind == "max":
+            heap._sift_up(heap._pos[x])
+        else:
+            heap._sift_down(heap._pos[x])
+
+    def remove(self, x: int) -> None:
+        """Decrement ``freq[x]`` and restore heap order.  O(log m)."""
+        if not 0 <= x < self._m:
+            raise CapacityError(f"object id {x} out of range [0, {self._m})")
+        if self._freq[x] <= 0 and not self._allow_negative:
+            raise FrequencyUnderflowError(
+                f"removing object {x} at frequency {self._freq[x]} "
+                "would go negative"
+            )
+        self._freq[x] -= 1
+        self._n_removes += 1
+        heap = self._heap
+        if self._kind == "max":
+            heap._sift_down(heap._pos[x])
+        else:
+            heap._sift_up(heap._pos[x])
+
+    def _after_add(self, x: int, new_freq: int) -> None:
+        self._heap.increased(x)  # kept for ProfilerBase compatibility
+
+    def _after_remove(self, x: int, new_freq: int) -> None:
+        self._heap.decreased(x)
+
+    def mode(self) -> ModeResult:
+        if self._kind != "max":
+            return super().mode()  # raises UnsupportedQueryError
+        self._capacity_checked()
+        root = self._heap.peek()
+        return ModeResult(frequency=self._freq[root], count=None, example=root)
+
+    def least(self) -> ModeResult:
+        if self._kind != "min":
+            return super().least()
+        self._capacity_checked()
+        root = self._heap.peek()
+        return ModeResult(frequency=self._freq[root], count=None, example=root)
+
+    def max_frequency(self) -> int:
+        """The root's key.  O(1)."""
+        if self._kind != "max":
+            return super().max_frequency()
+        if self._m == 0:
+            self._capacity_checked()
+        return self._freq[self._heap._heap[0]]
+
+    def min_frequency(self) -> int:
+        """The root's key.  O(1)."""
+        if self._kind != "min":
+            return super().min_frequency()
+        if self._m == 0:
+            self._capacity_checked()
+        return self._freq[self._heap._heap[0]]

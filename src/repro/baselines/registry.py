@@ -1,0 +1,105 @@
+"""Name -> profiler factory registry.
+
+One place where tests, benchmarks and the CLI agree on what each
+profiler is called and how it is built.  ``SProfile`` participates via
+duck typing (it shares the update/query surface without inheriting
+:class:`~repro.baselines.base.ProfilerBase`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import QUERY_NAMES
+from repro.baselines.bucket import BucketProfiler
+from repro.baselines.heap import HeapProfiler
+from repro.baselines.tree_profiler import TreeProfiler
+from repro.core.profile import SProfile
+from repro.errors import CapacityError
+
+__all__ = ["available_profilers", "make_profiler", "profiler_supports"]
+
+_FACTORIES: dict[str, Callable[..., object]] = {
+    "sprofile": lambda capacity, allow_negative: SProfile(
+        capacity, allow_negative=allow_negative
+    ),
+    "sprofile-indexed": lambda capacity, allow_negative: SProfile(
+        capacity, allow_negative=allow_negative, track_freq_index=True
+    ),
+    "bucket": lambda capacity, allow_negative: BucketProfiler(
+        capacity, allow_negative=allow_negative
+    ),
+    "heap-max": lambda capacity, allow_negative: HeapProfiler(
+        capacity, kind="max", allow_negative=allow_negative
+    ),
+    "heap-min": lambda capacity, allow_negative: HeapProfiler(
+        capacity, kind="min", allow_negative=allow_negative
+    ),
+    "tree-treap": lambda capacity, allow_negative: TreeProfiler(
+        capacity, structure="treap", allow_negative=allow_negative
+    ),
+    "tree-avl": lambda capacity, allow_negative: TreeProfiler(
+        capacity, structure="avl", allow_negative=allow_negative
+    ),
+    "tree-skiplist": lambda capacity, allow_negative: TreeProfiler(
+        capacity, structure="skiplist", allow_negative=allow_negative
+    ),
+    "tree-fenwick": lambda capacity, allow_negative: TreeProfiler(
+        capacity, structure="fenwick", allow_negative=allow_negative
+    ),
+    "tree-sortedlist": lambda capacity, allow_negative: TreeProfiler(
+        capacity, structure="sortedlist", allow_negative=allow_negative
+    ),
+}
+
+_SUPPORTS: dict[str, frozenset[str]] = {
+    "sprofile": QUERY_NAMES,
+    "sprofile-indexed": QUERY_NAMES,
+    "bucket": QUERY_NAMES,
+    "heap-max": frozenset({"frequency", "mode", "max_frequency"}),
+    "heap-min": frozenset({"frequency", "least", "min_frequency"}),
+}
+_TREE_QUERIES = frozenset(
+    {
+        "frequency",
+        "max_frequency",
+        "min_frequency",
+        "median",
+        "quantile",
+        "histogram",
+        "support",
+    }
+)
+for _name in (
+    "tree-treap",
+    "tree-avl",
+    "tree-skiplist",
+    "tree-fenwick",
+    "tree-sortedlist",
+):
+    _SUPPORTS[_name] = _TREE_QUERIES
+
+
+def available_profilers() -> tuple[str, ...]:
+    """All registered profiler names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_profiler(name: str, capacity: int, *, allow_negative: bool = True):
+    """Construct a profiler by registry name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise CapacityError(
+            f"unknown profiler {name!r}; choose from {available_profilers()}"
+        )
+    return factory(capacity, allow_negative)
+
+
+def profiler_supports(name: str) -> frozenset[str]:
+    """The query names a registered profiler answers."""
+    supports = _SUPPORTS.get(name)
+    if supports is None:
+        raise CapacityError(
+            f"unknown profiler {name!r}; choose from {available_profilers()}"
+        )
+    return supports

@@ -1,0 +1,82 @@
+"""Sorted-list multiset — the pragmatic flat-array baseline.
+
+A plain Python list kept sorted with :mod:`bisect`.  Updates are O(m)
+in theory (memmove on insert/delete) but the constant is a C memcpy, so
+for small universes this is surprisingly competitive — a useful honesty
+check against over-claiming tree speedups at toy scales.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from itertools import groupby
+from typing import Iterator
+
+__all__ = ["SortedListMultiset"]
+
+
+class SortedListMultiset:
+    """Multiset of integers in a flat sorted list."""
+
+    def __init__(self) -> None:
+        self._data: list[int] = []
+
+    @classmethod
+    def from_zeros(cls, count: int) -> "SortedListMultiset":
+        """Bulk-build with ``count`` zeros.  O(count)."""
+        self = cls()
+        self._data = [0] * count
+        return self
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def insert(self, key: int) -> None:
+        """Add one occurrence of ``key``.  O(m) memmove."""
+        insort(self._data, key)
+
+    def erase_one(self, key: int) -> None:
+        """Remove one occurrence of ``key``; KeyError if absent."""
+        index = bisect_left(self._data, key)
+        if index == len(self._data) or self._data[index] != key:
+            raise KeyError(key)
+        self._data.pop(index)
+
+    def kth(self, index: int) -> int:
+        """The ``index``-th smallest element (0-based).  O(1)."""
+        if not 0 <= index < len(self._data):
+            raise IndexError(
+                f"index {index} out of range [0, {len(self._data)})"
+            )
+        return self._data[index]
+
+    def rank_lt(self, key: int) -> int:
+        """Number of elements strictly below ``key``.  O(log m)."""
+        return bisect_left(self._data, key)
+
+    def count_of(self, key: int) -> int:
+        """Multiplicity of ``key``.  O(log m)."""
+        return bisect_right(self._data, key) - bisect_left(self._data, key)
+
+    def min(self) -> int:
+        if not self._data:
+            raise IndexError("min of empty multiset")
+        return self._data[0]
+
+    def max(self) -> int:
+        if not self._data:
+            raise IndexError("max of empty multiset")
+        return self._data[-1]
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` ascending."""
+        for key, group in groupby(self._data):
+            yield key, sum(1 for _ in group)
+
+    def check_structure(self) -> bool:
+        """O(m) sortedness check used by tests."""
+        data = self._data
+        return all(data[i] <= data[i + 1] for i in range(len(data) - 1))
+
+    def __repr__(self) -> str:
+        return f"SortedListMultiset(len={len(self._data)})"

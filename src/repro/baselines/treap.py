@@ -1,0 +1,244 @@
+"""Order-statistic treap multiset — balanced-tree baseline #1.
+
+The paper benchmarks S-Profile against "the balanced tree based method
+implemented in the GNU C++ PBDS", i.e. a tree with
+``tree_order_statistics_node_update``: O(log m) insert/erase and O(log m)
+k-th / rank queries.  This treap provides the same contract.
+
+Equal keys are collapsed into one node with a multiplicity counter
+(``count``); subtree ``size`` sums multiplicities, so order statistics
+are over the *multiset*.  Randomized priorities give expected O(log d)
+depth where ``d`` is the number of distinct keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["TreapMultiset"]
+
+
+class _Node:
+    __slots__ = ("key", "prio", "count", "size", "left", "right")
+
+    def __init__(self, key: int, prio: float) -> None:
+        self.key = key
+        self.prio = prio
+        self.count = 1
+        self.size = 1
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+def _pull(node: _Node) -> None:
+    size = node.count
+    if node.left is not None:
+        size += node.left.size
+    if node.right is not None:
+        size += node.right.size
+    node.size = size
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    node.left = pivot.right
+    pivot.right = node
+    _pull(node)
+    _pull(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    node.right = pivot.left
+    pivot.left = node
+    _pull(node)
+    _pull(pivot)
+    return pivot
+
+
+class TreapMultiset:
+    """Multiset of integers with O(log d) order statistics."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._root: _Node | None = None
+        self._len = 0
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def from_zeros(cls, count: int, seed: int | None = 0) -> "TreapMultiset":
+        """Bulk-build with ``count`` copies of zero.  O(1)."""
+        self = cls(seed=seed)
+        if count > 0:
+            node = _Node(0, self._rng.random())
+            node.count = count
+            node.size = count
+            self._root = node
+            self._len = count
+        return self
+
+    def __len__(self) -> int:
+        return self._len
+
+    def insert(self, key: int) -> None:
+        """Add one occurrence of ``key``.  O(log d) expected."""
+        self._root = self._insert(self._root, key)
+        self._len += 1
+
+    def _insert(self, node: _Node | None, key: int) -> _Node:
+        if node is None:
+            return _Node(key, self._rng.random())
+        if key == node.key:
+            node.count += 1
+        elif key < node.key:
+            node.left = self._insert(node.left, key)
+            if node.left.prio > node.prio:
+                node = _rotate_right(node)
+        else:
+            node.right = self._insert(node.right, key)
+            if node.right.prio > node.prio:
+                node = _rotate_left(node)
+        _pull(node)
+        return node
+
+    def erase_one(self, key: int) -> None:
+        """Remove one occurrence of ``key``; KeyError if absent."""
+        self._root = self._erase(self._root, key)
+        self._len -= 1
+
+    def _erase(self, node: _Node | None, key: int) -> _Node | None:
+        if node is None:
+            raise KeyError(key)
+        if key < node.key:
+            node.left = self._erase(node.left, key)
+        elif key > node.key:
+            node.right = self._erase(node.right, key)
+        elif node.count > 1:
+            node.count -= 1
+        else:
+            # Rotate the node down toward a leaf, keeping priorities.
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            if node.left.prio > node.right.prio:
+                node = _rotate_right(node)
+                node.right = self._erase(node.right, key)
+            else:
+                node = _rotate_left(node)
+                node.left = self._erase(node.left, key)
+        _pull(node)
+        return node
+
+    def kth(self, index: int) -> int:
+        """The ``index``-th smallest element (0-based).  O(log d)."""
+        if not 0 <= index < self._len:
+            raise IndexError(f"index {index} out of range [0, {self._len})")
+        node = self._root
+        while node is not None:
+            left_size = node.left.size if node.left is not None else 0
+            if index < left_size:
+                node = node.left
+            elif index < left_size + node.count:
+                return node.key
+            else:
+                index -= left_size + node.count
+                node = node.right
+        raise AssertionError("size bookkeeping violated")
+
+    def rank_lt(self, key: int) -> int:
+        """Number of elements strictly below ``key``.  O(log d)."""
+        acc = 0
+        node = self._root
+        while node is not None:
+            if key <= node.key:
+                node = node.left
+            else:
+                acc += node.count
+                if node.left is not None:
+                    acc += node.left.size
+                node = node.right
+        return acc
+
+    def count_of(self, key: int) -> int:
+        """Multiplicity of ``key``.  O(log d)."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.count
+            node = node.left if key < node.key else node.right
+        return 0
+
+    def min(self) -> int:
+        if self._root is None:
+            raise IndexError("min of empty multiset")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max(self) -> int:
+        if self._root is None:
+            raise IndexError("max of empty multiset")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` ascending.  Iterative in-order walk."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.count
+            node = node.right
+
+    def check_structure(self) -> bool:
+        """O(d) structural verification used by tests."""
+        ok = True
+
+        def walk(node: _Node | None) -> tuple[int, int, int] | None:
+            # returns (size, min_key, max_key) or None
+            nonlocal ok
+            if node is None or not ok:
+                return None
+            left = walk(node.left)
+            right = walk(node.right)
+            size = node.count
+            lo = hi = node.key
+            if node.left is not None:
+                if left is None or left[2] >= node.key:
+                    ok = False
+                    return None
+                if node.left.prio > node.prio:
+                    ok = False
+                    return None
+                size += left[0]
+                lo = left[1]
+            if node.right is not None:
+                if right is None or right[1] <= node.key:
+                    ok = False
+                    return None
+                if node.right.prio > node.prio:
+                    ok = False
+                    return None
+                size += right[0]
+                hi = right[2]
+            if size != node.size or node.count < 1:
+                ok = False
+                return None
+            return (size, lo, hi)
+
+        result = walk(self._root)
+        if not ok:
+            return False
+        total = result[0] if result is not None else 0
+        return total == self._len
+
+    def __repr__(self) -> str:
+        return f"TreapMultiset(len={self._len})"

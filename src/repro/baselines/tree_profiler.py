@@ -1,0 +1,125 @@
+"""Profiler over an order-statistic multiset of frequencies.
+
+This is the paper's section 3.2 comparator: "the balanced tree based
+method implemented in the GNU C++ PBDS".  The multiset holds the ``m``
+frequency values; every ±1 event erases the old value and inserts the
+new one (two O(log) operations), after which any quantile is an O(log)
+k-th query.
+
+Like the PBDS multiset, the structure orders frequencies only — it
+cannot say *which* object attains a frequency, so object-naming queries
+(mode example, top-k) are unsupported; S-Profile's ability to answer
+them in O(1) is part of the paper's "wider applicability" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.avl import AVLMultiset
+from repro.baselines.base import ProfilerBase
+from repro.baselines.fenwick import FenwickMultiset
+from repro.baselines.skiplist import IndexableSkipList
+from repro.baselines.sortedlist import SortedListMultiset
+from repro.baselines.treap import TreapMultiset
+from repro.errors import CapacityError
+
+__all__ = ["TreeProfiler", "TREE_STRUCTURES"]
+
+#: structure name -> bulk constructor taking the number of initial zeros.
+TREE_STRUCTURES: dict[str, Callable[[int], object]] = {
+    "treap": TreapMultiset.from_zeros,
+    "avl": AVLMultiset.from_zeros,
+    "skiplist": IndexableSkipList.from_zeros,
+    "fenwick": FenwickMultiset.from_zeros,
+    "sortedlist": SortedListMultiset.from_zeros,
+}
+
+
+class TreeProfiler(ProfilerBase):
+    """Median/quantile upkeep with an order-statistic multiset.
+
+    Parameters
+    ----------
+    capacity:
+        Number of tracked objects; the multiset starts with ``capacity``
+        zeros.
+    structure:
+        One of :data:`TREE_STRUCTURES`: ``"treap"``, ``"avl"``,
+        ``"skiplist"``, ``"fenwick"`` or ``"sortedlist"``.
+    """
+
+    SUPPORTED_QUERIES = frozenset(
+        {
+            "frequency",
+            "max_frequency",
+            "min_frequency",
+            "median",
+            "quantile",
+            "histogram",
+            "support",
+        }
+    )
+
+    name = "tree"
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        structure: str = "treap",
+        allow_negative: bool = True,
+    ) -> None:
+        if structure not in TREE_STRUCTURES:
+            raise CapacityError(
+                f"unknown structure {structure!r}; "
+                f"choose from {sorted(TREE_STRUCTURES)}"
+            )
+        super().__init__(capacity, allow_negative=allow_negative)
+        self._structure = structure
+        self._set = TREE_STRUCTURES[structure](capacity)
+        self.name = f"tree-{structure}"
+
+    @property
+    def structure(self) -> str:
+        return self._structure
+
+    @property
+    def multiset(self):
+        """The underlying order-statistic multiset."""
+        return self._set
+
+    def _after_add(self, x: int, new_freq: int) -> None:
+        self._set.erase_one(new_freq - 1)
+        self._set.insert(new_freq)
+
+    def _after_remove(self, x: int, new_freq: int) -> None:
+        self._set.erase_one(new_freq + 1)
+        self._set.insert(new_freq)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def max_frequency(self) -> int:
+        self._capacity_checked()
+        return self._set.max()
+
+    def min_frequency(self) -> int:
+        self._capacity_checked()
+        return self._set.min()
+
+    def median_frequency(self) -> int:
+        m = self._capacity_checked()
+        return self._set.kth((m - 1) // 2)
+
+    def quantile(self, q: float) -> int:
+        m = self._capacity_checked()
+        self._check_quantile(q)
+        return self._set.kth(int(q * (m - 1)))
+
+    def histogram(self) -> list[tuple[int, int]]:
+        return list(self._set.items())
+
+    def support(self, f: int) -> int:
+        return self._set.count_of(f)

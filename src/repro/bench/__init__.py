@@ -1,0 +1,45 @@
+"""Benchmark harness regenerating the paper's evaluation.
+
+Every figure of the paper's section 3 maps to an experiment definition
+in :mod:`repro.bench.figures`; run them via::
+
+    python -m repro bench --figure 3
+    python -m repro bench --all
+
+or through the pytest-benchmark files under ``benchmarks/``.
+
+The harness measures what the paper measures: the wall-clock cost of
+*processing the stream while keeping the statistic current* — each event
+applies one ±1 update and reads the statistic (mode for figures 3-5,
+median for figure 6).
+"""
+
+from repro.bench.figures import (
+    FIGURES,
+    FigureResult,
+    SCALES,
+    run_figure,
+)
+from repro.bench.reporting import format_figure, format_series_table
+from repro.bench.runner import (
+    SeriesResult,
+    time_mode_workload,
+    time_median_workload,
+    time_update_only,
+)
+from repro.bench.workloads import build_stream, workload_for
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "SCALES",
+    "SeriesResult",
+    "build_stream",
+    "format_figure",
+    "format_series_table",
+    "run_figure",
+    "time_median_workload",
+    "time_mode_workload",
+    "time_update_only",
+    "workload_for",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Examples
+--------
+Regenerate one figure at the default (seconds-long) scale::
+
+    python -m repro bench --figure 3
+
+Everything, at the minutes-long scale, machine-readable::
+
+    python -m repro bench --all --scale medium --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+
+from repro.bench.figures import FIGURES, SCALES, run_figure
+from repro.bench.reporting import format_figure
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of the S-Profile paper.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--figure",
+        type=int,
+        choices=FIGURES,
+        help="paper figure number to regenerate",
+    )
+    group.add_argument(
+        "--all", action="store_true", help="regenerate every figure"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="sweep sizes (small: seconds, medium: minutes, "
+        "paper: published sizes — impractical in Python)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per point (median is reported)",
+    )
+    parser.add_argument(
+        "--tree",
+        default="tree-skiplist",
+        choices=(
+            "tree-treap",
+            "tree-avl",
+            "tree-skiplist",
+            "tree-fenwick",
+            "tree-sortedlist",
+        ),
+        help="balanced-tree stand-in for figure 6",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="stream generation seed"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also dump raw results as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    figures = list(FIGURES) if args.all else [args.figure]
+    results = []
+    for figure in figures:
+        result = run_figure(
+            figure,
+            scale=args.scale,
+            repeats=args.repeats,
+            tree=args.tree,
+            seed=args.seed,
+        )
+        results.append(result)
+        print(format_figure(result))
+        sys.stdout.flush()
+    if args.json:
+        payload = [asdict(result) for result in results]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

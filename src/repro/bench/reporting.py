@@ -1,0 +1,69 @@
+"""ASCII reporting of benchmark series, in the paper's terms.
+
+Tables show absolute seconds per sweep point plus the speedup of
+S-Profile over the baseline — the quantity the paper headlines ("at
+least 2X speedup to the heap based approach and 13X or larger speedup
+to the balanced tree based approach").
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import SeriesResult
+
+__all__ = ["format_series_table", "format_figure", "summarize_speedups"]
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:9.1f}s"
+    if seconds >= 1:
+        return f"{seconds:9.3f}s"
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def format_series_table(series: SeriesResult, *, ours: str = "sprofile") -> str:
+    """Render one sweep as an aligned ASCII table."""
+    names = list(series.times)
+    baselines = [name for name in names if name != ours]
+    header_cells = [f"{series.x_label:>12}"]
+    header_cells += [f"{name:>12}" for name in names]
+    for baseline in baselines:
+        header_cells.append(f"{baseline + '/ours':>14}")
+    lines = [series.title, "-" * len(series.title)]
+    lines.append(" ".join(header_cells))
+    for row_index, x in enumerate(series.x_values):
+        cells = [f"{x:>12,}"]
+        for name in names:
+            cells.append(f"{_format_time(series.times[name][row_index]):>12}")
+        for baseline in baselines:
+            ratio = series.speedup(baseline, ours)[row_index]
+            cells.append(f"{ratio:>13.2f}x")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def summarize_speedups(series: SeriesResult, *, ours: str = "sprofile") -> str:
+    """One-line min/max speedup summary per baseline."""
+    parts = []
+    for name in series.times:
+        if name == ours:
+            continue
+        low = series.min_speedup(name, ours)
+        high = series.max_speedup(name, ours)
+        parts.append(f"{ours} vs {name}: {low:.2f}x – {high:.2f}x")
+    return "; ".join(parts)
+
+
+def format_figure(result, *, ours: str = "sprofile") -> str:
+    """Render a full :class:`~repro.bench.figures.FigureResult`."""
+    blocks = [
+        f"=== Figure {result.figure} (scale: {result.scale}) ===",
+        result.description,
+        f"expected shape: {result.expectation}",
+        "",
+    ]
+    for series in result.series:
+        blocks.append(format_series_table(series, ours=ours))
+        blocks.append("  -> " + summarize_speedups(series, ours=ours))
+        blocks.append("")
+    return "\n".join(blocks)

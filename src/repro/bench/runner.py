@@ -1,0 +1,140 @@
+"""Wall-clock measurement of profiler workloads.
+
+The timed region reproduces the paper's measurement: the profiler is
+pre-built (structure initialization is not the contribution under test),
+then every stream event is applied and the statistic of interest is
+read back — mode upkeep for figures 3-5, median upkeep for figure 6.
+
+Loops bind bound-methods to locals, identically for every profiler, so
+the comparison measures the data structures rather than attribute
+lookup noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Sequence
+
+from repro.streams.generators import LogStream
+
+__all__ = [
+    "SeriesResult",
+    "time_update_only",
+    "time_mode_workload",
+    "time_median_workload",
+    "run_series",
+]
+
+
+def _as_lists(stream: LogStream) -> tuple[list[int], list[bool]]:
+    ids, adds = stream.arrays()
+    return ids.tolist(), adds.tolist()
+
+
+def time_update_only(profiler, stream: LogStream) -> float:
+    """Seconds to apply every event (no per-event query)."""
+    id_list, add_list = _as_lists(stream)
+    add = profiler.add
+    remove = profiler.remove
+    start = perf_counter()
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+    return perf_counter() - start
+
+
+def time_mode_workload(profiler, stream: LogStream) -> float:
+    """Seconds to apply every event and read the mode frequency after
+    each one (the paper's figures 3-5 workload)."""
+    id_list, add_list = _as_lists(stream)
+    add = profiler.add
+    remove = profiler.remove
+    mode = profiler.max_frequency
+    start = perf_counter()
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+        mode()
+    return perf_counter() - start
+
+
+def time_median_workload(profiler, stream: LogStream) -> float:
+    """Seconds to apply every event and read the median after each one
+    (the paper's figure 6 workload)."""
+    id_list, add_list = _as_lists(stream)
+    add = profiler.add
+    remove = profiler.remove
+    median = profiler.median_frequency
+    start = perf_counter()
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+        median()
+    return perf_counter() - start
+
+
+@dataclass
+class SeriesResult:
+    """Times for one (x-axis sweep) × (profiler set) experiment."""
+
+    title: str
+    x_label: str
+    x_values: list[int]
+    #: profiler name -> seconds per x value (same order as x_values).
+    times: dict[str, list[float]] = field(default_factory=dict)
+
+    def speedup(self, baseline: str, ours: str) -> list[float]:
+        """Per-point ``baseline / ours`` time ratios."""
+        base = self.times[baseline]
+        fast = self.times[ours]
+        return [b / f if f > 0 else float("inf") for b, f in zip(base, fast)]
+
+    def min_speedup(self, baseline: str, ours: str) -> float:
+        return min(self.speedup(baseline, ours))
+
+    def max_speedup(self, baseline: str, ours: str) -> float:
+        return max(self.speedup(baseline, ours))
+
+
+def run_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[int],
+    profiler_factories: dict[str, Callable[[int], object]],
+    stream_for_x: Callable[[int], LogStream],
+    capacity_for_x: Callable[[int], int],
+    timer: Callable[[object, LogStream], float],
+    *,
+    repeats: int = 3,
+) -> SeriesResult:
+    """Time every profiler across a parameter sweep.
+
+    For each x value the stream is built once; each profiler is rebuilt
+    fresh per repeat and the *median* of ``repeats`` runs is recorded
+    (medians are robust to scheduler noise without the cost of many
+    rounds).
+    """
+    result = SeriesResult(
+        title=title,
+        x_label=x_label,
+        x_values=list(x_values),
+        times={name: [] for name in profiler_factories},
+    )
+    for x in x_values:
+        stream = stream_for_x(x)
+        capacity = capacity_for_x(x)
+        for name, factory in profiler_factories.items():
+            samples = []
+            for _ in range(repeats):
+                profiler = factory(capacity)
+                samples.append(timer(profiler, stream))
+            samples.sort()
+            result.times[name].append(samples[len(samples) // 2])
+    return result

@@ -1,0 +1,67 @@
+"""Workload construction shared by the harness and ``benchmarks/``.
+
+Streams are deterministic in (name, n, m, seed), and the most recently
+built ones are memoized so pytest-benchmark rounds and figure sweeps do
+not regenerate identical arrays.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import StreamConfigError
+from repro.streams.adversarial import (
+    root_thrash_stream,
+    single_hot_object_stream,
+    staircase_stream,
+)
+from repro.streams.generators import (
+    LogStream,
+    PAPER_STREAM_NAMES,
+    generate_stream,
+    paper_stream,
+)
+
+__all__ = ["build_stream", "workload_for", "WORKLOAD_NAMES"]
+
+#: Workloads accepted by :func:`build_stream`.
+WORKLOAD_NAMES = PAPER_STREAM_NAMES + (
+    "root-thrash",
+    "single-hot",
+    "staircase",
+)
+
+
+@lru_cache(maxsize=32)
+def _cached(name: str, n_events: int, universe: int, seed: int) -> LogStream:
+    if name in PAPER_STREAM_NAMES:
+        return generate_stream(
+            paper_stream(name, n_events, universe, seed=seed)
+        )
+    if name == "root-thrash":
+        return root_thrash_stream(n_events, universe)
+    if name == "single-hot":
+        return single_hot_object_stream(n_events, universe)
+    if name == "staircase":
+        return staircase_stream(n_events, universe)
+    raise StreamConfigError(
+        f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+    )
+
+
+def build_stream(
+    name: str, n_events: int, universe: int, *, seed: int = 0
+) -> LogStream:
+    """Materialize a named workload (memoized)."""
+    return _cached(name, n_events, universe, seed)
+
+
+def workload_for(figure: int) -> tuple[str, ...]:
+    """The stream names a given paper figure sweeps over."""
+    if figure in (3, 4):
+        return PAPER_STREAM_NAMES
+    if figure == 5:
+        return ("stream1",)
+    if figure == 6:
+        return ("stream1",)
+    raise StreamConfigError(f"paper has no figure {figure}")

@@ -1,0 +1,142 @@
+"""Blocks: maximal equal-frequency runs of the sorted frequency array.
+
+A block ``(l, r, f)`` states that ranks ``l..r`` (inclusive) of the
+conceptual sorted array ``T`` all hold frequency ``f`` (paper section 2.1).
+Blocks are the unit the S-Profile update algorithm manipulates: an update
+touches at most two blocks, which is what makes it O(1).
+
+Blocks are allocated through a :class:`BlockPool` free list.  The update
+loop creates and destroys a block on almost every event; recycling spares
+the allocator and, more importantly for CPython, spares ``__init__``
+dispatch.  The pool is a measured design choice — see
+``benchmarks/bench_ablation_pool.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Block", "BlockPool", "PoolStats"]
+
+
+class Block:
+    """A maximal run of equal frequency in the sorted array ``T``.
+
+    Attributes
+    ----------
+    l:
+        First rank (inclusive) covered by this block.
+    r:
+        Last rank (inclusive) covered by this block.
+    f:
+        The frequency shared by every rank in ``[l, r]``.  A block's
+        frequency never changes during its lifetime; only its bounds move.
+    """
+
+    __slots__ = ("l", "r", "f")
+
+    def __init__(self, l: int, r: int, f: int) -> None:
+        self.l = l
+        self.r = r
+        self.f = f
+
+    def __len__(self) -> int:
+        """Number of ranks covered.  Zero or negative means 'emptied'."""
+        return self.r - self.l + 1
+
+    def __contains__(self, rank: int) -> bool:
+        return self.l <= rank <= self.r
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """Return ``(l, r, f)`` — the paper's triple notation."""
+        return (self.l, self.r, self.f)
+
+    def __repr__(self) -> str:
+        return f"Block(l={self.l}, r={self.r}, f={self.f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return self is other or self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        # Identity hash: blocks are mutable containers, and the block set
+        # relies on identity when relinking pointers.
+        return id(self)
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Allocation counters exposed for ablation benchmarks and tests."""
+
+    created: int
+    recycled: int
+    released: int
+
+    @property
+    def recycle_ratio(self) -> float:
+        """Fraction of acquisitions served from the free list."""
+        total = self.created + self.recycled
+        if total == 0:
+            return 0.0
+        return self.recycled / total
+
+
+class BlockPool:
+    """Free list of :class:`Block` instances.
+
+    Parameters
+    ----------
+    max_free:
+        Upper bound on the number of idle blocks retained.  ``None`` keeps
+        every released block.  The live block set never exceeds ``m``
+        blocks, so the free list is bounded by ``m`` in practice anyway.
+    """
+
+    __slots__ = ("_free", "_max_free", "_created", "_recycled", "_released")
+
+    def __init__(self, max_free: int | None = None) -> None:
+        if max_free is not None and max_free < 0:
+            raise ValueError(f"max_free must be >= 0 or None, got {max_free}")
+        self._free: list[Block] = []
+        self._max_free = max_free
+        self._created = 0
+        self._recycled = 0
+        self._released = 0
+
+    def acquire(self, l: int, r: int, f: int) -> Block:
+        """Return a block set to ``(l, r, f)``, reusing a freed one if any."""
+        free = self._free
+        if free:
+            block = free.pop()
+            block.l = l
+            block.r = r
+            block.f = f
+            self._recycled += 1
+            return block
+        self._created += 1
+        return Block(l, r, f)
+
+    def release(self, block: Block) -> None:
+        """Hand a block back to the pool.
+
+        The caller must guarantee no live pointer still references it.
+        """
+        self._released += 1
+        if self._max_free is None or len(self._free) < self._max_free:
+            self._free.append(block)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            created=self._created,
+            recycled=self._recycled,
+            released=self._released,
+        )
+
+    def __repr__(self) -> str:
+        return f"BlockPool(free={len(self._free)}, stats={self.stats})"

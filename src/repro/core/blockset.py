@@ -1,0 +1,274 @@
+"""The block set: partition of the sorted frequency array into blocks.
+
+This module owns the ``PtrB`` pointer array of the paper (rank -> block)
+together with block-count bookkeeping and the optional frequency->block
+index.  The ±1 update algorithm itself lives in
+:mod:`repro.core.profile`, which manipulates these structures through the
+narrow mutation helpers below; all *query*-side consumers (the query
+mixin, snapshots, validation) use the read API, so the two sides can
+evolve independently.
+
+Invariants maintained (audited by :meth:`BlockSet.audit`):
+
+- blocks partition ``[0, m)`` into contiguous, non-overlapping runs;
+- block frequencies strictly increase left to right (``T`` is ascending);
+- ``ptrb[i].l <= i <= ptrb[i].r`` for every rank ``i`` (paper eq. (1));
+- at most one block exists per frequency value, hence the optional
+  ``freq -> block`` dict is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.block import Block, BlockPool
+from repro.errors import EmptyProfileError, InvariantViolationError
+
+__all__ = ["BlockSet"]
+
+
+class BlockSet:
+    """Blocks plus the rank->block pointer array ``PtrB``.
+
+    Parameters
+    ----------
+    capacity:
+        ``m``, the number of ranks.  May be zero (queries then raise
+        :class:`~repro.errors.EmptyProfileError`).
+    initial_frequency:
+        Frequency shared by every rank at construction; a single block
+        ``(0, m-1, f0)`` covers the whole array.
+    track_freq_index:
+        Maintain a ``frequency -> block`` dict so
+        :meth:`block_for_frequency` is O(1) instead of O(#blocks).  Adds
+        one dict write per block creation/deletion on the update hot
+        path; measured in ``benchmarks/bench_ablation_freq_index.py``.
+    pool:
+        Block allocator; a fresh unbounded pool by default.
+    """
+
+    __slots__ = ("_m", "_ptrb", "_pool", "_n_blocks", "_freq_index")
+
+    def __init__(
+        self,
+        capacity: int,
+        initial_frequency: int = 0,
+        *,
+        track_freq_index: bool = False,
+        pool: BlockPool | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._m = capacity
+        self._pool = pool if pool is not None else BlockPool()
+        self._freq_index: dict[int, Block] | None = (
+            {} if track_freq_index else None
+        )
+        if capacity > 0:
+            first = self._pool.acquire(0, capacity - 1, initial_frequency)
+            self._ptrb: list[Block] = [first] * capacity
+            self._n_blocks = 1
+            if self._freq_index is not None:
+                self._freq_index[initial_frequency] = first
+        else:
+            self._ptrb = []
+            self._n_blocks = 0
+
+    @classmethod
+    def from_runs(
+        cls,
+        capacity: int,
+        runs: list[tuple[int, int, int]],
+        *,
+        track_freq_index: bool = False,
+        pool: BlockPool | None = None,
+    ) -> "BlockSet":
+        """Build a block set from explicit ``(l, r, f)`` runs.
+
+        Used by bulk construction (:meth:`SProfile.from_frequencies`),
+        capacity growth and checkpoint restore.  The runs must already
+        partition ``[0, capacity)`` with strictly increasing ``f``;
+        :meth:`audit` verifies this before the instance is returned.
+        """
+        self = cls.__new__(cls)
+        self._m = capacity
+        self._pool = pool if pool is not None else BlockPool()
+        self._freq_index = {} if track_freq_index else None
+        self._ptrb = [None] * capacity  # type: ignore[list-item]
+        self._n_blocks = 0
+        for l, r, f in runs:
+            if not (0 <= l <= r < capacity):
+                raise InvariantViolationError(
+                    f"run ({l}, {r}, {f}) out of bounds for capacity {capacity}"
+                )
+            block = self.create(l, r, f)
+            for rank in range(l, r + 1):
+                self._ptrb[rank] = block
+        uncovered = [rank for rank, b in enumerate(self._ptrb) if b is None]
+        if uncovered:
+            raise InvariantViolationError(
+                f"runs leave ranks uncovered (first: {uncovered[0]})"
+            )
+        self.audit()
+        return self
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._m
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def tracks_freq_index(self) -> bool:
+        return self._freq_index is not None
+
+    @property
+    def pool(self) -> BlockPool:
+        return self._pool
+
+    def block_at(self, rank: int) -> Block:
+        """Block covering ``rank`` — the paper's ``PtrB[rank]``."""
+        if not 0 <= rank < self._m:
+            raise IndexError(f"rank {rank} out of range [0, {self._m})")
+        return self._ptrb[rank]
+
+    def leftmost(self) -> Block:
+        """Block holding the minimum frequency."""
+        self._require_nonempty()
+        return self._ptrb[0]
+
+    def rightmost(self) -> Block:
+        """Block holding the maximum frequency (the mode's block)."""
+        self._require_nonempty()
+        return self._ptrb[self._m - 1]
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Yield blocks left to right (ascending frequency)."""
+        ptrb = self._ptrb
+        m = self._m
+        rank = 0
+        while rank < m:
+            block = ptrb[rank]
+            yield block
+            rank = block.r + 1
+
+    def iter_blocks_desc(self) -> Iterator[Block]:
+        """Yield blocks right to left (descending frequency)."""
+        ptrb = self._ptrb
+        rank = self._m - 1
+        while rank >= 0:
+            block = ptrb[rank]
+            yield block
+            rank = block.l - 1
+
+    def block_for_frequency(self, f: int) -> Block | None:
+        """Return the unique block with frequency ``f``, or ``None``.
+
+        O(1) with the frequency index, otherwise a left-to-right walk
+        that stops early thanks to ascending block frequencies.
+        """
+        if self._freq_index is not None:
+            return self._freq_index.get(f)
+        for block in self.iter_blocks():
+            if block.f == f:
+                return block
+            if block.f > f:
+                return None
+        return None
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        """All blocks as ``(l, r, f)`` triples, ascending."""
+        return [block.as_tuple() for block in self.iter_blocks()]
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by the update algorithm
+    # ------------------------------------------------------------------
+    # The O(1) hot path in profile.py reads self._ptrb directly and calls
+    # only these two helpers, which centralize the block-count and
+    # frequency-index bookkeeping.
+
+    def create(self, l: int, r: int, f: int) -> Block:
+        """Allocate a new block and register it (does not touch ptrb)."""
+        block = self._pool.acquire(l, r, f)
+        self._n_blocks += 1
+        if self._freq_index is not None:
+            self._freq_index[f] = block
+        return block
+
+    def drop(self, block: Block) -> None:
+        """Unregister an emptied block (caller already relinked ptrb)."""
+        self._n_blocks -= 1
+        if self._freq_index is not None:
+            # The emptied block may already have been superseded in the
+            # index by a newly created block with the same frequency; only
+            # remove the entry if it still points at this block.
+            if self._freq_index.get(block.f) is block:
+                del self._freq_index[block.f]
+        self._pool.release(block)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Verify structural invariants; raise on the first violation."""
+        m = self._m
+        if len(self._ptrb) != m:
+            raise InvariantViolationError(
+                f"ptrb length {len(self._ptrb)} != capacity {m}"
+            )
+        if m == 0:
+            if self._n_blocks != 0:
+                raise InvariantViolationError(
+                    f"empty block set reports {self._n_blocks} blocks"
+                )
+            return
+        seen = 0
+        prev_f: int | None = None
+        rank = 0
+        while rank < m:
+            block = self._ptrb[rank]
+            if block.l != rank:
+                raise InvariantViolationError(
+                    f"block {block!r} does not start at rank {rank}"
+                )
+            if block.r < block.l or block.r >= m:
+                raise InvariantViolationError(f"block {block!r} has bad bounds")
+            if prev_f is not None and block.f <= prev_f:
+                raise InvariantViolationError(
+                    f"block frequencies not strictly increasing at {block!r}"
+                )
+            for inner in range(block.l, block.r + 1):
+                if self._ptrb[inner] is not block:
+                    raise InvariantViolationError(
+                        f"ptrb[{inner}] does not point at covering {block!r}"
+                    )
+            prev_f = block.f
+            seen += 1
+            rank = block.r + 1
+        if seen != self._n_blocks:
+            raise InvariantViolationError(
+                f"walked {seen} blocks but counter says {self._n_blocks}"
+            )
+        if self._freq_index is not None:
+            expected = {block.f: block for block in self.iter_blocks()}
+            if {f: id(b) for f, b in expected.items()} != {
+                f: id(b) for f, b in self._freq_index.items()
+            }:
+                raise InvariantViolationError("frequency index out of sync")
+
+    def _require_nonempty(self) -> None:
+        if self._m == 0:
+            raise EmptyProfileError("block set has zero capacity")
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockSet(capacity={self._m}, n_blocks={self._n_blocks}, "
+            f"freq_index={self.tracks_freq_index})"
+        )

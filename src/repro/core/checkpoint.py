@@ -1,0 +1,122 @@
+"""Checkpointing: serialize a profiler to a plain dict and back.
+
+The state format is JSON-safe (ints, lists, strings only) and versioned.
+Restoring audits the rebuilt structure, so a corrupted or hand-edited
+checkpoint fails loudly with :class:`~repro.errors.CheckpointError`
+instead of silently producing wrong statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+from repro.errors import CheckpointError, InvariantViolationError
+
+__all__ = [
+    "STATE_VERSION",
+    "profile_to_state",
+    "profile_from_state",
+    "save_profile",
+    "load_profile",
+]
+
+#: Bump when the state layout changes incompatibly.
+STATE_VERSION = 1
+
+_REQUIRED_KEYS = frozenset(
+    {
+        "version",
+        "capacity",
+        "allow_negative",
+        "track_freq_index",
+        "ttof",
+        "runs",
+        "n_adds",
+        "n_removes",
+    }
+)
+
+
+def profile_to_state(profile: SProfile) -> dict[str, Any]:
+    """Capture the full state of a profiler as a JSON-safe dict."""
+    return {
+        "version": STATE_VERSION,
+        "capacity": profile.capacity,
+        "allow_negative": profile.allow_negative,
+        "track_freq_index": profile.blocks.tracks_freq_index,
+        "ttof": list(profile._ttof),
+        "runs": [list(run) for run in profile.blocks.as_tuples()],
+        "n_adds": profile.n_adds,
+        "n_removes": profile.n_removes,
+    }
+
+
+def profile_from_state(state: dict[str, Any]) -> SProfile:
+    """Rebuild a profiler from :func:`profile_to_state` output.
+
+    Validates structure before and after the rebuild.
+    """
+    if not isinstance(state, dict):
+        raise CheckpointError(f"state must be a dict, got {type(state).__name__}")
+    missing = _REQUIRED_KEYS - state.keys()
+    if missing:
+        raise CheckpointError(f"state is missing keys: {sorted(missing)}")
+    if state["version"] != STATE_VERSION:
+        raise CheckpointError(
+            f"state version {state['version']} unsupported "
+            f"(expected {STATE_VERSION})"
+        )
+    capacity = state["capacity"]
+    ttof = state["ttof"]
+    runs = state["runs"]
+    if not isinstance(capacity, int) or capacity < 0:
+        raise CheckpointError(f"bad capacity: {capacity!r}")
+    if len(ttof) != capacity:
+        raise CheckpointError(
+            f"ttof length {len(ttof)} != capacity {capacity}"
+        )
+
+    profile = SProfile(0, allow_negative=bool(state["allow_negative"]))
+    try:
+        profile._install(
+            [int(x) for x in ttof],
+            [tuple(int(v) for v in run) for run in runs],
+            allow_negative=bool(state["allow_negative"]),
+            track_freq_index=bool(state["track_freq_index"]),
+        )
+    except (InvariantViolationError, ValueError, TypeError, IndexError) as exc:
+        raise CheckpointError(f"state does not describe a valid profile: {exc}") from exc
+
+    profile._n_adds = int(state["n_adds"])
+    profile._n_removes = int(state["n_removes"])
+    # Re-anchor the total: current block mass minus net event delta
+    # gives the mass the profile carried before its first event.
+    total = 0
+    for block in profile.blocks.iter_blocks():
+        total += block.f * (block.r - block.l + 1)
+    profile._base_total = total - (profile._n_adds - profile._n_removes)
+
+    try:
+        audit_profile(profile)
+    except InvariantViolationError as exc:
+        raise CheckpointError(f"restored profile failed audit: {exc}") from exc
+    return profile
+
+
+def save_profile(profile: SProfile, path: str | Path) -> None:
+    """Write a profiler's state to ``path`` as JSON."""
+    state = profile_to_state(profile)
+    Path(path).write_text(json.dumps(state, separators=(",", ":")))
+
+
+def load_profile(path: str | Path) -> SProfile:
+    """Load a profiler previously written by :func:`save_profile`."""
+    try:
+        state = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+    return profile_from_state(state)

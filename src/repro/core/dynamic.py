@@ -1,0 +1,435 @@
+"""Dynamic-universe profiling: arbitrary ids, growable capacity.
+
+The paper fixes ``m`` up front and assumes ids are pre-mapped to
+``[1, m]``.  :class:`DynamicProfiler` removes both assumptions:
+
+- arbitrary hashable ids via :class:`~repro.core.interner.ObjectInterner`;
+- the universe grows as new ids appear, amortized O(1) per registration.
+
+Growth works with *phantom slots*: the underlying
+:class:`~repro.core.profile.SProfile` is kept at a physical capacity that
+doubles when exhausted (one O(m) splice per doubling).  Dense ids
+``[registered, physical)`` are phantoms — pre-created slots pinned at
+frequency zero because no event ever touches them.  Registering a new id
+just claims the lowest phantom: no structural work at all.
+
+Queries are answered over the *logical* universe (registered ids only).
+Phantoms all live inside the zero-frequency block, so the translation is
+a constant-time rank adjustment; only queries that must *name* a
+zero-frequency object (e.g. the mode example when everything ties at
+zero) scan for a non-phantom and are O(#phantoms) worst case — noted per
+method.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.core.interner import ObjectInterner
+from repro.core.profile import SProfile
+from repro.core.queries import ModeResult, TopEntry
+from repro.core.snapshot import ProfileSnapshot
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    UnknownObjectError,
+)
+
+__all__ = ["DynamicProfiler"]
+
+_MIN_CAPACITY = 8
+
+
+class DynamicProfiler:
+    """Profile a stream whose object universe is not known in advance.
+
+    Parameters
+    ----------
+    allow_negative:
+        As in :class:`~repro.core.profile.SProfile`.  When False,
+        removing a never-seen id raises
+        :class:`~repro.errors.FrequencyUnderflowError`.
+    initial_capacity:
+        Starting physical capacity (doubles on demand).
+
+    Examples
+    --------
+    >>> p = DynamicProfiler()
+    >>> for user in ["ada", "bob", "ada", "cyd", "ada"]:
+    ...     p.add(user)
+    >>> p.mode().example, p.mode().frequency
+    ('ada', 3)
+    """
+
+    __slots__ = ("_interner", "_profile")
+
+    def __init__(
+        self,
+        *,
+        allow_negative: bool = True,
+        initial_capacity: int = _MIN_CAPACITY,
+    ) -> None:
+        if initial_capacity < 0:
+            raise CapacityError(
+                f"initial_capacity must be >= 0, got {initial_capacity}"
+            )
+        self._interner = ObjectInterner()
+        self._profile = SProfile(
+            max(initial_capacity, _MIN_CAPACITY),
+            allow_negative=allow_negative,
+            track_freq_index=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, obj: Hashable) -> None:
+        """Process an "add" for ``obj``, registering it if new.  O(1) am."""
+        self._profile.add(self._dense_or_register(obj))
+
+    def remove(self, obj: Hashable) -> None:
+        """Process a "remove" for ``obj``.
+
+        In negative mode a never-seen id is registered and driven to
+        frequency -1 (paper semantics).  In strict mode this raises
+        :class:`~repro.errors.FrequencyUnderflowError` without
+        registering anything.
+        """
+        dense = self._interner.get(obj)
+        if dense is None:
+            if not self._profile.allow_negative:
+                raise FrequencyUnderflowError(
+                    f"cannot remove never-seen object {obj!r} in strict mode"
+                )
+            dense = self._dense_or_register(obj)
+        self._profile.remove(dense)
+
+    def update(self, obj: Hashable, is_add: bool) -> None:
+        """Apply one log-stream tuple ``(obj, c)``."""
+        if is_add:
+            self.add(obj)
+        else:
+            self.remove(obj)
+
+    def consume(self, events) -> int:
+        """Apply an iterable of ``(obj, is_add)`` pairs; return count."""
+        n = 0
+        for obj, is_add in events:
+            if is_add:
+                self.add(obj)
+            else:
+                self.remove(obj)
+            n += 1
+        return n
+
+    def register(self, obj: Hashable) -> None:
+        """Ensure ``obj`` is part of the universe (frequency 0 if new)."""
+        self._dense_or_register(obj)
+
+    def _dense_or_register(self, obj: Hashable) -> int:
+        dense = self._interner.get(obj)
+        if dense is None:
+            if len(self._interner) == self._profile.capacity:
+                self._profile.grow(max(self._profile.capacity, _MIN_CAPACITY))
+            dense = self._interner.intern(obj)
+        return dense
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+
+    def frequency(self, obj: Hashable) -> int:
+        """Net count of ``obj``; 0 for never-seen ids.  O(1)."""
+        dense = self._interner.get(obj)
+        if dense is None:
+            return 0
+        return self._profile.frequency(dense)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._interner
+
+    def __len__(self) -> int:
+        """Number of registered (logical) objects."""
+        return len(self._interner)
+
+    # ------------------------------------------------------------------
+    # Extremes
+    # ------------------------------------------------------------------
+
+    def mode(self) -> ModeResult:
+        """Most frequent object(s).  O(1); O(#phantoms) only when the
+        maximum frequency is exactly zero (ties must name a real id)."""
+        size = self._size_checked()
+        blocks = self._profile.blocks
+        block = blocks.rightmost()
+        phantoms = self.phantom_count
+        if phantoms and block.f == 0:
+            real = (block.r - block.l + 1) - phantoms
+            if real == 0:
+                block = blocks.block_at(block.l - 1)
+            else:
+                return ModeResult(
+                    frequency=0,
+                    count=real,
+                    example=self._real_example(block, size),
+                )
+        return ModeResult(
+            frequency=block.f,
+            count=block.r - block.l + 1,
+            example=self._interner.external(self._profile._ttof[block.r]),
+        )
+
+    def least(self) -> ModeResult:
+        """Least frequent object(s).  Mirror of :meth:`mode`."""
+        size = self._size_checked()
+        blocks = self._profile.blocks
+        block = blocks.leftmost()
+        phantoms = self.phantom_count
+        if phantoms and block.f == 0:
+            real = (block.r - block.l + 1) - phantoms
+            if real == 0:
+                block = blocks.block_at(block.r + 1)
+            else:
+                return ModeResult(
+                    frequency=0,
+                    count=real,
+                    example=self._real_example(block, size),
+                )
+        return ModeResult(
+            frequency=block.f,
+            count=block.r - block.l + 1,
+            example=self._interner.external(self._profile._ttof[block.l]),
+        )
+
+    def majority(self) -> Hashable | None:
+        """The object holding more than half the total mass, if any."""
+        if len(self._interner) == 0:
+            return None
+        total = self._profile.total
+        if total <= 0:
+            return None
+        top = self.mode()
+        if 2 * top.frequency > total:
+            return top.example
+        return None
+
+    def top_k(self, k: int) -> list[TopEntry]:
+        """``min(k, len(self))`` most frequent objects, descending.
+
+        O(k + #phantoms crossed): phantoms sit in the zero block and are
+        skipped during the walk.
+        """
+        if k < 0:
+            raise CapacityError(f"k must be >= 0, got {k}")
+        size = len(self._interner)
+        want = min(k, size)
+        out: list[TopEntry] = []
+        if want == 0:
+            return out
+        ttof = self._profile._ttof
+        external = self._interner.external
+        for block in self._profile.blocks.iter_blocks_desc():
+            f = block.f
+            for rank in range(block.r, block.l - 1, -1):
+                obj = ttof[rank]
+                if obj >= size:
+                    continue  # phantom
+                out.append(TopEntry(external(obj), f))
+                if len(out) == want:
+                    return out
+        return out
+
+    def bottom_k(self, k: int) -> list[TopEntry]:
+        """``min(k, len(self))`` least frequent objects, ascending."""
+        if k < 0:
+            raise CapacityError(f"k must be >= 0, got {k}")
+        size = len(self._interner)
+        want = min(k, size)
+        out: list[TopEntry] = []
+        if want == 0:
+            return out
+        ttof = self._profile._ttof
+        external = self._interner.external
+        for block in self._profile.blocks.iter_blocks():
+            f = block.f
+            for rank in range(block.l, block.r + 1):
+                obj = ttof[rank]
+                if obj >= size:
+                    continue  # phantom
+                out.append(TopEntry(external(obj), f))
+                if len(out) == want:
+                    return out
+        return out
+
+    # ------------------------------------------------------------------
+    # Quantiles over the logical universe
+    # ------------------------------------------------------------------
+
+    def median_frequency(self) -> int:
+        """Lower median frequency over registered objects.  O(1)."""
+        size = self._size_checked()
+        return self._frequency_at_logical_rank((size - 1) // 2)
+
+    def quantile(self, q: float) -> int:
+        """Frequency at quantile ``q`` over registered objects.  O(1)."""
+        size = self._size_checked()
+        if not 0.0 <= q <= 1.0:
+            raise CapacityError(f"quantile must be in [0, 1], got {q}")
+        return self._frequency_at_logical_rank(int(q * (size - 1)))
+
+    def _frequency_at_logical_rank(self, rank: int) -> int:
+        phantoms = self.phantom_count
+        if phantoms == 0:
+            return self._profile.frequency_at_rank(rank)
+        zero = self._profile.blocks.block_for_frequency(0)
+        # Phantoms always hold frequency 0, so the zero block exists.
+        assert zero is not None
+        real_zeros = (zero.r - zero.l + 1) - phantoms
+        if rank < zero.l:
+            return self._profile.frequency_at_rank(rank)
+        if rank < zero.l + real_zeros:
+            return 0
+        return self._profile.frequency_at_rank(rank + phantoms)
+
+    # ------------------------------------------------------------------
+    # Distribution
+    # ------------------------------------------------------------------
+
+    def histogram(self) -> list[tuple[int, int]]:
+        """``(frequency, #registered objects)`` ascending.  O(#blocks)."""
+        phantoms = self.phantom_count
+        out: list[tuple[int, int]] = []
+        for f, count in self._profile.histogram():
+            if f == 0 and phantoms:
+                count -= phantoms
+                if count == 0:
+                    continue
+            out.append((f, count))
+        return out
+
+    def support(self, f: int) -> int:
+        """Number of registered objects at frequency exactly ``f``."""
+        count = self._profile.support(f)
+        if f == 0:
+            count -= self.phantom_count
+        return count
+
+    def objects_with_frequency(
+        self, f: int, limit: int | None = None
+    ) -> list[Hashable]:
+        """Registered objects at frequency ``f`` (up to ``limit``)."""
+        size = len(self._interner)
+        external = self._interner.external
+        out: list[Hashable] = []
+        for dense in self._profile.objects_with_frequency(f):
+            if dense >= size:
+                continue
+            if limit is not None and len(out) >= limit:
+                break
+            out.append(external(dense))
+        return out
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        """Yield ``(object, frequency)`` ascending by frequency."""
+        size = len(self._interner)
+        external = self._interner.external
+        for dense, f in self._profile.iter_sorted():
+            if dense < size:
+                yield external(dense), f
+
+    def snapshot(self) -> ProfileSnapshot:
+        """Frozen logical snapshot (dense ids; phantoms excluded).
+
+        The snapshot speaks *dense* ids in ``[0, len(self))``; translate
+        back with :meth:`external`.  Use it to run
+        :mod:`repro.core.stats` over the logical universe.
+        """
+        size = len(self._interner)
+        ttof = [d for d in self._profile._ttof if d < size]
+        runs: list[tuple[int, int, int]] = []
+        cursor = 0
+        phantoms = self.phantom_count
+        for block in self._profile.blocks.iter_blocks():
+            count = block.r - block.l + 1
+            if block.f == 0:
+                count -= phantoms
+            if count <= 0:
+                continue
+            runs.append((cursor, cursor + count - 1, block.f))
+            cursor += count
+        return ProfileSnapshot(
+            ttof=ttof,
+            runs=runs,
+            total=self._profile.total,
+            n_events=self._profile.n_events,
+        )
+
+    # ------------------------------------------------------------------
+    # Id translation and bookkeeping
+    # ------------------------------------------------------------------
+
+    def external(self, dense: int) -> Hashable:
+        """External id for a dense id (e.g. from a snapshot)."""
+        if not 0 <= dense < len(self._interner):
+            raise UnknownObjectError(dense)
+        return self._interner.external(dense)
+
+    @property
+    def capacity(self) -> int:
+        """Logical universe size (registered objects)."""
+        return len(self._interner)
+
+    @property
+    def physical_capacity(self) -> int:
+        """Current capacity of the backing :class:`SProfile`."""
+        return self._profile.capacity
+
+    @property
+    def phantom_count(self) -> int:
+        """Pre-allocated, not-yet-registered slots."""
+        return self._profile.capacity - len(self._interner)
+
+    @property
+    def total(self) -> int:
+        """Sum of frequencies (phantoms contribute zero)."""
+        return self._profile.total
+
+    @property
+    def active_count(self) -> int:
+        """Registered objects at non-zero frequency."""
+        return self._profile.active_count
+
+    @property
+    def n_events(self) -> int:
+        return self._profile.n_events
+
+    @property
+    def allow_negative(self) -> bool:
+        return self._profile.allow_negative
+
+    @property
+    def profile(self) -> SProfile:
+        """The backing profiler (includes phantom slots — see module doc)."""
+        return self._profile
+
+    def _real_example(self, block, size: int) -> Hashable:
+        """A registered object inside ``block`` (which must contain one)."""
+        ttof = self._profile._ttof
+        for rank in range(block.l, block.r + 1):
+            if ttof[rank] < size:
+                return self._interner.external(ttof[rank])
+        raise AssertionError("block contained no registered object")
+
+    def _size_checked(self) -> int:
+        size = len(self._interner)
+        if size == 0:
+            raise EmptyProfileError("no objects registered")
+        return size
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicProfiler(size={len(self._interner)}, "
+            f"physical={self._profile.capacity}, total={self.total})"
+        )

@@ -1,0 +1,68 @@
+"""Mapping of arbitrary hashable ids onto dense integers.
+
+The paper assumes object ids are integers in ``[1, m]`` ("for any m
+distinct objects, we can map them into the integers from 1 to m as ids",
+section 2).  :class:`ObjectInterner` is that mapping: first-come
+first-served dense assignment, O(1) both ways.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.errors import UnknownObjectError
+
+__all__ = ["ObjectInterner"]
+
+
+class ObjectInterner:
+    """Bidirectional map ``external id <-> dense int`` with O(1) lookups."""
+
+    __slots__ = ("_to_dense", "_to_external")
+
+    def __init__(self) -> None:
+        self._to_dense: dict[Hashable, int] = {}
+        self._to_external: list[Hashable] = []
+
+    def intern(self, obj: Hashable) -> int:
+        """Return the dense id of ``obj``, assigning the next one if new."""
+        dense = self._to_dense.get(obj)
+        if dense is None:
+            dense = len(self._to_external)
+            self._to_dense[obj] = dense
+            self._to_external.append(obj)
+        return dense
+
+    def lookup(self, obj: Hashable) -> int:
+        """Dense id of a known object; raise if never interned."""
+        dense = self._to_dense.get(obj)
+        if dense is None:
+            raise UnknownObjectError(obj)
+        return dense
+
+    def get(self, obj: Hashable) -> int | None:
+        """Dense id of ``obj`` or ``None`` (no registration side effect)."""
+        return self._to_dense.get(obj)
+
+    def external(self, dense: int) -> Hashable:
+        """External id for a dense id; raise on out-of-range."""
+        if not 0 <= dense < len(self._to_external):
+            raise UnknownObjectError(dense)
+        return self._to_external[dense]
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._to_dense
+
+    def __len__(self) -> int:
+        return len(self._to_external)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._to_external)
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        """Yield ``(external, dense)`` pairs in registration order."""
+        for dense, obj in enumerate(self._to_external):
+            yield obj, dense
+
+    def __repr__(self) -> str:
+        return f"ObjectInterner(size={len(self._to_external)})"

@@ -1,0 +1,630 @@
+"""S-Profile: O(1)-per-update profiling of a dynamic array (Algorithm 1).
+
+The profiler tracks ``m`` objects with dense ids ``0 .. m-1``.  Every
+``add(x)`` / ``remove(x)`` changes the frequency of exactly one object by
+exactly ±1 — the structure of log streams the paper exploits.  State:
+
+- ``FtoT`` (here ``_ftot``): object id -> rank in the sorted array ``T``,
+- ``TtoF`` (here ``_ttof``): rank -> object id,
+- the block set with ``PtrB`` (rank -> block), see
+  :mod:`repro.core.blockset`.
+
+``T`` itself is never stored: ``T[rank] == PtrB[rank].f`` (paper eq. (1)).
+
+An ``add`` swaps the object with the one at the *right edge* of its
+block (both share the same frequency, so order is preserved), shrinks the
+block by one and attaches the freed rank to the ``f+1`` block on its
+right — extending it if it exists, creating a singleton block otherwise.
+A ``remove`` mirrors the dance at the *left edge*.  Both touch a constant
+number of pointers: O(1) worst case, no amortization.
+
+Implementation notes (they matter for the paper's speed claims):
+
+- ``add``/``remove`` inline the block create/drop bookkeeping and
+  recycle emptied blocks through a free list without any function call;
+  this mirrors the paper's C++ where everything inlines.  See
+  ``benchmarks/bench_ablation_pool.py`` for the measured effect.
+- Derived statistics (variance, active count) are computed on demand
+  from the block walk in O(#blocks) instead of being maintained per
+  event; the hot path carries exactly one counter increment.
+
+Frequencies may go negative (the paper allows it; section 2.2 notes the
+minimum frequency "maybe a negative number").  Construct with
+``allow_negative=False`` to instead raise
+:class:`~repro.errors.FrequencyUnderflowError` when a remove would
+underflow zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.block import Block, BlockPool
+from repro.core.blockset import BlockSet
+from repro.core.queries import ProfileQueryMixin
+from repro.errors import CapacityError, FrequencyUnderflowError
+
+__all__ = ["SProfile"]
+
+
+class SProfile(ProfileQueryMixin):
+    """The paper's profiler: O(1) updates, O(1) order-statistic queries.
+
+    Parameters
+    ----------
+    capacity:
+        ``m``, the maximum number of distinct objects.  Ids are dense
+        integers in ``[0, capacity)``; wrap arbitrary ids with
+        :class:`~repro.core.dynamic.DynamicProfiler`.
+    allow_negative:
+        Permit frequencies below zero (paper semantics, default).  When
+        False, removing an object at frequency 0 raises
+        :class:`~repro.errors.FrequencyUnderflowError`.
+    track_freq_index:
+        Maintain a frequency -> block dict so :meth:`support` and
+        :meth:`objects_with_frequency` are O(1).  Slight per-update cost;
+        see ``benchmarks/bench_ablation_freq_index.py``.
+    recycle_blocks:
+        Reuse emptied block objects through a free list (default).  Off,
+        every block birth allocates a fresh object — the ablation knob
+        for ``benchmarks/bench_ablation_pool.py``.
+
+    Examples
+    --------
+    >>> p = SProfile(capacity=5)
+    >>> for x in [1, 1, 3, 1, 2]:
+    ...     p.add(x)
+    >>> p.mode().frequency, p.mode().example
+    (3, 1)
+    >>> p.remove(1)
+    >>> p.top_k(2)
+    [TopEntry(obj=1, frequency=2), TopEntry(obj=3, frequency=1)]
+    """
+
+    #: Registry-facing metadata (duck-typed counterpart of ProfilerBase).
+    name = "sprofile"
+    SUPPORTED_QUERIES = frozenset(
+        {
+            "frequency",
+            "mode",
+            "least",
+            "max_frequency",
+            "min_frequency",
+            "top_k",
+            "kth_most_frequent",
+            "median",
+            "quantile",
+            "histogram",
+            "support",
+        }
+    )
+
+    __slots__ = (
+        "_m",
+        "_ftot",
+        "_ttof",
+        "_blocks",
+        "_ptrb",
+        "_fidx",
+        "_free",
+        "_allow_negative",
+        "_recycle",
+        "_base_total",
+        "_n_adds",
+        "_n_removes",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        allow_negative: bool = True,
+        track_freq_index: bool = False,
+        recycle_blocks: bool = True,
+        pool: BlockPool | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        self._m = capacity
+        self._ftot = list(range(capacity))
+        self._ttof = list(range(capacity))
+        self._blocks = BlockSet(
+            capacity, 0, track_freq_index=track_freq_index, pool=pool
+        )
+        self._sync_aliases()
+        self._allow_negative = allow_negative
+        self._recycle = recycle_blocks
+        self._base_total = 0
+        self._n_adds = 0
+        self._n_removes = 0
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: Sequence[int],
+        *,
+        allow_negative: bool = True,
+        track_freq_index: bool = False,
+    ) -> "SProfile":
+        """Bulk-build a profile from an initial frequency array.
+
+        O(m log m) — one sort.  Used e.g. by graph shaving to start from a
+        degree sequence instead of replaying every edge.
+        """
+        freqs = list(frequencies)
+        if not allow_negative and any(f < 0 for f in freqs):
+            raise FrequencyUnderflowError(
+                "negative initial frequency with allow_negative=False"
+            )
+        self = cls(0, allow_negative=allow_negative)
+        m = len(freqs)
+        ttof = sorted(range(m), key=freqs.__getitem__)
+        runs = _runs_from_sorted(ttof, freqs)
+        self._install(
+            ttof,
+            runs,
+            allow_negative=allow_negative,
+            track_freq_index=track_freq_index,
+        )
+        self._base_total = sum(freqs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Updates (the O(1) hot path)
+    # ------------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Process an "add" event for object ``x``.  O(1) worst case."""
+        m = self._m
+        if not 0 <= x < m:
+            raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        i = ftot[x]
+        b = ptrb[i]
+        r = b.r
+        f = b.f
+        self._n_adds += 1
+
+        # Swap x with the element at the right edge of its block; both
+        # hold frequency f, so the sorted order of T is untouched.
+        if i != r:
+            y = ttof[r]
+            ttof[r] = x
+            ttof[i] = y
+            ftot[x] = r
+            ftot[y] = i
+
+        fidx = self._fidx
+        f1 = f + 1
+        nxt = r + 1
+
+        if b.l == r:
+            # x's block is a singleton.  Unless it must merge into an
+            # adjacent f+1 block, bump its frequency in place — no block
+            # is born or dies.  This is the hot pattern of skewed
+            # streams (one popular object climbing on its own).
+            if nxt < m:
+                right = ptrb[nxt]
+                if right.f == f1:
+                    self._blocks._n_blocks -= 1
+                    if fidx is not None and fidx.get(f) is b:
+                        del fidx[f]
+                    if self._recycle:
+                        self._free.append(b)
+                    right.l = r
+                    ptrb[r] = right
+                    return
+            if fidx is not None:
+                if fidx.get(f) is b:
+                    del fidx[f]
+                fidx[f1] = b
+            b.f = f1
+            return
+
+        # General case: shrink x's old block from the right and attach
+        # rank r to the f+1 block (extend it or create a singleton).
+        b.r = r - 1
+        if nxt < m:
+            right = ptrb[nxt]
+            if right.f == f1:
+                right.l = r
+                ptrb[r] = right
+                return
+        free = self._free
+        if free:
+            nb = free.pop()
+            nb.l = r
+            nb.r = r
+            nb.f = f1
+        else:
+            nb = Block(r, r, f1)
+        self._blocks._n_blocks += 1
+        if fidx is not None:
+            fidx[f1] = nb
+        ptrb[r] = nb
+
+    def remove(self, x: int) -> None:
+        """Process a "remove" event for object ``x``.  O(1) worst case."""
+        m = self._m
+        if not 0 <= x < m:
+            raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        i = ftot[x]
+        b = ptrb[i]
+        l = b.l
+        f = b.f
+
+        if f <= 0 and not self._allow_negative:
+            raise FrequencyUnderflowError(
+                f"removing object {x} at frequency {f} would go negative"
+            )
+        self._n_removes += 1
+
+        # Swap x with the element at the left edge of its block.
+        if i != l:
+            y = ttof[l]
+            ttof[l] = x
+            ttof[i] = y
+            ftot[x] = l
+            ftot[y] = i
+
+        fidx = self._fidx
+        f1 = f - 1
+        prv = l - 1
+
+        if b.r == l:
+            # Singleton block: bump in place unless it must merge into
+            # an adjacent f-1 block (mirror of the add fast path).
+            if prv >= 0:
+                left = ptrb[prv]
+                if left.f == f1:
+                    self._blocks._n_blocks -= 1
+                    if fidx is not None and fidx.get(f) is b:
+                        del fidx[f]
+                    if self._recycle:
+                        self._free.append(b)
+                    left.r = l
+                    ptrb[l] = left
+                    return
+            if fidx is not None:
+                if fidx.get(f) is b:
+                    del fidx[f]
+                fidx[f1] = b
+            b.f = f1
+            return
+
+        # General case: shrink x's old block from the left and attach
+        # rank l to the f-1 block (extend it or create a singleton).
+        b.l = l + 1
+        if prv >= 0:
+            left = ptrb[prv]
+            if left.f == f1:
+                left.r = l
+                ptrb[l] = left
+                return
+        free = self._free
+        if free:
+            nb = free.pop()
+            nb.l = l
+            nb.r = l
+            nb.f = f1
+        else:
+            nb = Block(l, l, f1)
+        self._blocks._n_blocks += 1
+        if fidx is not None:
+            fidx[f1] = nb
+        ptrb[l] = nb
+
+    def update(self, x: int, is_add: bool) -> None:
+        """Apply one log-stream tuple ``(x, c)``."""
+        if is_add:
+            self.add(x)
+        else:
+            self.remove(x)
+
+    def add_count(self, x: int, count: int) -> None:
+        """Apply ``count`` adds to ``x``.  O(count) — the ±1 structure
+        is fundamental to the O(1) bound, so bulk deltas are unit steps
+        (documented paper limitation; weighted variants need O(log m)
+        structures)."""
+        if count < 0:
+            raise CapacityError(f"count must be >= 0, got {count}")
+        add = self.add
+        for _ in range(count):
+            add(x)
+
+    def remove_count(self, x: int, count: int) -> None:
+        """Apply ``count`` removes to ``x``.  O(count); see add_count."""
+        if count < 0:
+            raise CapacityError(f"count must be >= 0, got {count}")
+        remove = self.remove
+        for _ in range(count):
+            remove(x)
+
+    def consume(self, events: Iterable[tuple[int, bool]]) -> int:
+        """Apply a sequence of ``(object, is_add)`` tuples; return count."""
+        add = self.add
+        remove = self.remove
+        n = 0
+        for x, is_add in events:
+            if is_add:
+                add(x)
+            else:
+                remove(x)
+            n += 1
+        return n
+
+    def consume_arrays(self, ids, adds) -> int:
+        """Apply parallel arrays of object ids and add flags.
+
+        Accepts numpy arrays (converted once via ``tolist()`` — item
+        access on ndarrays is far slower than on lists in the interpreter
+        loop) or plain sequences.  This is the path every benchmark uses,
+        for all profilers alike.
+        """
+        id_list = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        add_list = adds.tolist() if hasattr(adds, "tolist") else list(adds)
+        if len(id_list) != len(add_list):
+            raise CapacityError(
+                f"ids ({len(id_list)}) and adds ({len(add_list)}) differ"
+            )
+        add = self.add
+        remove = self.remove
+        for x, is_add in zip(id_list, add_list):
+            if is_add:
+                add(x)
+            else:
+                remove(x)
+        return len(id_list)
+
+    # ------------------------------------------------------------------
+    # Growth (used by DynamicProfiler; amortized O(1) with doubling)
+    # ------------------------------------------------------------------
+
+    def grow(self, extra: int) -> None:
+        """Extend capacity by ``extra`` fresh objects at frequency 0.
+
+        O(m + extra) rebuild: the new zero-frequency ranks are spliced at
+        the position where frequency 0 belongs in the ascending order, so
+        the operation is valid in both strict and negative modes.  With
+        capacity doubling (as :class:`DynamicProfiler` drives it) the
+        amortized cost per registered object is O(1).
+        """
+        if extra <= 0:
+            raise CapacityError(f"extra must be positive, got {extra}")
+        old_m = self._m
+        new_m = old_m + extra
+
+        # Rank where the zero run begins (first block with f >= 0).
+        splice = old_m
+        for block in self._blocks.iter_blocks():
+            if block.f >= 0:
+                splice = block.l
+                break
+
+        new_ttof = (
+            self._ttof[:splice]
+            + list(range(old_m, new_m))
+            + self._ttof[splice:]
+        )
+        runs: list[tuple[int, int, int]] = []
+        zero_emitted = False
+        for block in self._blocks.iter_blocks():
+            l, r, f = block.as_tuple()
+            if f < 0:
+                runs.append((l, r, f))
+            elif f == 0:
+                runs.append((l, r + extra, 0))
+                zero_emitted = True
+            else:
+                if not zero_emitted:
+                    runs.append((splice, splice + extra - 1, 0))
+                    zero_emitted = True
+                runs.append((l + extra, r + extra, f))
+        if not zero_emitted:
+            runs.append((splice, splice + extra - 1, 0))
+
+        self._install(
+            new_ttof,
+            runs,
+            allow_negative=self._allow_negative,
+            track_freq_index=self._blocks.tracks_freq_index,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintained and derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """``m`` — number of tracked object ids."""
+        return self._m
+
+    @property
+    def total(self) -> int:
+        """Sum of all frequencies: the current length of array ``A``."""
+        return self._base_total + self._n_adds - self._n_removes
+
+    @property
+    def active_count(self) -> int:
+        """Number of objects with non-zero frequency.  O(#blocks)."""
+        zero = self._blocks.block_for_frequency(0)
+        if zero is None:
+            return self._m
+        return self._m - (zero.r - zero.l + 1)
+
+    @property
+    def n_adds(self) -> int:
+        return self._n_adds
+
+    @property
+    def n_removes(self) -> int:
+        return self._n_removes
+
+    @property
+    def n_events(self) -> int:
+        """Total log-stream tuples processed."""
+        return self._n_adds + self._n_removes
+
+    @property
+    def block_count(self) -> int:
+        """Current number of blocks (distinct frequencies)."""
+        return self._blocks.n_blocks
+
+    @property
+    def allow_negative(self) -> bool:
+        return self._allow_negative
+
+    @property
+    def mean_frequency(self) -> float:
+        """Mean of the frequency array.  O(1)."""
+        if self._m == 0:
+            return 0.0
+        return self.total / self._m
+
+    @property
+    def frequency_variance(self) -> float:
+        """Population variance of frequencies.  O(#blocks)."""
+        if self._m == 0:
+            return 0.0
+        sum_sq = 0
+        for block in self._blocks.iter_blocks():
+            sum_sq += block.f * block.f * (block.r - block.l + 1)
+        mean = self.total / self._m
+        variance = sum_sq / self._m - mean * mean
+        # Guard the tiny negative residue floating-point cancellation
+        # can leave when all frequencies are equal.
+        return max(variance, 0.0)
+
+    @property
+    def blocks(self) -> BlockSet:
+        """Read access to the underlying block set."""
+        return self._blocks
+
+    # O(1) overrides of the mixin's generic lookups — these sit inside
+    # benchmark timing loops, so they skip the block_at plumbing.
+
+    def max_frequency(self) -> int:
+        """The largest frequency (the mode's frequency).  O(1)."""
+        if self._m == 0:
+            return self._blocks.rightmost().f  # raises EmptyProfileError
+        return self._ptrb[self._m - 1].f
+
+    def min_frequency(self) -> int:
+        """The smallest frequency.  O(1)."""
+        if self._m == 0:
+            return self._blocks.leftmost().f  # raises EmptyProfileError
+        return self._ptrb[0].f
+
+    def median_frequency(self) -> int:
+        """Lower median of the frequency array.  O(1)."""
+        m = self._m
+        if m == 0:
+            return self._capacity_checked()  # raises EmptyProfileError
+        return self._ptrb[(m - 1) // 2].f
+
+    # ------------------------------------------------------------------
+    # Structure management
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Reset every frequency to zero (keeps capacity and settings)."""
+        track = self._blocks.tracks_freq_index
+        self._ftot = list(range(self._m))
+        self._ttof = list(range(self._m))
+        self._blocks = BlockSet(self._m, 0, track_freq_index=track)
+        self._sync_aliases()
+        self._base_total = 0
+        self._n_adds = 0
+        self._n_removes = 0
+
+    def copy(self) -> "SProfile":
+        """Independent deep copy of the profiler."""
+        clone = SProfile(0, allow_negative=self._allow_negative)
+        clone._install(
+            list(self._ttof),
+            self._blocks.as_tuples(),
+            allow_negative=self._allow_negative,
+            track_freq_index=self._blocks.tracks_freq_index,
+        )
+        clone._recycle = self._recycle
+        clone._base_total = self._base_total
+        clone._n_adds = self._n_adds
+        clone._n_removes = self._n_removes
+        return clone
+
+    def snapshot(self):
+        """Frozen point-in-time copy answering the same queries."""
+        from repro.core.snapshot import ProfileSnapshot
+
+        return ProfileSnapshot.of(self)
+
+    def frequencies(self) -> list[int]:
+        """Materialize the frequency array ``F`` (O(m); for inspection)."""
+        out = [0] * self._m
+        ttof = self._ttof
+        for block in self._blocks.iter_blocks():
+            f = block.f
+            for rank in range(block.l, block.r + 1):
+                out[ttof[rank]] = f
+        return out
+
+    def _install(
+        self,
+        ttof: list[int],
+        runs: list[tuple[int, int, int]],
+        *,
+        allow_negative: bool,
+        track_freq_index: bool,
+    ) -> None:
+        """Replace the permutation and block structure wholesale."""
+        m = len(ttof)
+        ftot = [0] * m
+        for rank, obj in enumerate(ttof):
+            ftot[obj] = rank
+        self._m = m
+        self._ttof = ttof
+        self._ftot = ftot
+        self._blocks = BlockSet.from_runs(
+            m, runs, track_freq_index=track_freq_index
+        )
+        self._sync_aliases()
+        self._allow_negative = allow_negative
+
+    def _sync_aliases(self) -> None:
+        """Refresh the hot-path aliases after a structure swap.
+
+        ``_ptrb``, ``_fidx`` and ``_free`` alias block-set internals so
+        the O(1) update path spends one attribute load fewer per event;
+        any code replacing ``self._blocks`` must call this.
+        """
+        self._ptrb = self._blocks._ptrb
+        self._fidx = self._blocks._freq_index
+        self._free = self._blocks._pool._free
+
+    def __repr__(self) -> str:
+        return (
+            f"SProfile(capacity={self._m}, total={self.total}, "
+            f"blocks={self._blocks.n_blocks}, events={self.n_events})"
+        )
+
+
+def _runs_from_sorted(
+    ttof: Sequence[int], freqs: Sequence[int]
+) -> list[tuple[int, int, int]]:
+    """Compute ``(l, r, f)`` runs of equal frequency along sorted ranks."""
+    runs: list[tuple[int, int, int]] = []
+    m = len(ttof)
+    rank = 0
+    while rank < m:
+        f = freqs[ttof[rank]]
+        start = rank
+        while rank + 1 < m and freqs[ttof[rank + 1]] == f:
+            rank += 1
+        runs.append((start, rank, f))
+        rank += 1
+    return runs

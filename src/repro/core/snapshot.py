@@ -1,0 +1,142 @@
+"""Immutable point-in-time snapshots of a profile.
+
+A snapshot copies the rank permutation and the block runs (O(m + B)) and
+then answers every query of :class:`~repro.core.queries.ProfileQueryMixin`
+without holding any reference to the live structure.  Rank-to-block
+resolution uses binary search over the frozen runs, so point queries are
+O(log B) instead of O(1) — the trade for not copying the O(m) pointer
+array.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+from repro.core.block import Block
+from repro.core.queries import ProfileQueryMixin
+from repro.errors import EmptyProfileError
+
+__all__ = ["ProfileSnapshot"]
+
+
+class _FrozenBlocks:
+    """Read-only stand-in for :class:`~repro.core.blockset.BlockSet`."""
+
+    __slots__ = ("_m", "_blocks", "_starts", "_freqs")
+
+    def __init__(self, capacity: int, runs: list[tuple[int, int, int]]) -> None:
+        self._m = capacity
+        self._blocks = [Block(l, r, f) for l, r, f in runs]
+        self._starts = [b.l for b in self._blocks]
+        self._freqs = [b.f for b in self._blocks]
+
+    @property
+    def capacity(self) -> int:
+        return self._m
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, rank: int) -> Block:
+        if not 0 <= rank < self._m:
+            raise IndexError(f"rank {rank} out of range [0, {self._m})")
+        idx = bisect_right(self._starts, rank) - 1
+        return self._blocks[idx]
+
+    def leftmost(self) -> Block:
+        self._require_nonempty()
+        return self._blocks[0]
+
+    def rightmost(self) -> Block:
+        self._require_nonempty()
+        return self._blocks[-1]
+
+    def iter_blocks(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def iter_blocks_desc(self) -> Iterator[Block]:
+        return iter(reversed(self._blocks))
+
+    def block_for_frequency(self, f: int) -> Block | None:
+        # Block frequencies are strictly ascending: binary search.
+        idx = bisect_right(self._freqs, f) - 1
+        if idx >= 0 and self._freqs[idx] == f:
+            return self._blocks[idx]
+        return None
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        return [b.as_tuple() for b in self._blocks]
+
+    def _require_nonempty(self) -> None:
+        if self._m == 0:
+            raise EmptyProfileError("snapshot of zero-capacity profile")
+
+
+class ProfileSnapshot(ProfileQueryMixin):
+    """Frozen copy of a profile, safe to query while the source mutates.
+
+    Build with :meth:`ProfileSnapshot.of` or
+    :meth:`repro.core.profile.SProfile.snapshot`.
+    """
+
+    __slots__ = ("_ttof", "_ftot", "_blocks", "_total", "_n_events")
+
+    def __init__(
+        self,
+        ttof: list[int],
+        runs: list[tuple[int, int, int]],
+        total: int,
+        n_events: int,
+    ) -> None:
+        m = len(ttof)
+        self._ttof = list(ttof)
+        ftot = [0] * m
+        for rank, obj in enumerate(self._ttof):
+            ftot[obj] = rank
+        self._ftot = ftot
+        self._blocks = _FrozenBlocks(m, runs)
+        self._total = total
+        self._n_events = n_events
+
+    @classmethod
+    def of(cls, profile) -> "ProfileSnapshot":
+        """Snapshot a live :class:`~repro.core.profile.SProfile`."""
+        return cls(
+            ttof=profile._ttof,
+            runs=profile.blocks.as_tuples(),
+            total=profile.total,
+            n_events=profile.n_events,
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._blocks.capacity
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def n_events(self) -> int:
+        """Events the source profile had processed when snapped."""
+        return self._n_events
+
+    @property
+    def block_count(self) -> int:
+        return self._blocks.n_blocks
+
+    def frequencies(self) -> list[int]:
+        """Materialize the frequency array at snapshot time."""
+        out = [0] * self.capacity
+        for block in self._blocks.iter_blocks():
+            for rank in range(block.l, block.r + 1):
+                out[self._ttof[rank]] = block.f
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileSnapshot(capacity={self.capacity}, total={self._total}, "
+            f"blocks={self.block_count}, at_event={self._n_events})"
+        )

@@ -1,0 +1,77 @@
+"""Full structural audit of a profile — O(m), for tests and debugging.
+
+The hot path maintains several coupled structures (two permutation
+arrays, the block partition, five counters).  :func:`audit_profile`
+re-derives every one of them from first principles and compares.  Tests
+call it after randomized event sequences; it is also handy after
+restoring a checkpoint from an untrusted source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolationError
+
+__all__ = ["audit_profile"]
+
+
+def audit_profile(profile) -> None:
+    """Verify every invariant of an :class:`~repro.core.profile.SProfile`.
+
+    Raises :class:`~repro.errors.InvariantViolationError` on the first
+    violation found; returns ``None`` when the structure is sound.
+    """
+    m = profile.capacity
+    ftot = profile._ftot
+    ttof = profile._ttof
+    blocks = profile.blocks
+
+    if len(ftot) != m or len(ttof) != m:
+        raise InvariantViolationError(
+            f"array lengths ({len(ftot)}, {len(ttof)}) != capacity {m}"
+        )
+
+    # 1. Block structure (partition, ordering, pointer coherence).
+    blocks.audit()
+
+    # 2. ftot and ttof are inverse permutations of [0, m).
+    seen = [False] * m
+    for obj in range(m):
+        rank = ftot[obj]
+        if not 0 <= rank < m:
+            raise InvariantViolationError(
+                f"FtoT[{obj}] = {rank} out of range"
+            )
+        if seen[rank]:
+            raise InvariantViolationError(f"rank {rank} mapped twice in FtoT")
+        seen[rank] = True
+        if ttof[rank] != obj:
+            raise InvariantViolationError(
+                f"TtoF[FtoT[{obj}]] = {ttof[rank]} != {obj}"
+            )
+
+    # 3. Derived statistics must match a recomputation from the blocks.
+    total = 0
+    active = 0
+    for block in blocks.iter_blocks():
+        size = block.r - block.l + 1
+        total += block.f * size
+        if block.f != 0:
+            active += size
+    if total != profile.total:
+        raise InvariantViolationError(
+            f"derived total {profile.total} != recomputed {total} "
+            f"(base={profile._base_total}, adds={profile.n_adds}, "
+            f"removes={profile.n_removes})"
+        )
+    if active != profile.active_count:
+        raise InvariantViolationError(
+            f"derived active count {profile.active_count} != {active}"
+        )
+
+    # 5. Strict mode admits no negative frequency.
+    if not profile.allow_negative and m > 0:
+        least = blocks.leftmost().f
+        if least < 0:
+            raise InvariantViolationError(
+                f"strict profile holds negative frequency {least}"
+            )

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy separates caller mistakes
+(bad ids, unsupported queries) from state violations (frequency underflow
+in strict mode, corrupted checkpoints) because the two call for different
+handling: the former is a bug in the caller, the latter is data-dependent
+and often recoverable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CapacityError",
+    "UnknownObjectError",
+    "FrequencyUnderflowError",
+    "EmptyProfileError",
+    "UnsupportedQueryError",
+    "InvariantViolationError",
+    "CheckpointError",
+    "StreamConfigError",
+    "WindowError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CapacityError(ReproError, ValueError):
+    """An object id falls outside ``[0, capacity)`` or capacity is invalid."""
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """An external object id was never registered with the profiler."""
+
+
+class FrequencyUnderflowError(ReproError, ValueError):
+    """A remove would push a frequency below zero in strict mode.
+
+    The paper explicitly allows negative frequencies (the minimum frequency
+    "maybe a negative number", section 2.2); strict mode is an opt-out for
+    applications where a negative count signals a corrupted stream.
+    """
+
+
+class EmptyProfileError(ReproError, ValueError):
+    """A query requires at least one tracked object (``capacity > 0``)."""
+
+
+class UnsupportedQueryError(ReproError, NotImplementedError):
+    """The profiler implementation cannot answer the requested query.
+
+    Baselines intentionally mirror their paper counterparts' limitations:
+    a max-heap can report the mode but not the median; a frequency
+    multiset tree can report quantiles but not object-level top-k.
+    """
+
+    def __init__(self, profiler: str, query: str) -> None:
+        super().__init__(f"{profiler} does not support the {query!r} query")
+        self.profiler = profiler
+        self.query = query
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """A structural audit found the profile in an inconsistent state."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A serialized profiler state is malformed or version-incompatible."""
+
+
+class StreamConfigError(ReproError, ValueError):
+    """A stream generator was configured with invalid parameters."""
+
+
+class WindowError(ReproError, ValueError):
+    """Invalid sliding-window configuration or operation."""

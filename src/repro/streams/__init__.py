@@ -1,0 +1,71 @@
+"""Log-stream substrate: generation, windows, persistence.
+
+The paper evaluates on synthetic log streams (section 3): 70% "add" /
+30% "remove" actions with object ids drawn from per-action
+distributions (posPDF / negPDF).  This subpackage reproduces that setup:
+
+- :mod:`repro.streams.events` — the event vocabulary.
+- :mod:`repro.streams.distributions` — id samplers (uniform, clipped
+  normal, clipped lognormal, Zipf).
+- :mod:`repro.streams.generators` — vectorized stream generation and the
+  paper's ``Stream1`` / ``Stream2`` / ``Stream3`` factories.
+- :mod:`repro.streams.adversarial` — worst-case streams for baselines.
+- :mod:`repro.streams.window` — sliding windows (paper section 2.3).
+- :mod:`repro.streams.replay` — save/load and descriptive statistics.
+"""
+
+from repro.streams.adversarial import (
+    root_thrash_stream,
+    single_hot_object_stream,
+    staircase_stream,
+)
+from repro.streams.distributions import (
+    ConstantSampler,
+    LognormalSampler,
+    NormalSampler,
+    Sampler,
+    UniformSampler,
+    ZipfSampler,
+    derive_lognormal_params,
+)
+from repro.streams.events import Action, Event
+from repro.streams.generators import (
+    LogStream,
+    StreamConfig,
+    generate_stream,
+    paper_stream,
+    PAPER_STREAM_NAMES,
+)
+from repro.streams.replay import (
+    StreamStats,
+    load_stream,
+    save_stream,
+    stream_stats,
+)
+from repro.streams.window import CountWindowProfiler, TimeWindowProfiler
+
+__all__ = [
+    "Action",
+    "ConstantSampler",
+    "CountWindowProfiler",
+    "Event",
+    "LogStream",
+    "LognormalSampler",
+    "NormalSampler",
+    "PAPER_STREAM_NAMES",
+    "Sampler",
+    "StreamConfig",
+    "StreamStats",
+    "TimeWindowProfiler",
+    "UniformSampler",
+    "ZipfSampler",
+    "derive_lognormal_params",
+    "generate_stream",
+    "load_stream",
+    "paper_stream",
+    "root_thrash_stream",
+    "save_stream",
+    "single_hot_object_stream",
+    "staircase_stream",
+    "stream_stats",
+]

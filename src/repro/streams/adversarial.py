@@ -1,0 +1,106 @@
+"""Adversarial streams: worst cases for the baselines.
+
+The paper notes the heap's O(log m) worst case "rarely happens in our
+tested streams".  These generators make it happen on purpose, so the
+complexity gap is visible experimentally and not just asymptotically:
+
+- :func:`root_thrash_stream` — alternately raises and lowers the object
+  at the heap root, forcing a full-depth sift on (almost) every event.
+- :func:`single_hot_object_stream` — one object takes every event; the
+  block set degenerates to two blocks (best case for S-Profile) while
+  the heap still pays sift-up path checks.
+- :func:`staircase_stream` — drives the frequency array to m distinct
+  values, maximizing the number of blocks (worst case for S-Profile's
+  memory) and tree height for comparison structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StreamConfigError
+from repro.streams.generators import LogStream
+
+__all__ = [
+    "root_thrash_stream",
+    "single_hot_object_stream",
+    "staircase_stream",
+]
+
+
+def root_thrash_stream(n_events: int, universe: int) -> LogStream:
+    """Heap worst case: pump one object far above the rest, then
+    alternate remove/add on it.
+
+    After the warm-up phase, every remove sinks the root toward the
+    leaves (O(log m) sift-down for a max-heap) and every add raises it
+    back (O(log m) sift-up), while S-Profile touches two blocks per
+    event regardless.
+    """
+    _check(n_events, universe)
+    warmup = min(n_events // 4, universe.bit_length() * 8 + 16)
+    hot = 0
+    ids = np.zeros(n_events, dtype=np.int64)
+    adds = np.ones(n_events, dtype=bool)
+    ids[:warmup] = hot
+    tail = n_events - warmup
+    # Alternate remove, add, remove, add ... on the hot object.
+    adds[warmup:] = np.arange(tail) % 2 == 1
+    return LogStream(
+        ids=ids, adds=adds, universe=universe, name="root-thrash"
+    )
+
+
+def single_hot_object_stream(
+    n_events: int, universe: int, *, hot: int = 0
+) -> LogStream:
+    """Every event is an add of the same object."""
+    _check(n_events, universe)
+    if not 0 <= hot < universe:
+        raise StreamConfigError(
+            f"hot object {hot} outside [0, {universe})"
+        )
+    return LogStream(
+        ids=np.full(n_events, hot, dtype=np.int64),
+        adds=np.ones(n_events, dtype=bool),
+        universe=universe,
+        name="single-hot",
+    )
+
+
+def staircase_stream(n_events: int, universe: int) -> LogStream:
+    """Maximize distinct frequencies: object ``i`` receives ``i+1`` adds.
+
+    Produces frequencies 1, 2, 3, ... — the block count grows linearly,
+    stressing S-Profile's block allocation and giving order-statistic
+    trees their deepest shape.  Events are emitted round-robin so the
+    staircase builds gradually; the stream is truncated to ``n_events``.
+    """
+    _check(n_events, universe)
+    ids: list[int] = []
+    # Round r adds one event to every object with index >= r - 1.
+    round_index = 0
+    while len(ids) < n_events and round_index < universe:
+        for obj in range(round_index, universe):
+            ids.append(obj)
+            if len(ids) == n_events:
+                break
+        round_index += 1
+    # If the staircase saturated, keep cycling the most loaded object.
+    while len(ids) < n_events:
+        ids.append(universe - 1)
+    return LogStream(
+        ids=np.asarray(ids, dtype=np.int64),
+        adds=np.ones(len(ids), dtype=bool),
+        universe=universe,
+        name="staircase",
+    )
+
+
+def _check(n_events: int, universe: int) -> None:
+    if n_events < 0:
+        raise StreamConfigError(f"n_events must be >= 0, got {n_events}")
+    if universe <= 0:
+        raise StreamConfigError(
+            f"universe must be positive, got {universe}"
+        )

@@ -1,0 +1,216 @@
+"""Object-id samplers for stream generation.
+
+The paper draws ids from a per-action probability distribution over
+``[0, m)``: uniform for Stream1, normal for Stream2, normal + lognormal
+for Stream3 (section 3).  Samplers here produce integer ids vectorized
+with numpy and clip out-of-range draws to the boundary — the paper does
+not specify its clipping rule, so the choice is documented in DESIGN.md
+as a substitution.
+
+The paper parameterizes its lognormal as "(µ = 3m/5, σ = m)".  A
+lognormal's natural parameters live in log space, where a mean of 3m/5
+would be astronomically wrong, so we read the pair as the desired mean
+and standard deviation *in id space* and derive the underlying normal
+parameters analytically (:func:`derive_lognormal_params`).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import StreamConfigError
+
+__all__ = [
+    "Sampler",
+    "UniformSampler",
+    "NormalSampler",
+    "LognormalSampler",
+    "ZipfSampler",
+    "ConstantSampler",
+    "derive_lognormal_params",
+]
+
+
+def derive_lognormal_params(mean: float, std: float) -> tuple[float, float]:
+    """Underlying-normal ``(mu, sigma)`` for a target id-space mean/std.
+
+    Inverts ``mean = exp(mu + sigma^2/2)`` and
+    ``var = (exp(sigma^2) - 1) * exp(2*mu + sigma^2)``.
+    """
+    if mean <= 0:
+        raise StreamConfigError(f"lognormal mean must be > 0, got {mean}")
+    if std <= 0:
+        raise StreamConfigError(f"lognormal std must be > 0, got {std}")
+    sigma_sq = math.log(1.0 + (std * std) / (mean * mean))
+    mu = math.log(mean) - sigma_sq / 2.0
+    return (mu, math.sqrt(sigma_sq))
+
+
+class Sampler(ABC):
+    """Draws integer object ids in ``[0, universe)``."""
+
+    def __init__(self, universe: int) -> None:
+        if universe <= 0:
+            raise StreamConfigError(
+                f"sampler universe must be positive, got {universe}"
+            )
+        self._universe = universe
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Return ``size`` ids as an ``int64`` array in ``[0, universe)``."""
+
+    def _clip(self, raw: np.ndarray) -> np.ndarray:
+        """Round and clamp raw real-valued draws into the id range."""
+        ids = np.rint(raw).astype(np.int64)
+        np.clip(ids, 0, self._universe - 1, out=ids)
+        return ids
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(universe={self._universe})"
+
+
+class UniformSampler(Sampler):
+    """Uniform ids on ``[0, universe)`` — Stream1's posPDF and negPDF."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.integers(0, self._universe, size=size, dtype=np.int64)
+
+
+class NormalSampler(Sampler):
+    """Normal ids, rounded and clipped — Stream2/Stream3 components.
+
+    Parameters are in id space: e.g. Stream2's posPDF is
+    ``NormalSampler(m, mean=2*m/3, std=m/6)``.
+    """
+
+    def __init__(self, universe: int, *, mean: float, std: float) -> None:
+        super().__init__(universe)
+        if std <= 0:
+            raise StreamConfigError(f"std must be positive, got {std}")
+        self._mean = float(mean)
+        self._std = float(std)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._clip(rng.normal(self._mean, self._std, size=size))
+
+    def __repr__(self) -> str:
+        return (
+            f"NormalSampler(universe={self._universe}, "
+            f"mean={self._mean}, std={self._std})"
+        )
+
+
+class LognormalSampler(Sampler):
+    """Lognormal ids with id-space mean/std — Stream3's negPDF.
+
+    ``mean`` and ``std`` are the desired moments of the sampled values
+    (before clipping); see :func:`derive_lognormal_params`.
+    """
+
+    def __init__(self, universe: int, *, mean: float, std: float) -> None:
+        super().__init__(universe)
+        self._mean = float(mean)
+        self._std = float(std)
+        self._mu, self._sigma = derive_lognormal_params(mean, std)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    @property
+    def underlying(self) -> tuple[float, float]:
+        """The derived ``(mu, sigma)`` of the underlying normal."""
+        return (self._mu, self._sigma)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._clip(rng.lognormal(self._mu, self._sigma, size=size))
+
+    def __repr__(self) -> str:
+        return (
+            f"LognormalSampler(universe={self._universe}, "
+            f"mean={self._mean}, std={self._std})"
+        )
+
+
+class ZipfSampler(Sampler):
+    """Zipf-distributed ids — heavy-tailed popularity (not in the paper,
+    but the realistic shape of social-log object popularity).
+
+    Object 0 is the most popular.  Draws beyond the universe are
+    resampled a few rounds, then clamped.
+    """
+
+    _RESAMPLE_ROUNDS = 8
+
+    def __init__(self, universe: int, *, exponent: float = 1.5) -> None:
+        super().__init__(universe)
+        if exponent <= 1.0:
+            raise StreamConfigError(
+                f"zipf exponent must exceed 1, got {exponent}"
+            )
+        self._exponent = float(exponent)
+
+    @property
+    def exponent(self) -> float:
+        return self._exponent
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        draws = rng.zipf(self._exponent, size=size).astype(np.int64)
+        for _ in range(self._RESAMPLE_ROUNDS):
+            over = draws > self._universe
+            count = int(over.sum())
+            if count == 0:
+                break
+            draws[over] = rng.zipf(self._exponent, size=count)
+        np.clip(draws, 1, self._universe, out=draws)
+        return draws - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfSampler(universe={self._universe}, "
+            f"exponent={self._exponent})"
+        )
+
+
+class ConstantSampler(Sampler):
+    """Always the same id — degenerate workloads and tests."""
+
+    def __init__(self, universe: int, *, value: int = 0) -> None:
+        super().__init__(universe)
+        if not 0 <= value < universe:
+            raise StreamConfigError(
+                f"constant value {value} outside [0, {universe})"
+            )
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._value, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstantSampler(universe={self._universe}, value={self._value})"
+        )

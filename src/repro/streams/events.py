@@ -1,0 +1,50 @@
+"""Event vocabulary for log streams.
+
+A log stream is a sequence of tuples ``(x_i, c_i)`` where ``x_i`` is an
+object id and ``c_i`` an action — "add" or "remove" (paper section 2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import NamedTuple
+
+__all__ = ["Action", "Event"]
+
+
+class Action(Enum):
+    """The two actions a log-stream tuple can carry."""
+
+    ADD = "add"
+    REMOVE = "remove"
+
+    @property
+    def opposite(self) -> "Action":
+        """The inverse action (used by sliding-window expiry, §2.3)."""
+        return Action.REMOVE if self is Action.ADD else Action.ADD
+
+    @property
+    def is_add(self) -> bool:
+        return self is Action.ADD
+
+    @classmethod
+    def from_flag(cls, is_add: bool) -> "Action":
+        return cls.ADD if is_add else cls.REMOVE
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Event(NamedTuple):
+    """One log-stream tuple ``(x, c)``."""
+
+    obj: int
+    action: Action
+
+    @property
+    def is_add(self) -> bool:
+        return self.action is Action.ADD
+
+    def opposite(self) -> "Event":
+        """The same object with the inverse action."""
+        return Event(self.obj, self.action.opposite)

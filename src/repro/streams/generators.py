@@ -1,0 +1,299 @@
+"""Log-stream generation, including the paper's three test streams.
+
+The paper's procedure (section 3): "We first randomly generate an 'add'
+or 'remove' action, with 70% and 30% probabilities respectively.  Then,
+for each 'add' action we randomly choose an object id according to a
+probability distribution (called posPDF).  For each 'remove' action
+another distribution (called negPDF) is used."
+
+- ``Stream1``: posPDF and negPDF uniform on ``[0, m)``.
+- ``Stream2``: posPDF normal(µ=2m/3, σ=m/6); negPDF normal(µ=m/3, σ=m/6).
+- ``Stream3``: posPDF normal(µ=4m/5, σ=m); negPDF lognormal(µ=3m/5, σ=m).
+
+Generation is vectorized; a generated :class:`LogStream` holds two
+parallel numpy arrays and feeds any profiler via ``consume_arrays``.
+
+Frequencies may go negative under this procedure (a remove may hit an
+object with zero count) — the paper explicitly allows this.  For
+strict-mode consumers, ``policy="flip"`` rewrites an underflowing
+remove into an add, and ``policy="skip"`` redraws it as a no-op-free
+resample of the action (both sequential, O(n)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StreamConfigError
+from repro.streams.distributions import (
+    LognormalSampler,
+    NormalSampler,
+    Sampler,
+    UniformSampler,
+)
+from repro.streams.events import Action, Event
+
+__all__ = [
+    "LogStream",
+    "StreamConfig",
+    "generate_stream",
+    "paper_stream",
+    "PAPER_STREAM_NAMES",
+]
+
+#: Names accepted by :func:`paper_stream`.
+PAPER_STREAM_NAMES = ("stream1", "stream2", "stream3")
+
+#: The paper's action mix: 70% add, 30% remove.
+PAPER_ADD_PROBABILITY = 0.7
+
+_POLICIES = ("allow", "flip", "skip")
+
+
+@dataclass(frozen=True)
+class LogStream:
+    """A materialized log stream: parallel id / is-add arrays.
+
+    Attributes
+    ----------
+    ids:
+        ``int64`` object ids, one per event.
+    adds:
+        Boolean flags, True for "add".
+    universe:
+        ``m`` — ids are guaranteed to lie in ``[0, universe)``.
+    name:
+        Human-readable label used in benchmark reports.
+    """
+
+    ids: np.ndarray
+    adds: np.ndarray
+    universe: int
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.adds.shape:
+            raise StreamConfigError(
+                f"ids {self.ids.shape} and adds {self.adds.shape} differ"
+            )
+        if self.ids.ndim != 1:
+            raise StreamConfigError("stream arrays must be 1-dimensional")
+        if self.universe <= 0:
+            raise StreamConfigError(
+                f"universe must be positive, got {self.universe}"
+            )
+        if len(self.ids) and (
+            int(self.ids.min()) < 0 or int(self.ids.max()) >= self.universe
+        ):
+            raise StreamConfigError(
+                f"ids outside [0, {self.universe}) in stream {self.name!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[Event]:
+        for obj, is_add in zip(self.ids.tolist(), self.adds.tolist()):
+            yield Event(obj, Action.from_flag(is_add))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(ids, adds)`` pair for ``consume_arrays``."""
+        return (self.ids, self.adds)
+
+    def prefix(self, n: int) -> "LogStream":
+        """The first ``n`` events as a new stream."""
+        if not 0 <= n <= len(self.ids):
+            raise StreamConfigError(
+                f"prefix length {n} outside [0, {len(self.ids)}]"
+            )
+        return LogStream(
+            ids=self.ids[:n],
+            adds=self.adds[:n],
+            universe=self.universe,
+            name=f"{self.name}[:{n}]",
+        )
+
+    @property
+    def add_fraction(self) -> float:
+        if len(self.adds) == 0:
+            return 0.0
+        return float(self.adds.mean())
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Recipe for :func:`generate_stream`.
+
+    ``pos_sampler`` / ``neg_sampler`` default to uniform over the
+    universe (i.e. Stream1).
+    """
+
+    n_events: int
+    universe: int
+    p_add: float = PAPER_ADD_PROBABILITY
+    pos_sampler: Sampler | None = None
+    neg_sampler: Sampler | None = None
+    policy: str = "allow"
+    seed: int | None = 0
+    name: str = field(default="stream")
+
+    def __post_init__(self) -> None:
+        if self.n_events < 0:
+            raise StreamConfigError(
+                f"n_events must be >= 0, got {self.n_events}"
+            )
+        if self.universe <= 0:
+            raise StreamConfigError(
+                f"universe must be positive, got {self.universe}"
+            )
+        if not 0.0 <= self.p_add <= 1.0:
+            raise StreamConfigError(
+                f"p_add must be in [0, 1], got {self.p_add}"
+            )
+        if self.policy not in _POLICIES:
+            raise StreamConfigError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}"
+            )
+        for sampler in (self.pos_sampler, self.neg_sampler):
+            if sampler is not None and sampler.universe != self.universe:
+                raise StreamConfigError(
+                    f"sampler universe {sampler.universe} != "
+                    f"stream universe {self.universe}"
+                )
+
+    def with_size(self, n_events: int, universe: int | None = None):
+        """Copy with a different event count (and optionally universe).
+
+        Samplers are dropped when the universe changes — their
+        parameters are universe-dependent; use the factory that created
+        the config (e.g. :func:`paper_stream`) instead.
+        """
+        if universe is None or universe == self.universe:
+            return replace(self, n_events=n_events)
+        return replace(
+            self,
+            n_events=n_events,
+            universe=universe,
+            pos_sampler=None,
+            neg_sampler=None,
+        )
+
+
+def generate_stream(config: StreamConfig) -> LogStream:
+    """Materialize a stream per the paper's two-step procedure."""
+    rng = np.random.default_rng(config.seed)
+    n = config.n_events
+    m = config.universe
+    pos = config.pos_sampler or UniformSampler(m)
+    neg = config.neg_sampler or UniformSampler(m)
+
+    adds = rng.random(n) < config.p_add
+    ids = np.empty(n, dtype=np.int64)
+    n_add = int(adds.sum())
+    if n_add:
+        ids[adds] = pos.sample(rng, n_add)
+    if n - n_add:
+        ids[~adds] = neg.sample(rng, n - n_add)
+
+    if config.policy != "allow":
+        adds = _enforce_nonnegative(ids, adds, m, config.policy, rng)
+
+    return LogStream(ids=ids, adds=adds, universe=m, name=config.name)
+
+
+def _enforce_nonnegative(
+    ids: np.ndarray,
+    adds: np.ndarray,
+    universe: int,
+    policy: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Rewrite removes that would underflow zero (sequential pass).
+
+    ``flip`` turns the offending remove into an add of the same object;
+    ``skip`` re-targets the remove at the currently most recently added
+    object with positive count, falling back to a flip when the whole
+    array is empty.
+    """
+    counts = [0] * universe
+    id_list = ids.tolist()
+    add_list = adds.tolist()
+    positive: list[int] = []  # stack of ids with known-positive counts
+    for i, (x, is_add) in enumerate(zip(id_list, add_list)):
+        if is_add:
+            counts[x] += 1
+            positive.append(x)
+            continue
+        if counts[x] > 0:
+            counts[x] -= 1
+            continue
+        if policy == "flip":
+            add_list[i] = True
+            counts[x] += 1
+            positive.append(x)
+            continue
+        # policy == "skip": re-target the remove at a positive-count id.
+        while positive and counts[positive[-1]] == 0:
+            positive.pop()
+        if positive:
+            target = positive[-1]
+            id_list[i] = target
+            counts[target] -= 1
+        else:
+            add_list[i] = True
+            counts[x] += 1
+            positive.append(x)
+    ids[:] = id_list
+    return np.asarray(add_list, dtype=bool)
+
+
+def paper_stream(
+    which: str,
+    n_events: int,
+    universe: int,
+    *,
+    seed: int | None = 0,
+    policy: str = "allow",
+) -> StreamConfig:
+    """Config for the paper's Stream1 / Stream2 / Stream3.
+
+    Returns a :class:`StreamConfig`; pass it to :func:`generate_stream`.
+    """
+    m = universe
+    key = which.lower()
+    if key in ("stream1", "1"):
+        return StreamConfig(
+            n_events=n_events,
+            universe=m,
+            pos_sampler=UniformSampler(m),
+            neg_sampler=UniformSampler(m),
+            seed=seed,
+            policy=policy,
+            name="stream1",
+        )
+    if key in ("stream2", "2"):
+        return StreamConfig(
+            n_events=n_events,
+            universe=m,
+            pos_sampler=NormalSampler(m, mean=2 * m / 3, std=m / 6),
+            neg_sampler=NormalSampler(m, mean=m / 3, std=m / 6),
+            seed=seed,
+            policy=policy,
+            name="stream2",
+        )
+    if key in ("stream3", "3"):
+        return StreamConfig(
+            n_events=n_events,
+            universe=m,
+            pos_sampler=NormalSampler(m, mean=4 * m / 5, std=m),
+            neg_sampler=LognormalSampler(m, mean=3 * m / 5, std=m),
+            seed=seed,
+            policy=policy,
+            name="stream3",
+        )
+    raise StreamConfigError(
+        f"unknown paper stream {which!r}; choose from {PAPER_STREAM_NAMES}"
+    )

@@ -1,0 +1,228 @@
+"""Sliding-window profiling (paper section 2.3).
+
+"S-Profile can also deal with a sliding window on a log stream, by
+letting every tuple (x_i, c_i) outdated from the window be a new
+incoming tuple (x_i, c̄_i), where c̄_i is the opposite action of c_i."
+
+Two window flavours:
+
+- :class:`CountWindowProfiler` — the last ``window_size`` events;
+- :class:`TimeWindowProfiler` — events younger than ``horizon``.
+
+Both wrap any profiler with the common update interface (S-Profile by
+default) and delegate every query to it, so the window's statistics are
+exactly the statistics of the events still inside the window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.profile import SProfile
+from repro.errors import WindowError
+from repro.streams.events import Action, Event
+
+__all__ = ["CountWindowProfiler", "TimeWindowProfiler"]
+
+_DELEGATED_QUERIES = (
+    "frequency",
+    "mode",
+    "least",
+    "max_frequency",
+    "min_frequency",
+    "top_k",
+    "bottom_k",
+    "kth_most_frequent",
+    "median_frequency",
+    "quantile",
+    "histogram",
+    "support",
+)
+
+
+class _WindowBase:
+    """Shared query delegation for both window flavours."""
+
+    def __init__(self, profiler) -> None:
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        """The wrapped profiler (windowed state lives in it)."""
+        return self._profiler
+
+    def __getattr__(self, name: str):
+        # Delegate the query surface; everything else stays an error.
+        if name in _DELEGATED_QUERIES:
+            return getattr(self._profiler, name)
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
+        )
+
+
+class CountWindowProfiler(_WindowBase):
+    """Profile of the most recent ``window_size`` log-stream events.
+
+    Note the semantics follow the paper: the window holds *events*, not
+    objects.  A remove event inside the window contributes -1 to its
+    object's windowed frequency; when it expires, the +1 flows back.
+
+    Parameters
+    ----------
+    window_size:
+        Number of most recent events retained.
+    capacity:
+        Universe size for the default internal :class:`SProfile`.
+    profiler:
+        Optional pre-built profiler (must allow negative frequencies:
+        a window full of removes drives counts below zero).
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        capacity: int | None = None,
+        *,
+        profiler=None,
+    ) -> None:
+        if window_size <= 0:
+            raise WindowError(
+                f"window_size must be positive, got {window_size}"
+            )
+        if profiler is None:
+            if capacity is None:
+                raise WindowError("provide either capacity or profiler")
+            profiler = SProfile(capacity, allow_negative=True)
+        super().__init__(profiler)
+        self._window_size = window_size
+        self._events: Deque[Event] = deque()
+
+    @property
+    def window_size(self) -> int:
+        return self._window_size
+
+    def __len__(self) -> int:
+        """Number of events currently inside the window."""
+        return len(self._events)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._events) == self._window_size
+
+    def push(self, obj: int, action: Action | bool = Action.ADD) -> None:
+        """Feed one event; expire the oldest if the window overflows."""
+        if isinstance(action, bool):
+            action = Action.from_flag(action)
+        event = Event(obj, action)
+        self._profiler.update(event.obj, event.is_add)
+        self._events.append(event)
+        if len(self._events) > self._window_size:
+            expired = self._events.popleft()
+            # The paper's trick: an expiring tuple re-enters with the
+            # opposite action.
+            self._profiler.update(expired.obj, not expired.is_add)
+
+    def extend(self, events) -> int:
+        """Push an iterable of :class:`Event` (or ``(obj, is_add)``)."""
+        count = 0
+        for item in events:
+            if isinstance(item, Event):
+                self.push(item.obj, item.action)
+            else:
+                obj, is_add = item
+                self.push(obj, is_add)
+            count += 1
+        return count
+
+    def contents(self) -> list[Event]:
+        """The events currently in the window, oldest first."""
+        return list(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountWindowProfiler(size={len(self._events)}/"
+            f"{self._window_size})"
+        )
+
+
+class TimeWindowProfiler(_WindowBase):
+    """Profile of events with timestamps in ``(now - horizon, now]``.
+
+    Timestamps must be fed in non-decreasing order (log streams are
+    chronological).  Expiry happens on every push and can also be forced
+    with :meth:`advance_to`.
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        capacity: int | None = None,
+        *,
+        profiler=None,
+    ) -> None:
+        if horizon <= 0:
+            raise WindowError(f"horizon must be positive, got {horizon}")
+        if profiler is None:
+            if capacity is None:
+                raise WindowError("provide either capacity or profiler")
+            profiler = SProfile(capacity, allow_negative=True)
+        super().__init__(profiler)
+        self._horizon = horizon
+        self._events: Deque[tuple[float, Event]] = deque()
+        self._now = float("-inf")
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recent push / advance."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def push(
+        self,
+        obj: int,
+        action: Action | bool,
+        timestamp: float,
+    ) -> None:
+        """Feed one timestamped event and expire the out-of-horizon ones."""
+        if timestamp < self._now:
+            raise WindowError(
+                f"timestamp {timestamp} precedes current time {self._now}"
+            )
+        if isinstance(action, bool):
+            action = Action.from_flag(action)
+        event = Event(obj, action)
+        self._profiler.update(event.obj, event.is_add)
+        self._events.append((timestamp, event))
+        self.advance_to(timestamp)
+
+    def advance_to(self, timestamp: float) -> int:
+        """Move the clock forward, expiring old events; return how many."""
+        if timestamp < self._now:
+            raise WindowError(
+                f"cannot move time backwards ({timestamp} < {self._now})"
+            )
+        self._now = timestamp
+        cutoff = timestamp - self._horizon
+        expired = 0
+        while self._events and self._events[0][0] <= cutoff:
+            __, event = self._events.popleft()
+            self._profiler.update(event.obj, not event.is_add)
+            expired += 1
+        return expired
+
+    def contents(self) -> list[tuple[float, Event]]:
+        """The timestamped events currently in the window, oldest first."""
+        return list(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeWindowProfiler(size={len(self._events)}, "
+            f"horizon={self._horizon}, now={self._now})"
+        )

@@ -1,0 +1,111 @@
+"""Integration: applications working together on realistic data."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.graph_shaving import core_decomposition, densest_subgraph
+from repro.apps.leaderboard import Leaderboard
+from repro.apps.topk_tracker import TopKTracker
+from repro.streams.distributions import ZipfSampler
+from repro.streams.generators import StreamConfig, generate_stream
+from repro.streams.window import CountWindowProfiler
+
+
+def test_planted_dense_subgraph_is_found():
+    """A planted clique inside a sparse background must be recovered."""
+    rng = np.random.default_rng(7)
+    graph = nx.gnp_random_graph(300, 0.01, seed=3)
+    clique_nodes = list(range(300, 330))
+    for i, u in enumerate(clique_nodes):
+        for v in clique_nodes[i + 1:]:
+            graph.add_edge(u, v)
+    # Sprinkle some cross edges.
+    for _ in range(100):
+        graph.add_edge(
+            int(rng.integers(0, 300)), int(rng.integers(300, 330))
+        )
+
+    result = densest_subgraph(graph)
+    planted_density = 29 / 2  # clique density |E|/|V| = (k-1)/2
+    assert result.density >= planted_density / 2
+    # The found subgraph must be dominated by planted nodes.
+    overlap = len(result.vertices & set(clique_nodes))
+    assert overlap >= 25
+
+
+def test_core_numbers_on_scale_free_graph():
+    graph = nx.barabasi_albert_graph(500, 3, seed=1)
+    assert core_decomposition(graph) == nx.core_number(graph)
+
+
+def test_topk_tracker_on_zipf_stream():
+    config = StreamConfig(
+        n_events=5000,
+        universe=1000,
+        p_add=1.0,
+        pos_sampler=ZipfSampler(1000, exponent=1.3),
+        seed=11,
+        name="zipf",
+    )
+    stream = generate_stream(config)
+    tracker = TopKTracker(10)
+    for event in stream:
+        tracker.like(int(event.obj))
+
+    board = tracker.board()
+    assert len(board) == 10
+    # Zipf head: object 0 must be the most frequent by a wide margin.
+    assert board[0].obj == 0
+    frequencies = [entry.frequency for entry in board]
+    assert frequencies == sorted(frequencies, reverse=True)
+    # Board must equal a brute-force recount.
+    counts = {}
+    for event in stream:
+        counts[int(event.obj)] = counts.get(int(event.obj), 0) + 1
+    best = sorted(counts.values(), reverse=True)[:10]
+    assert frequencies == best
+
+
+def test_leaderboard_and_window_track_same_stream():
+    config = StreamConfig(n_events=2000, universe=50, p_add=0.7, seed=2)
+    stream = generate_stream(config)
+    board = Leaderboard()
+    window = CountWindowProfiler(500, capacity=50)
+    for event in stream:
+        board.update = None  # leaderboards use like/dislike
+        if event.is_add:
+            board.like(int(event.obj))
+        else:
+            board.dislike(int(event.obj))
+        window.push(int(event.obj), event.action)
+
+    # Whole-history scores equal stream net counts.
+    net = {}
+    for event in stream:
+        net[int(event.obj)] = net.get(int(event.obj), 0) + (
+            1 if event.is_add else -1
+        )
+    for obj, expected in net.items():
+        assert board.score(obj) == expected
+
+    # The windowed view only reflects the last 500 events.
+    tail_net = {}
+    for event in list(stream)[-500:]:
+        tail_net[int(event.obj)] = tail_net.get(int(event.obj), 0) + (
+            1 if event.is_add else -1
+        )
+    for obj in range(50):
+        assert window.frequency(obj) == tail_net.get(obj, 0)
+
+
+def test_shaving_uses_linear_work():
+    """The S-Profile peel must touch each edge a bounded number of times."""
+    graph = nx.gnp_random_graph(200, 0.05, seed=4)
+    result = densest_subgraph(graph)
+    assert len(result.peeling_order) == graph.number_of_nodes()
+    # Density trace starts at |E|/|V| and is non-negative throughout.
+    assert result.density_trace[0] == pytest.approx(
+        graph.number_of_edges() / graph.number_of_nodes()
+    )
+    assert all(value >= 0 for value in result.density_trace)

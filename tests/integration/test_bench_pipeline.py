@@ -1,0 +1,47 @@
+"""Integration: the figure harness produces sane, complete results."""
+
+import pytest
+
+from repro.bench.figures import run_figure
+from repro.bench.reporting import format_figure
+from repro.bench.runner import SeriesResult
+
+
+@pytest.fixture(scope="module")
+def fig6_tiny():
+    return run_figure(6, scale="tiny", repeats=1)
+
+
+class TestFigureHarness:
+    def test_fig6_has_both_panels(self, fig6_tiny):
+        assert len(fig6_tiny.series) == 2
+        left, right = fig6_tiny.series
+        assert left.x_label == "n"
+        assert right.x_label == "m"
+
+    def test_series_complete(self, fig6_tiny):
+        for series in fig6_tiny.series:
+            assert isinstance(series, SeriesResult)
+            for times in series.times.values():
+                assert len(times) == len(series.x_values)
+                assert all(t > 0 for t in times)
+
+    def test_sprofile_beats_tree_even_at_tiny_scale(self, fig6_tiny):
+        # The ~20x gap leaves plenty of headroom over timer noise even
+        # at the tiny smoke scale.
+        for series in fig6_tiny.series:
+            assert series.min_speedup("tree-skiplist", "sprofile") > 2.0
+
+    def test_report_renders(self, fig6_tiny):
+        text = format_figure(fig6_tiny)
+        assert "Figure 6" in text
+        assert "sprofile" in text
+        assert "x" in text  # speedup column
+
+    def test_fig3_runs_with_custom_seed(self):
+        result = run_figure(3, scale="tiny", repeats=1, seed=123)
+        assert {series.title.split(" · ")[1] for series in result.series} == {
+            "stream1",
+            "stream2",
+            "stream3",
+        }

@@ -1,0 +1,49 @@
+"""Integration: checkpoint mid-stream, resume, converge with full run."""
+
+from repro.core.checkpoint import load_profile, save_profile
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+from repro.streams.generators import generate_stream, paper_stream
+
+
+def test_checkpoint_resume_equals_uninterrupted_run(tmp_path):
+    universe = 100
+    stream = generate_stream(paper_stream("stream2", 6000, universe, seed=5))
+    ids, adds = stream.arrays()
+
+    # Uninterrupted run.
+    full = SProfile(universe)
+    full.consume_arrays(ids, adds)
+
+    # Interrupted run: process half, checkpoint to disk, restore, finish.
+    half = SProfile(universe)
+    half.consume_arrays(ids[:3000], adds[:3000])
+    path = tmp_path / "mid.json"
+    save_profile(half, path)
+    resumed = load_profile(path)
+    resumed.consume_arrays(ids[3000:], adds[3000:])
+
+    audit_profile(resumed)
+    assert resumed.frequencies() == full.frequencies()
+    assert resumed.total == full.total
+    assert resumed.n_events == full.n_events
+    assert resumed.mode() == full.mode()
+    assert resumed.blocks.as_tuples() == full.blocks.as_tuples()
+
+
+def test_snapshot_sequence_is_consistent_history(tmp_path):
+    universe = 50
+    stream = generate_stream(paper_stream("stream1", 2000, universe, seed=9))
+    profile = SProfile(universe)
+    snapshots = []
+    for event in stream:
+        profile.update(event.obj, event.is_add)
+        if profile.n_events % 500 == 0:
+            snapshots.append(profile.snapshot())
+
+    # Totals along the snapshot history must match event accounting.
+    assert [snap.n_events for snap in snapshots] == [500, 1000, 1500, 2000]
+    for snap in snapshots:
+        assert sum(snap.frequencies()) == snap.total
+    # The last snapshot equals the live profile.
+    assert snapshots[-1].frequencies() == profile.frequencies()

@@ -1,0 +1,67 @@
+"""Integration: every profiler agrees on the paper's actual workloads."""
+
+import pytest
+
+from repro.baselines.registry import (
+    available_profilers,
+    make_profiler,
+    profiler_supports,
+)
+from repro.streams.generators import (
+    PAPER_STREAM_NAMES,
+    generate_stream,
+    paper_stream,
+)
+
+
+@pytest.mark.parametrize("stream_name", PAPER_STREAM_NAMES)
+def test_all_profilers_agree_on_paper_stream(stream_name):
+    universe = 200
+    stream = generate_stream(
+        paper_stream(stream_name, 5000, universe, seed=17)
+    )
+    profilers = {
+        name: make_profiler(name, universe)
+        for name in available_profilers()
+    }
+
+    ids, adds = stream.arrays()
+    # Feed in chunks and cross-check at several checkpoints, not just at
+    # the end — intermediate disagreement must not cancel out.
+    checkpoints = [1000, 2500, 5000]
+    start = 0
+    for stop in checkpoints:
+        for profiler in profilers.values():
+            profiler.consume_arrays(ids[start:stop], adds[start:stop])
+        start = stop
+
+        oracle = profilers["bucket"]
+        freqs = oracle.frequencies()
+        sorted_freqs = sorted(freqs)
+        for name, profiler in profilers.items():
+            supported = profiler_supports(name)
+            if "max_frequency" in supported:
+                assert profiler.max_frequency() == max(freqs), (
+                    name, stop,
+                )
+            if "min_frequency" in supported:
+                assert profiler.min_frequency() == min(freqs), (name, stop)
+            if "median" in supported:
+                assert (
+                    profiler.median_frequency()
+                    == sorted_freqs[(universe - 1) // 2]
+                ), (name, stop)
+            if "histogram" in supported:
+                assert profiler.histogram() == oracle.histogram(), name
+
+
+def test_sprofile_audit_survives_long_paper_streams():
+    from repro.core.profile import SProfile
+    from repro.core.validation import audit_profile
+
+    for stream_name in PAPER_STREAM_NAMES:
+        stream = generate_stream(paper_stream(stream_name, 20000, 500, seed=3))
+        profile = SProfile(500)
+        profile.consume_arrays(*stream.arrays())
+        audit_profile(profile)
+        assert profile.n_events == 20000

@@ -1,0 +1,43 @@
+"""The examples must keep running — they are executable documentation.
+
+Each example carries internal assertions about its scenario (the viral
+video enters the board, the fraud ring is recovered, the migration is
+tracked), so running them is a real end-to-end check, not just an
+import test.  The slowest two (trending_leaderboard, the full figure
+rerun) are exercised by their building blocks elsewhere and skipped
+here to keep the suite fast.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "fraud_shaving.py",
+    "sliding_window_analytics.py",
+    "hot_key_monitor.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        first_statement = script.read_text().lstrip()
+        assert first_statement.startswith('"""'), (
+            f"{script.name} lacks a module docstring"
+        )
+        assert "python examples/" in first_statement, (
+            f"{script.name} lacks a run instruction"
+        )

@@ -1,0 +1,51 @@
+"""Integration: the paper's sliding-window reduction (section 2.3).
+
+"S-Profile can also deal with a sliding window on a log stream, by
+letting every tuple (x_i, c_i) outdated from the window be a new
+incoming tuple (x_i, c̄_i)."  We verify the reduction end to end on the
+paper's own stream generator against a from-scratch recomputation.
+"""
+
+from repro.core.profile import SProfile
+from repro.streams.generators import generate_stream, paper_stream
+from repro.streams.window import CountWindowProfiler
+
+
+def test_windowed_paper_stream_matches_recompute():
+    universe = 80
+    window_size = 300
+    stream = generate_stream(paper_stream("stream3", 3000, universe, seed=21))
+    window = CountWindowProfiler(window_size, capacity=universe)
+
+    events = list(stream)
+    check_at = {600, 1500, 3000}
+    for index, event in enumerate(events, start=1):
+        window.push(event.obj, event.action)
+        if index in check_at:
+            oracle = SProfile(universe)
+            for past in events[max(0, index - window_size):index]:
+                oracle.update(past.obj, past.is_add)
+            assert window.profiler.frequencies() == oracle.frequencies()
+            assert window.mode() == oracle.mode()
+            assert window.median_frequency() == oracle.median_frequency()
+            assert window.histogram() == oracle.histogram()
+
+
+def test_window_statistics_diverge_from_global():
+    """A windowed profile must forget old hot objects; the global must not."""
+    universe = 10
+    window = CountWindowProfiler(50, capacity=universe)
+    global_profile = SProfile(universe)
+
+    # Phase 1: object 0 is hot.
+    for _ in range(100):
+        window.push(0, True)
+        global_profile.add(0)
+    # Phase 2: object 1 is hot.
+    for _ in range(100):
+        window.push(1, True)
+        global_profile.add(1)
+
+    assert window.mode().example == 1
+    assert window.frequency(0) == 0          # fully forgotten
+    assert global_profile.frequency(0) == 100  # remembered globally

@@ -1,0 +1,73 @@
+"""Property-based cross-validation of every registered profiler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import (
+    available_profilers,
+    make_profiler,
+    profiler_supports,
+)
+
+
+@st.composite
+def capacity_and_events(draw):
+    capacity = draw(st.integers(min_value=1, max_value=25))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6), st.booleans()
+            ),
+            max_size=150,
+        )
+    )
+    return capacity, [(obj % capacity, is_add) for obj, is_add in raw]
+
+
+@given(capacity_and_events())
+@settings(max_examples=40, deadline=None)
+def test_all_profilers_agree(case):
+    capacity, events = case
+    profilers = {
+        name: make_profiler(name, capacity) for name in available_profilers()
+    }
+    for obj, is_add in events:
+        for profiler in profilers.values():
+            profiler.update(obj, is_add)
+
+    oracle = profilers["bucket"]
+    freqs = oracle.frequencies()
+    sorted_freqs = sorted(freqs)
+    histogram = oracle.histogram()
+
+    for name, profiler in profilers.items():
+        supported = profiler_supports(name)
+        assert profiler.total == sum(freqs), name
+        if "frequency" in supported:
+            assert [
+                profiler.frequency(x) for x in range(capacity)
+            ] == freqs, name
+        if "max_frequency" in supported:
+            assert profiler.max_frequency() == max(freqs), name
+        if "min_frequency" in supported:
+            assert profiler.min_frequency() == min(freqs), name
+        if "median" in supported:
+            assert (
+                profiler.median_frequency()
+                == sorted_freqs[(capacity - 1) // 2]
+            ), name
+        if "histogram" in supported:
+            assert profiler.histogram() == histogram, name
+        if "mode" in supported:
+            result = profiler.mode()
+            assert result.frequency == max(freqs), name
+            assert freqs[result.example] == max(freqs), name
+        if "least" in supported:
+            result = profiler.least()
+            assert result.frequency == min(freqs), name
+            assert freqs[result.example] == min(freqs), name
+        if "top_k" in supported:
+            top = profiler.top_k(5)
+            assert [
+                entry.frequency for entry in top
+            ] == sorted_freqs[::-1][:5], name

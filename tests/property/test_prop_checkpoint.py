@@ -1,0 +1,63 @@
+"""Property-based tests: checkpoint/restore is lossless."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import profile_from_state, profile_to_state
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+
+
+@st.composite
+def built_profile(draw):
+    capacity = draw(st.integers(min_value=0, max_value=30))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6), st.booleans()
+            ),
+            max_size=150,
+        )
+    )
+    indexed = draw(st.booleans())
+    profile = SProfile(capacity, track_freq_index=indexed)
+    if capacity:
+        for obj, is_add in raw:
+            profile.update(obj % capacity, is_add)
+    return profile
+
+
+@given(built_profile())
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_preserves_observable_state(profile):
+    state = json.loads(json.dumps(profile_to_state(profile)))
+    restored = profile_from_state(state)
+    audit_profile(restored)
+    assert restored.capacity == profile.capacity
+    assert restored.frequencies() == profile.frequencies()
+    assert restored.total == profile.total
+    assert restored.n_adds == profile.n_adds
+    assert restored.n_removes == profile.n_removes
+    assert restored.blocks.as_tuples() == profile.blocks.as_tuples()
+
+
+@given(
+    built_profile(),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10 ** 6), st.booleans()),
+        max_size=50,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_restored_profile_evolves_identically(profile, more_events):
+    restored = profile_from_state(profile_to_state(profile))
+    capacity = profile.capacity
+    if capacity == 0:
+        return
+    for obj, is_add in more_events:
+        profile.update(obj % capacity, is_add)
+        restored.update(obj % capacity, is_add)
+    assert restored.frequencies() == profile.frequencies()
+    assert restored.blocks.as_tuples() == profile.blocks.as_tuples()

@@ -1,0 +1,178 @@
+"""Property-based tests: DynamicProfiler vs a Counter model."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.validation import audit_profile
+
+# Small id alphabet so collisions (repeat objects) are common.
+ids = st.sampled_from(["a", "b", "c", "d", "e", "f", "g", 1, 2, (3, 4)])
+events = st.lists(st.tuples(ids, st.booleans()), max_size=250)
+
+
+@given(events, st.integers(min_value=0, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_dynamic_matches_counter_model(event_list, initial_capacity):
+    profiler = DynamicProfiler(initial_capacity=initial_capacity)
+    model: Counter = Counter()
+    for obj, is_add in event_list:
+        profiler.update(obj, is_add)
+        model[obj] += 1 if is_add else -1
+
+    audit_profile(profiler.profile)
+    assert len(profiler) == len(model)
+    assert profiler.total == sum(model.values())
+    for obj, expected in model.items():
+        assert profiler.frequency(obj) == expected
+    assert profiler.frequency("never-seen-id") == 0
+
+    if model:
+        freqs = sorted(model.values())
+        assert profiler.mode().frequency == freqs[-1]
+        assert profiler.least().frequency == freqs[0]
+        assert profiler.median_frequency() == freqs[(len(freqs) - 1) // 2]
+        assert profiler.quantile(0.0) == freqs[0]
+        assert profiler.quantile(1.0) == freqs[-1]
+
+        histogram = Counter(model.values())
+        assert profiler.histogram() == sorted(histogram.items())
+        for f in range(-3, 5):
+            assert profiler.support(f) == histogram.get(f, 0)
+
+        top = profiler.top_k(len(model))
+        assert [entry.frequency for entry in top] == freqs[::-1]
+        assert {entry.obj for entry in top} == set(model)
+
+        items = list(profiler.items())
+        assert [f for __, f in items] == freqs
+        assert {obj for obj, __ in items} == set(model)
+
+
+@given(events)
+@settings(max_examples=50, deadline=None)
+def test_dynamic_snapshot_is_logical(event_list):
+    profiler = DynamicProfiler(initial_capacity=4)
+    model: Counter = Counter()
+    for obj, is_add in event_list:
+        profiler.update(obj, is_add)
+        model[obj] += 1 if is_add else -1
+
+    snap = profiler.snapshot()
+    assert snap.capacity == len(model)
+    assert sorted(snap.frequencies()) == sorted(model.values())
+    assert snap.total == sum(model.values())
+    # Dense ids in the snapshot translate back to the external universe.
+    recovered = Counter()
+    for dense, freq in enumerate(snap.frequencies()):
+        recovered[profiler.external(dense)] = freq
+    assert recovered == model
+
+
+@given(events)
+@settings(max_examples=50, deadline=None)
+def test_dynamic_equivalent_to_flat_profile(event_list):
+    """A DynamicProfiler must agree with an SProfile given dense ids."""
+    from repro.core.interner import ObjectInterner
+    from repro.core.profile import SProfile
+
+    interner = ObjectInterner()
+    dense_events = [
+        (interner.intern(obj), is_add) for obj, is_add in event_list
+    ]
+    capacity = len(interner)
+
+    dynamic = DynamicProfiler(initial_capacity=2)
+    for obj, is_add in event_list:
+        dynamic.update(obj, is_add)
+
+    if capacity == 0:
+        assert len(dynamic) == 0
+        return
+
+    flat = SProfile(capacity)
+    for dense, is_add in dense_events:
+        flat.update(dense, is_add)
+
+    assert dynamic.median_frequency() == flat.median_frequency()
+    assert dynamic.mode().frequency == flat.mode().frequency
+    assert dynamic.least().frequency == flat.least().frequency
+    assert dynamic.histogram() == flat.histogram()
+
+
+class DynamicMachine(RuleBasedStateMachine):
+    """Stateful fuzz: interleave adds, removes, registrations and reads.
+
+    Reads are rules (not just invariants) so their interleaving with
+    growth events is explored; the invariant re-derives every maintained
+    quantity from the Counter model.
+    """
+
+    ids = st.sampled_from(["a", "b", "c", "d", 0, 1, (2,), "z"])
+
+    @initialize(capacity=st.integers(min_value=0, max_value=10))
+    def setup(self, capacity):
+        self.profiler = DynamicProfiler(initial_capacity=capacity)
+        self.model: Counter = Counter()
+
+    @rule(obj=ids)
+    def add(self, obj):
+        self.profiler.add(obj)
+        self.model[obj] += 1
+
+    @rule(obj=ids)
+    def remove(self, obj):
+        self.profiler.remove(obj)
+        self.model[obj] -= 1
+
+    @rule(obj=ids)
+    def register(self, obj):
+        self.profiler.register(obj)
+        self.model.setdefault(obj, 0)
+
+    @rule(obj=ids)
+    def read_frequency(self, obj):
+        assert self.profiler.frequency(obj) == self.model.get(obj, 0)
+
+    @rule()
+    def read_order_statistics(self):
+        if not self.model:
+            return
+        freqs = sorted(self.model.values())
+        assert self.profiler.mode().frequency == freqs[-1]
+        assert self.profiler.least().frequency == freqs[0]
+        assert (
+            self.profiler.median_frequency()
+            == freqs[(len(freqs) - 1) // 2]
+        )
+
+    @rule()
+    def read_board(self):
+        if not self.model:
+            return
+        top = self.profiler.top_k(3)
+        expected = sorted(self.model.values(), reverse=True)[:3]
+        assert [entry.frequency for entry in top] == expected
+
+    @invariant()
+    def structure_and_totals(self):
+        audit_profile(self.profiler.profile)
+        assert len(self.profiler) == len(self.model)
+        assert self.profiler.total == sum(self.model.values())
+        assert self.profiler.active_count == sum(
+            1 for value in self.model.values() if value != 0
+        )
+
+
+TestDynamicMachine = DynamicMachine.TestCase
+TestDynamicMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,85 @@
+"""Property-based tests: every multiset behaves like a sorted list."""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.avl import AVLMultiset
+from repro.baselines.fenwick import FenwickMultiset
+from repro.baselines.skiplist import IndexableSkipList
+from repro.baselines.sortedlist import SortedListMultiset
+from repro.baselines.treap import TreapMultiset
+
+IMPLEMENTATIONS = {
+    "treap": TreapMultiset,
+    "avl": AVLMultiset,
+    "skiplist": IndexableSkipList,
+    "fenwick": FenwickMultiset,
+    "sortedlist": SortedListMultiset,
+}
+
+# op encoding: (value, is_insert).  Erases target an existing value when
+# possible (decoded against the model inside the test).
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-30, max_value=30),
+        st.booleans(),
+        st.integers(min_value=0, max_value=10 ** 6),
+    ),
+    max_size=200,
+)
+
+
+@pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_multiset_matches_sorted_list_model(name, ops):
+    impl = IMPLEMENTATIONS[name]
+    ms = impl()
+    model: list[int] = []
+    for value, is_insert, pick in ops:
+        if is_insert or not model:
+            ms.insert(value)
+            bisect.insort(model, value)
+        else:
+            victim = model[pick % len(model)]
+            ms.erase_one(victim)
+            model.remove(victim)
+        assert len(ms) == len(model)
+
+    assert list(_expand(ms.items())) == model
+    if model:
+        assert ms.min() == model[0]
+        assert ms.max() == model[-1]
+        for index in range(0, len(model), max(1, len(model) // 7)):
+            assert ms.kth(index) == model[index]
+    for probe in range(-32, 33, 8):
+        assert ms.rank_lt(probe) == bisect.bisect_left(model, probe)
+        assert ms.count_of(probe) == model.count(probe)
+    assert ms.check_structure()
+
+
+def _expand(items):
+    for key, count in items:
+        for _ in range(count):
+            yield key
+
+
+@pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+@given(
+    zeros=st.integers(min_value=0, max_value=50),
+    extra=st.lists(st.integers(min_value=-5, max_value=5), max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_from_zeros_then_mutate(name, zeros, extra):
+    impl = IMPLEMENTATIONS[name]
+    ms = impl.from_zeros(zeros)
+    model = [0] * zeros
+    for value in extra:
+        ms.insert(value)
+        bisect.insort(model, value)
+    assert list(_expand(ms.items())) == model
+    assert len(ms) == len(model)
+    assert ms.check_structure()

@@ -1,0 +1,154 @@
+"""Property-based tests: SProfile vs the bucket oracle.
+
+The central claim of the reproduction: after ANY ±1 event sequence,
+S-Profile's answers coincide with a trivially correct recomputation, and
+its internal invariants hold.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.baselines.bucket import BucketProfiler
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+
+# (object fraction of capacity, is_add) event encoded as two draws.
+events_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10 ** 9), st.booleans()),
+    max_size=300,
+)
+
+
+@st.composite
+def capacity_and_events(draw):
+    capacity = draw(st.integers(min_value=1, max_value=40))
+    raw = draw(events_strategy)
+    events = [(obj % capacity, is_add) for obj, is_add in raw]
+    return capacity, events
+
+
+@given(capacity_and_events())
+@settings(max_examples=150, deadline=None)
+def test_profile_matches_oracle_after_any_sequence(case):
+    capacity, events = case
+    profile = SProfile(capacity)
+    oracle = BucketProfiler(capacity)
+    for obj, is_add in events:
+        profile.update(obj, is_add)
+        oracle.update(obj, is_add)
+
+    audit_profile(profile)
+    freqs = oracle.frequencies()
+    sorted_freqs = sorted(freqs)
+
+    assert profile.frequencies() == freqs
+    assert profile.total == sum(freqs)
+    assert profile.max_frequency() == max(freqs)
+    assert profile.min_frequency() == min(freqs)
+    assert profile.median_frequency() == sorted_freqs[(capacity - 1) // 2]
+    assert profile.histogram() == sorted(Counter(freqs).items())
+
+    mode = profile.mode()
+    assert mode.frequency == max(freqs)
+    assert freqs[mode.example] == max(freqs)
+    assert mode.count == freqs.count(max(freqs))
+    assert sorted(profile.mode_objects()) == sorted(
+        x for x, f in enumerate(freqs) if f == max(freqs)
+    )
+
+    top = profile.top_k(capacity)
+    assert [entry.frequency for entry in top] == sorted_freqs[::-1]
+    assert sorted(entry.obj for entry in top) == list(range(capacity))
+
+
+@given(capacity_and_events())
+@settings(max_examples=60, deadline=None)
+def test_freq_index_variant_is_equivalent(case):
+    capacity, events = case
+    plain = SProfile(capacity)
+    indexed = SProfile(capacity, track_freq_index=True)
+    for obj, is_add in events:
+        plain.update(obj, is_add)
+        indexed.update(obj, is_add)
+    audit_profile(indexed)
+    assert plain.frequencies() == indexed.frequencies()
+    assert plain.blocks.as_tuples() == indexed.blocks.as_tuples()
+    for f in range(-5, 10):
+        assert plain.support(f) == indexed.support(f)
+
+
+@given(capacity_and_events())
+@settings(max_examples=60, deadline=None)
+def test_quantiles_match_sorted_array(case):
+    capacity, events = case
+    profile = SProfile(capacity)
+    freqs = [0] * capacity
+    for obj, is_add in events:
+        profile.update(obj, is_add)
+        freqs[obj] += 1 if is_add else -1
+    sorted_freqs = sorted(freqs)
+    for numerator in range(0, 11):
+        q = numerator / 10
+        assert profile.quantile(q) == sorted_freqs[int(q * (capacity - 1))]
+
+
+@given(
+    st.lists(st.integers(min_value=-20, max_value=20), max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_from_frequencies_round_trips(freqs):
+    profile = SProfile.from_frequencies(freqs)
+    audit_profile(profile)
+    assert profile.frequencies() == list(freqs)
+    assert profile.total == sum(freqs)
+
+
+class ProfileMachine(RuleBasedStateMachine):
+    """Stateful fuzz: arbitrary interleavings of events, growth, copies."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=16))
+    def setup(self, capacity):
+        self.capacity = capacity
+        self.profile = SProfile(capacity, track_freq_index=True)
+        self.model = [0] * capacity
+
+    @rule(obj=st.integers(min_value=0, max_value=10 ** 6))
+    def add(self, obj):
+        obj %= self.capacity
+        self.profile.add(obj)
+        self.model[obj] += 1
+
+    @rule(obj=st.integers(min_value=0, max_value=10 ** 6))
+    def remove(self, obj):
+        obj %= self.capacity
+        self.profile.remove(obj)
+        self.model[obj] -= 1
+
+    @rule(extra=st.integers(min_value=1, max_value=5))
+    def grow(self, extra):
+        self.profile.grow(extra)
+        self.model.extend([0] * extra)
+        self.capacity += extra
+
+    @rule()
+    def replace_with_copy(self):
+        self.profile = self.profile.copy()
+
+    @invariant()
+    def matches_model(self):
+        assert self.profile.frequencies() == self.model
+        audit_profile(self.profile)
+
+
+TestProfileMachine = ProfileMachine.TestCase
+TestProfileMachine.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)

@@ -1,0 +1,65 @@
+"""Property-based tests for distribution statistics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import SProfile
+from repro.core.stats import entropy, gini, summarize, top_share
+
+frequencies = st.lists(
+    st.integers(min_value=-10, max_value=30), min_size=1, max_size=60
+)
+
+
+@given(frequencies)
+@settings(max_examples=120, deadline=None)
+def test_gini_bounds(freqs):
+    value = gini(SProfile.from_frequencies(freqs))
+    assert 0.0 <= value <= 1.0
+
+
+@given(frequencies)
+@settings(max_examples=120, deadline=None)
+def test_entropy_bounds(freqs):
+    profile = SProfile.from_frequencies(freqs)
+    value = entropy(profile)
+    positive_objects = sum(1 for f in freqs if f > 0)
+    assert value >= 0.0
+    if positive_objects:
+        assert value <= math.log2(positive_objects) + 1e-9
+
+
+@given(frequencies)
+@settings(max_examples=80, deadline=None)
+def test_top_share_monotone_and_bounded(freqs):
+    profile = SProfile.from_frequencies(freqs)
+    shares = [top_share(profile, k) for k in range(len(freqs) + 1)]
+    assert all(0.0 <= s <= 1.0 + 1e-12 for s in shares)
+    assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+    if any(f > 0 for f in freqs):
+        assert shares[-1] > 0.999
+
+
+@given(frequencies)
+@settings(max_examples=80, deadline=None)
+def test_summary_consistency(freqs):
+    profile = SProfile.from_frequencies(freqs)
+    summary = summarize(profile)
+    assert summary.capacity == len(freqs)
+    assert summary.total == sum(freqs)
+    assert summary.min_frequency == min(freqs)
+    assert summary.max_frequency == max(freqs)
+    assert summary.min_frequency <= summary.median <= summary.max_frequency
+    assert summary.variance >= 0.0
+    assert summary.active == sum(1 for f in freqs if f != 0)
+
+
+@given(frequencies)
+@settings(max_examples=50, deadline=None)
+def test_entropy_invariant_under_permutation(freqs):
+    reversed_profile = SProfile.from_frequencies(list(reversed(freqs)))
+    profile = SProfile.from_frequencies(freqs)
+    assert entropy(profile) == entropy(reversed_profile)
+    assert gini(profile) == gini(reversed_profile)

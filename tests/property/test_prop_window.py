@@ -1,0 +1,79 @@
+"""Property-based tests: sliding windows equal from-scratch replays."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import SProfile
+from repro.streams.window import CountWindowProfiler, TimeWindowProfiler
+
+
+@st.composite
+def window_case(draw):
+    capacity = draw(st.integers(min_value=1, max_value=10))
+    window_size = draw(st.integers(min_value=1, max_value=20))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6), st.booleans()
+            ),
+            max_size=120,
+        )
+    )
+    events = [(obj % capacity, is_add) for obj, is_add in raw]
+    return capacity, window_size, events
+
+
+@given(window_case())
+@settings(max_examples=80, deadline=None)
+def test_count_window_equals_suffix_replay(case):
+    capacity, window_size, events = case
+    window = CountWindowProfiler(window_size, capacity=capacity)
+    for obj, is_add in events:
+        window.push(obj, is_add)
+
+    oracle = SProfile(capacity)
+    for obj, is_add in events[-window_size:]:
+        oracle.update(obj, is_add)
+
+    assert window.profiler.frequencies() == oracle.frequencies()
+    assert len(window) == min(len(events), window_size)
+
+
+@st.composite
+def timed_case(draw):
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    horizon = draw(st.floats(min_value=0.5, max_value=20.0))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=80)
+    )
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6), st.booleans()
+            ),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    events = [(obj % capacity, is_add) for obj, is_add in raw]
+    return capacity, horizon, gaps, events
+
+
+@given(timed_case())
+@settings(max_examples=60, deadline=None)
+def test_time_window_equals_horizon_replay(case):
+    capacity, horizon, gaps, events = case
+    window = TimeWindowProfiler(horizon, capacity=capacity)
+    clock = 0.0
+    stamped = []
+    for gap, (obj, is_add) in zip(gaps, events):
+        clock += gap
+        stamped.append((clock, obj, is_add))
+        window.push(obj, is_add, timestamp=clock)
+
+    oracle = SProfile(capacity)
+    for ts, obj, is_add in stamped:
+        if ts > clock - horizon:
+            oracle.update(obj, is_add)
+
+    assert window.profiler.frequencies() == oracle.frequencies()

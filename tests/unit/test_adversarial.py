@@ -1,0 +1,79 @@
+"""Unit tests for the adversarial stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import SProfile
+from repro.errors import StreamConfigError
+from repro.streams.adversarial import (
+    root_thrash_stream,
+    single_hot_object_stream,
+    staircase_stream,
+)
+
+
+class TestRootThrash:
+    def test_warmup_then_alternation(self):
+        stream = root_thrash_stream(1000, 64)
+        assert (stream.ids == 0).all()
+        # After the warm-up prefix the actions strictly alternate.
+        adds = stream.adds
+        warmup = int(np.argmin(adds))  # first remove marks the end
+        tail = adds[warmup:]
+        assert not tail[::2].any()
+        assert tail[1::2].all()
+
+    def test_net_frequency_stays_high(self):
+        stream = root_thrash_stream(1000, 64)
+        profile = SProfile(64)
+        profile.consume_arrays(*stream.arrays())
+        assert profile.frequency(0) > 0
+        assert profile.mode().example == 0
+
+    def test_validation(self):
+        with pytest.raises(StreamConfigError):
+            root_thrash_stream(-1, 4)
+        with pytest.raises(StreamConfigError):
+            root_thrash_stream(10, 0)
+
+
+class TestSingleHot:
+    def test_all_same_object(self):
+        stream = single_hot_object_stream(100, 10, hot=3)
+        assert (stream.ids == 3).all()
+        assert stream.adds.all()
+
+    def test_profile_degenerates_to_two_blocks(self):
+        stream = single_hot_object_stream(50, 10)
+        profile = SProfile(10)
+        profile.consume_arrays(*stream.arrays())
+        assert profile.block_count == 2
+        assert profile.mode().frequency == 50
+
+    def test_hot_out_of_range(self):
+        with pytest.raises(StreamConfigError):
+            single_hot_object_stream(10, 5, hot=5)
+
+
+class TestStaircase:
+    def test_distinct_frequencies_maximized(self):
+        universe = 20
+        events = universe * (universe + 1) // 2  # full staircase
+        stream = staircase_stream(events, universe)
+        profile = SProfile(universe)
+        profile.consume_arrays(*stream.arrays())
+        assert sorted(profile.frequencies()) == list(range(1, universe + 1))
+        assert profile.block_count == universe
+
+    def test_truncation(self):
+        stream = staircase_stream(7, 100)
+        assert len(stream) == 7
+
+    def test_saturation_continues_on_last_object(self):
+        universe = 3
+        full = universe * (universe + 1) // 2
+        stream = staircase_stream(full + 5, universe)
+        assert (stream.ids[full:] == universe - 1).all()
+
+    def test_all_adds(self):
+        assert staircase_stream(50, 10).adds.all()

@@ -1,0 +1,157 @@
+"""Unit tests for the benchmark harness (workloads, runner, reporting)."""
+
+import pytest
+
+from repro.baselines.registry import make_profiler
+from repro.bench.reporting import (
+    format_figure,
+    format_series_table,
+    summarize_speedups,
+)
+from repro.bench.runner import (
+    SeriesResult,
+    run_series,
+    time_median_workload,
+    time_mode_workload,
+    time_update_only,
+)
+from repro.bench.workloads import WORKLOAD_NAMES, build_stream, workload_for
+from repro.errors import StreamConfigError
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_all_workloads_build(self, name):
+        stream = build_stream(name, 500, 50, seed=1)
+        assert len(stream) == 500
+        assert stream.universe == 50
+
+    def test_memoization_returns_same_object(self):
+        a = build_stream("stream1", 100, 10, seed=0)
+        b = build_stream("stream1", 100, 10, seed=0)
+        assert a is b
+
+    def test_unknown_workload(self):
+        with pytest.raises(StreamConfigError):
+            build_stream("nope", 10, 10)
+
+    def test_workload_for_figures(self):
+        assert workload_for(3) == ("stream1", "stream2", "stream3")
+        assert workload_for(5) == ("stream1",)
+        with pytest.raises(StreamConfigError):
+            workload_for(7)
+
+
+class TestTimers:
+    @pytest.mark.parametrize(
+        "timer", [time_update_only, time_mode_workload]
+    )
+    def test_mode_timers_run_and_apply_events(self, timer):
+        stream = build_stream("stream1", 200, 20, seed=2)
+        profiler = make_profiler("sprofile", 20)
+        elapsed = timer(profiler, stream)
+        assert elapsed > 0
+        assert profiler.n_events == 200
+
+    def test_median_timer(self):
+        stream = build_stream("stream1", 200, 20, seed=2)
+        profiler = make_profiler("tree-treap", 20)
+        elapsed = time_median_workload(profiler, stream)
+        assert elapsed > 0
+        assert profiler.n_events == 200
+
+    def test_timers_leave_equivalent_state(self):
+        stream = build_stream("stream1", 300, 15, seed=3)
+        ours = make_profiler("sprofile", 15)
+        oracle = make_profiler("bucket", 15)
+        time_mode_workload(ours, stream)
+        oracle.consume_arrays(*stream.arrays())
+        assert ours.frequencies() == oracle.frequencies()
+
+
+class TestSeries:
+    def _toy_series(self):
+        return run_series(
+            title="toy",
+            x_label="n",
+            x_values=[100, 200],
+            profiler_factories={
+                "sprofile": lambda c: make_profiler("sprofile", c),
+                "heap-max": lambda c: make_profiler("heap-max", c),
+            },
+            stream_for_x=lambda n: build_stream("stream1", n, 20, seed=1),
+            capacity_for_x=lambda n: 20,
+            timer=time_mode_workload,
+            repeats=1,
+        )
+
+    def test_run_series_shape(self):
+        series = self._toy_series()
+        assert series.x_values == [100, 200]
+        assert set(series.times) == {"sprofile", "heap-max"}
+        assert all(len(times) == 2 for times in series.times.values())
+        assert all(
+            t > 0 for times in series.times.values() for t in times
+        )
+
+    def test_speedup_math(self):
+        series = SeriesResult(
+            title="t",
+            x_label="n",
+            x_values=[1, 2],
+            times={"base": [2.0, 9.0], "ours": [1.0, 3.0]},
+        )
+        assert series.speedup("base", "ours") == [2.0, 3.0]
+        assert series.min_speedup("base", "ours") == 2.0
+        assert series.max_speedup("base", "ours") == 3.0
+
+    def test_speedup_zero_denominator(self):
+        series = SeriesResult(
+            title="t", x_label="n", x_values=[1],
+            times={"base": [2.0], "ours": [0.0]},
+        )
+        assert series.speedup("base", "ours") == [float("inf")]
+
+
+class TestReporting:
+    def _series(self):
+        return SeriesResult(
+            title="demo",
+            x_label="n",
+            x_values=[1000, 2000],
+            times={"heap-max": [0.2, 0.4], "sprofile": [0.1, 0.1]},
+        )
+
+    def test_table_contains_rows_and_speedups(self):
+        table = format_series_table(self._series())
+        assert "demo" in table
+        assert "1,000" in table and "2,000" in table
+        assert "2.00x" in table and "4.00x" in table
+
+    def test_summary_line(self):
+        text = summarize_speedups(self._series())
+        assert "2.00x" in text and "4.00x" in text
+        assert "heap-max" in text
+
+    def test_time_formatting_ranges(self):
+        series = SeriesResult(
+            title="fmt", x_label="n", x_values=[1, 2, 3],
+            times={"a": [0.005, 5.0, 500.0], "sprofile": [1.0, 1.0, 1.0]},
+        )
+        table = format_series_table(series)
+        assert "ms" in table      # millisecond formatting
+        assert "5.000s" in table  # second formatting
+        assert "500.0s" in table  # large-value formatting
+
+    def test_format_figure(self):
+        from repro.bench.figures import FigureResult
+
+        result = FigureResult(
+            figure=3,
+            scale="tiny",
+            description="desc",
+            expectation="shape",
+            series=[self._series()],
+        )
+        text = format_figure(result)
+        assert "Figure 3" in text and "desc" in text and "shape" in text

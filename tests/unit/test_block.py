@@ -1,0 +1,107 @@
+"""Unit tests for Block and BlockPool."""
+
+import pytest
+
+from repro.core.block import Block, BlockPool
+
+
+class TestBlock:
+    def test_fields(self):
+        block = Block(2, 5, 7)
+        assert (block.l, block.r, block.f) == (2, 5, 7)
+
+    def test_len_counts_covered_ranks(self):
+        assert len(Block(2, 5, 0)) == 4
+        assert len(Block(3, 3, 0)) == 1
+
+    def test_len_of_emptied_block_is_nonpositive(self):
+        block = Block(3, 3, 0)
+        block.r = 2
+        assert len(block) <= 0
+
+    def test_contains(self):
+        block = Block(2, 5, 0)
+        assert 2 in block
+        assert 5 in block
+        assert 3 in block
+        assert 1 not in block
+        assert 6 not in block
+
+    def test_as_tuple(self):
+        assert Block(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_repr_mentions_fields(self):
+        text = repr(Block(1, 2, 3))
+        assert "l=1" in text and "r=2" in text and "f=3" in text
+
+    def test_equality_by_value(self):
+        assert Block(1, 2, 3) == Block(1, 2, 3)
+        assert Block(1, 2, 3) != Block(1, 2, 4)
+
+    def test_equality_with_other_type(self):
+        assert Block(1, 2, 3) != (1, 2, 3)
+
+    def test_hash_is_identity_based(self):
+        a = Block(1, 2, 3)
+        b = Block(1, 2, 3)
+        assert hash(a) != hash(b) or a is b
+        # Identity hashing lets equal-valued blocks coexist in a set.
+        assert len({a, b}) == 2
+
+    def test_mutation(self):
+        block = Block(0, 4, 1)
+        block.l = 2
+        block.f = 9
+        assert block.as_tuple() == (2, 4, 9)
+
+
+class TestBlockPool:
+    def test_acquire_creates_when_empty(self):
+        pool = BlockPool()
+        block = pool.acquire(0, 1, 2)
+        assert block.as_tuple() == (0, 1, 2)
+        assert pool.stats.created == 1
+        assert pool.stats.recycled == 0
+
+    def test_release_then_acquire_recycles(self):
+        pool = BlockPool()
+        block = pool.acquire(0, 0, 0)
+        pool.release(block)
+        assert pool.free_count == 1
+        again = pool.acquire(5, 6, 7)
+        assert again is block
+        assert again.as_tuple() == (5, 6, 7)
+        assert pool.stats.recycled == 1
+
+    def test_max_free_bounds_retention(self):
+        pool = BlockPool(max_free=1)
+        first = pool.acquire(0, 0, 0)
+        second = pool.acquire(1, 1, 1)
+        pool.release(first)
+        pool.release(second)
+        assert pool.free_count == 1
+        assert pool.stats.released == 2
+
+    def test_max_free_zero_never_retains(self):
+        pool = BlockPool(max_free=0)
+        block = pool.acquire(0, 0, 0)
+        pool.release(block)
+        assert pool.free_count == 0
+
+    def test_negative_max_free_rejected(self):
+        with pytest.raises(ValueError):
+            BlockPool(max_free=-1)
+
+    def test_recycle_ratio(self):
+        pool = BlockPool()
+        block = pool.acquire(0, 0, 0)
+        assert pool.stats.recycle_ratio == 0.0
+        pool.release(block)
+        pool.acquire(0, 0, 0)
+        assert pool.stats.recycle_ratio == pytest.approx(0.5)
+
+    def test_recycle_ratio_empty_pool(self):
+        assert BlockPool().stats.recycle_ratio == 0.0
+
+    def test_repr(self):
+        assert "BlockPool" in repr(BlockPool())

@@ -1,0 +1,175 @@
+"""Unit tests for the BlockSet partition structure."""
+
+import pytest
+
+from repro.core.block import BlockPool
+from repro.core.blockset import BlockSet
+from repro.errors import EmptyProfileError, InvariantViolationError
+
+
+class TestConstruction:
+    def test_initial_single_block(self):
+        bset = BlockSet(5)
+        assert bset.capacity == 5
+        assert bset.n_blocks == 1
+        block = bset.block_at(0)
+        assert block.as_tuple() == (0, 4, 0)
+        assert all(bset.block_at(rank) is block for rank in range(5))
+
+    def test_initial_frequency(self):
+        bset = BlockSet(3, initial_frequency=7)
+        assert bset.block_at(1).f == 7
+
+    def test_zero_capacity(self):
+        bset = BlockSet(0)
+        assert bset.capacity == 0
+        assert bset.n_blocks == 0
+        assert list(bset.iter_blocks()) == []
+        bset.audit()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSet(-1)
+
+    def test_custom_pool_is_used(self):
+        pool = BlockPool()
+        bset = BlockSet(3, pool=pool)
+        assert bset.pool is pool
+        assert pool.stats.created == 1
+
+    def test_repr(self):
+        assert "BlockSet" in repr(BlockSet(3))
+
+
+class TestFromRuns:
+    def test_valid_runs(self):
+        runs = [(0, 1, -2), (2, 2, 0), (3, 5, 4)]
+        bset = BlockSet.from_runs(6, runs)
+        assert bset.as_tuples() == runs
+        assert bset.n_blocks == 3
+
+    def test_empty(self):
+        bset = BlockSet.from_runs(0, [])
+        assert bset.capacity == 0
+
+    def test_gap_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(4, [(0, 1, 0), (3, 3, 1)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(4, [(0, 2, 0), (2, 3, 1)])
+
+    def test_non_increasing_frequency_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(4, [(0, 1, 5), (2, 3, 5)])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(3, [(0, 3, 0)])
+
+    def test_freq_index_built(self):
+        bset = BlockSet.from_runs(
+            3, [(0, 0, 1), (1, 2, 5)], track_freq_index=True
+        )
+        assert bset.block_for_frequency(5).as_tuple() == (1, 2, 5)
+
+
+class TestAccess:
+    def test_block_at_bounds(self):
+        bset = BlockSet(3)
+        with pytest.raises(IndexError):
+            bset.block_at(3)
+        with pytest.raises(IndexError):
+            bset.block_at(-1)
+
+    def test_leftmost_rightmost(self):
+        bset = BlockSet.from_runs(4, [(0, 1, 0), (2, 3, 2)])
+        assert bset.leftmost().f == 0
+        assert bset.rightmost().f == 2
+
+    def test_leftmost_empty_raises(self):
+        with pytest.raises(EmptyProfileError):
+            BlockSet(0).leftmost()
+        with pytest.raises(EmptyProfileError):
+            BlockSet(0).rightmost()
+
+    def test_iter_blocks_ascending(self):
+        runs = [(0, 0, -1), (1, 2, 0), (3, 3, 9)]
+        bset = BlockSet.from_runs(4, runs)
+        assert [b.as_tuple() for b in bset.iter_blocks()] == runs
+
+    def test_iter_blocks_desc(self):
+        runs = [(0, 0, -1), (1, 2, 0), (3, 3, 9)]
+        bset = BlockSet.from_runs(4, runs)
+        assert [b.as_tuple() for b in bset.iter_blocks_desc()] == runs[::-1]
+
+
+class TestFrequencyLookup:
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_block_for_frequency_found(self, indexed):
+        bset = BlockSet.from_runs(
+            5, [(0, 1, -3), (2, 2, 0), (3, 4, 2)], track_freq_index=indexed
+        )
+        assert bset.block_for_frequency(-3).as_tuple() == (0, 1, -3)
+        assert bset.block_for_frequency(0).as_tuple() == (2, 2, 0)
+        assert bset.block_for_frequency(2).as_tuple() == (3, 4, 2)
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_block_for_frequency_missing(self, indexed):
+        bset = BlockSet.from_runs(
+            5, [(0, 1, -3), (2, 2, 0), (3, 4, 2)], track_freq_index=indexed
+        )
+        assert bset.block_for_frequency(1) is None
+        assert bset.block_for_frequency(99) is None
+        assert bset.block_for_frequency(-99) is None
+
+    def test_tracks_freq_index_flag(self):
+        assert BlockSet(2, track_freq_index=True).tracks_freq_index
+        assert not BlockSet(2).tracks_freq_index
+
+
+class TestCreateDrop:
+    def test_create_registers(self):
+        bset = BlockSet(4, track_freq_index=True)
+        # Manually restructure: shrink the zero block and add a new one.
+        zero = bset.block_at(0)
+        zero.r = 2
+        block = bset.create(3, 3, 5)
+        bset._ptrb[3] = block
+        assert bset.n_blocks == 2
+        bset.audit()
+
+    def test_drop_unregisters(self):
+        bset = BlockSet(4, track_freq_index=True)
+        zero = bset.block_at(0)
+        zero.r = 2
+        block = bset.create(3, 3, 5)
+        bset._ptrb[3] = block
+        # Undo it.
+        zero.r = 3
+        bset._ptrb[3] = zero
+        bset.drop(block)
+        assert bset.n_blocks == 1
+        assert bset.block_for_frequency(5) is None
+        bset.audit()
+
+
+class TestAudit:
+    def test_detects_bad_pointer(self):
+        bset = BlockSet.from_runs(4, [(0, 1, 0), (2, 3, 1)])
+        bset._ptrb[1] = bset.block_at(2)
+        with pytest.raises(InvariantViolationError):
+            bset.audit()
+
+    def test_detects_wrong_counter(self):
+        bset = BlockSet(4)
+        bset._n_blocks = 2
+        with pytest.raises(InvariantViolationError):
+            bset.audit()
+
+    def test_detects_desynced_index(self):
+        bset = BlockSet(4, track_freq_index=True)
+        bset._freq_index[99] = bset.block_at(0)
+        with pytest.raises(InvariantViolationError):
+            bset.audit()

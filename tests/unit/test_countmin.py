@@ -1,0 +1,125 @@
+"""Unit tests for the Count-Min sketch."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.approx.countmin import CountMinSketch
+from repro.errors import CapacityError
+
+
+class TestBasics:
+    def test_point_counts(self):
+        sketch = CountMinSketch(128, 4)
+        sketch.add("a")
+        sketch.add("a")
+        sketch.add("b")
+        assert sketch.estimate("a") >= 2
+        assert sketch.estimate("b") >= 1
+        assert sketch.total == 3
+
+    def test_never_underestimates_add_only(self):
+        rng = random.Random(3)
+        sketch = CountMinSketch(64, 4)
+        truth = Counter()
+        for _ in range(2000):
+            obj = rng.randrange(500)
+            sketch.add(obj)
+            truth[obj] += 1
+        for obj, count in truth.items():
+            assert sketch.estimate(obj) >= count
+
+    def test_error_bound_holds_with_margin(self):
+        rng = random.Random(9)
+        sketch = CountMinSketch.from_error(eps=0.01, delta=0.01)
+        truth = Counter()
+        for _ in range(5000):
+            obj = rng.randrange(2000)
+            sketch.add(obj)
+            truth[obj] += 1
+        bound = sketch.error_bound()
+        violations = sum(
+            1
+            for obj, count in truth.items()
+            if sketch.estimate(obj) - count > bound
+        )
+        # delta = 1% per query; allow a little slack over 2000 queries.
+        assert violations <= len(truth) * 0.05
+
+    def test_removals_turnstile(self):
+        sketch = CountMinSketch(128, 4)
+        sketch.add("x", 5)
+        sketch.remove("x", 2)
+        assert sketch.estimate("x") >= 3
+        assert sketch.total == 3
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch(128, 4)
+        sketch.add("x", 10)
+        assert sketch.estimate("x") >= 10
+
+    def test_deterministic_given_seed(self):
+        a = CountMinSketch(32, 3, seed=5)
+        b = CountMinSketch(32, 3, seed=5)
+        for obj in range(100):
+            a.add(obj)
+            b.add(obj)
+        for obj in range(100):
+            assert a.estimate(obj) == b.estimate(obj)
+
+    def test_from_error_sizing(self):
+        sketch = CountMinSketch.from_error(eps=0.001, delta=0.01)
+        assert sketch.width >= 2718
+        assert sketch.depth >= 5
+
+    def test_empty_error_bound(self):
+        assert CountMinSketch(8, 2).error_bound() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            CountMinSketch(0, 2)
+        with pytest.raises(CapacityError):
+            CountMinSketch(8, 0)
+        with pytest.raises(CapacityError):
+            CountMinSketch.from_error(eps=0.0, delta=0.1)
+        with pytest.raises(CapacityError):
+            CountMinSketch.from_error(eps=0.1, delta=1.5)
+
+    def test_hashable_objects(self):
+        sketch = CountMinSketch(64, 3)
+        for obj in ["str", 42, ("tuple", 1), frozenset({1})]:
+            sketch.add(obj)
+            assert sketch.estimate(obj) >= 1
+
+    def test_repr(self):
+        assert "CountMinSketch" in repr(CountMinSketch(8, 2))
+
+
+class TestVsExact:
+    def test_sprofile_is_exact_where_sketch_is_not(self):
+        """The reproduction's point: with O(m) space S-Profile is exact;
+        a narrow sketch overestimates cold objects."""
+        from repro.core.profile import SProfile
+
+        rng = random.Random(1)
+        universe = 2000
+        profile = SProfile(universe)
+        sketch = CountMinSketch(32, 4)  # deliberately too narrow
+        truth = Counter()
+        for _ in range(20000):
+            obj = rng.randrange(universe)
+            profile.add(obj)
+            sketch.add(obj)
+            truth[obj] += 1
+
+        exact_errors = sum(
+            1 for obj in range(universe)
+            if profile.frequency(obj) != truth[obj]
+        )
+        sketch_errors = sum(
+            1 for obj in range(universe)
+            if sketch.estimate(obj) != truth[obj]
+        )
+        assert exact_errors == 0
+        assert sketch_errors > universe // 2

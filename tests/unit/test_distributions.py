@@ -1,0 +1,141 @@
+"""Unit tests for the id samplers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamConfigError
+from repro.streams.distributions import (
+    ConstantSampler,
+    LognormalSampler,
+    NormalSampler,
+    UniformSampler,
+    ZipfSampler,
+    derive_lognormal_params,
+)
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(42)
+
+
+def assert_in_range(ids: np.ndarray, universe: int):
+    assert ids.dtype == np.int64
+    assert ids.min() >= 0
+    assert ids.max() < universe
+
+
+class TestUniform:
+    def test_range_and_coverage(self, np_rng):
+        sampler = UniformSampler(50)
+        ids = sampler.sample(np_rng, 5000)
+        assert_in_range(ids, 50)
+        assert len(np.unique(ids)) == 50  # every id hit at this size
+
+    def test_roughly_uniform(self, np_rng):
+        ids = UniformSampler(10).sample(np_rng, 20000)
+        counts = np.bincount(ids, minlength=10)
+        assert counts.min() > 1600 and counts.max() < 2400
+
+    def test_invalid_universe(self):
+        with pytest.raises(StreamConfigError):
+            UniformSampler(0)
+
+
+class TestNormal:
+    def test_range(self, np_rng):
+        sampler = NormalSampler(100, mean=200, std=50)  # mass clips right
+        ids = sampler.sample(np_rng, 1000)
+        assert_in_range(ids, 100)
+
+    def test_mean_location(self, np_rng):
+        sampler = NormalSampler(1000, mean=700, std=50)
+        ids = sampler.sample(np_rng, 10000)
+        assert 680 < ids.mean() < 720
+
+    def test_invalid_std(self):
+        with pytest.raises(StreamConfigError):
+            NormalSampler(10, mean=5, std=0)
+
+    def test_properties(self):
+        sampler = NormalSampler(10, mean=5, std=2)
+        assert sampler.mean == 5 and sampler.std == 2
+        assert "NormalSampler" in repr(sampler)
+
+
+class TestLognormalDerivation:
+    @pytest.mark.parametrize(
+        "mean,std", [(1.0, 1.0), (600.0, 1000.0), (3.0, 0.5)]
+    )
+    def test_inverts_moments(self, mean, std):
+        mu, sigma = derive_lognormal_params(mean, std)
+        implied_mean = math.exp(mu + sigma**2 / 2)
+        implied_var = (math.exp(sigma**2) - 1) * math.exp(2 * mu + sigma**2)
+        assert implied_mean == pytest.approx(mean, rel=1e-9)
+        assert math.sqrt(implied_var) == pytest.approx(std, rel=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StreamConfigError):
+            derive_lognormal_params(0.0, 1.0)
+        with pytest.raises(StreamConfigError):
+            derive_lognormal_params(1.0, 0.0)
+
+
+class TestLognormalSampler:
+    def test_range(self, np_rng):
+        sampler = LognormalSampler(1000, mean=600, std=1000)
+        ids = sampler.sample(np_rng, 5000)
+        assert_in_range(ids, 1000)
+
+    def test_empirical_moments_before_clipping(self, np_rng):
+        # Use a huge universe so clipping is negligible, then check the
+        # sampled mean against the requested id-space mean.
+        sampler = LognormalSampler(10**9, mean=1000.0, std=500.0)
+        ids = sampler.sample(np_rng, 200_000)
+        assert ids.mean() == pytest.approx(1000.0, rel=0.05)
+        assert ids.std() == pytest.approx(500.0, rel=0.10)
+
+    def test_underlying_property(self):
+        sampler = LognormalSampler(100, mean=60, std=100)
+        mu, sigma = sampler.underlying
+        assert sigma > 0
+        assert "LognormalSampler" in repr(sampler)
+
+
+class TestZipf:
+    def test_range(self, np_rng):
+        sampler = ZipfSampler(100, exponent=1.5)
+        ids = sampler.sample(np_rng, 5000)
+        assert_in_range(ids, 100)
+
+    def test_head_heavier_than_tail(self, np_rng):
+        ids = ZipfSampler(100, exponent=1.5).sample(np_rng, 20000)
+        counts = np.bincount(ids, minlength=100)
+        assert counts[0] > counts[50] and counts[0] > counts[99]
+        assert counts[0] > len(ids) * 0.3
+
+    def test_invalid_exponent(self):
+        with pytest.raises(StreamConfigError):
+            ZipfSampler(10, exponent=1.0)
+
+    def test_exponent_property(self):
+        sampler = ZipfSampler(10, exponent=2.0)
+        assert sampler.exponent == 2.0
+        assert "ZipfSampler" in repr(sampler)
+
+
+class TestConstant:
+    def test_always_same(self, np_rng):
+        sampler = ConstantSampler(10, value=7)
+        ids = sampler.sample(np_rng, 100)
+        assert (ids == 7).all()
+        assert sampler.value == 7
+
+    def test_out_of_range_value(self):
+        with pytest.raises(StreamConfigError):
+            ConstantSampler(5, value=5)
+
+    def test_repr(self):
+        assert "ConstantSampler" in repr(ConstantSampler(5, value=1))

@@ -1,0 +1,30 @@
+"""Keep the documentation examples executable."""
+
+import doctest
+
+import pytest
+
+import repro.apps.leaderboard
+import repro.apps.median_service
+import repro.apps.topk_tracker
+import repro.approx.spacesaving
+import repro.core.dynamic
+import repro.core.profile
+
+MODULES = [
+    repro.apps.leaderboard,
+    repro.apps.median_service,
+    repro.apps.topk_tracker,
+    repro.approx.spacesaving,
+    repro.core.dynamic,
+    repro.core.profile,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0  # the module must actually carry examples

@@ -1,0 +1,260 @@
+"""Unit tests for DynamicProfiler (growable universe, arbitrary ids)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicProfiler
+from repro.core.validation import audit_profile
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    UnknownObjectError,
+)
+
+
+class TestRegistration:
+    def test_add_registers(self):
+        profiler = DynamicProfiler()
+        profiler.add("ada")
+        assert "ada" in profiler
+        assert len(profiler) == 1
+        assert profiler.frequency("ada") == 1
+
+    def test_register_without_event(self):
+        profiler = DynamicProfiler()
+        profiler.register("bob")
+        assert profiler.frequency("bob") == 0
+        assert len(profiler) == 1
+        assert profiler.n_events == 0
+
+    def test_unknown_frequency_is_zero(self):
+        profiler = DynamicProfiler()
+        assert profiler.frequency("ghost") == 0
+        assert "ghost" not in profiler
+
+    def test_growth_doubles_capacity(self):
+        profiler = DynamicProfiler(initial_capacity=8)
+        for i in range(9):
+            profiler.add(f"user{i}")
+        assert len(profiler) == 9
+        assert profiler.physical_capacity >= 16
+        audit_profile(profiler.profile)
+
+    def test_many_registrations(self):
+        profiler = DynamicProfiler()
+        for i in range(500):
+            profiler.add(i)
+        assert len(profiler) == 500
+        assert profiler.total == 500
+        assert profiler.mode().frequency == 1
+        audit_profile(profiler.profile)
+
+    def test_negative_initial_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            DynamicProfiler(initial_capacity=-1)
+
+
+class TestRemoveSemantics:
+    def test_remove_known(self):
+        profiler = DynamicProfiler()
+        profiler.add("x")
+        profiler.remove("x")
+        assert profiler.frequency("x") == 0
+
+    def test_remove_unknown_registers_at_minus_one(self):
+        profiler = DynamicProfiler()
+        profiler.remove("y")
+        assert profiler.frequency("y") == -1
+        assert profiler.least().frequency == -1
+
+    def test_strict_remove_unknown_raises(self):
+        profiler = DynamicProfiler(allow_negative=False)
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove("never-seen")
+        assert "never-seen" not in profiler
+
+    def test_strict_remove_at_zero_raises(self):
+        profiler = DynamicProfiler(allow_negative=False)
+        profiler.add("x")
+        profiler.remove("x")
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove("x")
+
+    def test_update_dispatch(self):
+        profiler = DynamicProfiler()
+        profiler.update("a", True)
+        profiler.update("a", False)
+        assert profiler.frequency("a") == 0
+        assert profiler.n_events == 2
+
+
+class TestPhantomAwareQueries:
+    def test_mode_ignores_phantoms(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        result = profiler.mode()
+        assert result.frequency == 1
+        assert result.example == "a"
+        assert result.count == 1
+
+    def test_mode_at_zero_with_ties(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.register("a")
+        profiler.register("b")
+        result = profiler.mode()
+        assert result.frequency == 0
+        assert result.count == 2
+        assert result.example in ("a", "b")
+
+    def test_mode_all_negative(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.remove("a")
+        profiler.remove("b")
+        result = profiler.mode()
+        assert result.frequency == -1
+        assert result.count == 2
+
+    def test_least_skips_phantom_zero_block(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.add("a")
+        result = profiler.least()
+        # Only "a" is registered; the least frequency must be 2, not the
+        # phantoms' zero.
+        assert result.frequency == 2
+        assert result.example == "a"
+
+    def test_least_zero_with_real_zeros(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        result = profiler.least()
+        assert result.frequency == 0
+        assert result.example == "b"
+        assert result.count == 1
+
+    def test_empty_raises(self):
+        profiler = DynamicProfiler()
+        with pytest.raises(EmptyProfileError):
+            profiler.mode()
+        with pytest.raises(EmptyProfileError):
+            profiler.median_frequency()
+
+    def test_median_over_registered_only(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        for __ in range(3):
+            profiler.add("hot")
+        profiler.add("warm")
+        profiler.register("cold")
+        # Registered frequencies: [0, 1, 3] -> median 1.
+        assert profiler.median_frequency() == 1
+
+    def test_quantiles_over_registered_only(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.remove("low")        # -1
+        profiler.add("mid")           # 1
+        profiler.add("high")
+        profiler.add("high")          # 2
+        assert profiler.quantile(0.0) == -1
+        assert profiler.quantile(1.0) == 2
+        with pytest.raises(CapacityError):
+            profiler.quantile(2.0)
+
+    def test_top_k_excludes_phantoms(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        entries = profiler.top_k(10)
+        assert [entry.obj for entry in entries] == ["a", "b"]
+
+    def test_top_k_negative_k_rejected(self):
+        with pytest.raises(CapacityError):
+            DynamicProfiler().top_k(-1)
+
+    def test_bottom_k_excludes_phantoms(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        entries = profiler.bottom_k(10)
+        assert [entry.obj for entry in entries] == ["b", "a"]
+
+    def test_histogram_subtracts_phantoms(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        assert profiler.histogram() == [(0, 1), (1, 1)]
+
+    def test_histogram_drops_empty_zero_entry(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        assert profiler.histogram() == [(1, 1)]
+
+    def test_support(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        assert profiler.support(0) == 1
+        assert profiler.support(1) == 1
+        assert profiler.support(5) == 0
+
+    def test_objects_with_frequency_filters_phantoms(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.register("b")
+        assert profiler.objects_with_frequency(0) == ["b"]
+        assert profiler.objects_with_frequency(1) == ["a"]
+        assert profiler.objects_with_frequency(0, limit=0) == []
+
+    def test_majority(self):
+        profiler = DynamicProfiler()
+        for __ in range(3):
+            profiler.add("big")
+        profiler.add("small")
+        assert profiler.majority() == "big"
+        assert DynamicProfiler().majority() is None
+
+    def test_items_sorted_ascending(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.add("a")
+        profiler.add("b")
+        profiler.register("c")
+        items = list(profiler.items())
+        assert items == [("c", 0), ("b", 1), ("a", 2)]
+
+
+class TestSnapshotAndTranslation:
+    def test_snapshot_logical_universe(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        profiler.add("a")
+        profiler.register("b")
+        snap = profiler.snapshot()
+        assert snap.capacity == 2
+        assert sorted(snap.frequencies()) == [0, 2]
+        assert snap.total == 2
+
+    def test_snapshot_external_translation(self):
+        profiler = DynamicProfiler(initial_capacity=64)
+        profiler.add("a")
+        snap = profiler.snapshot()
+        dense_mode = snap.mode().example
+        assert profiler.external(dense_mode) == "a"
+
+    def test_external_out_of_range(self):
+        profiler = DynamicProfiler()
+        profiler.add("a")
+        with pytest.raises(UnknownObjectError):
+            profiler.external(1)
+
+    def test_counts(self):
+        profiler = DynamicProfiler(initial_capacity=8)
+        profiler.add("a")
+        profiler.remove("b")
+        assert profiler.total == 0
+        assert profiler.active_count == 2
+        assert profiler.phantom_count == profiler.physical_capacity - 2
+        assert profiler.allow_negative
+
+    def test_repr(self):
+        assert "DynamicProfiler" in repr(DynamicProfiler())

@@ -1,0 +1,50 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CapacityError,
+            errors.UnknownObjectError,
+            errors.FrequencyUnderflowError,
+            errors.EmptyProfileError,
+            errors.UnsupportedQueryError,
+            errors.InvariantViolationError,
+            errors.CheckpointError,
+            errors.StreamConfigError,
+            errors.WindowError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_capacity_error_is_value_error(self):
+        # Callers using stdlib idioms must still catch these.
+        assert issubclass(errors.CapacityError, ValueError)
+        assert issubclass(errors.FrequencyUnderflowError, ValueError)
+        assert issubclass(errors.CheckpointError, ValueError)
+        assert issubclass(errors.StreamConfigError, ValueError)
+        assert issubclass(errors.WindowError, ValueError)
+
+    def test_unknown_object_is_key_error(self):
+        assert issubclass(errors.UnknownObjectError, KeyError)
+
+    def test_unsupported_query_is_not_implemented(self):
+        assert issubclass(errors.UnsupportedQueryError, NotImplementedError)
+
+    def test_invariant_violation_is_assertion(self):
+        assert issubclass(errors.InvariantViolationError, AssertionError)
+
+
+class TestUnsupportedQueryError:
+    def test_carries_context(self):
+        exc = errors.UnsupportedQueryError("heap-max", "median")
+        assert exc.profiler == "heap-max"
+        assert exc.query == "median"
+        assert "heap-max" in str(exc)
+        assert "median" in str(exc)

@@ -1,0 +1,39 @@
+"""Unit tests for the event vocabulary."""
+
+from repro.streams.events import Action, Event
+
+
+class TestAction:
+    def test_opposites(self):
+        assert Action.ADD.opposite is Action.REMOVE
+        assert Action.REMOVE.opposite is Action.ADD
+
+    def test_is_add(self):
+        assert Action.ADD.is_add
+        assert not Action.REMOVE.is_add
+
+    def test_from_flag(self):
+        assert Action.from_flag(True) is Action.ADD
+        assert Action.from_flag(False) is Action.REMOVE
+
+    def test_str(self):
+        assert str(Action.ADD) == "add"
+        assert str(Action.REMOVE) == "remove"
+
+
+class TestEvent:
+    def test_fields(self):
+        event = Event(3, Action.ADD)
+        assert event.obj == 3
+        assert event.is_add
+
+    def test_opposite(self):
+        event = Event(3, Action.ADD)
+        flipped = event.opposite()
+        assert flipped.obj == 3
+        assert flipped.action is Action.REMOVE
+        assert flipped.opposite() == event
+
+    def test_tuple_behaviour(self):
+        obj, action = Event(1, Action.REMOVE)
+        assert obj == 1 and action is Action.REMOVE

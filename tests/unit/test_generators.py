@@ -1,0 +1,220 @@
+"""Unit tests for stream generation and the paper's Stream1/2/3."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamConfigError
+from repro.streams.distributions import UniformSampler
+from repro.streams.events import Action
+from repro.streams.generators import (
+    LogStream,
+    PAPER_STREAM_NAMES,
+    StreamConfig,
+    generate_stream,
+    paper_stream,
+)
+
+
+class TestLogStream:
+    def test_validation_shape_mismatch(self):
+        with pytest.raises(StreamConfigError):
+            LogStream(
+                ids=np.zeros(3, dtype=np.int64),
+                adds=np.ones(2, dtype=bool),
+                universe=5,
+            )
+
+    def test_validation_out_of_universe(self):
+        with pytest.raises(StreamConfigError):
+            LogStream(
+                ids=np.array([0, 9], dtype=np.int64),
+                adds=np.ones(2, dtype=bool),
+                universe=5,
+            )
+
+    def test_validation_dimensions(self):
+        with pytest.raises(StreamConfigError):
+            LogStream(
+                ids=np.zeros((2, 2), dtype=np.int64),
+                adds=np.ones((2, 2), dtype=bool),
+                universe=5,
+            )
+
+    def test_iteration_yields_events(self):
+        stream = LogStream(
+            ids=np.array([1, 2], dtype=np.int64),
+            adds=np.array([True, False]),
+            universe=5,
+        )
+        events = list(stream)
+        assert events[0].obj == 1 and events[0].action is Action.ADD
+        assert events[1].obj == 2 and events[1].action is Action.REMOVE
+
+    def test_prefix(self):
+        stream = LogStream(
+            ids=np.arange(5, dtype=np.int64),
+            adds=np.ones(5, dtype=bool),
+            universe=5,
+        )
+        head = stream.prefix(2)
+        assert len(head) == 2
+        assert head.universe == 5
+        with pytest.raises(StreamConfigError):
+            stream.prefix(6)
+
+    def test_add_fraction(self):
+        stream = LogStream(
+            ids=np.zeros(4, dtype=np.int64),
+            adds=np.array([True, True, True, False]),
+            universe=1,
+        )
+        assert stream.add_fraction == pytest.approx(0.75)
+
+    def test_empty_stream(self):
+        stream = LogStream(
+            ids=np.zeros(0, dtype=np.int64),
+            adds=np.zeros(0, dtype=bool),
+            universe=3,
+        )
+        assert len(stream) == 0
+        assert stream.add_fraction == 0.0
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        config = StreamConfig(n_events=10, universe=5)
+        assert config.p_add == pytest.approx(0.7)
+        assert config.policy == "allow"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_events": -1, "universe": 5},
+            {"n_events": 5, "universe": 0},
+            {"n_events": 5, "universe": 5, "p_add": 1.5},
+            {"n_events": 5, "universe": 5, "policy": "bounce"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(StreamConfigError):
+            StreamConfig(**kwargs)
+
+    def test_sampler_universe_mismatch(self):
+        with pytest.raises(StreamConfigError):
+            StreamConfig(
+                n_events=5, universe=5, pos_sampler=UniformSampler(6)
+            )
+
+    def test_with_size_same_universe_keeps_samplers(self):
+        config = paper_stream("stream2", 100, 50)
+        resized = config.with_size(200)
+        assert resized.n_events == 200
+        assert resized.pos_sampler is config.pos_sampler
+
+    def test_with_size_new_universe_drops_samplers(self):
+        config = paper_stream("stream2", 100, 50)
+        resized = config.with_size(200, universe=99)
+        assert resized.universe == 99
+        assert resized.pos_sampler is None
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = paper_stream("stream1", 500, 20, seed=7)
+        a = generate_stream(config)
+        b = generate_stream(config)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.adds, b.adds)
+
+    def test_different_seeds_differ(self):
+        a = generate_stream(paper_stream("stream1", 500, 20, seed=1))
+        b = generate_stream(paper_stream("stream1", 500, 20, seed=2))
+        assert not np.array_equal(a.ids, b.ids)
+
+    def test_add_fraction_near_paper_mix(self):
+        stream = generate_stream(paper_stream("stream1", 20_000, 100, seed=0))
+        assert stream.add_fraction == pytest.approx(0.7, abs=0.02)
+
+    def test_all_adds(self):
+        config = StreamConfig(n_events=100, universe=5, p_add=1.0)
+        stream = generate_stream(config)
+        assert stream.adds.all()
+
+    def test_all_removes(self):
+        config = StreamConfig(n_events=100, universe=5, p_add=0.0)
+        stream = generate_stream(config)
+        assert not stream.adds.any()
+
+    def test_zero_events(self):
+        stream = generate_stream(StreamConfig(n_events=0, universe=5))
+        assert len(stream) == 0
+
+    @pytest.mark.parametrize("name", PAPER_STREAM_NAMES)
+    def test_paper_streams_generate(self, name):
+        stream = generate_stream(paper_stream(name, 2000, 100, seed=3))
+        assert len(stream) == 2000
+        assert stream.name == name
+        assert stream.ids.min() >= 0 and stream.ids.max() < 100
+
+    def test_paper_stream_aliases(self):
+        assert paper_stream("2", 10, 10).name == "stream2"
+        assert paper_stream("STREAM3", 10, 10).name == "stream3"
+
+    def test_unknown_paper_stream(self):
+        with pytest.raises(StreamConfigError):
+            paper_stream("stream9", 10, 10)
+
+    def test_stream2_mass_locations(self):
+        """posPDF centers at 2m/3, negPDF at m/3 (paper section 3)."""
+        stream = generate_stream(paper_stream("stream2", 50_000, 3000, seed=1))
+        pos_ids = stream.ids[stream.adds]
+        neg_ids = stream.ids[~stream.adds]
+        assert abs(pos_ids.mean() - 2000) < 60
+        assert abs(neg_ids.mean() - 1000) < 60
+
+
+class TestPolicies:
+    def _never_underflows(self, stream):
+        counts = {}
+        for event in stream:
+            delta = 1 if event.is_add else -1
+            counts[event.obj] = counts.get(event.obj, 0) + delta
+            assert counts[event.obj] >= 0
+
+    @pytest.mark.parametrize("policy", ["flip", "skip"])
+    def test_policies_prevent_underflow(self, policy):
+        config = paper_stream("stream1", 3000, 40, seed=5, policy=policy)
+        stream = generate_stream(config)
+        self._never_underflows(stream)
+
+    def test_allow_policy_can_underflow(self):
+        config = paper_stream("stream1", 3000, 40, seed=5, policy="allow")
+        stream = generate_stream(config)
+        counts = {}
+        saw_negative = False
+        for event in stream:
+            delta = 1 if event.is_add else -1
+            counts[event.obj] = counts.get(event.obj, 0) + delta
+            if counts[event.obj] < 0:
+                saw_negative = True
+                break
+        assert saw_negative
+
+    def test_flip_preserves_object_choice(self):
+        allowed = generate_stream(
+            paper_stream("stream1", 1000, 10, seed=2, policy="allow")
+        )
+        flipped = generate_stream(
+            paper_stream("stream1", 1000, 10, seed=2, policy="flip")
+        )
+        assert np.array_equal(allowed.ids, flipped.ids)
+        # flips only turn removes into adds, never the reverse
+        assert (flipped.adds | ~allowed.adds).all()
+
+    def test_skip_policy_all_removes(self):
+        # Even a pure-remove stream must not underflow under "skip".
+        config = StreamConfig(
+            n_events=50, universe=5, p_add=0.0, policy="skip", seed=0
+        )
+        stream = generate_stream(config)
+        self._never_underflows(stream)

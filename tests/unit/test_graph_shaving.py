@@ -1,0 +1,173 @@
+"""Unit tests for graph shaving (densest subgraph, core decomposition)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.apps.graph_shaving import (
+    DegreeProfile,
+    GraphInputError,
+    core_decomposition,
+    densest_subgraph,
+    reference_densest_subgraph,
+)
+
+
+def density(graph: nx.Graph, vertices) -> float:
+    sub = graph.subgraph(vertices)
+    return sub.number_of_edges() / max(len(vertices), 1)
+
+
+def brute_force_densest(graph: nx.Graph) -> float:
+    best = 0.0
+    nodes = list(graph.nodes())
+    for size in range(1, len(nodes) + 1):
+        for subset in itertools.combinations(nodes, size):
+            best = max(best, density(graph, subset))
+    return best
+
+
+class TestDegreeProfile:
+    def test_min_degree_vertex(self):
+        profile = DegreeProfile([3, 1, 2])
+        vertex, degree = profile.min_degree_vertex()
+        assert vertex == 1 and degree == 1
+
+    def test_kill_excludes_from_min(self):
+        profile = DegreeProfile([3, 1, 2])
+        profile.kill(1)
+        vertex, degree = profile.min_degree_vertex()
+        assert vertex == 2 and degree == 2
+        assert not profile.is_alive(1)
+        assert profile.alive_count == 2
+
+    def test_decrement(self):
+        profile = DegreeProfile([3, 5])
+        profile.decrement(1)
+        assert profile.degree(1) == 4
+
+    def test_operations_on_dead_vertex_raise(self):
+        profile = DegreeProfile([1, 1])
+        profile.kill(0)
+        with pytest.raises(GraphInputError):
+            profile.kill(0)
+        with pytest.raises(GraphInputError):
+            profile.decrement(0)
+        with pytest.raises(GraphInputError):
+            profile.degree(0)
+
+    def test_exhaustion_raises(self):
+        profile = DegreeProfile([0])
+        profile.kill(0)
+        with pytest.raises(GraphInputError):
+            profile.min_degree_vertex()
+
+    def test_kill_returns_degree(self):
+        profile = DegreeProfile([4, 0])
+        assert profile.kill(0) == 4
+        assert profile.kill(1) == 0
+
+
+class TestDensestSubgraph:
+    def test_clique_plus_pendant(self):
+        graph = nx.complete_graph(5)
+        graph.add_edge(0, 99)  # a pendant vertex dilutes density
+        result = densest_subgraph(graph)
+        assert result.vertices == frozenset(range(5))
+        assert result.density == pytest.approx(2.0)  # C(5,2)/5
+
+    def test_density_claim_is_recomputable(self):
+        graph = nx.gnp_random_graph(25, 0.25, seed=1)
+        result = densest_subgraph(graph)
+        assert density(graph, result.vertices) == pytest.approx(
+            result.density
+        )
+
+    def test_two_approximation_on_small_graphs(self):
+        for seed in range(6):
+            graph = nx.gnp_random_graph(9, 0.4, seed=seed)
+            if graph.number_of_edges() == 0:
+                continue
+            opt = brute_force_densest(graph)
+            result = densest_subgraph(graph)
+            assert result.density >= opt / 2 - 1e-9
+
+    def test_reference_within_approximation_band(self):
+        # Different min-degree tie-breaks may yield different peels, but
+        # both greedy results are 2-approximations, so they can differ
+        # by at most a factor of two from each other.
+        for seed in range(5):
+            graph = nx.gnp_random_graph(20, 0.3, seed=seed)
+            fast = densest_subgraph(graph)
+            ref = reference_densest_subgraph(graph)
+            assert density(graph, ref.vertices) == pytest.approx(ref.density)
+            assert fast.density >= ref.density / 2 - 1e-9
+            assert ref.density >= fast.density / 2 - 1e-9
+
+    def test_peeling_order_complete(self):
+        graph = nx.path_graph(6)
+        result = densest_subgraph(graph)
+        assert sorted(result.peeling_order) == sorted(graph.nodes())
+        assert len(result.density_trace) == graph.number_of_nodes()
+
+    def test_edge_list_input(self):
+        # Triangle plus pendant: subgraphs {0,1,2} and {0,1,2,3} tie at
+        # density 1.0; either is a correct greedy answer.
+        result = densest_subgraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert result.density == pytest.approx(1.0)
+        assert frozenset({0, 1, 2}) <= result.vertices
+
+    def test_mapping_input(self):
+        adjacency = {0: [1, 2], 1: [0, 2], 2: [0, 1], 3: []}
+        result = densest_subgraph(adjacency)
+        assert result.vertices == frozenset({0, 1, 2})
+
+    def test_string_node_ids(self):
+        result = densest_subgraph([("a", "b"), ("b", "c"), ("a", "c")])
+        assert result.vertices == frozenset({"a", "b", "c"})
+
+    def test_self_loops_and_duplicates_ignored(self):
+        edges = [(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]
+        result = densest_subgraph(edges)
+        assert density(nx.Graph([(0, 1), (1, 2)]), result.vertices) == (
+            pytest.approx(result.density)
+        )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphInputError):
+            densest_subgraph([])
+        with pytest.raises(GraphInputError):
+            reference_densest_subgraph([])
+
+    def test_bad_edge_shape(self):
+        with pytest.raises(GraphInputError):
+            densest_subgraph([(1, 2, 3)])
+
+    def test_edgeless_graph(self):
+        result = densest_subgraph({0: [], 1: []})
+        assert result.density == 0.0
+
+
+class TestCoreDecomposition:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        graph = nx.gnp_random_graph(30, 0.2, seed=seed)
+        assert core_decomposition(graph) == nx.core_number(graph)
+
+    def test_clique_cores(self):
+        graph = nx.complete_graph(6)
+        cores = core_decomposition(graph)
+        assert all(value == 5 for value in cores.values())
+
+    def test_star_graph(self):
+        cores = core_decomposition(nx.star_graph(5))
+        assert all(value == 1 for value in cores.values())
+
+    def test_empty(self):
+        assert core_decomposition([]) == {}
+
+    def test_isolated_vertices(self):
+        cores = core_decomposition({0: [], 1: [2], 2: [1]})
+        assert cores[0] == 0
+        assert cores[1] == cores[2] == 1

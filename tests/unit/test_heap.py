@@ -1,0 +1,165 @@
+"""Unit tests for the indexed binary heap and HeapProfiler."""
+
+import random
+
+import pytest
+
+from repro.baselines.heap import HeapProfiler, IndexedBinaryHeap
+from repro.errors import (
+    CapacityError,
+    FrequencyUnderflowError,
+    UnsupportedQueryError,
+)
+
+
+class TestIndexedBinaryHeap:
+    def test_heapify_arbitrary_keys_max(self):
+        keys = [5, 1, 9, 3, 7, 2]
+        heap = IndexedBinaryHeap(keys, max_heap=True)
+        assert heap.check_heap_property()
+        assert keys[heap.peek()] == 9
+
+    def test_heapify_arbitrary_keys_min(self):
+        keys = [5, 1, 9, 3, 7, 2]
+        heap = IndexedBinaryHeap(keys, max_heap=False)
+        assert heap.check_heap_property()
+        assert keys[heap.peek()] == 1
+
+    def test_increase_key_bubbles_to_root(self):
+        keys = [0, 0, 0, 0]
+        heap = IndexedBinaryHeap(keys, max_heap=True)
+        keys[3] += 1
+        heap.increased(3)
+        assert heap.peek() == 3
+        assert heap.check_heap_property()
+
+    def test_decrease_key_sinks(self):
+        keys = [5, 4, 3, 2]
+        heap = IndexedBinaryHeap(keys, max_heap=True)
+        root = heap.peek()
+        keys[root] = -10
+        heap.decreased(root)
+        assert heap.peek() != root
+        assert heap.check_heap_property()
+
+    def test_random_update_sequence_max(self):
+        rng = random.Random(3)
+        keys = [0] * 20
+        heap = IndexedBinaryHeap(keys, max_heap=True)
+        for _ in range(500):
+            x = rng.randrange(20)
+            if rng.random() < 0.6:
+                keys[x] += 1
+                heap.increased(x)
+            else:
+                keys[x] -= 1
+                heap.decreased(x)
+            assert keys[heap.peek()] == max(keys)
+        assert heap.check_heap_property()
+
+    def test_random_update_sequence_min(self):
+        rng = random.Random(4)
+        keys = [0] * 20
+        heap = IndexedBinaryHeap(keys, max_heap=False)
+        for _ in range(500):
+            x = rng.randrange(20)
+            if rng.random() < 0.6:
+                keys[x] += 1
+                heap.increased(x)
+            else:
+                keys[x] -= 1
+                heap.decreased(x)
+            assert keys[heap.peek()] == min(keys)
+        assert heap.check_heap_property()
+
+    def test_position_tracking(self):
+        keys = [3, 1, 2]
+        heap = IndexedBinaryHeap(keys)
+        for x in range(3):
+            slot = heap.position_of(x)
+            assert heap._heap[slot] == x
+
+    def test_peek_empty(self):
+        heap = IndexedBinaryHeap([])
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_len(self):
+        assert len(IndexedBinaryHeap([1, 2, 3])) == 3
+
+
+class TestHeapProfiler:
+    def test_max_kind_answers_mode(self):
+        profiler = HeapProfiler(5, kind="max")
+        for x in (1, 1, 2):
+            profiler.add(x)
+        result = profiler.mode()
+        assert result.frequency == 2
+        assert result.example == 1
+        assert result.count is None  # heaps cannot count ties
+
+    def test_min_kind_answers_least(self):
+        profiler = HeapProfiler(5, kind="min")
+        profiler.remove(3)
+        result = profiler.least()
+        assert result.frequency == -1
+        assert result.example == 3
+
+    def test_max_kind_rejects_least(self):
+        profiler = HeapProfiler(5, kind="max")
+        with pytest.raises(UnsupportedQueryError):
+            profiler.least()
+        with pytest.raises(UnsupportedQueryError):
+            profiler.min_frequency()
+
+    def test_min_kind_rejects_mode(self):
+        profiler = HeapProfiler(5, kind="min")
+        with pytest.raises(UnsupportedQueryError):
+            profiler.mode()
+        with pytest.raises(UnsupportedQueryError):
+            profiler.max_frequency()
+
+    def test_median_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            HeapProfiler(5).median_frequency()
+
+    def test_invalid_kind(self):
+        with pytest.raises(CapacityError):
+            HeapProfiler(5, kind="middle")
+
+    def test_strict_underflow(self):
+        profiler = HeapProfiler(3, allow_negative=False)
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove(0)
+        assert profiler.n_removes == 0
+
+    def test_bounds_checks(self):
+        profiler = HeapProfiler(3)
+        with pytest.raises(CapacityError):
+            profiler.add(3)
+        with pytest.raises(CapacityError):
+            profiler.remove(-1)
+
+    def test_from_frequencies(self):
+        profiler = HeapProfiler.from_frequencies([4, 0, 2], kind="max")
+        assert profiler.max_frequency() == 4
+        assert profiler.total == 6
+        profiler.add(1)
+        assert profiler.heap.check_heap_property()
+
+    def test_counters(self):
+        profiler = HeapProfiler(3)
+        profiler.add(0)
+        profiler.remove(1)
+        assert profiler.n_adds == 1
+        assert profiler.n_removes == 1
+        assert profiler.total == 0
+        assert profiler.frequencies() == [1, -1, 0]
+
+    def test_name_reflects_kind(self):
+        assert HeapProfiler(2, kind="max").name == "heap-max"
+        assert HeapProfiler(2, kind="min").name == "heap-min"
+
+    def test_supported_queries_sets(self):
+        assert "mode" in HeapProfiler(2, kind="max").SUPPORTED_QUERIES
+        assert "least" in HeapProfiler(2, kind="min").SUPPORTED_QUERIES

@@ -1,0 +1,71 @@
+"""Unit tests for ObjectInterner."""
+
+import pytest
+
+from repro.core.interner import ObjectInterner
+from repro.errors import UnknownObjectError
+
+
+class TestInterner:
+    def test_dense_ids_are_sequential(self):
+        interner = ObjectInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0  # idempotent
+
+    def test_lookup_known(self):
+        interner = ObjectInterner()
+        interner.intern("x")
+        assert interner.lookup("x") == 0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            ObjectInterner().lookup("missing")
+
+    def test_get_does_not_register(self):
+        interner = ObjectInterner()
+        assert interner.get("y") is None
+        assert len(interner) == 0
+
+    def test_external_roundtrip(self):
+        interner = ObjectInterner()
+        for obj in ("a", 42, ("t", 1)):
+            dense = interner.intern(obj)
+            assert interner.external(dense) == obj
+
+    def test_external_out_of_range(self):
+        interner = ObjectInterner()
+        interner.intern("a")
+        with pytest.raises(UnknownObjectError):
+            interner.external(1)
+        with pytest.raises(UnknownObjectError):
+            interner.external(-1)
+
+    def test_contains_and_len(self):
+        interner = ObjectInterner()
+        interner.intern("a")
+        assert "a" in interner
+        assert "b" not in interner
+        assert len(interner) == 1
+
+    def test_iter_in_registration_order(self):
+        interner = ObjectInterner()
+        for obj in ("c", "a", "b"):
+            interner.intern(obj)
+        assert list(interner) == ["c", "a", "b"]
+
+    def test_items(self):
+        interner = ObjectInterner()
+        interner.intern("x")
+        interner.intern("y")
+        assert list(interner.items()) == [("x", 0), ("y", 1)]
+
+    def test_mixed_hashable_types(self):
+        interner = ObjectInterner()
+        # Note 1 == True in Python; distinct objects must be distinct keys.
+        a = interner.intern("1")
+        b = interner.intern(1)
+        assert a != b
+
+    def test_repr(self):
+        assert "ObjectInterner" in repr(ObjectInterner())

@@ -1,0 +1,250 @@
+"""Unit tests for all five order-statistic multisets, via one contract.
+
+Every multiset (treap, AVL, skip list, Fenwick, sorted list) must behave
+identically to a plain sorted list of integers.  The shared contract is
+parametrized over implementations; implementation-specific edge cases
+follow in their own classes.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.avl import AVLMultiset
+from repro.baselines.fenwick import FenwickMultiset
+from repro.baselines.skiplist import IndexableSkipList
+from repro.baselines.sortedlist import SortedListMultiset
+from repro.baselines.treap import TreapMultiset
+
+IMPLEMENTATIONS = {
+    "treap": TreapMultiset,
+    "avl": AVLMultiset,
+    "skiplist": IndexableSkipList,
+    "fenwick": FenwickMultiset,
+    "sortedlist": SortedListMultiset,
+}
+
+
+@pytest.fixture(params=sorted(IMPLEMENTATIONS))
+def impl(request):
+    return IMPLEMENTATIONS[request.param]
+
+
+class TestMultisetContract:
+    def test_empty(self, impl):
+        ms = impl()
+        assert len(ms) == 0
+        with pytest.raises(IndexError):
+            ms.min()
+        with pytest.raises(IndexError):
+            ms.max()
+        with pytest.raises(IndexError):
+            ms.kth(0)
+        assert list(ms.items()) == []
+        assert ms.rank_lt(5) == 0
+        assert ms.count_of(5) == 0
+
+    def test_single_element(self, impl):
+        ms = impl()
+        ms.insert(7)
+        assert len(ms) == 1
+        assert ms.min() == ms.max() == 7
+        assert ms.kth(0) == 7
+        assert ms.count_of(7) == 1
+        assert list(ms.items()) == [(7, 1)]
+
+    def test_duplicates(self, impl):
+        ms = impl()
+        for value in (3, 3, 3, 1):
+            ms.insert(value)
+        assert len(ms) == 4
+        assert ms.count_of(3) == 3
+        assert [ms.kth(i) for i in range(4)] == [1, 3, 3, 3]
+        assert ms.rank_lt(3) == 1
+        assert ms.rank_lt(4) == 4
+
+    def test_erase_one_of_duplicates(self, impl):
+        ms = impl()
+        for value in (5, 5, 2):
+            ms.insert(value)
+        ms.erase_one(5)
+        assert ms.count_of(5) == 1
+        assert len(ms) == 2
+
+    def test_erase_absent_raises(self, impl):
+        ms = impl()
+        ms.insert(1)
+        with pytest.raises(KeyError):
+            ms.erase_one(2)
+
+    def test_erase_to_empty(self, impl):
+        ms = impl()
+        ms.insert(4)
+        ms.erase_one(4)
+        assert len(ms) == 0
+        assert ms.count_of(4) == 0
+
+    def test_from_zeros(self, impl):
+        ms = impl.from_zeros(100)
+        assert len(ms) == 100
+        assert ms.min() == ms.max() == 0
+        assert ms.kth(50) == 0
+        assert list(ms.items()) == [(0, 100)]
+
+    def test_from_zeros_empty(self, impl):
+        ms = impl.from_zeros(0)
+        assert len(ms) == 0
+
+    def test_kth_bounds(self, impl):
+        ms = impl()
+        ms.insert(1)
+        with pytest.raises(IndexError):
+            ms.kth(1)
+        with pytest.raises(IndexError):
+            ms.kth(-1)
+
+    def test_negative_keys(self, impl):
+        ms = impl()
+        for value in (-5, 0, 3, -5):
+            ms.insert(value)
+        assert ms.min() == -5
+        assert ms.max() == 3
+        assert ms.count_of(-5) == 2
+        assert ms.rank_lt(0) == 2
+        assert [key for key, __ in ms.items()] == [-5, 0, 3]
+
+    def test_randomized_against_model(self, impl):
+        rng = random.Random(99)
+        ms = impl()
+        model: list[int] = []
+        for step in range(600):
+            if model and rng.random() < 0.4:
+                value = rng.choice(model)
+                ms.erase_one(value)
+                model.remove(value)
+            else:
+                value = rng.randrange(-10, 30)
+                ms.insert(value)
+                model.append(value)
+            model.sort()
+            assert len(ms) == len(model)
+            if model:
+                index = rng.randrange(len(model))
+                assert ms.kth(index) == model[index]
+                assert ms.min() == model[0]
+                assert ms.max() == model[-1]
+                probe = rng.randrange(-12, 32)
+                assert ms.rank_lt(probe) == sum(
+                    1 for v in model if v < probe
+                )
+
+    def test_items_aggregates_counts(self, impl):
+        ms = impl()
+        for value in (1, 2, 2, 3, 3, 3):
+            ms.insert(value)
+        assert list(ms.items()) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_structure_check_after_churn(self, impl):
+        rng = random.Random(5)
+        ms = impl.from_zeros(30)
+        values = [0] * 30
+        for _ in range(300):
+            old = rng.choice(values)
+            values.remove(old)
+            new = old + rng.choice((-1, 1))
+            ms.erase_one(old)
+            ms.insert(new)
+            values.append(new)
+        assert ms.check_structure()
+        assert len(ms) == 30
+
+
+class TestTreapSpecific:
+    def test_deterministic_with_seed(self):
+        a = TreapMultiset(seed=1)
+        b = TreapMultiset(seed=1)
+        for value in (4, 2, 9, 2):
+            a.insert(value)
+            b.insert(value)
+        assert list(a.items()) == list(b.items())
+
+    def test_repr(self):
+        assert "TreapMultiset" in repr(TreapMultiset())
+
+
+class TestAVLSpecific:
+    def test_stays_balanced_under_sorted_inserts(self):
+        ms = AVLMultiset()
+        for value in range(200):
+            ms.insert(value)
+        assert ms.check_structure()
+        # A valid AVL of 200 distinct keys has height <= 1.44*log2(201).
+        assert ms._root.height <= 12
+
+    def test_repr(self):
+        assert "AVLMultiset" in repr(AVLMultiset())
+
+
+class TestSkipListSpecific:
+    def test_from_sorted_requires_order(self):
+        with pytest.raises(ValueError):
+            IndexableSkipList.from_sorted([3, 1, 2])
+
+    def test_from_sorted_bulk(self):
+        values = sorted([5, 1, 1, 8, 3])
+        sl = IndexableSkipList.from_sorted(values)
+        assert [sl.kth(i) for i in range(5)] == values
+        assert sl.check_structure()
+
+    def test_max_levels_validation(self):
+        with pytest.raises(ValueError):
+            IndexableSkipList(max_levels=0)
+
+    def test_repr(self):
+        assert "IndexableSkipList" in repr(IndexableSkipList())
+
+
+class TestFenwickSpecific:
+    def test_domain_grows_upward(self):
+        ms = FenwickMultiset()
+        ms.insert(1000)
+        assert ms.count_of(1000) == 1
+        lo, hi = ms.domain
+        assert lo <= 1000 < hi
+
+    def test_domain_grows_downward(self):
+        ms = FenwickMultiset()
+        ms.insert(-1000)
+        assert ms.count_of(-1000) == 1
+        lo, hi = ms.domain
+        assert lo <= -1000 < hi
+
+    def test_growth_preserves_contents(self):
+        ms = FenwickMultiset()
+        for value in (0, 1, 0):
+            ms.insert(value)
+        ms.insert(500)
+        ms.insert(-500)
+        assert ms.count_of(0) == 2
+        assert ms.count_of(1) == 1
+        assert [ms.kth(i) for i in range(5)] == [-500, 0, 0, 1, 500]
+        assert ms.check_structure()
+
+    def test_erase_outside_domain_raises(self):
+        ms = FenwickMultiset()
+        with pytest.raises(KeyError):
+            ms.erase_one(10_000)
+
+    def test_repr(self):
+        assert "FenwickMultiset" in repr(FenwickMultiset())
+
+
+class TestSortedListSpecific:
+    def test_backing_list_is_sorted(self):
+        ms = SortedListMultiset()
+        for value in (5, 1, 3):
+            ms.insert(value)
+        assert ms._data == [1, 3, 5]
+
+    def test_repr(self):
+        assert "SortedListMultiset" in repr(SortedListMultiset())

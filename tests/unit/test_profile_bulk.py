@@ -1,0 +1,168 @@
+"""Unit tests for bulk construction, growth, copy and clear."""
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+from repro.errors import CapacityError, FrequencyUnderflowError
+
+
+class TestFromFrequencies:
+    def test_simple(self):
+        profile = SProfile.from_frequencies([3, 0, 1, 0])
+        assert profile.frequencies() == [3, 0, 1, 0]
+        assert profile.total == 4
+        assert profile.mode().example == 0
+        audit_profile(profile)
+
+    def test_with_negatives(self):
+        profile = SProfile.from_frequencies([-2, 5, 0])
+        assert profile.min_frequency() == -2
+        assert profile.max_frequency() == 5
+        audit_profile(profile)
+
+    def test_strict_rejects_negatives(self):
+        with pytest.raises(FrequencyUnderflowError):
+            SProfile.from_frequencies([1, -1], allow_negative=False)
+
+    def test_empty(self):
+        profile = SProfile.from_frequencies([])
+        assert profile.capacity == 0
+
+    def test_all_equal(self):
+        profile = SProfile.from_frequencies([7, 7, 7])
+        assert profile.block_count == 1
+        assert profile.histogram() == [(7, 3)]
+
+    def test_updates_after_bulk_build(self):
+        profile = SProfile.from_frequencies([3, 0, 1, 0])
+        profile.add(1)
+        profile.remove(0)
+        assert profile.frequencies() == [2, 1, 1, 0]
+        assert profile.total == 4
+        audit_profile(profile)
+
+    def test_freq_index_enabled(self):
+        profile = SProfile.from_frequencies([5, 5, 2], track_freq_index=True)
+        assert profile.support(5) == 2
+        profile.add(2)
+        audit_profile(profile)
+
+    def test_event_counters_start_clean(self):
+        profile = SProfile.from_frequencies([1, 2, 3])
+        assert profile.n_events == 0
+        assert profile.total == 6
+
+
+class TestGrow:
+    def test_grow_from_empty(self):
+        profile = SProfile(0)
+        profile.grow(4)
+        assert profile.capacity == 4
+        assert profile.frequencies() == [0, 0, 0, 0]
+        audit_profile(profile)
+
+    def test_grow_all_zero(self):
+        profile = SProfile(2)
+        profile.grow(3)
+        assert profile.capacity == 5
+        assert profile.block_count == 1
+        audit_profile(profile)
+
+    def test_grow_with_positive_frequencies(self):
+        profile = SProfile(3)
+        profile.add(0)
+        profile.add(0)
+        profile.add(1)
+        profile.grow(2)
+        assert profile.capacity == 5
+        assert profile.frequencies() == [2, 1, 0, 0, 0]
+        audit_profile(profile)
+
+    def test_grow_with_negative_frequencies(self):
+        profile = SProfile(3)
+        profile.remove(0)
+        profile.add(1)
+        profile.grow(2)
+        assert profile.frequencies() == [-1, 1, 0, 0, 0]
+        assert profile.min_frequency() == -1
+        # New zeros must sit between the negatives and the positives.
+        assert profile.frequency_at_rank(0) == -1
+        assert profile.frequency_at_rank(1) == 0
+        audit_profile(profile)
+
+    def test_grow_when_no_zero_block_exists(self):
+        profile = SProfile(2)
+        profile.add(0)
+        profile.add(1)  # all objects at 1; no zero block
+        profile.grow(2)
+        assert sorted(profile.frequencies()) == [0, 0, 1, 1]
+        audit_profile(profile)
+
+    def test_grow_when_all_negative(self):
+        profile = SProfile(2)
+        profile.remove(0)
+        profile.remove(1)
+        profile.grow(1)
+        assert sorted(profile.frequencies()) == [-1, -1, 0]
+        audit_profile(profile)
+
+    def test_grow_preserves_totals_and_events(self):
+        profile = SProfile(3)
+        profile.add(0)
+        profile.remove(1)
+        events_before = profile.n_events
+        total_before = profile.total
+        profile.grow(5)
+        assert profile.n_events == events_before
+        assert profile.total == total_before
+
+    def test_grow_zero_rejected(self):
+        profile = SProfile(3)
+        with pytest.raises(CapacityError):
+            profile.grow(0)
+        with pytest.raises(CapacityError):
+            profile.grow(-2)
+
+    def test_updates_work_after_grow(self):
+        profile = SProfile(2)
+        profile.add(0)
+        profile.grow(2)
+        profile.add(3)
+        profile.remove(1)
+        assert profile.frequencies() == [1, -1, 0, 1]
+        audit_profile(profile)
+
+
+class TestCopyAndClear:
+    def test_copy_is_independent(self, small_profile):
+        clone = small_profile.copy()
+        clone.add(0)
+        assert small_profile.frequency(0) == 0
+        assert clone.frequency(0) == 1
+        audit_profile(clone)
+        audit_profile(small_profile)
+
+    def test_copy_preserves_everything(self, small_profile):
+        clone = small_profile.copy()
+        assert clone.frequencies() == small_profile.frequencies()
+        assert clone.total == small_profile.total
+        assert clone.n_adds == small_profile.n_adds
+        assert clone.n_removes == small_profile.n_removes
+        assert clone.allow_negative == small_profile.allow_negative
+
+    def test_clear(self, small_profile):
+        small_profile.clear()
+        assert small_profile.frequencies() == [0] * 8
+        assert small_profile.total == 0
+        assert small_profile.n_events == 0
+        audit_profile(small_profile)
+
+    def test_clear_keeps_settings(self):
+        profile = SProfile(4, allow_negative=False, track_freq_index=True)
+        profile.add(1)
+        profile.clear()
+        assert not profile.allow_negative
+        assert profile.blocks.tracks_freq_index
+        with pytest.raises(FrequencyUnderflowError):
+            profile.remove(0)

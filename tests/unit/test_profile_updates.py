@@ -1,0 +1,222 @@
+"""Unit tests for SProfile's O(1) update algorithm (paper Algorithm 1)."""
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+from repro.errors import CapacityError, FrequencyUnderflowError
+
+
+class TestAdd:
+    def test_single_add(self):
+        profile = SProfile(4)
+        profile.add(2)
+        assert profile.frequency(2) == 1
+        assert profile.frequencies() == [0, 0, 1, 0]
+        audit_profile(profile)
+
+    def test_add_moves_object_to_top_rank(self):
+        profile = SProfile(4)
+        profile.add(2)
+        assert profile.object_at_rank(3) == 2
+        assert profile.frequency_at_rank(3) == 1
+
+    def test_add_splits_zero_block(self):
+        profile = SProfile(4)
+        profile.add(0)
+        assert profile.blocks.as_tuples() == [(0, 2, 0), (3, 3, 1)]
+
+    def test_add_extends_adjacent_block(self):
+        profile = SProfile(4)
+        profile.add(0)
+        profile.add(1)
+        # Both ones should share a single block.
+        assert profile.blocks.as_tuples() == [(0, 1, 0), (2, 3, 1)]
+
+    def test_singleton_inplace_bump(self):
+        profile = SProfile(4)
+        profile.add(0)
+        profile.add(0)  # singleton at freq 1 -> bump to 2 in place
+        assert profile.blocks.as_tuples() == [(0, 2, 0), (3, 3, 2)]
+        assert profile.frequency(0) == 2
+        audit_profile(profile)
+
+    def test_singleton_merges_right(self):
+        profile = SProfile(4)
+        profile.add(0)
+        profile.add(0)  # 0 at freq 2
+        profile.add(1)  # 1 at freq 1 (singleton)
+        profile.add(1)  # 1 climbs to 2 -> must merge with 0's block
+        assert profile.frequency(0) == 2
+        assert profile.frequency(1) == 2
+        assert profile.blocks.as_tuples() == [(0, 1, 0), (2, 3, 2)]
+        audit_profile(profile)
+
+    def test_every_object_added_once(self):
+        profile = SProfile(5)
+        for x in range(5):
+            profile.add(x)
+        assert profile.blocks.as_tuples() == [(0, 4, 1)]
+        assert profile.frequencies() == [1] * 5
+        audit_profile(profile)
+
+    def test_out_of_range_rejected(self):
+        profile = SProfile(3)
+        with pytest.raises(CapacityError):
+            profile.add(3)
+        with pytest.raises(CapacityError):
+            profile.add(-1)
+
+    def test_rejected_add_leaves_counters_untouched(self):
+        profile = SProfile(3)
+        with pytest.raises(CapacityError):
+            profile.add(7)
+        assert profile.n_adds == 0
+        assert profile.total == 0
+
+
+class TestRemove:
+    def test_remove_after_add_restores(self):
+        profile = SProfile(4)
+        profile.add(1)
+        profile.remove(1)
+        assert profile.frequencies() == [0, 0, 0, 0]
+        assert profile.blocks.as_tuples() == [(0, 3, 0)]
+        audit_profile(profile)
+
+    def test_remove_goes_negative_by_default(self):
+        profile = SProfile(4)
+        profile.remove(2)
+        assert profile.frequency(2) == -1
+        assert profile.min_frequency() == -1
+        assert profile.blocks.as_tuples() == [(0, 0, -1), (1, 3, 0)]
+        audit_profile(profile)
+
+    def test_strict_mode_raises_underflow(self):
+        profile = SProfile(4, allow_negative=False)
+        with pytest.raises(FrequencyUnderflowError):
+            profile.remove(2)
+
+    def test_strict_mode_underflow_leaves_state_clean(self):
+        profile = SProfile(4, allow_negative=False)
+        profile.add(2)
+        profile.remove(2)
+        with pytest.raises(FrequencyUnderflowError):
+            profile.remove(2)
+        assert profile.n_removes == 1
+        audit_profile(profile)
+
+    def test_singleton_merges_left(self):
+        profile = SProfile(4)
+        profile.remove(0)  # 0 at -1
+        profile.remove(1)  # 1 at -1: singleton 0-freq... builds -1 block
+        assert profile.frequency(0) == -1
+        assert profile.frequency(1) == -1
+        assert profile.blocks.as_tuples() == [(0, 1, -1), (2, 3, 0)]
+        audit_profile(profile)
+
+    def test_deep_negative(self):
+        profile = SProfile(2)
+        for _ in range(5):
+            profile.remove(0)
+        assert profile.frequency(0) == -5
+        assert profile.blocks.as_tuples() == [(0, 0, -5), (1, 1, 0)]
+        audit_profile(profile)
+
+    def test_out_of_range_rejected(self):
+        profile = SProfile(3)
+        with pytest.raises(CapacityError):
+            profile.remove(5)
+
+
+class TestMixedSequences:
+    def test_interleaved_add_remove_known_state(self, small_profile):
+        assert small_profile.frequencies() == [0, 3, 1, 1, -1, 0, 0, 0]
+        assert small_profile.total == 4
+        assert small_profile.n_adds == 5
+        assert small_profile.n_removes == 1
+        audit_profile(small_profile)
+
+    def test_block_count_tracks_distinct_frequencies(self, small_profile):
+        freqs = set(small_profile.frequencies())
+        assert small_profile.block_count == len(freqs)
+
+    def test_capacity_one(self):
+        profile = SProfile(1)
+        profile.add(0)
+        profile.add(0)
+        profile.remove(0)
+        assert profile.frequency(0) == 1
+        assert profile.mode().example == 0
+        audit_profile(profile)
+
+    def test_oscillation_recycles_blocks(self):
+        profile = SProfile(4)
+        for _ in range(100):
+            profile.add(1)
+            profile.remove(1)
+        assert profile.frequencies() == [0, 0, 0, 0]
+        assert profile.block_count == 1
+        audit_profile(profile)
+
+    def test_no_recycling_mode_is_equivalent(self):
+        recycling = SProfile(5, recycle_blocks=True)
+        fresh = SProfile(5, recycle_blocks=False)
+        events = [(1, True), (1, True), (2, True), (1, False), (3, False)]
+        for x, is_add in events:
+            recycling.update(x, is_add)
+            fresh.update(x, is_add)
+        assert recycling.frequencies() == fresh.frequencies()
+        assert recycling.blocks.as_tuples() == fresh.blocks.as_tuples()
+        audit_profile(fresh)
+
+
+class TestBulkIngestion:
+    def test_update_dispatch(self):
+        profile = SProfile(3)
+        profile.update(1, True)
+        profile.update(1, False)
+        assert profile.n_adds == 1
+        assert profile.n_removes == 1
+
+    def test_consume_tuples(self):
+        profile = SProfile(3)
+        count = profile.consume([(0, True), (1, True), (0, False)])
+        assert count == 3
+        assert profile.frequencies() == [0, 1, 0]
+
+    def test_consume_arrays_lists(self):
+        profile = SProfile(3)
+        profile.consume_arrays([0, 1, 2], [True, True, False])
+        assert profile.frequencies() == [1, 1, -1]
+
+    def test_consume_arrays_numpy(self):
+        import numpy as np
+
+        profile = SProfile(3)
+        profile.consume_arrays(
+            np.array([0, 1, 2]), np.array([True, True, False])
+        )
+        assert profile.frequencies() == [1, 1, -1]
+
+    def test_consume_arrays_length_mismatch(self):
+        profile = SProfile(3)
+        with pytest.raises(CapacityError):
+            profile.consume_arrays([0, 1], [True])
+
+
+class TestConstruction:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            SProfile(-1)
+
+    def test_zero_capacity_allowed(self):
+        profile = SProfile(0)
+        assert profile.capacity == 0
+        audit_profile(profile)
+
+    def test_repr(self):
+        profile = SProfile(3)
+        profile.add(0)
+        text = repr(profile)
+        assert "SProfile" in text and "capacity=3" in text

@@ -1,0 +1,91 @@
+"""Unit tests for the profiler registry."""
+
+import pytest
+
+from repro.baselines.base import QUERY_NAMES
+from repro.baselines.registry import (
+    available_profilers,
+    make_profiler,
+    profiler_supports,
+)
+from repro.core.profile import SProfile
+from repro.errors import CapacityError, UnsupportedQueryError
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_profilers():
+            profiler = make_profiler(name, 8)
+            assert profiler.capacity == 8
+
+    def test_sprofile_name_maps_to_class(self):
+        assert isinstance(make_profiler("sprofile", 4), SProfile)
+
+    def test_indexed_variant(self):
+        profiler = make_profiler("sprofile-indexed", 4)
+        assert profiler.blocks.tracks_freq_index
+
+    def test_unknown_name(self):
+        with pytest.raises(CapacityError):
+            make_profiler("btree", 4)
+        with pytest.raises(CapacityError):
+            profiler_supports("btree")
+
+    def test_supports_are_subsets_of_query_names(self):
+        for name in available_profilers():
+            assert profiler_supports(name) <= QUERY_NAMES
+
+    def test_allow_negative_forwarded(self):
+        from repro.errors import FrequencyUnderflowError
+
+        for name in available_profilers():
+            strict = make_profiler(name, 4, allow_negative=False)
+            with pytest.raises(FrequencyUnderflowError):
+                strict.remove(0)
+
+    def test_declared_queries_do_not_raise_unsupported(self):
+        """Every declared query must actually be answerable."""
+        calls = {
+            "frequency": lambda p: p.frequency(0),
+            "mode": lambda p: p.mode(),
+            "least": lambda p: p.least(),
+            "max_frequency": lambda p: p.max_frequency(),
+            "min_frequency": lambda p: p.min_frequency(),
+            "top_k": lambda p: p.top_k(2),
+            "kth_most_frequent": lambda p: p.kth_most_frequent(1),
+            "median": lambda p: p.median_frequency(),
+            "quantile": lambda p: p.quantile(0.5),
+            "histogram": lambda p: p.histogram(),
+            "support": lambda p: p.support(0),
+        }
+        for name in available_profilers():
+            profiler = make_profiler(name, 4)
+            profiler.add(1)
+            for query in profiler_supports(name):
+                calls[query](profiler)  # must not raise
+
+    def test_undeclared_queries_raise_unsupported(self):
+        calls = {
+            "mode": lambda p: p.mode(),
+            "least": lambda p: p.least(),
+            "max_frequency": lambda p: p.max_frequency(),
+            "min_frequency": lambda p: p.min_frequency(),
+            "top_k": lambda p: p.top_k(2),
+            "kth_most_frequent": lambda p: p.kth_most_frequent(1),
+            "median": lambda p: p.median_frequency(),
+            "quantile": lambda p: p.quantile(0.5),
+            "histogram": lambda p: p.histogram(),
+            "support": lambda p: p.support(0),
+        }
+        for name in available_profilers():
+            profiler = make_profiler(name, 4)
+            supported = profiler_supports(name)
+            for query, call in calls.items():
+                if query in supported:
+                    continue
+                with pytest.raises(UnsupportedQueryError):
+                    call(profiler)
+
+    def test_names_sorted(self):
+        names = available_profilers()
+        assert list(names) == sorted(names)

@@ -1,0 +1,114 @@
+"""Unit tests for stream persistence and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamConfigError
+from repro.streams.generators import LogStream, generate_stream, paper_stream
+from repro.streams.replay import (
+    load_stream,
+    save_stream,
+    stream_stats,
+)
+
+
+@pytest.fixture
+def stream():
+    return generate_stream(paper_stream("stream1", 300, 20, seed=8))
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("ext", [".npz", ".jsonl"])
+    def test_roundtrip(self, stream, tmp_path, ext):
+        path = tmp_path / f"stream{ext}"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert np.array_equal(loaded.ids, stream.ids)
+        assert np.array_equal(loaded.adds, stream.adds)
+        assert loaded.universe == stream.universe
+        assert loaded.name == stream.name
+
+    def test_unsupported_extension(self, stream, tmp_path):
+        with pytest.raises(StreamConfigError):
+            save_stream(stream, tmp_path / "stream.csv")
+        with pytest.raises(StreamConfigError):
+            load_stream(tmp_path / "stream.csv")
+
+    def test_empty_jsonl_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(StreamConfigError):
+            load_stream(path)
+
+    def test_jsonl_bad_action(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"version": 1, "universe": 5, "name": "x", "n_events": 1}\n'
+            '{"obj": 1, "action": "explode"}\n'
+        )
+        with pytest.raises(StreamConfigError):
+            load_stream(path)
+
+    def test_jsonl_bad_version(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text('{"version": 9, "universe": 5, "name": "x"}\n')
+        with pytest.raises(StreamConfigError):
+            load_stream(path)
+
+    def test_jsonl_is_line_structured(self, stream, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        save_stream(stream, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(stream) + 1  # header + one per event
+
+
+class TestStreamStats:
+    def test_counts(self, stream):
+        stats = stream_stats(stream)
+        assert stats.n_events == 300
+        assert stats.n_adds + stats.n_removes == 300
+        assert stats.add_fraction == pytest.approx(
+            stream.add_fraction, abs=1e-12
+        )
+        assert stats.universe == 20
+
+    def test_final_frequencies(self):
+        stream = LogStream(
+            ids=np.array([0, 0, 1], dtype=np.int64),
+            adds=np.array([True, True, False]),
+            universe=3,
+        )
+        stats = stream_stats(stream)
+        assert stats.max_final_frequency == 2
+        assert stats.min_final_frequency == -1
+        assert stats.distinct_objects == 2
+        assert stats.had_negative_excursion
+
+    def test_negative_excursion_detected_mid_stream(self):
+        # Final counts are non-negative, but object 0 dips below zero.
+        stream = LogStream(
+            ids=np.array([0, 0, 0], dtype=np.int64),
+            adds=np.array([False, True, True]),
+            universe=2,
+        )
+        stats = stream_stats(stream)
+        assert stats.min_final_frequency >= 0
+        assert stats.had_negative_excursion
+
+    def test_no_negative_excursion(self):
+        stream = LogStream(
+            ids=np.array([0, 0, 0], dtype=np.int64),
+            adds=np.array([True, True, False]),
+            universe=2,
+        )
+        assert not stream_stats(stream).had_negative_excursion
+
+    def test_empty_stream(self):
+        stream = LogStream(
+            ids=np.zeros(0, dtype=np.int64),
+            adds=np.zeros(0, dtype=bool),
+            universe=2,
+        )
+        stats = stream_stats(stream)
+        assert stats.n_events == 0
+        assert stats.add_fraction == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for ProfileSnapshot."""
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.core.snapshot import ProfileSnapshot
+from repro.errors import EmptyProfileError
+
+
+@pytest.fixture
+def live_and_snap(small_profile):
+    return small_profile, small_profile.snapshot()
+
+
+class TestSnapshotConsistency:
+    def test_same_answers_at_capture_time(self, live_and_snap):
+        live, snap = live_and_snap
+        assert snap.frequencies() == live.frequencies()
+        assert snap.mode() == live.mode()
+        assert snap.least() == live.least()
+        assert snap.median_frequency() == live.median_frequency()
+        assert snap.histogram() == live.histogram()
+        assert snap.top_k(4) == live.top_k(4)
+        assert snap.total == live.total
+        assert snap.capacity == live.capacity
+
+    def test_immune_to_later_updates(self, live_and_snap):
+        live, snap = live_and_snap
+        before = snap.frequencies()
+        for _ in range(10):
+            live.add(0)
+        assert snap.frequencies() == before
+        assert snap.frequency(0) == 0
+
+    def test_records_event_position(self, small_profile):
+        snap = small_profile.snapshot()
+        assert snap.n_events == small_profile.n_events
+
+    def test_of_classmethod(self, small_profile):
+        snap = ProfileSnapshot.of(small_profile)
+        assert snap.frequencies() == small_profile.frequencies()
+
+
+class TestSnapshotQueries:
+    def test_rank_lookups(self, live_and_snap):
+        live, snap = live_and_snap
+        for rank in range(8):
+            assert snap.frequency_at_rank(rank) == live.frequency_at_rank(rank)
+            assert snap.object_at_rank(rank) == live.object_at_rank(rank)
+
+    def test_block_at_out_of_range(self, live_and_snap):
+        __, snap = live_and_snap
+        with pytest.raises(IndexError):
+            snap._blocks.block_at(99)
+
+    def test_block_for_frequency_binary_search(self, live_and_snap):
+        __, snap = live_and_snap
+        assert snap.support(0) == 4
+        assert snap.support(3) == 1
+        assert snap.support(42) == 0
+        assert snap.support(-5) == 0
+
+    def test_quantiles(self, live_and_snap):
+        live, snap = live_and_snap
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert snap.quantile(q) == live.quantile(q)
+
+    def test_iter_desc(self, live_and_snap):
+        __, snap = live_and_snap
+        asc = [b.as_tuple() for b in snap._blocks.iter_blocks()]
+        desc = [b.as_tuple() for b in snap._blocks.iter_blocks_desc()]
+        assert asc == desc[::-1]
+
+    def test_block_count(self, live_and_snap):
+        live, snap = live_and_snap
+        assert snap.block_count == live.block_count
+
+    def test_repr(self, live_and_snap):
+        assert "ProfileSnapshot" in repr(live_and_snap[1])
+
+
+class TestEmptySnapshot:
+    def test_zero_capacity(self):
+        snap = SProfile(0).snapshot()
+        assert snap.capacity == 0
+        with pytest.raises(EmptyProfileError):
+            snap.mode()
+        with pytest.raises(EmptyProfileError):
+            snap.median_frequency()

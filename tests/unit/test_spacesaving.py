@@ -1,0 +1,132 @@
+"""Unit tests for the SpaceSaving summary."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.approx.spacesaving import SpaceSaving
+from repro.errors import CapacityError
+
+
+class TestBasics:
+    def test_small_stream_exact_when_k_suffices(self):
+        sketch = SpaceSaving(10)
+        stream = ["a", "a", "b", "a", "c", "b"]
+        for obj in stream:
+            sketch.add(obj)
+        truth = Counter(stream)
+        for obj, count in truth.items():
+            assert sketch.estimate(obj) == count
+            assert sketch.error_bound(obj) == 0
+            assert sketch.guaranteed_count(obj) == count
+
+    def test_eviction_inherits_count(self):
+        sketch = SpaceSaving(1)
+        sketch.add("a")
+        sketch.add("a")
+        sketch.add("b")  # evicts a, inherits count 2 -> estimate 3
+        assert "b" in sketch
+        assert "a" not in sketch
+        assert sketch.estimate("b") == 3
+        assert sketch.error_bound("b") == 2
+        assert sketch.guaranteed_count("b") == 1
+
+    def test_unmonitored_estimate_is_min_counter(self):
+        sketch = SpaceSaving(2)
+        for obj in ["a", "a", "b"]:
+            sketch.add(obj)
+        assert sketch.estimate("zzz") == 1  # min counter value
+        assert sketch.estimate("a") == 2
+
+    def test_empty(self):
+        sketch = SpaceSaving(3)
+        assert sketch.estimate("x") == 0
+        assert sketch.error_bound("x") == 0
+        assert sketch.top_k() == []
+        assert sketch.n_events == 0
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            SpaceSaving(0)
+        with pytest.raises(CapacityError):
+            SpaceSaving(2).top_k(-1)
+        with pytest.raises(CapacityError):
+            SpaceSaving(2).heavy_hitters(0.0)
+
+    def test_repr(self):
+        assert "SpaceSaving" in repr(SpaceSaving(4))
+
+
+class TestGuarantees:
+    """The classic SpaceSaving bounds on adversarial-ish random data."""
+
+    def _random_stream(self, seed, n=3000, universe=200, skew=1.6):
+        rng = random.Random(seed)
+        # Discrete power law via inverse sampling on ranks.
+        weights = [1.0 / (rank + 1) ** skew for rank in range(universe)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        stream = []
+        for _ in range(n):
+            u = rng.random()
+            for obj, edge in enumerate(cumulative):
+                if u <= edge:
+                    stream.append(obj)
+                    break
+        return stream
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("k", [8, 32, 128])
+    def test_overestimate_within_n_over_k(self, seed, k):
+        stream = self._random_stream(seed)
+        truth = Counter(stream)
+        sketch = SpaceSaving(k)
+        for obj in stream:
+            sketch.add(obj)
+        for entry in sketch.top_k():
+            true = truth[entry.obj]
+            assert entry.frequency >= true
+            assert entry.frequency - true <= len(stream) / k
+            assert sketch.guaranteed_count(entry.obj) <= true
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_no_false_negative_heavy_hitters(self, seed):
+        phi = 0.05
+        k = int(1 / phi) * 2
+        stream = self._random_stream(seed)
+        truth = Counter(stream)
+        sketch = SpaceSaving(k)
+        for obj in stream:
+            sketch.add(obj)
+        true_hitters = {
+            obj for obj, c in truth.items() if c > phi * len(stream)
+        }
+        found = {entry.obj for entry in sketch.heavy_hitters(phi)}
+        assert true_hitters <= found  # superset guarantee
+
+    def test_exact_matches_sprofile_heavy_hitters_when_k_large(self):
+        from repro.core.profile import SProfile
+
+        stream = self._random_stream(7, n=2000, universe=50)
+        sketch = SpaceSaving(50)  # k = universe: everything monitored
+        profile = SProfile(50)
+        for obj in stream:
+            sketch.add(obj)
+            profile.add(obj)
+        for phi in (0.02, 0.1, 0.3):
+            exact = {entry.obj for entry in profile.heavy_hitters(phi)}
+            approx = {entry.obj for entry in sketch.heavy_hitters(phi)}
+            assert exact == approx
+
+    def test_top_k_order_deterministic(self):
+        sketch = SpaceSaving(4)
+        for obj in ["b", "a", "a", "b", "c"]:
+            sketch.add(obj)
+        top = sketch.top_k(2)
+        assert [entry.frequency for entry in top] == [2, 2]
+        assert [entry.obj for entry in top] == ["a", "b"]  # repr tiebreak

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.stats."""
+
+import math
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.core.stats import ProfileSummary, entropy, gini, summarize, top_share
+from repro.errors import EmptyProfileError
+
+
+def profile_of(freqs):
+    return SProfile.from_frequencies(freqs)
+
+
+class TestSummarize:
+    def test_known_values(self, small_profile):
+        summary = summarize(small_profile)
+        assert summary.capacity == 8
+        assert summary.total == 4
+        assert summary.active == 4
+        assert summary.distinct_frequencies == 4
+        assert summary.min_frequency == -1
+        assert summary.max_frequency == 3
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.median == 0
+
+    def test_str_renders(self, small_profile):
+        text = str(summarize(small_profile))
+        assert "m=8" in text and "gini=" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyProfileError):
+            summarize(SProfile(0))
+
+    def test_works_on_snapshot(self, small_profile):
+        live = summarize(small_profile)
+        snap = summarize(small_profile.snapshot())
+        assert isinstance(snap, ProfileSummary)
+        assert snap == live
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        profile = profile_of([2, 2, 2, 2])
+        assert entropy(profile) == pytest.approx(2.0)  # log2(4)
+
+    def test_single_object_all_mass(self):
+        profile = profile_of([10, 0, 0])
+        assert entropy(profile) == pytest.approx(0.0)
+
+    def test_skewed_between_uniform_and_point(self):
+        value = entropy(profile_of([3, 1, 0, 0]))
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert value == pytest.approx(expected)
+
+    def test_ignores_negative_mass(self):
+        with_negative = entropy(profile_of([3, 1, -5]))
+        without = entropy(profile_of([3, 1, 0]))
+        assert with_negative == pytest.approx(without)
+
+    def test_no_positive_mass(self):
+        assert entropy(profile_of([0, 0, -1])) == 0.0
+
+    def test_natural_base(self):
+        profile = profile_of([2, 2])
+        assert entropy(profile, base=math.e) == pytest.approx(math.log(2))
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            entropy(profile_of([1]), base=1.0)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini(profile_of([5, 5, 5, 5])) == pytest.approx(0.0)
+
+    def test_perfect_inequality_approaches_limit(self):
+        m = 100
+        freqs = [0] * (m - 1) + [1000]
+        assert gini(profile_of(freqs)) == pytest.approx((m - 1) / m)
+
+    def test_manual_small_case(self):
+        # freqs 1, 3 ascending -> G = (2*(1*1+2*3))/(2*4) - 3/2 = 0.25
+        assert gini(profile_of([1, 3])) == pytest.approx(0.25)
+
+    def test_zero_mass(self):
+        assert gini(profile_of([0, 0])) == 0.0
+        assert gini(SProfile(0)) == 0.0
+
+    def test_in_unit_interval(self, paired_with_oracle):
+        profile, __ = paired_with_oracle(30, 500)
+        assert 0.0 <= gini(profile) <= 1.0
+
+
+class TestTopShare:
+    def test_all_mass_in_one(self):
+        profile = profile_of([10, 0, 0])
+        assert top_share(profile, 1) == pytest.approx(1.0)
+
+    def test_uniform_mass(self):
+        profile = profile_of([2, 2, 2, 2])
+        assert top_share(profile, 1) == pytest.approx(0.25)
+        assert top_share(profile, 2) == pytest.approx(0.5)
+        assert top_share(profile, 4) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self, paired_with_oracle):
+        profile, __ = paired_with_oracle(20, 300)
+        shares = [top_share(profile, k) for k in range(0, 21)]
+        assert shares == sorted(shares)
+        assert shares[0] == 0.0
+
+    def test_zero_mass(self):
+        assert top_share(profile_of([0, -3]), 2) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_share(profile_of([1]), -1)
+
+    def test_k_beyond_positive_objects(self):
+        profile = profile_of([4, 1, 0, -2])
+        assert top_share(profile, 10) == pytest.approx(1.0)

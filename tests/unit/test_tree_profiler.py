@@ -1,0 +1,96 @@
+"""Unit tests for TreeProfiler (the PBDS-style comparator)."""
+
+import pytest
+
+from repro.baselines.bucket import BucketProfiler
+from repro.baselines.tree_profiler import TREE_STRUCTURES, TreeProfiler
+from repro.errors import (
+    CapacityError,
+    FrequencyUnderflowError,
+    UnsupportedQueryError,
+)
+
+
+@pytest.fixture(params=sorted(TREE_STRUCTURES))
+def structure(request):
+    return request.param
+
+
+class TestTreeProfiler:
+    def test_initial_state(self, structure):
+        profiler = TreeProfiler(10, structure=structure)
+        assert profiler.median_frequency() == 0
+        assert profiler.max_frequency() == 0
+        assert profiler.min_frequency() == 0
+        assert profiler.histogram() == [(0, 10)]
+
+    def test_tracks_median_vs_oracle(self, structure, rng):
+        profiler = TreeProfiler(15, structure=structure)
+        oracle = BucketProfiler(15)
+        for _ in range(400):
+            x = rng.randrange(15)
+            is_add = rng.random() < 0.7
+            profiler.update(x, is_add)
+            oracle.update(x, is_add)
+            assert profiler.median_frequency() == oracle.median_frequency()
+            assert profiler.max_frequency() == oracle.max_frequency()
+            assert profiler.min_frequency() == oracle.min_frequency()
+
+    def test_quantiles(self, structure):
+        profiler = TreeProfiler(4, structure=structure)
+        profiler.add(0)
+        profiler.add(0)
+        profiler.remove(1)
+        # Frequencies: [2, -1, 0, 0] -> sorted [-1, 0, 0, 2]
+        assert profiler.quantile(0.0) == -1
+        assert profiler.quantile(1.0) == 2
+        assert profiler.quantile(0.5) == 0
+
+    def test_support(self, structure):
+        profiler = TreeProfiler(4, structure=structure)
+        profiler.add(0)
+        assert profiler.support(0) == 3
+        assert profiler.support(1) == 1
+        assert profiler.support(9) == 0
+
+    def test_object_queries_unsupported(self, structure):
+        profiler = TreeProfiler(4, structure=structure)
+        with pytest.raises(UnsupportedQueryError):
+            profiler.mode()
+        with pytest.raises(UnsupportedQueryError):
+            profiler.top_k(2)
+        with pytest.raises(UnsupportedQueryError):
+            profiler.kth_most_frequent(1)
+
+    def test_frequency_lookup_supported(self, structure):
+        profiler = TreeProfiler(4, structure=structure)
+        profiler.add(2)
+        assert profiler.frequency(2) == 1
+
+    def test_strict_underflow(self, structure):
+        profiler = TreeProfiler(4, structure=structure, allow_negative=False)
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove(0)
+        # Structure must be untouched by the failed event.
+        assert profiler.histogram() == [(0, 4)]
+
+    def test_name(self, structure):
+        assert TreeProfiler(2, structure=structure).name == f"tree-{structure}"
+
+    def test_multiset_property(self, structure):
+        profiler = TreeProfiler(3, structure=structure)
+        assert len(profiler.multiset) == 3
+        assert profiler.structure == structure
+
+
+class TestValidation:
+    def test_unknown_structure(self):
+        with pytest.raises(CapacityError):
+            TreeProfiler(4, structure="btree")
+
+    def test_empty_capacity_queries(self):
+        from repro.errors import EmptyProfileError
+
+        profiler = TreeProfiler(0)
+        with pytest.raises(EmptyProfileError):
+            profiler.median_frequency()

@@ -1,0 +1,62 @@
+"""Unit tests for the full-profile audit."""
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+from repro.errors import InvariantViolationError
+
+
+class TestAuditPasses:
+    def test_fresh_profile(self):
+        audit_profile(SProfile(10))
+
+    def test_after_events(self, small_profile):
+        audit_profile(small_profile)
+
+    def test_zero_capacity(self):
+        audit_profile(SProfile(0))
+
+    def test_bulk_built(self):
+        audit_profile(SProfile.from_frequencies([3, -1, 0, 7]))
+
+
+class TestAuditCatchesCorruption:
+    def test_swapped_ftot_entries(self, small_profile):
+        ftot = small_profile._ftot
+        ftot[0], ftot[5] = ftot[5], ftot[0]  # breaks inverse coherence
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_duplicate_rank_in_ftot(self, small_profile):
+        small_profile._ftot[0] = small_profile._ftot[1]
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_rank_out_of_range(self, small_profile):
+        small_profile._ftot[0] = 99
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_tampered_event_counter(self, small_profile):
+        small_profile._n_adds += 1  # total no longer matches block mass
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_tampered_block_frequency(self, small_profile):
+        block = small_profile.blocks.block_at(0)
+        block.f -= 1
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_array_length_mismatch(self, small_profile):
+        small_profile._ftot.append(0)
+        with pytest.raises(InvariantViolationError):
+            audit_profile(small_profile)
+
+    def test_strict_profile_with_negative_frequency(self):
+        profile = SProfile(4)
+        profile.remove(0)  # legal: negative allowed
+        profile._allow_negative = False  # now the state is contraband
+        with pytest.raises(InvariantViolationError):
+            audit_profile(profile)

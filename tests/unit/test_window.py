@@ -1,0 +1,160 @@
+"""Unit tests for sliding-window profiling (paper section 2.3)."""
+
+import pytest
+
+from repro.baselines.bucket import BucketProfiler
+from repro.core.profile import SProfile
+from repro.errors import WindowError
+from repro.streams.events import Action, Event
+from repro.streams.window import CountWindowProfiler, TimeWindowProfiler
+
+
+class TestCountWindow:
+    def test_fills_then_slides(self):
+        window = CountWindowProfiler(3, capacity=5)
+        for obj in (0, 1, 2):
+            window.push(obj)
+        assert window.is_full
+        assert window.frequency(0) == 1
+        window.push(3)  # evicts the add of 0 -> its count reverts
+        assert window.frequency(0) == 0
+        assert window.frequency(3) == 1
+        assert len(window) == 3
+
+    def test_matches_replay_oracle(self, rng):
+        window = CountWindowProfiler(40, capacity=12)
+        history = []
+        for _ in range(500):
+            obj = rng.randrange(12)
+            action = Action.from_flag(rng.random() < 0.7)
+            history.append(Event(obj, action))
+            window.push(obj, action)
+            # Replay the visible suffix from scratch.
+            oracle = SProfile(12)
+            for event in history[-40:]:
+                oracle.update(event.obj, event.is_add)
+            assert window.profiler.frequencies() == oracle.frequencies()
+
+    def test_remove_events_count_negative_inside_window(self):
+        window = CountWindowProfiler(5, capacity=3)
+        window.push(1, Action.REMOVE)
+        assert window.frequency(1) == -1
+        for obj in (0, 2, 0, 2, 0):
+            window.push(obj)
+        # The remove of 1 has been evicted; its opposite (add) restored 0.
+        assert window.frequency(1) == 0
+
+    def test_extend_with_mixed_forms(self):
+        window = CountWindowProfiler(10, capacity=4)
+        count = window.extend(
+            [Event(0, Action.ADD), (1, True), (0, False)]
+        )
+        assert count == 3
+        assert window.frequency(0) == 0
+        assert window.frequency(1) == 1
+
+    def test_contents_in_order(self):
+        window = CountWindowProfiler(2, capacity=3)
+        window.push(0)
+        window.push(1)
+        window.push(2)
+        events = window.contents()
+        assert [event.obj for event in events] == [1, 2]
+
+    def test_queries_delegate(self):
+        window = CountWindowProfiler(10, capacity=4)
+        window.push(1)
+        window.push(1)
+        assert window.mode().example == 1
+        assert window.max_frequency() == 2
+        assert window.median_frequency() == 0
+        assert window.top_k(1)[0].obj == 1
+
+    def test_custom_profiler(self):
+        custom = BucketProfiler(4)
+        window = CountWindowProfiler(3, profiler=custom)
+        window.push(2)
+        assert custom.frequency(2) == 1
+
+    def test_validation(self):
+        with pytest.raises(WindowError):
+            CountWindowProfiler(0, capacity=2)
+        with pytest.raises(WindowError):
+            CountWindowProfiler(3)  # neither capacity nor profiler
+
+    def test_unknown_attribute_raises(self):
+        window = CountWindowProfiler(3, capacity=2)
+        with pytest.raises(AttributeError):
+            window.not_a_query
+
+    def test_repr(self):
+        assert "CountWindowProfiler" in repr(
+            CountWindowProfiler(3, capacity=2)
+        )
+
+
+class TestTimeWindow:
+    def test_expiry_by_horizon(self):
+        window = TimeWindowProfiler(10.0, capacity=4)
+        window.push(0, Action.ADD, timestamp=0.0)
+        window.push(1, Action.ADD, timestamp=5.0)
+        assert window.frequency(0) == 1
+        window.push(2, Action.ADD, timestamp=10.5)  # 0.0 is now stale
+        assert window.frequency(0) == 0
+        assert window.frequency(1) == 1
+        assert len(window) == 2
+
+    def test_advance_without_push(self):
+        window = TimeWindowProfiler(5.0, capacity=3)
+        window.push(0, True, timestamp=0.0)
+        expired = window.advance_to(100.0)
+        assert expired == 1
+        assert window.frequency(0) == 0
+        assert window.now == 100.0
+
+    def test_boundary_is_exclusive(self):
+        window = TimeWindowProfiler(5.0, capacity=3)
+        window.push(0, True, timestamp=0.0)
+        window.advance_to(5.0)  # event at now - horizon expires
+        assert len(window) == 0
+
+    def test_rejects_time_travel(self):
+        window = TimeWindowProfiler(5.0, capacity=3)
+        window.push(0, True, timestamp=10.0)
+        with pytest.raises(WindowError):
+            window.push(1, True, timestamp=9.0)
+        with pytest.raises(WindowError):
+            window.advance_to(3.0)
+
+    def test_contents(self):
+        window = TimeWindowProfiler(100.0, capacity=3)
+        window.push(1, True, timestamp=1.5)
+        ((ts, event),) = window.contents()
+        assert ts == 1.5 and event.obj == 1
+
+    def test_matches_replay_oracle(self, rng):
+        window = TimeWindowProfiler(25.0, capacity=8)
+        history = []
+        clock = 0.0
+        for _ in range(300):
+            clock += rng.random() * 3
+            obj = rng.randrange(8)
+            action = Action.from_flag(rng.random() < 0.7)
+            history.append((clock, Event(obj, action)))
+            window.push(obj, action, timestamp=clock)
+            oracle = SProfile(8)
+            for ts, event in history:
+                if ts > clock - 25.0:
+                    oracle.update(event.obj, event.is_add)
+            assert window.profiler.frequencies() == oracle.frequencies()
+
+    def test_validation(self):
+        with pytest.raises(WindowError):
+            TimeWindowProfiler(0.0, capacity=2)
+        with pytest.raises(WindowError):
+            TimeWindowProfiler(5.0)
+
+    def test_repr(self):
+        assert "TimeWindowProfiler" in repr(
+            TimeWindowProfiler(5.0, capacity=2)
+        )
