@@ -1,0 +1,135 @@
+"""Batch ingestion vs the per-event loop (acceptance: >= 2x at 10k).
+
+Three regimes at batch size 10k:
+
+- a paper stream (mixed skew, adds and removes) through ``apply``
+  vs the equivalent per-event ``add``/``remove`` loop;
+- the add-only column of the same stream through ``add_many`` vs a
+  per-event ``add`` loop (the like-for-like pair the acceptance
+  criterion names);
+- the single-hot adversarial stream, where coalescing collapses the
+  whole batch into one climb (the fast path's best case).
+
+The timed region excludes stream construction (session-cached lists)
+and Counter-ing is *inside* the timed batch call — the comparison is
+end-to-end ingestion cost either way.
+"""
+
+from repro.core.profile import SProfile
+
+BATCH = 10_000
+M = 2_000
+
+
+def _loop_add(profile, id_list):
+    add = profile.add
+    for x in id_list:
+        add(x)
+
+
+def _loop_mixed(profile, id_list, add_list):
+    add = profile.add
+    remove = profile.remove
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+
+
+def _setup_with(args_builder):
+    def setup():
+        return args_builder(), {}
+
+    return setup
+
+
+def test_per_event_add_loop(benchmark, stream_lists):
+    benchmark.group = "batch vs loop: adds only"
+    ids, _ = stream_lists("stream1", BATCH, M)
+
+    benchmark.pedantic(
+        _loop_add,
+        setup=_setup_with(lambda: (SProfile(M), ids)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_add_many_batch(benchmark, stream_lists):
+    benchmark.group = "batch vs loop: adds only"
+    ids, _ = stream_lists("stream1", BATCH, M)
+
+    benchmark.pedantic(
+        lambda p, xs: p.add_many(xs),
+        setup=_setup_with(lambda: (SProfile(M), ids)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_per_event_mixed_loop(benchmark, stream_lists):
+    benchmark.group = "batch vs loop: mixed adds/removes"
+    ids, adds = stream_lists("stream1", BATCH, M)
+
+    benchmark.pedantic(
+        _loop_mixed,
+        setup=_setup_with(lambda: (SProfile(M), ids, adds)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_apply_batch(benchmark, stream_lists):
+    benchmark.group = "batch vs loop: mixed adds/removes"
+    ids, adds = stream_lists("stream1", BATCH, M)
+    deltas = [(x, 1 if a else -1) for x, a in zip(ids, adds)]
+
+    benchmark.pedantic(
+        lambda p, d: p.apply(d),
+        setup=_setup_with(lambda: (SProfile(M), deltas)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_single_hot_loop(benchmark, stream_lists):
+    benchmark.group = "batch vs loop: single hot key"
+    ids, _ = stream_lists("single-hot", BATCH, M)
+
+    benchmark.pedantic(
+        _loop_add,
+        setup=_setup_with(lambda: (SProfile(M), ids)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_single_hot_add_many(benchmark, stream_lists):
+    """Coalescing turns 10k repeats into one O(#blocks) climb."""
+    benchmark.group = "batch vs loop: single hot key"
+    ids, _ = stream_lists("single-hot", BATCH, M)
+
+    benchmark.pedantic(
+        lambda p, xs: p.add_many(xs),
+        setup=_setup_with(lambda: (SProfile(M), ids)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_equivalence_of_timed_paths(stream_lists):
+    """The benchmarked pairs produce identical profiles (not timed)."""
+    ids, adds = stream_lists("stream1", BATCH, M)
+
+    loop = SProfile(M)
+    _loop_mixed(loop, ids, adds)
+    batch = SProfile(M)
+    batch.apply([(x, 1 if a else -1) for x, a in zip(ids, adds)])
+    assert batch.frequencies() == loop.frequencies()
+
+    loop_add = SProfile(M)
+    _loop_add(loop_add, ids)
+    batch_add = SProfile(M)
+    batch_add.add_many(ids)
+    assert batch_add.frequencies() == loop_add.frequencies()

@@ -1,0 +1,49 @@
+"""Shard-count sweep: ingestion and query cost vs N shards.
+
+Sharding exists to let N workers own N disjoint profiles; this sweep
+measures what the *single-process* facade pays for the partition:
+
+- batched ingestion through ``ShardedProfiler.add_many`` (split +
+  per-shard climbs) across N in {1, 2, 4, 8};
+- the merged order-statistic queries (mode / median / top-10), whose
+  cost grows with N and total block count.
+
+Equality of answers across shard counts is asserted by
+``tests/property/test_prop_batch_shard.py``; here we only time.
+"""
+
+import pytest
+
+from repro.engine.sharding import ShardedProfiler
+
+N_EVENTS = 20_000
+M = 5_000
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_batch_ingest(benchmark, stream_lists, n_shards):
+    benchmark.group = "shard sweep: batched ingest"
+    ids, _ = stream_lists("stream1", N_EVENTS, M)
+
+    def setup():
+        return (ShardedProfiler(M, n_shards=n_shards), ids), {}
+
+    benchmark.pedantic(
+        lambda p, xs: p.add_many(xs), setup=setup, rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_merged_queries(benchmark, stream_lists, n_shards):
+    benchmark.group = "shard sweep: merged queries"
+    ids, _ = stream_lists("stream1", N_EVENTS, M)
+    profiler = ShardedProfiler(M, n_shards=n_shards)
+    profiler.add_many(ids)
+
+    def queries(p):
+        p.mode()
+        p.median_frequency()
+        p.top_k(10)
+
+    benchmark.pedantic(queries, args=(profiler,), rounds=20, iterations=5)

@@ -17,6 +17,8 @@ Quick start::
 Package map:
 
 - :mod:`repro.core` — the paper's algorithm and its query surface.
+- :mod:`repro.engine` — scale-out layer: batched ingestion, sharding,
+  the :class:`ProfileService` façade with checkpoint hooks.
 - :mod:`repro.baselines` — heap / balanced-tree / bucket comparators.
 - :mod:`repro.streams` — log-stream generators (paper section 3 setup),
   sliding windows, persistence.
@@ -29,6 +31,8 @@ from repro.core.dynamic import DynamicProfiler
 from repro.core.profile import SProfile
 from repro.core.queries import ModeResult, TopEntry
 from repro.core.snapshot import ProfileSnapshot
+from repro.engine.service import ProfileService
+from repro.engine.sharding import ShardedProfiler
 from repro.errors import (
     CapacityError,
     CheckpointError,
@@ -52,9 +56,11 @@ __all__ = [
     "FrequencyUnderflowError",
     "InvariantViolationError",
     "ModeResult",
+    "ProfileService",
     "ProfileSnapshot",
     "ReproError",
     "SProfile",
+    "ShardedProfiler",
     "StreamConfigError",
     "TopEntry",
     "UnknownObjectError",

@@ -5,7 +5,7 @@ Kept in a private module so public modules can import without cycles.
 
 from __future__ import annotations
 
-from typing import Hashable, Protocol, Tuple, runtime_checkable
+from typing import Hashable, Iterable, Protocol, Tuple, runtime_checkable
 
 __all__ = [
     "ObjectId",
@@ -44,3 +44,9 @@ class SupportsProfile(Protocol):
     def remove(self, obj: int) -> None: ...
 
     def frequency(self, obj: int) -> int: ...
+
+    def add_many(self, objs: Iterable[int]) -> int: ...
+
+    def remove_many(self, objs: Iterable[int]) -> int: ...
+
+    def apply(self, deltas) -> int: ...

@@ -9,8 +9,11 @@
   arbitrary ids.
 - :mod:`repro.apps.median_service` — streaming frequency-quantile
   monitor with alert rules.
+- :mod:`repro.apps.click_analytics` — micro-batched click-stream
+  analytics over the sharded engine (:mod:`repro.engine`).
 """
 
+from repro.apps.click_analytics import ClickAnalytics
 from repro.apps.graph_shaving import (
     DegreeProfile,
     DensestSubgraphResult,
@@ -23,6 +26,7 @@ from repro.apps.median_service import MedianMonitor, QuantileAlert
 from repro.apps.topk_tracker import TopKChange, TopKTracker
 
 __all__ = [
+    "ClickAnalytics",
     "DegreeProfile",
     "DensestSubgraphResult",
     "Leaderboard",

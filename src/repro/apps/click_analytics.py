@@ -1,0 +1,265 @@
+"""Click-stream analytics over the sharded engine.
+
+The scenario: a content site with a fixed page catalog serves view
+traffic from many frontends.  Each frontend flushes micro-batches of
+events; the analytics tier must answer "what is trending right now?",
+"how is engagement distributed?" and "which pages dominate traffic?"
+at any moment, and survive restarts via checkpoints.
+
+:class:`ClickAnalytics` wires the full engine stack together:
+catalog names are interned to dense ids
+(:class:`~repro.core.interner.ObjectInterner`), events are buffered
+into micro-batches and ingested through
+:class:`~repro.engine.service.ProfileService` — which coalesces each
+batch and splits it across the shards of a
+:class:`~repro.engine.sharding.ShardedProfiler` — and every answer is
+exact, courtesy of the paper's profile structure underneath.
+
+``expire`` feeds the same pipeline with removes, which is how a
+sliding-window deployment retires old traffic (paper section 2.3's
+dynamic-array framing: views leave the array as the window slides).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.core.interner import ObjectInterner
+from repro.engine.service import ProfileService
+from repro.errors import CapacityError, CheckpointError
+
+__all__ = ["ClickAnalytics"]
+
+
+class ClickAnalytics:
+    """Exact popularity analytics for a fixed catalog of pages.
+
+    Parameters
+    ----------
+    catalog:
+        The page identifiers (any hashables, order fixes dense ids).
+    n_shards:
+        Shard fan-out of the backing engine.
+    batch_size:
+        Buffered events are auto-flushed once the buffer reaches this
+        size; query methods flush first, so answers are always current.
+    allow_negative:
+        Default False: a page expired more often than it was viewed
+        signals a corrupted pipeline and raises
+        :class:`~repro.errors.FrequencyUnderflowError`.
+
+    Examples
+    --------
+    >>> site = ClickAnalytics(["home", "docs", "blog", "about"], n_shards=2)
+    >>> site.record_batch(["home", "docs", "home", "docs", "home"])
+    5
+    >>> site.trending(2)
+    [('home', 3), ('docs', 2)]
+    >>> site.views("about")
+    0
+    >>> site.expire(["home"])  # the window slides: one view retires
+    1
+    >>> site.views("home")
+    2
+    """
+
+    def __init__(
+        self,
+        catalog: Sequence[Hashable],
+        *,
+        n_shards: int = 4,
+        batch_size: int = 1024,
+        allow_negative: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise CapacityError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        self._interner = ObjectInterner()
+        for page in catalog:
+            self._interner.intern(page)
+        if len(self._interner) != len(catalog):
+            raise CapacityError("catalog contains duplicate pages")
+        self._service = ProfileService(
+            len(self._interner),
+            n_shards=n_shards,
+            allow_negative=allow_negative,
+        )
+        self._batch_size = batch_size
+        self._buffer: list[tuple[int, bool]] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def record(self, page: Hashable) -> None:
+        """Buffer one page view (auto-flushes at ``batch_size``)."""
+        self._buffer.append((self._interner.lookup(page), True))
+        if len(self._buffer) >= self._batch_size:
+            self.flush()
+
+    def record_batch(self, pages: Iterable[Hashable]) -> int:
+        """Buffer one view per element; return the number buffered."""
+        lookup = self._interner.lookup
+        buffer = self._buffer
+        n = 0
+        for page in pages:
+            buffer.append((lookup(page), True))
+            n += 1
+        if len(buffer) >= self._batch_size:
+            self.flush()
+        return n
+
+    def expire(self, pages: Iterable[Hashable]) -> int:
+        """Buffer one *remove* per element (sliding-window retirement)."""
+        lookup = self._interner.lookup
+        buffer = self._buffer
+        n = 0
+        for page in pages:
+            buffer.append((lookup(page), False))
+            n += 1
+        if len(buffer) >= self._batch_size:
+            self.flush()
+        return n
+
+    def flush(self) -> int:
+        """Submit the buffered micro-batch to the engine; return net
+        events applied (opposing view/expire pairs cancel).
+
+        If the engine rejects the batch (strict-mode underflow from
+        over-expiry), the buffer is restored so no recorded events are
+        lost; the error re-raises on every query until the operator
+        inspects and calls :meth:`discard_pending`.
+        """
+        if not self._buffer:
+            return 0
+        batch = self._buffer
+        self._buffer = []
+        try:
+            return self._service.submit(batch)
+        except Exception:
+            self._buffer = batch + self._buffer
+            raise
+
+    def discard_pending(self) -> int:
+        """Drop the buffered events (after a rejected flush); return
+        how many were discarded."""
+        n = len(self._buffer)
+        self._buffer = []
+        return n
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet flushed."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Queries (flush first, so answers reflect all recorded traffic)
+    # ------------------------------------------------------------------
+
+    def views(self, page: Hashable) -> int:
+        """Exact current view count of ``page``."""
+        self.flush()
+        return self._service.frequency(self._interner.lookup(page))
+
+    def trending(self, k: int) -> list[tuple[Hashable, int]]:
+        """The ``k`` most viewed pages as ``(page, views)``, descending."""
+        self.flush()
+        external = self._interner.external
+        return [
+            (external(entry.obj), entry.frequency)
+            for entry in self._service.top_k(k)
+        ]
+
+    def dominating(self, phi: float = 0.1) -> list[tuple[Hashable, int]]:
+        """Pages holding more than ``phi`` of all views — exact
+        phi-heavy-hitters over the merged shard walks."""
+        self.flush()
+        external = self._interner.external
+        return [
+            (external(entry.obj), entry.frequency)
+            for entry in self._service.heavy_hitters(phi)
+        ]
+
+    def engagement_quantile(self, q: float) -> int:
+        """View count at quantile ``q`` of the per-page distribution."""
+        self.flush()
+        return self._service.quantile(q)
+
+    def median_views(self) -> int:
+        """Median per-page view count."""
+        self.flush()
+        return self._service.median_frequency()
+
+    def view_histogram(self) -> list[tuple[int, int]]:
+        """``(views, #pages)`` ascending — the merged shard histogram."""
+        self.flush()
+        return self._service.histogram()
+
+    @property
+    def total_views(self) -> int:
+        """Net views across the catalog (flushes first)."""
+        self.flush()
+        return self._service.total
+
+    @property
+    def catalog_size(self) -> int:
+        return len(self._interner)
+
+    @property
+    def n_shards(self) -> int:
+        return self._service.n_shards
+
+    @property
+    def service(self) -> ProfileService:
+        """The backing engine façade (full query surface)."""
+        return self._service
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Flush and capture full state (catalog + engine) as a dict."""
+        self.flush()
+        return {
+            "catalog": list(self._interner),
+            "batch_size": self._batch_size,
+            "service": self._service.to_state(),
+        }
+
+    @classmethod
+    def restore(cls, state: dict[str, Any]) -> "ClickAnalytics":
+        """Rebuild from :meth:`checkpoint` output (audited restore)."""
+        try:
+            catalog = state["catalog"]
+            batch_size = state["batch_size"]
+            service_state = state["service"]
+        except (TypeError, KeyError) as exc:
+            raise CheckpointError(
+                f"analytics checkpoint is malformed: {exc!r}"
+            ) from exc
+        service = ProfileService.from_state(service_state)
+        if service.capacity != len(catalog):
+            raise CheckpointError(
+                f"catalog size {len(catalog)} does not match engine "
+                f"capacity {service.capacity}"
+            )
+        self = cls.__new__(cls)
+        self._interner = ObjectInterner()
+        for page in catalog:
+            self._interner.intern(page)
+        if len(self._interner) != len(catalog):
+            raise CheckpointError(
+                "checkpoint catalog contains duplicate pages"
+            )
+        self._service = service
+        self._batch_size = int(batch_size)
+        self._buffer = []
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"ClickAnalytics(catalog={self.catalog_size}, "
+            f"n_shards={self.n_shards}, pending={self.pending})"
+        )

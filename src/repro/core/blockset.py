@@ -82,34 +82,42 @@ class BlockSet:
         *,
         track_freq_index: bool = False,
         pool: BlockPool | None = None,
+        audit: bool = True,
     ) -> "BlockSet":
         """Build a block set from explicit ``(l, r, f)`` runs.
 
         Used by bulk construction (:meth:`SProfile.from_frequencies`),
-        capacity growth and checkpoint restore.  The runs must already
-        partition ``[0, capacity)`` with strictly increasing ``f``;
-        :meth:`audit` verifies this before the instance is returned.
+        capacity growth, batch rebuilds and checkpoint restore.  The
+        runs must already partition ``[0, capacity)`` with strictly
+        increasing ``f``; :meth:`audit` verifies this before the
+        instance is returned.  Internal callers whose runs are correct
+        by construction (a fresh run-length encoding of a sorted
+        array) pass ``audit=False`` to skip the O(m) verification —
+        untrusted input (checkpoints) must keep it on.
         """
         self = cls.__new__(cls)
         self._m = capacity
         self._pool = pool if pool is not None else BlockPool()
         self._freq_index = {} if track_freq_index else None
-        self._ptrb = [None] * capacity  # type: ignore[list-item]
+        ptrb: list[Block] = [None] * capacity  # type: ignore[list-item]
+        self._ptrb = ptrb
         self._n_blocks = 0
+        covered = 0
         for l, r, f in runs:
             if not (0 <= l <= r < capacity):
                 raise InvariantViolationError(
                     f"run ({l}, {r}, {f}) out of bounds for capacity {capacity}"
                 )
-            block = self.create(l, r, f)
-            for rank in range(l, r + 1):
-                self._ptrb[rank] = block
-        uncovered = [rank for rank, b in enumerate(self._ptrb) if b is None]
-        if uncovered:
+            ptrb[l : r + 1] = [self.create(l, r, f)] * (r + 1 - l)
+            covered += r + 1 - l
+        if covered != capacity:
+            # Overlapping or gapped runs; cheap to catch even on
+            # trusted paths (overlaps inflate the sum, gaps deflate it).
             raise InvariantViolationError(
-                f"runs leave ranks uncovered (first: {uncovered[0]})"
+                f"runs cover {covered} ranks, expected {capacity}"
             )
-        self.audit()
+        if audit:
+            self.audit()
         return self
 
     # ------------------------------------------------------------------

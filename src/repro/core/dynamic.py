@@ -23,10 +23,11 @@ method.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from collections import Counter
+from typing import Hashable, Iterable, Iterator
 
 from repro.core.interner import ObjectInterner
-from repro.core.profile import SProfile
+from repro.core.profile import SProfile, net_deltas
 from repro.core.queries import ModeResult, TopEntry
 from repro.core.snapshot import ProfileSnapshot
 from repro.errors import (
@@ -123,6 +124,86 @@ class DynamicProfiler:
                 self.remove(obj)
             n += 1
         return n
+
+    def add_many(self, objs: Iterable[Hashable]) -> int:
+        """Apply one add per element of ``objs``, registering new ids.
+
+        Coalesces repeated ids and rides
+        :meth:`repro.core.profile.SProfile.apply`'s climb fast path;
+        returns the event count.  Same batch semantics as the flat
+        profiler: final frequencies match the per-event loop, tie order
+        inside equal frequencies may differ.
+        """
+        counts = Counter(objs)
+        if not counts:
+            return 0
+        dense = {
+            self._dense_or_register(obj): c for obj, c in counts.items()
+        }
+        return self._profile.apply(dense)
+
+    def remove_many(self, objs: Iterable[Hashable]) -> int:
+        """Apply one remove per element of ``objs``.
+
+        Mirror of :meth:`add_many`.  In strict mode a never-seen id
+        raises without registering anything, and a key removed past
+        frequency zero raises before any of that key's removes apply.
+        """
+        counts = Counter(objs)
+        if not counts:
+            return 0
+        strict = not self._profile.allow_negative
+        dense: dict[int, int] = {}
+        for obj, c in counts.items():
+            d = self._interner.get(obj)
+            if d is None:
+                if strict:
+                    raise FrequencyUnderflowError(
+                        f"cannot remove never-seen object {obj!r} "
+                        f"in strict mode"
+                    )
+                d = self._dense_or_register(obj)
+            dense[d] = -c
+        return self._profile.apply(dense)
+
+    def apply(self, deltas) -> int:
+        """Apply ``(object, delta)`` pairs (or a mapping) as unit steps.
+
+        Deltas per key are summed first; keys whose net delta is zero
+        are untouched (not even registered).  Returns the number of net
+        unit events applied.  In strict mode every underflow — on a
+        never-seen or a known key — is detected *before* anything is
+        registered or mutated, so a rejected batch leaves the profiler
+        (universe included) untouched.
+        """
+        net = net_deltas(deltas)
+        profile = self._profile
+        get = self._interner.get
+        if not profile.allow_negative:
+            for obj, d in net.items():
+                if d >= 0:
+                    continue
+                dense = get(obj)
+                if dense is None:
+                    raise FrequencyUnderflowError(
+                        f"cannot remove never-seen object {obj!r} "
+                        f"in strict mode"
+                    )
+                if profile.frequency(dense) + d < 0:
+                    raise FrequencyUnderflowError(
+                        f"removing object {obj!r} at frequency "
+                        f"{profile.frequency(dense)} {-d} times (net) "
+                        f"would go negative"
+                    )
+        dense_net: dict[int, int] = {}
+        for obj, d in net.items():
+            if d == 0:
+                continue
+            dense = get(obj)
+            if dense is None:
+                dense = self._dense_or_register(obj)
+            dense_net[dense] = d
+        return self._profile.apply(dense_net)
 
     def register(self, obj: Hashable) -> None:
         """Ensure ``obj`` is part of the universe (frequency 0 if new)."""

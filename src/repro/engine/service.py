@@ -1,0 +1,304 @@
+"""ProfileService: the batch-ingest front door of the profiling engine.
+
+Producers hand the service *batches* of log-stream events — the shape
+traffic actually arrives in (a Kafka poll, a request body, a flushed
+buffer) — and the service pays the Python-level ingestion overhead once
+per batch instead of once per event: normalize, coalesce, split per
+shard, climb (see :mod:`repro.engine.sharding` and
+:meth:`repro.core.profile.SProfile.add_many`).
+
+Batches speak the event vocabulary of :mod:`repro.streams.events`:
+items may be :class:`~repro.streams.events.Event` instances,
+``(obj, Action)`` pairs, or raw ``(obj, is_add)`` tuples, freely mixed.
+
+The service also owns the operational surface a deployment needs:
+:meth:`ProfileService.snapshot` for consistent offline reads, and
+checkpoint hooks (:meth:`to_state` / :meth:`from_state` /
+:meth:`save` / :meth:`load`) built on :mod:`repro.core.checkpoint`'s
+audited per-profile state format — a corrupted checkpoint fails loudly,
+never silently skews statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.checkpoint import profile_from_state, profile_to_state
+from repro.core.queries import ModeResult, TopEntry
+from repro.core.snapshot import ProfileSnapshot
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import CapacityError, CheckpointError
+from repro.streams.events import Action
+
+__all__ = ["SERVICE_STATE_VERSION", "ProfileService"]
+
+#: Bump when the service checkpoint layout changes incompatibly.
+SERVICE_STATE_VERSION = 1
+
+_REQUIRED_KEYS = frozenset(
+    {"version", "capacity", "n_shards", "batches", "events", "shards"}
+)
+
+
+class ProfileService:
+    """Accepts event batches, serves profile queries, checkpoints state.
+
+    Parameters
+    ----------
+    capacity:
+        Global universe size (dense ids, as everywhere in the core).
+    n_shards:
+        Fan-out of the backing :class:`~repro.engine.sharding.ShardedProfiler`.
+    allow_negative / track_freq_index:
+        Forwarded to every shard.
+
+    Examples
+    --------
+    >>> from repro.streams.events import Action, Event
+    >>> service = ProfileService(capacity=8, n_shards=2)
+    >>> service.submit([Event(3, Action.ADD), (3, True), (5, Action.ADD)])
+    3
+    >>> service.mode().example, service.mode().frequency
+    (3, 2)
+    >>> service.submit([(5, False)])
+    1
+    >>> service.frequency(5)
+    0
+    >>> service.batches_ingested, service.events_ingested
+    (2, 4)
+    """
+
+    __slots__ = ("_profiler", "_batches", "_events")
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        n_shards: int = 4,
+        allow_negative: bool = True,
+        track_freq_index: bool = False,
+    ) -> None:
+        self._profiler = ShardedProfiler(
+            capacity,
+            n_shards=n_shards,
+            allow_negative=allow_negative,
+            track_freq_index=track_freq_index,
+        )
+        self._batches = 0
+        self._events = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def submit(self, batch: Iterable) -> int:
+        """Ingest one event batch; return the net unit events applied.
+
+        Items may be ``Event``, ``(obj, Action)`` or ``(obj, is_add)``.
+        The batch is applied with the engine's coalescing semantics
+        (opposing events for one key cancel; tie order is unordered),
+        so ``n_events`` on the profiler advances by the *net* count
+        while :attr:`events_ingested` counts every submitted item.
+        """
+        deltas: list[tuple[int, int]] = []
+        raw = 0
+        for obj, action in batch:
+            if isinstance(action, Action):
+                is_add = action is Action.ADD
+            else:
+                is_add = bool(action)
+            deltas.append((obj, 1 if is_add else -1))
+            raw += 1
+        n = self._profiler.apply(deltas)
+        self._batches += 1
+        self._events += raw
+        return n
+
+    def submit_arrays(self, ids, adds) -> int:
+        """Ingest parallel id/flag arrays (numpy or sequences)."""
+        id_list = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        add_list = adds.tolist() if hasattr(adds, "tolist") else list(adds)
+        if len(id_list) != len(add_list):
+            raise CapacityError(
+                f"ids ({len(id_list)}) and adds ({len(add_list)}) differ"
+            )
+        return self.submit(zip(id_list, add_list))
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._batches
+
+    @property
+    def events_ingested(self) -> int:
+        """Raw items submitted (before coalescing cancellation)."""
+        return self._events
+
+    # ------------------------------------------------------------------
+    # Query surface (delegates to the sharded profiler)
+    # ------------------------------------------------------------------
+
+    @property
+    def profiler(self) -> ShardedProfiler:
+        """The backing sharded profiler (full query surface)."""
+        return self._profiler
+
+    @property
+    def capacity(self) -> int:
+        return self._profiler.capacity
+
+    @property
+    def n_shards(self) -> int:
+        return self._profiler.n_shards
+
+    @property
+    def total(self) -> int:
+        return self._profiler.total
+
+    def frequency(self, x: int) -> int:
+        return self._profiler.frequency(x)
+
+    def mode(self) -> ModeResult:
+        return self._profiler.mode()
+
+    def least(self) -> ModeResult:
+        return self._profiler.least()
+
+    def top_k(self, k: int) -> list[TopEntry]:
+        return self._profiler.top_k(k)
+
+    def median_frequency(self) -> int:
+        return self._profiler.median_frequency()
+
+    def quantile(self, q: float) -> int:
+        return self._profiler.quantile(q)
+
+    def histogram(self) -> list[tuple[int, int]]:
+        return self._profiler.histogram()
+
+    def support(self, f: int) -> int:
+        return self._profiler.support(f)
+
+    def heavy_hitters(self, phi: float) -> list[TopEntry]:
+        return self._profiler.heavy_hitters(phi)
+
+    # ------------------------------------------------------------------
+    # Snapshot / checkpoint hooks
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ProfileSnapshot:
+        """Frozen merged view for offline reads (O(m log m))."""
+        return self._profiler.snapshot()
+
+    def to_state(self) -> dict[str, Any]:
+        """Full service state as a JSON-safe dict (one entry per shard)."""
+        return {
+            "version": SERVICE_STATE_VERSION,
+            "capacity": self._profiler.capacity,
+            "n_shards": self._profiler.n_shards,
+            "batches": self._batches,
+            "events": self._events,
+            "shards": [
+                profile_to_state(shard)
+                for shard in self._profiler.shards
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "ProfileService":
+        """Rebuild a service from :meth:`to_state` output.
+
+        Every shard is restored through the audited
+        :func:`repro.core.checkpoint.profile_from_state` path, and the
+        partition arithmetic is re-checked, so a tampered checkpoint
+        raises :class:`~repro.errors.CheckpointError`.
+        """
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"state must be a dict, got {type(state).__name__}"
+            )
+        missing = _REQUIRED_KEYS - state.keys()
+        if missing:
+            raise CheckpointError(
+                f"state is missing keys: {sorted(missing)}"
+            )
+        if state["version"] != SERVICE_STATE_VERSION:
+            raise CheckpointError(
+                f"state version {state['version']} unsupported "
+                f"(expected {SERVICE_STATE_VERSION})"
+            )
+        capacity = state["capacity"]
+        n_shards = state["n_shards"]
+        shard_states = state["shards"]
+        batches = state["batches"]
+        events = state["events"]
+        if not isinstance(capacity, int) or capacity < 0:
+            raise CheckpointError(f"bad capacity: {capacity!r}")
+        if not isinstance(n_shards, int) or n_shards <= 0:
+            raise CheckpointError(f"bad n_shards: {n_shards!r}")
+        if not isinstance(batches, int) or batches < 0:
+            raise CheckpointError(f"bad batches counter: {batches!r}")
+        if not isinstance(events, int) or events < 0:
+            raise CheckpointError(f"bad events counter: {events!r}")
+        if not isinstance(shard_states, list):
+            raise CheckpointError(
+                f"shards must be a list, got "
+                f"{type(shard_states).__name__}"
+            )
+        if len(shard_states) != n_shards:
+            raise CheckpointError(
+                f"{len(shard_states)} shard states for "
+                f"n_shards={n_shards}"
+            )
+        shards = tuple(profile_from_state(s) for s in shard_states)
+        for s, shard in enumerate(shards):
+            expected = (capacity - s + n_shards - 1) // n_shards
+            if shard.capacity != expected:
+                raise CheckpointError(
+                    f"shard {s} capacity {shard.capacity} does not "
+                    f"match partition of universe {capacity}"
+                )
+        if len({shard.allow_negative for shard in shards}) > 1:
+            raise CheckpointError(
+                "shards disagree on allow_negative; checkpoint is "
+                "inconsistent"
+            )
+        # Build at capacity 0 (n_shards empty profiles, trivially
+        # cheap) and graft the restored shards in; constructing at full
+        # capacity would allocate the whole O(m) structure only to
+        # discard it.
+        service = cls(
+            0,
+            n_shards=n_shards,
+            allow_negative=shards[0].allow_negative,
+        )
+        service._profiler._m = capacity
+        service._profiler._shards = shards
+        service._batches = batches
+        service._events = events
+        return service
+
+    def save(self, path: str | Path) -> None:
+        """Write the service checkpoint to ``path`` as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_state(), separators=(",", ":"))
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfileService":
+        """Load a checkpoint previously written by :meth:`save`."""
+        try:
+            state = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_state(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileService(capacity={self.capacity}, "
+            f"n_shards={self.n_shards}, batches={self._batches}, "
+            f"events={self._events})"
+        )

@@ -1,0 +1,541 @@
+"""Hash-sharded profiling: N independent S-Profiles behind one facade.
+
+One :class:`~repro.core.profile.SProfile` is already O(1) per event, but
+a single instance is one Python object on one core with one GIL-bound
+hot loop.  Scaling past it means partitioning the key space: shard
+``s = x % n_shards`` owns every object whose id is congruent to ``s``,
+stored under the local dense id ``x // n_shards``.  The modulus is the
+hash function — dense ids are already uniformly distributed by
+construction (see :class:`~repro.core.interner.ObjectInterner`), so the
+fixed partition balances shards to within one object.
+
+Updates route to exactly one shard and keep the O(1) bound.  Batch
+ingestion (:meth:`ShardedProfiler.add_many` etc.) splits the coalesced
+batch per shard and rides each shard's climb fast path — the unit of
+work a thread/process pool would distribute; the partition guarantees
+the per-shard batches touch disjoint state.
+
+Queries merge per-shard block walks:
+
+- extremes (mode / least / max / min) scan the N shard extremes, O(N);
+- ``support`` / ``histogram`` merge the per-shard block runs,
+  O(N + total blocks);
+- order statistics (median / quantile / k-th) walk the merged histogram
+  accumulating counts until the target rank is covered, O(total blocks);
+- ``top_k`` heap-merges the N descending block walks, O(N + k log N).
+
+Every answer is *exact* — sharding trades the O(1) query bound for an
+O(N + B) merge, never for approximation.  Equivalence with a single
+sequential profile is asserted property-style in
+``tests/property/test_prop_batch_shard.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from heapq import merge as _heap_merge
+from itertools import islice
+from typing import Iterable, Iterator
+
+from repro.core.profile import SProfile
+from repro.core.queries import ModeResult, TopEntry
+from repro.core.snapshot import ProfileSnapshot
+from repro.core.validation import audit_profile
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+)
+
+__all__ = ["ShardedProfiler"]
+
+
+class ShardedProfiler:
+    """Partition ``[0, capacity)`` over ``n_shards`` independent profiles.
+
+    Parameters
+    ----------
+    capacity:
+        ``m``, the global universe size; ids are dense ints as in
+        :class:`~repro.core.profile.SProfile`.
+    n_shards:
+        Number of independent S-Profiles.  Shards own the residue
+        classes of ``x % n_shards``, so capacities differ by at most
+        one.  ``n_shards=1`` degenerates to a single profile.
+    allow_negative / track_freq_index:
+        Forwarded to every shard.
+
+    Examples
+    --------
+    >>> p = ShardedProfiler(capacity=6, n_shards=3)
+    >>> p.add_many([1, 1, 4, 1, 2])
+    5
+    >>> p.mode().frequency, p.mode().example
+    (3, 1)
+    >>> p.median_frequency()
+    0
+    >>> [p.frequency(x) for x in range(6)]
+    [0, 3, 1, 0, 1, 0]
+    """
+
+    #: Registry-facing metadata (duck-typed counterpart of ProfilerBase).
+    name = "sharded-sprofile"
+    SUPPORTED_QUERIES = SProfile.SUPPORTED_QUERIES
+
+    __slots__ = ("_m", "_n_shards", "_shards")
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        n_shards: int = 4,
+        allow_negative: bool = True,
+        track_freq_index: bool = False,
+    ) -> None:
+        if capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        if n_shards <= 0:
+            raise CapacityError(f"n_shards must be positive, got {n_shards}")
+        self._m = capacity
+        self._n_shards = n_shards
+        # Shard s holds ids {x : x % n_shards == s}; count per shard.
+        self._shards = tuple(
+            SProfile(
+                (capacity - s + n_shards - 1) // n_shards,
+                allow_negative=allow_negative,
+                track_freq_index=track_freq_index,
+            )
+            for s in range(n_shards)
+        )
+
+    # ------------------------------------------------------------------
+    # Partition
+    # ------------------------------------------------------------------
+
+    def shard_of(self, x: int) -> int:
+        """Index of the shard owning object ``x``."""
+        self._check_object(x)
+        return x % self._n_shards
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def shards(self) -> tuple[SProfile, ...]:
+        """The backing per-shard profiles (read access)."""
+        return self._shards
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Process one add.  O(1): route to the owning shard."""
+        self._check_object(x)
+        self._shards[x % self._n_shards].add(x // self._n_shards)
+
+    def remove(self, x: int) -> None:
+        """Process one remove.  O(1): route to the owning shard."""
+        self._check_object(x)
+        self._shards[x % self._n_shards].remove(x // self._n_shards)
+
+    def update(self, x: int, is_add: bool) -> None:
+        if is_add:
+            self.add(x)
+        else:
+            self.remove(x)
+
+    def consume(self, events: Iterable[tuple[int, bool]]) -> int:
+        """Apply ``(object, is_add)`` tuples in order; return count."""
+        n = 0
+        for x, is_add in events:
+            if is_add:
+                self.add(x)
+            else:
+                self.remove(x)
+            n += 1
+        return n
+
+    def consume_arrays(self, ids, adds) -> int:
+        """Apply parallel id/flag arrays (numpy or sequences)."""
+        id_list = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        add_list = adds.tolist() if hasattr(adds, "tolist") else list(adds)
+        if len(id_list) != len(add_list):
+            raise CapacityError(
+                f"ids ({len(id_list)}) and adds ({len(add_list)}) differ"
+            )
+        return self.consume(zip(id_list, add_list))
+
+    def add_many(self, xs: Iterable[int]) -> int:
+        """Batch adds: coalesce, split per shard, climb per shard.
+
+        Batch semantics as in :meth:`repro.core.profile.SProfile.add_many`.
+        """
+        if hasattr(xs, "tolist"):
+            xs = xs.tolist()
+        counts = Counter(xs)
+        if not counts:
+            return 0
+        return self._apply_split(counts.items(), +1)
+
+    def remove_many(self, xs: Iterable[int]) -> int:
+        """Batch removes; mirror of :meth:`add_many`."""
+        if hasattr(xs, "tolist"):
+            xs = xs.tolist()
+        counts = Counter(xs)
+        if not counts:
+            return 0
+        return self._apply_split(counts.items(), -1)
+
+    def apply(self, deltas) -> int:
+        """Apply ``(object, delta)`` pairs (or a mapping) per shard.
+
+        Net-zero keys are untouched.  Bad ids and strict-mode
+        underflows are detected before any shard is mutated, so a
+        rejected batch leaves the whole engine untouched and may be
+        re-submitted.
+        """
+        items = deltas.items() if hasattr(deltas, "items") else deltas
+        return self._apply_split(items, +1)
+
+    def _apply_split(self, items, sign: int) -> int:
+        n_shards = self._n_shards
+        m = self._m
+        shards = self._shards
+        per_shard: list[dict[int, int]] = [{} for _ in range(n_shards)]
+        for x, d in items:
+            if not 0 <= x < m:
+                raise CapacityError(
+                    f"object id {x} out of range [0, {m})"
+                )
+            shard = per_shard[x % n_shards]
+            local = x // n_shards
+            shard[local] = shard.get(local, 0) + sign * d
+        if not self.allow_negative:
+            # All-or-nothing across shards: surface every strict-mode
+            # underflow before the first shard mutates.
+            for s, chunk in enumerate(per_shard):
+                shard = shards[s]
+                for local, d in chunk.items():
+                    if d < 0 and shard.frequency(local) + d < 0:
+                        raise FrequencyUnderflowError(
+                            f"removing object {local * n_shards + s} at "
+                            f"frequency {shard.frequency(local)} "
+                            f"{-d} times (net) would go negative"
+                        )
+        n = 0
+        for s, chunk in enumerate(per_shard):
+            if chunk:
+                n += shards[s].apply(chunk)
+        return n
+
+    def clear(self) -> None:
+        """Reset every frequency to zero (keeps capacity and settings)."""
+        for shard in self._shards:
+            shard.clear()
+
+    # ------------------------------------------------------------------
+    # Point lookups and accounting
+    # ------------------------------------------------------------------
+
+    def frequency(self, x: int) -> int:
+        """Net count of ``x``.  O(1): one shard lookup."""
+        self._check_object(x)
+        return self._shards[x % self._n_shards].frequency(
+            x // self._n_shards
+        )
+
+    def frequencies(self) -> list[int]:
+        """Materialize the global frequency array (O(m))."""
+        out = [0] * self._m
+        for s, shard in enumerate(self._shards):
+            out[s :: self._n_shards] = shard.frequencies()
+        return out
+
+    @property
+    def capacity(self) -> int:
+        return self._m
+
+    @property
+    def total(self) -> int:
+        return sum(shard.total for shard in self._shards)
+
+    @property
+    def n_adds(self) -> int:
+        return sum(shard.n_adds for shard in self._shards)
+
+    @property
+    def n_removes(self) -> int:
+        return sum(shard.n_removes for shard in self._shards)
+
+    @property
+    def n_events(self) -> int:
+        return sum(shard.n_events for shard in self._shards)
+
+    @property
+    def active_count(self) -> int:
+        return sum(shard.active_count for shard in self._shards)
+
+    @property
+    def block_count(self) -> int:
+        """Total blocks across shards (>= the unsharded block count)."""
+        return sum(shard.block_count for shard in self._shards)
+
+    @property
+    def allow_negative(self) -> bool:
+        return self._shards[0].allow_negative if self._shards else True
+
+    # ------------------------------------------------------------------
+    # Extremes — O(n_shards) merges of the shard extremes
+    # ------------------------------------------------------------------
+
+    def mode(self) -> ModeResult:
+        """Most frequent object(s): merge the shard maxima.  O(N)."""
+        return self._extreme(desc=True)
+
+    def least(self) -> ModeResult:
+        """Least frequent object(s): merge the shard minima.  O(N)."""
+        return self._extreme(desc=False)
+
+    def _extreme(self, *, desc: bool) -> ModeResult:
+        self._require_nonempty()
+        best_f: int | None = None
+        count = 0
+        example = -1
+        for s, shard in enumerate(self._shards):
+            if shard.capacity == 0:
+                continue
+            result = shard.mode() if desc else shard.least()
+            f = result.frequency
+            if best_f is None or (f > best_f if desc else f < best_f):
+                best_f = f
+                count = result.count
+                example = result.example * self._n_shards + s
+            elif f == best_f:
+                count += result.count
+        assert best_f is not None
+        return ModeResult(frequency=best_f, count=count, example=example)
+
+    def max_frequency(self) -> int:
+        """The largest frequency.  O(N)."""
+        self._require_nonempty()
+        return max(
+            shard.max_frequency()
+            for shard in self._shards
+            if shard.capacity
+        )
+
+    def min_frequency(self) -> int:
+        """The smallest frequency.  O(N)."""
+        self._require_nonempty()
+        return min(
+            shard.min_frequency()
+            for shard in self._shards
+            if shard.capacity
+        )
+
+    def majority(self) -> int | None:
+        """The object holding more than half the total mass, if any."""
+        if self._m == 0:
+            return None
+        total = self.total
+        if total <= 0:
+            return None
+        top = self.mode()
+        if 2 * top.frequency > total:
+            return top.example
+        return None
+
+    # ------------------------------------------------------------------
+    # Rank queries — merged descending/ascending block walks
+    # ------------------------------------------------------------------
+
+    def _iter_desc(self) -> Iterator[TopEntry]:
+        """Global ``(object, frequency)`` walk, descending frequency."""
+        walks = (
+            self._shard_walk_desc(s, shard)
+            for s, shard in enumerate(self._shards)
+        )
+        return _heap_merge(*walks, key=lambda e: -e.frequency)
+
+    def _shard_walk_desc(
+        self, s: int, shard: SProfile
+    ) -> Iterator[TopEntry]:
+        n_shards = self._n_shards
+        ttof = shard._ttof
+        for block in shard.blocks.iter_blocks_desc():
+            f = block.f
+            for rank in range(block.r, block.l - 1, -1):
+                yield TopEntry(ttof[rank] * n_shards + s, f)
+
+    def top_k(self, k: int) -> list[TopEntry]:
+        """The ``min(k, m)`` most frequent objects, descending.
+
+        O(N + k log N): a lazy heap-merge of the per-shard descending
+        block walks, stopped after ``k`` entries.
+        """
+        if k < 0:
+            raise CapacityError(f"k must be >= 0, got {k}")
+        return list(islice(self._iter_desc(), min(k, self._m)))
+
+    def kth_most_frequent(self, k: int) -> TopEntry:
+        """The object of k-th largest frequency (1-based, ties arbitrary).
+
+        O(total blocks): resolve the frequency via the merged histogram,
+        then name one object holding it.
+        """
+        m = self._require_nonempty()
+        if not 1 <= k <= m:
+            raise CapacityError(f"k must be in [1, {m}], got {k}")
+        f = self.frequency_at_rank(m - k)
+        for s, shard in enumerate(self._shards):
+            local = shard.objects_with_frequency(f, limit=1)
+            if local:
+                return TopEntry(local[0] * self._n_shards + s, f)
+        raise AssertionError("rank frequency vanished mid-query")
+
+    def frequency_at_rank(self, rank: int) -> int:
+        """``T[rank]`` of the merged sorted array.  O(total blocks)."""
+        m = self._require_nonempty()
+        if not 0 <= rank < m:
+            raise CapacityError(f"rank {rank} out of range [0, {m})")
+        remaining = rank
+        for f, count in self.histogram():
+            if remaining < count:
+                return f
+            remaining -= count
+        raise AssertionError("histogram does not cover the universe")
+
+    def median_frequency(self) -> int:
+        """Lower median of the merged frequency array.  O(total blocks)."""
+        m = self._require_nonempty()
+        return self.frequency_at_rank((m - 1) // 2)
+
+    def quantile(self, q: float) -> int:
+        """Frequency at quantile ``q`` (nearest-rank).  O(total blocks)."""
+        m = self._require_nonempty()
+        if not 0.0 <= q <= 1.0:
+            raise CapacityError(f"quantile must be in [0, 1], got {q}")
+        return self.frequency_at_rank(int(q * (m - 1)))
+
+    # ------------------------------------------------------------------
+    # Distribution
+    # ------------------------------------------------------------------
+
+    def histogram(self) -> list[tuple[int, int]]:
+        """``(frequency, #objects)`` ascending: merged shard histograms.
+
+        O(N + total blocks) via a k-way merge summing equal frequencies.
+        """
+        out: list[tuple[int, int]] = []
+        merged = _heap_merge(
+            *(shard.histogram() for shard in self._shards if shard.capacity)
+        )
+        for f, count in merged:
+            if out and out[-1][0] == f:
+                out[-1] = (f, out[-1][1] + count)
+            else:
+                out.append((f, count))
+        return out
+
+    def support(self, f: int) -> int:
+        """Number of objects at frequency exactly ``f``.  O(N) lookups."""
+        return sum(shard.support(f) for shard in self._shards)
+
+    def objects_with_frequency(
+        self, f: int, limit: int | None = None
+    ) -> list[int]:
+        """Objects at frequency ``f`` (up to ``limit``), global ids."""
+        out: list[int] = []
+        for s, shard in enumerate(self._shards):
+            rest = None if limit is None else limit - len(out)
+            if rest is not None and rest <= 0:
+                break
+            out.extend(
+                local * self._n_shards + s
+                for local in shard.objects_with_frequency(f, limit=rest)
+            )
+        return out
+
+    def heavy_hitters(self, phi: float) -> list[TopEntry]:
+        """Objects with frequency > ``phi * total`` — exact, merged.
+
+        The threshold uses the *global* total, so per-shard walks stop
+        at the same cut the unsharded profile would use.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise CapacityError(f"phi must be in (0, 1], got {phi}")
+        total = self.total
+        out: list[TopEntry] = []
+        if total <= 0:
+            return out
+        threshold = phi * total
+        for entry in self._iter_desc():
+            if entry.frequency <= threshold:
+                break
+            out.append(entry)
+        return out
+
+    def iter_sorted(self) -> Iterator[TopEntry]:
+        """Yield global ``(object, frequency)`` ascending by frequency."""
+        walks = (
+            self._shard_walk_asc(s, shard)
+            for s, shard in enumerate(self._shards)
+        )
+        return _heap_merge(*walks, key=lambda e: e.frequency)
+
+    def _shard_walk_asc(
+        self, s: int, shard: SProfile
+    ) -> Iterator[TopEntry]:
+        n_shards = self._n_shards
+        for obj, f in shard.iter_sorted():
+            yield TopEntry(obj * n_shards + s, f)
+
+    # ------------------------------------------------------------------
+    # Structure management
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ProfileSnapshot:
+        """Frozen merged snapshot answering single-profile queries.
+
+        O(m log m): materializes the merged frequency array and sorts
+        once — snapshots are for offline analysis, not the hot path.
+        """
+        freqs = self.frequencies()
+        merged = SProfile.from_frequencies(
+            freqs, allow_negative=self.allow_negative
+        )
+        return ProfileSnapshot(
+            ttof=merged._ttof,
+            runs=merged.blocks.as_tuples(),
+            total=self.total,
+            n_events=self.n_events,
+        )
+
+    def audit(self) -> None:
+        """Audit every shard's structural invariants."""
+        for shard in self._shards:
+            audit_profile(shard)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_object(self, x: int) -> None:
+        if not 0 <= x < self._m:
+            raise CapacityError(
+                f"object id {x} out of range [0, {self._m})"
+            )
+
+    def _require_nonempty(self) -> int:
+        if self._m == 0:
+            raise EmptyProfileError("profile tracks zero objects")
+        return self._m
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedProfiler(capacity={self._m}, "
+            f"n_shards={self._n_shards}, total={self.total}, "
+            f"events={self.n_events})"
+        )

@@ -1,0 +1,93 @@
+"""Integration: the engine agrees with the sequential profile on the
+paper's workloads and on the adversarial streams.
+
+The property suite covers small random cases exhaustively; this file
+drives the real stream generators at size — batched ingestion through
+:class:`ProfileService` against a per-event :class:`SProfile`, across
+shard counts, on streams chosen to stress both bulk strategies
+(dense rebuilds on uniform streams, long climbs on single-hot).
+"""
+
+import pytest
+
+from repro.bench.workloads import build_stream
+from repro.core.profile import SProfile
+from repro.engine.service import ProfileService
+from repro.engine.sharding import ShardedProfiler
+
+UNIVERSE = 300
+N_EVENTS = 6_000
+BATCH = 512
+
+STREAMS = ("stream1", "stream2", "stream3", "single-hot", "staircase")
+
+
+@pytest.mark.parametrize("stream_name", STREAMS)
+@pytest.mark.parametrize("n_shards", (1, 4))
+def test_batched_sharded_service_matches_sequential(stream_name, n_shards):
+    stream = build_stream(stream_name, N_EVENTS, UNIVERSE, seed=23)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+
+    sequential = SProfile(UNIVERSE)
+    sequential.consume_arrays(ids, adds)
+
+    service = ProfileService(UNIVERSE, n_shards=n_shards)
+    for start in range(0, N_EVENTS, BATCH):
+        service.submit_arrays(
+            ids[start : start + BATCH], adds[start : start + BATCH]
+        )
+
+    service.profiler.audit()
+    freqs = sequential.frequencies()
+    sorted_freqs = sorted(freqs)
+    assert service.profiler.frequencies() == freqs
+    assert service.total == sequential.total
+    assert service.histogram() == sequential.histogram()
+    assert service.median_frequency() == sorted_freqs[(UNIVERSE - 1) // 2]
+    assert service.mode().frequency == max(freqs)
+    assert [e.frequency for e in service.top_k(25)] == (
+        sorted_freqs[::-1][:25]
+    )
+    assert sorted(service.heavy_hitters(0.05)) == sorted(
+        sequential.heavy_hitters(0.05)
+    )
+    assert service.events_ingested == N_EVENTS
+
+
+@pytest.mark.parametrize("stream_name", ("stream2", "root-thrash"))
+def test_checkpoint_mid_stream_resumes_identically(stream_name):
+    """Checkpoint at half-stream, restore, finish: same final answers."""
+    stream = build_stream(stream_name, N_EVENTS, UNIVERSE, seed=5)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+    half = N_EVENTS // 2
+
+    straight = ProfileService(UNIVERSE, n_shards=3)
+    straight.submit_arrays(ids, adds)
+
+    first_leg = ProfileService(UNIVERSE, n_shards=3)
+    first_leg.submit_arrays(ids[:half], adds[:half])
+    resumed = ProfileService.from_state(first_leg.to_state())
+    resumed.submit_arrays(ids[half:], adds[half:])
+
+    assert resumed.profiler.frequencies() == (
+        straight.profiler.frequencies()
+    )
+    assert resumed.histogram() == straight.histogram()
+    assert resumed.total == straight.total
+
+
+def test_sharded_batch_equals_sharded_per_event_at_size():
+    stream = build_stream("stream3", N_EVENTS, UNIVERSE, seed=31)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+
+    per_event = ShardedProfiler(UNIVERSE, n_shards=5)
+    per_event.consume_arrays(ids, adds)
+
+    batched = ShardedProfiler(UNIVERSE, n_shards=5)
+    batched.apply(
+        [(x, 1 if a else -1) for x, a in zip(ids, adds)]
+    )
+
+    assert batched.frequencies() == per_event.frequencies()
+    assert batched.histogram() == per_event.histogram()
+    batched.audit()

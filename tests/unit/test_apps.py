@@ -201,3 +201,93 @@ class TestMedianMonitor:
 
     def test_repr(self):
         assert "MedianMonitor" in repr(MedianMonitor(4))
+
+
+class TestClickAnalytics:
+    def _site(self, **kwargs):
+        from repro.apps.click_analytics import ClickAnalytics
+
+        return ClickAnalytics(
+            ["home", "docs", "blog", "about"], n_shards=2, **kwargs
+        )
+
+    def test_record_and_query(self):
+        site = self._site()
+        site.record_batch(["home", "docs", "home", "docs", "home"])
+        assert site.views("home") == 3
+        assert site.trending(2) == [("home", 3), ("docs", 2)]
+        assert site.total_views == 5
+        assert site.median_views() == 0  # lower median of [0, 0, 2, 3]
+
+    def test_auto_flush_at_batch_size(self):
+        site = self._site(batch_size=3)
+        site.record("home")
+        site.record("home")
+        assert site.pending == 2
+        site.record("docs")
+        assert site.pending == 0
+        assert site.service.batches_ingested == 1
+
+    def test_expire_slides_the_window(self):
+        site = self._site()
+        site.record_batch(["home", "home", "docs"])
+        site.expire(["home"])
+        assert site.views("home") == 1
+
+    def test_rejected_flush_keeps_buffer(self):
+        from repro.errors import FrequencyUnderflowError
+
+        site = self._site()
+        site.record("home")
+        site.expire(["home", "home"])
+        with pytest.raises(FrequencyUnderflowError):
+            site.flush()
+        assert site.pending == 3  # nothing lost, nothing applied
+        assert site.service.profiler.total == 0
+        assert site.discard_pending() == 3
+        assert site.views("home") == 0
+
+    def test_duplicate_catalog_rejected(self):
+        from repro.apps.click_analytics import ClickAnalytics
+
+        with pytest.raises(CapacityError):
+            ClickAnalytics(["a", "a"])
+
+    def test_unknown_page_rejected_without_buffering(self):
+        from repro.errors import UnknownObjectError
+
+        site = self._site()
+        with pytest.raises(UnknownObjectError):
+            site.record("nope")
+        assert site.pending == 0
+
+    def test_checkpoint_round_trip(self):
+        from repro.apps.click_analytics import ClickAnalytics
+
+        site = self._site()
+        site.record_batch(["home", "blog", "blog"])
+        restored = ClickAnalytics.restore(site.checkpoint())
+        assert restored.trending(2) == site.trending(2)
+        assert restored.total_views == 3
+        restored.record("about")
+        assert restored.views("about") == 1
+
+    def test_malformed_checkpoint_rejected(self):
+        from repro.apps.click_analytics import ClickAnalytics
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            ClickAnalytics.restore({"catalog": ["a"]})
+        state = self._site().checkpoint()
+        state["catalog"].append("extra")
+        with pytest.raises(CheckpointError):
+            ClickAnalytics.restore(state)
+
+    def test_restore_rejects_duplicate_catalog(self):
+        from repro.apps.click_analytics import ClickAnalytics
+        from repro.errors import CheckpointError
+
+        state = ClickAnalytics(["a", "b", "c"]).checkpoint()
+        state["catalog"] = ["a", "a", "b"]  # same length, fewer pages
+        with pytest.raises(CheckpointError):
+            ClickAnalytics.restore(state)

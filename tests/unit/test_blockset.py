@@ -173,3 +173,30 @@ class TestAudit:
         bset._freq_index[99] = bset.block_at(0)
         with pytest.raises(InvariantViolationError):
             bset.audit()
+
+
+class TestFromRunsTrustedPath:
+    def test_audit_false_still_rejects_overlapping_runs(self):
+        import pytest
+
+        from repro.core.blockset import BlockSet
+        from repro.errors import InvariantViolationError
+
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(4, [(0, 2, 1), (1, 3, 5)], audit=False)
+
+    def test_audit_false_still_rejects_gapped_runs(self):
+        import pytest
+
+        from repro.core.blockset import BlockSet
+        from repro.errors import InvariantViolationError
+
+        with pytest.raises(InvariantViolationError):
+            BlockSet.from_runs(4, [(0, 1, 1), (3, 3, 5)], audit=False)
+
+    def test_audit_false_accepts_valid_runs(self):
+        from repro.core.blockset import BlockSet
+
+        blocks = BlockSet.from_runs(4, [(0, 1, 1), (2, 3, 5)], audit=False)
+        blocks.audit()
+        assert blocks.n_blocks == 2

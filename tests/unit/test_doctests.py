@@ -4,20 +4,26 @@ import doctest
 
 import pytest
 
+import repro.apps.click_analytics
 import repro.apps.leaderboard
 import repro.apps.median_service
 import repro.apps.topk_tracker
 import repro.approx.spacesaving
 import repro.core.dynamic
 import repro.core.profile
+import repro.engine.service
+import repro.engine.sharding
 
 MODULES = [
+    repro.apps.click_analytics,
     repro.apps.leaderboard,
     repro.apps.median_service,
     repro.apps.topk_tracker,
     repro.approx.spacesaving,
     repro.core.dynamic,
     repro.core.profile,
+    repro.engine.service,
+    repro.engine.sharding,
 ]
 
 

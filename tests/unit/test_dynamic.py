@@ -258,3 +258,22 @@ class TestSnapshotAndTranslation:
 
     def test_repr(self):
         assert "DynamicProfiler" in repr(DynamicProfiler())
+
+
+class TestDynamicBatchAtomicity:
+    def test_rejected_strict_apply_registers_nothing(self):
+        import pytest
+
+        from repro.core.dynamic import DynamicProfiler
+        from repro.errors import FrequencyUnderflowError
+
+        profiler = DynamicProfiler(allow_negative=False)
+        profiler.add("seen")
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.apply([("brand_new", +1), ("never_seen", -1)])
+        assert len(profiler) == 1
+        assert "brand_new" not in profiler
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.apply([("other_new", +1), ("seen", -2)])
+        assert len(profiler) == 1
+        assert profiler.frequency("seen") == 1

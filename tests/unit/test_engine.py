@@ -1,0 +1,337 @@
+"""Unit tests for the engine layer: ShardedProfiler and ProfileService."""
+
+import random
+
+import pytest
+
+from repro.core.profile import SProfile
+from repro.engine.service import ProfileService
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+)
+from repro.streams.events import Action, Event
+
+
+def _random_pair(capacity, n_shards, n_events, seed=0, **kwargs):
+    """(ShardedProfiler, SProfile) fed the same random event stream."""
+    rng = random.Random(seed)
+    sharded = ShardedProfiler(capacity, n_shards=n_shards, **kwargs)
+    single = SProfile(capacity, **kwargs)
+    for _ in range(n_events):
+        x = rng.randrange(capacity)
+        is_add = rng.random() < 0.7
+        sharded.update(x, is_add)
+        single.update(x, is_add)
+    return sharded, single
+
+
+class TestShardedPartition:
+    def test_shard_capacities_tile_the_universe(self):
+        profiler = ShardedProfiler(10, n_shards=3)
+        assert [s.capacity for s in profiler.shards] == [4, 3, 3]
+        assert profiler.capacity == 10
+
+    def test_shard_of(self):
+        profiler = ShardedProfiler(10, n_shards=3)
+        assert [profiler.shard_of(x) for x in range(6)] == [0, 1, 2, 0, 1, 2]
+        with pytest.raises(CapacityError):
+            profiler.shard_of(10)
+
+    def test_more_shards_than_objects(self):
+        profiler = ShardedProfiler(2, n_shards=8)
+        profiler.add(0)
+        profiler.add(1)
+        assert profiler.max_frequency() == 1
+        assert profiler.frequencies() == [1, 1]
+
+    def test_bad_construction(self):
+        with pytest.raises(CapacityError):
+            ShardedProfiler(-1)
+        with pytest.raises(CapacityError):
+            ShardedProfiler(4, n_shards=0)
+
+    def test_empty_universe_queries_raise(self):
+        profiler = ShardedProfiler(0, n_shards=2)
+        with pytest.raises(EmptyProfileError):
+            profiler.mode()
+        with pytest.raises(EmptyProfileError):
+            profiler.median_frequency()
+
+
+class TestShardedQueries:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 8])
+    def test_agrees_with_single_profile(self, n_shards):
+        sharded, single = _random_pair(50, n_shards, 600, seed=n_shards)
+        freqs = single.frequencies()
+        sorted_freqs = sorted(freqs)
+        assert sharded.frequencies() == freqs
+        assert sharded.total == single.total
+        assert sharded.n_events == single.n_events
+        assert sharded.active_count == single.active_count
+        assert sharded.max_frequency() == max(freqs)
+        assert sharded.min_frequency() == min(freqs)
+        assert sharded.median_frequency() == sorted_freqs[(50 - 1) // 2]
+        assert sharded.histogram() == single.histogram()
+        top = sharded.top_k(10)
+        assert [e.frequency for e in top] == sorted_freqs[::-1][:10]
+        assert all(freqs[e.obj] == e.frequency for e in top)
+        sharded.audit()
+
+    def test_mode_merges_tie_counts_across_shards(self):
+        profiler = ShardedProfiler(6, n_shards=3)
+        profiler.add_many([0, 1, 2])  # one object per shard at freq 1
+        mode = profiler.mode()
+        assert mode.frequency == 1
+        assert mode.count == 3
+        assert mode.example in (0, 1, 2)
+
+    def test_least_merges_tie_counts_across_shards(self):
+        profiler = ShardedProfiler(4, n_shards=2)
+        profiler.add_many([0, 1, 2, 3])
+        least = profiler.least()
+        assert least.frequency == 1
+        assert least.count == 4
+
+    def test_kth_and_rank_queries(self):
+        profiler = ShardedProfiler(5, n_shards=2)
+        profiler.apply({0: 5, 1: 3, 2: 1})
+        assert profiler.kth_most_frequent(1).obj == 0
+        assert profiler.kth_most_frequent(2).obj == 1
+        assert profiler.frequency_at_rank(4) == 5
+        assert profiler.frequency_at_rank(0) == 0
+        assert profiler.quantile(1.0) == 5
+        with pytest.raises(CapacityError):
+            profiler.kth_most_frequent(6)
+        with pytest.raises(CapacityError):
+            profiler.frequency_at_rank(5)
+
+    def test_support_and_objects_with_frequency(self):
+        profiler = ShardedProfiler(8, n_shards=3)
+        profiler.apply({0: 2, 1: 2, 5: 2, 7: 1})
+        assert profiler.support(2) == 3
+        assert sorted(profiler.objects_with_frequency(2)) == [0, 1, 5]
+        assert len(profiler.objects_with_frequency(2, limit=2)) == 2
+        assert profiler.support(9) == 0
+
+    def test_heavy_hitters_use_global_total(self):
+        profiler = ShardedProfiler(6, n_shards=2)
+        profiler.apply({0: 8, 1: 1, 2: 1})
+        hitters = profiler.heavy_hitters(0.5)
+        assert [(e.obj, e.frequency) for e in hitters] == [(0, 8)]
+
+    def test_majority(self):
+        profiler = ShardedProfiler(4, n_shards=2)
+        profiler.apply({1: 5, 2: 1})
+        assert profiler.majority() == 1
+        profiler.apply({2: 4})
+        assert profiler.majority() is None
+
+    def test_iter_sorted_is_globally_ascending(self):
+        sharded, single = _random_pair(30, 4, 300, seed=9)
+        walked = [e.frequency for e in sharded.iter_sorted()]
+        assert walked == sorted(single.frequencies())
+
+    def test_snapshot_matches_merged_state(self):
+        sharded, single = _random_pair(30, 4, 300, seed=4)
+        snap = sharded.snapshot()
+        assert sorted(snap.frequencies()) == sorted(single.frequencies())
+        assert snap.total == single.total
+        assert snap.n_events == single.n_events
+
+
+class TestShardedUpdates:
+    def test_strict_underflow_routes_to_shard(self):
+        profiler = ShardedProfiler(6, n_shards=3, allow_negative=False)
+        profiler.add(4)
+        profiler.remove(4)
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove(4)
+
+    def test_strict_batch_reject_leaves_every_shard_untouched(self):
+        profiler = ShardedProfiler(6, n_shards=3, allow_negative=False)
+        profiler.add_many([0, 1, 2, 3, 4, 5])
+        before = profiler.frequencies()
+        # Key 4's shard would underflow; keys on other shards are legal.
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.remove_many([0, 1, 4, 4])
+        assert profiler.frequencies() == before
+        profiler.audit()
+
+    def test_consume_arrays_mismatch(self):
+        profiler = ShardedProfiler(4, n_shards=2)
+        with pytest.raises(CapacityError):
+            profiler.consume_arrays([1, 2], [True])
+
+    def test_clear(self):
+        profiler = ShardedProfiler(6, n_shards=2)
+        profiler.add_many([0, 1, 2, 3])
+        profiler.clear()
+        assert profiler.total == 0
+        assert profiler.frequencies() == [0] * 6
+        assert profiler.n_events == 0
+
+    def test_batch_and_per_event_agree(self):
+        batched = ShardedProfiler(20, n_shards=3)
+        looped = ShardedProfiler(20, n_shards=3)
+        xs = [1, 1, 19, 4, 4, 4, 0]
+        batched.add_many(xs)
+        for x in xs:
+            looped.add(x)
+        batched.remove_many([4, 1])
+        looped.remove(4)
+        looped.remove(1)
+        assert batched.frequencies() == looped.frequencies()
+        batched.audit()
+
+
+class TestProfileService:
+    def test_submit_mixed_event_shapes(self):
+        service = ProfileService(capacity=10, n_shards=2)
+        n = service.submit(
+            [Event(1, Action.ADD), (1, Action.ADD), (2, True), (3, False)]
+        )
+        assert n == 4
+        assert service.frequency(1) == 2
+        assert service.frequency(3) == -1
+        assert service.batches_ingested == 1
+        assert service.events_ingested == 4
+
+    def test_submit_counts_raw_events_but_applies_net(self):
+        service = ProfileService(capacity=4, n_shards=2)
+        n = service.submit([(0, True), (0, False), (1, True)])
+        assert n == 1  # the add/remove pair for key 0 cancelled
+        assert service.events_ingested == 3
+        assert service.profiler.n_events == 1
+
+    def test_submit_arrays(self):
+        service = ProfileService(capacity=4, n_shards=2)
+        service.submit_arrays([0, 1, 1], [True, True, True])
+        assert service.frequency(1) == 2
+        with pytest.raises(CapacityError):
+            service.submit_arrays([0], [True, False])
+
+    def test_query_delegation(self):
+        service = ProfileService(capacity=6, n_shards=3)
+        service.submit([(0, True)] * 3 + [(1, True)])
+        assert service.mode().example == 0
+        assert service.top_k(1)[0].frequency == 3
+        assert service.least().frequency == 0
+        assert service.median_frequency() == 0
+        assert service.quantile(1.0) == 3
+        assert service.support(3) == 1
+        assert service.histogram() == [(0, 4), (1, 1), (3, 1)]
+        assert service.heavy_hitters(0.5)[0].obj == 0
+        assert service.total == 4
+
+    def test_snapshot(self):
+        service = ProfileService(capacity=4, n_shards=2)
+        service.submit([(0, True), (0, True), (3, True)])
+        snap = service.snapshot()
+        service.submit([(1, True)] * 10)
+        assert snap.total == 3  # frozen before the second batch
+        assert sorted(snap.frequencies()) == [0, 0, 1, 2]
+
+
+class TestServiceCheckpoint:
+    def _service(self):
+        service = ProfileService(capacity=11, n_shards=3)
+        service.submit([(x % 11, True) for x in range(40)])
+        service.submit([(5, False), (6, False)])
+        return service
+
+    def test_round_trip_state(self):
+        service = self._service()
+        restored = ProfileService.from_state(service.to_state())
+        assert restored.profiler.frequencies() == (
+            service.profiler.frequencies()
+        )
+        assert restored.n_shards == service.n_shards
+        assert restored.batches_ingested == service.batches_ingested
+        assert restored.events_ingested == service.events_ingested
+        assert restored.histogram() == service.histogram()
+
+    def test_round_trip_file(self, tmp_path):
+        service = self._service()
+        path = tmp_path / "service.json"
+        service.save(path)
+        restored = ProfileService.load(path)
+        assert restored.profiler.frequencies() == (
+            service.profiler.frequencies()
+        )
+
+    def test_restored_service_keeps_ingesting(self):
+        restored = ProfileService.from_state(self._service().to_state())
+        before = restored.frequency(5)
+        restored.submit([(5, True), (5, True)])
+        assert restored.frequency(5) == before + 2
+        restored.profiler.audit()
+
+    def test_missing_keys_rejected(self):
+        state = self._service().to_state()
+        del state["shards"]
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_version_mismatch_rejected(self):
+        state = self._service().to_state()
+        state["version"] = 99
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_wrong_shard_count_rejected(self):
+        state = self._service().to_state()
+        state["shards"] = state["shards"][:-1]
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_tampered_shard_rejected(self):
+        state = self._service().to_state()
+        state["shards"][0]["runs"][0][2] += 1_000_000
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_shard_capacity_mismatch_rejected(self):
+        state = self._service().to_state()
+        state["capacity"] = 12  # partition arithmetic no longer matches
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_corrupt_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            ProfileService.load(path)
+
+
+class TestServiceCheckpointTypeTampering:
+    def _state(self):
+        service = ProfileService(capacity=6, n_shards=2)
+        service.submit([(1, True), (2, True)])
+        return service.to_state()
+
+    @pytest.mark.parametrize(
+        "key,value",
+        [
+            ("capacity", "10"),
+            ("capacity", -1),
+            ("n_shards", "2"),
+            ("shards", "oops"),
+            ("batches", "3"),
+            ("events", -4),
+        ],
+    )
+    def test_wrong_types_raise_checkpoint_error(self, key, value):
+        state = self._state()
+        state[key] = value
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)
+
+    def test_mixed_allow_negative_rejected(self):
+        state = self._state()
+        state["shards"][0]["allow_negative"] = False
+        with pytest.raises(CheckpointError):
+            ProfileService.from_state(state)

@@ -21,6 +21,7 @@ class TestPackageSurface:
         import repro.baselines
         import repro.bench
         import repro.core
+        import repro.engine
         import repro.streams
 
         for module in (
@@ -29,6 +30,7 @@ class TestPackageSurface:
             repro.baselines,
             repro.bench,
             repro.core,
+            repro.engine,
             repro.streams,
         ):
             for name in module.__all__:
