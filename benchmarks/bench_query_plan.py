@@ -1,0 +1,118 @@
+"""Fused query plans vs separate calls (emits BENCH_query_plan.json).
+
+The dashboard read pattern: mode + top-10 + histogram + p50 + p99,
+refreshed together.  Standalone calls traverse the block structure once
+per statistic — on the sharded backend every order statistic is a full
+O(n_shards + total blocks) merge, so four calls pay for the merge
+several times over.  ``Profiler.evaluate`` fuses all four into one
+descending run walk (one walk per shard), which is the structural win
+measured here.
+
+On the flat exact backend most standalone queries are O(1)/O(k)
+pointer reads (that is the paper's point), so fusion only saves the
+histogram's walk; both shapes are reported for honesty, but the
+speedup acceptance is asserted on the sharded engine where the merge
+dominates.
+
+Timings are min-of-N wall clock (no pytest-benchmark dependency so the
+module can emit its JSON artifact in one shot).  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query_plan.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.api import Profiler, Query
+from repro.bench.workloads import build_stream
+
+UNIVERSE = 20_000
+N_EVENTS = 60_000
+SHARDS = 8
+ROUNDS = 7
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_query_plan.json"
+
+PLAN = (
+    Query.mode(),
+    Query.top_k(10),
+    Query.histogram(),
+    Query.quantile(0.5),
+    Query.quantile(0.99),
+)
+
+
+def _loaded_profiler(backend: str, **kwargs) -> Profiler:
+    profiler = Profiler.open(UNIVERSE, backend=backend, **kwargs)
+    stream = build_stream("stream1", N_EVENTS, UNIVERSE, seed=7)
+    ids, adds = stream.arrays()
+    profiler.ingest(zip(ids.tolist(), adds.tolist()))
+    return profiler
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _separate(profiler: Profiler) -> None:
+    profiler.mode()
+    profiler.top_k(10)
+    profiler.histogram()
+    profiler.quantile(0.5)
+    profiler.quantile(0.99)
+
+
+def _fused(profiler: Profiler) -> None:
+    profiler.evaluate(*PLAN)
+
+
+def _measure(backend: str, **kwargs) -> dict:
+    profiler = _loaded_profiler(backend, **kwargs)
+    # Answers must agree before timings mean anything.
+    fused = profiler.evaluate(*PLAN)
+    assert fused[Query.mode()] == profiler.mode()
+    assert fused[Query.top_k(10)] == profiler.top_k(10)
+    assert fused[Query.histogram()] == profiler.histogram()
+    assert fused[Query.quantile(0.5)] == profiler.quantile(0.5)
+    assert fused[Query.quantile(0.99)] == profiler.quantile(0.99)
+    separate_s = _best_of(lambda: _separate(profiler))
+    fused_s = _best_of(lambda: _fused(profiler))
+    return {
+        "backend": profiler.backend_name,
+        "shards": profiler.n_shards,
+        "universe": UNIVERSE,
+        "events": N_EVENTS,
+        "queries": [q.key for q in PLAN],
+        "separate_s": separate_s,
+        "fused_s": fused_s,
+        "speedup": separate_s / fused_s if fused_s else float("inf"),
+    }
+
+
+def test_fused_plan_beats_separate_calls_on_sharded_engine():
+    """Acceptance: one merged walk beats four independent merges."""
+    sharded = _measure("sharded", shards=SHARDS)
+    exact = _measure("exact")
+
+    ARTIFACT.write_text(
+        json.dumps({"results": [sharded, exact]}, indent=2)
+    )
+    print(
+        f"\nsharded: separate {sharded['separate_s'] * 1e3:.2f} ms, "
+        f"fused {sharded['fused_s'] * 1e3:.2f} ms "
+        f"({sharded['speedup']:.2f}x)"
+    )
+    print(
+        f"exact:   separate {exact['separate_s'] * 1e3:.2f} ms, "
+        f"fused {exact['fused_s'] * 1e3:.2f} ms "
+        f"({exact['speedup']:.2f}x)"
+    )
+    assert sharded["speedup"] > 1.2, sharded

@@ -3,30 +3,35 @@
 Reproduction of Yang, Yu, Deng, Liu, *Optimal Algorithm for Profiling
 Dynamic Arrays with Finite Values* (EDBT 2019; arXiv:1812.05306).
 
-Quick start::
+Quick start — the unified facade is the documented way in::
 
-    from repro import SProfile
+    from repro import Profiler, Query
 
-    profile = SProfile(capacity=1_000_000)
-    profile.add(42)
-    profile.remove(7)
-    profile.mode()              # most frequent object, O(1)
-    profile.median_frequency()  # O(1)
-    profile.top_k(10)           # O(k)
+    profiler = Profiler.open(1_000_000, backend="auto")
+    profiler.ingest([(42, +1), (7, -1)])
+    profiler.mode()              # most frequent object, O(1)
+    profiler.median_frequency()  # O(1)
+    profiler.evaluate(           # fused: one block walk for all four
+        Query.mode(), Query.top_k(10),
+        Query.histogram(), Query.quantile(0.99))
 
 Package map:
 
+- :mod:`repro.api` — the public facade: backend selection
+  (exact / sharded / approximate / baselines), one ingest verb, fused
+  multi-query plans.
 - :mod:`repro.core` — the paper's algorithm and its query surface.
-- :mod:`repro.engine` — scale-out layer: batched ingestion, sharding,
-  the :class:`ProfileService` façade with checkpoint hooks.
+- :mod:`repro.engine` — scale-out layer: batched ingestion, sharding.
+  (:class:`ProfileService` is deprecated in favour of the facade.)
 - :mod:`repro.baselines` — heap / balanced-tree / bucket comparators.
 - :mod:`repro.streams` — log-stream generators (paper section 3 setup),
   sliding windows, persistence.
 - :mod:`repro.apps` — applications from section 2.3 (graph shaving,
-  top-k tracking) and beyond.
+  top-k tracking) and beyond, all built on the facade.
 - :mod:`repro.bench` — harness regenerating every figure of the paper.
 """
 
+from repro.api import EvalResult, Profiler, Query
 from repro.core.dynamic import DynamicProfiler
 from repro.core.profile import SProfile
 from repro.core.queries import ModeResult, TopEntry
@@ -53,11 +58,14 @@ __all__ = [
     "CheckpointError",
     "DynamicProfiler",
     "EmptyProfileError",
+    "EvalResult",
     "FrequencyUnderflowError",
     "InvariantViolationError",
     "ModeResult",
     "ProfileService",
     "ProfileSnapshot",
+    "Profiler",
+    "Query",
     "ReproError",
     "SProfile",
     "ShardedProfiler",

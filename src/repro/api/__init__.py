@@ -1,0 +1,42 @@
+"""repro.api — the unified public facade of the profiling system.
+
+One factory selects any backend behind one contract::
+
+    from repro.api import Profiler, Query
+
+    profiler = Profiler.open(1_000_000, backend="auto")
+    profiler.ingest(events)                      # one write verb
+    profiler.mode()                              # one query surface
+    profiler.evaluate(Query.mode(),              # fused: one block walk
+                      Query.top_k(10),
+                      Query.histogram(),
+                      Query.quantile(0.99))
+
+See :mod:`repro.api.facade` for the facade, :mod:`repro.api.plan` for
+the query-plan layer, :mod:`repro.api.backends` for backend selection
+and :mod:`repro.api.results` for the versioned result containers.
+``docs/api.md`` documents the surface with a migration table from the
+pre-facade entry points.
+"""
+
+from repro.api.backends import ApproxProfiler, available_backends
+from repro.api.facade import API_STATE_VERSION, Profiler
+from repro.api.plan import Query
+from repro.api.results import (
+    RESULT_VERSION,
+    EvalResult,
+    ModeResult,
+    TopEntry,
+)
+
+__all__ = [
+    "API_STATE_VERSION",
+    "ApproxProfiler",
+    "EvalResult",
+    "ModeResult",
+    "Profiler",
+    "Query",
+    "RESULT_VERSION",
+    "TopEntry",
+    "available_backends",
+]

@@ -1,0 +1,506 @@
+"""Backend selection and run-walk adapters for the unified facade.
+
+Three kinds of machinery live here:
+
+- :func:`build_backend` — one switchboard resolving a backend name
+  (``"auto"``, ``"exact"``, ``"sharded"``, ``"approx"`` or any
+  :mod:`repro.baselines.registry` name) plus a key mode to a concrete
+  implementation, the way the paper's profile and the space-optimal
+  sketch estimators of Chen–Indyk–Woodruff are interchangeable behind
+  one contract;
+- the ``*RunsView`` adapters — each presents its backend's block
+  structure as the merged descending run walk
+  :func:`repro.api.plan.evaluate_fused` consumes, visiting every
+  underlying :class:`~repro.core.blockset.BlockSet` exactly once;
+- :class:`ApproxProfiler` — the sublinear-space backend: a Count-Min
+  sketch for point estimates plus a SpaceSaving summary for ranked
+  queries, add-only, with explicit error bounds.
+"""
+
+from __future__ import annotations
+
+from heapq import merge as _heap_merge
+from typing import Hashable, Iterator
+
+from repro.api.plan import Run
+from repro.baselines.registry import available_profilers, make_profiler
+from repro.core.dynamic import DynamicProfiler
+from repro.core.profile import SProfile, net_deltas
+from repro.core.queries import ModeResult, TopEntry
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    UnsupportedQueryError,
+)
+
+__all__ = [
+    "ApproxProfiler",
+    "available_backends",
+    "build_backend",
+    "resolve_backend",
+    "runs_view_for",
+]
+
+#: Facade-level backend names (registry baseline names add to these).
+_BUILTIN_BACKENDS = ("auto", "exact", "sharded", "approx")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every name ``Profiler.open(backend=...)`` accepts."""
+    return _BUILTIN_BACKENDS + available_profilers()
+
+
+def resolve_backend(backend: str, keys: str, shards) -> str:
+    """Collapse ``"auto"`` to a concrete backend name."""
+    if backend != "auto":
+        return backend
+    if shards is not None:
+        return "sharded"
+    return "exact"
+
+
+def build_backend(
+    backend: str,
+    capacity,
+    *,
+    keys: str,
+    strict: bool,
+    shards,
+    track_freq_index: bool = False,
+    **options,
+):
+    """Construct the implementation behind a resolved backend name.
+
+    Returns ``(impl, facade_interned)`` — the second flag tells the
+    facade it must own an :class:`~repro.core.interner.ObjectInterner`
+    (hashable keys over a dense-id implementation).
+    """
+    name = resolve_backend(backend, keys, shards)
+    if shards is not None and name != "sharded":
+        raise CapacityError(
+            f"shards= only applies to the sharded backend, not {name!r}"
+        )
+    allow_negative = not strict
+
+    if name == "approx":
+        # Sketches take hashable keys natively and need no capacity;
+        # strictness is inherent (the backend is add-only).
+        return ApproxProfiler(**options), False
+    if options:
+        raise CapacityError(
+            f"unknown options for backend {name!r}: {sorted(options)}"
+        )
+
+    if name == "exact" and keys == "hashable":
+        return (
+            DynamicProfiler(
+                allow_negative=allow_negative,
+                initial_capacity=capacity if capacity is not None else 8,
+            ),
+            False,
+        )
+    if capacity is None:
+        raise CapacityError(
+            f"backend {name!r} with {keys!r} keys requires a capacity"
+        )
+    if name == "exact":
+        return (
+            SProfile(
+                capacity,
+                allow_negative=allow_negative,
+                track_freq_index=track_freq_index,
+            ),
+            False,
+        )
+    if name == "sharded":
+        return (
+            ShardedProfiler(
+                capacity,
+                n_shards=shards if shards is not None else 4,
+                allow_negative=allow_negative,
+                track_freq_index=track_freq_index,
+            ),
+            keys == "hashable",
+        )
+    if name in available_profilers():
+        return (
+            make_profiler(name, capacity, allow_negative=allow_negative),
+            keys == "hashable",
+        )
+    raise CapacityError(
+        f"unknown backend {name!r}; choose from {available_backends()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Run-walk adapters
+# ----------------------------------------------------------------------
+
+
+class _ProfileRunsView:
+    """Descending run walk over a flat :class:`SProfile`."""
+
+    __slots__ = ("_p", "_decode")
+
+    def __init__(self, profile: SProfile, decode=None) -> None:
+        self._p = profile
+        self._decode = decode
+
+    @property
+    def size(self) -> int:
+        return self._p.capacity
+
+    @property
+    def total(self) -> int:
+        return self._p.total
+
+    def frequency(self, obj) -> int:
+        return self._p.frequency(obj)
+
+    def iter_runs_desc(self) -> Iterator[Run]:
+        ttof = self._p._ttof
+        decode = self._decode
+        for block in self._p.blocks.iter_blocks_desc():
+            l, r, f = block.l, block.r, block.f
+
+            def head(limit, l=l, r=r):
+                stop = l - 1 if limit is None else max(l - 1, r - limit)
+                objs = [ttof[rank] for rank in range(r, stop, -1)]
+                return [decode(o) for o in objs] if decode else objs
+
+            def tail(limit, l=l, r=r):
+                stop = r + 1 if limit is None else min(r + 1, l + limit)
+                objs = ttof[l:stop]
+                return [decode(o) for o in objs] if decode else objs
+
+            yield Run(f, r - l + 1, head, tail)
+
+
+class _DynamicRunsView:
+    """Run walk over a :class:`DynamicProfiler`'s logical universe.
+
+    Phantom slots (pre-allocated, never registered) all live in the
+    zero-frequency block; the walk subtracts them from that run's count
+    and filters them out of object enumeration, exactly as the
+    profiler's own queries do.
+    """
+
+    __slots__ = ("_p",)
+
+    def __init__(self, profiler: DynamicProfiler) -> None:
+        self._p = profiler
+
+    @property
+    def size(self) -> int:
+        return len(self._p)
+
+    @property
+    def total(self) -> int:
+        return self._p.total
+
+    def frequency(self, obj) -> int:
+        return self._p.frequency(obj)
+
+    def iter_runs_desc(self) -> Iterator[Run]:
+        p = self._p
+        size = len(p)
+        phantoms = p.phantom_count
+        inner = p.profile
+        ttof = inner._ttof
+        external = p.external
+
+        for block in inner.blocks.iter_blocks_desc():
+            l, r, f = block.l, block.r, block.f
+            count = r - l + 1
+            if f == 0:
+                count -= phantoms
+                if count <= 0:
+                    continue
+
+            def head(limit, l=l, r=r):
+                out = []
+                for rank in range(r, l - 1, -1):
+                    dense = ttof[rank]
+                    if dense >= size:
+                        continue
+                    out.append(external(dense))
+                    if limit is not None and len(out) == limit:
+                        break
+                return out
+
+            def tail(limit, l=l, r=r):
+                out = []
+                for rank in range(l, r + 1):
+                    dense = ttof[rank]
+                    if dense >= size:
+                        continue
+                    out.append(external(dense))
+                    if limit is not None and len(out) == limit:
+                        break
+                return out
+
+            yield Run(f, count, head, tail)
+
+
+class _ShardedRunsView:
+    """Merged descending run walk over a :class:`ShardedProfiler`.
+
+    Per-shard block walks are heap-merged by ``(-f, shard)`` and equal
+    frequencies grouped into one run, so the whole walk touches each
+    shard's block set exactly once — O(n_shards + total blocks), the
+    same bound as one merged histogram.  Object enumeration follows
+    shard order inside a run, matching the tie order of the profiler's
+    own ``top_k`` heap merge.
+    """
+
+    __slots__ = ("_p", "_decode")
+
+    def __init__(self, profiler: ShardedProfiler, decode=None) -> None:
+        self._p = profiler
+        self._decode = decode
+
+    @property
+    def size(self) -> int:
+        return self._p.capacity
+
+    @property
+    def total(self) -> int:
+        return self._p.total
+
+    def frequency(self, obj) -> int:
+        return self._p.frequency(obj)
+
+    def _shard_runs(self, s: int, shard: SProfile):
+        for block in shard.blocks.iter_blocks_desc():
+            yield (-block.f, s, block, shard)
+
+    def iter_runs_desc(self) -> Iterator[Run]:
+        p = self._p
+        n_shards = p.n_shards
+        decode = self._decode
+        streams = [
+            self._shard_runs(s, shard)
+            for s, shard in enumerate(p.shards)
+            if shard.capacity
+        ]
+        merged = _heap_merge(*streams)
+        pending = None  # (f, [(s, shard, block), ...])
+        for neg_f, s, block, shard in merged:
+            f = -neg_f
+            if pending is None or pending[0] != f:
+                if pending is not None:
+                    yield self._make_run(pending, n_shards, decode)
+                pending = (f, [(s, shard, block)])
+            else:
+                pending[1].append((s, shard, block))
+        if pending is not None:
+            yield self._make_run(pending, n_shards, decode)
+
+    @staticmethod
+    def _make_run(pending, n_shards: int, decode) -> Run:
+        f, contributors = pending
+        count = sum(
+            block.r - block.l + 1 for _, _, block in contributors
+        )
+
+        def head(limit):
+            out = []
+            for s, shard, block in contributors:
+                ttof = shard._ttof
+                for rank in range(block.r, block.l - 1, -1):
+                    obj = ttof[rank] * n_shards + s
+                    out.append(decode(obj) if decode else obj)
+                    if limit is not None and len(out) == limit:
+                        return out
+            return out
+
+        def tail(limit):
+            out = []
+            for s, shard, block in contributors:
+                ttof = shard._ttof
+                for rank in range(block.l, block.r + 1):
+                    obj = ttof[rank] * n_shards + s
+                    out.append(decode(obj) if decode else obj)
+                    if limit is not None and len(out) == limit:
+                        return out
+            return out
+
+        return Run(f, count, head, tail)
+
+
+def runs_view_for(impl, decode=None):
+    """The fused-walk adapter for ``impl``, or ``None`` if it has no
+    block structure to walk (baselines, sketches)."""
+    if isinstance(impl, SProfile):
+        return _ProfileRunsView(impl, decode)
+    if isinstance(impl, ShardedProfiler):
+        return _ShardedRunsView(impl, decode)
+    if isinstance(impl, DynamicProfiler):
+        return _DynamicRunsView(impl)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Approximate backend
+# ----------------------------------------------------------------------
+
+
+class ApproxProfiler:
+    """Sublinear-space backend: Count-Min estimates + SpaceSaving ranks.
+
+    Add-only (sketch summaries cannot un-count evictions); a batch with
+    net-negative deltas is rejected before anything is counted.
+    Guarantees, for ``N`` ingested events:
+
+    - ``frequency(x)`` never underestimates and overestimates by at
+      most ``eps * N`` with probability ``1 - delta``;
+    - every true phi-heavy hitter appears in ``heavy_hitters(phi)``
+      when ``counters >= 1/phi``;
+    - ``top_k``/``mode`` estimates overestimate by at most
+      ``N / counters``.
+
+    Parameters
+    ----------
+    counters:
+        SpaceSaving monitor slots (the ``k`` of the sketch paper).
+    eps / delta:
+        Count-Min additive-error target: error ``<= eps * N`` with
+        probability ``>= 1 - delta``.
+    seed:
+        Hash-family seed (fixed default for reproducibility).
+    """
+
+    name = "approx"
+    SUPPORTED_QUERIES = frozenset(
+        {"frequency", "mode", "top_k", "heavy_hitters"}
+    )
+
+    def __init__(
+        self,
+        *,
+        counters: int = 256,
+        eps: float = 0.001,
+        delta: float = 1e-4,
+        seed: int | None = 0,
+    ) -> None:
+        # Imported lazily so the exact backends never pay the numpy
+        # import; the sketch is the only numpy consumer in the facade.
+        from repro.approx.countmin import CountMinSketch
+        from repro.approx.spacesaving import SpaceSaving
+
+        if counters <= 0:
+            raise CapacityError(f"counters must be positive, got {counters}")
+        self._sketch = CountMinSketch.from_error(eps, delta, seed=seed)
+        self._summary = SpaceSaving(counters)
+        self._counters = counters
+        self._n_adds = 0
+
+    # -- ingestion -----------------------------------------------------
+
+    def apply(self, deltas) -> int:
+        """Apply coalesced deltas; every net delta must be >= 0."""
+        net = net_deltas(deltas)
+        for obj, d in net.items():
+            if d < 0:
+                raise CapacityError(
+                    f"approx backend is add-only; got net delta {d} "
+                    f"for {obj!r}"
+                )
+        n = 0
+        summary_add = self._summary.add
+        for obj, d in net.items():
+            if d == 0:
+                continue
+            self._sketch.add(obj, d)
+            summary_add(obj, d)
+            n += d
+        self._n_adds += n
+        return n
+
+    # -- queries -------------------------------------------------------
+
+    def frequency(self, obj: Hashable) -> int:
+        return self._sketch.estimate(obj)
+
+    def top_k(self, k: int) -> list[TopEntry]:
+        return self._summary.top_k(k)
+
+    def mode(self) -> ModeResult:
+        top = self._summary.top_k(1)
+        if not top:
+            raise EmptyProfileError("no events ingested")
+        return ModeResult(
+            frequency=top[0].frequency, count=None, example=top[0].obj
+        )
+
+    def heavy_hitters(self, phi: float) -> list[TopEntry]:
+        return self._summary.heavy_hitters(phi)
+
+    # Queries a sketch pair cannot answer — same loud failure contract
+    # as the baselines (ProfilerBase) so the facade stays uniform.
+
+    def least(self) -> ModeResult:
+        raise UnsupportedQueryError(self.name, "least")
+
+    def max_frequency(self) -> int:
+        raise UnsupportedQueryError(self.name, "max_frequency")
+
+    def min_frequency(self) -> int:
+        raise UnsupportedQueryError(self.name, "min_frequency")
+
+    def kth_most_frequent(self, k: int) -> TopEntry:
+        raise UnsupportedQueryError(self.name, "kth_most_frequent")
+
+    def median_frequency(self) -> int:
+        raise UnsupportedQueryError(self.name, "median")
+
+    def quantile(self, q: float) -> int:
+        raise UnsupportedQueryError(self.name, "quantile")
+
+    def histogram(self) -> list[tuple[int, int]]:
+        raise UnsupportedQueryError(self.name, "histogram")
+
+    def support(self, f: int) -> int:
+        raise UnsupportedQueryError(self.name, "support")
+
+    def error_bound(self) -> float:
+        """Current Count-Min additive error bound (``~eps * N``)."""
+        return self._sketch.error_bound()
+
+    def guaranteed_count(self, obj: Hashable) -> int:
+        """Certain lower bound on the true count of ``obj``."""
+        return self._summary.guaranteed_count(obj)
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Monitored-slot budget (the universe is unbounded)."""
+        return self._counters
+
+    @property
+    def total(self) -> int:
+        return self._sketch.total
+
+    @property
+    def n_adds(self) -> int:
+        return self._n_adds
+
+    @property
+    def n_removes(self) -> int:
+        return 0
+
+    @property
+    def n_events(self) -> int:
+        return self._n_adds
+
+    @property
+    def allow_negative(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproxProfiler(counters={self._counters}, "
+            f"events={self._n_adds}, {self._sketch!r})"
+        )

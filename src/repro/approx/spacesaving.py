@@ -69,9 +69,17 @@ class SpaceSaving:
         """Adds processed so far."""
         return self._n
 
-    def add(self, obj: Hashable) -> None:
-        """Count one occurrence of ``obj``.  O(log k)."""
-        self._n += 1
+    def add(self, obj: Hashable, count: int = 1) -> None:
+        """Count ``count`` occurrences of ``obj``.  O(log k).
+
+        The weighted form of the update: a batch of ``count`` unit
+        adds for one object lands on the same counter, so applying the
+        whole weight at once preserves the summary's guarantees while
+        paying the heap sift a single time.
+        """
+        if count <= 0:
+            raise CapacityError(f"count must be positive, got {count}")
+        self._n += count
         slot = self._slot_of.get(obj)
         if slot is None:
             # Evict the minimum counter; the new object inherits its
@@ -83,7 +91,7 @@ class SpaceSaving:
             self._objects[slot] = obj
             self._slot_of[obj] = slot
             self._errors[slot] = self._counts[slot]
-        self._counts[slot] += 1
+        self._counts[slot] += count
         self._heap.increased(slot)
 
     def __contains__(self, obj: Hashable) -> bool:

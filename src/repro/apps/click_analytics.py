@@ -1,4 +1,4 @@
-"""Click-stream analytics over the sharded engine.
+"""Click-stream analytics over the unified profiling facade.
 
 The scenario: a content site with a fixed page catalog serves view
 traffic from many frontends.  Each frontend flushes micro-batches of
@@ -6,14 +6,14 @@ events; the analytics tier must answer "what is trending right now?",
 "how is engagement distributed?" and "which pages dominate traffic?"
 at any moment, and survive restarts via checkpoints.
 
-:class:`ClickAnalytics` wires the full engine stack together:
-catalog names are interned to dense ids
-(:class:`~repro.core.interner.ObjectInterner`), events are buffered
-into micro-batches and ingested through
-:class:`~repro.engine.service.ProfileService` — which coalesces each
-batch and splits it across the shards of a
-:class:`~repro.engine.sharding.ShardedProfiler` — and every answer is
-exact, courtesy of the paper's profile structure underneath.
+:class:`ClickAnalytics` drives the full stack through one front door:
+:class:`repro.api.Profiler` opened on the sharded backend with
+hashable keys — the facade interns page names to dense ids, buffers
+arrive as micro-batches through the single ``ingest()`` verb (which
+coalesces each batch and splits it across the shards), and dashboard
+reads fuse every statistic into one merged block walk via
+:meth:`~repro.api.Profiler.evaluate`.  Every answer is exact, courtesy
+of the paper's profile structure underneath.
 
 ``expire`` feeds the same pipeline with removes, which is how a
 sliding-window deployment retires old traffic (paper section 2.3's
@@ -24,9 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Sequence
 
-from repro.core.interner import ObjectInterner
-from repro.engine.service import ProfileService
-from repro.errors import CapacityError, CheckpointError
+from repro.api import Profiler, Query
+from repro.errors import CapacityError, CheckpointError, UnknownObjectError
 
 __all__ = ["ClickAnalytics"]
 
@@ -75,52 +74,48 @@ class ClickAnalytics:
             raise CapacityError(
                 f"batch_size must be positive, got {batch_size}"
             )
-        self._interner = ObjectInterner()
-        for page in catalog:
-            self._interner.intern(page)
-        if len(self._interner) != len(catalog):
-            raise CapacityError("catalog contains duplicate pages")
-        self._service = ProfileService(
-            len(self._interner),
-            n_shards=n_shards,
-            allow_negative=allow_negative,
+        self._profiler = Profiler.open(
+            len(catalog),
+            backend="sharded",
+            keys="hashable",
+            shards=n_shards,
+            strict=not allow_negative,
         )
+        for page in catalog:
+            self._profiler.register(page)
+        if len(self._profiler) != len(catalog):
+            raise CapacityError("catalog contains duplicate pages")
         self._batch_size = batch_size
-        self._buffer: list[tuple[int, bool]] = []
+        self._buffer: list[tuple[Hashable, bool]] = []
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
 
+    def _buffer_events(self, pages: Iterable[Hashable], is_add: bool) -> int:
+        profiler = self._profiler
+        buffer = self._buffer
+        n = 0
+        for page in pages:
+            if page not in profiler:
+                raise UnknownObjectError(page)
+            buffer.append((page, is_add))
+            n += 1
+        if len(buffer) >= self._batch_size:
+            self.flush()
+        return n
+
     def record(self, page: Hashable) -> None:
         """Buffer one page view (auto-flushes at ``batch_size``)."""
-        self._buffer.append((self._interner.lookup(page), True))
-        if len(self._buffer) >= self._batch_size:
-            self.flush()
+        self._buffer_events((page,), True)
 
     def record_batch(self, pages: Iterable[Hashable]) -> int:
         """Buffer one view per element; return the number buffered."""
-        lookup = self._interner.lookup
-        buffer = self._buffer
-        n = 0
-        for page in pages:
-            buffer.append((lookup(page), True))
-            n += 1
-        if len(buffer) >= self._batch_size:
-            self.flush()
-        return n
+        return self._buffer_events(pages, True)
 
     def expire(self, pages: Iterable[Hashable]) -> int:
         """Buffer one *remove* per element (sliding-window retirement)."""
-        lookup = self._interner.lookup
-        buffer = self._buffer
-        n = 0
-        for page in pages:
-            buffer.append((lookup(page), False))
-            n += 1
-        if len(buffer) >= self._batch_size:
-            self.flush()
-        return n
+        return self._buffer_events(pages, False)
 
     def flush(self) -> int:
         """Submit the buffered micro-batch to the engine; return net
@@ -136,7 +131,7 @@ class ClickAnalytics:
         batch = self._buffer
         self._buffer = []
         try:
-            return self._service.submit(batch)
+            return self._profiler.ingest(batch)
         except Exception:
             self._buffer = batch + self._buffer
             raise
@@ -160,60 +155,80 @@ class ClickAnalytics:
     def views(self, page: Hashable) -> int:
         """Exact current view count of ``page``."""
         self.flush()
-        return self._service.frequency(self._interner.lookup(page))
+        if page not in self._profiler:
+            raise UnknownObjectError(page)
+        return self._profiler.frequency(page)
 
     def trending(self, k: int) -> list[tuple[Hashable, int]]:
         """The ``k`` most viewed pages as ``(page, views)``, descending."""
         self.flush()
-        external = self._interner.external
         return [
-            (external(entry.obj), entry.frequency)
-            for entry in self._service.top_k(k)
+            (entry.obj, entry.frequency)
+            for entry in self._profiler.top_k(k)
         ]
 
     def dominating(self, phi: float = 0.1) -> list[tuple[Hashable, int]]:
         """Pages holding more than ``phi`` of all views — exact
         phi-heavy-hitters over the merged shard walks."""
         self.flush()
-        external = self._interner.external
         return [
-            (external(entry.obj), entry.frequency)
-            for entry in self._service.heavy_hitters(phi)
+            (entry.obj, entry.frequency)
+            for entry in self._profiler.heavy_hitters(phi)
         ]
 
     def engagement_quantile(self, q: float) -> int:
         """View count at quantile ``q`` of the per-page distribution."""
         self.flush()
-        return self._service.quantile(q)
+        return self._profiler.quantile(q)
 
     def median_views(self) -> int:
         """Median per-page view count."""
         self.flush()
-        return self._service.median_frequency()
+        return self._profiler.median_frequency()
 
     def view_histogram(self) -> list[tuple[int, int]]:
         """``(views, #pages)`` ascending — the merged shard histogram."""
         self.flush()
-        return self._service.histogram()
+        return self._profiler.histogram()
+
+    def dashboard(self, k: int = 10, quantiles: Sequence[float] = (0.5, 0.99)):
+        """All dashboard statistics from **one** merged block walk.
+
+        Returns a dict with ``trending`` (top-``k``), ``histogram``,
+        ``mode`` and one entry per requested quantile — the fused-plan
+        read pattern :meth:`repro.api.Profiler.evaluate` exists for.
+        """
+        self.flush()
+        plan = [Query.mode(), Query.top_k(k), Query.histogram()]
+        plan.extend(Query.quantile(q) for q in quantiles)
+        result = self._profiler.evaluate(*plan)
+        out: dict[str, Any] = {
+            "mode": result[0],
+            "trending": [(e.obj, e.frequency) for e in result[1]],
+            "histogram": result[2],
+        }
+        for q, value in zip(quantiles, result.values[3:]):
+            out[f"p{q}"] = value
+        return out
 
     @property
     def total_views(self) -> int:
         """Net views across the catalog (flushes first)."""
         self.flush()
-        return self._service.total
+        return self._profiler.total
 
     @property
     def catalog_size(self) -> int:
-        return len(self._interner)
+        return len(self._profiler)
 
     @property
     def n_shards(self) -> int:
-        return self._service.n_shards
+        return self._profiler.n_shards
 
     @property
-    def service(self) -> ProfileService:
-        """The backing engine façade (full query surface)."""
-        return self._service
+    def profiler(self) -> Profiler:
+        """The backing facade (full query surface)."""
+        return self._profiler
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -223,37 +238,33 @@ class ClickAnalytics:
         """Flush and capture full state (catalog + engine) as a dict."""
         self.flush()
         return {
-            "catalog": list(self._interner),
             "batch_size": self._batch_size,
-            "service": self._service.to_state(),
+            "profiler": self._profiler.to_state(),
         }
 
     @classmethod
     def restore(cls, state: dict[str, Any]) -> "ClickAnalytics":
         """Rebuild from :meth:`checkpoint` output (audited restore)."""
         try:
-            catalog = state["catalog"]
             batch_size = state["batch_size"]
-            service_state = state["service"]
+            profiler_state = state["profiler"]
         except (TypeError, KeyError) as exc:
             raise CheckpointError(
                 f"analytics checkpoint is malformed: {exc!r}"
             ) from exc
-        service = ProfileService.from_state(service_state)
-        if service.capacity != len(catalog):
+        profiler = Profiler.from_state(profiler_state)
+        if profiler.keys != "hashable" or profiler.backend_name != "sharded":
             raise CheckpointError(
-                f"catalog size {len(catalog)} does not match engine "
-                f"capacity {service.capacity}"
+                "analytics checkpoint does not describe a sharded "
+                "hashable-key profiler"
+            )
+        if len(profiler) != profiler.capacity:
+            raise CheckpointError(
+                f"catalog names {len(profiler)} pages but the engine "
+                f"tracks {profiler.capacity}"
             )
         self = cls.__new__(cls)
-        self._interner = ObjectInterner()
-        for page in catalog:
-            self._interner.intern(page)
-        if len(self._interner) != len(catalog):
-            raise CheckpointError(
-                "checkpoint catalog contains duplicate pages"
-            )
-        self._service = service
+        self._profiler = profiler
         self._batch_size = int(batch_size)
         self._buffer = []
         return self

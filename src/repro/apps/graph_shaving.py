@@ -27,8 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
+from repro.api import Profiler
 from repro.core.interner import ObjectInterner
-from repro.core.profile import SProfile
 from repro.errors import ReproError
 
 __all__ = [
@@ -97,14 +97,13 @@ def _build_adjacency(
 class DegreeProfile:
     """Alive-vertex degree tracking with O(1) min-degree-alive queries.
 
-    Thin shaving-specific facade over :class:`SProfile` implementing the
-    rank trick described in the module docstring.
+    Thin shaving-specific wrapper over the unified facade
+    (:meth:`repro.api.Profiler.from_frequencies` on the exact backend)
+    implementing the rank trick described in the module docstring.
     """
 
     def __init__(self, degrees: list[int]) -> None:
-        self._profile = SProfile.from_frequencies(
-            degrees, allow_negative=True
-        )
+        self._profiler = Profiler.from_frequencies(degrees)
         self._n = len(degrees)
         self._dead = 0
         self._alive = [True] * self._n
@@ -119,32 +118,33 @@ class DegreeProfile:
     def degree(self, vertex: int) -> int:
         if not self._alive[vertex]:
             raise GraphInputError(f"vertex {vertex} was already shaved")
-        return self._profile.frequency(vertex)
+        return self._profiler.frequency(vertex)
 
     def min_degree_vertex(self) -> tuple[int, int]:
         """``(vertex, degree)`` of a minimum-degree alive vertex.  O(1)."""
         if self._dead >= self._n:
             raise GraphInputError("no alive vertices left")
-        vertex = self._profile.object_at_rank(self._dead)
-        return vertex, self._profile.frequency_at_rank(self._dead)
+        vertex = self._profiler.object_at_rank(self._dead)
+        return vertex, self._profiler.frequency_at_rank(self._dead)
 
     def decrement(self, vertex: int) -> None:
         """Lower an alive vertex's degree by one (a neighbour died)."""
         if not self._alive[vertex]:
             raise GraphInputError(f"vertex {vertex} was already shaved")
-        self._profile.remove(vertex)
+        self._profiler.ingest([(vertex, -1)])
 
     def kill(self, vertex: int) -> int:
         """Shave a vertex: drive its frequency to -1; return its degree.
 
-        Costs ``degree + 1`` O(1) removes.
+        One coalesced batch of ``degree + 1`` removes — a single climb
+        through the block structure instead of ``degree + 1`` separate
+        events (all elements of a block share one frequency, so the
+        descent leapfrogs whole blocks).
         """
         if not self._alive[vertex]:
             raise GraphInputError(f"vertex {vertex} was already shaved")
-        degree = self._profile.frequency(vertex)
-        remove = self._profile.remove
-        for _ in range(degree + 1):
-            remove(vertex)
+        degree = self._profiler.frequency(vertex)
+        self._profiler.ingest({vertex: -(degree + 1)})
         self._alive[vertex] = False
         self._dead += 1
         return degree

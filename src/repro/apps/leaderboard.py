@@ -1,17 +1,18 @@
 """Like/dislike leaderboard over arbitrary object ids.
 
-A thin, ergonomic wrapper over :class:`~repro.core.dynamic.DynamicProfiler`
-for the paper's motivating scenario — users "(dis)like" objects and the
-system must serve popularity queries at any time.  Net scores may go
-negative (more dislikes than likes), which is exactly the
-negative-frequency regime S-Profile supports natively.
+A thin, ergonomic wrapper over the unified facade
+(:class:`repro.api.Profiler` with ``keys="hashable"``) for the paper's
+motivating scenario — users "(dis)like" objects and the system must
+serve popularity queries at any time.  Net scores may go negative (more
+dislikes than likes), which is exactly the negative-frequency regime
+S-Profile supports natively.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.dynamic import DynamicProfiler
+from repro.api import Profiler
 from repro.core.queries import TopEntry
 from repro.errors import CapacityError
 
@@ -32,25 +33,25 @@ class Leaderboard:
     """
 
     def __init__(self) -> None:
-        self._profiler = DynamicProfiler(allow_negative=True)
+        self._profiler = Profiler.open(keys="hashable", backend="exact")
 
     @property
-    def profiler(self) -> DynamicProfiler:
+    def profiler(self) -> Profiler:
         return self._profiler
 
     def like(self, obj: Hashable, times: int = 1) -> None:
         """Record ``times`` likes for ``obj``."""
         if times < 0:
             raise CapacityError(f"times must be >= 0, got {times}")
-        for _ in range(times):
-            self._profiler.add(obj)
+        if times:
+            self._profiler.ingest([(obj, times)])
 
     def dislike(self, obj: Hashable, times: int = 1) -> None:
         """Record ``times`` dislikes for ``obj``."""
         if times < 0:
             raise CapacityError(f"times must be >= 0, got {times}")
-        for _ in range(times):
-            self._profiler.remove(obj)
+        if times:
+            self._profiler.ingest([(obj, -times)])
 
     def score(self, obj: Hashable) -> int:
         """Net score (likes - dislikes); 0 for unknown objects."""

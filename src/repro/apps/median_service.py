@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.profile import SProfile
+from repro.api import Profiler, Query
 from repro.errors import CapacityError
 
 __all__ = ["QuantileAlert", "MedianMonitor"]
@@ -68,15 +68,17 @@ class MedianMonitor:
     """
 
     def __init__(self, capacity: int, *, allow_negative: bool = True) -> None:
-        self._profile = SProfile(capacity, allow_negative=allow_negative)
+        self._profiler = Profiler.open(
+            capacity, backend="exact", strict=not allow_negative
+        )
         self._alerts: list[
             tuple[QuantileAlert, Callable[[QuantileAlert, int], None]]
         ] = []
         self._breached: dict[str, bool] = {}
 
     @property
-    def profile(self) -> SProfile:
-        return self._profile
+    def profile(self) -> Profiler:
+        return self._profiler
 
     def add_alert(
         self,
@@ -90,27 +92,35 @@ class MedianMonitor:
         self._breached[alert.name] = False
 
     def record(self, obj: int, is_add: bool = True) -> None:
-        """Feed one event and evaluate the alert rules."""
-        self._profile.update(obj, is_add)
+        """Feed one event and evaluate the alert rules.
+
+        Alert quantiles are O(1) point lookups on the maintained
+        profile, so the per-event cost stays constant no matter how
+        many rules are registered.
+        """
+        self._profiler.ingest([(obj, is_add)])
         for alert, callback in self._alerts:
-            value = self._profile.quantile(alert.quantile)
+            value = self._profiler.quantile(alert.quantile)
             breached = alert.is_breached(value)
             if breached and not self._breached[alert.name]:
                 callback(alert, value)
             self._breached[alert.name] = breached
 
     def median(self) -> int:
-        return self._profile.median_frequency()
+        return self._profiler.median_frequency()
 
     def quantile(self, q: float) -> int:
-        return self._profile.quantile(q)
+        return self._profiler.quantile(q)
 
     def spread(self) -> tuple[int, int]:
         """``(min, max)`` frequency across the universe."""
-        return (self._profile.min_frequency(), self._profile.max_frequency())
+        result = self._profiler.evaluate(
+            Query.min_frequency(), Query.max_frequency()
+        )
+        return (result[0], result[1])
 
     def __repr__(self) -> str:
         return (
-            f"MedianMonitor(capacity={self._profile.capacity}, "
-            f"alerts={len(self._alerts)}, events={self._profile.n_events})"
+            f"MedianMonitor(capacity={self._profiler.capacity}, "
+            f"alerts={len(self._alerts)}, events={self._profiler.n_events})"
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
-from repro.core.dynamic import DynamicProfiler
+from repro.api import Profiler
 from repro.core.queries import TopEntry
 from repro.errors import CapacityError
 
@@ -52,7 +52,9 @@ class TopKTracker:
         if k <= 0:
             raise CapacityError(f"k must be positive, got {k}")
         self._k = k
-        self._profiler = DynamicProfiler(allow_negative=allow_negative)
+        self._profiler = Profiler.open(
+            keys="hashable", backend="exact", strict=not allow_negative
+        )
         self._members: set[Hashable] = set()
         self._callbacks: list[Callable[[TopKChange], None]] = []
 
@@ -61,7 +63,7 @@ class TopKTracker:
         return self._k
 
     @property
-    def profiler(self) -> DynamicProfiler:
+    def profiler(self) -> Profiler:
         return self._profiler
 
     def on_change(self, callback: Callable[[TopKChange], None]) -> None:
@@ -70,12 +72,12 @@ class TopKTracker:
 
     def like(self, obj: Hashable) -> TopKChange:
         """Process an "add" event and report the board diff."""
-        self._profiler.add(obj)
+        self._profiler.ingest([(obj, +1)])
         return self._refresh()
 
     def unlike(self, obj: Hashable) -> TopKChange:
         """Process a "remove" event and report the board diff."""
-        self._profiler.remove(obj)
+        self._profiler.ingest([(obj, -1)])
         return self._refresh()
 
     def update(self, obj: Hashable, is_add: bool) -> TopKChange:

@@ -316,10 +316,6 @@ class ProfilerBase(ABC):
             raise EmptyProfileError("profile tracks zero objects")
         return self._m
 
-    def _check_quantile(self, q: float) -> None:
-        if not 0.0 <= q <= 1.0:
-            raise CapacityError(f"quantile must be in [0, 1], got {q}")
-
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(capacity={self._m}, total={self.total}, "

@@ -14,7 +14,7 @@ import heapq
 from collections import Counter
 
 from repro.baselines.base import ProfilerBase
-from repro.core.queries import ModeResult, TopEntry
+from repro.core.queries import ModeResult, TopEntry, quantile_rank
 from repro.errors import CapacityError
 
 __all__ = ["BucketProfiler"]
@@ -124,8 +124,7 @@ class BucketProfiler(ProfilerBase):
 
     def quantile(self, q: float) -> int:
         m = self._capacity_checked()
-        self._check_quantile(q)
-        return sorted(self._freq)[int(q * (m - 1))]
+        return sorted(self._freq)[quantile_rank(q, m)]
 
     def histogram(self) -> list[tuple[int, int]]:
         return sorted(Counter(self._freq).items())

@@ -22,6 +22,7 @@ from repro.baselines.fenwick import FenwickMultiset
 from repro.baselines.skiplist import IndexableSkipList
 from repro.baselines.sortedlist import SortedListMultiset
 from repro.baselines.treap import TreapMultiset
+from repro.core.queries import quantile_rank
 from repro.errors import CapacityError
 
 __all__ = ["TreeProfiler", "TREE_STRUCTURES"]
@@ -115,8 +116,7 @@ class TreeProfiler(ProfilerBase):
 
     def quantile(self, q: float) -> int:
         m = self._capacity_checked()
-        self._check_quantile(q)
-        return self._set.kth(int(q * (m - 1)))
+        return self._set.kth(quantile_rank(q, m))
 
     def histogram(self) -> list[tuple[int, int]]:
         return list(self._set.items())

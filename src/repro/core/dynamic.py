@@ -28,7 +28,7 @@ from typing import Hashable, Iterable, Iterator
 
 from repro.core.interner import ObjectInterner
 from repro.core.profile import SProfile, net_deltas
-from repro.core.queries import ModeResult, TopEntry
+from repro.core.queries import ModeResult, TopEntry, quantile_rank
 from repro.core.snapshot import ProfileSnapshot
 from repro.errors import (
     CapacityError,
@@ -354,11 +354,12 @@ class DynamicProfiler:
         return self._frequency_at_logical_rank((size - 1) // 2)
 
     def quantile(self, q: float) -> int:
-        """Frequency at quantile ``q`` over registered objects.  O(1)."""
+        """Frequency at quantile ``q`` over registered objects.  O(1).
+
+        Semantics per :func:`~repro.core.queries.quantile_rank`.
+        """
         size = self._size_checked()
-        if not 0.0 <= q <= 1.0:
-            raise CapacityError(f"quantile must be in [0, 1], got {q}")
-        return self._frequency_at_logical_rank(int(q * (size - 1)))
+        return self._frequency_at_logical_rank(quantile_rank(q, size))
 
     def _frequency_at_logical_rank(self, rank: int) -> int:
         phantoms = self.phantom_count

@@ -23,7 +23,40 @@ from typing import Iterator, NamedTuple
 
 from repro.errors import CapacityError, EmptyProfileError
 
-__all__ = ["ModeResult", "TopEntry", "ProfileQueryMixin"]
+__all__ = ["ModeResult", "TopEntry", "ProfileQueryMixin", "quantile_rank"]
+
+
+def quantile_rank(q: float, size: int) -> int:
+    """Rank of quantile ``q`` on an ascending array of ``size`` entries.
+
+    The single definition of quantile semantics every backend shares
+    (flat, dynamic, sharded, baselines), so their answers cannot drift:
+
+    - *nearest-rank, lower*: the rank is ``floor(q * (size - 1))``;
+    - ``q == 0.0`` names the minimum (rank 0) and ``q == 1.0`` the
+      maximum (rank ``size - 1``) — both exact, never off by float
+      rounding;
+    - ``q`` outside ``[0, 1]`` raises
+      :class:`~repro.errors.CapacityError`;
+    - ``size == 0`` raises :class:`~repro.errors.EmptyProfileError`
+      (callers usually pre-check and raise it with their own message).
+
+    The definition works unchanged for profiles holding negative
+    frequencies: ranks index the ascending sorted array wherever it
+    starts.
+
+    >>> quantile_rank(0.0, 10), quantile_rank(1.0, 10)
+    (0, 9)
+    >>> quantile_rank(0.5, 8)  # lower median rank of 8 entries
+    3
+    """
+    if not 0.0 <= q <= 1.0:
+        raise CapacityError(f"quantile must be in [0, 1], got {q}")
+    if size <= 0:
+        raise EmptyProfileError("profile tracks zero objects")
+    if q == 1.0:
+        return size - 1
+    return int(q * (size - 1))
 
 
 @dataclass(frozen=True)
@@ -214,12 +247,13 @@ class ProfileQueryMixin:
         return self._blocks.block_at((m - 1) // 2).f
 
     def quantile(self, q: float) -> int:
-        """Frequency at quantile ``q`` in [0, 1] (nearest-rank).  O(1)."""
+        """Frequency at quantile ``q`` in [0, 1].  O(1).
+
+        Semantics per :func:`quantile_rank`: lower nearest-rank,
+        ``q=0`` is the minimum, ``q=1`` the maximum.
+        """
         m = self._capacity_checked()
-        if not 0.0 <= q <= 1.0:
-            raise CapacityError(f"quantile must be in [0, 1], got {q}")
-        rank = int(q * (m - 1))
-        return self._blocks.block_at(rank).f
+        return self._blocks.block_at(quantile_rank(q, m)).f
 
     # ------------------------------------------------------------------
     # Distribution

@@ -121,13 +121,18 @@ def gini(profile) -> float:
         return 0.0
     weighted = 0  # sum of i * x_i with 1-based i over ascending order
     mass = 0
-    for block in profile._blocks.iter_blocks():
-        f = max(block.f, 0)
-        if f == 0:
+    cum = 0
+    # The ascending histogram *is* the run-length encoding of the sorted
+    # frequency array, so ranks are recovered from cumulative counts;
+    # this keeps the function working for any backend that can produce a
+    # histogram (flat, sharded merge, facade), not just ones exposing a
+    # block set.
+    for f, count in profile.histogram():
+        lo = cum + 1  # 1-based rank of the run's first element
+        hi = cum + count
+        cum = hi
+        if f <= 0:
             continue
-        lo = block.l + 1  # 1-based rank of first element
-        hi = block.r + 1
-        count = hi - lo + 1
         rank_sum = (lo + hi) * count // 2
         weighted += rank_sum * f
         mass += f * count
@@ -143,18 +148,16 @@ def top_share(profile, k: int) -> float:
     """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
-    mass = 0
-    for f, count in profile.histogram():
-        if f > 0:
-            mass += f * count
+    runs = profile.histogram()
+    mass = sum(f * count for f, count in runs if f > 0)
     if mass == 0 or k == 0:
         return 0.0
     taken = 0
     remaining = k
-    for block in profile._blocks.iter_blocks_desc():
-        if block.f <= 0 or remaining == 0:
+    for f, count in reversed(runs):
+        if f <= 0 or remaining == 0:
             break
-        count = min(block.r - block.l + 1, remaining)
-        taken += count * block.f
-        remaining -= count
+        take = min(count, remaining)
+        taken += take * f
+        remaining -= take
     return taken / mass

@@ -1,4 +1,13 @@
-"""ProfileService: the batch-ingest front door of the profiling engine.
+"""ProfileService: the legacy batch-ingest front door (deprecated).
+
+.. deprecated::
+    :class:`ProfileService` is superseded by the unified facade —
+    ``repro.api.Profiler.open(capacity, backend="sharded", shards=N)``
+    gives the same sharded engine plus backend selection, the single
+    ``ingest()`` verb and fused multi-query plans.  Constructing a
+    service emits :class:`DeprecationWarning`; the class remains a thin
+    shim so existing callers and checkpoints keep working.  See
+    ``docs/api.md`` for the migration table.
 
 Producers hand the service *batches* of log-stream events — the shape
 traffic actually arrives in (a Kafka poll, a request body, a flushed
@@ -22,6 +31,7 @@ never silently skews statistics.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -80,6 +90,12 @@ class ProfileService:
         allow_negative: bool = True,
         track_freq_index: bool = False,
     ) -> None:
+        warnings.warn(
+            "ProfileService is deprecated; use repro.api.Profiler.open("
+            "capacity, backend='sharded', shards=N) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._profiler = ShardedProfiler(
             capacity,
             n_shards=n_shards,
@@ -214,6 +230,12 @@ class ProfileService:
         partition arithmetic is re-checked, so a tampered checkpoint
         raises :class:`~repro.errors.CheckpointError`.
         """
+        warnings.warn(
+            "ProfileService is deprecated; use repro.api.Profiler "
+            "checkpoints instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not isinstance(state, dict):
             raise CheckpointError(
                 f"state must be a dict, got {type(state).__name__}"
@@ -267,12 +289,16 @@ class ProfileService:
         # Build at capacity 0 (n_shards empty profiles, trivially
         # cheap) and graft the restored shards in; constructing at full
         # capacity would allocate the whole O(m) structure only to
-        # discard it.
-        service = cls(
-            0,
-            n_shards=n_shards,
-            allow_negative=shards[0].allow_negative,
-        )
+        # discard it.  The construction is internal, so its own
+        # deprecation warning is suppressed — from_state already warned
+        # at the caller's frame.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            service = cls(
+                0,
+                n_shards=n_shards,
+                allow_negative=shards[0].allow_negative,
+            )
         service._profiler._m = capacity
         service._profiler._shards = shards
         service._batches = batches

@@ -38,7 +38,7 @@ from itertools import islice
 from typing import Iterable, Iterator
 
 from repro.core.profile import SProfile
-from repro.core.queries import ModeResult, TopEntry
+from repro.core.queries import ModeResult, TopEntry, quantile_rank
 from repro.core.snapshot import ProfileSnapshot
 from repro.core.validation import audit_profile
 from repro.errors import (
@@ -413,11 +413,10 @@ class ShardedProfiler:
         return self.frequency_at_rank((m - 1) // 2)
 
     def quantile(self, q: float) -> int:
-        """Frequency at quantile ``q`` (nearest-rank).  O(total blocks)."""
+        """Frequency at quantile ``q`` (see
+        :func:`~repro.core.queries.quantile_rank`).  O(total blocks)."""
         m = self._require_nonempty()
-        if not 0.0 <= q <= 1.0:
-            raise CapacityError(f"quantile must be in [0, 1], got {q}")
-        return self.frequency_at_rank(int(q * (m - 1)))
+        return self.frequency_at_rank(quantile_rank(q, m))
 
     # ------------------------------------------------------------------
     # Distribution

@@ -15,6 +15,12 @@ from repro.core.profile import SProfile
 from repro.engine.service import ProfileService
 from repro.engine.sharding import ShardedProfiler
 
+# This module drives the legacy shim on purpose; the facade's own
+# equivalence coverage lives in tests/property/test_prop_api_equivalence.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:ProfileService is deprecated:DeprecationWarning"
+)
+
 UNIVERSE = 300
 N_EVENTS = 6_000
 BATCH = 512

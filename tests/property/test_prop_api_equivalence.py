@@ -1,0 +1,179 @@
+"""Property: every exact backend answers identically through the facade.
+
+Randomized streams drive ``Profiler.open(backend=b)`` for each
+registered exact backend and assert the facade-normalized answers are
+*equal* — frequencies, extremes, quantiles (edges included), histogram,
+support, and top-k frequency profiles.  The approximate backend is held
+to its error bounds instead of equality.
+
+This is the contract the facade sells: pick any backend, get the same
+numbers (or explicitly bounded ones).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Profiler, Query
+from repro.errors import UnsupportedQueryError
+
+UNIVERSE = 12
+
+#: Exact backends answering the full query surface through the facade.
+FULL_SURFACE_BACKENDS = (
+    "exact",
+    "sharded",
+    "sprofile-indexed",
+    "bucket",
+)
+
+#: Exact backends answering quantile-family queries only.
+QUANTILE_BACKENDS = ("tree-fenwick", "tree-sortedlist")
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=UNIVERSE - 1),
+        st.integers(min_value=-3, max_value=4),
+    ),
+    max_size=60,
+)
+
+# Split points let the stream arrive as several ingest batches, so
+# coalescing boundaries vary too.
+batched_events = st.tuples(events, st.integers(min_value=1, max_value=5))
+
+
+def _open_all(names, shards_for_sharded=3):
+    profilers = {}
+    for name in names:
+        kwargs = {"shards": shards_for_sharded} if name == "sharded" else {}
+        profilers[name] = Profiler.open(UNIVERSE, backend=name, **kwargs)
+    return profilers
+
+
+def _feed(profilers, stream, n_batches):
+    if not stream:
+        return
+    size = max(1, len(stream) // n_batches)
+    for start in range(0, len(stream), size):
+        batch = stream[start : start + size]
+        for profiler in profilers.values():
+            profiler.ingest(batch)
+
+
+QUANTILE_GRID = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@given(batched_events)
+@settings(max_examples=60, deadline=None)
+def test_full_surface_backends_agree(batched):
+    stream, n_batches = batched
+    profilers = _open_all(FULL_SURFACE_BACKENDS)
+    _feed(profilers, stream, n_batches)
+
+    reference = profilers["bucket"]
+    ref_freqs = reference.frequencies()
+    ref_hist = reference.histogram()
+    for name, profiler in profilers.items():
+        assert profiler.frequencies() == ref_freqs, name
+        assert profiler.total == reference.total, name
+        assert profiler.histogram() == ref_hist, name
+        assert profiler.max_frequency() == reference.max_frequency(), name
+        assert profiler.min_frequency() == reference.min_frequency(), name
+        mode = profiler.mode()
+        assert mode.frequency == reference.mode().frequency, name
+        assert mode.count == reference.mode().count, name
+        assert ref_freqs[mode.example] == mode.frequency, name
+        least = profiler.least()
+        assert least.frequency == reference.least().frequency, name
+        assert least.count == reference.least().count, name
+        for q in QUANTILE_GRID:
+            assert profiler.quantile(q) == reference.quantile(q), (name, q)
+        assert (
+            profiler.median_frequency() == reference.median_frequency()
+        ), name
+        for f in (-1, 0, 1, 2):
+            assert profiler.support(f) == reference.support(f), (name, f)
+        top = profiler.top_k(5)
+        assert [e.frequency for e in top] == [
+            e.frequency for e in reference.top_k(5)
+        ], name
+        assert all(ref_freqs[e.obj] == e.frequency for e in top), name
+
+
+@given(batched_events)
+@settings(max_examples=40, deadline=None)
+def test_quantile_backends_agree_on_their_surface(batched):
+    stream, n_batches = batched
+    profilers = _open_all(("bucket",) + QUANTILE_BACKENDS)
+    _feed(profilers, stream, n_batches)
+    reference = profilers["bucket"]
+    for name in QUANTILE_BACKENDS:
+        profiler = profilers[name]
+        for q in QUANTILE_GRID:
+            assert profiler.quantile(q) == reference.quantile(q), (name, q)
+        assert profiler.histogram() == reference.histogram(), name
+        assert not profiler.supports("top_k")
+        try:
+            profiler.top_k(3)
+        except UnsupportedQueryError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError(f"{name} should not answer top_k")
+
+
+@given(batched_events)
+@settings(max_examples=60, deadline=None)
+def test_fused_evaluate_agrees_across_backends(batched):
+    """The fused plan answers what the standalone calls answer,
+    for every backend, on arbitrary streams."""
+    stream, n_batches = batched
+    profilers = _open_all(FULL_SURFACE_BACKENDS)
+    _feed(profilers, stream, n_batches)
+    plan = (
+        Query.histogram(),
+        Query.quantile(0.0),
+        Query.quantile(1.0),
+        Query.median(),
+        Query.support(0),
+        Query.total(),
+    )
+    reference = None
+    for name, profiler in profilers.items():
+        values = tuple(profiler.evaluate(*plan).values)
+        if reference is None:
+            reference = values
+        else:
+            assert values == reference, name
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=1, max_value=6),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_approx_backend_within_bounds(adds):
+    """Add-only streams: Count-Min never underestimates and stays
+    within its additive bound; SpaceSaving top-k never underestimates
+    its monitored counts."""
+    exact = Profiler.open(16, backend="exact")
+    approx = Profiler.open(backend="approx", counters=8, eps=0.01)
+    for obj, count in adds:
+        exact.ingest({obj: count})
+        approx.ingest({obj: count})
+    total = exact.total
+    assert approx.total == total
+    bound = approx.backend.error_bound()
+    for obj in range(16):
+        true = exact.frequency(obj)
+        estimate = approx.frequency(obj)
+        assert estimate >= true
+        assert estimate <= true + bound + total / 8
+    if total:
+        # Every SpaceSaving estimate is exact-or-over, within N/k.
+        for entry in approx.top_k(8):
+            true = exact.frequency(entry.obj)
+            assert true <= entry.frequency <= true + total / 8

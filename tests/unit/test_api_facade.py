@@ -1,0 +1,438 @@
+"""Unit tests for the unified facade: Profiler.open, ingest, backends."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ApproxProfiler,
+    Profiler,
+    Query,
+    available_backends,
+)
+from repro.baselines.registry import available_profilers
+from repro.core.dynamic import DynamicProfiler
+from repro.core.profile import SProfile
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    UnsupportedQueryError,
+)
+from repro.streams.events import Action, Event
+
+
+class TestOpen:
+    def test_auto_is_exact_without_shards(self):
+        profiler = Profiler.open(10)
+        assert profiler.backend_name == "exact"
+        assert isinstance(profiler.backend, SProfile)
+
+    def test_auto_with_shards_is_sharded(self):
+        profiler = Profiler.open(10, shards=3)
+        assert profiler.backend_name == "sharded"
+        assert isinstance(profiler.backend, ShardedProfiler)
+        assert profiler.n_shards == 3
+
+    def test_exact_hashable_is_dynamic(self):
+        profiler = Profiler.open(keys="hashable")
+        assert isinstance(profiler.backend, DynamicProfiler)
+
+    def test_every_registry_baseline_opens(self):
+        for name in available_profilers():
+            profiler = Profiler.open(6, backend=name)
+            assert profiler.backend_name == name
+            profiler.ingest([(0, +2), (1, +1)])
+            assert profiler.frequency(0) == 2
+
+    def test_available_backends_superset_of_registry(self):
+        names = available_backends()
+        assert {"auto", "exact", "sharded", "approx"} <= set(names)
+        assert set(available_profilers()) <= set(names)
+
+    def test_dense_requires_capacity(self):
+        with pytest.raises(CapacityError):
+            Profiler.open(backend="exact")
+        with pytest.raises(CapacityError):
+            Profiler.open(backend="sharded", shards=2)
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            Profiler.open(10, keys="fuzzy")
+        with pytest.raises(CapacityError):
+            Profiler.open(-1)
+        with pytest.raises(CapacityError):
+            Profiler.open(10, shards=0)
+        with pytest.raises(CapacityError):
+            Profiler.open(10, backend="nope")
+        with pytest.raises(CapacityError):
+            Profiler.open(10, backend="exact", shards=2)
+        with pytest.raises(CapacityError):
+            Profiler.open(10, backend="exact", bogus_option=1)
+
+    def test_strict_maps_to_allow_negative(self):
+        strict = Profiler.open(4, strict=True)
+        assert not strict.backend.allow_negative
+        loose = Profiler.open(4)
+        assert loose.backend.allow_negative
+
+
+class TestIngestVocabulary:
+    """One verb accepts Events, flag pairs, delta pairs and mappings."""
+
+    def test_mixed_batch(self):
+        profiler = Profiler.open(10)
+        n = profiler.ingest(
+            [
+                Event(1, Action.ADD),
+                (1, Action.ADD),
+                (1, True),
+                (2, False),
+                (3, +4),
+            ]
+        )
+        assert n == 8
+        assert profiler.frequency(1) == 3
+        assert profiler.frequency(2) == -1
+        assert profiler.frequency(3) == 4
+
+    def test_mapping_batch(self):
+        profiler = Profiler.open(10)
+        assert profiler.ingest({4: +2, 5: -1}) == 3
+        assert profiler.frequencies()[4] == 2
+
+    def test_bool_is_flag_int_is_delta(self):
+        profiler = Profiler.open(10)
+        profiler.ingest([(0, False)])  # flag: one remove
+        assert profiler.frequency(0) == -1
+        profiler.ingest([(0, 0)])  # delta: no-op
+        assert profiler.frequency(0) == -1
+
+    def test_opposing_events_coalesce(self):
+        profiler = Profiler.open(10)
+        assert profiler.ingest([(1, True), (1, False)]) == 0
+        assert profiler.n_events == 0
+        assert profiler.events_ingested == 2
+        assert profiler.batches_ingested == 1
+
+    def test_unparseable_items_rejected(self):
+        profiler = Profiler.open(10)
+        with pytest.raises(CapacityError):
+            profiler.ingest([42])
+        with pytest.raises(CapacityError):
+            profiler.ingest([(1, "add")])
+
+    def test_out_of_range_rejected_before_mutation(self):
+        profiler = Profiler.open(4)
+        with pytest.raises(CapacityError):
+            profiler.ingest([(0, +1), (99, +1)])
+        assert profiler.total == 0
+
+    def test_strict_reject_is_all_or_nothing(self):
+        profiler = Profiler.open(4, strict=True)
+        profiler.ingest([(0, +1)])
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.ingest({0: -1, 1: -1})
+        assert profiler.frequencies() == [1, 0, 0, 0]
+
+
+class TestHashableKeysOverDenseBackends:
+    """The facade interns arbitrary keys for sharded/baseline backends."""
+
+    def _open(self, **kwargs):
+        return Profiler.open(
+            3, backend="sharded", keys="hashable", shards=2, **kwargs
+        )
+
+    def test_round_trip(self):
+        profiler = self._open()
+        profiler.ingest([("a", +2), ("b", +1)])
+        assert profiler.frequency("a") == 2
+        assert profiler.frequency("never-seen") == 0
+        assert profiler.mode().example == "a"
+        assert profiler.top_k(2) == [("a", 2), ("b", 1)]
+        assert "a" in profiler and "zzz" not in profiler
+        assert len(profiler) == 2
+
+    def test_register_and_capacity_limit(self):
+        profiler = self._open()
+        for key in ("x", "y", "z"):
+            profiler.register(key)
+        with pytest.raises(CapacityError):
+            profiler.register("overflow")
+        with pytest.raises(CapacityError):
+            profiler.ingest([("overflow", +1)])
+        # The rejected batch registered nothing and mutated nothing.
+        assert profiler.total == 0
+
+    def test_strict_remove_of_never_seen_key(self):
+        profiler = self._open(strict=True)
+        profiler.ingest([("a", +1)])
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.ingest([("ghost", -1)])
+        assert "ghost" not in profiler
+
+    def test_strict_known_key_underflow_checked_before_interning(self):
+        profiler = self._open(strict=True)
+        profiler.ingest([("a", +1)])
+        with pytest.raises(FrequencyUnderflowError):
+            profiler.ingest([("a", -2), ("fresh", +1)])
+        assert "fresh" not in profiler
+        assert profiler.frequency("a") == 1
+
+    def test_baseline_backend_with_hashable_keys(self):
+        profiler = Profiler.open(4, backend="bucket", keys="hashable")
+        profiler.ingest([("p", +3), ("q", +1)])
+        assert profiler.mode().example == "p"
+        assert profiler.top_k(2) == [("p", 3), ("q", 1)]
+        assert profiler.majority() == "p"
+
+    def test_register_rejected_for_dense_keys(self):
+        with pytest.raises(CapacityError):
+            Profiler.open(4).register(1)
+
+
+class TestQuerySurface:
+    def test_full_surface_on_exact(self):
+        profiler = Profiler.open(8)
+        profiler.ingest({1: 3, 2: 1, 3: 1, 4: -1})
+        assert profiler.mode().frequency == 3
+        assert profiler.least().frequency == -1
+        assert profiler.max_frequency() == 3
+        assert profiler.min_frequency() == -1
+        assert profiler.median_frequency() == 0
+        assert profiler.quantile(0.0) == -1
+        assert profiler.quantile(1.0) == 3
+        assert profiler.support(0) == 4
+        assert profiler.active_count == 4
+        assert profiler.total == 4
+        assert profiler.kth_most_frequent(1).obj == 1
+        assert profiler.frequency_at_rank(0) == -1
+        assert profiler.object_at_rank(7) == 1
+        assert profiler.majority() == 1  # 3 of 4 total mass
+        assert [e.frequency for e in profiler.bottom_k(2)] == [-1, 0]
+        assert len(profiler.histogram()) == 4
+        assert profiler.heavy_hitters(0.5) == [(1, 3)]
+        assert [e.frequency for e in profiler.iter_sorted()][:2] == [-1, 0]
+
+    def test_bottom_k_via_merge_on_sharded(self):
+        profiler = Profiler.open(6, backend="sharded", shards=3)
+        profiler.ingest({0: 5, 1: 2, 2: 1})
+        assert [e.frequency for e in profiler.bottom_k(4)] == [0, 0, 0, 1]
+
+    def test_unsupported_queries_raise(self):
+        heap = Profiler.open(6, backend="heap-max")
+        heap.ingest([(1, +2)])
+        assert heap.mode().frequency == 2
+        with pytest.raises(UnsupportedQueryError):
+            heap.median_frequency()
+        with pytest.raises(UnsupportedQueryError):
+            heap.bottom_k(2)
+        with pytest.raises(UnsupportedQueryError):
+            heap.snapshot()
+        with pytest.raises(UnsupportedQueryError):
+            heap.objects_with_frequency(2)
+
+    def test_supports_introspection(self):
+        exact = Profiler.open(4)
+        assert exact.supports("mode")
+        assert exact.supports("heavy_hitters")
+        assert exact.supports("active_count")
+        heap = Profiler.open(4, backend="heap-max")
+        assert heap.supports("mode")
+        assert not heap.supports("median")
+        assert not heap.supports("heavy_hitters")
+        tree = Profiler.open(4, backend="tree-fenwick")
+        assert tree.supports("quantile")
+        assert not tree.supports("top_k")
+
+    def test_optional_queries_on_hashable_exact(self):
+        # DynamicProfiler lacks these methods natively; the facade
+        # answers them through the fused walk instead of crashing.
+        profiler = Profiler.open(keys="hashable")
+        profiler.ingest({"a": 5, "b": 2, "c": -1})
+        assert profiler.max_frequency() == 5
+        assert profiler.min_frequency() == -1
+        assert profiler.heavy_hitters(0.5) == [("a", 5)]
+        kth = profiler.kth_most_frequent(2)
+        assert kth.frequency == 2
+        assert profiler.frequency(kth.obj) == 2
+
+    def test_summarize_accepts_the_facade(self):
+        from repro.core.stats import summarize
+
+        for backend, extra in (("exact", {}), ("sharded", {"shards": 2})):
+            profiler = Profiler.open(6, backend=backend, **extra)
+            profiler.ingest({0: 4, 1: 1})
+            summary = summarize(profiler)
+            assert summary.total == 5
+            assert summary.max_frequency == 4
+
+
+class TestApproxBackend:
+    def test_add_only(self):
+        profiler = Profiler.open(backend="approx", counters=4)
+        with pytest.raises(CapacityError):
+            profiler.ingest([("x", -1)])
+        profiler.ingest([("x", +3)])
+        assert profiler.frequency("x") >= 3
+
+    def test_never_underestimates(self):
+        profiler = Profiler.open(backend="approx", counters=8)
+        truth = {f"k{i}": i + 1 for i in range(20)}
+        profiler.ingest(truth)
+        for key, count in truth.items():
+            assert profiler.frequency(key) >= count
+
+    def test_mode_and_empty(self):
+        profiler = Profiler.open(backend="approx", counters=4)
+        with pytest.raises(EmptyProfileError):
+            profiler.mode()
+        profiler.ingest([("hot", +10), ("cold", +1)])
+        assert profiler.mode().example == "hot"
+        assert profiler.mode().count is None
+
+    def test_unsupported_surface(self):
+        profiler = Profiler.open(backend="approx")
+        profiler.ingest([("a", +1)])
+        for query in ("least", "median_frequency", "histogram"):
+            with pytest.raises(UnsupportedQueryError):
+                getattr(profiler, query)()
+        with pytest.raises(UnsupportedQueryError):
+            profiler.quantile(0.5)
+        with pytest.raises(UnsupportedQueryError):
+            profiler.support(1)
+
+    def test_options_validated(self):
+        with pytest.raises(CapacityError):
+            Profiler.open(backend="approx", counters=0)
+        with pytest.raises(TypeError):
+            Profiler.open(backend="approx", bogus=1)
+
+    def test_direct_class_export(self):
+        sketch = ApproxProfiler(counters=2)
+        sketch.apply([("a", 1)])
+        assert sketch.total == 1
+
+
+class TestCheckpoints:
+    def _assert_round_trip(self, profiler):
+        restored = Profiler.from_state(
+            json.loads(json.dumps(profiler.to_state()))
+        )
+        assert restored.backend_name == profiler.backend_name
+        assert restored.keys == profiler.keys
+        assert restored.total == profiler.total
+        assert restored.batches_ingested == profiler.batches_ingested
+        assert restored.events_ingested == profiler.events_ingested
+        return restored
+
+    def test_exact_dense(self):
+        profiler = Profiler.open(8)
+        profiler.ingest({0: 3, 5: -2})
+        restored = self._assert_round_trip(profiler)
+        assert restored.frequencies() == profiler.frequencies()
+
+    def test_exact_hashable(self):
+        profiler = Profiler.open(keys="hashable")
+        profiler.ingest([("ada", +2), ("bob", +1)])
+        restored = self._assert_round_trip(profiler)
+        assert restored.frequency("ada") == 2
+        restored.ingest([("new-key", +1)])
+        assert restored.frequency("new-key") == 1
+
+    def test_sharded_dense(self):
+        profiler = Profiler.open(11, backend="sharded", shards=3)
+        profiler.ingest({i: i for i in range(11)})
+        restored = self._assert_round_trip(profiler)
+        assert restored.histogram() == profiler.histogram()
+
+    def test_sharded_hashable(self):
+        profiler = Profiler.open(
+            4, backend="sharded", keys="hashable", shards=2
+        )
+        profiler.ingest([("x", +2), ("y", +1)])
+        restored = self._assert_round_trip(profiler)
+        assert restored.frequency("x") == 2
+        assert restored.mode().example == "x"
+
+    def test_save_load_file(self, tmp_path):
+        profiler = Profiler.open(6, backend="sharded", shards=2, strict=True)
+        profiler.ingest({2: 4})
+        path = tmp_path / "facade.json"
+        profiler.save(path)
+        restored = Profiler.load(path)
+        assert restored.strict
+        assert restored.frequency(2) == 4
+        with pytest.raises(FrequencyUnderflowError):
+            restored.ingest({2: -5})
+
+    def test_unsupported_backends_refuse(self):
+        bucket = Profiler.open(4, backend="bucket")
+        with pytest.raises(CheckpointError):
+            bucket.to_state()
+        approx = Profiler.open(backend="approx")
+        with pytest.raises(CheckpointError):
+            approx.to_state()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.update(version=99),
+            lambda s: s.update(keys="fuzzy"),
+            lambda s: s.update(batches=-1),
+            lambda s: s.update(events="many"),
+            lambda s: s.pop("profile"),
+            lambda s: s.update(backend="bucket"),
+        ],
+    )
+    def test_tampered_states_rejected(self, mutate):
+        profiler = Profiler.open(6, backend="sharded", shards=2)
+        profiler.ingest({1: 2})
+        state = profiler.to_state()
+        mutate(state)
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_strict_flag_must_match_profile(self):
+        profiler = Profiler.open(6, strict=True)
+        state = profiler.to_state()
+        state["strict"] = False
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_sharded_partition_tamper_rejected(self):
+        profiler = Profiler.open(7, backend="sharded", shards=2)
+        state = profiler.to_state()
+        state["capacity"] = 9
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_sharded_truncated_catalog_rejected(self):
+        profiler = Profiler.open(
+            3, backend="sharded", keys="hashable", shards=2
+        )
+        profiler.ingest({"a": 2, "b": 1, "c": 1})
+        state = profiler.to_state()
+        state["catalog"].pop()  # "c" still holds counted mass
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_hashable_phantom_tamper_rejected(self):
+        profiler = Profiler.open(keys="hashable")
+        profiler.ingest([("a", +1)])
+        state = profiler.to_state()
+        state["catalog"] = []  # registered mass now sits in a "phantom"
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+
+class TestFromFrequencies:
+    def test_degree_sequence_entry_point(self):
+        profiler = Profiler.from_frequencies([3, 1, 4, 1, 5])
+        assert profiler.backend_name == "exact"
+        assert profiler.frequency(4) == 5
+        assert profiler.object_at_rank(0) in (1, 3)
+        assert profiler.total == 14

@@ -226,7 +226,7 @@ class TestClickAnalytics:
         assert site.pending == 2
         site.record("docs")
         assert site.pending == 0
-        assert site.service.batches_ingested == 1
+        assert site.profiler.batches_ingested == 1
 
     def test_expire_slides_the_window(self):
         site = self._site()
@@ -243,7 +243,7 @@ class TestClickAnalytics:
         with pytest.raises(FrequencyUnderflowError):
             site.flush()
         assert site.pending == 3  # nothing lost, nothing applied
-        assert site.service.profiler.total == 0
+        assert site.profiler.total == 0
         assert site.discard_pending() == 3
         assert site.views("home") == 0
 
@@ -279,7 +279,7 @@ class TestClickAnalytics:
         with pytest.raises(CheckpointError):
             ClickAnalytics.restore({"catalog": ["a"]})
         state = self._site().checkpoint()
-        state["catalog"].append("extra")
+        state["profiler"]["catalog"].append("extra")
         with pytest.raises(CheckpointError):
             ClickAnalytics.restore(state)
 
@@ -288,6 +288,22 @@ class TestClickAnalytics:
         from repro.errors import CheckpointError
 
         state = ClickAnalytics(["a", "b", "c"]).checkpoint()
-        state["catalog"] = ["a", "a", "b"]  # same length, fewer pages
+        # Same length, fewer distinct pages.
+        state["profiler"]["catalog"] = ["a", "a", "b"]
+        with pytest.raises(CheckpointError):
+            ClickAnalytics.restore(state)
+
+    def test_restore_rejects_truncated_catalog(self):
+        from repro.apps.click_analytics import ClickAnalytics
+        from repro.errors import CheckpointError
+
+        site = ClickAnalytics(["a", "b", "c"])
+        site.record_batch(["a", "a", "b"])
+        state = site.checkpoint()
+        state["profiler"]["catalog"].pop()  # drop a zero-view page
+        with pytest.raises(CheckpointError):
+            ClickAnalytics.restore(state)
+        state = site.checkpoint()
+        state["profiler"]["catalog"] = ["a", "c"]  # drop a counted page
         with pytest.raises(CheckpointError):
             ClickAnalytics.restore(state)

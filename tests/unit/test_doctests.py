@@ -4,6 +4,8 @@ import doctest
 
 import pytest
 
+import repro.api.facade
+import repro.api.plan
 import repro.apps.click_analytics
 import repro.apps.leaderboard
 import repro.apps.median_service
@@ -11,10 +13,13 @@ import repro.apps.topk_tracker
 import repro.approx.spacesaving
 import repro.core.dynamic
 import repro.core.profile
+import repro.core.queries
 import repro.engine.service
 import repro.engine.sharding
 
 MODULES = [
+    repro.api.facade,
+    repro.api.plan,
     repro.apps.click_analytics,
     repro.apps.leaderboard,
     repro.apps.median_service,
@@ -22,6 +27,7 @@ MODULES = [
     repro.approx.spacesaving,
     repro.core.dynamic,
     repro.core.profile,
+    repro.core.queries,
     repro.engine.service,
     repro.engine.sharding,
 ]
@@ -30,7 +36,12 @@ MODULES = [
 @pytest.mark.parametrize(
     "module", MODULES, ids=[m.__name__ for m in MODULES]
 )
+@pytest.mark.filterwarnings(
+    "ignore:ProfileService is deprecated:DeprecationWarning"
+)
 def test_module_doctests(module):
+    # The service shim's examples still run (legacy callers read them),
+    # hence the deprecation filter above.
     result = doctest.testmod(module)
     assert result.failed == 0
     assert result.attempted > 0  # the module must actually carry examples

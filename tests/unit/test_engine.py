@@ -1,8 +1,18 @@
-"""Unit tests for the engine layer: ShardedProfiler and ProfileService."""
+"""Unit tests for the engine layer: ShardedProfiler and ProfileService.
+
+ProfileService is a deprecation shim (superseded by repro.api.Profiler);
+this module exercises the shim deliberately, so its warnings are
+filtered here and asserted explicitly in TestServiceDeprecation.
+"""
 
 import random
+import warnings
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:ProfileService is deprecated:DeprecationWarning"
+)
 
 from repro.core.profile import SProfile
 from repro.engine.service import ProfileService
@@ -335,3 +345,39 @@ class TestServiceCheckpointTypeTampering:
         state["shards"][0]["allow_negative"] = False
         with pytest.raises(CheckpointError):
             ProfileService.from_state(state)
+
+
+class TestServiceDeprecation:
+    """ProfileService is a shim: it must warn exactly at legacy entry
+    points and keep answering correctly afterwards."""
+
+    def test_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.Profiler"):
+            ProfileService(capacity=4, n_shards=2)
+
+    def test_from_state_warns_once(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            state = ProfileService(capacity=4, n_shards=2).to_state()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ProfileService.from_state(state)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_shim_still_answers(self):
+        service = ProfileService(capacity=6, n_shards=2)
+        service.submit([(1, True), (1, True), (2, True)])
+        assert service.mode().example == 1
+        assert service.frequency(2) == 1
+
+    def test_facade_does_not_warn(self):
+        from repro.api import Profiler
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            profiler = Profiler.open(8, backend="sharded", shards=2)
+            profiler.ingest([(1, True), (2, False)])
+            profiler.mode()

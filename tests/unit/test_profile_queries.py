@@ -157,6 +157,86 @@ class TestQuantiles:
             SProfile(0).quantile(0.5)
 
 
+class TestQuantileEdgeSemantics:
+    """quantile_rank is the single shared definition: q=0 names the
+    minimum, q=1 the maximum (both exactly), interior quantiles use the
+    lower nearest rank, and every backend agrees — including on empty
+    and negative-frequency profiles."""
+
+    def _backends(self, capacity):
+        from repro.baselines.bucket import BucketProfiler
+        from repro.baselines.tree_profiler import TreeProfiler
+        from repro.core.dynamic import DynamicProfiler
+        from repro.engine.sharding import ShardedProfiler
+
+        dynamic = DynamicProfiler()
+        for x in range(capacity):
+            dynamic.register(x)
+        return [
+            SProfile(capacity),
+            ShardedProfiler(capacity, n_shards=3),
+            BucketProfiler(capacity),
+            TreeProfiler(capacity, structure="fenwick"),
+            dynamic,
+        ]
+
+    def test_rank_helper_edges(self):
+        from repro.core.queries import quantile_rank
+
+        assert quantile_rank(0.0, 5) == 0
+        assert quantile_rank(1.0, 5) == 4
+        # q=1.0 is exact even where floor(q * (size-1)) could round.
+        assert quantile_rank(1.0, 10**9) == 10**9 - 1
+        assert quantile_rank(0.5, 8) == 3  # lower nearest rank
+        with pytest.raises(CapacityError):
+            quantile_rank(1.1, 5)
+        with pytest.raises(EmptyProfileError):
+            quantile_rank(0.5, 0)
+
+    @pytest.mark.parametrize("q", [0.0, 0.3, 0.5, 0.999, 1.0])
+    def test_all_backends_agree_on_negative_profile(self, q):
+        capacity = 11
+        deltas = {0: -3, 1: -1, 2: 4, 3: 1, 7: -2, 9: 6}
+        answers = set()
+        for profiler in self._backends(capacity):
+            profiler.apply(deltas)
+            answers.add(profiler.quantile(q))
+        assert len(answers) == 1, answers
+
+    def test_endpoints_equal_extremes_under_negatives(self):
+        profile = SProfile(4)
+        profile.apply({0: -5, 1: 2})
+        assert profile.quantile(0.0) == profile.min_frequency() == -5
+        assert profile.quantile(1.0) == profile.max_frequency() == 2
+
+    def test_empty_profiles_raise_everywhere(self):
+        from repro.baselines.bucket import BucketProfiler
+        from repro.engine.sharding import ShardedProfiler
+
+        for profiler in (
+            SProfile(0),
+            ShardedProfiler(0, n_shards=2),
+            BucketProfiler(0),
+        ):
+            for q in (0.0, 0.5, 1.0):
+                with pytest.raises(EmptyProfileError):
+                    profiler.quantile(q)
+
+    def test_out_of_range_beats_emptiness_reporting(self):
+        # A bad q on an empty profile reports emptiness (capacity is
+        # checked first, as before the helper existed).
+        with pytest.raises(EmptyProfileError):
+            SProfile(0).quantile(2.0)
+        with pytest.raises(CapacityError):
+            SProfile(1).quantile(2.0)
+
+    def test_singleton_profile(self):
+        profile = SProfile(1)
+        profile.add(0)
+        for q in (0.0, 0.5, 1.0):
+            assert profile.quantile(q) == 1
+
+
 class TestDistribution:
     def test_histogram(self, small_profile):
         assert small_profile.histogram() == [(-1, 1), (0, 4), (1, 2), (3, 1)]

@@ -57,6 +57,34 @@ class TestBasics:
     def test_repr(self):
         assert "SpaceSaving" in repr(SpaceSaving(4))
 
+    def test_weighted_add_equals_unit_adds(self):
+        rng = random.Random(5)
+        weighted = SpaceSaving(4)
+        looped = SpaceSaving(4)
+        for _ in range(60):
+            obj = rng.randrange(10)
+            count = rng.randrange(1, 9)
+            weighted.add(obj, count)
+            for _ in range(count):
+                looped.add(obj)
+        assert weighted.n_events == looped.n_events
+        assert weighted.top_k() == looped.top_k()
+        for obj in range(10):
+            assert weighted.estimate(obj) == looped.estimate(obj)
+
+    def test_weighted_add_validates_count(self):
+        with pytest.raises(CapacityError):
+            SpaceSaving(2).add("x", 0)
+        with pytest.raises(CapacityError):
+            SpaceSaving(2).add("x", -3)
+
+    def test_weighted_eviction_inherits_min(self):
+        sketch = SpaceSaving(1)
+        sketch.add("a", 5)
+        sketch.add("b", 100)  # evicts a: inherits 5, adds 100
+        assert sketch.estimate("b") == 105
+        assert sketch.error_bound("b") == 5
+
 
 class TestGuarantees:
     """The classic SpaceSaving bounds on adversarial-ish random data."""

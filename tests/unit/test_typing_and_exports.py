@@ -16,6 +16,7 @@ class TestPackageSurface:
             assert hasattr(repro, name), name
 
     def test_subpackage_all_exports_resolve(self):
+        import repro.api
         import repro.apps
         import repro.approx
         import repro.baselines
@@ -25,6 +26,7 @@ class TestPackageSurface:
         import repro.streams
 
         for module in (
+            repro.api,
             repro.apps,
             repro.approx,
             repro.baselines,
