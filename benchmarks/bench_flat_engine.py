@@ -1,0 +1,84 @@
+"""Flat struct-of-arrays engine vs the block-object engine.
+
+The pytest-benchmark face of ``python -m repro.bench trajectory``
+(which writes the committed ``BENCH_core.json``): the figure-3 mode
+workload driven through each engine's canonical path, plus the batch
+ingest comparison.  Expected shape: FlatProfile ~2x on per-event
+streams, >4x on dense batches.
+"""
+
+import pytest
+
+from repro.core.flat import FlatProfile
+from repro.core.profile import SProfile
+
+N = 40_000
+M = 4_000
+
+BATCH = 10_000
+BATCH_M = 2_000
+BATCH_COUNT = 4
+
+
+def _consume_mode_sprofile(profile, id_list, add_list):
+    add = profile.add
+    remove = profile.remove
+    mode = profile.max_frequency
+    for x, is_add in zip(id_list, add_list):
+        if is_add:
+            add(x)
+        else:
+            remove(x)
+        mode()
+
+
+def _consume_mode_flat(profile, id_list, add_list):
+    profile.track_statistic(id_list, add_list, profile.capacity - 1)
+
+
+@pytest.mark.parametrize("stream_name", ("stream1", "stream3"))
+def test_mode_upkeep_sprofile(benchmark, stream_lists, stream_name):
+    benchmark.group = f"fig3 mode upkeep {stream_name} (engines)"
+    ids, adds = stream_lists(stream_name, N, M)
+
+    def setup():
+        return (SProfile(M), ids, adds), {}
+
+    benchmark.pedantic(
+        _consume_mode_sprofile, setup=setup, rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("stream_name", ("stream1", "stream3"))
+def test_mode_upkeep_flat(benchmark, stream_lists, stream_name):
+    benchmark.group = f"fig3 mode upkeep {stream_name} (engines)"
+    ids, adds = stream_lists(stream_name, N, M)
+
+    def setup():
+        return (FlatProfile(M), ids, adds), {}
+
+    benchmark.pedantic(
+        _consume_mode_flat, setup=setup, rounds=3, iterations=1
+    )
+
+
+def _ingest_batches(profile, batches):
+    add_many = profile.add_many
+    for batch in batches:
+        add_many(batch)
+
+
+@pytest.mark.parametrize("engine", (SProfile, FlatProfile))
+def test_batch_ingest(benchmark, stream_lists, engine):
+    benchmark.group = "batch-10k add_many (engines)"
+    np = pytest.importorskip("numpy")
+    ids, _ = stream_lists("stream1", BATCH * BATCH_COUNT, BATCH_M)
+    arr = np.asarray(ids, dtype=np.int64)
+    batches = [
+        arr[i * BATCH : (i + 1) * BATCH] for i in range(BATCH_COUNT)
+    ]
+
+    def setup():
+        return (engine(BATCH_M), batches), {}
+
+    benchmark.pedantic(_ingest_batches, setup=setup, rounds=3, iterations=1)

@@ -33,6 +33,7 @@ Package map:
 
 from repro.api import EvalResult, Profiler, Query
 from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
 from repro.core.queries import ModeResult, TopEntry
 from repro.core.snapshot import ProfileSnapshot
@@ -59,6 +60,7 @@ __all__ = [
     "DynamicProfiler",
     "EmptyProfileError",
     "EvalResult",
+    "FlatProfile",
     "FrequencyUnderflowError",
     "InvariantViolationError",
     "ModeResult",

@@ -25,6 +25,7 @@ from typing import Hashable, Iterator
 from repro.api.plan import Run
 from repro.baselines.registry import available_profilers, make_profiler
 from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile, net_deltas
 from repro.core.queries import ModeResult, TopEntry
 from repro.engine.sharding import ShardedProfiler
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 #: Facade-level backend names (registry baseline names add to these).
-_BUILTIN_BACKENDS = ("auto", "exact", "sharded", "approx")
+_BUILTIN_BACKENDS = ("auto", "flat", "exact", "sharded", "approx")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -51,12 +52,24 @@ def available_backends() -> tuple[str, ...]:
     return _BUILTIN_BACKENDS + available_profilers()
 
 
-def resolve_backend(backend: str, keys: str, shards) -> str:
-    """Collapse ``"auto"`` to a concrete backend name."""
+def resolve_backend(
+    backend: str, keys: str, shards, track_freq_index: bool = False
+) -> str:
+    """Collapse ``"auto"`` to a concrete backend name.
+
+    ``auto`` picks the sharded engine when a shard fan-out is given,
+    the flat struct-of-arrays engine for dense keys (the fastest exact
+    core; see ``BENCH_core.json``), and the block-object exact engine
+    otherwise — hashable keys need the growable universe, and
+    ``track_freq_index`` needs the O(1) frequency->block index only
+    the block-object engine maintains.
+    """
     if backend != "auto":
         return backend
     if shards is not None:
         return "sharded"
+    if keys == "dense" and not track_freq_index:
+        return "flat"
     return "exact"
 
 
@@ -76,7 +89,7 @@ def build_backend(
     facade it must own an :class:`~repro.core.interner.ObjectInterner`
     (hashable keys over a dense-id implementation).
     """
-    name = resolve_backend(backend, keys, shards)
+    name = resolve_backend(backend, keys, shards, track_freq_index)
     if shards is not None and name != "sharded":
         raise CapacityError(
             f"shards= only applies to the sharded backend, not {name!r}"
@@ -104,6 +117,16 @@ def build_backend(
         raise CapacityError(
             f"backend {name!r} with {keys!r} keys requires a capacity"
         )
+    if name == "flat":
+        if track_freq_index:
+            raise CapacityError(
+                "the flat backend keeps no frequency index; use "
+                "backend='exact' with track_freq_index=True"
+            )
+        return (
+            FlatProfile(capacity, allow_negative=allow_negative),
+            keys == "hashable",
+        )
     if name == "exact":
         return (
             SProfile(
@@ -120,6 +143,7 @@ def build_backend(
                 n_shards=shards if shards is not None else 4,
                 allow_negative=allow_negative,
                 track_freq_index=track_freq_index,
+                core="flat" if not track_freq_index else "sprofile",
             ),
             keys == "hashable",
         )
@@ -139,11 +163,16 @@ def build_backend(
 
 
 class _ProfileRunsView:
-    """Descending run walk over a flat :class:`SProfile`."""
+    """Descending run walk over a single dense-id profile.
+
+    Serves both block-structured cores — :class:`SProfile` (block
+    objects) and :class:`FlatProfile` (struct-of-arrays) — through the
+    shared ``_ttof`` + ``blocks`` read contract.
+    """
 
     __slots__ = ("_p", "_decode")
 
-    def __init__(self, profile: SProfile, decode=None) -> None:
+    def __init__(self, profile: SProfile | FlatProfile, decode=None) -> None:
         self._p = profile
         self._decode = decode
 
@@ -332,7 +361,7 @@ class _ShardedRunsView:
 def runs_view_for(impl, decode=None):
     """The fused-walk adapter for ``impl``, or ``None`` if it has no
     block structure to walk (baselines, sketches)."""
-    if isinstance(impl, SProfile):
+    if isinstance(impl, (SProfile, FlatProfile)):
         return _ProfileRunsView(impl, decode)
     if isinstance(impl, ShardedProfiler):
         return _ShardedRunsView(impl, decode)

@@ -46,8 +46,13 @@ from repro.api.backends import (
 )
 from repro.api.plan import Query, evaluate_fused, normalize_queries
 from repro.api.results import EvalResult
-from repro.core.checkpoint import profile_from_state, profile_to_state
+from repro.core.checkpoint import (
+    flat_profile_from_state,
+    profile_from_state,
+    profile_to_state,
+)
 from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
 from repro.core.interner import ObjectInterner
 from repro.core.profile import SProfile, net_deltas
 from repro.core.queries import ModeResult, TopEntry
@@ -105,6 +110,31 @@ def _normalize_batch(batch) -> list[tuple[Any, int]]:
                 f"must be an Action, bool flag or int delta"
             )
     return deltas
+
+
+def _engine_stats(profile) -> dict[str, Any]:
+    """Allocator/structure stats for one dense core (flat or block)."""
+    if isinstance(profile, FlatProfile):
+        return {
+            "kind": "flat",
+            "block_count": profile.block_count,
+            "block_slots": profile.block_slots,
+            "free_slots": profile.free_slots,
+        }
+    pool = profile.blocks.pool
+    stats = pool.stats
+    return {
+        "kind": "sprofile",
+        "block_count": profile.block_count,
+        "freq_index": profile.blocks.tracks_freq_index,
+        "pool": {
+            "free": pool.free_count,
+            "max_free": pool.max_free,
+            "created": stats.created,
+            "recycled": stats.recycled,
+            "released": stats.released,
+        },
+    }
 
 
 class Profiler:
@@ -176,9 +206,11 @@ class Profiler:
             ``backend="exact", keys="hashable"`` (the universe grows)
             and ``backend="approx"`` (sketches are sublinear).
         backend:
-            ``"auto"`` (sharded when ``shards`` is given, exact
-            otherwise), ``"exact"``, ``"sharded"``, ``"approx"`` or any
-            name from :func:`repro.baselines.registry.available_profilers`.
+            ``"auto"`` (sharded when ``shards`` is given, the flat
+            struct-of-arrays engine for dense keys, block-object exact
+            otherwise), ``"flat"``, ``"exact"``, ``"sharded"``,
+            ``"approx"`` or any name from
+            :func:`repro.baselines.registry.available_profilers`.
         shards:
             Shard fan-out; implies the sharded backend under ``auto``.
         keys:
@@ -203,7 +235,7 @@ class Profiler:
             raise CapacityError(f"capacity must be >= 0, got {capacity}")
         if shards is not None and shards <= 0:
             raise CapacityError(f"shards must be positive, got {shards}")
-        name = resolve_backend(backend, keys, shards)
+        name = resolve_backend(backend, keys, shards, track_freq_index)
         impl, facade_interned = build_backend(
             backend,
             capacity,
@@ -228,15 +260,17 @@ class Profiler:
     ) -> "Profiler":
         """Bulk-open an exact dense profiler from a frequency array.
 
-        O(m log m) — one sort; the entry point graph shaving uses to
-        start from a degree sequence instead of replaying every edge.
+        One sort (vectorized through NumPy when available) onto the
+        flat struct-of-arrays engine; the entry point graph shaving
+        uses to start from a degree sequence instead of replaying
+        every edge.
         """
-        profile = SProfile.from_frequencies(
-            list(frequencies), allow_negative=not strict
+        profile = FlatProfile.from_frequencies(
+            frequencies, allow_negative=not strict
         )
         return cls(
             profile,
-            backend_name="exact",
+            backend_name="flat",
             keys="dense",
             strict=strict,
             interner=None,
@@ -603,6 +637,48 @@ class Profiler:
             return hasattr(self._impl, "heavy_hitters")
         return query in declared
 
+    def describe(self) -> dict[str, Any]:
+        """Engine introspection: backend identity plus structure stats.
+
+        Always present: ``backend``, ``keys``, ``strict``,
+        ``capacity``, ``total``, ``n_events``, ``batches_ingested``,
+        ``events_ingested``.  Block-structured backends add an
+        ``engine`` dict — block counts plus allocator state (the
+        block-object engine reports its :class:`~repro.core.block.
+        BlockPool` free list and bound; the flat engine reports minted
+        and free array slots; the sharded engine nests one entry per
+        shard core).
+        """
+        out: dict[str, Any] = {
+            "backend": self._backend_name,
+            "keys": self._keys,
+            "strict": self._strict,
+            "capacity": self.capacity,
+            "total": self.total,
+            "n_events": self.n_events,
+            "batches_ingested": self._batches,
+            "events_ingested": self._events,
+        }
+        impl = self._impl
+        if isinstance(impl, DynamicProfiler):
+            out["engine"] = {
+                "kind": "dynamic",
+                "physical_capacity": impl.physical_capacity,
+                "phantom_slots": impl.phantom_count,
+                "inner": _engine_stats(impl.profile),
+            }
+        elif isinstance(impl, ShardedProfiler):
+            out["engine"] = {
+                "kind": "sharded",
+                "core": impl.core,
+                "n_shards": impl.n_shards,
+                "block_count": impl.block_count,
+                "shards": [_engine_stats(s) for s in impl.shards],
+            }
+        elif isinstance(impl, (SProfile, FlatProfile)):
+            out["engine"] = _engine_stats(impl)
+        return out
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -687,7 +763,7 @@ class Profiler:
         backends; sketches and baselines do not checkpoint.
         """
         impl = self._impl
-        if isinstance(impl, SProfile):
+        if isinstance(impl, (SProfile, FlatProfile)):
             payload: Any = profile_to_state(impl)
         elif isinstance(impl, ShardedProfiler):
             payload = [profile_to_state(shard) for shard in impl.shards]
@@ -703,7 +779,7 @@ class Profiler:
             catalog = list(self._interner)
         elif isinstance(impl, DynamicProfiler):
             catalog = list(impl._interner)
-        return {
+        state = {
             "version": API_STATE_VERSION,
             "backend": self._backend_name,
             "keys": self._keys,
@@ -715,6 +791,11 @@ class Profiler:
             "events": self._events,
             "profile": payload,
         }
+        if isinstance(impl, ShardedProfiler):
+            # Restore shards onto the same core engine; absent in
+            # pre-flat checkpoints, which load as block-object cores.
+            state["core"] = impl.core
+        return state
 
     @classmethod
     def from_state(cls, state: dict[str, Any]) -> "Profiler":
@@ -769,13 +850,39 @@ class Profiler:
                     f"is {capacity}"
                 )
 
-        if backend == "exact" and keys == "dense":
-            impl: Any = profile_from_state(state["profile"])
+        if backend in ("exact", "flat") and keys == "dense":
+            if backend == "flat":
+                impl: Any = flat_profile_from_state(state["profile"])
+            else:
+                impl = profile_from_state(state["profile"])
             if impl.allow_negative == strict:
                 raise CheckpointError(
                     "strict flag disagrees with profile allow_negative"
                 )
             interner = None
+        elif backend == "flat" and keys == "hashable":
+            # Facade-interned flat universe: fixed capacity, catalog
+            # names the claimed dense slots; unclaimed slots must hold
+            # no counted mass (mirror of the sharded-hashable check).
+            if interner is None:
+                raise CheckpointError("hashable checkpoint lacks a catalog")
+            if not isinstance(capacity, int) or capacity < 0:
+                raise CheckpointError(f"bad capacity: {capacity!r}")
+            impl = flat_profile_from_state(state["profile"])
+            if impl.capacity != capacity:
+                raise CheckpointError(
+                    f"profile capacity {impl.capacity} does not match "
+                    f"declared capacity {capacity}"
+                )
+            if impl.allow_negative == strict:
+                raise CheckpointError(
+                    "strict flag disagrees with profile allow_negative"
+                )
+            for dense in range(len(interner), capacity):
+                if impl.frequency(dense) != 0:
+                    raise CheckpointError(
+                        f"uncataloged slot {dense} holds non-zero frequency"
+                    )
         elif backend == "exact" and keys == "hashable":
             if interner is None:
                 raise CheckpointError("hashable checkpoint lacks a catalog")
@@ -793,6 +900,7 @@ class Profiler:
             impl = DynamicProfiler.__new__(DynamicProfiler)
             impl._interner = interner
             impl._profile = inner
+            impl._rebind()
             interner = None
         elif backend == "sharded":
             shard_states = state["profile"]
@@ -808,7 +916,14 @@ class Profiler:
                 )
             if not isinstance(capacity, int) or capacity < 0:
                 raise CheckpointError(f"bad capacity: {capacity!r}")
-            shards = tuple(profile_from_state(s) for s in shard_states)
+            core = state.get("core", "sprofile")
+            if core not in ("sprofile", "flat"):
+                raise CheckpointError(f"bad shard core: {core!r}")
+            restore = (
+                flat_profile_from_state if core == "flat"
+                else profile_from_state
+            )
+            shards = tuple(restore(s) for s in shard_states)
             for s, shard in enumerate(shards):
                 expected = (capacity - s + n_shards - 1) // n_shards
                 if shard.capacity != expected:
@@ -820,7 +935,7 @@ class Profiler:
                     raise CheckpointError(
                         "strict flag disagrees with shard allow_negative"
                     )
-            impl = ShardedProfiler(0, n_shards=n_shards)
+            impl = ShardedProfiler(0, n_shards=n_shards, core=core)
             impl._m = capacity
             impl._shards = shards
             if keys == "dense":

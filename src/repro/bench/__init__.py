@@ -27,6 +27,11 @@ from repro.bench.runner import (
     time_median_workload,
     time_update_only,
 )
+from repro.bench.trajectory import (
+    TRAJECTORY_VERSION,
+    check_regressions,
+    run_trajectory,
+)
 from repro.bench.workloads import build_stream, workload_for
 
 __all__ = [
@@ -34,10 +39,13 @@ __all__ = [
     "FigureResult",
     "SCALES",
     "SeriesResult",
+    "TRAJECTORY_VERSION",
     "build_stream",
+    "check_regressions",
     "format_figure",
     "format_series_table",
     "run_figure",
+    "run_trajectory",
     "time_median_workload",
     "time_mode_workload",
     "time_update_only",

@@ -1,0 +1,40 @@
+"""``python -m repro.bench`` — benchmark harness front door.
+
+Subcommands
+-----------
+``trajectory``
+    Measure the canonical core perf trajectory and write
+    ``BENCH_core.json`` (see :mod:`repro.bench.trajectory`).
+``figures``
+    Regenerate the paper's figures (same flags as
+    ``python -m repro bench``; see :mod:`repro.bench.cli`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.cli import main as figures_main
+from repro.bench.trajectory import main as trajectory_main
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("usage: python -m repro.bench {trajectory,figures} ...")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "trajectory":
+        return trajectory_main(rest)
+    if command == "figures":
+        return figures_main(rest)
+    print(
+        f"unknown command {command!r}; use 'trajectory' or 'figures'",
+        file=sys.stderr,
+    )
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,10 @@ The public surface of this subpackage:
 
 - :class:`repro.core.profile.SProfile` — the O(1)-per-update profiler over
   dense integer ids (Algorithm 1 of the paper).
+- :class:`repro.core.flat.FlatProfile` — the same algorithm on flat
+  struct-of-arrays storage: integer loads/stores only, fused stream
+  loops, vectorized bulk rebuilds (the facade's ``"flat"`` backend and
+  the ``"auto"`` choice for dense keys).
 - :class:`repro.core.dynamic.DynamicProfiler` — arbitrary hashable ids and
   amortized-O(1) capacity growth on top of :class:`SProfile`.
 - :class:`repro.core.snapshot.ProfileSnapshot` — immutable point-in-time
@@ -17,10 +21,12 @@ from repro.core.block import Block, BlockPool, PoolStats
 from repro.core.blockset import BlockSet
 from repro.core.checkpoint import (
     STATE_VERSION,
+    flat_profile_from_state,
     profile_from_state,
     profile_to_state,
 )
 from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
 from repro.core.interner import ObjectInterner
 from repro.core.profile import SProfile
 from repro.core.queries import ModeResult, TopEntry
@@ -33,6 +39,7 @@ __all__ = [
     "BlockPool",
     "BlockSet",
     "DynamicProfiler",
+    "FlatProfile",
     "ModeResult",
     "ObjectInterner",
     "PoolStats",
@@ -42,6 +49,7 @@ __all__ = [
     "STATE_VERSION",
     "TopEntry",
     "audit_profile",
+    "flat_profile_from_state",
     "profile_from_state",
     "profile_to_state",
     "summarize",

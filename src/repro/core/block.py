@@ -131,6 +131,11 @@ class BlockPool:
         return len(self._free)
 
     @property
+    def max_free(self) -> int | None:
+        """Retention bound on idle blocks (``None``: unbounded)."""
+        return self._max_free
+
+    @property
     def stats(self) -> PoolStats:
         return PoolStats(
             created=self._created,

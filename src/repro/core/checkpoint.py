@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
 from repro.core.validation import audit_profile
 from repro.errors import CheckpointError, InvariantViolationError
@@ -20,6 +21,7 @@ __all__ = [
     "STATE_VERSION",
     "profile_to_state",
     "profile_from_state",
+    "flat_profile_from_state",
     "save_profile",
     "load_profile",
 ]
@@ -41,8 +43,15 @@ _REQUIRED_KEYS = frozenset(
 )
 
 
-def profile_to_state(profile: SProfile) -> dict[str, Any]:
-    """Capture the full state of a profiler as a JSON-safe dict."""
+def profile_to_state(profile) -> dict[str, Any]:
+    """Capture the full state of a profiler as a JSON-safe dict.
+
+    Works on any profiler exposing the block-structured contract —
+    :class:`~repro.core.profile.SProfile` and
+    :class:`~repro.core.flat.FlatProfile` share one schema, so a
+    checkpoint written by either engine restores into either
+    (:func:`profile_from_state` / :func:`flat_profile_from_state`).
+    """
     return {
         "version": STATE_VERSION,
         "capacity": profile.capacity,
@@ -55,13 +64,19 @@ def profile_to_state(profile: SProfile) -> dict[str, Any]:
     }
 
 
-def profile_from_state(state: dict[str, Any]) -> SProfile:
-    """Rebuild a profiler from :func:`profile_to_state` output.
+def _restore(state: dict[str, Any], install):
+    """Shared validate/install/re-anchor/audit pipeline of both engines.
 
-    Validates structure before and after the rebuild.
+    ``install(ttof, runs, state)`` builds and returns the profile from
+    the validated permutation and runs; everything around it — schema
+    checks, counter restoration, the base-total re-anchor, and the
+    post-restore audit — is engine-independent, so the two restore
+    paths cannot drift.
     """
     if not isinstance(state, dict):
-        raise CheckpointError(f"state must be a dict, got {type(state).__name__}")
+        raise CheckpointError(
+            f"state must be a dict, got {type(state).__name__}"
+        )
     missing = _REQUIRED_KEYS - state.keys()
     if missing:
         raise CheckpointError(f"state is missing keys: {sorted(missing)}")
@@ -80,16 +95,16 @@ def profile_from_state(state: dict[str, Any]) -> SProfile:
             f"ttof length {len(ttof)} != capacity {capacity}"
         )
 
-    profile = SProfile(0, allow_negative=bool(state["allow_negative"]))
     try:
-        profile._install(
+        profile = install(
             [int(x) for x in ttof],
             [tuple(int(v) for v in run) for run in runs],
-            allow_negative=bool(state["allow_negative"]),
-            track_freq_index=bool(state["track_freq_index"]),
+            state,
         )
     except (InvariantViolationError, ValueError, TypeError, IndexError) as exc:
-        raise CheckpointError(f"state does not describe a valid profile: {exc}") from exc
+        raise CheckpointError(
+            f"state does not describe a valid profile: {exc}"
+        ) from exc
 
     profile._n_adds = int(state["n_adds"])
     profile._n_removes = int(state["n_removes"])
@@ -105,6 +120,43 @@ def profile_from_state(state: dict[str, Any]) -> SProfile:
     except InvariantViolationError as exc:
         raise CheckpointError(f"restored profile failed audit: {exc}") from exc
     return profile
+
+
+def profile_from_state(state: dict[str, Any]) -> SProfile:
+    """Rebuild a block-object profiler from :func:`profile_to_state`
+    output.  Validates structure before and after the rebuild.
+    """
+
+    def install(ttof, runs, st):
+        profile = SProfile(0, allow_negative=bool(st["allow_negative"]))
+        profile._install(
+            ttof,
+            runs,
+            allow_negative=bool(st["allow_negative"]),
+            track_freq_index=bool(st["track_freq_index"]),
+        )
+        return profile
+
+    return _restore(state, install)
+
+
+def flat_profile_from_state(state: dict[str, Any]) -> FlatProfile:
+    """Rebuild a :class:`~repro.core.flat.FlatProfile` from
+    :func:`profile_to_state` output (same schema as the block-object
+    engine; ``track_freq_index`` is accepted and ignored — the flat
+    engine answers ``support`` from the run walk).
+
+    Validates structure before and after the rebuild.
+    """
+
+    def install(ttof, runs, st):
+        profile = FlatProfile(
+            0, allow_negative=bool(st["allow_negative"])
+        )
+        profile._install_runs(ttof, runs)
+        return profile
+
+    return _restore(state, install)
 
 
 def save_profile(profile: SProfile, path: str | Path) -> None:

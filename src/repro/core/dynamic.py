@@ -63,7 +63,7 @@ class DynamicProfiler:
     ('ada', 3)
     """
 
-    __slots__ = ("_interner", "_profile")
+    __slots__ = ("_interner", "_profile", "_i_get", "_p_add", "_p_remove")
 
     def __init__(
         self,
@@ -81,6 +81,23 @@ class DynamicProfiler:
             allow_negative=allow_negative,
             track_freq_index=True,
         )
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Refresh the hoisted bound methods of the delegation hot path.
+
+        ``add``/``remove`` run once per event; resolving
+        ``self._interner.get`` / ``self._profile.add`` freshly each
+        time costs two attribute chains per event for nothing —
+        :class:`~repro.core.profile.SProfile.grow` mutates the profile
+        in place, so the bound methods stay valid across growth.  Any
+        code that *replaces* ``_interner`` or ``_profile`` wholesale
+        (checkpoint restore) must call this; measured in
+        ``benchmarks/bench_dynamic_overhead.py``.
+        """
+        self._i_get = self._interner.get
+        self._p_add = self._profile.add
+        self._p_remove = self._profile.remove
 
     # ------------------------------------------------------------------
     # Updates
@@ -88,7 +105,10 @@ class DynamicProfiler:
 
     def add(self, obj: Hashable) -> None:
         """Process an "add" for ``obj``, registering it if new.  O(1) am."""
-        self._profile.add(self._dense_or_register(obj))
+        dense = self._i_get(obj)
+        if dense is None:
+            dense = self._dense_or_register(obj)
+        self._p_add(dense)
 
     def remove(self, obj: Hashable) -> None:
         """Process a "remove" for ``obj``.
@@ -98,14 +118,14 @@ class DynamicProfiler:
         :class:`~repro.errors.FrequencyUnderflowError` without
         registering anything.
         """
-        dense = self._interner.get(obj)
+        dense = self._i_get(obj)
         if dense is None:
             if not self._profile.allow_negative:
                 raise FrequencyUnderflowError(
                     f"cannot remove never-seen object {obj!r} in strict mode"
                 )
             dense = self._dense_or_register(obj)
-        self._profile.remove(dense)
+        self._p_remove(dense)
 
     def update(self, obj: Hashable, is_add: bool) -> None:
         """Apply one log-stream tuple ``(obj, c)``."""
@@ -210,7 +230,7 @@ class DynamicProfiler:
         self._dense_or_register(obj)
 
     def _dense_or_register(self, obj: Hashable) -> int:
-        dense = self._interner.get(obj)
+        dense = self._i_get(obj)
         if dense is None:
             if len(self._interner) == self._profile.capacity:
                 self._profile.grow(max(self._profile.capacity, _MIN_CAPACITY))

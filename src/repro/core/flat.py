@@ -1,0 +1,1676 @@
+"""FlatProfile: Algorithm 1 on parallel flat integer arrays.
+
+:class:`~repro.core.profile.SProfile` is already O(1) per event, but in
+CPython every one of those O(1) steps pays object overhead: each rank
+resolves through a list of :class:`~repro.core.block.Block` instances
+(pointer chase + slot-attribute dispatch), and block birth/death churns
+the :class:`~repro.core.block.BlockPool` free list through bound-method
+calls.  ``FlatProfile`` stores the *same* structure as parallel flat
+integer arrays — the struct-of-arrays layout Tarjan–Zwick use to keep
+resizable-array items at raw-array speed, and the layout profile-sketch
+estimators assume —
+
+- ``_ftot`` / ``_ttof``: the paper's FtoT / TtoF permutations, plain
+  int lists;
+- ``_ptrb``: rank -> *block id* (an int), the paper's PtrB;
+- ``_bl`` / ``_bre`` / ``_bf``: block id -> left rank / exclusive
+  right bound / frequency, three parallel int lists replacing Block
+  objects.  Blocks are **half-open** ``[l, re)`` internally: the
+  exclusive bound doubles as (a) the rank index of the right
+  neighbour's pointer and (b) the shrunken bound after an add detaches
+  the right edge, so the dominant update path re-uses loaded ints
+  instead of allocating ``r±1`` objects (CPython only caches ints up
+  to 256; rank arithmetic above that allocates).  The read API
+  (:class:`_FlatBlockReader`) still presents the paper's inclusive
+  ``(l, r, f)`` triples;
+- ``_prev`` / ``_nxt``: rank predecessor/successor tables
+  (``prev[k] == k-1``, ``nxt[k] == k+1``).  CPython only caches small
+  ints, so every ``r±1`` on a rank above 256 *allocates* an int
+  object; reading the neighbour rank out of an immutable table turns
+  all rank arithmetic in the hot loops into allocation-free list
+  loads — the single biggest constant-factor lever measured here
+  (+30-50% on the fused paths);
+- dead block ids are recycled through an intrusive free list threaded
+  through ``_bl`` (``_bl[dead] = next dead id``, head in
+  ``_free_head``) — no pool object, no ``append``/``pop`` calls.
+
+Every update therefore touches only integer loads and stores on lists.
+The payoff is largest on the stream-consumption paths
+(:meth:`FlatProfile.consume_arrays`,
+:meth:`FlatProfile.track_statistic`), which inline the whole update
+into one loop with every lookup hoisted to a local — there is no
+per-event method dispatch at all.  ``benchmarks/`` and
+``python -m repro.bench trajectory`` measure the effect (~2x per-event
+throughput, >4x batch ingestion; see ``BENCH_core.json``).
+
+Two structural notes:
+
+- The live block *count* is never maintained on the hot path: every
+  minted slot is either live or on the free list, so ``block_count``
+  is derived by walking the runs (O(#blocks)).
+- Statistic upkeep inside the fused loops exploits a property of the
+  ±1 update: an add changes the sorted array ``T`` at exactly one rank
+  (the right edge ``r`` of the touched block, ``T[r] = f+1``) and a
+  remove at exactly its left edge ``l``.  Keeping *any* fixed-rank
+  statistic (mode = rank ``m-1``, median = rank ``(m-1)//2``, minimum
+  = rank 0) current is therefore at most a single compare per event —
+  and free for the mode, whose compare folds into branches the update
+  takes anyway.
+
+Batch ingestion mirrors :class:`SProfile`'s two regimes: sparse batches
+climb the block structure per key; dense batches rebuild wholesale —
+vectorized through NumPy when it is importable (one ``bincount`` to
+coalesce, one ``argsort`` + run-length encode to rebuild, all C speed),
+with a pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.block import Block
+from repro.core.queries import ProfileQueryMixin
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    InvariantViolationError,
+)
+
+try:  # optional vectorized coalesce/rebuild path
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the test env
+    _np = None
+
+__all__ = ["FlatProfile"]
+
+
+class _FlatBlockReader:
+    """Read-only :class:`~repro.core.blockset.BlockSet` facade over the
+    flat arrays.
+
+    Materializes :class:`~repro.core.block.Block` values (inclusive
+    ``(l, r, f)``, the paper's notation) on demand so every block-walk
+    consumer of the package — the query mixin,
+    :func:`~repro.core.validation.audit_profile`, snapshots, the
+    sharded merges, the fused-plan runs views — drives a
+    ``FlatProfile`` unchanged.  The view is stateless: it reads the
+    live arrays, so it never goes stale.
+    """
+
+    __slots__ = ("_p",)
+
+    def __init__(self, profile: "FlatProfile") -> None:
+        self._p = profile
+
+    @property
+    def capacity(self) -> int:
+        return self._p._m
+
+    @property
+    def n_blocks(self) -> int:
+        return self._p.block_count
+
+    @property
+    def tracks_freq_index(self) -> bool:
+        return False
+
+    def block_at(self, rank: int) -> Block:
+        p = self._p
+        if not 0 <= rank < p._m:
+            raise IndexError(f"rank {rank} out of range [0, {p._m})")
+        b = p._ptrb[rank]
+        return Block(p._bl[b], p._bre[b] - 1, p._bf[b])
+
+    def leftmost(self) -> Block:
+        self._require_nonempty()
+        return self.block_at(0)
+
+    def rightmost(self) -> Block:
+        self._require_nonempty()
+        return self.block_at(self._p._m - 1)
+
+    def iter_blocks(self) -> Iterator[Block]:
+        p = self._p
+        ptrb = p._ptrb
+        bl = p._bl
+        bre = p._bre
+        bf = p._bf
+        m = p._m
+        rank = 0
+        while rank < m:
+            b = ptrb[rank]
+            re = bre[b]
+            yield Block(bl[b], re - 1, bf[b])
+            rank = re
+
+    def iter_blocks_desc(self) -> Iterator[Block]:
+        p = self._p
+        ptrb = p._ptrb
+        bl = p._bl
+        bre = p._bre
+        bf = p._bf
+        rank = p._m - 1
+        while rank >= 0:
+            b = ptrb[rank]
+            l = bl[b]
+            yield Block(l, bre[b] - 1, bf[b])
+            rank = l - 1
+
+    def block_for_frequency(self, f: int) -> Block | None:
+        for block in self.iter_blocks():
+            if block.f == f:
+                return block
+            if block.f > f:
+                return None
+        return None
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        return [block.as_tuple() for block in self.iter_blocks()]
+
+    def audit(self) -> None:
+        """Verify the flat structural invariants (mirror of
+        :meth:`~repro.core.blockset.BlockSet.audit`, plus free-list
+        coherence)."""
+        p = self._p
+        m = p._m
+        if len(p._ptrb) != m:
+            raise InvariantViolationError(
+                f"ptrb length {len(p._ptrb)} != capacity {m}"
+            )
+        slots = len(p._bl)
+        if len(p._bre) != slots or len(p._bf) != slots:
+            raise InvariantViolationError(
+                "block arrays disagree on slot count: "
+                f"l={len(p._bl)} re={len(p._bre)} f={len(p._bf)}"
+            )
+        live: set[int] = set()
+        prev_f: int | None = None
+        rank = 0
+        while rank < m:
+            b = p._ptrb[rank]
+            if not 0 <= b < slots:
+                raise InvariantViolationError(
+                    f"ptrb[{rank}] = {b} outside slot range [0, {slots})"
+                )
+            l, re, f = p._bl[b], p._bre[b], p._bf[b]
+            if l != rank:
+                raise InvariantViolationError(
+                    f"block {b} [{l}, {re}) f={f} does not start at "
+                    f"rank {rank}"
+                )
+            if re <= l or re > m:
+                raise InvariantViolationError(
+                    f"block {b} [{l}, {re}) f={f} has bad bounds"
+                )
+            if prev_f is not None and f <= prev_f:
+                raise InvariantViolationError(
+                    f"block frequencies not strictly increasing at "
+                    f"block {b} [{l}, {re}) f={f}"
+                )
+            for inner in range(l, re):
+                if p._ptrb[inner] != b:
+                    raise InvariantViolationError(
+                        f"ptrb[{inner}] does not point at covering block {b}"
+                    )
+            live.add(b)
+            prev_f = f
+            rank = re
+        # Free list: walks dead slots only, visits each at most once,
+        # and together with the live set covers every minted slot.
+        seen_free: set[int] = set()
+        head = p._free_head
+        while head >= 0:
+            if head in live:
+                raise InvariantViolationError(
+                    f"free list contains live block {head}"
+                )
+            if head in seen_free:
+                raise InvariantViolationError(
+                    f"free list cycles through block {head}"
+                )
+            seen_free.add(head)
+            head = p._bl[head]
+        if m > 0 and len(live) + len(seen_free) != slots:
+            raise InvariantViolationError(
+                f"{slots} slots minted but {len(live)} live + "
+                f"{len(seen_free)} free"
+            )
+
+    def _require_nonempty(self) -> None:
+        if self._p._m == 0:
+            raise EmptyProfileError("block set has zero capacity")
+
+    def __repr__(self) -> str:
+        return (
+            f"_FlatBlockReader(capacity={self._p._m}, "
+            f"n_blocks={self.n_blocks})"
+        )
+
+
+class FlatProfile(ProfileQueryMixin):
+    """The paper's profiler on flat struct-of-arrays storage.
+
+    Drop-in for :class:`~repro.core.profile.SProfile` (same update and
+    query surface, same batch semantics, same checkpoint schema) with
+    the hot path rewritten to touch only integer list loads/stores.
+    Open through the facade as ``Profiler.open(m, backend="flat")`` —
+    it is also what ``backend="auto"`` picks for dense keys.
+
+    Parameters
+    ----------
+    capacity:
+        ``m``, the number of dense object ids.
+    allow_negative:
+        Permit frequencies below zero (paper semantics, default).  When
+        False a remove below zero raises
+        :class:`~repro.errors.FrequencyUnderflowError`; the fused
+        stream loops then route through the guarded per-event methods.
+
+    Examples
+    --------
+    >>> p = FlatProfile(capacity=5)
+    >>> for x in [1, 1, 3, 1, 2]:
+    ...     p.add(x)
+    >>> p.mode().frequency, p.mode().example
+    (3, 1)
+    >>> p.remove(1)
+    >>> p.top_k(2)
+    [TopEntry(obj=1, frequency=2), TopEntry(obj=3, frequency=1)]
+    """
+
+    #: Registry-facing metadata (duck-typed counterpart of ProfilerBase).
+    name = "flat"
+    SUPPORTED_QUERIES = frozenset(
+        {
+            "frequency",
+            "mode",
+            "least",
+            "max_frequency",
+            "min_frequency",
+            "top_k",
+            "kth_most_frequent",
+            "median",
+            "quantile",
+            "histogram",
+            "support",
+        }
+    )
+
+    __slots__ = (
+        "_m",
+        "_ftot",
+        "_ttof",
+        "_ptrb",
+        "_bl",
+        "_bre",
+        "_bf",
+        "_prev",
+        "_nxt",
+        "_free_head",
+        "_blocks",
+        "_last_tracked",
+        "_allow_negative",
+        "_base_total",
+        "_n_adds",
+        "_n_removes",
+    )
+
+    def __init__(self, capacity: int, *, allow_negative: bool = True) -> None:
+        if capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        self._m = capacity
+        self._ftot = list(range(capacity))
+        self._ttof = list(range(capacity))
+        if capacity:
+            self._ptrb = [0] * capacity
+            self._bl = [0]
+            self._bre = [capacity]
+            self._bf = [0]
+        else:
+            self._ptrb = []
+            self._bl = []
+            self._bre = []
+            self._bf = []
+        self._prev = list(range(-1, capacity))
+        self._nxt = list(range(1, capacity + 2))
+        self._free_head = -1
+        self._blocks = _FlatBlockReader(self)
+        self._last_tracked = 0
+        self._allow_negative = allow_negative
+        self._base_total = 0
+        self._n_adds = 0
+        self._n_removes = 0
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: Sequence[int],
+        *,
+        allow_negative: bool = True,
+    ) -> "FlatProfile":
+        """Bulk-build a profile from an initial frequency array.
+
+        One sort — vectorized through NumPy when available (``argsort``
+        + run-length encode at C speed), O(m log m) either way.
+        """
+        if not hasattr(frequencies, "__len__"):
+            frequencies = list(frequencies)
+        if _np is not None:
+            freqs = _np.asarray(frequencies, dtype=_np.int64)
+            if not allow_negative and freqs.size and int(freqs.min()) < 0:
+                raise FrequencyUnderflowError(
+                    "negative initial frequency with allow_negative=False"
+                )
+            self = cls(0, allow_negative=allow_negative)
+            self._install_freqs_np(freqs)
+            self._base_total = int(freqs.sum())
+            return self
+        freqs = list(frequencies)
+        if not allow_negative and any(f < 0 for f in freqs):
+            raise FrequencyUnderflowError(
+                "negative initial frequency with allow_negative=False"
+            )
+        self = cls(0, allow_negative=allow_negative)
+        m = len(freqs)
+        ttof = sorted(range(m), key=freqs.__getitem__)
+        self._install_runs(ttof, _runs_from_sorted(ttof, freqs))
+        self._base_total = sum(freqs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Updates (the O(1) hot path — integer loads/stores only)
+    # ------------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Process an "add" event for object ``x``.  O(1) worst case."""
+        m = self._m
+        if not 0 <= x < m:
+            raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        self._n_adds += 1
+        i = ftot[x]
+        b = ptrb[i]
+        re = bre[b]
+        f1 = bf[b] + 1
+        r = self._prev[re]
+        if i != r:
+            # Swap x with the right-edge element; both hold frequency
+            # f, so the sorted order of T is untouched.  i != r proves
+            # the block is not a singleton (a singleton's only member
+            # *is* its right edge), so the general case follows.
+            y = ttof[r]
+            ttof[r] = x
+            ttof[i] = y
+            ftot[x] = r
+            ftot[y] = i
+        elif bl[b] == r:
+            # Singleton block: bump in place unless it must merge into
+            # an adjacent f+1 block.
+            if re != m:
+                rb = ptrb[re]
+                if bf[rb] == f1:
+                    bl[b] = self._free_head
+                    self._free_head = b
+                    bl[rb] = r
+                    ptrb[r] = rb
+                    return
+            bf[b] = f1
+            return
+        # General case: shrink x's old block from the right and attach
+        # rank r to the f+1 block (extend it or mint a singleton).
+        bre[b] = r
+        if re != m:
+            rb = ptrb[re]
+            if bf[rb] == f1:
+                bl[rb] = r
+                ptrb[r] = rb
+                return
+        nb = self._free_head
+        if nb >= 0:
+            self._free_head = bl[nb]
+            bl[nb] = r
+            bre[nb] = re
+            bf[nb] = f1
+        else:
+            nb = len(bl)
+            bl.append(r)
+            bre.append(re)
+            bf.append(f1)
+        ptrb[r] = nb
+
+    def remove(self, x: int) -> None:
+        """Process a "remove" event for object ``x``.  O(1) worst case."""
+        m = self._m
+        if not 0 <= x < m:
+            raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        i = ftot[x]
+        b = ptrb[i]
+        f1 = bf[b] - 1
+        if f1 < 0 and not self._allow_negative:
+            raise FrequencyUnderflowError(
+                f"removing object {x} at frequency {f1 + 1} would go negative"
+            )
+        self._n_removes += 1
+        l = bl[b]
+        if i != l:
+            y = ttof[l]
+            ttof[l] = x
+            ttof[i] = y
+            ftot[x] = l
+            ftot[y] = i
+        elif bre[b] == self._nxt[l]:
+            if l:
+                lb = ptrb[self._prev[l]]
+                if bf[lb] == f1:
+                    bre[lb] = bre[b]
+                    bl[b] = self._free_head
+                    self._free_head = b
+                    ptrb[l] = lb
+                    return
+            bf[b] = f1
+            return
+        l1 = self._nxt[l]
+        bl[b] = l1
+        if l:
+            lb = ptrb[self._prev[l]]
+            if bf[lb] == f1:
+                bre[lb] = l1
+                ptrb[l] = lb
+                return
+        nb = self._free_head
+        if nb >= 0:
+            self._free_head = bl[nb]
+            bl[nb] = l
+            bre[nb] = l1
+            bf[nb] = f1
+        else:
+            nb = len(bl)
+            bl.append(l)
+            bre.append(l1)
+            bf.append(f1)
+        ptrb[l] = nb
+
+    def update(self, x: int, is_add: bool) -> None:
+        """Apply one log-stream tuple ``(x, c)``."""
+        if is_add:
+            self.add(x)
+        else:
+            self.remove(x)
+
+    def add_count(self, x: int, count: int) -> None:
+        """Apply ``count`` adds to ``x`` as one climb."""
+        if count < 0:
+            raise CapacityError(f"count must be >= 0, got {count}")
+        if count:
+            self._bulk_add({x: count})
+
+    def remove_count(self, x: int, count: int) -> None:
+        """Apply ``count`` removes to ``x``.  Mirror of :meth:`add_count`."""
+        if count < 0:
+            raise CapacityError(f"count must be >= 0, got {count}")
+        if count:
+            if not 0 <= x < self._m:
+                raise CapacityError(
+                    f"object id {x} out of range [0, {self._m})"
+                )
+            if not self._allow_negative:
+                f = self._bf[self._ptrb[self._ftot[x]]]
+                if count > f:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {f} "
+                        f"{count} times would go negative"
+                    )
+            self._bulk_remove({x: count})
+
+    def consume(self, events: Iterable[tuple[int, bool]]) -> int:
+        """Apply ``(object, is_add)`` tuples in order; return count."""
+        add = self.add
+        remove = self.remove
+        n = 0
+        for x, is_add in events:
+            if is_add:
+                add(x)
+            else:
+                remove(x)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Fused stream consumption (the flat engine's reason to exist)
+    # ------------------------------------------------------------------
+
+    def consume_arrays(self, ids, adds) -> int:
+        """Apply parallel arrays of object ids and add flags.
+
+        The whole event loop runs inside this method with every lookup
+        hoisted to a local — zero per-event method dispatch, zero
+        attribute loads.  Accepts numpy arrays (converted once) or
+        plain sequences; same no-rollback contract as :meth:`consume`.
+        """
+        return self._consume_fused(ids, adds, -1)
+
+    def track_statistic(self, ids, adds, rank: int) -> int:
+        """Apply every event while keeping ``T[rank]`` current; return
+        the final tracked frequency.
+
+        The ±1 update changes the sorted array ``T`` at exactly one
+        rank per event (the touched block's right edge on an add, left
+        edge on a remove), so upkeep of any fixed-rank statistic —
+        mode (``rank = m-1``), median (``rank = (m-1)//2``), minimum
+        (``rank = 0``), any quantile — is at most one compare per
+        event inside the fused loop (and free for the mode, whose
+        compare folds into branches the update takes anyway).  This is
+        the flat engine's counterpart of the paper's
+        update-then-query workload (figures 3-6).
+        """
+        m = self._m
+        if not 0 <= rank < m:
+            raise CapacityError(f"rank {rank} out of range [0, {m})")
+        self._consume_fused(ids, adds, rank)
+        # The loop maintained the statistic event by event
+        # (self._last_tracked); re-read from the structure so the
+        # answer is authoritative even on the strict-mode fallback.
+        return self._bf[self._ptrb[rank]]
+
+    def _consume_fused(self, ids, adds, tr: int) -> int:
+        """Shared fused-loop driver; ``tr`` is the tracked rank (-1:
+        none — which still takes the mode-specialized loop, whose
+        tracking is free)."""
+        id_list = (
+            ids
+            if type(ids) is list
+            else ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        )
+        add_list = (
+            adds
+            if type(adds) is list
+            else adds.tolist() if hasattr(adds, "tolist") else list(adds)
+        )
+        if len(id_list) != len(add_list):
+            raise CapacityError(
+                f"ids ({len(id_list)}) and adds ({len(add_list)}) differ"
+            )
+        if id_list:
+            # The fused loop carries no per-event bound check.  Ids
+            # that are too large fault naturally (list indexing raises
+            # IndexError, mapped to CapacityError below, with prior
+            # events applied — consume()'s event-at-a-time contract),
+            # but a *negative* id would silently wrap around in list
+            # indexing and corrupt the structure, so the floor is
+            # validated up front in one C-speed pass (on the ndarray
+            # when the caller handed one over — cheaper still).
+            if _np is not None and isinstance(ids, _np.ndarray):
+                lo = int(ids.min())
+            else:
+                lo = min(id_list)
+            if lo < 0:
+                raise CapacityError(
+                    f"object id {lo} out of range [0, {self._m})"
+                )
+        if not self._allow_negative:
+            # Strict profiles need the per-remove underflow guard; keep
+            # the fused loops branch-free and take the guarded methods.
+            n = 0
+            add = self.add
+            remove = self.remove
+            for x, is_add in zip(id_list, add_list):
+                if is_add:
+                    add(x)
+                else:
+                    remove(x)
+                n += 1
+            return n
+        try:
+            if tr < 0 or tr == self._m - 1:
+                self._run_fused_top(id_list, add_list)
+            else:
+                self._run_fused(id_list, add_list, tr)
+        except IndexError:
+            # An id >= m faulted on the ftot lookup, before any of that
+            # event's mutations (the structure stays sound; the free
+            # list and prior events were persisted by the loop's
+            # finally).  Settle the counters for the applied prefix,
+            # then surface the usual error.
+            applied = next(
+                idx for idx, x in enumerate(id_list) if x >= self._m
+            )
+            n_add = add_list[:applied].count(True)
+            self._n_adds += n_add
+            self._n_removes += applied - n_add
+            raise CapacityError(
+                f"object id {id_list[applied]} out of range "
+                f"[0, {self._m})"
+            ) from None
+        # Event counters settle once per batch (C-speed count), not
+        # once per event.
+        n_add = add_list.count(True)
+        self._n_adds += n_add
+        self._n_removes += len(add_list) - n_add
+        return len(id_list)
+
+    def _run_fused(self, id_list, add_list, tr) -> None:
+        """The fused hot loop for an arbitrary tracked rank ``tr``.
+
+        Every lookup hoisted, integer ops only; upkeep of ``T[tr]`` is
+        one compare against the single rank each event changes.
+        Counters are NOT touched here — the caller settles them per
+        batch.  Keep the update logic in lockstep with
+        :meth:`_run_fused_top`; the equivalence suite runs both against
+        the block-object engine.
+        """
+        m = self._m
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        prev = self._prev
+        nxt = self._nxt
+        free_head = self._free_head
+        stat_f = bf[ptrb[tr]] if m else 0
+        try:
+            for x, is_add in zip(id_list, add_list):
+                i = ftot[x]
+                b = ptrb[i]
+                if is_add:
+                    re = bre[b]
+                    f1 = bf[b] + 1
+                    r = prev[re]
+                    if r == tr:
+                        stat_f = f1
+                    if i != r:
+                        y = ttof[r]
+                        ttof[r] = x
+                        ttof[i] = y
+                        ftot[x] = r
+                        ftot[y] = i
+                    elif bl[b] == r:
+                        if re != m:
+                            rb = ptrb[re]
+                            if bf[rb] == f1:
+                                bl[b] = free_head
+                                free_head = b
+                                bl[rb] = r
+                                ptrb[r] = rb
+                                continue
+                        bf[b] = f1
+                        continue
+                    bre[b] = r
+                    if re != m:
+                        rb = ptrb[re]
+                        if bf[rb] == f1:
+                            bl[rb] = r
+                            ptrb[r] = rb
+                            continue
+                    nb = free_head
+                    if nb >= 0:
+                        free_head = bl[nb]
+                        bl[nb] = r
+                        bre[nb] = re
+                        bf[nb] = f1
+                    else:
+                        nb = len(bl)
+                        bl.append(r)
+                        bre.append(re)
+                        bf.append(f1)
+                    ptrb[r] = nb
+                else:
+                    l = bl[b]
+                    f1 = bf[b] - 1
+                    if l == tr:
+                        stat_f = f1
+                    if i != l:
+                        y = ttof[l]
+                        ttof[l] = x
+                        ttof[i] = y
+                        ftot[x] = l
+                        ftot[y] = i
+                    elif bre[b] == nxt[l]:
+                        if l:
+                            lb = ptrb[prev[l]]
+                            if bf[lb] == f1:
+                                bre[lb] = bre[b]
+                                bl[b] = free_head
+                                free_head = b
+                                ptrb[l] = lb
+                                continue
+                        bf[b] = f1
+                        continue
+                    l1 = nxt[l]
+                    bl[b] = l1
+                    if l:
+                        lb = ptrb[prev[l]]
+                        if bf[lb] == f1:
+                            bre[lb] = l1
+                            ptrb[l] = lb
+                            continue
+                    nb = free_head
+                    if nb >= 0:
+                        free_head = bl[nb]
+                        bl[nb] = l
+                        bre[nb] = l1
+                        bf[nb] = f1
+                    else:
+                        nb = len(bl)
+                        bl.append(l)
+                        bre.append(l1)
+                        bf.append(f1)
+                    ptrb[l] = nb
+        finally:
+            # An IndexError faults at the very top of an event, before
+            # any of its mutations — persisting here keeps the free
+            # list and tracked statistic consistent for the applied
+            # prefix.
+            self._free_head = free_head
+            self._last_tracked = stat_f
+
+    def _run_fused_top(self, id_list, add_list) -> None:
+        """:meth:`_run_fused` specialized to tracking rank ``m-1``.
+
+        Mode upkeep is the paper's canonical workload (figures 3-5),
+        so it earns a dedicated loop: ``T[m-1]`` changes only when an
+        add touches a block whose exclusive bound is ``m``, or a
+        remove hits the singleton block sitting at the top — both are
+        branches the update logic takes anyway (``re != m`` decides
+        whether a right neighbour exists), so the mode stays current
+        with ZERO additional per-event work.
+        """
+        m = self._m
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        prev = self._prev
+        nxt = self._nxt
+        free_head = self._free_head
+        top = m - 1
+        stat_f = bf[ptrb[top]] if m else 0
+        try:
+            for x, is_add in zip(id_list, add_list):
+                i = ftot[x]
+                b = ptrb[i]
+                if is_add:
+                    re = bre[b]
+                    f1 = bf[b] + 1
+                    r = prev[re]
+                    if i != r:
+                        y = ttof[r]
+                        ttof[r] = x
+                        ttof[i] = y
+                        ftot[x] = r
+                        ftot[y] = i
+                    elif bl[b] == r:
+                        if re != m:
+                            rb = ptrb[re]
+                            if bf[rb] == f1:
+                                bl[b] = free_head
+                                free_head = b
+                                bl[rb] = r
+                                ptrb[r] = rb
+                                continue
+                        else:
+                            stat_f = f1
+                        bf[b] = f1
+                        continue
+                    bre[b] = r
+                    if re != m:
+                        rb = ptrb[re]
+                        if bf[rb] == f1:
+                            bl[rb] = r
+                            ptrb[r] = rb
+                            continue
+                    else:
+                        stat_f = f1
+                    nb = free_head
+                    if nb >= 0:
+                        free_head = bl[nb]
+                        bl[nb] = r
+                        bre[nb] = re
+                        bf[nb] = f1
+                    else:
+                        nb = len(bl)
+                        bl.append(r)
+                        bre.append(re)
+                        bf.append(f1)
+                    ptrb[r] = nb
+                else:
+                    l = bl[b]
+                    f1 = bf[b] - 1
+                    if i != l:
+                        y = ttof[l]
+                        ttof[l] = x
+                        ttof[i] = y
+                        ftot[x] = l
+                        ftot[y] = i
+                    elif bre[b] == nxt[l]:
+                        # A remove changes T only at rank l; l == top
+                        # means this singleton sits at the top rank.
+                        if l == top:
+                            stat_f = f1
+                        if l:
+                            lb = ptrb[prev[l]]
+                            if bf[lb] == f1:
+                                bre[lb] = bre[b]
+                                bl[b] = free_head
+                                free_head = b
+                                ptrb[l] = lb
+                                continue
+                        bf[b] = f1
+                        continue
+                    l1 = nxt[l]
+                    bl[b] = l1
+                    if l:
+                        lb = ptrb[prev[l]]
+                        if bf[lb] == f1:
+                            bre[lb] = l1
+                            ptrb[l] = lb
+                            continue
+                    nb = free_head
+                    if nb >= 0:
+                        free_head = bl[nb]
+                        bl[nb] = l
+                        bre[nb] = l1
+                        bf[nb] = f1
+                    else:
+                        nb = len(bl)
+                        bl.append(l)
+                        bre.append(l1)
+                        bf.append(f1)
+                    ptrb[l] = nb
+        finally:
+            self._free_head = free_head
+            self._last_tracked = stat_f
+
+    # ------------------------------------------------------------------
+    # Batch ingestion (coalesced; semantics of SProfile.add_many/apply)
+    # ------------------------------------------------------------------
+
+    def add_many(self, xs: Iterable[int]) -> int:
+        """Apply one add per element of ``xs``; return the event count.
+
+        Batch semantics of :meth:`repro.core.profile.SProfile.add_many`:
+        repeated keys coalesce into one climb, final frequencies match
+        the per-event loop, tie order inside equal frequencies is
+        unordered, and bad ids reject the batch before any mutation.
+        Dense batches (naming >= half the universe) rebuild wholesale.
+
+        With NumPy importable the whole batch pipeline is vectorized:
+        coalescing is one ``bincount`` (no per-event dict work at all)
+        and the dense rebuild is one fancy-indexed add + ``argsort``.
+        """
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        if len(xs) == 0:
+            return 0
+        per_key = self._batch_counts(xs)
+        if per_key is not None:
+            n = len(xs)
+            if int(_np.count_nonzero(per_key)) * 2 >= self._m:
+                # Dense: one fancy-indexed add onto the materialized
+                # frequency array, one argsort — no per-key Python
+                # work at all.
+                freqs = self._frequencies_np()
+                freqs += per_key
+                self._install_freqs_np(freqs)
+                self._n_adds += n
+                return n
+            keys = _np.flatnonzero(per_key)
+            return self._bulk_add(
+                dict(zip(keys.tolist(), per_key[keys].tolist()))
+            )
+        counts = Counter(xs)
+        if len(counts) * 2 >= self._m:
+            n = sum(counts.values())
+            self._apply_rebuild(counts)
+            self._n_adds += n
+            return n
+        return self._bulk_add(counts)
+
+    def remove_many(self, xs: Iterable[int]) -> int:
+        """Apply one remove per element of ``xs``; mirror of
+        :meth:`add_many` (all-or-nothing in strict mode)."""
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        if len(xs) == 0:
+            return 0
+        per_key = self._batch_counts(xs)
+        if per_key is not None:
+            n = len(xs)
+            if int(_np.count_nonzero(per_key)) * 2 >= self._m:
+                freqs = self._frequencies_np()
+                low = freqs - per_key
+                if not self._allow_negative and int(low.min()) < 0:
+                    bad = int(low.argmin())
+                    raise FrequencyUnderflowError(
+                        f"removing object {bad} at frequency "
+                        f"{int(freqs[bad])} {int(per_key[bad])} times "
+                        f"would go negative"
+                    )
+                self._install_freqs_np(low)
+                self._n_removes += n
+                return n
+            keys = _np.flatnonzero(per_key)
+            counts = dict(zip(keys.tolist(), per_key[keys].tolist()))
+        else:
+            counts = Counter(xs)
+            if len(counts) * 2 >= self._m:
+                n = sum(counts.values())
+                self._apply_rebuild({x: -c for x, c in counts.items()})
+                self._n_removes += n
+                return n
+        if not self._allow_negative:
+            ptrb = self._ptrb
+            ftot = self._ftot
+            bf = self._bf
+            m = self._m
+            for x, c in counts.items():
+                if not 0 <= x < m:
+                    raise CapacityError(
+                        f"object id {x} out of range [0, {m})"
+                    )
+                f = bf[ptrb[ftot[x]]]
+                if c > f:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {f} "
+                        f"{c} times would go negative"
+                    )
+        return self._bulk_remove(counts)
+
+    def _batch_counts(self, xs):
+        """Per-key occurrence counts of a materialized id batch.
+
+        One ``bincount`` pass coalesces the batch and one min/max pass
+        range-validates it (a bad id rejects the batch before any
+        mutation).  Returns ``None`` when NumPy is missing or the batch
+        is not a clean one-dimensional integer array — the caller then
+        falls back to the dict pipeline, which surfaces type errors the
+        same way the block-object engine does.
+        """
+        if _np is None:
+            return None
+        arr = _np.asarray(xs)
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+            return None
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if lo < 0 or hi >= self._m:
+            bad = lo if lo < 0 else hi
+            raise CapacityError(
+                f"object id {bad} out of range [0, {self._m})"
+            )
+        return _np.bincount(arr, minlength=self._m)
+
+    def apply(self, deltas) -> int:
+        """Apply a batch of ``(object, delta)`` pairs (or a mapping).
+
+        Same contract as :meth:`repro.core.profile.SProfile.apply`:
+        deltas per key are summed first, the net is applied as climbs
+        (or one wholesale rebuild for dense batches), and bad ids or
+        strict-mode net underflows reject the whole batch atomically.
+
+        >>> p = FlatProfile(capacity=4)
+        >>> p.apply([(0, +3), (1, +1), (0, -1)])
+        3
+        >>> p.frequencies()
+        [2, 1, 0, 0]
+        """
+        from repro.core.profile import net_deltas
+
+        net = net_deltas(deltas)
+        m = self._m
+        adds: dict[int, int] = {}
+        removes: dict[int, int] = {}
+        for x, d in net.items():
+            if not 0 <= x < m:
+                raise CapacityError(f"object id {x} out of range [0, {m})")
+            if d > 0:
+                adds[x] = d
+            elif d < 0:
+                removes[x] = -d
+        if (len(adds) + len(removes)) * 2 >= m and (adds or removes):
+            n_add = sum(adds.values())
+            n_rem = sum(removes.values())
+            self._apply_rebuild({x: net[x] for x in net if net[x]})
+            self._n_adds += n_add
+            self._n_removes += n_rem
+            return n_add + n_rem
+        if removes and not self._allow_negative:
+            ptrb = self._ptrb
+            ftot = self._ftot
+            bf = self._bf
+            for x, c in removes.items():
+                f = bf[ptrb[ftot[x]]]
+                if c > f:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {f} "
+                        f"{c} times (net) would go negative"
+                    )
+        n = 0
+        if adds:
+            n += self._bulk_add(adds)
+        if removes:
+            n += self._bulk_remove(removes)
+        return n
+
+    def _apply_rebuild(self, net: Mapping[int, int]) -> None:
+        """Wholesale path for batches naming much of the universe.
+
+        O(m log m) with C-speed constants when NumPy is importable:
+        update the materialized frequency array with one fancy-indexed
+        add, ``argsort`` it, run-length encode the runs and refill the
+        flat arrays with ``tolist()``.  Strict-mode underflow is
+        checked on the net result before any mutation.
+        """
+        m = self._m
+        for x in net:
+            if not 0 <= x < m:
+                raise CapacityError(f"object id {x} out of range [0, {m})")
+        if _np is not None:
+            freqs = self._frequencies_np()
+            if net:
+                keys = _np.fromiter(
+                    net.keys(), dtype=_np.int64, count=len(net)
+                )
+                vals = _np.fromiter(
+                    net.values(), dtype=_np.int64, count=len(net)
+                )
+                if not self._allow_negative:
+                    low = freqs[keys] + vals
+                    if low.size and int(low.min()) < 0:
+                        bad = int(keys[int(low.argmin())])
+                        raise FrequencyUnderflowError(
+                            f"removing object {bad} at frequency "
+                            f"{int(freqs[bad])} {-net[bad]} times (net) "
+                            f"would go negative"
+                        )
+                freqs[keys] += vals
+            self._install_freqs_np(freqs)
+            return
+        freqs = self.frequencies()
+        if not self._allow_negative:
+            for x, d in net.items():
+                if freqs[x] + d < 0:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {freqs[x]} "
+                        f"{-d} times (net) would go negative"
+                    )
+        for x, d in net.items():
+            freqs[x] += d
+        ttof = sorted(range(m), key=freqs.__getitem__)
+        self._install_runs(ttof, _runs_from_sorted(ttof, freqs))
+
+    def _bulk_add(self, counts: Mapping[int, int]) -> int:
+        """Add ``counts[x]`` (> 0) per key as one climb each.
+
+        Flat transliteration of
+        :meth:`repro.core.profile.SProfile._bulk_add`: detach at the
+        right edge, leapfrog whole blocks (one edge swap per block,
+        regardless of block size), land by joining the target block or
+        minting a singleton.  O(#blocks crossed + 1) per key.
+        """
+        m = self._m
+        for x in counts:
+            if not 0 <= x < m:
+                raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        free_head = self._free_head
+        n = 0
+        for x, c in counts.items():
+            n += c
+            i = ftot[x]
+            b = ptrb[i]
+            f = bf[b]
+            target = f + c
+            re = bre[b]
+            if re - bl[b] == 1:
+                # x already alone: its block travels (or retunes) with it.
+                carry = b
+            else:
+                carry = -1
+                r = re - 1
+                if i != r:
+                    y = ttof[r]
+                    ttof[r] = x
+                    ttof[i] = y
+                    ftot[x] = r
+                    ftot[y] = i
+                bre[b] = r
+                i = r
+            while True:
+                nxt = i + 1
+                if nxt < m:
+                    rb = ptrb[nxt]
+                    rf = bf[rb]
+                    if rf <= target:
+                        if rf == target:
+                            # Land: join the target block's left edge.
+                            if carry >= 0:
+                                bl[carry] = free_head
+                                free_head = carry
+                            bl[rb] = i
+                            ptrb[i] = rb
+                            break
+                        # Leapfrog the whole block: swap x with its
+                        # right-edge element and shift the block left.
+                        R = bre[rb] - 1
+                        z = ttof[R]
+                        ttof[i] = z
+                        ttof[R] = x
+                        ftot[z] = i
+                        ftot[x] = R
+                        bl[rb] = i
+                        bre[rb] = R
+                        ptrb[i] = rb
+                        i = R
+                        continue
+                # Land in a gap (or past the topmost block).
+                if carry >= 0:
+                    bl[carry] = i
+                    bre[carry] = i + 1
+                    bf[carry] = target
+                else:
+                    carry = free_head
+                    if carry >= 0:
+                        free_head = bl[carry]
+                        bl[carry] = i
+                        bre[carry] = i + 1
+                        bf[carry] = target
+                    else:
+                        carry = len(bl)
+                        bl.append(i)
+                        bre.append(i + 1)
+                        bf.append(target)
+                ptrb[i] = carry
+                break
+        self._free_head = free_head
+        self._n_adds += n
+        return n
+
+    def _bulk_remove(self, counts: Mapping[int, int]) -> int:
+        """Remove ``counts[x]`` (> 0) per key; mirror of
+        :meth:`_bulk_add` descending at the left edge."""
+        m = self._m
+        for x in counts:
+            if not 0 <= x < m:
+                raise CapacityError(f"object id {x} out of range [0, {m})")
+        ftot = self._ftot
+        ttof = self._ttof
+        ptrb = self._ptrb
+        bl = self._bl
+        bre = self._bre
+        bf = self._bf
+        free_head = self._free_head
+        strict = not self._allow_negative
+        n = 0
+        for x, c in counts.items():
+            i = ftot[x]
+            b = ptrb[i]
+            f = bf[b]
+            if strict and c > f:
+                self._free_head = free_head
+                self._n_removes += n
+                raise FrequencyUnderflowError(
+                    f"removing object {x} at frequency {f} "
+                    f"{c} times would go negative"
+                )
+            n += c
+            target = f - c
+            l = bl[b]
+            if bre[b] - l == 1:
+                carry = b
+            else:
+                carry = -1
+                if i != l:
+                    y = ttof[l]
+                    ttof[l] = x
+                    ttof[i] = y
+                    ftot[x] = l
+                    ftot[y] = i
+                bl[b] = l + 1
+                i = l
+            while True:
+                prv = i - 1
+                if prv >= 0:
+                    lb = ptrb[prv]
+                    lf = bf[lb]
+                    if lf >= target:
+                        if lf == target:
+                            if carry >= 0:
+                                bl[carry] = free_head
+                                free_head = carry
+                            bre[lb] = i + 1
+                            ptrb[i] = lb
+                            break
+                        L = bl[lb]
+                        z = ttof[L]
+                        ttof[i] = z
+                        ttof[L] = x
+                        ftot[z] = i
+                        ftot[x] = L
+                        bl[lb] = L + 1
+                        bre[lb] = i + 1
+                        ptrb[i] = lb
+                        i = L
+                        continue
+                if carry >= 0:
+                    bl[carry] = i
+                    bre[carry] = i + 1
+                    bf[carry] = target
+                else:
+                    carry = free_head
+                    if carry >= 0:
+                        free_head = bl[carry]
+                        bl[carry] = i
+                        bre[carry] = i + 1
+                        bf[carry] = target
+                    else:
+                        carry = len(bl)
+                        bl.append(i)
+                        bre.append(i + 1)
+                        bf.append(target)
+                ptrb[i] = carry
+                break
+        self._free_head = free_head
+        self._n_removes += n
+        return n
+
+    # ------------------------------------------------------------------
+    # Growth (used when hosting a growing universe)
+    # ------------------------------------------------------------------
+
+    def grow(self, extra: int) -> None:
+        """Extend capacity by ``extra`` fresh objects at frequency 0.
+
+        O(m + extra): splice the new zero-frequency ranks where
+        frequency 0 belongs in the ascending order (valid in strict and
+        negative modes alike).
+        """
+        if extra <= 0:
+            raise CapacityError(f"extra must be positive, got {extra}")
+        old_m = self._m
+        new_m = old_m + extra
+
+        splice = old_m
+        for block in self._blocks.iter_blocks():
+            if block.f >= 0:
+                splice = block.l
+                break
+
+        new_ttof = (
+            self._ttof[:splice]
+            + list(range(old_m, new_m))
+            + self._ttof[splice:]
+        )
+        runs: list[tuple[int, int, int]] = []
+        zero_emitted = False
+        for block in self._blocks.iter_blocks():
+            l, r, f = block.as_tuple()
+            if f < 0:
+                runs.append((l, r, f))
+            elif f == 0:
+                runs.append((l, r + extra, 0))
+                zero_emitted = True
+            else:
+                if not zero_emitted:
+                    runs.append((splice, splice + extra - 1, 0))
+                    zero_emitted = True
+                runs.append((l + extra, r + extra, f))
+        if not zero_emitted:
+            runs.append((splice, splice + extra - 1, 0))
+        self._install_runs(new_ttof, runs)
+
+    # ------------------------------------------------------------------
+    # Maintained and derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """``m`` — number of tracked object ids."""
+        return self._m
+
+    @property
+    def total(self) -> int:
+        """Sum of all frequencies: the current length of array ``A``."""
+        return self._base_total + self._n_adds - self._n_removes
+
+    @property
+    def active_count(self) -> int:
+        """Number of objects with non-zero frequency.  O(#blocks)."""
+        zero = self._blocks.block_for_frequency(0)
+        if zero is None:
+            return self._m
+        return self._m - (zero.r - zero.l + 1)
+
+    @property
+    def n_adds(self) -> int:
+        return self._n_adds
+
+    @property
+    def n_removes(self) -> int:
+        return self._n_removes
+
+    @property
+    def n_events(self) -> int:
+        """Total log-stream tuples processed."""
+        return self._n_adds + self._n_removes
+
+    @property
+    def block_count(self) -> int:
+        """Current number of blocks (distinct frequencies).  O(#blocks):
+        the count is derived from the run walk, never maintained on the
+        hot path."""
+        m = self._m
+        ptrb = self._ptrb
+        bre = self._bre
+        n = 0
+        rank = 0
+        while rank < m:
+            n += 1
+            rank = bre[ptrb[rank]]
+        return n
+
+    @property
+    def block_slots(self) -> int:
+        """Block array slots minted so far (live + free)."""
+        return len(self._bl)
+
+    @property
+    def free_slots(self) -> int:
+        """Recycled block ids awaiting reuse.  O(free list length)."""
+        n = 0
+        head = self._free_head
+        bl = self._bl
+        while head >= 0:
+            n += 1
+            head = bl[head]
+        return n
+
+    @property
+    def last_tracked(self) -> int:
+        """Final value the last fused loop maintained (0 before any
+        fused consumption)."""
+        return self._last_tracked
+
+    @property
+    def allow_negative(self) -> bool:
+        return self._allow_negative
+
+    @property
+    def mean_frequency(self) -> float:
+        """Mean of the frequency array.  O(1)."""
+        if self._m == 0:
+            return 0.0
+        return self.total / self._m
+
+    @property
+    def frequency_variance(self) -> float:
+        """Population variance of frequencies.  O(#blocks)."""
+        if self._m == 0:
+            return 0.0
+        sum_sq = 0
+        for block in self._blocks.iter_blocks():
+            sum_sq += block.f * block.f * (block.r - block.l + 1)
+        mean = self.total / self._m
+        variance = sum_sq / self._m - mean * mean
+        return max(variance, 0.0)
+
+    @property
+    def blocks(self) -> _FlatBlockReader:
+        """Read access to the block structure (BlockSet-shaped view)."""
+        return self._blocks
+
+    # O(1) overrides of the mixin's generic lookups — pure array reads,
+    # no Block materialization.
+
+    def frequency(self, obj: int) -> int:
+        """Net occurrence count of ``obj``.  O(1)."""
+        if not 0 <= obj < self._m:
+            raise CapacityError(
+                f"object id {obj} out of range [0, {self._m})"
+            )
+        return self._bf[self._ptrb[self._ftot[obj]]]
+
+    def max_frequency(self) -> int:
+        """The largest frequency (the mode's frequency).  O(1)."""
+        if self._m == 0:
+            raise EmptyProfileError("profile tracks zero objects")
+        return self._bf[self._ptrb[self._m - 1]]
+
+    def min_frequency(self) -> int:
+        """The smallest frequency.  O(1)."""
+        if self._m == 0:
+            raise EmptyProfileError("profile tracks zero objects")
+        return self._bf[self._ptrb[0]]
+
+    def median_frequency(self) -> int:
+        """Lower median of the frequency array.  O(1)."""
+        m = self._m
+        if m == 0:
+            raise EmptyProfileError("profile tracks zero objects")
+        return self._bf[self._ptrb[(m - 1) // 2]]
+
+    def frequency_at_rank(self, rank: int) -> int:
+        """``T[rank]`` — the frequency at ascending sorted position."""
+        if not 0 <= rank < self._m:
+            raise IndexError(f"rank {rank} out of range [0, {self._m})")
+        return self._bf[self._ptrb[rank]]
+
+    # ------------------------------------------------------------------
+    # Structure management
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Reset every frequency to zero (keeps capacity and settings)."""
+        m = self._m
+        self._ftot = list(range(m))
+        self._ttof = list(range(m))
+        if m:
+            self._ptrb = [0] * m
+            self._bl = [0]
+            self._bre = [m]
+            self._bf = [0]
+        else:
+            self._ptrb = []
+            self._bl = []
+            self._bre = []
+            self._bf = []
+        self._prev = list(range(-1, m))
+        self._nxt = list(range(1, m + 2))
+        self._free_head = -1
+        self._last_tracked = 0
+        self._base_total = 0
+        self._n_adds = 0
+        self._n_removes = 0
+
+    def copy(self) -> "FlatProfile":
+        """Independent deep copy of the profiler."""
+        clone = FlatProfile(0, allow_negative=self._allow_negative)
+        clone._m = self._m
+        clone._ftot = list(self._ftot)
+        clone._ttof = list(self._ttof)
+        clone._ptrb = list(self._ptrb)
+        clone._bl = list(self._bl)
+        clone._bre = list(self._bre)
+        clone._bf = list(self._bf)
+        # The rank tables are immutable constants of m — share them.
+        clone._prev = self._prev
+        clone._nxt = self._nxt
+        clone._free_head = self._free_head
+        clone._last_tracked = self._last_tracked
+        clone._base_total = self._base_total
+        clone._n_adds = self._n_adds
+        clone._n_removes = self._n_removes
+        return clone
+
+    def snapshot(self):
+        """Frozen point-in-time copy answering the same queries."""
+        from repro.core.snapshot import ProfileSnapshot
+
+        return ProfileSnapshot.of(self)
+
+    def frequencies(self) -> list[int]:
+        """Materialize the frequency array ``F`` (O(m); for inspection)."""
+        out = [0] * self._m
+        ttof = self._ttof
+        for block in self._blocks.iter_blocks():
+            f = block.f
+            for rank in range(block.l, block.r + 1):
+                out[ttof[rank]] = f
+        return out
+
+    def _frequencies_np(self):
+        """The frequency array as an ``int64`` ndarray (O(m), C speed)."""
+        m = self._m
+        runs = self._blocks.as_tuples()
+        if not runs:
+            return _np.zeros(0, dtype=_np.int64)
+        sizes = _np.asarray([r - l + 1 for l, r, _ in runs], dtype=_np.int64)
+        per_rank = _np.repeat(
+            _np.asarray([f for _, _, f in runs], dtype=_np.int64), sizes
+        )
+        freqs = _np.empty(m, dtype=_np.int64)
+        freqs[_np.asarray(self._ttof, dtype=_np.int64)] = per_rank
+        return freqs
+
+    def _install_freqs_np(self, freqs) -> None:
+        """Rebuild the whole structure from an ndarray of frequencies.
+
+        One stable ``argsort`` (deterministic tie order) plus run-length
+        encoding; every array refills through ``tolist()`` at C speed.
+        """
+        m = int(freqs.shape[0])
+        self._m = m
+        if m == 0:
+            self._ftot = []
+            self._ttof = []
+            self._ptrb = []
+            self._bl = []
+            self._bre = []
+            self._bf = []
+            self._prev = [-1]
+            self._nxt = [1]
+            self._free_head = -1
+            return
+        ttof = _np.argsort(freqs, kind="stable")
+        sf = freqs[ttof]
+        starts = _np.flatnonzero(sf[1:] != sf[:-1]) + 1
+        starts = _np.concatenate((_np.zeros(1, dtype=starts.dtype), starts))
+        # Exclusive right bounds: each run ends where the next begins.
+        ends = _np.concatenate((starts[1:], [m]))
+        ftot = _np.empty(m, dtype=_np.int64)
+        ftot[ttof] = _np.arange(m, dtype=_np.int64)
+        self._ttof = ttof.tolist()
+        self._ftot = ftot.tolist()
+        self._ptrb = _np.repeat(
+            _np.arange(len(starts)), ends - starts
+        ).tolist()
+        self._bl = starts.tolist()
+        self._bre = ends.tolist()
+        self._bf = sf[starts].tolist()
+        self._sync_rank_tables(m)
+        self._free_head = -1
+
+    def _sync_rank_tables(self, m: int) -> None:
+        """(Re)build the prev/nxt rank tables — only when ``m`` moved.
+
+        The tables are pure functions of the capacity; skipping the
+        rebuild keeps repeated wholesale rebuilds (the dense batch
+        path) from paying O(m) for nothing.
+        """
+        if len(self._prev) != m + 1:
+            self._prev = list(range(-1, m))
+            self._nxt = list(range(1, m + 2))
+
+    def _install_runs(
+        self, ttof: list[int], runs: list[tuple[int, int, int]]
+    ) -> None:
+        """Replace the permutation and block structure wholesale.
+
+        ``runs`` are inclusive ``(l, r, f)`` triples (the paper's and
+        the checkpoint schema's notation) and must partition
+        ``[0, len(ttof))`` with strictly increasing frequencies
+        (verified cheaply by coverage count; checkpoint restore
+        re-audits in full).
+        """
+        m = len(ttof)
+        ftot = [0] * m
+        for rank, obj in enumerate(ttof):
+            ftot[obj] = rank
+        ptrb = [0] * m
+        bl: list[int] = []
+        bre: list[int] = []
+        bf: list[int] = []
+        covered = 0
+        for l, r, f in runs:
+            if not (0 <= l <= r < m):
+                raise InvariantViolationError(
+                    f"run ({l}, {r}, {f}) out of bounds for capacity {m}"
+                )
+            bid = len(bl)
+            bl.append(l)
+            bre.append(r + 1)
+            bf.append(f)
+            ptrb[l : r + 1] = [bid] * (r + 1 - l)
+            covered += r + 1 - l
+        if covered != m:
+            raise InvariantViolationError(
+                f"runs cover {covered} ranks, expected {m}"
+            )
+        self._m = m
+        self._ttof = ttof
+        self._ftot = ftot
+        self._ptrb = ptrb
+        self._bl = bl
+        self._bre = bre
+        self._bf = bf
+        self._sync_rank_tables(m)
+        self._free_head = -1
+
+    def audit(self) -> None:
+        """Verify the flat structure's invariants (see
+        :meth:`_FlatBlockReader.audit`)."""
+        self._blocks.audit()
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatProfile(capacity={self._m}, total={self.total}, "
+            f"blocks={self.block_count}, events={self.n_events})"
+        )
+
+
+def _runs_from_sorted(
+    ttof: Sequence[int], freqs: Sequence[int]
+) -> list[tuple[int, int, int]]:
+    """Compute ``(l, r, f)`` runs of equal frequency along sorted ranks."""
+    runs: list[tuple[int, int, int]] = []
+    m = len(ttof)
+    rank = 0
+    while rank < m:
+        f = freqs[ttof[rank]]
+        start = rank
+        while rank + 1 < m and freqs[ttof[rank + 1]] == f:
+            rank += 1
+        runs.append((start, rank, f))
+        rank += 1
+    return runs

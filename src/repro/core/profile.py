@@ -91,6 +91,12 @@ class SProfile(ProfileQueryMixin):
         Reuse emptied block objects through a free list (default).  Off,
         every block birth allocates a fresh object — the ablation knob
         for ``benchmarks/bench_ablation_pool.py``.
+    pool:
+        Block allocator.  By default a fresh
+        :class:`~repro.core.block.BlockPool` bounded at
+        ``max_free=capacity`` — at most ``m`` blocks are ever live, so
+        retaining more idle ones would be a leak on long adversarial
+        runs.  Pass an explicit pool to share or unbound it.
 
     Examples
     --------
@@ -151,6 +157,12 @@ class SProfile(ProfileQueryMixin):
         self._m = capacity
         self._ftot = list(range(capacity))
         self._ttof = list(range(capacity))
+        # The pool is bounded by the universe size by default: at most
+        # m blocks can ever be live, so idle blocks beyond that are
+        # pure retention — long adversarial runs must not accumulate
+        # them.  Pass an explicit pool to share or unbound it.
+        if pool is None:
+            pool = BlockPool(max_free=capacity)
         self._blocks = BlockSet(
             capacity, 0, track_freq_index=track_freq_index, pool=pool
         )
@@ -922,7 +934,12 @@ class SProfile(ProfileQueryMixin):
         track = self._blocks.tracks_freq_index
         self._ftot = list(range(self._m))
         self._ttof = list(range(self._m))
-        self._blocks = BlockSet(self._m, 0, track_freq_index=track)
+        self._blocks = BlockSet(
+            self._m,
+            0,
+            track_freq_index=track,
+            pool=BlockPool(max_free=self._m),
+        )
         self._sync_aliases()
         self._base_total = 0
         self._n_adds = 0
@@ -982,7 +999,11 @@ class SProfile(ProfileQueryMixin):
         self._ttof = ttof
         self._ftot = ftot
         self._blocks = BlockSet.from_runs(
-            m, runs, track_freq_index=track_freq_index, audit=audit
+            m,
+            runs,
+            track_freq_index=track_freq_index,
+            pool=BlockPool(max_free=m),
+            audit=audit,
         )
         self._sync_aliases()
         self._allow_negative = allow_negative

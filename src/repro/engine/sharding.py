@@ -37,7 +37,13 @@ from heapq import merge as _heap_merge
 from itertools import islice
 from typing import Iterable, Iterator
 
+from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
+
+try:  # optional vectorized batch splitting
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the test env
+    _np = None
 from repro.core.queries import ModeResult, TopEntry, quantile_rank
 from repro.core.snapshot import ProfileSnapshot
 from repro.core.validation import audit_profile
@@ -64,6 +70,12 @@ class ShardedProfiler:
         one.  ``n_shards=1`` degenerates to a single profile.
     allow_negative / track_freq_index:
         Forwarded to every shard.
+    core:
+        Per-shard engine: ``"sprofile"`` (block objects, default, the
+        only core that honours ``track_freq_index``) or ``"flat"``
+        (struct-of-arrays :class:`~repro.core.flat.FlatProfile`; the
+        facade's sharded backend uses flat cores).  Both answer
+        identically; only the constants differ.
 
     Examples
     --------
@@ -82,7 +94,7 @@ class ShardedProfiler:
     name = "sharded-sprofile"
     SUPPORTED_QUERIES = SProfile.SUPPORTED_QUERIES
 
-    __slots__ = ("_m", "_n_shards", "_shards")
+    __slots__ = ("_m", "_n_shards", "_shards", "_core")
 
     def __init__(
         self,
@@ -91,22 +103,42 @@ class ShardedProfiler:
         n_shards: int = 4,
         allow_negative: bool = True,
         track_freq_index: bool = False,
+        core: str = "sprofile",
     ) -> None:
         if capacity < 0:
             raise CapacityError(f"capacity must be >= 0, got {capacity}")
         if n_shards <= 0:
             raise CapacityError(f"n_shards must be positive, got {n_shards}")
+        if core not in ("sprofile", "flat"):
+            raise CapacityError(
+                f"core must be 'sprofile' or 'flat', got {core!r}"
+            )
+        if core == "flat" and track_freq_index:
+            raise CapacityError(
+                "flat shard cores keep no frequency index; use "
+                "core='sprofile' with track_freq_index=True"
+            )
         self._m = capacity
         self._n_shards = n_shards
+        self._core = core
         # Shard s holds ids {x : x % n_shards == s}; count per shard.
-        self._shards = tuple(
-            SProfile(
-                (capacity - s + n_shards - 1) // n_shards,
-                allow_negative=allow_negative,
-                track_freq_index=track_freq_index,
+        if core == "flat":
+            self._shards: tuple = tuple(
+                FlatProfile(
+                    (capacity - s + n_shards - 1) // n_shards,
+                    allow_negative=allow_negative,
+                )
+                for s in range(n_shards)
             )
-            for s in range(n_shards)
-        )
+        else:
+            self._shards = tuple(
+                SProfile(
+                    (capacity - s + n_shards - 1) // n_shards,
+                    allow_negative=allow_negative,
+                    track_freq_index=track_freq_index,
+                )
+                for s in range(n_shards)
+            )
 
     # ------------------------------------------------------------------
     # Partition
@@ -122,7 +154,12 @@ class ShardedProfiler:
         return self._n_shards
 
     @property
-    def shards(self) -> tuple[SProfile, ...]:
+    def core(self) -> str:
+        """Per-shard engine kind: ``"sprofile"`` or ``"flat"``."""
+        return self._core
+
+    @property
+    def shards(self) -> tuple:
         """The backing per-shard profiles (read access)."""
         return self._shards
 
@@ -171,22 +208,76 @@ class ShardedProfiler:
         """Batch adds: coalesce, split per shard, climb per shard.
 
         Batch semantics as in :meth:`repro.core.profile.SProfile.add_many`.
+        Integer-array batches split vectorized (one modulus pass plus
+        one boolean selection per shard, all C speed) and each shard
+        ingests its ndarray slice through its own ``add_many`` — the
+        unit of work a worker pool would distribute.
         """
-        if hasattr(xs, "tolist"):
-            xs = xs.tolist()
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        split = self._split_np(xs)
+        if split is not None:
+            shards = self._shards
+            return sum(
+                shards[s].add_many(local) for s, local in split
+            )
         counts = Counter(xs)
         if not counts:
             return 0
         return self._apply_split(counts.items(), +1)
 
     def remove_many(self, xs: Iterable[int]) -> int:
-        """Batch removes; mirror of :meth:`add_many`."""
-        if hasattr(xs, "tolist"):
-            xs = xs.tolist()
+        """Batch removes; mirror of :meth:`add_many`.
+
+        The vectorized split only runs in negative mode: strict-mode
+        rejection must be all-or-nothing *across* shards, which the
+        dict path pre-checks before any shard mutates.
+        """
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        if self.allow_negative:
+            split = self._split_np(xs)
+            if split is not None:
+                shards = self._shards
+                return sum(
+                    shards[s].remove_many(local) for s, local in split
+                )
         counts = Counter(xs)
         if not counts:
             return 0
         return self._apply_split(counts.items(), -1)
+
+    def _split_np(self, xs):
+        """Partition a materialized integer batch into per-shard dense
+        ndarrays, or ``None`` when the vectorized path does not apply
+        (no NumPy, or not a clean one-dimensional integer batch).
+
+        Validates the global id range first, so a bad id rejects the
+        whole batch before any shard mutates.
+        """
+        if _np is None:
+            return None
+        arr = _np.asarray(xs)
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+            return None
+        if arr.size == 0:
+            return []
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if lo < 0 or hi >= self._m:
+            bad = lo if lo < 0 else hi
+            raise CapacityError(
+                f"object id {bad} out of range [0, {self._m})"
+            )
+        n_shards = self._n_shards
+        residue = arr % n_shards
+        local = arr // n_shards
+        out = []
+        for s in range(n_shards):
+            sel = local[residue == s]
+            if sel.size:
+                out.append((s, sel))
+        return out
 
     def apply(self, deltas) -> int:
         """Apply ``(object, delta)`` pairs (or a mapping) per shard.

@@ -1,0 +1,76 @@
+"""Integration: the flat engine answers like the block-object engine
+on every canonical workload — the paper's distribution streams and the
+adversarial block-churn streams — through every ingestion path."""
+
+import pytest
+
+from repro.bench.workloads import WORKLOAD_NAMES, build_stream
+from repro.core.flat import FlatProfile
+from repro.core.profile import SProfile
+from repro.core.validation import audit_profile
+
+
+def assert_full_agreement(sp, fp, context):
+    assert fp.frequencies() == sp.frequencies(), context
+    assert fp.total == sp.total, context
+    assert fp.histogram() == sp.histogram(), context
+    assert fp.block_count == sp.block_count, context
+    assert fp.blocks.as_tuples() == sp.blocks.as_tuples(), context
+    assert fp.max_frequency() == sp.max_frequency(), context
+    assert fp.min_frequency() == sp.min_frequency(), context
+    assert fp.median_frequency() == sp.median_frequency(), context
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_flat_agrees_on_all_workloads_per_event(workload):
+    universe = 150
+    stream = build_stream(workload, 4000, universe, seed=11)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+    sp, fp = SProfile(universe), FlatProfile(universe)
+    checkpoints = (1000, 2500, 4000)
+    start = 0
+    for stop in checkpoints:
+        sp.consume_arrays(ids[start:stop], adds[start:stop])
+        fp.consume_arrays(ids[start:stop], adds[start:stop])
+        start = stop
+        assert_full_agreement(sp, fp, (workload, stop))
+        audit_profile(fp)
+
+
+@pytest.mark.parametrize("workload", ("stream2", "root-thrash", "staircase"))
+def test_flat_fused_tracking_agrees_mid_stream(workload):
+    """track_statistic's maintained value equals a recomputation at
+    several cut points of adversarial streams."""
+    universe = 80
+    stream = build_stream(workload, 3000, universe, seed=3)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+    for cut in (1, 7, 500, 1777, 3000):
+        fp = FlatProfile(universe)
+        got = fp.track_statistic(ids[:cut], adds[:cut], universe - 1)
+        ref = SProfile(universe)
+        ref.consume_arrays(ids[:cut], adds[:cut])
+        assert got == ref.max_frequency(), (workload, cut)
+
+
+@pytest.mark.parametrize("workload", ("stream1", "single-hot"))
+def test_flat_batched_ingestion_agrees(workload):
+    """Batch ingestion (climbs and wholesale rebuilds alike) lands on
+    the same frequencies as the per-event reference."""
+    universe = 60
+    stream = build_stream(workload, 3000, universe, seed=5)
+    ids, adds = stream.ids.tolist(), stream.adds.tolist()
+    ref = SProfile(universe)
+    ref.consume_arrays(ids, adds)
+    fp = FlatProfile(universe)
+    # Deltas per chunk, batched through apply (coalesced).
+    chunk = 250
+    for start in range(0, len(ids), chunk):
+        deltas = [
+            (x, 1 if a else -1)
+            for x, a in zip(
+                ids[start : start + chunk], adds[start : start + chunk]
+            )
+        ]
+        fp.apply(deltas)
+    assert fp.frequencies() == ref.frequencies()
+    audit_profile(fp)

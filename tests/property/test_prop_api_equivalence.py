@@ -19,6 +19,7 @@ UNIVERSE = 12
 
 #: Exact backends answering the full query surface through the facade.
 FULL_SURFACE_BACKENDS = (
+    "flat",
     "exact",
     "sharded",
     "sprofile-indexed",
@@ -143,6 +144,28 @@ def test_fused_evaluate_agrees_across_backends(batched):
             reference = values
         else:
             assert values == reference, name
+
+
+@given(batched_events)
+@settings(max_examples=40, deadline=None)
+def test_flat_hashable_keys_match_dynamic(batched):
+    """Interned hashable keys over the flat engine answer like the
+    growable dynamic backend."""
+    stream, n_batches = batched
+    named = [(f"k{obj}", delta) for obj, delta in stream]
+    flat = Profiler.open(UNIVERSE, backend="flat", keys="hashable")
+    dynamic = Profiler.open(keys="hashable")
+    _feed({"flat": flat, "dynamic": dynamic}, named, n_batches)
+    freqs = {}
+    for obj in range(UNIVERSE):
+        key = f"k{obj}"
+        freqs[key] = dynamic.frequency(key)
+        assert flat.frequency(key) == freqs[key]
+    assert flat.total == dynamic.total
+    # The interned-flat universe is fully materialized (unclaimed
+    # slots sit at frequency 0), the dynamic universe is
+    # registered-only — so extremes compare through that lens.
+    assert flat.max_frequency() == max(list(freqs.values()) + [0])
 
 
 @given(

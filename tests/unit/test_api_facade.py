@@ -12,6 +12,7 @@ from repro.api import (
 )
 from repro.baselines.registry import available_profilers
 from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
 from repro.engine.sharding import ShardedProfiler
 from repro.errors import (
@@ -25,16 +26,30 @@ from repro.streams.events import Action, Event
 
 
 class TestOpen:
-    def test_auto_is_exact_without_shards(self):
+    def test_auto_is_flat_without_shards(self):
         profiler = Profiler.open(10)
+        assert profiler.backend_name == "flat"
+        assert isinstance(profiler.backend, FlatProfile)
+
+    def test_auto_with_freq_index_is_exact(self):
+        profiler = Profiler.open(10, track_freq_index=True)
         assert profiler.backend_name == "exact"
         assert isinstance(profiler.backend, SProfile)
+
+    def test_explicit_exact_stays_block_engine(self):
+        profiler = Profiler.open(10, backend="exact")
+        assert isinstance(profiler.backend, SProfile)
+
+    def test_flat_rejects_freq_index(self):
+        with pytest.raises(CapacityError):
+            Profiler.open(10, backend="flat", track_freq_index=True)
 
     def test_auto_with_shards_is_sharded(self):
         profiler = Profiler.open(10, shards=3)
         assert profiler.backend_name == "sharded"
         assert isinstance(profiler.backend, ShardedProfiler)
         assert profiler.n_shards == 3
+        assert profiler.backend.core == "flat"
 
     def test_exact_hashable_is_dynamic(self):
         profiler = Profiler.open(keys="hashable")
@@ -317,6 +332,95 @@ class TestApproxBackend:
         assert sketch.total == 1
 
 
+class TestFlatBackend:
+    def test_flat_checkpoint_round_trip(self):
+        profiler = Profiler.open(20, backend="flat")
+        profiler.ingest({i: i % 4 for i in range(20)})
+        restored = Profiler.from_state(
+            json.loads(json.dumps(profiler.to_state()))
+        )
+        assert restored.backend_name == "flat"
+        assert isinstance(restored.backend, FlatProfile)
+        assert restored.frequencies() == profiler.frequencies()
+        assert restored.n_events == profiler.n_events
+
+    def test_flat_hashable_checkpoint_round_trip(self):
+        profiler = Profiler.open(8, backend="flat", keys="hashable")
+        profiler.ingest({"a": 3, "b": 1})
+        restored = Profiler.from_state(
+            json.loads(json.dumps(profiler.to_state()))
+        )
+        assert restored.frequency("a") == 3
+        assert restored.mode().example == "a"
+        assert restored.keys == "hashable"
+
+    def test_flat_hashable_uncataloged_mass_rejected(self):
+        profiler = Profiler.open(4, backend="flat", keys="hashable")
+        profiler.ingest({"a": 2, "b": 1})
+        state = profiler.to_state()
+        state["catalog"].pop()  # "b" still holds counted mass
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_sharded_flat_cores_checkpoint_round_trip(self):
+        profiler = Profiler.open(12, shards=3)
+        assert profiler.backend.core == "flat"
+        profiler.ingest({i: i % 3 for i in range(12)})
+        restored = Profiler.from_state(profiler.to_state())
+        assert restored.backend.core == "flat"
+        assert restored.frequencies() == profiler.frequencies()
+
+    def test_pre_core_sharded_checkpoints_load_as_sprofile(self):
+        profiler = Profiler.open(
+            10, backend="sharded", shards=2, track_freq_index=True
+        )
+        assert profiler.backend.core == "sprofile"
+        profiler.ingest({1: 2})
+        state = profiler.to_state()
+        del state["core"]  # a checkpoint written before flat cores
+        restored = Profiler.from_state(state)
+        assert restored.backend.core == "sprofile"
+        assert restored.frequency(1) == 2
+
+    def test_describe_flat(self):
+        profiler = Profiler.open(10)
+        profiler.ingest({1: 2, 2: 1})
+        info = profiler.describe()
+        assert info["backend"] == "flat"
+        engine = info["engine"]
+        assert engine["kind"] == "flat"
+        assert engine["block_count"] == 3
+        assert engine["block_slots"] >= engine["block_count"]
+        assert engine["free_slots"] == (
+            engine["block_slots"] - engine["block_count"]
+        )
+
+    def test_describe_sprofile_pool(self):
+        profiler = Profiler.open(10, backend="exact")
+        profiler.ingest({1: 2})
+        engine = profiler.describe()["engine"]
+        assert engine["kind"] == "sprofile"
+        assert engine["pool"]["max_free"] == 10
+        assert engine["pool"]["free"] >= 0
+
+    def test_describe_sharded_and_dynamic(self):
+        sharded = Profiler.open(8, shards=2)
+        info = sharded.describe()
+        assert info["engine"]["kind"] == "sharded"
+        assert info["engine"]["core"] == "flat"
+        assert len(info["engine"]["shards"]) == 2
+        dynamic = Profiler.open(keys="hashable")
+        dynamic.ingest([("a", +1)])
+        info = dynamic.describe()
+        assert info["engine"]["kind"] == "dynamic"
+        assert info["engine"]["inner"]["kind"] == "sprofile"
+
+    def test_describe_structureless_backend_has_no_engine(self):
+        info = Profiler.open(backend="approx").describe()
+        assert "engine" not in info
+        assert info["backend"] == "approx"
+
+
 class TestCheckpoints:
     def _assert_round_trip(self, profiler):
         restored = Profiler.from_state(
@@ -432,7 +536,7 @@ class TestCheckpoints:
 class TestFromFrequencies:
     def test_degree_sequence_entry_point(self):
         profiler = Profiler.from_frequencies([3, 1, 4, 1, 5])
-        assert profiler.backend_name == "exact"
+        assert profiler.backend_name == "flat"
         assert profiler.frequency(4) == 5
         assert profiler.object_at_rank(0) in (1, 3)
         assert profiler.total == 14

@@ -6,6 +6,7 @@ with **one** descending walk per underlying BlockSet — asserted here by
 instrumenting the walk entry points.
 """
 
+import contextlib
 import random
 from unittest import mock
 
@@ -13,28 +14,37 @@ import pytest
 
 from repro.api import EvalResult, Profiler, Query, RESULT_VERSION
 from repro.core.blockset import BlockSet
+from repro.core.flat import _FlatBlockReader
 from repro.errors import CapacityError, EmptyProfileError
 
 
 def _walk_counter():
-    """Patch both BlockSet walk entry points, returning call counters."""
+    """Patch the walk entry points of both block structures (the
+    block-object BlockSet and the flat engine's reader), returning
+    shared call counters."""
     counts = {"desc": 0, "asc": 0}
-    real_desc = BlockSet.iter_blocks_desc
-    real_asc = BlockSet.iter_blocks
+    stack = contextlib.ExitStack()
+    for holder in (BlockSet, _FlatBlockReader):
+        real_desc = holder.iter_blocks_desc
+        real_asc = holder.iter_blocks
 
-    def counting_desc(self):
-        counts["desc"] += 1
-        return real_desc(self)
+        def counting_desc(self, _real=real_desc):
+            counts["desc"] += 1
+            return _real(self)
 
-    def counting_asc(self):
-        counts["asc"] += 1
-        return real_asc(self)
+        def counting_asc(self, _real=real_asc):
+            counts["asc"] += 1
+            return _real(self)
 
-    patches = (
-        mock.patch.object(BlockSet, "iter_blocks_desc", counting_desc),
-        mock.patch.object(BlockSet, "iter_blocks", counting_asc),
-    )
-    return counts, patches
+        stack.enter_context(
+            mock.patch.object(holder, "iter_blocks_desc", counting_desc)
+        )
+        stack.enter_context(
+            mock.patch.object(holder, "iter_blocks", counting_asc)
+        )
+    # Returned as a two-element tuple so existing call sites
+    # (``with patches[0], patches[1]:``) keep working unchanged.
+    return counts, (stack, contextlib.nullcontext())
 
 
 DASHBOARD = (

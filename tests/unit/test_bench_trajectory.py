@@ -1,0 +1,204 @@
+"""Unit tests for the perf-trajectory runner's non-timing machinery.
+
+The timers themselves run for seconds (exercised by the CI bench-smoke
+job and ``benchmarks/``); here we pin the artifact schema, the ratio
+extraction, and the regression-gate arithmetic on fabricated payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    SCALES,
+    TRAJECTORY_VERSION,
+    check_regressions,
+    main,
+)
+
+
+def payload(single=2.0, batch=4.5, sharded=2.5, plan=1.7):
+    def stream_entry(speedup):
+        return {
+            "sprofile_eps": 2e6,
+            "flat_eps": 2e6 * speedup,
+            "speedup": speedup,
+        }
+
+    return {
+        "version": TRAJECTORY_VERSION,
+        "scale": "full",
+        "rounds": 1,
+        "python": "3.11",
+        "paths": {
+            "single_event_mode": {
+                "workload": "fig-3 (fabricated)",
+                "streams": {
+                    "stream1": stream_entry(single),
+                    "stream2": stream_entry(single),
+                },
+                "geomean_speedup": single,
+            },
+            "batch_ingest": {
+                "workload": "batch (fabricated)",
+                "sprofile_eps": 7e6,
+                "flat_eps": 7e6 * batch,
+                "speedup": batch,
+            },
+            "sharded_batch": {
+                "workload": "sharded (fabricated)",
+                "sprofile_eps": 3e6,
+                "flat_eps": 3e6 * sharded,
+                "speedup": sharded,
+            },
+            "fused_plan": {
+                "workload": "plan (fabricated)",
+                "separate_plans_per_sec": 4000.0,
+                "fused_plans_per_sec": 4000.0 * plan,
+                "speedup": plan,
+            },
+        },
+    }
+
+
+class TestCheckRegressions:
+    def test_identical_payloads_pass(self):
+        assert check_regressions(payload(), payload()) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        current = payload(single=1.6)  # 20% below the 2.0 baseline
+        assert check_regressions(current, payload(), 0.30) == []
+
+    def test_big_drop_fails_with_named_key(self):
+        current = payload(batch=2.0)  # >50% below the 4.5 baseline
+        problems = check_regressions(current, payload(), 0.30)
+        assert len(problems) == 1
+        assert "batch_ingest.speedup" in problems[0]
+
+    def test_per_stream_ratios_are_gated(self):
+        current = payload()
+        current["paths"]["single_event_mode"]["streams"]["stream2"][
+            "speedup"
+        ] = 0.9
+        problems = check_regressions(current, payload(), 0.30)
+        assert any("stream2" in p for p in problems)
+
+    def test_keys_missing_from_baseline_are_ignored(self):
+        base = payload()
+        del base["paths"]["fused_plan"]
+        current = payload(plan=0.1)
+        assert check_regressions(current, base, 0.30) == []
+
+    def test_improvements_never_fail(self):
+        assert check_regressions(payload(single=9.9), payload()) == []
+
+    def test_cross_scale_runs_are_never_compared(self):
+        """Ratios shift with workload size; a quick run gated against
+        a full-scale-only baseline must compare nothing rather than
+        eat scale drift out of the tolerance."""
+        current = payload(single=0.1, batch=0.1, sharded=0.1, plan=0.1)
+        current["scale"] = "quick"
+        assert check_regressions(current, payload(), 0.30) == []
+
+    def test_both_scale_baseline_gates_matching_scale(self):
+        quick_base = payload()
+        quick_base["scale"] = "quick"
+        both = payload()
+        both["scale"] = "both"
+        both["quick"] = quick_base
+        good = payload()
+        good["scale"] = "quick"
+        assert check_regressions(good, both, 0.30) == []
+        bad = payload(batch=1.0)
+        bad["scale"] = "quick"
+        problems = check_regressions(bad, both, 0.30)
+        assert len(problems) == 1
+        assert "quick.batch_ingest.speedup" in problems[0]
+
+
+class TestScales:
+    def test_both_scales_define_the_same_knobs(self):
+        assert set(SCALES) == {"full", "quick"}
+        assert set(SCALES["full"]) == set(SCALES["quick"])
+
+    def test_quick_is_smaller(self):
+        assert SCALES["quick"]["single_n"] < SCALES["full"]["single_n"]
+        assert (
+            SCALES["quick"]["batch_count"] < SCALES["full"]["batch_count"]
+        )
+
+
+class TestCliCheckPath:
+    def test_missing_baseline_warns_but_passes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.bench.trajectory.run_trajectory",
+            lambda scale, rounds, seed: payload(),
+        )
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "--quick",
+                "--out",
+                str(out),
+                "--check",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 0
+        assert "first run" in capsys.readouterr().err
+        assert json.loads(out.read_text())["version"] == TRAJECTORY_VERSION
+
+    def test_regression_fails_unless_warn_only(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.bench.trajectory.run_trajectory",
+            lambda scale, rounds, seed: payload(batch=1.0),
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(payload()))
+        out = tmp_path / "out.json"
+        args = ["--out", str(out), "--check", str(baseline)]
+        assert main(args) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert main(args + ["--warn-only"]) == 0
+
+    def test_clean_run_reports_gate_passed(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.bench.trajectory.run_trajectory",
+            lambda scale, rounds, seed: payload(),
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(payload()))
+        code = main(
+            ["--out", str(tmp_path / "o.json"), "--check", str(baseline)]
+        )
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+
+class TestCommittedArtifact:
+    def test_repo_baseline_is_valid_and_meets_targets(self):
+        """The committed BENCH_core.json parses, matches the schema,
+        and records the tentpole's acceptance ratios."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        artifact = root / "BENCH_core.json"
+        assert artifact.exists(), "BENCH_core.json must be committed"
+        data = json.loads(artifact.read_text())
+        assert data["version"] == TRAJECTORY_VERSION
+        # Committed as a combined payload so CI's quick runs gate
+        # against same-scale ratios.
+        assert data["scale"] == "both"
+        assert data["quick"]["scale"] == "quick"
+        paths = data["paths"]
+        single = paths["single_event_mode"]
+        assert single["geomean_speedup"] >= 2.0
+        assert paths["batch_ingest"]["speedup"] >= 4.0
+        for stream in ("stream1", "stream2", "stream3"):
+            assert single["streams"][stream]["flat_eps"] > 0

@@ -381,3 +381,67 @@ class TestServiceDeprecation:
             profiler = Profiler.open(8, backend="sharded", shards=2)
             profiler.ingest([(1, True), (2, False)])
             profiler.mode()
+
+
+class TestFlatShardCores:
+    def test_flat_cores_match_sprofile_cores(self):
+        rng = random.Random(9)
+        flat_cores = ShardedProfiler(30, n_shards=4, core="flat")
+        block_cores = ShardedProfiler(30, n_shards=4, core="sprofile")
+        for _ in range(800):
+            x = rng.randrange(30)
+            is_add = rng.random() < 0.7
+            flat_cores.update(x, is_add)
+            block_cores.update(x, is_add)
+        assert flat_cores.frequencies() == block_cores.frequencies()
+        assert flat_cores.histogram() == block_cores.histogram()
+        assert flat_cores.mode() == block_cores.mode()
+        assert flat_cores.median_frequency() == block_cores.median_frequency()
+        assert flat_cores.top_k(7) == block_cores.top_k(7)
+        flat_cores.audit()
+
+    def test_flat_cores_batched_paths(self):
+        rng = random.Random(4)
+        flat_cores = ShardedProfiler(24, n_shards=3, core="flat")
+        single = SProfile(24)
+        for _ in range(6):
+            batch = [rng.randrange(24) for _ in range(rng.randrange(0, 120))]
+            assert flat_cores.add_many(batch) == single.add_many(batch)
+            deltas = {
+                rng.randrange(24): rng.randrange(-3, 4) for _ in range(5)
+            }
+            assert flat_cores.apply(dict(deltas)) == single.apply(
+                dict(deltas)
+            )
+        assert flat_cores.frequencies() == single.frequencies()
+        flat_cores.audit()
+
+    def test_numpy_batch_split(self):
+        np = pytest.importorskip("numpy")
+        arr = np.array([0, 1, 2, 3, 4, 5, 5, 5], dtype=np.int64)
+        for core in ("flat", "sprofile"):
+            sharded = ShardedProfiler(6, n_shards=2, core=core)
+            assert sharded.add_many(arr) == 8
+            assert sharded.frequencies() == [1, 1, 1, 1, 1, 3]
+            assert sharded.remove_many(arr[:4]) == 4
+            assert sharded.frequencies() == [0, 0, 0, 0, 1, 3]
+        bad = np.array([0, 99])
+        with pytest.raises(CapacityError):
+            ShardedProfiler(6, n_shards=2).add_many(bad)
+
+    def test_strict_remove_many_stays_all_or_nothing(self):
+        sharded = ShardedProfiler(
+            8, n_shards=2, core="flat", allow_negative=False
+        )
+        sharded.add_many([0, 1])
+        with pytest.raises(FrequencyUnderflowError):
+            sharded.remove_many([0, 1, 1])
+        assert sharded.frequencies()[:2] == [1, 1]
+
+    def test_core_validation(self):
+        with pytest.raises(CapacityError):
+            ShardedProfiler(8, core="bogus")
+        with pytest.raises(CapacityError):
+            ShardedProfiler(8, core="flat", track_freq_index=True)
+        assert ShardedProfiler(8, core="flat").core == "flat"
+        assert ShardedProfiler(8).core == "sprofile"
