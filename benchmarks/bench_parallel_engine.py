@@ -1,0 +1,90 @@
+"""Parallel shared-memory engine vs single-core flat batch ingestion.
+
+The pytest-benchmark face of the ``parallel_batch`` path of
+``python -m repro.bench trajectory``: the same 10k-event batches driven
+through single-core :class:`~repro.core.flat.FlatProfile`, the
+array-engine variant (isolating the in-place-rebuild effect from the
+IPC), and :class:`~repro.engine.parallel.ParallelShardedProfiler` at a
+small worker sweep.
+
+Interpretation rule (same as the committed trajectory): a worker count
+above this machine's core count measures IPC overhead on a contended
+core, not parallelism — compare only the entries your machine can
+host.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_stream
+from repro.core.flat import FlatProfile
+from repro.engine.parallel import ParallelShardedProfiler
+
+pytestmark = pytest.mark.parallel
+
+BATCH = 10_000
+BATCH_COUNT = 4
+M = 8_000
+
+
+@pytest.fixture(scope="module")
+def batches():
+    stream = build_stream("stream1", BATCH * BATCH_COUNT, M, seed=0)
+    return [
+        stream.ids[i * BATCH : (i + 1) * BATCH] for i in range(BATCH_COUNT)
+    ]
+
+
+def _ingest_flat(profile, batch_list):
+    add_many = profile.add_many
+    for batch in batch_list:
+        add_many(batch)
+
+
+@pytest.mark.parametrize("array_engine", (False, True))
+def test_batch_ingest_flat(benchmark, batches, array_engine):
+    benchmark.group = "parallel batch-10k add_many"
+    storage = "array" if array_engine else "list"
+    benchmark.name = f"flat[{storage}]"
+
+    def setup():
+        return (FlatProfile(M, array_engine=array_engine), batches), {}
+
+    benchmark.pedantic(_ingest_flat, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("workers", (1, 2))
+def test_batch_ingest_parallel(benchmark, batches, workers):
+    benchmark.group = "parallel batch-10k add_many"
+    benchmark.name = f"parallel[w{workers}]"
+    engine = ParallelShardedProfiler(M, workers=workers, inline=False)
+
+    def run(batch_list):
+        add_many = engine.add_many
+        for batch in batch_list:
+            add_many(batch)
+        engine.sync()
+
+    def setup():
+        engine.clear()
+        engine.sync()
+        return (batches,), {}
+
+    try:
+        benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    finally:
+        engine.close()
+
+
+def test_parallel_answers_match_flat(batches):
+    """The benchmark's sanity rail: whatever the timing says, the
+    answers are identical."""
+    flat = FlatProfile(M)
+    with ParallelShardedProfiler(M, workers=2, inline=False) as parallel:
+        for batch in batches:
+            flat.add_many(batch)
+            parallel.add_many(batch)
+        assert parallel.frequencies() == flat.frequencies()
+        assert parallel.histogram() == flat.histogram()
+        assert parallel.total == flat.total
+    assert isinstance(batches[0], np.ndarray)

@@ -46,14 +46,29 @@ def _profile_main(argv: list[str]) -> int:
         default=None,
         help="shard fan-out (implies the sharded backend under auto)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process fan-out (implies the parallel backend "
+        "under auto; 1 runs the inline serial fallback)",
+    )
     args = parser.parse_args(argv)
 
     stream = build_stream(
         args.stream, args.events, args.universe, seed=args.seed
     )
     profiler = Profiler.open(
-        args.universe, backend=args.backend, shards=args.shards
+        args.universe,
+        backend=args.backend,
+        shards=args.shards,
+        workers=args.workers,
     )
+    with profiler:
+        return _profile_report(profiler, stream, args)
+
+
+def _profile_report(profiler, stream, args) -> int:
     ids, adds = stream.arrays()
     try:
         profiler.ingest(zip(ids.tolist(), adds.tolist()))

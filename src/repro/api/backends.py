@@ -19,6 +19,7 @@ Three kinds of machinery live here:
 
 from __future__ import annotations
 
+import os
 from heapq import merge as _heap_merge
 from typing import Hashable, Iterator
 
@@ -28,6 +29,11 @@ from repro.core.dynamic import DynamicProfiler
 from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile, net_deltas
 from repro.core.queries import ModeResult, TopEntry
+from repro.engine.parallel import (
+    ParallelShardedProfiler,
+    default_workers,
+    parallel_supported,
+)
 from repro.engine.sharding import ShardedProfiler
 from repro.errors import (
     CapacityError,
@@ -44,7 +50,13 @@ __all__ = [
 ]
 
 #: Facade-level backend names (registry baseline names add to these).
-_BUILTIN_BACKENDS = ("auto", "flat", "exact", "sharded", "approx")
+_BUILTIN_BACKENDS = ("auto", "flat", "exact", "sharded", "parallel", "approx")
+
+#: ``auto`` escalates dense batch workloads to the parallel engine at
+#: this capacity — large enough that the worker fan-out and shared
+#: memory are cheap relative to the universe, and only when the
+#: machine actually has more than one core.
+PARALLEL_AUTO_CAPACITY = 4_000_000
 
 
 def available_backends() -> tuple[str, ...]:
@@ -53,22 +65,40 @@ def available_backends() -> tuple[str, ...]:
 
 
 def resolve_backend(
-    backend: str, keys: str, shards, track_freq_index: bool = False
+    backend: str,
+    keys: str,
+    shards,
+    track_freq_index: bool = False,
+    workers=None,
+    capacity=None,
 ) -> str:
     """Collapse ``"auto"`` to a concrete backend name.
 
-    ``auto`` picks the sharded engine when a shard fan-out is given,
-    the flat struct-of-arrays engine for dense keys (the fastest exact
-    core; see ``BENCH_core.json``), and the block-object exact engine
-    otherwise — hashable keys need the growable universe, and
+    ``auto`` picks the parallel engine when a worker fan-out is given
+    — or, for dense keys, when the universe reaches
+    ``PARALLEL_AUTO_CAPACITY`` on a multi-core machine (the large
+    dense batch workload where worker processes pay off); the sharded
+    engine when a shard fan-out is given; the flat struct-of-arrays
+    engine for dense keys (the fastest exact single-core path; see
+    ``BENCH_core.json``); and the block-object exact engine otherwise
+    — hashable keys need the growable universe, and
     ``track_freq_index`` needs the O(1) frequency->block index only
     the block-object engine maintains.
     """
     if backend != "auto":
         return backend
+    if workers is not None:
+        return "parallel"
     if shards is not None:
         return "sharded"
     if keys == "dense" and not track_freq_index:
+        if (
+            capacity is not None
+            and capacity >= PARALLEL_AUTO_CAPACITY
+            and (os.cpu_count() or 1) > 1
+            and parallel_supported()
+        ):
+            return "parallel"
         return "flat"
     return "exact"
 
@@ -81,6 +111,7 @@ def build_backend(
     strict: bool,
     shards,
     track_freq_index: bool = False,
+    workers=None,
     **options,
 ):
     """Construct the implementation behind a resolved backend name.
@@ -89,10 +120,16 @@ def build_backend(
     facade it must own an :class:`~repro.core.interner.ObjectInterner`
     (hashable keys over a dense-id implementation).
     """
-    name = resolve_backend(backend, keys, shards, track_freq_index)
+    name = resolve_backend(
+        backend, keys, shards, track_freq_index, workers, capacity
+    )
     if shards is not None and name != "sharded":
         raise CapacityError(
             f"shards= only applies to the sharded backend, not {name!r}"
+        )
+    if workers is not None and name != "parallel":
+        raise CapacityError(
+            f"workers= only applies to the parallel backend, not {name!r}"
         )
     allow_negative = not strict
 
@@ -147,6 +184,37 @@ def build_backend(
             ),
             keys == "hashable",
         )
+    if name == "parallel":
+        if track_freq_index:
+            raise CapacityError(
+                "the parallel backend hosts flat shard cores (no "
+                "frequency index); use backend='exact' with "
+                "track_freq_index=True"
+            )
+        try:
+            return (
+                ParallelShardedProfiler(
+                    capacity,
+                    workers=(
+                        workers if workers is not None else default_workers()
+                    ),
+                    allow_negative=allow_negative,
+                ),
+                keys == "hashable",
+            )
+        except OSError:
+            if backend == "auto" and workers is None:
+                # Capacity-triggered escalation must never turn a
+                # plain Profiler.open(m) into a hard failure: a
+                # constrained /dev/shm (64MB in default Docker) or an
+                # exhausted process table degrades back to the
+                # single-core flat engine the caller would have gotten
+                # before escalation existed.
+                return (
+                    FlatProfile(capacity, allow_negative=allow_negative),
+                    keys == "hashable",
+                )
+            raise
     if name in available_profilers():
         return (
             make_profiler(name, capacity, allow_negative=allow_negative),
@@ -195,12 +263,15 @@ class _ProfileRunsView:
 
             def head(limit, l=l, r=r):
                 stop = l - 1 if limit is None else max(l - 1, r - limit)
-                objs = [ttof[rank] for rank in range(r, stop, -1)]
+                objs = [int(ttof[rank]) for rank in range(r, stop, -1)]
                 return [decode(o) for o in objs] if decode else objs
 
             def tail(limit, l=l, r=r):
                 stop = r + 1 if limit is None else min(r + 1, l + limit)
                 objs = ttof[l:stop]
+                # ndarray slice (array-engine profiles) -> int list.
+                if hasattr(objs, "tolist"):
+                    objs = objs.tolist()
                 return [decode(o) for o in objs] if decode else objs
 
             yield Run(f, r - l + 1, head, tail)
@@ -338,7 +409,7 @@ class _ShardedRunsView:
             for s, shard, block in contributors:
                 ttof = shard._ttof
                 for rank in range(block.r, block.l - 1, -1):
-                    obj = ttof[rank] * n_shards + s
+                    obj = int(ttof[rank]) * n_shards + s
                     out.append(decode(obj) if decode else obj)
                     if limit is not None and len(out) == limit:
                         return out
@@ -349,7 +420,7 @@ class _ShardedRunsView:
             for s, shard, block in contributors:
                 ttof = shard._ttof
                 for rank in range(block.l, block.r + 1):
-                    obj = ttof[rank] * n_shards + s
+                    obj = int(ttof[rank]) * n_shards + s
                     out.append(decode(obj) if decode else obj)
                     if limit is not None and len(out) == limit:
                         return out
@@ -365,6 +436,11 @@ def runs_view_for(impl, decode=None):
         return _ProfileRunsView(impl, decode)
     if isinstance(impl, ShardedProfiler):
         return _ShardedRunsView(impl, decode)
+    if isinstance(impl, ParallelShardedProfiler):
+        # Barrier first, then walk the parent-side merged engine over
+        # the zero-copy shared-memory shard views — the fused plan
+        # never round-trips to the workers.
+        return _ShardedRunsView(impl.merged_view(), decode)
     if isinstance(impl, DynamicProfiler):
         return _DynamicRunsView(impl)
     return None

@@ -56,6 +56,7 @@ from repro.core.flat import FlatProfile
 from repro.core.interner import ObjectInterner
 from repro.core.profile import SProfile, net_deltas
 from repro.core.queries import ModeResult, TopEntry
+from repro.engine.parallel import ParallelShardedProfiler
 from repro.engine.sharding import ShardedProfiler
 from repro.errors import (
     CapacityError,
@@ -117,6 +118,7 @@ def _engine_stats(profile) -> dict[str, Any]:
     if isinstance(profile, FlatProfile):
         return {
             "kind": "flat",
+            "storage": "array" if profile.array_engine else "list",
             "block_count": profile.block_count,
             "block_slots": profile.block_slots,
             "free_slots": profile.free_slots,
@@ -192,6 +194,7 @@ class Profiler:
         *,
         backend: str = "auto",
         shards: int | None = None,
+        workers: int | None = None,
         keys: str = "dense",
         strict: bool = False,
         track_freq_index: bool = False,
@@ -206,13 +209,21 @@ class Profiler:
             ``backend="exact", keys="hashable"`` (the universe grows)
             and ``backend="approx"`` (sketches are sublinear).
         backend:
-            ``"auto"`` (sharded when ``shards`` is given, the flat
-            struct-of-arrays engine for dense keys, block-object exact
-            otherwise), ``"flat"``, ``"exact"``, ``"sharded"``,
-            ``"approx"`` or any name from
+            ``"auto"`` (parallel when ``workers`` is given or the
+            dense universe is large on a multi-core machine, sharded
+            when ``shards`` is given, the flat struct-of-arrays engine
+            for dense keys, block-object exact otherwise), ``"flat"``,
+            ``"exact"``, ``"sharded"``, ``"parallel"``, ``"approx"``
+            or any name from
             :func:`repro.baselines.registry.available_profilers`.
         shards:
             Shard fan-out; implies the sharded backend under ``auto``.
+        workers:
+            Worker-process fan-out for the parallel backend (implied
+            under ``auto``); ``workers=1`` runs the no-process inline
+            serial fallback.  Close the profiler (context manager or
+            :meth:`close`) to release the worker processes and shared
+            memory.
         keys:
             ``"dense"`` — integer ids in ``[0, capacity)`` (the paper's
             setting); ``"hashable"`` — arbitrary hashable ids.
@@ -235,7 +246,11 @@ class Profiler:
             raise CapacityError(f"capacity must be >= 0, got {capacity}")
         if shards is not None and shards <= 0:
             raise CapacityError(f"shards must be positive, got {shards}")
-        name = resolve_backend(backend, keys, shards, track_freq_index)
+        if workers is not None and workers <= 0:
+            raise CapacityError(f"workers must be positive, got {workers}")
+        name = resolve_backend(
+            backend, keys, shards, track_freq_index, workers, capacity
+        )
         impl, facade_interned = build_backend(
             backend,
             capacity,
@@ -243,8 +258,14 @@ class Profiler:
             strict=strict,
             shards=shards,
             track_freq_index=track_freq_index,
+            workers=workers,
             **options,
         )
+        if name == "parallel" and isinstance(impl, FlatProfile):
+            # Capacity-triggered auto-escalation degraded back to the
+            # single-core flat engine (constrained shared memory; see
+            # build_backend) — report what the caller actually got.
+            name = "flat"
         return cls(
             impl,
             backend_name=name,
@@ -667,6 +688,18 @@ class Profiler:
                 "phantom_slots": impl.phantom_count,
                 "inner": _engine_stats(impl.profile),
             }
+        elif isinstance(impl, ParallelShardedProfiler):
+            merged = impl.merged_view()
+            out["engine"] = {
+                "kind": "parallel",
+                "core": impl.core,
+                "workers": impl.workers,
+                "inline": impl.inline,
+                "n_shards": impl.n_shards,
+                "segment_bytes": impl.segment_bytes,
+                "block_count": merged.block_count,
+                "shards": [_engine_stats(s) for s in merged.shards],
+            }
         elif isinstance(impl, ShardedProfiler):
             out["engine"] = {
                 "kind": "sharded",
@@ -682,6 +715,27 @@ class Profiler:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources.
+
+        Meaningful for the parallel backend (stops the worker
+        processes, unlinks the shared-memory segments; idempotent);
+        a no-op everywhere else.  The facade is also a context
+        manager::
+
+            with Profiler.open(m, backend="parallel", workers=4) as p:
+                p.ingest(batch)
+        """
+        release = getattr(self._impl, "close", None)
+        if release is not None:
+            release()
+
+    def __enter__(self) -> "Profiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def backend(self):
@@ -765,6 +819,10 @@ class Profiler:
         impl = self._impl
         if isinstance(impl, (SProfile, FlatProfile)):
             payload: Any = profile_to_state(impl)
+        elif isinstance(impl, ParallelShardedProfiler):
+            # Read in the parent from the zero-copy shard views (after
+            # the epoch barrier) — live state is never pickled.
+            payload = impl.shard_states()
         elif isinstance(impl, ShardedProfiler):
             payload = [profile_to_state(shard) for shard in impl.shards]
         elif isinstance(impl, DynamicProfiler):
@@ -791,7 +849,7 @@ class Profiler:
             "events": self._events,
             "profile": payload,
         }
-        if isinstance(impl, ShardedProfiler):
+        if isinstance(impl, (ShardedProfiler, ParallelShardedProfiler)):
             # Restore shards onto the same core engine; absent in
             # pre-flat checkpoints, which load as block-object cores.
             state["core"] = impl.core
@@ -902,7 +960,7 @@ class Profiler:
             impl._profile = inner
             impl._rebind()
             interner = None
-        elif backend == "sharded":
+        elif backend in ("sharded", "parallel"):
             shard_states = state["profile"]
             n_shards = state["shards"]
             if not isinstance(n_shards, int) or n_shards <= 0:
@@ -917,27 +975,78 @@ class Profiler:
             if not isinstance(capacity, int) or capacity < 0:
                 raise CheckpointError(f"bad capacity: {capacity!r}")
             core = state.get("core", "sprofile")
-            if core not in ("sprofile", "flat"):
-                raise CheckpointError(f"bad shard core: {core!r}")
-            restore = (
-                flat_profile_from_state if core == "flat"
-                else profile_from_state
-            )
-            shards = tuple(restore(s) for s in shard_states)
-            for s, shard in enumerate(shards):
-                expected = (capacity - s + n_shards - 1) // n_shards
-                if shard.capacity != expected:
+            if backend == "parallel":
+                if core != "flat":
                     raise CheckpointError(
-                        f"shard {s} capacity {shard.capacity} does not "
-                        f"match partition of universe {capacity}"
+                        f"parallel checkpoints host flat cores, "
+                        f"got {core!r}"
                     )
-                if shard.allow_negative == strict:
-                    raise CheckpointError(
-                        "strict flag disagrees with shard allow_negative"
+                for s, shard_state in enumerate(shard_states):
+                    if not isinstance(shard_state, dict):
+                        raise CheckpointError(
+                            "parallel shard states must be dicts"
+                        )
+                    declared = shard_state.get("capacity")
+                    expected = (capacity - s + n_shards - 1) // n_shards
+                    if declared != expected:
+                        raise CheckpointError(
+                            f"shard {s} capacity {declared!r} does not "
+                            f"match partition of universe {capacity}"
+                        )
+                    if bool(shard_state.get("allow_negative")) == strict:
+                        raise CheckpointError(
+                            "strict flag disagrees with shard "
+                            "allow_negative"
+                        )
+                # Worker-side restore: each state ships to its worker,
+                # which rebuilds (with the full structural audit)
+                # straight into the shared-memory segment.
+                try:
+                    impl = ParallelShardedProfiler.from_shard_states(
+                        capacity,
+                        shard_states,
+                        workers=n_shards,
+                        allow_negative=not strict,
                     )
-            impl = ShardedProfiler(0, n_shards=n_shards, core=core)
-            impl._m = capacity
-            impl._shards = shards
+                except (OSError, CapacityError):
+                    # This environment cannot host the worker engine
+                    # (constrained /dev/shm, exhausted process table,
+                    # no numpy — the engine raises CapacityError for
+                    # the latter).
+                    # The shard states are ordinary flat-core states,
+                    # so restore them into the serial sharded engine —
+                    # identical answers, no processes — and relabel
+                    # the facade honestly.
+                    shards = tuple(
+                        flat_profile_from_state(s) for s in shard_states
+                    )
+                    impl = ShardedProfiler(0, n_shards=n_shards, core=core)
+                    impl._m = capacity
+                    impl._shards = shards
+                    backend = "sharded"
+            else:
+                if core not in ("sprofile", "flat"):
+                    raise CheckpointError(f"bad shard core: {core!r}")
+                restore = (
+                    flat_profile_from_state if core == "flat"
+                    else profile_from_state
+                )
+                shards = tuple(restore(s) for s in shard_states)
+                for s, shard in enumerate(shards):
+                    expected = (capacity - s + n_shards - 1) // n_shards
+                    if shard.capacity != expected:
+                        raise CheckpointError(
+                            f"shard {s} capacity {shard.capacity} does "
+                            f"not match partition of universe {capacity}"
+                        )
+                    if shard.allow_negative == strict:
+                        raise CheckpointError(
+                            "strict flag disagrees with shard "
+                            "allow_negative"
+                        )
+                impl = ShardedProfiler(0, n_shards=n_shards, core=core)
+                impl._m = capacity
+                impl._shards = shards
             if keys == "dense":
                 interner = None
             elif interner is not None:
@@ -946,6 +1055,9 @@ class Profiler:
                 # mass on anonymous slots.
                 for dense in range(len(interner), capacity):
                     if impl.frequency(dense) != 0:
+                        release = getattr(impl, "close", None)
+                        if release is not None:
+                            release()
                         raise CheckpointError(
                             f"uncataloged slot {dense} holds non-zero "
                             f"frequency"

@@ -16,6 +16,13 @@ CI can gate) how the hot paths move over time:
 - ``sharded_batch`` — the same batches through
   :class:`~repro.engine.sharding.ShardedProfiler` with block-object vs
   flat shard cores;
+- ``parallel_batch`` — the same batches through
+  :class:`~repro.engine.parallel.ParallelShardedProfiler` at a sweep
+  of worker counts (1/2/4 by default; CI pins 2), against the
+  single-core flat engine.  The payload records the machine's CPU
+  count: a worker count the machine cannot actually host measures IPC
+  overhead, not parallelism, so the regression gate only compares
+  worker counts within the measuring machine's core budget;
 - ``fused_plan`` — the dashboard read (mode + top-k + histogram +
   quantiles + support) as one fused
   :meth:`~repro.api.Profiler.evaluate` walk vs the equivalent
@@ -45,6 +52,7 @@ import argparse
 import gc
 import json
 import math
+import os
 import platform
 import sys
 from pathlib import Path
@@ -54,6 +62,7 @@ from repro.api import Profiler, Query
 from repro.bench.workloads import build_stream
 from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
+from repro.engine.parallel import ParallelShardedProfiler, parallel_supported
 from repro.engine.sharding import ShardedProfiler
 
 __all__ = [
@@ -267,6 +276,83 @@ def _sharded_batch(cfg: dict, rounds: int, seed: int) -> dict:
     }
 
 
+def _parallel_batch(
+    cfg: dict, rounds: int, seed: int, worker_counts
+) -> dict:
+    """The same bulk batches through the multi-process engine.
+
+    One engine per worker count, created *outside* the timed region
+    (worker startup is a per-process cost, not a per-batch one) and
+    reset with ``clear()`` + barrier between timings.  Each timing
+    covers split + dispatch + worker ingestion + the closing epoch
+    barrier — the full cost a caller pays for a consistent read.
+
+    The payload records ``cpus``: parallel speedups are only
+    *physically meaningful* for worker counts the machine can host, so
+    the regression gate (:func:`_speedup_entries`) skips entries whose
+    worker count exceeds the measuring machine's cores.
+    """
+    size, count, m = cfg["batch_size"], cfg["batch_count"], cfg["shard_m"]
+    stream = build_stream("stream1", size * count, m, seed=seed)
+    batches = [
+        stream.ids[i * size : (i + 1) * size] for i in range(count)
+    ]
+    n_events = size * count
+
+    def time_flat():
+        p = FlatProfile(m)
+        add_many = p.add_many
+        start = perf_counter()
+        for batch in batches:
+            add_many(batch)
+        return perf_counter() - start
+
+    engines = {
+        w: ParallelShardedProfiler(m, workers=w, inline=False)
+        for w in worker_counts
+    }
+
+    def time_parallel(engine):
+        def timer():
+            engine.clear()
+            engine.sync()
+            add_many = engine.add_many
+            start = perf_counter()
+            for batch in batches:
+                add_many(batch)
+            engine.sync()
+            return perf_counter() - start
+
+        return timer
+
+    timers = {"flat": time_flat}
+    for w, engine in engines.items():
+        timers[f"parallel_w{w}"] = time_parallel(engine)
+    try:
+        best = _interleaved_min(timers, rounds)
+    finally:
+        for engine in engines.values():
+            engine.close()
+
+    flat_eps = n_events / best["flat"]
+    workers = {}
+    for w in worker_counts:
+        eps = n_events / best[f"parallel_w{w}"]
+        workers[str(w)] = {"eps": eps, "speedup": eps / flat_eps}
+    max_w = max(worker_counts)
+    return {
+        "workload": (
+            f"parallel add_many x{count}, batch={size}, m={m}, "
+            f"workers={sorted(worker_counts)}"
+        ),
+        "cpus": os.cpu_count() or 1,
+        "max_workers": max_w,
+        "flat_eps": flat_eps,
+        "workers": workers,
+        "speedup": workers[str(max_w)]["speedup"],
+    }
+
+
 def _fused_plan(cfg: dict, rounds: int, seed: int) -> dict:
     """Dashboard read: one fused walk vs equivalent standalone calls.
 
@@ -313,13 +399,36 @@ def _fused_plan(cfg: dict, rounds: int, seed: int) -> dict:
     }
 
 
+#: Default worker-count sweep of the ``parallel_batch`` path.
+DEFAULT_PARALLEL_WORKERS = (1, 2, 4)
+
+
 def run_trajectory(
-    scale: str = "full", *, rounds: int = 5, seed: int = 0
+    scale: str = "full",
+    *,
+    rounds: int = 5,
+    seed: int = 0,
+    parallel_workers=DEFAULT_PARALLEL_WORKERS,
 ) -> dict:
-    """Measure every path; return the BENCH_core.json payload."""
+    """Measure every path; return the BENCH_core.json payload.
+
+    ``parallel_workers`` is the worker-count sweep for the
+    ``parallel_batch`` path (empty/None skips it; it is also
+    auto-skipped when numpy is unavailable, where the parallel engine
+    cannot run but every other path still can)."""
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
     cfg = SCALES[scale]
+    paths = {
+        "single_event_mode": _single_event_mode(cfg, rounds, seed),
+        "batch_ingest": _batch_ingest(cfg, rounds, seed),
+        "sharded_batch": _sharded_batch(cfg, rounds, seed),
+        "fused_plan": _fused_plan(cfg, rounds, seed),
+    }
+    if parallel_workers and parallel_supported():
+        paths["parallel_batch"] = _parallel_batch(
+            cfg, rounds, seed, tuple(sorted(set(parallel_workers)))
+        )
     return {
         "version": TRAJECTORY_VERSION,
         "generated_with": "python -m repro.bench trajectory",
@@ -328,12 +437,7 @@ def run_trajectory(
         "seed": seed,
         "python": platform.python_version(),
         "config": cfg,
-        "paths": {
-            "single_event_mode": _single_event_mode(cfg, rounds, seed),
-            "batch_ingest": _batch_ingest(cfg, rounds, seed),
-            "sharded_batch": _sharded_batch(cfg, rounds, seed),
-            "fused_plan": _fused_plan(cfg, rounds, seed),
-        },
+        "paths": paths,
     }
 
 
@@ -363,7 +467,12 @@ def _speedup_entries(result: dict):
     prefix = result.get("scale", "full")
     paths = result.get("paths", {})
     for path_name, path in paths.items():
-        if "speedup" in path:
+        # Worker-sweep paths gate ONLY through their per-worker wN
+        # keys: the headline "speedup" means "at max(sweep)", so two
+        # runs with different --parallel-workers sweeps would compare
+        # incomparable numbers under one key.
+        cpus = path.get("cpus")
+        if "speedup" in path and "workers" not in path:
             yield f"{prefix}.{path_name}.speedup", path["speedup"]
         if "geomean_speedup" in path:
             yield (
@@ -373,6 +482,13 @@ def _speedup_entries(result: dict):
         for stream, entry in path.get("streams", {}).items():
             yield (
                 f"{prefix}.{path_name}.{stream}.speedup",
+                entry["speedup"],
+            )
+        for w, entry in path.get("workers", {}).items():
+            if cpus is not None and int(w) > cpus:
+                continue
+            yield (
+                f"{prefix}.{path_name}.w{w}.speedup",
                 entry["speedup"],
             )
 
@@ -428,6 +544,19 @@ def _format_summary(result: dict) -> str:
             f"  flat {entry['flat_eps'] / 1e6:.2f}M ev/s"
             f"  -> {entry['speedup']:.2f}x   [{entry['workload']}]"
         )
+    if "parallel_batch" in paths:
+        par = paths["parallel_batch"]
+        sweep = "  ".join(
+            f"w{w} {entry['eps'] / 1e6:.2f}M ({entry['speedup']:.2f}x)"
+            for w, entry in sorted(
+                par["workers"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(
+            f"  parallel batch             flat "
+            f"{par['flat_eps'] / 1e6:.2f}M ev/s  {sweep}"
+            f"   [{par['workload']}, cpus={par['cpus']}]"
+        )
     plan = paths["fused_plan"]
     lines.append(
         f"  fused plan                 separate "
@@ -464,6 +593,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--parallel-workers",
+        metavar="N[,N...]",
+        default=",".join(str(w) for w in DEFAULT_PARALLEL_WORKERS),
+        help="worker-count sweep for the parallel_batch path "
+        "(comma-separated; '0' or '' skips the path; CI pins 2)",
+    )
+    parser.add_argument(
         "--out",
         metavar="PATH",
         default="BENCH_core.json",
@@ -487,21 +623,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    workers = tuple(
+        int(w)
+        for w in str(args.parallel_workers).split(",")
+        if w.strip() and int(w) > 0
+    )
+
     scale = args.scale or ("quick" if args.quick else "full")
     if scale == "both":
         result = run_trajectory(
-            "full", rounds=args.rounds, seed=args.seed
+            "full",
+            rounds=args.rounds,
+            seed=args.seed,
+            parallel_workers=workers,
         )
         print(_format_summary(result))
         quick = run_trajectory(
-            "quick", rounds=args.rounds, seed=args.seed
+            "quick",
+            rounds=args.rounds,
+            seed=args.seed,
+            parallel_workers=workers,
         )
         print(_format_summary(quick))
         result["scale"] = "both"
         result["quick"] = quick
     else:
         result = run_trajectory(
-            scale, rounds=args.rounds, seed=args.seed
+            scale,
+            rounds=args.rounds,
+            seed=args.seed,
+            parallel_workers=workers,
         )
         print(_format_summary(result))
 

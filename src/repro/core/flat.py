@@ -62,6 +62,29 @@ climb the block structure per key; dense batches rebuild wholesale —
 vectorized through NumPy when it is importable (one ``bincount`` to
 coalesce, one ``argsort`` + run-length encode to rebuild, all C speed),
 with a pure-Python fallback.
+
+**The array engine** (``array_engine=True``) keeps the same structure in
+preallocated ``int64`` NumPy buffers instead of Python lists.  The
+block-slot arrays grow by amortized doubling (the Tarjan–Zwick
+resizable-array discipline), so state is a handful of contiguous
+buffers:
+
+- zero-copy snapshots and checkpoints — exporting state is O(buffers)
+  Python objects (see
+  :func:`repro.core.checkpoint.flat_profile_to_array_state`), not O(m)
+  boxed ints;
+- external hosting — :meth:`FlatProfile.attach_buffers` wraps buffers
+  *owned by someone else* (a ``multiprocessing.shared_memory`` segment;
+  see :mod:`repro.engine.parallel`), with scalar state mirrored in a
+  small header so a read-only view in another process stays current;
+- the vectorized batch paths write **in place** into the buffers, so a
+  shared-memory mapping never goes stale.
+
+The per-event hot loops still run at list speed: the fused stream paths
+materialize list mirrors, run the canonical loops, and write the result
+back into the buffers in one C-speed pass per array — an O(m + batch)
+round-trip that amortizes over any real batch and keeps exactly one
+copy of the update logic.
 """
 
 from __future__ import annotations
@@ -83,7 +106,26 @@ try:  # optional vectorized coalesce/rebuild path
 except ImportError:  # pragma: no cover - numpy ships with the test env
     _np = None
 
-__all__ = ["FlatProfile"]
+__all__ = ["FlatProfile", "HEADER_SLOTS"]
+
+#: ``int64`` slots reserved for the scalar-state header of a
+#: buffer-attached (e.g. shared-memory hosted) profile.
+HEADER_SLOTS = 16
+
+# Header layout: scalar state a cross-process read view must see.
+(
+    _H_MAGIC,
+    _H_M,
+    _H_BN,
+    _H_FREE,
+    _H_ADDS,
+    _H_REMOVES,
+    _H_BASE,
+    _H_TRACKED,
+    _H_NEG,
+) = range(9)
+
+_HEADER_MAGIC = 0x53504C41  # "SPLA"
 
 
 class _FlatBlockReader:
@@ -121,7 +163,9 @@ class _FlatBlockReader:
         if not 0 <= rank < p._m:
             raise IndexError(f"rank {rank} out of range [0, {p._m})")
         b = p._ptrb[rank]
-        return Block(p._bl[b], p._bre[b] - 1, p._bf[b])
+        # int() keeps np.int64 scalars (array engine) out of Block
+        # fields — downstream consumers JSON-serialize and hash them.
+        return Block(int(p._bl[b]), int(p._bre[b]) - 1, int(p._bf[b]))
 
     def leftmost(self) -> Block:
         self._require_nonempty()
@@ -141,8 +185,8 @@ class _FlatBlockReader:
         rank = 0
         while rank < m:
             b = ptrb[rank]
-            re = bre[b]
-            yield Block(bl[b], re - 1, bf[b])
+            re = int(bre[b])
+            yield Block(int(bl[b]), re - 1, int(bf[b]))
             rank = re
 
     def iter_blocks_desc(self) -> Iterator[Block]:
@@ -154,8 +198,8 @@ class _FlatBlockReader:
         rank = p._m - 1
         while rank >= 0:
             b = ptrb[rank]
-            l = bl[b]
-            yield Block(l, bre[b] - 1, bf[b])
+            l = int(bl[b])
+            yield Block(l, int(bre[b]) - 1, int(bf[b]))
             rank = l - 1
 
     def block_for_frequency(self, f: int) -> Block | None:
@@ -179,8 +223,17 @@ class _FlatBlockReader:
             raise InvariantViolationError(
                 f"ptrb length {len(p._ptrb)} != capacity {m}"
             )
-        slots = len(p._bl)
-        if len(p._bre) != slots or len(p._bf) != slots:
+        # Array engine: slots = minted prefix of the preallocated
+        # buffers; the buffers themselves just have to agree and cover.
+        slots = p.block_slots
+        if p._array:
+            if not (len(p._bl) == len(p._bre) == len(p._bf) >= slots):
+                raise InvariantViolationError(
+                    "block buffers disagree on capacity: "
+                    f"l={len(p._bl)} re={len(p._bre)} f={len(p._bf)} "
+                    f"minted={slots}"
+                )
+        elif len(p._bre) != slots or len(p._bf) != slots:
             raise InvariantViolationError(
                 "block arrays disagree on slot count: "
                 f"l={len(p._bl)} re={len(p._bre)} f={len(p._bf)}"
@@ -220,8 +273,13 @@ class _FlatBlockReader:
         # Free list: walks dead slots only, visits each at most once,
         # and together with the live set covers every minted slot.
         seen_free: set[int] = set()
-        head = p._free_head
+        head = int(p._free_head)
         while head >= 0:
+            if head >= slots:
+                raise InvariantViolationError(
+                    f"free list points outside the {slots} minted "
+                    f"slots: {head}"
+                )
             if head in live:
                 raise InvariantViolationError(
                     f"free list contains live block {head}"
@@ -231,7 +289,7 @@ class _FlatBlockReader:
                     f"free list cycles through block {head}"
                 )
             seen_free.add(head)
-            head = p._bl[head]
+            head = int(p._bl[head])
         if m > 0 and len(live) + len(seen_free) != slots:
             raise InvariantViolationError(
                 f"{slots} slots minted but {len(live)} live + "
@@ -315,26 +373,56 @@ class FlatProfile(ProfileQueryMixin):
         "_base_total",
         "_n_adds",
         "_n_removes",
+        "_array",
+        "_bn",
+        "_header",
     )
 
-    def __init__(self, capacity: int, *, allow_negative: bool = True) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        allow_negative: bool = True,
+        array_engine: bool = False,
+    ) -> None:
         if capacity < 0:
             raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        if array_engine and _np is None:
+            raise CapacityError("array_engine=True requires numpy")
         self._m = capacity
-        self._ftot = list(range(capacity))
-        self._ttof = list(range(capacity))
-        if capacity:
-            self._ptrb = [0] * capacity
-            self._bl = [0]
-            self._bre = [capacity]
-            self._bf = [0]
+        self._array = bool(array_engine)
+        self._header = None
+        self._bn = 0
+        if array_engine:
+            self._ftot = _np.arange(capacity, dtype=_np.int64)
+            self._ttof = _np.arange(capacity, dtype=_np.int64)
+            self._ptrb = _np.zeros(capacity, dtype=_np.int64)
+            slots = max(1, min(8, capacity)) if capacity else 1
+            self._bl = _np.empty(slots, dtype=_np.int64)
+            self._bre = _np.empty(slots, dtype=_np.int64)
+            self._bf = _np.empty(slots, dtype=_np.int64)
+            if capacity:
+                self._bl[0] = 0
+                self._bre[0] = capacity
+                self._bf[0] = 0
+                self._bn = 1
+            self._prev = _np.arange(-1, capacity, dtype=_np.int64)
+            self._nxt = _np.arange(1, capacity + 2, dtype=_np.int64)
         else:
-            self._ptrb = []
-            self._bl = []
-            self._bre = []
-            self._bf = []
-        self._prev = list(range(-1, capacity))
-        self._nxt = list(range(1, capacity + 2))
+            self._ftot = list(range(capacity))
+            self._ttof = list(range(capacity))
+            if capacity:
+                self._ptrb = [0] * capacity
+                self._bl = [0]
+                self._bre = [capacity]
+                self._bf = [0]
+            else:
+                self._ptrb = []
+                self._bl = []
+                self._bre = []
+                self._bf = []
+            self._prev = list(range(-1, capacity))
+            self._nxt = list(range(1, capacity + 2))
         self._free_head = -1
         self._blocks = _FlatBlockReader(self)
         self._last_tracked = 0
@@ -349,6 +437,7 @@ class FlatProfile(ProfileQueryMixin):
         frequencies: Sequence[int],
         *,
         allow_negative: bool = True,
+        array_engine: bool = False,
     ) -> "FlatProfile":
         """Bulk-build a profile from an initial frequency array.
 
@@ -363,10 +452,14 @@ class FlatProfile(ProfileQueryMixin):
                 raise FrequencyUnderflowError(
                     "negative initial frequency with allow_negative=False"
                 )
-            self = cls(0, allow_negative=allow_negative)
+            self = cls(
+                0, allow_negative=allow_negative, array_engine=array_engine
+            )
             self._install_freqs_np(freqs)
             self._base_total = int(freqs.sum())
             return self
+        if array_engine:
+            raise CapacityError("array_engine=True requires numpy")
         freqs = list(frequencies)
         if not allow_negative and any(f < 0 for f in freqs):
             raise FrequencyUnderflowError(
@@ -378,6 +471,163 @@ class FlatProfile(ProfileQueryMixin):
         self._install_runs(ttof, _runs_from_sorted(ttof, freqs))
         self._base_total = sum(freqs)
         return self
+
+    # ------------------------------------------------------------------
+    # External buffers (shared-memory hosting)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach_buffers(
+        cls,
+        header,
+        ftot,
+        ttof,
+        ptrb,
+        bl,
+        bre,
+        bf,
+        *,
+        fresh: bool = False,
+        allow_negative: bool = True,
+    ) -> "FlatProfile":
+        """Wrap externally owned ``int64`` buffers as an array-engine
+        profile.
+
+        The buffers (typically views into one
+        ``multiprocessing.shared_memory`` segment; see
+        :mod:`repro.engine.parallel`) stay owned by the caller: the
+        profile mutates them in place, never reallocates them, and
+        mirrors its scalar state (minted slots, free-list head, event
+        counters) into ``header`` (``HEADER_SLOTS`` int64s) after
+        :meth:`_sync_header` so a read-only view of the same buffers in
+        another process can :meth:`_load_header` and stay current.
+
+        ``fresh=True`` initializes the buffers to the empty profile;
+        ``fresh=False`` adopts whatever state the header describes (it
+        must carry the magic stamp of a previous ``fresh`` attach).
+
+        The block-slot buffers must hold ``max(m, 1)`` slots — the
+        most the structure can ever mint — because externally owned
+        buffers cannot grow.
+        """
+        if _np is None:
+            raise CapacityError("attach_buffers requires numpy")
+        m = int(ftot.shape[0])
+        if int(ttof.shape[0]) != m or int(ptrb.shape[0]) != m:
+            raise CapacityError(
+                "ftot/ttof/ptrb buffers disagree on capacity"
+            )
+        slots = int(bl.shape[0])
+        if int(bre.shape[0]) != slots or int(bf.shape[0]) != slots:
+            raise CapacityError("block buffers disagree on slot count")
+        if slots < max(m, 1):
+            raise CapacityError(
+                f"{slots} block slots cannot host capacity {m} "
+                f"(need max(m, 1); external buffers cannot grow)"
+            )
+        if int(header.shape[0]) < HEADER_SLOTS:
+            raise CapacityError(
+                f"header needs {HEADER_SLOTS} int64 slots, "
+                f"got {int(header.shape[0])}"
+            )
+        self = cls.__new__(cls)
+        self._m = m
+        self._array = True
+        self._header = header
+        self._ftot = ftot
+        self._ttof = ttof
+        self._ptrb = ptrb
+        self._bl = bl
+        self._bre = bre
+        self._bf = bf
+        # The rank tables are pure functions of m — every attachment
+        # computes its own; they are never shared.
+        self._prev = _np.arange(-1, m, dtype=_np.int64)
+        self._nxt = _np.arange(1, m + 2, dtype=_np.int64)
+        self._blocks = _FlatBlockReader(self)
+        if fresh:
+            self._allow_negative = bool(allow_negative)
+            header[_H_MAGIC] = _HEADER_MAGIC
+            header[_H_M] = m
+            self._reset_array_state()
+            self._last_tracked = 0
+            self._base_total = 0
+            self._n_adds = 0
+            self._n_removes = 0
+            self._sync_header()
+        else:
+            if int(header[_H_MAGIC]) != _HEADER_MAGIC:
+                raise CapacityError(
+                    "buffers do not carry a flat-profile header stamp"
+                )
+            if int(header[_H_M]) != m:
+                raise CapacityError(
+                    f"header capacity {int(header[_H_M])} does not "
+                    f"match buffer capacity {m}"
+                )
+            self._allow_negative = bool(int(header[_H_NEG]))
+            self._load_header()
+        return self
+
+    def _sync_header(self) -> None:
+        """Publish scalar state to the shared header (no-op on owned
+        buffers)."""
+        h = self._header
+        if h is None:
+            return
+        h[_H_BN] = self._bn
+        h[_H_FREE] = int(self._free_head)
+        h[_H_ADDS] = self._n_adds
+        h[_H_REMOVES] = self._n_removes
+        h[_H_BASE] = self._base_total
+        h[_H_TRACKED] = int(self._last_tracked)
+        h[_H_NEG] = 1 if self._allow_negative else 0
+
+    def _load_header(self) -> None:
+        """Adopt the scalar state another process published via
+        :meth:`_sync_header` (the array buffers are live views already,
+        so this refresh is O(1))."""
+        h = self._header
+        self._bn = int(h[_H_BN])
+        self._free_head = int(h[_H_FREE])
+        self._n_adds = int(h[_H_ADDS])
+        self._n_removes = int(h[_H_REMOVES])
+        self._base_total = int(h[_H_BASE])
+        self._last_tracked = int(h[_H_TRACKED])
+
+    def release_buffers(self) -> None:
+        """Drop every reference to externally owned buffers so their
+        owner can close the backing mapping (``mmap.close`` refuses
+        while exports exist).  The profile is unusable afterwards;
+        owned-buffer profiles are unaffected (no-op)."""
+        if self._header is None:
+            return
+        self._header = None
+        self._ftot = None
+        self._ttof = None
+        self._ptrb = None
+        self._bl = None
+        self._bre = None
+        self._bf = None
+        self._prev = None
+        self._nxt = None
+        self._m = 0
+        self._bn = 0
+
+    def _reset_array_state(self) -> None:
+        """Reset the array buffers to the empty profile, in place."""
+        m = self._m
+        self._ftot[:] = _np.arange(m, dtype=_np.int64)
+        self._ttof[:] = self._ftot
+        if m:
+            self._ptrb[:] = 0
+            self._bl[0] = 0
+            self._bre[0] = m
+            self._bf[0] = 0
+            self._bn = 1
+        else:
+            self._bn = 0
+        self._free_head = -1
 
     # ------------------------------------------------------------------
     # Updates (the O(1) hot path — integer loads/stores only)
@@ -439,10 +689,7 @@ class FlatProfile(ProfileQueryMixin):
             bre[nb] = re
             bf[nb] = f1
         else:
-            nb = len(bl)
-            bl.append(r)
-            bre.append(re)
-            bf.append(f1)
+            nb = self._mint(r, re, f1)
         ptrb[r] = nb
 
     def remove(self, x: int) -> None:
@@ -497,11 +744,55 @@ class FlatProfile(ProfileQueryMixin):
             bre[nb] = l1
             bf[nb] = f1
         else:
+            nb = self._mint(l, l1, f1)
+        ptrb[l] = nb
+
+    def _mint(self, l: int, re: int, f: int) -> int:
+        """Mint a fresh block slot ``[l, re)`` at frequency ``f``.
+
+        Only reached with an empty free list, so minted slots never
+        exceed the live-block bound ``m``.  List engine: three appends.
+        Array engine: amortized-doubling growth of the slot buffers —
+        never triggered on externally attached buffers, which
+        preallocate the ``max(m, 1)``-slot maximum.  Callers holding
+        hot-loop locals for ``_bl``/``_bre``/``_bf`` must reload them
+        after a mint (growth may reallocate the arrays).
+        """
+        if not self._array:
+            bl = self._bl
             nb = len(bl)
             bl.append(l)
-            bre.append(l1)
-            bf.append(f1)
-        ptrb[l] = nb
+            self._bre.append(re)
+            self._bf.append(f)
+            return nb
+        nb = self._bn
+        if nb == len(self._bl):
+            self._grow_block_slots(nb + 1)
+        self._bl[nb] = l
+        self._bre[nb] = re
+        self._bf[nb] = f
+        self._bn = nb + 1
+        return nb
+
+    def _ensure_block_slots(self, need: int) -> None:
+        if len(self._bl) < need:
+            self._grow_block_slots(need)
+
+    def _grow_block_slots(self, need: int) -> None:
+        """Double the array-engine slot buffers until ``need`` fit."""
+        if self._header is not None:
+            raise InvariantViolationError(
+                "externally attached block buffers cannot grow"
+            )
+        cap = max(8, len(self._bl))
+        while cap < need:
+            cap *= 2
+        bn = self._bn
+        for name in ("_bl", "_bre", "_bf"):
+            old = getattr(self, name)
+            grown = _np.empty(cap, dtype=_np.int64)
+            grown[:bn] = old[:bn]
+            setattr(self, name, grown)
 
     def update(self, x: int, is_add: bool) -> None:
         """Apply one log-stream tuple ``(x, c)``."""
@@ -583,7 +874,7 @@ class FlatProfile(ProfileQueryMixin):
         # The loop maintained the statistic event by event
         # (self._last_tracked); re-read from the structure so the
         # answer is authoritative even on the strict-mode fallback.
-        return self._bf[self._ptrb[rank]]
+        return int(self._bf[self._ptrb[rank]])
 
     def _consume_fused(self, ids, adds, tr: int) -> int:
         """Shared fused-loop driver; ``tr`` is the tracked rank (-1:
@@ -634,7 +925,9 @@ class FlatProfile(ProfileQueryMixin):
                 n += 1
             return n
         try:
-            if tr < 0 or tr == self._m - 1:
+            if self._array:
+                self._run_fused_windowed(id_list, add_list, tr)
+            elif tr < 0 or tr == self._m - 1:
                 self._run_fused_top(id_list, add_list)
             else:
                 self._run_fused(id_list, add_list, tr)
@@ -660,6 +953,56 @@ class FlatProfile(ProfileQueryMixin):
         self._n_adds += n_add
         self._n_removes += len(add_list) - n_add
         return len(id_list)
+
+    def _run_fused_windowed(self, id_list, add_list, tr: int) -> None:
+        """Array engine: run the canonical fused loops on temporary
+        list mirrors, then write the result back into the numpy
+        buffers.
+
+        CPython's interpreter loop reads plain lists ~2-3x faster than
+        it boxes numpy scalars, so the fused paths stay list-shaped and
+        the array engine pays one ``tolist()``/slice-assign round-trip
+        per *batch* — O(m + events) at C speed, amortized over any real
+        stream slice, with exactly one copy of the update logic.  The
+        write-back runs in a ``finally`` so a mid-stream fault (an id
+        >= m) persists the applied prefix, matching the list engine's
+        event-at-a-time contract.
+        """
+        arrays = (self._ftot, self._ttof, self._ptrb)
+        rank_tables = (self._prev, self._nxt)
+        bl_buf, bre_buf, bf_buf = self._bl, self._bre, self._bf
+        bn = self._bn
+        self._ftot = arrays[0].tolist()
+        self._ttof = arrays[1].tolist()
+        self._ptrb = arrays[2].tolist()
+        self._prev = rank_tables[0].tolist()
+        self._nxt = rank_tables[1].tolist()
+        self._bl = bl_buf[:bn].tolist()
+        self._bre = bre_buf[:bn].tolist()
+        self._bf = bf_buf[:bn].tolist()
+        self._array = False
+        try:
+            if tr < 0 or tr == self._m - 1:
+                self._run_fused_top(id_list, add_list)
+            else:
+                self._run_fused(id_list, add_list, tr)
+        finally:
+            ftot_l, ttof_l, ptrb_l = self._ftot, self._ttof, self._ptrb
+            bl_l, bre_l, bf_l = self._bl, self._bre, self._bf
+            self._ftot, self._ttof, self._ptrb = arrays
+            self._prev, self._nxt = rank_tables
+            self._bl, self._bre, self._bf = bl_buf, bre_buf, bf_buf
+            self._bn = bn
+            self._array = True
+            self._ftot[:] = ftot_l
+            self._ttof[:] = ttof_l
+            self._ptrb[:] = ptrb_l
+            nb = len(bl_l)
+            self._ensure_block_slots(nb)
+            self._bl[:nb] = bl_l
+            self._bre[:nb] = bre_l
+            self._bf[:nb] = bf_l
+            self._bn = nb
 
     def _run_fused(self, id_list, add_list, tr) -> None:
         """The fused hot loop for an arbitrary tracked rank ``tr``.
@@ -1197,10 +1540,13 @@ class FlatProfile(ProfileQueryMixin):
                         bre[carry] = i + 1
                         bf[carry] = target
                     else:
-                        carry = len(bl)
-                        bl.append(i)
-                        bre.append(i + 1)
-                        bf.append(target)
+                        carry = self._mint(i, i + 1, target)
+                        # A mint may regrow the array-engine slot
+                        # buffers; reload the locals (identity in the
+                        # list engine).
+                        bl = self._bl
+                        bre = self._bre
+                        bf = self._bf
                 ptrb[i] = carry
                 break
         self._free_head = free_head
@@ -1285,10 +1631,10 @@ class FlatProfile(ProfileQueryMixin):
                         bre[carry] = i + 1
                         bf[carry] = target
                     else:
-                        carry = len(bl)
-                        bl.append(i)
-                        bre.append(i + 1)
-                        bf.append(target)
+                        carry = self._mint(i, i + 1, target)
+                        bl = self._bl
+                        bre = self._bre
+                        bf = self._bf
                 ptrb[i] = carry
                 break
         self._free_head = free_head
@@ -1308,6 +1654,11 @@ class FlatProfile(ProfileQueryMixin):
         """
         if extra <= 0:
             raise CapacityError(f"extra must be positive, got {extra}")
+        if self._header is not None:
+            raise CapacityError(
+                "externally attached buffers have fixed capacity; "
+                "grow() needs owned storage"
+            )
         old_m = self._m
         new_m = old_m + extra
 
@@ -1317,10 +1668,13 @@ class FlatProfile(ProfileQueryMixin):
                 splice = block.l
                 break
 
+        old_ttof = (
+            self._ttof.tolist() if self._array else self._ttof
+        )
         new_ttof = (
-            self._ttof[:splice]
+            old_ttof[:splice]
             + list(range(old_m, new_m))
-            + self._ttof[splice:]
+            + old_ttof[splice:]
         )
         runs: list[tuple[int, int, int]] = []
         zero_emitted = False
@@ -1393,7 +1747,18 @@ class FlatProfile(ProfileQueryMixin):
     @property
     def block_slots(self) -> int:
         """Block array slots minted so far (live + free)."""
-        return len(self._bl)
+        return self._bn if self._array else len(self._bl)
+
+    @property
+    def array_engine(self) -> bool:
+        """True when state lives in numpy buffers (the array engine)."""
+        return self._array
+
+    @property
+    def owns_buffers(self) -> bool:
+        """False when the buffers belong to an external owner (e.g. a
+        shared-memory segment attached via :meth:`attach_buffers`)."""
+        return self._header is None
 
     @property
     def free_slots(self) -> int:
@@ -1403,7 +1768,7 @@ class FlatProfile(ProfileQueryMixin):
         bl = self._bl
         while head >= 0:
             n += 1
-            head = bl[head]
+            head = int(bl[head])
         return n
 
     @property
@@ -1449,32 +1814,32 @@ class FlatProfile(ProfileQueryMixin):
             raise CapacityError(
                 f"object id {obj} out of range [0, {self._m})"
             )
-        return self._bf[self._ptrb[self._ftot[obj]]]
+        return int(self._bf[self._ptrb[self._ftot[obj]]])
 
     def max_frequency(self) -> int:
         """The largest frequency (the mode's frequency).  O(1)."""
         if self._m == 0:
             raise EmptyProfileError("profile tracks zero objects")
-        return self._bf[self._ptrb[self._m - 1]]
+        return int(self._bf[self._ptrb[self._m - 1]])
 
     def min_frequency(self) -> int:
         """The smallest frequency.  O(1)."""
         if self._m == 0:
             raise EmptyProfileError("profile tracks zero objects")
-        return self._bf[self._ptrb[0]]
+        return int(self._bf[self._ptrb[0]])
 
     def median_frequency(self) -> int:
         """Lower median of the frequency array.  O(1)."""
         m = self._m
         if m == 0:
             raise EmptyProfileError("profile tracks zero objects")
-        return self._bf[self._ptrb[(m - 1) // 2]]
+        return int(self._bf[self._ptrb[(m - 1) // 2]])
 
     def frequency_at_rank(self, rank: int) -> int:
         """``T[rank]`` — the frequency at ascending sorted position."""
         if not 0 <= rank < self._m:
             raise IndexError(f"rank {rank} out of range [0, {self._m})")
-        return self._bf[self._ptrb[rank]]
+        return int(self._bf[self._ptrb[rank]])
 
     # ------------------------------------------------------------------
     # Structure management
@@ -1482,6 +1847,14 @@ class FlatProfile(ProfileQueryMixin):
 
     def clear(self) -> None:
         """Reset every frequency to zero (keeps capacity and settings)."""
+        if self._array:
+            self._reset_array_state()
+            self._last_tracked = 0
+            self._base_total = 0
+            self._n_adds = 0
+            self._n_removes = 0
+            self._sync_header()
+            return
         m = self._m
         self._ftot = list(range(m))
         self._ttof = list(range(m))
@@ -1504,15 +1877,30 @@ class FlatProfile(ProfileQueryMixin):
         self._n_removes = 0
 
     def copy(self) -> "FlatProfile":
-        """Independent deep copy of the profiler."""
+        """Independent deep copy of the profiler.
+
+        An array-engine copy always owns its buffers (``np.copy`` each
+        one — O(buffers) allocations at C speed), detaching from any
+        shared-memory host.
+        """
         clone = FlatProfile(0, allow_negative=self._allow_negative)
         clone._m = self._m
-        clone._ftot = list(self._ftot)
-        clone._ttof = list(self._ttof)
-        clone._ptrb = list(self._ptrb)
-        clone._bl = list(self._bl)
-        clone._bre = list(self._bre)
-        clone._bf = list(self._bf)
+        if self._array:
+            clone._array = True
+            clone._ftot = self._ftot.copy()
+            clone._ttof = self._ttof.copy()
+            clone._ptrb = self._ptrb.copy()
+            clone._bl = self._bl.copy()
+            clone._bre = self._bre.copy()
+            clone._bf = self._bf.copy()
+            clone._bn = self._bn
+        else:
+            clone._ftot = list(self._ftot)
+            clone._ttof = list(self._ttof)
+            clone._ptrb = list(self._ptrb)
+            clone._bl = list(self._bl)
+            clone._bre = list(self._bre)
+            clone._bf = list(self._bf)
         # The rank tables are immutable constants of m — share them.
         clone._prev = self._prev
         clone._nxt = self._nxt
@@ -1523,6 +1911,20 @@ class FlatProfile(ProfileQueryMixin):
         clone._n_removes = self._n_removes
         return clone
 
+    def _copy_from(self, other: "FlatProfile") -> None:
+        """Adopt ``other``'s full state, writing in place (used to load
+        a checkpoint into shared-memory-hosted storage; ``other`` must
+        match this profile's capacity when the buffers are external)."""
+        ttof = (
+            other._ttof.tolist() if other._array else list(other._ttof)
+        )
+        self._install_runs(ttof, other.blocks.as_tuples())
+        self._last_tracked = other._last_tracked
+        self._base_total = other._base_total
+        self._n_adds = other._n_adds
+        self._n_removes = other._n_removes
+        self._sync_header()
+
     def snapshot(self):
         """Frozen point-in-time copy answering the same queries."""
         from repro.core.snapshot import ProfileSnapshot
@@ -1531,6 +1933,8 @@ class FlatProfile(ProfileQueryMixin):
 
     def frequencies(self) -> list[int]:
         """Materialize the frequency array ``F`` (O(m); for inspection)."""
+        if self._array:
+            return self._frequencies_np().tolist()
         out = [0] * self._m
         ttof = self._ttof
         for block in self._blocks.iter_blocks():
@@ -1542,6 +1946,13 @@ class FlatProfile(ProfileQueryMixin):
     def _frequencies_np(self):
         """The frequency array as an ``int64`` ndarray (O(m), C speed)."""
         m = self._m
+        if self._array:
+            # Two fancy-index passes, no Python-level run walk: the
+            # frequency at rank k is bf[ptrb[k]], scattered back to
+            # object order through ttof.
+            freqs = _np.empty(m, dtype=_np.int64)
+            freqs[self._ttof] = self._bf[self._ptrb]
+            return freqs
         runs = self._blocks.as_tuples()
         if not runs:
             return _np.zeros(0, dtype=_np.int64)
@@ -1557,9 +1968,17 @@ class FlatProfile(ProfileQueryMixin):
         """Rebuild the whole structure from an ndarray of frequencies.
 
         One stable ``argsort`` (deterministic tie order) plus run-length
-        encoding; every array refills through ``tolist()`` at C speed.
+        encoding.  List engine: every array refills through
+        ``tolist()`` at C speed.  Array engine: the results are written
+        **in place** into the existing buffers (shared-memory mappings
+        must never be swapped out from under their other viewers);
+        capacity changes reallocate owned buffers and are refused on
+        external ones.
         """
         m = int(freqs.shape[0])
+        if self._array:
+            self._install_freqs_np_array(freqs, m)
+            return
         self._m = m
         if m == 0:
             self._ftot = []
@@ -1591,6 +2010,52 @@ class FlatProfile(ProfileQueryMixin):
         self._sync_rank_tables(m)
         self._free_head = -1
 
+    def _reallocate_owned(self, m: int) -> None:
+        """Size the owned array-engine buffers for a new capacity
+        ``m`` (contents are installed by the caller).  Refused on
+        externally attached buffers, which are fixed-capacity."""
+        if self._header is not None:
+            raise InvariantViolationError(
+                "externally attached buffers have fixed capacity "
+                f"{self._m}; cannot reallocate for capacity {m}"
+            )
+        self._ftot = _np.empty(m, dtype=_np.int64)
+        self._ttof = _np.empty(m, dtype=_np.int64)
+        self._ptrb = _np.empty(m, dtype=_np.int64)
+        slots = max(1, min(8, m)) if m else 1
+        self._bl = _np.empty(slots, dtype=_np.int64)
+        self._bre = _np.empty(slots, dtype=_np.int64)
+        self._bf = _np.empty(slots, dtype=_np.int64)
+        self._bn = 0
+        self._m = m
+
+    def _install_freqs_np_array(self, freqs, m: int) -> None:
+        """Array-engine wholesale rebuild: in-place buffer writes."""
+        if m != self._m:
+            self._reallocate_owned(m)
+        self._sync_rank_tables(m)
+        if m == 0:
+            self._bn = 0
+            self._free_head = -1
+            return
+        ttof = _np.argsort(freqs, kind="stable")
+        sf = freqs[ttof]
+        starts = _np.flatnonzero(sf[1:] != sf[:-1]) + 1
+        starts = _np.concatenate((_np.zeros(1, dtype=starts.dtype), starts))
+        ends = _np.concatenate((starts[1:], [m]))
+        self._ttof[:] = ttof
+        self._ftot[ttof] = _np.arange(m, dtype=_np.int64)
+        nb = int(starts.shape[0])
+        self._ptrb[:] = _np.repeat(
+            _np.arange(nb, dtype=_np.int64), ends - starts
+        )
+        self._ensure_block_slots(nb)
+        self._bl[:nb] = starts
+        self._bre[:nb] = ends
+        self._bf[:nb] = sf[starts]
+        self._bn = nb
+        self._free_head = -1
+
     def _sync_rank_tables(self, m: int) -> None:
         """(Re)build the prev/nxt rank tables — only when ``m`` moved.
 
@@ -1599,8 +2064,12 @@ class FlatProfile(ProfileQueryMixin):
         path) from paying O(m) for nothing.
         """
         if len(self._prev) != m + 1:
-            self._prev = list(range(-1, m))
-            self._nxt = list(range(1, m + 2))
+            if self._array:
+                self._prev = _np.arange(-1, m, dtype=_np.int64)
+                self._nxt = _np.arange(1, m + 2, dtype=_np.int64)
+            else:
+                self._prev = list(range(-1, m))
+                self._nxt = list(range(1, m + 2))
 
     def _install_runs(
         self, ttof: list[int], runs: list[tuple[int, int, int]]
@@ -1637,6 +2106,24 @@ class FlatProfile(ProfileQueryMixin):
             raise InvariantViolationError(
                 f"runs cover {covered} ranks, expected {m}"
             )
+        if self._array:
+            # In-place install: external (shared-memory) buffers are
+            # fixed-capacity, owned buffers reallocate on a capacity
+            # change.
+            if m != self._m:
+                self._reallocate_owned(m)
+            self._ttof[:] = ttof
+            self._ftot[:] = ftot
+            self._ptrb[:] = ptrb
+            nb = len(bl)
+            self._ensure_block_slots(max(nb, 1))
+            self._bl[:nb] = bl
+            self._bre[:nb] = bre
+            self._bf[:nb] = bf
+            self._bn = nb
+            self._sync_rank_tables(m)
+            self._free_head = -1
+            return
         self._m = m
         self._ttof = ttof
         self._ftot = ftot

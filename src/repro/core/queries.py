@@ -114,7 +114,7 @@ class ProfileQueryMixin:
         return ModeResult(
             frequency=block.f,
             count=block.r - block.l + 1,
-            example=self._ttof[block.r],
+            example=int(self._ttof[block.r]),
         )
 
     def least(self) -> ModeResult:
@@ -123,7 +123,7 @@ class ProfileQueryMixin:
         return ModeResult(
             frequency=block.f,
             count=block.r - block.l + 1,
-            example=self._ttof[block.l],
+            example=int(self._ttof[block.l]),
         )
 
     def mode_objects(self, limit: int | None = None) -> list[int]:
@@ -148,7 +148,7 @@ class ProfileQueryMixin:
             return None
         block = self._blocks.rightmost()
         if 2 * block.f > total:
-            return self._ttof[block.r]
+            return int(self._ttof[block.r])
         return None
 
     # ------------------------------------------------------------------
@@ -164,7 +164,7 @@ class ProfileQueryMixin:
         if not 1 <= k <= m:
             raise CapacityError(f"k must be in [1, {m}], got {k}")
         rank = m - k
-        return TopEntry(self._ttof[rank], self._blocks.block_at(rank).f)
+        return TopEntry(int(self._ttof[rank]), self._blocks.block_at(rank).f)
 
     def top_k(self, k: int) -> list[TopEntry]:
         """The ``min(k, m)`` most frequent objects, descending.  O(k)."""
@@ -181,7 +181,7 @@ class ProfileQueryMixin:
             f = block.f
             stop = max(block.l, rank - (count - len(out)) + 1)
             for position in range(rank, stop - 1, -1):
-                out.append(TopEntry(ttof[position], f))
+                out.append(TopEntry(int(ttof[position]), f))
             rank = block.l - 1
         return out
 
@@ -200,7 +200,7 @@ class ProfileQueryMixin:
             f = block.f
             stop = min(block.r, rank + (count - len(out)) - 1)
             for position in range(rank, stop + 1):
-                out.append(TopEntry(ttof[position], f))
+                out.append(TopEntry(int(ttof[position]), f))
             rank = block.r + 1
         return out
 
@@ -213,12 +213,12 @@ class ProfileQueryMixin:
         m = self._capacity_checked()
         if not 0 <= rank < m:
             raise CapacityError(f"rank {rank} out of range [0, {m})")
-        return self._ttof[rank]
+        return int(self._ttof[rank])
 
     def rank_of(self, obj: int) -> int:
         """``FtoT[obj]`` — the sorted position of an object.  O(1)."""
         self._check_object(obj)
-        return self._ftot[obj]
+        return int(self._ftot[obj])
 
     def frequency(self, obj: int) -> int:
         """Net occurrence count of ``obj``.  O(1)."""
@@ -288,7 +288,7 @@ class ProfileQueryMixin:
         for block in self._blocks.iter_blocks():
             f = block.f
             for rank in range(block.l, block.r + 1):
-                yield TopEntry(ttof[rank], f)
+                yield TopEntry(int(ttof[rank]), f)
 
     def heavy_hitters(self, phi: float) -> list[TopEntry]:
         """Objects whose frequency exceeds ``phi * total`` — *exactly*.
@@ -311,7 +311,7 @@ class ProfileQueryMixin:
                 break
             f = block.f
             for rank in range(block.r, block.l - 1, -1):
-                out.append(TopEntry(ttof[rank], f))
+                out.append(TopEntry(int(ttof[rank]), f))
         return out
 
     # ------------------------------------------------------------------
@@ -325,7 +325,11 @@ class ProfileQueryMixin:
             if limit < 0:
                 raise CapacityError(f"limit must be >= 0, got {limit}")
             r = min(r, l + limit - 1)
-        return self._ttof[l : r + 1]
+        segment = self._ttof[l : r + 1]
+        # ndarray slice (array-engine profiles) -> plain int list.
+        if hasattr(segment, "tolist"):
+            return segment.tolist()
+        return segment
 
     def _capacity_checked(self) -> int:
         m = self._blocks.capacity

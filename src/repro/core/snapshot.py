@@ -91,7 +91,11 @@ class ProfileSnapshot(ProfileQueryMixin):
         n_events: int,
     ) -> None:
         m = len(ttof)
-        self._ttof = list(ttof)
+        # tolist() (ndarray permutations from array-engine profiles)
+        # yields plain ints; list() keeps list inputs cheap.
+        self._ttof = (
+            ttof.tolist() if hasattr(ttof, "tolist") else list(ttof)
+        )
         ftot = [0] * m
         for rank, obj in enumerate(self._ttof):
             ftot[obj] = rank

@@ -1,0 +1,901 @@
+"""Multi-core ingestion: shard cores in worker processes over shared
+memory.
+
+:class:`~repro.engine.sharding.ShardedProfiler` buys merge-query
+structure, but its shard cores all run on the caller's core — adding
+shards *loses* ingest throughput to the routing overhead.  This module
+hosts each shard's :class:`~repro.core.flat.FlatProfile` (array
+engine) inside a persistent **worker process**, with the whole profile
+state living in one ``multiprocessing.shared_memory`` segment per
+shard:
+
+- **ingest** — batches are split per shard by the same vectorized
+  modulus pass the sharded engine uses and dispatched to the workers
+  concurrently; each worker mutates its shared-memory buffers in
+  place.  Dispatch is *pipelined*: batch calls return once every
+  sub-batch is enqueued, and a sequence-numbered **epoch barrier**
+  (:meth:`ParallelShardedProfiler.sync`) drains the acknowledgements
+  so queries always see a consistent cut of the stream;
+- **queries** — the parent holds zero-copy numpy views of every
+  shard's buffers (scalar state mirrored through a small header), so
+  *exact* merged queries — and the fused
+  :class:`~repro.api.plan.Query` plans — run in the parent over an
+  ordinary :class:`ShardedProfiler` wrapped around those views.
+  Profile state is **never pickled**; only input batches travel over
+  the pipes;
+- **strict mode** — rejection is all-or-nothing *across* workers: the
+  parent barriers, pre-checks every net removal against the live
+  shared-memory views, and only then dispatches, so a rejected batch
+  leaves every shard untouched;
+- **teardown** — the engine is a context manager with an idempotent
+  :meth:`~ParallelShardedProfiler.close` and a ``weakref.finalize``
+  safety net, so shared-memory segments are unlinked even when callers
+  forget to close (no resource-tracker leaks at interpreter exit).
+
+On a single-CPU machine (or with ``workers=1``) the engine degrades to
+an **inline serial fallback** — a plain flat-core sharded profiler in
+this process, same contract, no worker processes — so code written
+against the parallel backend runs anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import Counter
+from typing import Any, Iterable
+
+import multiprocessing as _mp
+from multiprocessing import shared_memory as _shm
+
+from repro.core.flat import HEADER_SLOTS, FlatProfile
+from repro.engine.sharding import (
+    ShardedProfiler,
+    coerce_id_batch,
+    partition_ids,
+)
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    FrequencyUnderflowError,
+)
+
+try:  # the shared-memory layout is numpy-native
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the test env
+    _np = None
+
+__all__ = [
+    "ParallelShardedProfiler",
+    "default_workers",
+    "parallel_supported",
+    "segment_nbytes",
+]
+
+
+def parallel_supported() -> bool:
+    """Whether this environment can host the parallel engine at all
+    (the shared-memory layout is numpy-native)."""
+    return _np is not None
+
+#: Outstanding commands allowed per worker before dispatch reaps acks —
+#: bounds the ack backlog so neither pipe direction can fill and
+#: deadlock under unbounded pipelined per-event ingest.
+_MAX_PIPELINE = 128
+
+#: Default worker fan-out cap: beyond a few cores the modulus split and
+#: pickle of input batches become the bottleneck before the shards do.
+_DEFAULT_WORKER_CAP = 4
+
+
+def default_workers() -> int:
+    """Worker fan-out ``Profiler.open(backend="parallel")`` defaults
+    to: the CPU count, capped at 4 (1 on a single-core box, where the
+    engine falls back to the inline serial path)."""
+    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+def segment_nbytes(m: int) -> int:
+    """Bytes one shard's shared-memory segment needs for capacity
+    ``m``: a ``HEADER_SLOTS`` scalar header, the three rank-permutation
+    arrays, and ``max(m, 1)`` block slots (the most the structure can
+    ever mint, since external buffers cannot grow)."""
+    return 8 * (HEADER_SLOTS + 3 * m + 3 * max(m, 1))
+
+
+def _segment_views(buf, m: int):
+    """Carve the header + six int64 array views out of one buffer."""
+    offset = 0
+
+    def take(count):
+        nonlocal offset
+        arr = _np.frombuffer(buf, dtype=_np.int64, count=count, offset=offset)
+        offset += count * 8
+        return arr
+
+    header = take(HEADER_SLOTS)
+    slots = max(m, 1)
+    arrays = (take(m), take(m), take(m), take(slots), take(slots), take(slots))
+    return header, arrays
+
+
+def _attach_profile(buf, m, *, fresh, allow_negative=True) -> FlatProfile:
+    header, arrays = _segment_views(buf, m)
+    return FlatProfile.attach_buffers(
+        header, *arrays, fresh=fresh, allow_negative=allow_negative
+    )
+
+
+def _apply_op(profile: FlatProfile, op: str, args):
+    """Execute one parent command against the worker's shard profile."""
+    if op == "add_many":
+        return profile.add_many(args)
+    if op == "remove_many":
+        return profile.remove_many(args)
+    if op == "apply":
+        return profile.apply(args)
+    if op == "consume":
+        ids, adds = args
+        return profile.consume_arrays(ids, adds)
+    if op == "add":
+        profile.add(args)
+        return 1
+    if op == "remove":
+        profile.remove(args)
+        return 1
+    if op == "clear":
+        profile.clear()
+        return None
+    if op == "load_state":
+        from repro.core.checkpoint import flat_profile_from_state
+
+        restored = flat_profile_from_state(args)
+        if restored.capacity != profile.capacity:
+            raise CheckpointError(
+                f"shard state capacity {restored.capacity} does not "
+                f"match shard capacity {profile.capacity}"
+            )
+        if restored.allow_negative != profile.allow_negative:
+            raise CheckpointError(
+                "shard state allow_negative disagrees with the engine"
+            )
+        profile._copy_from(restored)
+        return None
+    if op == "ping":
+        return None
+    raise CapacityError(f"unknown worker op {op!r}")
+
+
+def _worker_main(shm_name, m_local, allow_negative, conn):
+    """Worker loop: attach the shard segment, apply commands, ack.
+
+    Every command ends with a header sync so the parent's zero-copy
+    view sees consistent scalar state once the ack arrives (the array
+    buffers are the same physical pages — coherent by construction).
+    """
+    shm = _shm.SharedMemory(name=shm_name)
+    profile = None
+    try:
+        profile = _attach_profile(shm.buf, m_local, fresh=False)
+        # Strictness is adopted from the header the parent stamped;
+        # cross-check it against what the parent *said* it stamped so
+        # a header-write bug fails loudly instead of silently flipping
+        # underflow semantics.
+        if profile.allow_negative != allow_negative:
+            raise CapacityError(
+                "shared header strictness disagrees with the engine"
+            )
+        while True:
+            try:
+                seq, op, args = conn.recv()
+            except EOFError:
+                break
+            if op == "stop":
+                conn.send((seq, "ok", None))
+                break
+            try:
+                result = _apply_op(profile, op, args)
+            except BaseException as exc:  # ship the real exception back
+                profile._sync_header()
+                conn.send((seq, "err", exc))
+            else:
+                profile._sync_header()
+                conn.send((seq, "ok", result))
+    finally:
+        # Release buffer exports before closing the mapping (mmap
+        # refuses to close while ndarray views exist).
+        if profile is not None:
+            profile.release_buffers()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views already dropped
+            pass
+        conn.close()
+
+
+def _cleanup_resources(procs, conns, shms, views=()):
+    """Last-resort teardown (atexit via ``weakref.finalize``): stop the
+    workers, release the parent's buffer exports, and unlink every
+    segment.  Runs after :meth:`close` too — every step is
+    idempotent."""
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5)
+    for view in views:
+        # Drop the parent's ndarray exports so shm.close() (here and
+        # in SharedMemory.__del__) cannot raise BufferError.
+        view.release_buffers()
+    for shm in shms:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views just released
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ParallelShardedProfiler:
+    """Hash-partitioned flat profiles hosted in worker processes.
+
+    The write surface matches :class:`ShardedProfiler` (``add`` /
+    ``remove`` / ``add_many`` / ``remove_many`` / ``apply`` /
+    ``consume`` / ``consume_arrays`` / ``clear``); every query the
+    sharded engine answers is delegated — after an epoch barrier — to
+    a parent-side merged view over the shards' shared-memory buffers,
+    so answers are exact and identical to the serial engines.
+
+    Parameters
+    ----------
+    capacity:
+        Global universe size ``m`` (dense ids, as everywhere).
+    workers:
+        Worker-process fan-out; one shard per worker.  ``None`` picks
+        :func:`default_workers`.
+    allow_negative:
+        Paper semantics when True (default).  When False, batch
+        rejection is all-or-nothing across workers.
+    inline:
+        Force (True) or forbid (False) the no-process serial fallback;
+        ``None`` (default) falls back automatically when
+        ``workers == 1``.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap worker startup on Linux), falling back to the platform
+        default.
+
+    Examples
+    --------
+    >>> with ParallelShardedProfiler(8, workers=2) as p:
+    ...     p.add_many([1, 1, 4, 1, 2])
+    ...     (p.mode().frequency, p.mode().example)
+    5
+    (3, 1)
+    """
+
+    #: Registry-facing metadata (duck-typed counterpart of ProfilerBase).
+    name = "parallel-flat"
+    SUPPORTED_QUERIES = ShardedProfiler.SUPPORTED_QUERIES
+
+    __slots__ = (
+        "_m",
+        "_workers",
+        "_allow_negative",
+        "_inline",
+        "_shms",
+        "_procs",
+        "_conns",
+        "_views",
+        "_view",
+        "_outstanding",
+        "_seq",
+        "_errors",
+        "_closed",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        workers: int | None = None,
+        allow_negative: bool = True,
+        inline: bool | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise CapacityError(f"capacity must be >= 0, got {capacity}")
+        if _np is None:
+            raise CapacityError(
+                "the parallel engine requires numpy (shared-memory "
+                "buffers are numpy-native)"
+            )
+        if workers is None:
+            workers = default_workers()
+        if workers <= 0:
+            raise CapacityError(f"workers must be positive, got {workers}")
+        if inline is None:
+            inline = workers == 1
+        if inline and workers != 1:
+            raise CapacityError(
+                "the inline serial fallback hosts exactly one shard; "
+                "use workers=1 (or inline=False)"
+            )
+        self._m = capacity
+        self._workers = workers
+        self._allow_negative = allow_negative
+        self._inline = inline
+        self._seq = 0
+        self._errors: list[BaseException] = []
+        self._closed = False
+        if inline:
+            self._view = ShardedProfiler(
+                capacity,
+                n_shards=1,
+                allow_negative=allow_negative,
+                core="flat",
+            )
+            self._views = self._view.shards
+            self._shms = ()
+            self._procs = ()
+            self._conns = ()
+            self._outstanding = []
+            self._finalizer = None
+            return
+
+        methods = _mp.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = _mp.get_context(start_method)
+
+        shms: list[Any] = []
+        procs: list[Any] = []
+        conns: list[Any] = []
+        views: list[FlatProfile] = []
+        try:
+            for s in range(workers):
+                m_local = (capacity - s + workers - 1) // workers
+                shm = _shm.SharedMemory(
+                    create=True, size=segment_nbytes(m_local)
+                )
+                shms.append(shm)
+                views.append(
+                    _attach_profile(
+                        shm.buf,
+                        m_local,
+                        fresh=True,
+                        allow_negative=allow_negative,
+                    )
+                )
+            for s in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        shms[s].name,
+                        views[s].capacity,
+                        allow_negative,
+                        child_conn,
+                    ),
+                    name=f"repro-shard-{s}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+        except BaseException:
+            for view in views:
+                view.release_buffers()
+            _cleanup_resources(procs, conns, shms)
+            raise
+
+        self._shms = tuple(shms)
+        self._procs = tuple(procs)
+        self._conns = tuple(conns)
+        self._views = tuple(views)
+        merged = ShardedProfiler.__new__(ShardedProfiler)
+        merged._m = capacity
+        merged._n_shards = workers
+        merged._core = "flat"
+        merged._shards = self._views
+        self._view = merged
+        self._outstanding = [0] * workers
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup_resources,
+            self._procs,
+            self._conns,
+            self._shms,
+            self._views,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared-memory segment.
+
+        Idempotent; also runs automatically at interpreter exit through
+        a ``weakref.finalize`` safety net, so no segment outlives the
+        process even when callers forget to close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._inline:
+            return
+        for s, conn in enumerate(self._conns):
+            try:
+                self._seq += 1
+                conn.send((self._seq, "stop", None))
+                self._outstanding[s] += 1
+            except (BrokenPipeError, OSError):
+                pass
+        for s, conn in enumerate(self._conns):
+            while self._outstanding[s] > 0:
+                try:
+                    if not conn.poll(5):
+                        break
+                    conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._outstanding[s] -= 1
+        for view in self._views:
+            view.release_buffers()
+        self._finalizer()
+
+    def __enter__(self) -> "ParallelShardedProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CapacityError("parallel profiler is closed")
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, s: int, op: str, args) -> None:
+        while self._outstanding[s] >= _MAX_PIPELINE:
+            self._reap(s)
+        self._seq += 1
+        try:
+            self._conns[s].send((self._seq, op, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise CapacityError(
+                f"worker {s} is gone (crashed or killed): {exc}"
+            ) from exc
+        self._outstanding[s] += 1
+
+    def _reap(self, s: int) -> None:
+        try:
+            seq, status, payload = self._conns[s].recv()
+        except (EOFError, OSError) as exc:
+            self._outstanding[s] = 0
+            raise CapacityError(
+                f"worker {s} died mid-stream: {exc}"
+            ) from exc
+        self._outstanding[s] -= 1
+        if status == "err":
+            self._errors.append(payload)
+
+    def sync(self) -> None:
+        """The epoch barrier: wait until every dispatched command is
+        applied, then refresh the parent views' scalar state.  Raises
+        the first deferred worker error, if any."""
+        self._check_open()
+        if self._inline:
+            return
+        for s in range(self._workers):
+            while self._outstanding[s] > 0:
+                self._reap(s)
+        if self._errors:
+            errors = self._errors
+            self._errors = []
+            raise errors[0]
+        for view in self._views:
+            view._load_header()
+
+    # Internal alias (bench/tests call the public name).
+    _barrier = sync
+
+    # ------------------------------------------------------------------
+    # Partition helpers
+    # ------------------------------------------------------------------
+
+    def _check_object(self, x: int) -> None:
+        if not 0 <= x < self._m:
+            raise CapacityError(
+                f"object id {x} out of range [0, {self._m})"
+            )
+
+    def _split_np(self, xs):
+        """Vectorized per-worker split of an integer batch — the
+        engines' shared partition rule (:func:`~repro.engine.sharding.
+        partition_ids`: one modulus pass, whole-batch range
+        validation).  Returns ``None`` when the batch is not a clean
+        1-d integer array."""
+        arr = coerce_id_batch(xs)
+        if arr is None:
+            return None
+        if arr.size == 0:
+            return []
+        workers = self._workers
+        residue, local = partition_ids(arr, workers, self._m)
+        out = []
+        for s in range(workers):
+            sel = local[residue == s]
+            if sel.size:
+                out.append((s, sel))
+        return out
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Process one add: route to the owning worker (pipelined)."""
+        self._check_open()
+        self._check_object(x)
+        if self._inline:
+            self._view.add(x)
+            return
+        self._dispatch(x % self._workers, "add", x // self._workers)
+
+    def remove(self, x: int) -> None:
+        """Process one remove.  Strict mode barriers immediately so an
+        underflow surfaces synchronously, like the serial engines."""
+        self._check_open()
+        self._check_object(x)
+        if self._inline:
+            self._view.remove(x)
+            return
+        self._dispatch(x % self._workers, "remove", x // self._workers)
+        if not self._allow_negative:
+            self.sync()
+
+    def update(self, x: int, is_add: bool) -> None:
+        if is_add:
+            self.add(x)
+        else:
+            self.remove(x)
+
+    def consume(self, events: Iterable[tuple[int, bool]]) -> int:
+        """Apply ``(object, is_add)`` tuples in order; return count."""
+        n = 0
+        for x, is_add in events:
+            if is_add:
+                self.add(x)
+            else:
+                self.remove(x)
+            n += 1
+        return n
+
+    def consume_arrays(self, ids, adds) -> int:
+        """Apply parallel id/flag arrays, split per shard.
+
+        Per-key event order is preserved (a key's events all land on
+        its owning shard, in stream order).  Unlike the serial engines'
+        event-at-a-time fault contract, the id range is validated up
+        front and a bad id rejects the whole batch before any shard
+        mutates — the same all-or-nothing strengthening the batch
+        paths already have.
+        """
+        self._check_open()
+        if self._inline:
+            return self._view.consume_arrays(ids, adds)
+        id_arr = _np.asarray(ids)
+        add_arr = _np.asarray(adds)
+        if id_arr.ndim != 1 or add_arr.ndim != 1:
+            raise CapacityError(
+                f"ids and adds must be one-dimensional, got shapes "
+                f"{id_arr.shape} and {add_arr.shape}"
+            )
+        if id_arr.shape[0] != add_arr.shape[0]:
+            raise CapacityError(
+                f"ids ({id_arr.shape[0]}) and adds ({add_arr.shape[0]}) "
+                f"differ"
+            )
+        if not self._allow_negative:
+            # Strict mode keeps the global event-at-a-time underflow
+            # contract: route per event, barrier on removes.
+            return self.consume(
+                zip(id_arr.tolist(), [bool(a) for a in add_arr.tolist()])
+            )
+        if id_arr.size == 0:
+            return 0
+        if id_arr.dtype.kind not in "iu":
+            # The serial engines reject non-integer ids (a float id
+            # faults on list indexing); silently truncating here would
+            # corrupt counts instead.
+            raise TypeError(
+                f"object ids must be integers, got dtype {id_arr.dtype}"
+            )
+        workers = self._workers
+        residue, local = partition_ids(id_arr, workers, self._m)
+        for s in range(workers):
+            mask = residue == s
+            if bool(mask.any()):
+                self._dispatch(
+                    s, "consume", (local[mask], add_arr[mask])
+                )
+        return int(id_arr.shape[0])
+
+    def add_many(self, xs: Iterable[int]) -> int:
+        """Batch adds: coalesce, split per shard, dispatch concurrently.
+
+        Batch semantics of :meth:`repro.core.profile.SProfile.add_many`
+        (repeated keys coalesce, bad ids reject the batch before any
+        mutation).  Returns once every sub-batch is enqueued — call
+        :meth:`sync` (or any query) for the barrier.
+        """
+        self._check_open()
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        if self._inline:
+            return self._view.add_many(xs)
+        split = self._split_np(xs)
+        if split is None:
+            counts = Counter(xs)
+            return self._apply_counts(counts, +1)
+        for s, local in split:
+            self._dispatch(s, "add_many", local)
+        return len(xs)
+
+    def remove_many(self, xs: Iterable[int]) -> int:
+        """Batch removes; all-or-nothing across workers in strict mode
+        (the parent barriers and pre-checks every shard's net removal
+        against the live shared-memory views before dispatching)."""
+        self._check_open()
+        if not hasattr(xs, "__len__"):
+            xs = list(xs)
+        if self._inline:
+            return self._view.remove_many(xs)
+        split = self._split_np(xs)
+        if split is None:
+            counts = Counter(xs)
+            return self._apply_counts(counts, -1)
+        if not self._allow_negative:
+            self.sync()
+            for s, local in split:
+                view = self._views[s]
+                per_key = _np.bincount(local, minlength=view.capacity)
+                keys = _np.flatnonzero(per_key)
+                current = view._bf[view._ptrb[view._ftot[keys]]]
+                short = per_key[keys] > current
+                if bool(short.any()):
+                    idx = int(_np.flatnonzero(short)[0])
+                    local_id = int(keys[idx])
+                    raise FrequencyUnderflowError(
+                        f"removing object "
+                        f"{local_id * self._workers + s} at frequency "
+                        f"{int(current[idx])} {int(per_key[keys][idx])} "
+                        f"times would go negative"
+                    )
+        for s, local in split:
+            self._dispatch(s, "remove_many", local)
+        return len(xs)
+
+    def apply(self, deltas) -> int:
+        """Apply ``(object, delta)`` pairs (or a mapping) per shard.
+
+        Net-zero keys are untouched; bad ids and strict-mode net
+        underflows reject the whole batch before any worker is
+        touched, so a rejected batch leaves the engine unchanged on
+        every shard."""
+        self._check_open()
+        if self._inline:
+            return self._view.apply(deltas)
+        items = deltas.items() if hasattr(deltas, "items") else deltas
+        workers = self._workers
+        m = self._m
+        per_shard: list[dict[int, int]] = [{} for _ in range(workers)]
+        for x, d in items:
+            if not 0 <= x < m:
+                raise CapacityError(
+                    f"object id {x} out of range [0, {m})"
+                )
+            chunk = per_shard[x % workers]
+            local = x // workers
+            chunk[local] = chunk.get(local, 0) + d
+        if not self._allow_negative:
+            self.sync()
+            for s, chunk in enumerate(per_shard):
+                view = self._views[s]
+                for local, d in chunk.items():
+                    if d < 0 and view.frequency(local) + d < 0:
+                        raise FrequencyUnderflowError(
+                            f"removing object {local * workers + s} at "
+                            f"frequency {view.frequency(local)} {-d} "
+                            f"times (net) would go negative"
+                        )
+        n = 0
+        for s, chunk in enumerate(per_shard):
+            net = {x: d for x, d in chunk.items() if d}
+            if net:
+                self._dispatch(s, "apply", net)
+                n += sum(abs(d) for d in net.values())
+        return n
+
+    def _apply_counts(self, counts: Counter, sign: int) -> int:
+        """Non-array batch fallback: coalesce to per-shard deltas."""
+        if not counts:
+            return 0
+        n = sum(counts.values())
+        self.apply({x: sign * c for x, c in counts.items()})
+        return n
+
+    def clear(self) -> None:
+        """Reset every frequency to zero (keeps capacity and workers)."""
+        self._check_open()
+        if self._inline:
+            self._view.clear()
+            return
+        for s in range(self._workers):
+            self._dispatch(s, "clear", None)
+
+    # ------------------------------------------------------------------
+    # Parent-side merged reads
+    # ------------------------------------------------------------------
+
+    def merged_view(self) -> ShardedProfiler:
+        """Barrier, then return the parent-side merged engine over the
+        zero-copy shard views (what the fused-plan runs view walks)."""
+        self.sync()
+        return self._view
+
+    def __getattr__(self, name: str):
+        # Every read not defined here (mode, top_k, histogram,
+        # frequencies, total, ...) barriers and delegates to the merged
+        # view — one definition of the merge logic, shared with the
+        # serial sharded engine.  Methods are wrapped so the barrier
+        # runs at *call* time: a caller may stash `f = p.frequencies`,
+        # ingest more, then call `f()` and still see every event.
+        # Plain values (total, n_events, ...) compute during the
+        # lookup, so the barrier above them IS call time.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            view = object.__getattribute__(self, "_view")
+        except AttributeError:
+            raise AttributeError(name) from None
+        self.sync()
+        value = getattr(view, name)
+        if callable(value):
+            def synced_call(*args, _name=name, **kwargs):
+                self.sync()
+                return getattr(self._view, _name)(*args, **kwargs)
+
+            synced_call.__name__ = name
+            synced_call.__qualname__ = f"ParallelShardedProfiler.{name}"
+            synced_call.__doc__ = value.__doc__
+            return synced_call
+        return value
+
+    # ------------------------------------------------------------------
+    # Checkpointing hooks (parent-side, zero pickle of live state)
+    # ------------------------------------------------------------------
+
+    def shard_states(self) -> list[dict[str, Any]]:
+        """One JSON-safe checkpoint dict per shard (schema of
+        :func:`repro.core.checkpoint.profile_to_state`), read in the
+        parent from the shared-memory views after a barrier."""
+        from repro.core.checkpoint import profile_to_state
+
+        self.sync()
+        return [profile_to_state(shard) for shard in self._view.shards]
+
+    @classmethod
+    def from_shard_states(
+        cls,
+        capacity: int,
+        states: list[dict[str, Any]],
+        *,
+        workers: int | None = None,
+        allow_negative: bool = True,
+        inline: bool | None = None,
+    ) -> "ParallelShardedProfiler":
+        """Rebuild an engine from per-shard checkpoint states.
+
+        Worker mode ships each state to its worker, which restores —
+        with the full structural audit — straight into the shared
+        segment.
+        """
+        if workers is None:
+            workers = len(states)
+        if len(states) != workers:
+            raise CheckpointError(
+                f"{len(states)} shard states for workers={workers}"
+            )
+        self = cls(
+            capacity,
+            workers=workers,
+            allow_negative=allow_negative,
+            inline=inline,
+        )
+        try:
+            if self._inline:
+                from repro.core.checkpoint import flat_profile_from_state
+
+                restored = flat_profile_from_state(states[0])
+                shard = self._view.shards[0]
+                if restored.capacity != shard.capacity:
+                    raise CheckpointError(
+                        f"shard state capacity {restored.capacity} does "
+                        f"not match shard capacity {shard.capacity}"
+                    )
+                if restored.allow_negative != allow_negative:
+                    raise CheckpointError(
+                        "shard state allow_negative disagrees with the "
+                        "engine"
+                    )
+                shard._copy_from(restored)
+            else:
+                for s, state in enumerate(states):
+                    self._dispatch(s, "load_state", state)
+                self.sync()
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    # ------------------------------------------------------------------
+    # Accounting (cheap, barrier-backed through __getattr__ otherwise)
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._m
+
+    @property
+    def workers(self) -> int:
+        """Worker-process fan-out (1 in the inline serial fallback)."""
+        return self._workers
+
+    @property
+    def inline(self) -> bool:
+        """True when running the no-process serial fallback."""
+        return self._inline
+
+    @property
+    def n_shards(self) -> int:
+        return 1 if self._inline else self._workers
+
+    @property
+    def core(self) -> str:
+        return "flat"
+
+    @property
+    def allow_negative(self) -> bool:
+        return self._allow_negative
+
+    @property
+    def segment_bytes(self) -> int:
+        """Total shared-memory bytes across shard segments."""
+        return sum(shm.size for shm in self._shms)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "inline" if self._inline else f"{self._workers} workers"
+        )
+        return (
+            f"ParallelShardedProfiler(capacity={self._m}, {state})"
+        )

@@ -53,7 +53,38 @@ from repro.errors import (
     FrequencyUnderflowError,
 )
 
-__all__ = ["ShardedProfiler"]
+__all__ = ["ShardedProfiler", "coerce_id_batch", "partition_ids"]
+
+
+def coerce_id_batch(xs):
+    """The materialized batch as a clean 1-d integer ndarray, or
+    ``None`` when the vectorized partition does not apply (no NumPy,
+    or a batch that is not integer-array-shaped — callers then take
+    their per-key dict pipeline)."""
+    if _np is None:
+        return None
+    arr = _np.asarray(xs)
+    if arr.ndim != 1 or arr.dtype.kind not in "iu":
+        return None
+    return arr
+
+
+def partition_ids(arr, n_parts: int, m: int):
+    """Range-validate and partition dense ids over ``n_parts`` owners.
+
+    The single definition of the engines' partition rule (owner
+    ``x % n_parts``, local id ``x // n_parts``) and of its batch
+    validation — a bad id rejects the whole batch before any owner is
+    touched.  Returns ``(residue, local)`` arrays; shared by the
+    serial sharded engine and the parallel worker engine so the two
+    can never drift.
+    """
+    lo = int(arr.min())
+    hi = int(arr.max())
+    if lo < 0 or hi >= m:
+        bad = lo if lo < 0 else hi
+        raise CapacityError(f"object id {bad} out of range [0, {m})")
+    return arr % n_parts, arr // n_parts
 
 
 class ShardedProfiler:
@@ -255,23 +286,13 @@ class ShardedProfiler:
         Validates the global id range first, so a bad id rejects the
         whole batch before any shard mutates.
         """
-        if _np is None:
-            return None
-        arr = _np.asarray(xs)
-        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+        arr = coerce_id_batch(xs)
+        if arr is None:
             return None
         if arr.size == 0:
             return []
-        lo = int(arr.min())
-        hi = int(arr.max())
-        if lo < 0 or hi >= self._m:
-            bad = lo if lo < 0 else hi
-            raise CapacityError(
-                f"object id {bad} out of range [0, {self._m})"
-            )
         n_shards = self._n_shards
-        residue = arr % n_shards
-        local = arr // n_shards
+        residue, local = partition_ids(arr, n_shards, self._m)
         out = []
         for s in range(n_shards):
             sel = local[residue == s]
@@ -338,10 +359,26 @@ class ShardedProfiler:
         )
 
     def frequencies(self) -> list[int]:
-        """Materialize the global frequency array (O(m))."""
+        """Materialize the global frequency array (O(m)).
+
+        With NumPy importable the gather is one strided assignment per
+        shard into a preallocated ``int64`` buffer (flat cores hand
+        over their frequency ndarray directly — no per-key Python
+        interleaving at all); the pure-Python fallback interleaves
+        lists.
+        """
+        n_shards = self._n_shards
+        if _np is not None:
+            out = _np.zeros(self._m, dtype=_np.int64)
+            for s, shard in enumerate(self._shards):
+                native = getattr(shard, "_frequencies_np", None)
+                out[s::n_shards] = (
+                    native() if native is not None else shard.frequencies()
+                )
+            return out.tolist()
         out = [0] * self._m
         for s, shard in enumerate(self._shards):
-            out[s :: self._n_shards] = shard.frequencies()
+            out[s::n_shards] = shard.frequencies()
         return out
 
     @property
@@ -458,7 +495,9 @@ class ShardedProfiler:
         for block in shard.blocks.iter_blocks_desc():
             f = block.f
             for rank in range(block.r, block.l - 1, -1):
-                yield TopEntry(ttof[rank] * n_shards + s, f)
+                # int() keeps np.int64 ids (array-engine shard cores)
+                # out of user-facing entries.
+                yield TopEntry(int(ttof[rank]) * n_shards + s, f)
 
     def top_k(self, k: int) -> list[TopEntry]:
         """The ``min(k, m)`` most frequent objects, descending.
@@ -543,7 +582,7 @@ class ShardedProfiler:
             if rest is not None and rest <= 0:
                 break
             out.extend(
-                local * self._n_shards + s
+                int(local) * self._n_shards + s
                 for local in shard.objects_with_frequency(f, limit=rest)
             )
         return out
@@ -580,7 +619,7 @@ class ShardedProfiler:
     ) -> Iterator[TopEntry]:
         n_shards = self._n_shards
         for obj, f in shard.iter_sorted():
-            yield TopEntry(obj * n_shards + s, f)
+            yield TopEntry(int(obj) * n_shards + s, f)
 
     # ------------------------------------------------------------------
     # Structure management

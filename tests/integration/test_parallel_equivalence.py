@@ -1,0 +1,167 @@
+"""Integration: the parallel backend against the rest of the system.
+
+Longer randomized streams through the facade, plus checkpoint
+round-trips between ``backend="parallel"`` and every other
+checkpointable backend — a parallel checkpoint must restore and keep
+answering exactly like the serial engines fed the same stream.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api import Profiler, Query
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.parallel
+
+M = 48
+CHECKPOINT_BACKENDS = ("flat", "exact", "sharded", "parallel")
+
+
+def open_backend(name, **kwargs):
+    extra = {}
+    if name == "sharded":
+        extra["shards"] = 3
+    if name == "parallel":
+        extra["workers"] = 2
+    extra.update(kwargs)
+    return Profiler.open(M, backend=name, **extra)
+
+
+def drive(profiler, seed, batches=12, batch_size=400):
+    rng = random.Random(seed)
+    for _ in range(batches):
+        batch = [
+            (rng.randrange(M), rng.randrange(-2, 4))
+            for _ in range(batch_size)
+        ]
+        profiler.ingest(batch)
+
+
+def assert_same_answers(a, b):
+    assert a.frequencies() == b.frequencies()
+    assert a.total == b.total
+    assert a.histogram() == b.histogram()
+    assert a.mode().frequency == b.mode().frequency
+    assert a.mode().count == b.mode().count
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert a.quantile(q) == b.quantile(q)
+    assert [e.frequency for e in a.top_k(10)] == [
+        e.frequency for e in b.top_k(10)
+    ]
+
+
+class TestStreamEquivalence:
+    def test_long_stream_matches_flat(self):
+        with open_backend("parallel") as parallel:
+            flat = Profiler.open(M, backend="flat")
+            drive(parallel, seed=7)
+            drive(flat, seed=7)
+            assert_same_answers(parallel, flat)
+
+    def test_fused_plan_matches_standalone(self):
+        with open_backend("parallel") as parallel:
+            drive(parallel, seed=11)
+            plan = (
+                Query.mode(),
+                Query.top_k(5),
+                Query.histogram(),
+                Query.quantile(0.5),
+                Query.support(0),
+                Query.total(),
+            )
+            result = parallel.evaluate(*plan)
+            assert result["histogram"] == parallel.histogram()
+            assert result[Query.quantile(0.5)] == parallel.quantile(0.5)
+            assert result[Query.support(0)] == parallel.support(0)
+            assert result["total"] == parallel.total
+
+
+class TestCheckpointRoundTrips:
+    """parallel <-> every other checkpointable backend."""
+
+    def test_parallel_state_is_json_safe_and_versioned(self, tmp_path):
+        with open_backend("parallel") as p:
+            drive(p, seed=3)
+            state = p.to_state()
+            text = json.dumps(state)
+            assert state["backend"] == "parallel"
+            assert state["core"] == "flat"
+            path = tmp_path / "parallel.json"
+            path.write_text(text)
+            expected = p.frequencies()
+        restored = Profiler.load(path)
+        try:
+            assert restored.backend_name == "parallel"
+            assert restored.frequencies() == expected
+        finally:
+            restored.close()
+
+    @pytest.mark.parametrize("other", CHECKPOINT_BACKENDS)
+    def test_restored_parallel_answers_like_backend(self, other):
+        """Save parallel, restore, and compare the restored profiler
+        against `other` fed the identical stream."""
+        with open_backend("parallel") as p:
+            drive(p, seed=21)
+            state = p.to_state()
+        restored = Profiler.from_state(state)
+        peer = open_backend(other)
+        try:
+            drive(peer, seed=21)
+            assert_same_answers(restored, peer)
+            # The restored engine keeps ingesting correctly.
+            restored.ingest({0: +5})
+            peer.ingest({0: +5})
+            assert restored.frequency(0) == peer.frequency(0)
+        finally:
+            restored.close()
+            peer.close()
+
+    @pytest.mark.parametrize("other", ("flat", "exact", "sharded"))
+    def test_other_backend_checkpoints_reload_beside_parallel(self, other):
+        """The reverse direction: any serial checkpoint restores and
+        answers exactly like a live parallel engine on the same
+        stream."""
+        peer = open_backend(other)
+        drive(peer, seed=33)
+        restored = Profiler.from_state(peer.to_state())
+        with open_backend("parallel") as p:
+            drive(p, seed=33)
+            assert_same_answers(restored, p)
+        peer.close()
+        restored.close()
+
+    def test_strict_round_trip_preserves_strictness(self):
+        with Profiler.open(
+            M, backend="parallel", workers=2, strict=True
+        ) as p:
+            p.ingest({1: 3})
+            state = p.to_state()
+        restored = Profiler.from_state(state)
+        try:
+            assert restored.strict
+            with pytest.raises(Exception) as excinfo:
+                restored.ingest({1: -10})
+            assert "negative" in str(excinfo.value)
+            assert restored.frequency(1) == 3
+        finally:
+            restored.close()
+
+    def test_hashable_keys_round_trip(self):
+        with Profiler.open(
+            16, backend="parallel", workers=2, keys="hashable"
+        ) as p:
+            p.ingest([("ada", +2), ("bob", +1), ("eve", +4)])
+            state = p.to_state()
+            json.dumps(state)
+        restored = Profiler.from_state(state)
+        try:
+            assert restored.frequency("eve") == 4
+            assert restored.top_k(1)[0].obj == "eve"
+        finally:
+            restored.close()

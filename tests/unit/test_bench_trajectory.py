@@ -116,6 +116,73 @@ class TestCheckRegressions:
         assert "quick.batch_ingest.speedup" in problems[0]
 
 
+def parallel_path(cpus, speedups):
+    """Fabricated parallel_batch entry: {workers -> speedup}."""
+    max_w = max(int(w) for w in speedups)
+    return {
+        "workload": "parallel (fabricated)",
+        "cpus": cpus,
+        "max_workers": max_w,
+        "flat_eps": 10e6,
+        "workers": {
+            str(w): {"eps": 10e6 * s, "speedup": s}
+            for w, s in speedups.items()
+        },
+        "speedup": speedups[max_w],
+    }
+
+
+class TestParallelGate:
+    """Parallel ratios gate only within the measuring machine's cores."""
+
+    def test_worker_ratios_within_cpu_budget_are_gated(self):
+        base = payload()
+        base["paths"]["parallel_batch"] = parallel_path(
+            4, {1: 1.0, 2: 1.8, 4: 3.0}
+        )
+        bad = payload()
+        bad["paths"]["parallel_batch"] = parallel_path(
+            4, {1: 1.0, 2: 0.5, 4: 3.0}
+        )
+        problems = check_regressions(bad, base, 0.30)
+        assert any("parallel_batch.w2" in p for p in problems)
+
+    def test_worker_ratios_beyond_cpu_budget_are_ignored(self):
+        """A 1-core box measuring 4 workers measures IPC overhead, not
+        parallelism — its w2/w4 ratios must not gate anything."""
+        base = payload()
+        base["paths"]["parallel_batch"] = parallel_path(
+            4, {1: 1.0, 2: 1.8, 4: 3.0}
+        )
+        current = payload()
+        current["paths"]["parallel_batch"] = parallel_path(
+            1, {1: 1.0, 2: 0.2, 4: 0.1}
+        )
+        assert check_regressions(current, base, 0.30) == []
+
+    def test_only_per_worker_keys_gate_within_the_core_budget(self):
+        """Worker-sweep paths never gate through the headline
+        "speedup" (its meaning shifts with the sweep), and wN keys
+        above the machine's core count are excluded."""
+        entries = dict(
+            __import__("repro.bench.trajectory", fromlist=["x"])
+            ._speedup_entries(
+                {
+                    "scale": "full",
+                    "paths": {
+                        "parallel_batch": parallel_path(
+                            2, {1: 1.0, 2: 1.8, 4: 0.9}
+                        )
+                    },
+                }
+            )
+        )
+        assert "full.parallel_batch.w1.speedup" in entries
+        assert "full.parallel_batch.w2.speedup" in entries
+        assert "full.parallel_batch.w4.speedup" not in entries
+        assert "full.parallel_batch.speedup" not in entries
+
+
 class TestScales:
     def test_both_scales_define_the_same_knobs(self):
         assert set(SCALES) == {"full", "quick"}
@@ -134,7 +201,7 @@ class TestCliCheckPath:
     ):
         monkeypatch.setattr(
             "repro.bench.trajectory.run_trajectory",
-            lambda scale, rounds, seed: payload(),
+            lambda scale, **kw: payload(),
         )
         out = tmp_path / "out.json"
         code = main(
@@ -155,7 +222,7 @@ class TestCliCheckPath:
     ):
         monkeypatch.setattr(
             "repro.bench.trajectory.run_trajectory",
-            lambda scale, rounds, seed: payload(batch=1.0),
+            lambda scale, **kw: payload(batch=1.0),
         )
         baseline = tmp_path / "base.json"
         baseline.write_text(json.dumps(payload()))
@@ -170,7 +237,7 @@ class TestCliCheckPath:
     ):
         monkeypatch.setattr(
             "repro.bench.trajectory.run_trajectory",
-            lambda scale, rounds, seed: payload(),
+            lambda scale, **kw: payload(),
         )
         baseline = tmp_path / "base.json"
         baseline.write_text(json.dumps(payload()))
@@ -202,3 +269,22 @@ class TestCommittedArtifact:
         assert paths["batch_ingest"]["speedup"] >= 4.0
         for stream in ("stream1", "stream2", "stream3"):
             assert single["streams"][stream]["flat_eps"] > 0
+        # The parallel_batch path carries the worker-scaling curve and
+        # the machine's core count (which scopes what the gate may
+        # compare — see _speedup_entries).
+        for section in (paths, data["quick"]["paths"]):
+            par = section["parallel_batch"]
+            assert par["cpus"] >= 1
+            assert set(par["workers"]) == {"1", "2", "4"}
+            assert par["flat_eps"] > 0
+            # w1 isolates the array engine's in-place dense rebuild
+            # (plus IPC) against the list engine — a same-core win the
+            # committed artifact must keep showing.
+            assert par["workers"]["1"]["speedup"] > 1.0
+            if par["cpus"] >= par["max_workers"]:
+                # On a machine that can host the full sweep, the
+                # committed curve must meet the tentpole bar: >= 2.5x
+                # at 4 workers and monotone 1 -> 2 -> 4.
+                w = {int(k): v["speedup"] for k, v in par["workers"].items()}
+                assert w[1] <= w[2] <= w[4]
+                assert par["speedup"] >= 2.5

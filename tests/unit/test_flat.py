@@ -400,3 +400,307 @@ class TestFlatCheckpoint:
         bad["version"] = 999
         with pytest.raises(CheckpointError):
             flat_profile_from_state(bad)
+
+
+class TestArrayEngine:
+    """`array_engine=True`: same structure, numpy-buffer storage.
+
+    Equivalence is asserted against the list engine (itself pinned to
+    SProfile above), plus the array-specific contracts: in-place batch
+    installs, amortized-doubling slot growth, zero-copy state export,
+    and external-buffer attachment.
+    """
+
+    def drive_pair(self, rng, m, count, p_add=0.65):
+        pytest.importorskip("numpy")
+        lp = FlatProfile(m)
+        ap = FlatProfile(m, array_engine=True)
+        for _ in range(count):
+            x = rng.randrange(m)
+            if rng.random() < p_add:
+                lp.add(x)
+                ap.add(x)
+            else:
+                lp.remove(x)
+                ap.remove(x)
+        return lp, ap
+
+    def test_per_event_equivalence(self, rng):
+        lp, ap = self.drive_pair(rng, 80, 4000)
+        assert ap.array_engine and ap.owns_buffers
+        assert lp.frequencies() == ap.frequencies()
+        assert lp.histogram() == ap.histogram()
+        assert lp.total == ap.total
+        ap.audit()
+        audit_profile(ap)
+
+    def test_fused_loops_equivalence(self, rng):
+        np = pytest.importorskip("numpy")
+        m = 64
+        lp = FlatProfile(m)
+        ap = FlatProfile(m, array_engine=True)
+        ids = np.array([rng.randrange(m) for _ in range(6000)])
+        adds = np.array([rng.random() < 0.7 for _ in range(6000)])
+        assert lp.consume_arrays(ids, adds) == ap.consume_arrays(ids, adds)
+        assert lp.track_statistic(ids, adds, m - 1) == ap.track_statistic(
+            ids, adds, m - 1
+        )
+        assert lp.track_statistic(ids, adds, m // 2) == ap.track_statistic(
+            ids, adds, m // 2
+        )
+        assert lp.frequencies() == ap.frequencies()
+        assert lp.n_events == ap.n_events
+        ap.audit()
+
+    def test_fused_fault_persists_prefix(self):
+        np = pytest.importorskip("numpy")
+        ap = FlatProfile(8, array_engine=True)
+        ids = np.array([1, 2, 99, 3])
+        adds = np.array([True, True, True, True])
+        with pytest.raises(CapacityError):
+            ap.consume_arrays(ids, adds)
+        # The applied prefix survived the fault (consume's contract).
+        assert ap.frequency(1) == 1 and ap.frequency(2) == 1
+        assert ap.frequency(3) == 0
+        ap.audit()
+
+    def test_batch_paths_equivalence(self, rng):
+        np = pytest.importorskip("numpy")
+        m = 50
+        lp = FlatProfile(m)
+        ap = FlatProfile(m, array_engine=True)
+        dense = np.array([rng.randrange(m) for _ in range(4000)])
+        assert lp.add_many(dense) == ap.add_many(dense)
+        sparse = [3, 3, 7]
+        assert lp.add_many(sparse) == ap.add_many(sparse)
+        assert lp.remove_many(sparse) == ap.remove_many(sparse)
+        deltas = [(rng.randrange(m), rng.randrange(-3, 4)) for _ in range(25)]
+        assert lp.apply(deltas) == ap.apply(deltas)
+        assert lp.frequencies() == ap.frequencies()
+        assert lp.total == ap.total
+        ap.audit()
+
+    def test_queries_return_plain_ints(self, rng):
+        _, ap = self.drive_pair(rng, 40, 800)
+        assert type(ap.frequency(3)) is int
+        assert type(ap.max_frequency()) is int
+        assert type(ap.mode().example) is int
+        entry = ap.top_k(3)[0]
+        assert type(entry.obj) is int and type(entry.frequency) is int
+        f, count = ap.histogram()[0]
+        assert type(f) is int and type(count) is int
+
+    def test_slot_growth_doubles_amortized(self):
+        pytest.importorskip("numpy")
+        m = 512
+        ap = FlatProfile(m, array_engine=True)
+        assert len(ap._bl) == 8  # modest preallocation
+        # Distinct frequencies 1..many force fresh slot mints.
+        for x in range(m):
+            for _ in range(x % 40):
+                ap.add(x)
+        assert ap.block_count > 8
+        cap = len(ap._bl)
+        assert cap >= ap.block_slots and cap & (cap - 1) == 0  # 2^k
+        ap.audit()
+
+    def test_copy_clear_grow(self, rng):
+        _, ap = self.drive_pair(rng, 30, 500)
+        clone = ap.copy()
+        assert clone.array_engine and clone.owns_buffers
+        clone.add(0)
+        assert clone.frequency(0) == ap.frequency(0) + 1
+        grown = ap.copy()
+        grown.grow(5)
+        assert grown.capacity == 35
+        assert grown.frequencies()[:30] == ap.frequencies()
+        grown.audit()
+        ap.clear()
+        assert ap.total == 0 and ap.frequencies() == [0] * 30
+        ap.audit()
+
+    def test_strict_mode(self):
+        pytest.importorskip("numpy")
+        ap = FlatProfile(5, allow_negative=False, array_engine=True)
+        ap.add(1)
+        with pytest.raises(FrequencyUnderflowError):
+            ap.remove(2)
+        with pytest.raises(FrequencyUnderflowError):
+            ap.remove_many([1, 1])
+        assert ap.frequencies() == [0, 1, 0, 0, 0]
+
+    def test_from_frequencies_array(self):
+        pytest.importorskip("numpy")
+        ap = FlatProfile.from_frequencies([3, 1, 2, 0, 5], array_engine=True)
+        assert ap.array_engine
+        assert ap.frequencies() == [3, 1, 2, 0, 5]
+        assert ap.total == 11
+        ap.audit()
+
+    def test_json_checkpoint_round_trips_both_engines(self, rng):
+        import json
+
+        _, ap = self.drive_pair(rng, 30, 600)
+        state = profile_to_state(ap)
+        json.dumps(state)  # no np.int64 leakage
+        as_array = flat_profile_from_state(state, array_engine=True)
+        as_list = flat_profile_from_state(state)
+        as_blocks = profile_from_state(state)
+        assert as_array.frequencies() == ap.frequencies()
+        assert as_list.frequencies() == ap.frequencies()
+        assert as_blocks.frequencies() == ap.frequencies()
+        assert as_array.array_engine and not as_list.array_engine
+
+
+class TestArrayState:
+    """The zero-copy buffer-level checkpoint."""
+
+    def test_round_trip(self, rng):
+        np = pytest.importorskip("numpy")
+        from repro.core.checkpoint import (
+            flat_profile_from_array_state,
+            flat_profile_to_array_state,
+        )
+
+        ap = FlatProfile(40, array_engine=True)
+        ids = np.array([rng.randrange(40) for _ in range(3000)])
+        ap.add_many(ids)
+        state = flat_profile_to_array_state(ap)
+        restored = flat_profile_from_array_state(state)
+        assert restored.frequencies() == ap.frequencies()
+        assert restored.n_events == ap.n_events
+        assert restored.total == ap.total
+
+    def test_export_allocates_o1_objects_per_buffer(self, rng):
+        """The acceptance bar: checkpointing a numpy-backed profile is
+        O(buffers) Python objects, not O(m) boxed ints."""
+        np = pytest.importorskip("numpy")
+        import gc
+
+        from repro.core.checkpoint import flat_profile_to_array_state
+
+        m = 50_000
+        ap = FlatProfile(m, array_engine=True)
+        ap.add_many(np.arange(m) % 97)
+        gc.collect()
+        before = len(gc.get_objects())
+        state = flat_profile_to_array_state(ap)
+        gc.collect()
+        created = len(gc.get_objects()) - before
+        # One dict + six ndarray views + a few scalars — far under any
+        # per-element regime (m would add ~50k objects).
+        assert created < 100, created
+        # And the export really is zero-copy: it aliases live storage.
+        assert np.shares_memory(state["ftot"], ap._ftot)
+        assert np.shares_memory(state["bl"], ap._bl)
+
+    def test_list_engine_also_exports(self, rng):
+        pytest.importorskip("numpy")
+        from repro.core.checkpoint import (
+            flat_profile_from_array_state,
+            flat_profile_to_array_state,
+        )
+
+        lp = FlatProfile(20)
+        lp.add_many([1, 1, 2, 9])
+        restored = flat_profile_from_array_state(
+            flat_profile_to_array_state(lp)
+        )
+        assert restored.frequencies() == lp.frequencies()
+
+    def test_tampered_state_fails_loudly(self, rng):
+        pytest.importorskip("numpy")
+        from repro.core.checkpoint import (
+            flat_profile_from_array_state,
+            flat_profile_to_array_state,
+        )
+
+        ap = FlatProfile(10, array_engine=True)
+        ap.add_many([1, 1, 2])
+        state = flat_profile_to_array_state(ap)
+        bad_ptrb = dict(state)
+        bad_ptrb["ptrb"] = bad_ptrb["ptrb"].copy()
+        bad_ptrb["ptrb"][0] = 99
+        with pytest.raises(CheckpointError):
+            flat_profile_from_array_state(bad_ptrb)
+        # A free-list head outside the minted slots must fail at
+        # restore time, not crash the next add that pops the list.
+        bad_free = dict(state)
+        bad_free["free_head"] = 10**9
+        with pytest.raises(CheckpointError):
+            flat_profile_from_array_state(bad_free)
+        bad_ttof = dict(state)
+        bad_ttof["ttof"] = bad_ttof["ttof"].copy()
+        bad_ttof["ttof"][0] = 10**6
+        with pytest.raises(CheckpointError):
+            flat_profile_from_array_state(bad_ttof)
+
+
+class TestAttachBuffers:
+    """External (caller-owned) buffer hosting — the shared-memory
+    contract, exercised on plain heap buffers."""
+
+    def build_buffers(self, m):
+        np = pytest.importorskip("numpy")
+        from repro.core.flat import HEADER_SLOTS
+
+        slots = max(m, 1)
+        buf = np.zeros(HEADER_SLOTS + 3 * m + 3 * slots, dtype=np.int64)
+        header = buf[:HEADER_SLOTS]
+        rest = buf[HEADER_SLOTS:]
+        views = []
+        offset = 0
+        for length in (m, m, m, slots, slots, slots):
+            views.append(rest[offset : offset + length])
+            offset += length
+        return header, views
+
+    def test_writer_and_reader_views_stay_coherent(self, rng):
+        np = pytest.importorskip("numpy")
+        m = 33
+        header, views = self.build_buffers(m)
+        writer = FlatProfile.attach_buffers(header, *views, fresh=True)
+        ref = FlatProfile(m)
+        for _ in range(2000):
+            x = rng.randrange(m)
+            if rng.random() < 0.6:
+                writer.add(x)
+                ref.add(x)
+            else:
+                writer.remove(x)
+                ref.remove(x)
+        batch = np.array([rng.randrange(m) for _ in range(900)])
+        writer.add_many(batch)
+        ref.add_many(batch)
+        writer._sync_header()
+        reader = FlatProfile.attach_buffers(header, *views, fresh=False)
+        assert reader.frequencies() == writer.frequencies()
+        assert reader.total == writer.total
+        assert reader.n_events == writer.n_events
+        reader.audit()
+
+    def test_attach_validates_layout(self):
+        pytest.importorskip("numpy")
+        header, views = self.build_buffers(10)
+        with pytest.raises(CapacityError):  # no magic stamp yet
+            FlatProfile.attach_buffers(header, *views, fresh=False)
+        short = list(views)
+        short[3] = short[3][:4]  # fewer block slots than max(m, 1)
+        with pytest.raises(CapacityError):
+            FlatProfile.attach_buffers(header, *short, fresh=True)
+
+    def test_external_buffers_refuse_growth(self):
+        pytest.importorskip("numpy")
+        header, views = self.build_buffers(6)
+        writer = FlatProfile.attach_buffers(header, *views, fresh=True)
+        with pytest.raises(CapacityError):
+            writer.grow(3)
+
+    def test_release_buffers_detaches(self):
+        pytest.importorskip("numpy")
+        header, views = self.build_buffers(6)
+        writer = FlatProfile.attach_buffers(header, *views, fresh=True)
+        writer.add(2)
+        writer.release_buffers()
+        assert not writer.array_engine or writer._ftot is None
+        writer.release_buffers()  # idempotent

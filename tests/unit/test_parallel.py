@@ -1,0 +1,371 @@
+"""Unit tests for the multi-process parallel engine.
+
+Everything here runs on a single-CPU machine too — the ``parallel``
+marker's contract is that equivalence assertions always run and only
+*scaling* claims degrade (there are none at unit level; the worker-count
+behavior on constrained machines is asserted via the inline fallback).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.checkpoint import profile_to_state
+from repro.core.flat import FlatProfile
+from repro.engine.parallel import (
+    ParallelShardedProfiler,
+    default_workers,
+    segment_nbytes,
+)
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    FrequencyUnderflowError,
+)
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.parallel
+
+M = 60
+
+
+def reference(capacity=M, n_shards=2, **kwargs):
+    return ShardedProfiler(capacity, n_shards=n_shards, core="flat", **kwargs)
+
+
+@pytest.fixture
+def engine():
+    with ParallelShardedProfiler(M, workers=2, inline=False) as p:
+        yield p
+
+
+class TestEquivalence:
+    def test_mixed_ops_match_serial_sharded(self, engine, rng):
+        ref = reference()
+        for _ in range(300):
+            x = rng.randrange(M)
+            if rng.random() < 0.6:
+                engine.add(x)
+                ref.add(x)
+            else:
+                engine.remove(x)
+                ref.remove(x)
+        batch = np.array([rng.randrange(M) for _ in range(4000)])
+        assert engine.add_many(batch) == ref.add_many(batch)
+        assert engine.remove_many(batch[:700]) == ref.remove_many(
+            batch[:700]
+        )
+        deltas = [(rng.randrange(M), rng.randrange(-2, 3)) for _ in range(30)]
+        assert engine.apply(deltas) == ref.apply(deltas)
+        ids = np.array([rng.randrange(M) for _ in range(500)])
+        adds = np.array([rng.random() < 0.5 for _ in range(500)])
+        assert engine.consume_arrays(ids, adds) == ref.consume_arrays(
+            ids, adds
+        )
+
+        assert engine.frequencies() == ref.frequencies()
+        assert engine.total == ref.total
+        assert engine.n_events == ref.n_events
+        assert engine.mode() == ref.mode()
+        assert engine.least() == ref.least()
+        assert engine.histogram() == ref.histogram()
+        assert engine.top_k(9) == ref.top_k(9)
+        assert engine.median_frequency() == ref.median_frequency()
+        for q in (0.0, 0.3, 1.0):
+            assert engine.quantile(q) == ref.quantile(q)
+        assert engine.support(0) == ref.support(0)
+        engine.audit()
+
+    def test_queries_barrier_pipelined_ingest(self, engine):
+        # Dispatch without an explicit sync; the query itself must
+        # drain the epoch so the answer covers every event.
+        engine.add_many(np.arange(M))
+        engine.add_many(np.arange(M))
+        assert engine.total == 2 * M
+        assert engine.max_frequency() == 2
+
+    def test_stashed_query_method_barriers_at_call_time(self, engine):
+        # The epoch barrier belongs to the *call*, not the attribute
+        # lookup: a stashed bound query must still cover events
+        # dispatched after it was looked up.
+        frequencies = engine.frequencies
+        histogram = engine.histogram
+        engine.add_many(np.arange(M))
+        assert sum(frequencies()) == M
+        assert histogram() == [(1, M)]
+
+    def test_snapshot_and_clear(self, engine):
+        engine.add_many([1, 1, 5])
+        snap = engine.snapshot()
+        engine.clear()
+        assert engine.total == 0
+        assert engine.frequencies() == [0] * M
+        assert snap.frequencies()[1] == 2
+
+    def test_consume_arrays_rejects_bad_shapes_and_dtypes(self, engine):
+        before = engine.frequencies()
+        with pytest.raises(CapacityError):
+            engine.consume_arrays(
+                np.array([[1, 2], [3, 4]]), np.ones((2, 2), dtype=bool)
+            )
+        with pytest.raises(TypeError):
+            engine.consume_arrays(np.array([1.5]), np.array([True]))
+        assert engine.frequencies() == before
+
+    def test_bad_id_rejects_batch_before_any_mutation(self, engine):
+        engine.add_many([1, 2])
+        before = engine.frequencies()
+        with pytest.raises(CapacityError):
+            engine.add_many([3, M + 7])
+        with pytest.raises(CapacityError):
+            engine.apply({-1: 2})
+        with pytest.raises(CapacityError):
+            engine.add(M)
+        assert engine.frequencies() == before
+
+    def test_non_array_iterables_ingest(self, engine):
+        ref = reference()
+        engine.add_many(iter([3, 3, 4]))
+        ref.add_many([3, 3, 4])
+        engine.remove_many(iter([3]))
+        ref.remove_many([3])
+        assert engine.frequencies() == ref.frequencies()
+
+    def test_consume_event_stream(self, engine):
+        ref = reference()
+        events = [(5, True), (5, True), (5, False), (9, True)]
+        assert engine.consume(events) == ref.consume(events)
+        assert engine.frequencies() == ref.frequencies()
+
+
+class TestStrictMode:
+    def test_remove_many_all_or_nothing_across_workers(self):
+        with ParallelShardedProfiler(
+            10, workers=2, allow_negative=False, inline=False
+        ) as p:
+            p.add_many([0, 1, 2, 3, 4, 5])
+            before = p.frequencies()
+            # Key 1 (shard 1) underflows; keys 0/2 (shard 0) would be
+            # fine — but nothing anywhere may change.
+            with pytest.raises(FrequencyUnderflowError):
+                p.remove_many([0, 2, 1, 1])
+            assert p.frequencies() == before
+
+    def test_apply_all_or_nothing_across_workers(self):
+        with ParallelShardedProfiler(
+            10, workers=2, allow_negative=False, inline=False
+        ) as p:
+            p.apply({0: 2, 1: 2})
+            before = p.frequencies()
+            with pytest.raises(FrequencyUnderflowError):
+                p.apply({0: -1, 1: -5})
+            assert p.frequencies() == before
+
+    def test_per_event_strict_remove_raises_synchronously(self):
+        with ParallelShardedProfiler(
+            10, workers=2, allow_negative=False, inline=False
+        ) as p:
+            p.add(3)
+            p.remove(3)
+            with pytest.raises(FrequencyUnderflowError):
+                p.remove(3)
+
+    def test_strict_matches_serial_engine(self, rng):
+        with ParallelShardedProfiler(
+            12, workers=2, allow_negative=False, inline=False
+        ) as p:
+            ref = reference(12, allow_negative=False)
+            for _ in range(120):
+                x = rng.randrange(12)
+                delta = rng.randrange(-2, 3)
+                if delta == 0:
+                    continue
+                outcomes = []
+                for target in (p, ref):
+                    try:
+                        target.apply({x: delta})
+                        outcomes.append("ok")
+                    except FrequencyUnderflowError:
+                        outcomes.append("underflow")
+                assert outcomes[0] == outcomes[1]
+            assert p.frequencies() == ref.frequencies()
+
+
+class TestLifecycle:
+    def test_context_manager_and_idempotent_close(self):
+        p = ParallelShardedProfiler(M, workers=2, inline=False)
+        with p as entered:
+            assert entered is p
+            p.add_many([1, 2, 3])
+        assert p.closed
+        p.close()
+        p.close()
+        with pytest.raises(CapacityError):
+            p.add(1)
+        with pytest.raises(CapacityError):
+            p.total  # noqa: B018 - the property itself must raise
+
+    def test_no_shared_memory_segment_leaks_at_exit(self, tmp_path):
+        """Regression: a subprocess that opens engines — one closed
+        properly, one deliberately leaked to the atexit safety net —
+        must exit clean: no surviving /dev/shm segment, no
+        resource-tracker leak warnings."""
+        script = tmp_path / "leak_probe.py"
+        script.write_text(
+            "import json, sys\n"
+            "from multiprocessing import shared_memory\n"
+            "from repro.engine.parallel import ParallelShardedProfiler\n"
+            "probe = shared_memory.SharedMemory(create=True, size=64)\n"
+            "prefix = probe.name[:4]\n"
+            "probe.close(); probe.unlink()\n"
+            "closed = ParallelShardedProfiler(50, workers=2, inline=False)\n"
+            "closed.add_many(list(range(50)))\n"
+            "names = [s.name.lstrip('/') for s in closed._shms]\n"
+            "closed.close()\n"
+            "leaked = ParallelShardedProfiler(50, workers=2, inline=False)\n"
+            "leaked.add_many(list(range(50)))\n"
+            "names += [s.name.lstrip('/') for s in leaked._shms]\n"
+            "print(json.dumps({'prefix': prefix, 'names': names}))\n"
+            "# no leaked.close(): the weakref.finalize atexit net runs\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+        # The atexit net must release the parent's buffer exports
+        # before closing mappings — no "Exception ignored" noise.
+        assert "BufferError" not in result.stderr, result.stderr
+        import json
+
+        info = json.loads(result.stdout)
+        if os.path.isdir("/dev/shm"):
+            survivors = [
+                name
+                for name in info["names"]
+                if os.path.exists(os.path.join("/dev/shm", name))
+            ]
+            assert survivors == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(CapacityError):
+            ParallelShardedProfiler(-1, workers=2)
+        with pytest.raises(CapacityError):
+            ParallelShardedProfiler(10, workers=0)
+        with pytest.raises(CapacityError):
+            ParallelShardedProfiler(10, workers=2, inline=True)
+
+    def test_default_workers_is_sane(self):
+        w = default_workers()
+        assert 1 <= w <= 4
+
+    def test_segment_nbytes_covers_the_layout(self):
+        from repro.core.flat import HEADER_SLOTS
+
+        assert segment_nbytes(0) == 8 * (HEADER_SLOTS + 3)
+        assert segment_nbytes(100) == 8 * (HEADER_SLOTS + 600)
+
+
+class TestInlineFallback:
+    """On single-CPU machines (or workers=1) the engine degrades to a
+    serial no-process fallback — the `parallel` marker's advertised
+    behavior."""
+
+    def test_workers_1_is_inline_by_default(self):
+        with ParallelShardedProfiler(M, workers=1) as p:
+            assert p.inline
+            assert p.n_shards == 1
+            assert p.segment_bytes == 0
+            p.add_many([1, 1, 2])
+            assert p.mode().frequency == 2
+            p.sync()  # no-op, but part of the contract
+
+    def test_inline_matches_worker_mode(self, rng):
+        stream = [rng.randrange(M) for _ in range(2000)]
+        with ParallelShardedProfiler(M, workers=1) as inline:
+            with ParallelShardedProfiler(M, workers=2, inline=False) as multi:
+                inline.add_many(stream)
+                multi.add_many(stream)
+                assert inline.frequencies() == multi.frequencies()
+                assert inline.histogram() == multi.histogram()
+
+    def test_single_cpu_default_open_degrades_inline(self, cpu_budget):
+        # The serial-fallback assertion this marker promises: when the
+        # machine has one core, the default fan-out is one worker and
+        # the engine runs inline.
+        if cpu_budget > 1:
+            pytest.skip("machine has real cores; fallback not expected")
+        with ParallelShardedProfiler(M) as p:
+            assert p.workers == 1
+            assert p.inline
+
+
+class TestCheckpoint:
+    def test_shard_states_round_trip(self, engine, rng):
+        engine.add_many(np.array([rng.randrange(M) for _ in range(1000)]))
+        states = engine.shard_states()
+        assert all(isinstance(s, dict) for s in states)
+        restored = ParallelShardedProfiler.from_shard_states(
+            M, states, workers=2
+        )
+        try:
+            assert restored.frequencies() == engine.frequencies()
+            assert restored.n_events == engine.n_events
+        finally:
+            restored.close()
+
+    def test_shard_states_load_into_serial_engine(self, engine):
+        engine.add_many([1, 1, 2, 3])
+        states = engine.shard_states()
+        from repro.core.checkpoint import flat_profile_from_state
+
+        shards = [flat_profile_from_state(s) for s in states]
+        merged = [0] * M
+        for s, shard in enumerate(shards):
+            merged[s::2] = shard.frequencies()
+        assert merged == engine.frequencies()
+
+    def test_from_shard_states_validates(self):
+        good = FlatProfile(M // 2)
+        with pytest.raises(CheckpointError):
+            ParallelShardedProfiler.from_shard_states(
+                M, [profile_to_state(good)], workers=2
+            )
+        wrong_capacity = FlatProfile(M)  # not the shard partition
+        with pytest.raises(CheckpointError):
+            restored = ParallelShardedProfiler.from_shard_states(
+                M,
+                [profile_to_state(wrong_capacity)] * 2,
+                workers=2,
+            )
+            restored.close()
+
+    def test_inline_round_trip(self):
+        with ParallelShardedProfiler(M, workers=1) as p:
+            p.add_many([4, 4, 9])
+            states = p.shard_states()
+            restored = ParallelShardedProfiler.from_shard_states(
+                M, states, workers=1
+            )
+            try:
+                assert restored.frequencies() == p.frequencies()
+            finally:
+                restored.close()
