@@ -8,6 +8,9 @@ Subcommands
     Run a named workload through the unified facade
     (:class:`repro.api.Profiler`) and print a statistics summary — a
     quick way to see the library work end to end on any backend.
+``serve``
+    Host a profiler over TCP with micro-batching ingestion (alias of
+    ``python -m repro.serve``; see :mod:`repro.server.cli`).
 """
 
 from __future__ import annotations
@@ -116,15 +119,19 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
-        print("usage: python -m repro {bench,profile} ...")
+        print("usage: python -m repro {bench,profile,serve} ...")
         return 0
     command, rest = argv[0], argv[1:]
     if command == "bench":
         return bench_main(rest)
     if command == "profile":
         return _profile_main(rest)
-    print(f"unknown command {command!r}; use 'bench' or 'profile'",
-          file=sys.stderr)
+    if command == "serve":
+        from repro.server.cli import main as serve_main
+
+        return serve_main(rest)
+    print(f"unknown command {command!r}; use 'bench', 'profile' or "
+          f"'serve'", file=sys.stderr)
     return 2
 
 

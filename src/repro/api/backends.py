@@ -573,6 +573,76 @@ class ApproxProfiler:
         """Current Count-Min additive error bound (``~eps * N``)."""
         return self._sketch.error_bound()
 
+    # -- checkpointing -------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Both sketches plus counters as one JSON-safe dict.
+
+        JSON-safe whenever the ingested keys are (ints, strings); the
+        Count-Min hash family ships with the state, so integer-keyed
+        estimates restore bit-identically in any process — see
+        :meth:`repro.approx.countmin.CountMinSketch.to_state` for the
+        hash-randomization caveat on string keys.
+        """
+        return {
+            "kind": "approx",
+            "counters": self._counters,
+            "n_adds": self._n_adds,
+            "sketch": self._sketch.to_state(),
+            "summary": self._summary.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ApproxProfiler":
+        """Rebuild from :meth:`to_state` output (audited)."""
+        from repro.approx.countmin import CountMinSketch
+        from repro.approx.spacesaving import SpaceSaving
+        from repro.errors import CheckpointError
+
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"approx state must be a dict, got {type(state).__name__}"
+            )
+        missing = {"counters", "n_adds", "sketch", "summary"} - state.keys()
+        if missing:
+            raise CheckpointError(
+                f"approx state is missing keys: {sorted(missing)}"
+            )
+        counters, n_adds = state["counters"], state["n_adds"]
+        if not isinstance(counters, int) or counters <= 0:
+            raise CheckpointError(f"bad counters: {counters!r}")
+        if not isinstance(n_adds, int) or n_adds < 0:
+            raise CheckpointError(f"bad n_adds: {n_adds!r}")
+        sketch = CountMinSketch.from_state(state["sketch"])
+        # The sketch class itself allows turnstile (negative) cells;
+        # this backend is add-only, where every counter is a sum of
+        # non-negative masses — a negative cell can only be tampering
+        # and would surface as a negative frequency estimate.
+        if int(sketch._table.min()) < 0:
+            raise CheckpointError(
+                "sketch table holds negative counters (approx backend "
+                "is add-only)"
+            )
+        summary = SpaceSaving.from_state(state["summary"])
+        if summary.k != counters:
+            raise CheckpointError(
+                f"summary holds {summary.k} counters but {counters} "
+                f"are declared"
+            )
+        # Every net add lands in both structures, so the three event
+        # counters must agree.
+        if sketch.total != n_adds or summary.n_events != n_adds:
+            raise CheckpointError(
+                f"event counters disagree: sketch {sketch.total}, "
+                f"summary {summary.n_events}, declared {n_adds}"
+            )
+        profiler = cls.__new__(cls)
+        profiler._sketch = sketch
+        profiler._summary = summary
+        profiler._counters = counters
+        profiler._n_adds = n_adds
+        return profiler
+
     def guaranteed_count(self, obj: Hashable) -> int:
         """Certain lower bound on the true count of ``obj``."""
         return self._summary.guaranteed_count(obj)

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Hashable, Iterator
 
 from repro.api.backends import (
+    ApproxProfiler,
     build_backend,
     resolve_backend,
     runs_view_for,
@@ -813,8 +814,11 @@ class Profiler:
     def to_state(self) -> dict[str, Any]:
         """Full facade state as a JSON-safe dict.
 
-        Supported for the exact (dense and hashable) and sharded
-        backends; sketches and baselines do not checkpoint.
+        Supported for the exact (dense and hashable), sharded,
+        parallel and approx backends; baselines do not checkpoint.
+        Approx states are JSON-safe whenever the ingested keys are
+        (see :meth:`ApproxProfiler.to_state
+        <repro.api.backends.ApproxProfiler.to_state>`).
         """
         impl = self._impl
         if isinstance(impl, (SProfile, FlatProfile)):
@@ -827,6 +831,8 @@ class Profiler:
             payload = [profile_to_state(shard) for shard in impl.shards]
         elif isinstance(impl, DynamicProfiler):
             payload = profile_to_state(impl.profile)
+        elif isinstance(impl, ApproxProfiler):
+            payload = impl.to_state()
         else:
             raise CheckpointError(
                 f"backend {self._backend_name!r} does not support "
@@ -1062,6 +1068,9 @@ class Profiler:
                             f"uncataloged slot {dense} holds non-zero "
                             f"frequency"
                         )
+        elif backend == "approx":
+            impl = ApproxProfiler.from_state(state["profile"])
+            interner = None
         else:
             raise CheckpointError(
                 f"backend {backend!r} does not support checkpointing"

@@ -25,7 +25,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, CheckpointError
 
 __all__ = ["CountMinSketch"]
 
@@ -106,6 +106,79 @@ class CountMinSketch:
         if self._n <= 0:
             return 0.0
         return (math.e / self._width) * self._n * (1.0 + delta_margin)
+
+    # -- checkpointing -------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Full sketch state as a JSON-safe dict.
+
+        The hash family (``a``/``b``) ships with the counters, so a
+        restored sketch answers identically for integer keys (whose
+        builtin ``hash`` is value-stable).  Keys that CPython
+        hash-randomizes per process (``str``/``bytes``) only restore
+        faithfully across processes under a fixed ``PYTHONHASHSEED``.
+        """
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "total": self._n,
+            "table": self._table.tolist(),
+            "a": self._a.tolist(),
+            "b": self._b.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CountMinSketch":
+        """Rebuild from :meth:`to_state` output (audited)."""
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"sketch state must be a dict, got {type(state).__name__}"
+            )
+        missing = {"width", "depth", "total", "table", "a", "b"} - state.keys()
+        if missing:
+            raise CheckpointError(
+                f"sketch state is missing keys: {sorted(missing)}"
+            )
+        width, depth = state["width"], state["depth"]
+        if (
+            not isinstance(width, int)
+            or not isinstance(depth, int)
+            or width <= 0
+            or depth <= 0
+        ):
+            raise CheckpointError(
+                f"bad sketch dimensions {width!r}x{depth!r}"
+            )
+        if not isinstance(state["total"], int):
+            raise CheckpointError(f"bad sketch total: {state['total']!r}")
+        try:
+            table = np.asarray(state["table"], dtype=np.int64)
+            a = np.asarray(state["a"], dtype=np.int64)
+            b = np.asarray(state["b"], dtype=np.int64)
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise CheckpointError(
+                f"sketch arrays are not integer-valued: {exc}"
+            ) from exc
+        if table.shape != (depth, width):
+            raise CheckpointError(
+                f"table shape {table.shape} does not match "
+                f"{depth}x{width}"
+            )
+        if a.shape != (depth,) or b.shape != (depth,):
+            raise CheckpointError(
+                f"hash family must hold {depth} rows, got "
+                f"{a.shape}/{b.shape}"
+            )
+        if not ((a >= 1) & (a < _MERSENNE)).all():
+            raise CheckpointError("hash multipliers out of field range")
+        if not ((b >= 0) & (b < _MERSENNE)).all():
+            raise CheckpointError("hash offsets out of field range")
+        sketch = cls(width, depth, seed=0)
+        sketch._table = table
+        sketch._a = a
+        sketch._b = b
+        sketch._n = state["total"]
+        return sketch
 
     def __repr__(self) -> str:
         return (

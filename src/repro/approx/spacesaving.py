@@ -26,7 +26,7 @@ from typing import Hashable
 
 from repro.baselines.heap import IndexedBinaryHeap
 from repro.core.queries import TopEntry
-from repro.errors import CapacityError
+from repro.errors import CapacityError, CheckpointError
 
 __all__ = ["SpaceSaving"]
 
@@ -147,6 +147,88 @@ class SpaceSaving:
         return [
             entry for entry in self.top_k() if entry.frequency > threshold
         ]
+
+    # -- checkpointing -------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Full summary state: one ``[object, count, error]`` triple
+        per slot (``None`` object marks a never-used slot).  JSON-safe
+        whenever the monitored objects are."""
+        return {
+            "k": self._k,
+            "events": self._n,
+            "slots": [
+                [self._objects[i], self._counts[i], self._errors[i]]
+                for i in range(self._k)
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpaceSaving":
+        """Rebuild from :meth:`to_state` output (audited).
+
+        The audit enforces the structure's invariants: per-slot
+        ``0 <= error <= count``, unique monitored objects, empty slots
+        hold zero mass, and the counts sum to exactly ``events`` (every
+        add lands on one counter; evictions reassign, never subtract).
+        """
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"summary state must be a dict, got {type(state).__name__}"
+            )
+        missing = {"k", "events", "slots"} - state.keys()
+        if missing:
+            raise CheckpointError(
+                f"summary state is missing keys: {sorted(missing)}"
+            )
+        k, events, slots = state["k"], state["events"], state["slots"]
+        if not isinstance(k, int) or k <= 0:
+            raise CheckpointError(f"bad summary k: {k!r}")
+        if not isinstance(events, int) or events < 0:
+            raise CheckpointError(f"bad summary events: {events!r}")
+        if not isinstance(slots, list) or len(slots) != k:
+            raise CheckpointError(
+                f"summary must hold exactly {k} slots"
+            )
+        summary = cls(k)
+        slot_of: dict[Hashable, int] = {}
+        for i, slot in enumerate(slots):
+            if not isinstance(slot, (list, tuple)) or len(slot) != 3:
+                raise CheckpointError(
+                    f"slot {i} must be [object, count, error], got {slot!r}"
+                )
+            obj, count, error = slot
+            if (
+                not isinstance(count, int)
+                or not isinstance(error, int)
+                or not 0 <= error <= count
+            ):
+                raise CheckpointError(
+                    f"slot {i} violates 0 <= error <= count: {slot!r}"
+                )
+            if obj is None:
+                if count != 0 or error != 0:
+                    raise CheckpointError(
+                        f"empty slot {i} holds non-zero mass: {slot!r}"
+                    )
+            else:
+                if obj in slot_of:
+                    raise CheckpointError(
+                        f"object {obj!r} monitored in two slots"
+                    )
+                slot_of[obj] = i
+            summary._objects[i] = obj
+            summary._counts[i] = count
+            summary._errors[i] = error
+        if sum(summary._counts) != events:
+            raise CheckpointError(
+                f"slot counts sum to {sum(summary._counts)} but "
+                f"{events} events are declared"
+            )
+        summary._slot_of = slot_of
+        summary._heap = IndexedBinaryHeap(summary._counts, max_heap=False)
+        summary._n = events
+        return summary
 
     def __repr__(self) -> str:
         return (

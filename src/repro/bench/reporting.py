@@ -4,13 +4,57 @@ Tables show absolute seconds per sweep point plus the speedup of
 S-Profile over the baseline — the quantity the paper headlines ("at
 least 2X speedup to the heap based approach and 13X or larger speedup
 to the balanced tree based approach").
+
+:func:`percentiles` is the shared tail-latency estimator: the serve
+trajectory path reports p50/p99 ack latencies through it, and
+:func:`format_series_table` uses it for the per-point p50/p95/p99
+columns when a series recorded raw samples.
 """
 
 from __future__ import annotations
 
+import math
+from typing import Iterable, Sequence
+
 from repro.bench.runner import SeriesResult
 
-__all__ = ["format_series_table", "format_figure", "summarize_speedups"]
+__all__ = [
+    "format_series_table",
+    "format_figure",
+    "percentiles",
+    "summarize_speedups",
+]
+
+#: The spread reported next to any latency/timing distribution.
+DEFAULT_PERCENTILES = (50, 95, 99)
+
+
+def percentiles(
+    samples: Iterable[float],
+    points: Sequence[float] = DEFAULT_PERCENTILES,
+) -> dict[float, float]:
+    """Nearest-rank percentiles of a sample set.
+
+    Nearest-rank (no interpolation) because tail percentiles of
+    latency distributions should report a latency that *happened*,
+    not a blend of two; with small sample counts interpolation
+    understates the tail.  Raises ``ValueError`` on empty input or
+    points outside ``[0, 100]``.
+
+    >>> percentiles([4.0, 1.0, 3.0, 2.0], (50, 100))
+    {50: 2.0, 100: 4.0}
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentiles() needs at least one sample")
+    n = len(ordered)
+    out: dict[float, float] = {}
+    for p in points:
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        rank = max(1, math.ceil(p / 100.0 * n))
+        out[p] = ordered[rank - 1]
+    return out
 
 
 def _format_time(seconds: float) -> str:
@@ -22,13 +66,24 @@ def _format_time(seconds: float) -> str:
 
 
 def format_series_table(series: SeriesResult, *, ours: str = "sprofile") -> str:
-    """Render one sweep as an aligned ASCII table."""
+    """Render one sweep as an aligned ASCII table.
+
+    When the series recorded raw repeat samples (``series.samples``,
+    populated by :func:`repro.bench.runner.run_series`), three
+    per-point percentile columns (p50/p95/p99 of ``ours``) follow the
+    speedup columns — the median the table already reports tells you
+    the typical run, the tail columns tell you how noisy it was.
+    """
     names = list(series.times)
     baselines = [name for name in names if name != ours]
+    ours_samples = (series.samples or {}).get(ours)
     header_cells = [f"{series.x_label:>12}"]
     header_cells += [f"{name:>12}" for name in names]
     for baseline in baselines:
         header_cells.append(f"{baseline + '/ours':>14}")
+    if ours_samples:
+        for p in DEFAULT_PERCENTILES:
+            header_cells.append(f"{f'{ours} p{p}':>12}")
     lines = [series.title, "-" * len(series.title)]
     lines.append(" ".join(header_cells))
     for row_index, x in enumerate(series.x_values):
@@ -38,6 +93,10 @@ def format_series_table(series: SeriesResult, *, ours: str = "sprofile") -> str:
         for baseline in baselines:
             ratio = series.speedup(baseline, ours)[row_index]
             cells.append(f"{ratio:>13.2f}x")
+        if ours_samples:
+            spread = percentiles(ours_samples[row_index])
+            for p in DEFAULT_PERCENTILES:
+                cells.append(f"{_format_time(spread[p]):>12}")
         lines.append(" ".join(cells))
     return "\n".join(lines)
 

@@ -89,6 +89,10 @@ class SeriesResult:
     x_values: list[int]
     #: profiler name -> seconds per x value (same order as x_values).
     times: dict[str, list[float]] = field(default_factory=dict)
+    #: profiler name -> raw repeat samples per x value (the medians in
+    #: ``times`` come from these); feeds the percentile columns of
+    #: :func:`repro.bench.reporting.format_series_table`.
+    samples: dict[str, list[list[float]]] = field(default_factory=dict)
 
     def speedup(self, baseline: str, ours: str) -> list[float]:
         """Per-point ``baseline / ours`` time ratios."""
@@ -126,6 +130,7 @@ def run_series(
         x_label=x_label,
         x_values=list(x_values),
         times={name: [] for name in profiler_factories},
+        samples={name: [] for name in profiler_factories},
     )
     for x in x_values:
         stream = stream_for_x(x)
@@ -137,4 +142,5 @@ def run_series(
                 samples.append(timer(profiler, stream))
             samples.sort()
             result.times[name].append(samples[len(samples) // 2])
+            result.samples[name].append(samples)
     return result

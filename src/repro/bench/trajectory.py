@@ -1,7 +1,7 @@
 """The canonical perf trajectory: ``python -m repro.bench trajectory``.
 
 One committed artifact — ``BENCH_core.json`` at the repo root — records
-events/sec for the four core execution paths so every PR can see (and
+events/sec for the core execution paths so every PR can see (and
 CI can gate) how the hot paths move over time:
 
 - ``single_event_mode`` — the paper's figure-3 workload (apply each
@@ -27,7 +27,12 @@ CI can gate) how the hot paths move over time:
   quantiles + support) as one fused
   :meth:`~repro.api.Profiler.evaluate` walk vs the equivalent
   standalone calls, on the sharded engine with flat cores (where each
-  standalone statistic would otherwise pay its own per-shard merge).
+  standalone statistic would otherwise pay its own per-shard merge);
+- ``serve`` — the TCP serving stack of :mod:`repro.server` at client
+  counts {1, 4, 16}: the micro-batching pipeline (wire batches +
+  cross-client coalescing into vectorized ``ingest`` calls) vs
+  unbatched one-event-per-frame ingestion, recording sustained
+  events/sec and client-observed p50/p99 ack latency.
 
 Measurement protocol: per path the contenders are timed in
 *interleaved* rounds (A, B, A, B, ...) and the **minimum** time per
@@ -49,6 +54,7 @@ baseline yet (first run) or ``--warn-only`` is given.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import gc
 import json
 import math
@@ -59,6 +65,7 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.api import Profiler, Query
+from repro.bench.reporting import percentiles
 from repro.bench.workloads import build_stream
 from repro.core.flat import FlatProfile
 from repro.core.profile import SProfile
@@ -90,6 +97,12 @@ SCALES = {
         "plan_n": 100_000,
         "plan_m": 10_000,
         "plan_reps": 200,
+        "serve_m": 4_096,
+        "serve_events": 24_000,
+        "serve_clients": (1, 4, 16),
+        "serve_wire": 64,
+        "serve_batch_max": 512,
+        "serve_linger_ms": 1.0,
     },
     "quick": {
         "single_n": 40_000,
@@ -102,6 +115,12 @@ SCALES = {
         "plan_n": 20_000,
         "plan_m": 4_000,
         "plan_reps": 50,
+        "serve_m": 4_096,
+        "serve_events": 6_400,
+        "serve_clients": (1, 4, 16),
+        "serve_wire": 64,
+        "serve_batch_max": 512,
+        "serve_linger_ms": 1.0,
     },
 }
 
@@ -399,6 +418,146 @@ def _fused_plan(cfg: dict, rounds: int, seed: int) -> dict:
     }
 
 
+def _serve(cfg: dict, rounds: int, seed: int) -> dict:
+    """The serving stack end to end: TCP ingestion under concurrency.
+
+    Two contenders over identical event streams, at each client count:
+
+    - ``unbatched`` — the RPC-per-event serving model: every event is
+      its own wire frame *and* its own engine transaction
+      (``batch_max=1``, no linger);
+    - ``batched`` — the micro-batching pipeline: clients ship
+      ``serve_wire`` events per frame and the server coalesces frames
+      across clients into vectorized ``ingest`` calls of up to
+      ``serve_batch_max`` events (``serve_linger_ms`` linger).
+
+    Clients pipeline in both configurations (a bounded window of
+    un-acked frames), so the ratio measures per-event serving cost,
+    not round-trip stalls.  Everything — server and clients — shares
+    one event loop on one core, which is exactly the regime where
+    per-frame overhead dominates; the recorded ack latencies (p50/p99,
+    client-side send-to-ack) document the latency price of the linger.
+    """
+    # Imported here: the serve path is the only trajectory consumer of
+    # the serving stack, and ``repro.bench`` stays importable early.
+    from repro.server.client import AsyncProfileClient
+    from repro.server.service import ProfileServer
+
+    m, n = cfg["serve_m"], cfg["serve_events"]
+    counts = tuple(cfg["serve_clients"])
+    wire, batch_max = cfg["serve_wire"], cfg["serve_batch_max"]
+    linger = cfg["serve_linger_ms"]
+    stream = build_stream("stream1", n, m, seed=seed)
+    events = list(
+        zip(
+            stream.ids.tolist(),
+            (1 if add else -1 for add in stream.adds.tolist()),
+        )
+    )
+
+    async def run_once(n_clients, wire_batch, flush_max, linger_ms):
+        profiler = Profiler.open(m, backend="flat")
+        server = ProfileServer(
+            profiler,
+            batch_max=flush_max,
+            linger_ms=linger_ms,
+            queue_size=4096,
+        )
+        await server.start()
+        clients = [
+            await AsyncProfileClient.connect(port=server.port)
+            for _ in range(n_clients)
+        ]
+        per = len(events) // n_clients
+        latencies: list[float] = []
+        record = latencies.append
+        window = 64 if wire_batch == 1 else max(
+            4, 2 * (flush_max // wire_batch)
+        )
+
+        async def drive(client, lo, hi):
+            inflight = []
+            for i in range(lo, hi, wire_batch):
+                frame = events[i : min(i + wire_batch, hi)]
+                t0 = perf_counter()
+                fut = await client.ingest(frame, wait=False)
+                fut.add_done_callback(
+                    lambda _f, t0=t0: record(perf_counter() - t0)
+                )
+                inflight.append(fut)
+                if len(inflight) >= window:
+                    await inflight.pop(0)
+            for fut in inflight:
+                await fut
+
+        start = perf_counter()
+        await asyncio.gather(
+            *(
+                drive(clients[c], c * per, (c + 1) * per)
+                for c in range(n_clients)
+            )
+        )
+        elapsed = perf_counter() - start
+        for client in clients:
+            await client.aclose()
+        await server.stop()
+        return elapsed, latencies, per * n_clients
+
+    variants = {
+        "unbatched": (1, 1, 0.0),
+        "batched": (wire, batch_max, linger),
+    }
+    keys = [(name, c) for c in counts for name in variants]
+    best: dict = {}
+    for round_no in range(rounds):
+        sequence = keys if round_no % 2 == 0 else keys[::-1]
+        for key in sequence:
+            wire_batch, flush_max, linger_ms = variants[key[0]]
+            gc.collect()
+            was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                measured = asyncio.run(
+                    run_once(key[1], wire_batch, flush_max, linger_ms)
+                )
+            finally:
+                if was_enabled:
+                    gc.enable()
+            if key not in best or measured[0] < best[key][0]:
+                best[key] = measured
+
+    clients_out = {}
+    for c in counts:
+        u_time, u_lat, u_n = best[("unbatched", c)]
+        b_time, b_lat, b_n = best[("batched", c)]
+        u_eps, b_eps = u_n / u_time, b_n / b_time
+        u_p = percentiles(u_lat, (50, 99))
+        b_p = percentiles(b_lat, (50, 99))
+        clients_out[str(c)] = {
+            "unbatched_eps": u_eps,
+            "batched_eps": b_eps,
+            "speedup": b_eps / u_eps,
+            "unbatched_p50_ms": u_p[50] * 1e3,
+            "unbatched_p99_ms": u_p[99] * 1e3,
+            "batched_p50_ms": b_p[50] * 1e3,
+            "batched_p99_ms": b_p[99] * 1e3,
+        }
+    return {
+        "workload": (
+            f"TCP ingest of {n} events, m={m}: micro-batched "
+            f"({wire} ev/frame, batch_max={batch_max}, "
+            f"linger={linger}ms) vs unbatched (1 ev/frame, "
+            f"batch_max=1), clients={list(counts)}"
+        ),
+        "events": n,
+        "wire_batch": wire,
+        "batch_max": batch_max,
+        "linger_ms": linger,
+        "clients": clients_out,
+        "speedup": clients_out[str(max(counts))]["speedup"],
+    }
+
+
 #: Default worker-count sweep of the ``parallel_batch`` path.
 DEFAULT_PARALLEL_WORKERS = (1, 2, 4)
 
@@ -424,6 +583,7 @@ def run_trajectory(
         "batch_ingest": _batch_ingest(cfg, rounds, seed),
         "sharded_batch": _sharded_batch(cfg, rounds, seed),
         "fused_plan": _fused_plan(cfg, rounds, seed),
+        "serve": _serve(cfg, rounds, seed),
     }
     if parallel_workers and parallel_supported():
         paths["parallel_batch"] = _parallel_batch(
@@ -472,7 +632,11 @@ def _speedup_entries(result: dict):
         # runs with different --parallel-workers sweeps would compare
         # incomparable numbers under one key.
         cpus = path.get("cpus")
-        if "speedup" in path and "workers" not in path:
+        if (
+            "speedup" in path
+            and "workers" not in path
+            and "clients" not in path
+        ):
             yield f"{prefix}.{path_name}.speedup", path["speedup"]
         if "geomean_speedup" in path:
             yield (
@@ -489,6 +653,14 @@ def _speedup_entries(result: dict):
                 continue
             yield (
                 f"{prefix}.{path_name}.w{w}.speedup",
+                entry["speedup"],
+            )
+        # Client-sweep paths (serve) gate per client count, like the
+        # worker sweep — the headline "speedup" means "at max(sweep)".
+        # Concurrency here is asyncio, not cores, so no cpu scoping.
+        for c, entry in path.get("clients", {}).items():
+            yield (
+                f"{prefix}.{path_name}.c{c}.speedup",
                 entry["speedup"],
             )
 
@@ -564,6 +736,22 @@ def _format_summary(result: dict) -> str:
         f"{plan['fused_plans_per_sec']:.0f}/s"
         f"  -> {plan['speedup']:.2f}x   [{plan['workload']}]"
     )
+    if "serve" in paths:
+        srv = paths["serve"]
+        lines.append(f"  serve (micro-batching)     [{srv['workload']}]")
+        for c, entry in sorted(
+            srv["clients"].items(), key=lambda kv: int(kv[0])
+        ):
+            lines.append(
+                f"    c{c:>2}: unbatched "
+                f"{entry['unbatched_eps'] / 1e3:.1f}k ev/s "
+                f"(p50 {entry['unbatched_p50_ms']:.2f}ms, "
+                f"p99 {entry['unbatched_p99_ms']:.2f}ms)  batched "
+                f"{entry['batched_eps'] / 1e3:.1f}k ev/s "
+                f"(p50 {entry['batched_p50_ms']:.2f}ms, "
+                f"p99 {entry['batched_p99_ms']:.2f}ms)"
+                f"  -> {entry['speedup']:.2f}x"
+            )
     return "\n".join(lines)
 
 

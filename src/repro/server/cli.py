@@ -1,0 +1,189 @@
+"""``python -m repro.serve`` — stand up a profiling service.
+
+Examples
+--------
+Serve a 100k-key dense universe on the flat engine::
+
+    python -m repro.serve --capacity 100000
+
+Sharded backend, fixed port, aggressive micro-batching::
+
+    python -m repro.serve --capacity 1000000 --shards 8 --port 7421 \\
+        --batch-max 2048 --linger-ms 5
+
+The server prints one ``listening on HOST:PORT`` line once bound
+(``--port 0`` picks a free port; ``--port-file`` additionally writes
+the bound port to a file so scripts can wait for it), then serves
+until SIGINT/SIGTERM, drains the ingest queue, acks everything
+accepted, and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from pathlib import Path
+
+from repro.api import Profiler, available_backends
+from repro.server.protocol import DEFAULT_MAX_FRAME
+from repro.server.service import ProfileServer
+
+__all__ = ["build_parser", "main"]
+
+#: Default TCP port (unregistered; chosen once, spelled everywhere).
+DEFAULT_PORT = 7421
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a repro profiler over TCP with "
+        "micro-batching ingestion.",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="universe size m (required for dense keys)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=available_backends(),
+        help="profiling backend behind the facade (default: auto)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard fan-out (implies the sharded backend under auto)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process fan-out (implies the parallel backend "
+        "under auto)",
+    )
+    parser.add_argument(
+        "--keys",
+        choices=("dense", "hashable"),
+        default="dense",
+        help="object id mode (default: dense integers)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="forbid negative frequencies (underflowing wire batches "
+        "are rejected whole)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound port here once listening (for scripts)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=512,
+        help="flush a micro-batch at this many coalesced events "
+        "(1 disables micro-batching; default: 512)",
+    )
+    parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=1.0,
+        help="max wait for a non-full micro-batch (default: 1.0)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=4096,
+        help="ingest queue bound, in wire batches (backpressure)",
+    )
+    parser.add_argument(
+        "--write-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before a stalled client is dropped",
+    )
+    parser.add_argument(
+        "--max-frame",
+        type=int,
+        default=DEFAULT_MAX_FRAME,
+        help="per-frame byte cap, both directions",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    profiler = Profiler.open(
+        args.capacity,
+        backend=args.backend,
+        shards=args.shards,
+        workers=args.workers,
+        keys=args.keys,
+        strict=args.strict,
+    )
+    with profiler:
+        server = ProfileServer(
+            profiler,
+            host=args.host,
+            port=args.port,
+            batch_max=args.batch_max,
+            linger_ms=args.linger_ms,
+            queue_size=args.queue_size,
+            write_timeout=args.write_timeout,
+            max_frame=args.max_frame,
+        )
+        await server.start()
+        print(
+            f"listening on {server.host}:{server.port} "
+            f"(backend={profiler.backend_name}, strategy="
+            f"{server.strategy}, batch_max={args.batch_max}, "
+            f"linger_ms={args.linger_ms:g})",
+            flush=True,
+        )
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+        await stop_requested.wait()
+        print("draining...", flush=True)
+        await server.stop()
+        stats = server.stats
+        print(
+            f"drained: {stats.wire_batches} wire batches "
+            f"({stats.wire_events} events) in {stats.flushes} flushes, "
+            f"{stats.rejected} rejected, "
+            f"{stats.connections_total} connections",
+            flush=True,
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,364 @@
+"""Client libraries for the profiling service.
+
+Two clients, one vocabulary — both mirror the facade verbs
+(``ingest`` / ``evaluate`` / ``describe`` / checkpoint download) and
+re-raise server-side rejections as the library's own exception types:
+
+- :class:`AsyncProfileClient` — asyncio; supports **pipelining**: any
+  number of requests may be in flight, responses are matched by id, so
+  a writer saturates the server's micro-batching flusher instead of
+  paying one round trip per wire batch.  ``ingest(..., wait=False)``
+  returns the pending ack as an :class:`asyncio.Future`.
+- :class:`ProfileClient` — blocking sockets, strictly request/response;
+  the right tool for scripts, examples and REPLs (pair it with
+  :class:`~repro.server.service.ServerThread` for in-process use).
+
+Both accept the facade's full event vocabulary (``Event`` objects,
+``(obj, flag)`` / ``(obj, delta)`` pairs, delta mappings) — batches
+are normalized to wire pairs with the facade's own normalizer, so the
+wire contract cannot drift from the in-process one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import struct
+from time import perf_counter
+from typing import Any
+
+from repro.api.facade import _normalize_batch
+from repro.api.plan import Query, normalize_queries
+from repro.api.results import EvalResult
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    decode_body,
+    decode_error,
+    decode_value,
+    encode_queries,
+    pack_frame,
+    read_frame,
+)
+
+__all__ = ["AsyncProfileClient", "ProfileClient"]
+
+_LEN = struct.Struct(">I")
+
+
+class AsyncProfileClient:
+    """Pipelining asyncio client.  Construct via :meth:`connect`.
+
+    >>> client = await AsyncProfileClient.connect(port=port)  # doctest: +SKIP
+    >>> await client.ingest([(7, +2), (3, +1)])               # doctest: +SKIP
+    3
+    """
+
+    def __init__(self, reader, writer, hello: dict) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._hello = hello
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._recv_task = asyncio.create_task(self._recv_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> "AsyncProfileClient":
+        """Open a connection and consume the server hello frame."""
+        reader, writer = await asyncio.open_connection(host, port)
+        hello = await read_frame(reader, max_frame)
+        if hello is None or hello.get("server") != "repro.server":
+            writer.close()
+            raise ProtocolError(
+                f"{host}:{port} did not answer with a repro.server hello"
+            )
+        return cls(reader, writer, hello)
+
+    @property
+    def hello(self) -> dict:
+        """The server's hello frame (backend, keys, capacity, ...)."""
+        return self._hello
+
+    # -- plumbing ------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                msg = await read_frame(self._reader)
+                if msg is None:
+                    break
+                future = self._pending.pop(msg.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if msg.get("ok"):
+                    future.set_result(msg)
+                else:
+                    exc = decode_error(msg.get("error"))
+                    exc.remote_seq = msg.get("seq")
+                    future.set_exception(exc)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._fail_pending(exc)
+        finally:
+            self._fail_pending(
+                ConnectionError("server connection closed")
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _send(self, op: str, **fields) -> asyncio.Future:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self._recv_task.done():
+            # The receiver is gone; a future registered now would
+            # never resolve.
+            raise ConnectionError("server connection closed")
+        req_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(pack_frame({"id": req_id, "op": op, **fields}))
+        # drain() is the client-side backpressure valve: a no-op while
+        # the transport buffer is shallow, suspends when the server
+        # stops reading.
+        await self._writer.drain()
+        return future
+
+    async def request(self, op: str, **fields) -> dict:
+        """Send one raw request and await its response payload."""
+        return await (await self._send(op, **fields))
+
+    # -- the facade verbs ----------------------------------------------
+
+    async def ingest(self, batch, *, wait: bool = True):
+        """Apply one wire batch; return net unit events applied.
+
+        With ``wait=False`` the pending ack is returned as a Future
+        resolving to the response payload (``{"applied": n, "seq": s}``)
+        — the pipelining hook: keep a window of futures in flight and
+        award the ack latency to the micro-batch flush that served it.
+        """
+        pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
+        future = await self._send("ingest", events=pairs)
+        if not wait:
+            return future
+        return (await future)["applied"]
+
+    async def evaluate(self, *queries: Query) -> EvalResult:
+        """The fused multi-query plan, one round trip."""
+        plan = normalize_queries(queries)
+        resp = await self.request(
+            "evaluate", queries=encode_queries(plan)
+        )
+        values = tuple(
+            decode_value(q.kind, v)
+            for q, v in zip(plan, resp["values"])
+        )
+        return EvalResult(queries=plan, values=values)
+
+    async def describe(self) -> dict[str, Any]:
+        """Engine introspection plus the ``server`` stats block."""
+        return (await self.request("describe"))["info"]
+
+    async def checkpoint(self) -> dict[str, Any]:
+        """Download the facade checkpoint (``Profiler.to_state()``)."""
+        return (await self.request("checkpoint"))["state"]
+
+    async def ping(self) -> float:
+        """Round-trip time through the ordered pipeline, in seconds."""
+        start = perf_counter()
+        await self.request("ping")
+        return perf_counter() - start
+
+    # Single-query conveniences (one evaluate round trip each).
+
+    async def frequency(self, obj) -> int:
+        return (await self.evaluate(Query.frequency(obj)))[0]
+
+    async def mode(self):
+        return (await self.evaluate(Query.mode()))[0]
+
+    async def top_k(self, k: int):
+        return (await self.evaluate(Query.top_k(k)))[0]
+
+    async def total(self) -> int:
+        return (await self.evaluate(Query.total()))[0]
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Graceful close: drain in-flight acks, say goodbye, hang up."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._recv_task.done():
+                raise ConnectionError("server connection closed")
+            req_id = next(self._ids)
+            future = asyncio.get_running_loop().create_future()
+            self._pending[req_id] = future
+            self._writer.write(pack_frame({"id": req_id, "op": "close"}))
+            await self._writer.drain()
+            await asyncio.wait_for(future, 10.0)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        self._recv_task.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncProfileClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+class ProfileClient:
+    """Blocking request/response client over a plain socket.
+
+    >>> client = ProfileClient("127.0.0.1", port)   # doctest: +SKIP
+    >>> client.ingest({7: +2, 3: +1})               # doctest: +SKIP
+    3
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.hello = self._read_frame()
+        if self.hello is None or self.hello.get("server") != "repro.server":
+            self.close()
+            raise ProtocolError(
+                f"{host}:{port} did not answer with a repro.server hello"
+            )
+
+    def _read_frame(self):
+        head = self._file.read(_LEN.size)
+        if not head:
+            return None
+        if len(head) < _LEN.size:
+            raise ProtocolError("connection closed mid-frame")
+        (length,) = _LEN.unpack(head)
+        if length > self._max_frame:
+            raise ProtocolError(
+                f"frame of {length} bytes exceeds the "
+                f"{self._max_frame}-byte cap"
+            )
+        body = self._file.read(length)
+        if len(body) < length:
+            raise ProtocolError("connection closed mid-frame")
+        return decode_body(body)
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and block for its response payload."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        req_id = next(self._ids)
+        self._file.write(pack_frame({"id": req_id, "op": op, **fields}))
+        self._file.flush()
+        while True:
+            msg = self._read_frame()
+            if msg is None:
+                raise ConnectionError("server connection closed")
+            if msg.get("id") != req_id:
+                continue  # stale frame (e.g. from a broken predecessor)
+            if msg.get("ok"):
+                return msg
+            exc = decode_error(msg.get("error"))
+            exc.remote_seq = msg.get("seq")
+            raise exc
+
+    # -- the facade verbs ----------------------------------------------
+
+    def ingest(self, batch) -> int:
+        """Apply one wire batch; return net unit events applied."""
+        pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
+        return self.request("ingest", events=pairs)["applied"]
+
+    def evaluate(self, *queries: Query) -> EvalResult:
+        """The fused multi-query plan, one round trip."""
+        plan = normalize_queries(queries)
+        resp = self.request("evaluate", queries=encode_queries(plan))
+        values = tuple(
+            decode_value(q.kind, v)
+            for q, v in zip(plan, resp["values"])
+        )
+        return EvalResult(queries=plan, values=values)
+
+    def describe(self) -> dict[str, Any]:
+        return self.request("describe")["info"]
+
+    def checkpoint(self) -> dict[str, Any]:
+        return self.request("checkpoint")["state"]
+
+    def ping(self) -> float:
+        start = perf_counter()
+        self.request("ping")
+        return perf_counter() - start
+
+    def frequency(self, obj) -> int:
+        return self.evaluate(Query.frequency(obj))[0]
+
+    def mode(self):
+        return self.evaluate(Query.mode())[0]
+
+    def top_k(self, k: int):
+        return self.evaluate(Query.top_k(k))[0]
+
+    def total(self) -> int:
+        return self.evaluate(Query.total())[0]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful close (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            req_id = next(self._ids)
+            self._file.write(pack_frame({"id": req_id, "op": "close"}))
+            self._file.flush()
+            while True:
+                msg = self._read_frame()
+                if msg is None or (
+                    msg.get("id") == req_id and "closing" in msg
+                ):
+                    break
+        except (ProtocolError, ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            try:
+                self._file.close()
+            except (OSError, ValueError):
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "ProfileClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,329 @@
+"""Wire protocol of the profiling service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  JSON keeps the protocol debuggable (``nc`` +
+``printf`` can drive a server) and keys the whole surface off the same
+JSON-safe vocabulary the facade checkpoints already use; the length
+prefix makes framing O(1) and lets the server enforce a hard frame
+cap before a single byte of the body is parsed.
+
+Requests are objects ``{"id": <int>, "op": <str>, ...}``; every request
+is answered by exactly one response ``{"id": <same>, "ok": true, ...}``
+or ``{"id": <same>, "ok": false, "error": {...}, ...}``, in request
+order per connection (pipelining-safe: responses also echo the id, so a
+client may keep many requests in flight and match by id).
+
+Operations
+----------
+``ingest``
+    ``{"events": [[obj, delta], ...]}`` — one **wire batch**, applied
+    all-or-nothing with the facade's batch semantics.  The ack carries
+    ``applied`` (net unit events, the facade's ``ingest`` return value)
+    and ``seq`` — the position of this wire batch in the server's
+    serialization order (rejections carry ``seq`` too: the order the
+    rejection was decided in).
+``evaluate``
+    ``{"queries": [{"kind": k, "args": [...]}, ...]}`` — the fused
+    multi-query plan; values come back encoded per kind (see
+    :func:`encode_value`).
+``describe``
+    Engine introspection plus a ``server`` block of service stats.
+``checkpoint``
+    The facade checkpoint (``Profiler.to_state()``) as the response's
+    ``state`` field — JSON-safe by construction, restorable with
+    :meth:`repro.api.Profiler.from_state`.
+``ping``
+    Round-trip liveness probe answering ``{"pong": true}``; it rides
+    the ordered pipeline, so its latency includes the queue.
+``close``
+    Graceful connection shutdown: the server flushes every batch
+    queued before it, acks ``{"closing": true}`` and closes the
+    connection.
+
+Object ids ride JSON: integers for dense-key profilers, any JSON
+scalar for hashable keys.  A dense-key server rejects non-integer ids
+at the protocol boundary (before they can reach — and non-atomically
+corrupt — an integer-indexed engine).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Sequence
+
+from repro.api.plan import POINT_KINDS, WALK_KINDS, Query
+from repro.core.queries import ModeResult, TopEntry
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    InvariantViolationError,
+    ReproError,
+    StreamConfigError,
+    UnknownObjectError,
+    UnsupportedQueryError,
+    WindowError,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "decode_error",
+    "decode_events",
+    "decode_queries",
+    "decode_value",
+    "encode_error",
+    "encode_queries",
+    "encode_value",
+    "pack_frame",
+    "read_frame",
+]
+
+#: Bump when the frame or payload layout changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Default hard cap on one frame's body (checkpoint downloads of large
+#: universes are the biggest legitimate frames).
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ReproError, ValueError):
+    """A frame or payload violates the wire contract."""
+
+
+class RemoteError(ReproError):
+    """A server-side error of a type this client does not know."""
+
+
+def pack_frame(payload: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+):
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` for oversized frames, invalid JSON,
+    non-object payloads, or EOF inside a frame.
+    """
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} header "
+            f"bytes of {_LEN.size})"
+        ) from exc
+    (length,) = _LEN.unpack(head)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} body "
+            f"bytes of {length})"
+        ) from exc
+    return decode_body(body)
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body into its payload object."""
+    try:
+        payload = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+
+
+def decode_events(payload, *, dense: bool) -> list:
+    """Validate one wire batch into ``(obj, delta)`` pairs.
+
+    ``dense`` servers require integer object ids (JSON booleans are
+    rejected too: they *are* ints in Python, but a client sending
+    ``true`` as an object id is confused, not clever).  Deltas must be
+    integers everywhere.
+    """
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            f"'events' must be a list of [obj, delta] pairs, got "
+            f"{type(payload).__name__}"
+        )
+    pairs = []
+    for item in payload:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(
+                f"each event must be an [obj, delta] pair, got {item!r}"
+            )
+        obj, delta = item
+        if isinstance(delta, bool) or not isinstance(delta, int):
+            raise ProtocolError(
+                f"event delta must be an integer, got {delta!r}"
+            )
+        if dense and (isinstance(obj, bool) or not isinstance(obj, int)):
+            raise ProtocolError(
+                f"dense object ids must be integers, got {obj!r}"
+            )
+        if not dense and isinstance(obj, (list, dict)):
+            raise ProtocolError(
+                f"hashable object ids must be JSON scalars, got {obj!r}"
+            )
+        pairs.append((obj, delta))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Queries and values
+# ----------------------------------------------------------------------
+
+_QUERY_KINDS = WALK_KINDS | POINT_KINDS
+
+
+def encode_queries(queries: Sequence[Query]) -> list:
+    """``Query`` tuple -> wire description list."""
+    return [{"kind": q.kind, "args": list(q.args)} for q in queries]
+
+
+def decode_queries(payload) -> tuple:
+    """Wire description list -> validated ``Query`` tuple.
+
+    Reconstruction goes through the :class:`Query` classmethod
+    constructors so parameter validation (quantile in [0, 1], k >= 0,
+    ...) happens at the protocol boundary with the library's own
+    error types.
+    """
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            f"'queries' must be a list, got {type(payload).__name__}"
+        )
+    queries = []
+    for item in payload:
+        if not isinstance(item, dict) or "kind" not in item:
+            raise ProtocolError(
+                f"each query must be an object with a 'kind', got {item!r}"
+            )
+        kind = item["kind"]
+        args = item.get("args", [])
+        if kind not in _QUERY_KINDS:
+            raise ProtocolError(
+                f"unknown query kind {kind!r}; choose from "
+                f"{sorted(_QUERY_KINDS)}"
+            )
+        if not isinstance(args, list):
+            raise ProtocolError(f"query args must be a list, got {args!r}")
+        ctor = getattr(Query, kind)
+        try:
+            queries.append(ctor(*args))
+        except TypeError as exc:
+            raise ProtocolError(
+                f"bad arguments for query {kind!r}: {exc}"
+            ) from exc
+    return tuple(queries)
+
+
+def encode_value(kind: str, value) -> Any:
+    """Encode one query answer JSON-safely, keyed by the query kind."""
+    if kind in ("mode", "least"):
+        return {
+            "frequency": value.frequency,
+            "count": value.count,
+            "example": value.example,
+        }
+    if kind in ("top_k", "heavy_hitters"):
+        return [[entry.obj, entry.frequency] for entry in value]
+    if kind == "kth_most_frequent":
+        return [value.obj, value.frequency]
+    if kind == "histogram":
+        return [[f, count] for f, count in value]
+    return value
+
+
+def decode_value(kind: str, payload) -> Any:
+    """Inverse of :func:`encode_value` (same kind-keyed dispatch)."""
+    if kind in ("mode", "least"):
+        return ModeResult(
+            frequency=payload["frequency"],
+            count=payload["count"],
+            example=payload["example"],
+        )
+    if kind in ("top_k", "heavy_hitters"):
+        return [TopEntry(obj, f) for obj, f in payload]
+    if kind == "kth_most_frequent":
+        return TopEntry(payload[0], payload[1])
+    if kind == "histogram":
+        return [(f, count) for f, count in payload]
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+
+#: Exception types that cross the wire by name and reconstruct on the
+#: client as the same class (all take one message argument, except
+#: UnsupportedQueryError which ships its two fields).
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        CapacityError,
+        CheckpointError,
+        EmptyProfileError,
+        FrequencyUnderflowError,
+        InvariantViolationError,
+        ProtocolError,
+        StreamConfigError,
+        UnknownObjectError,
+        WindowError,
+    )
+}
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Exception -> wire error object."""
+    if isinstance(exc, UnsupportedQueryError):
+        return {
+            "type": "UnsupportedQueryError",
+            "message": str(exc),
+            "profiler": exc.profiler,
+            "query": exc.query,
+        }
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def decode_error(payload) -> Exception:
+    """Wire error object -> exception instance (not raised here)."""
+    if not isinstance(payload, dict):
+        return RemoteError(f"malformed error payload: {payload!r}")
+    name = payload.get("type", "RemoteError")
+    message = payload.get("message", "")
+    if name == "UnsupportedQueryError":
+        return UnsupportedQueryError(
+            payload.get("profiler", "?"), payload.get("query", "?")
+        )
+    cls = _ERROR_TYPES.get(name)
+    if cls is not None:
+        return cls(message)
+    return RemoteError(f"{name}: {message}")

@@ -1,0 +1,864 @@
+"""The profiling service: an asyncio TCP server with micro-batching.
+
+:class:`ProfileServer` hosts one :class:`~repro.api.Profiler` (any
+backend) behind the wire protocol of :mod:`repro.server.protocol`.
+The write path is a **micro-batching pipeline**:
+
+1. every connection's reader decodes wire batches and enqueues them on
+   one bounded :class:`asyncio.Queue` (the bound is the backpressure
+   valve — a full queue stops the reader, which stops reading the
+   socket, which stalls the sender through TCP flow control);
+2. a single flusher task coalesces queued wire batches — up to
+   ``batch_max`` events or ``linger_ms`` of waiting, whichever first —
+   into **one** engine ``ingest()`` call, so the per-event cost on the
+   hot path is the facade's vectorized batch machinery instead of a
+   per-request engine transaction;
+3. acks are written per request (pipelining clients match them by id),
+   but grouped into one socket write per connection per flush.
+
+Coalescing never changes semantics: a :class:`_FlushPlanner` admits
+each wire batch against the profiler state *plus the net effect of the
+wire batches already admitted in this flush*, exactly reproducing the
+outcome of applying the wire batches one ``ingest()`` at a time in
+arrival order.  A rejected wire batch is rejected whole (all-or-nothing
+per wire batch) and the error goes only to the offending client; every
+other batch in the flush still lands.  Each ingest ack carries ``seq``
+— the batch's position in this serialization order — so clients (and
+the equivalence property tests) can replay the exact history.
+
+Reads (``evaluate`` / ``describe`` / ``checkpoint`` / ``ping``) ride
+the same queue, acting as flush barriers: a query observes precisely
+the wire batches enqueued before it, i.e. always a consistent batch
+boundary, never half a flush.
+
+Shutdown (:meth:`ProfileServer.stop`) is a graceful drain: stop
+accepting, stop reading, flush and ack everything already queued, then
+close the connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.backends import ApproxProfiler
+from repro.api.facade import Profiler
+from repro.core.dynamic import DynamicProfiler
+from repro.core.flat import FlatProfile
+from repro.core.profile import SProfile, net_deltas
+from repro.engine.parallel import ParallelShardedProfiler
+from repro.engine.sharding import ShardedProfiler
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    FrequencyUnderflowError,
+    ReproError,
+)
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_events,
+    decode_queries,
+    encode_error,
+    encode_value,
+    pack_frame,
+    read_frame,
+)
+
+__all__ = ["ProfileServer", "ServerStats", "ServerThread"]
+
+
+# ----------------------------------------------------------------------
+# Admission control: coalesce without changing semantics
+# ----------------------------------------------------------------------
+
+
+def _resolve_strategy(profiler: Profiler) -> str:
+    """How wire batches may be coalesced for this facade.
+
+    - ``dense``: dense-keyed exact engines — validate ids (and strict
+      underflows against an overlay) per wire batch, then apply all
+      admitted batches as one merged ``ingest``.
+    - ``interned`` / ``dynamic``: hashable keys — same overlay scheme
+      plus registration/capacity accounting.
+    - ``approx``: add-only — a wire batch is admissible iff its own
+      net deltas are all non-negative (history-independent).
+    - ``sequential``: unknown backends (registry baselines) — no
+      coalescing; each wire batch is its own ``ingest`` call, which is
+      trivially equivalent.
+    """
+    impl = profiler.backend
+    if isinstance(impl, ApproxProfiler):
+        return "approx"
+    if getattr(profiler, "_interner", None) is not None:
+        return "interned"
+    if isinstance(impl, DynamicProfiler):
+        return "dynamic"
+    if profiler.keys == "dense" and isinstance(
+        impl,
+        (SProfile, FlatProfile, ShardedProfiler, ParallelShardedProfiler),
+    ):
+        return "dense"
+    return "sequential"
+
+
+class _FlushPlanner:
+    """Sequential-equivalence admission for one coalesced flush.
+
+    ``admit(pairs)`` either returns the facade's would-be ``ingest``
+    return value (net unit events) and folds the batch's net deltas
+    into the overlay, or raises exactly the error a direct
+    ``Profiler.ingest`` would raise had the admitted batches before it
+    already been applied.  After admitting, one merged ``ingest`` of
+    all admitted batches produces the same final state as applying
+    them one at a time (frequencies are additive; engine validation
+    was replayed here per batch, against base state + overlay).
+    """
+
+    __slots__ = ("_p", "_strategy", "_overlay", "_fresh")
+
+    def __init__(self, profiler: Profiler, strategy: str) -> None:
+        self._p = profiler
+        self._strategy = strategy
+        self._overlay: dict = {}
+        # Fresh hashable keys admitted this flush, in admission order
+        # (a dict used as an ordered set).  They must be registered
+        # explicitly before the merged ingest: a key whose deltas
+        # cancel to zero ACROSS wire batches is dropped by the merged
+        # net pass, but sequential application would have registered
+        # it (claiming an interned capacity slot / a dynamic universe
+        # entry, observable through support(0), len(), capacity
+        # accounting).
+        self._fresh: dict = {}
+
+    def fresh_keys(self):
+        """Admitted never-seen keys, in sequential registration order."""
+        return self._fresh.keys()
+
+    def admit(self, pairs: list) -> int:
+        net = net_deltas(pairs)
+        strategy = self._strategy
+        if strategy == "dense":
+            self._admit_dense(net)
+        elif strategy == "interned":
+            self._admit_interned(net)
+        elif strategy == "dynamic":
+            self._admit_dynamic(net)
+        elif strategy == "approx":
+            for obj, d in net.items():
+                if d < 0:
+                    raise CapacityError(
+                        f"approx backend is add-only; got net delta {d} "
+                        f"for {obj!r}"
+                    )
+            return sum(net.values())
+        overlay = self._overlay
+        for obj, d in net.items():
+            if d:
+                overlay[obj] = overlay.get(obj, 0) + d
+        return sum(abs(d) for d in net.values())
+
+    def _shifted(self, obj) -> int:
+        """Current frequency as the admitted batches would have left it."""
+        return self._p.frequency(obj) + self._overlay.get(obj, 0)
+
+    def _admit_dense(self, net: dict) -> None:
+        m = self._p.capacity
+        for x in net:
+            # Ids arrive protocol-validated as ints; mirror the
+            # engines' range check (which applies to net-zero keys too).
+            if not 0 <= x < m:
+                raise CapacityError(f"object id {x} out of range [0, {m})")
+        if self._p.strict:
+            for x, d in net.items():
+                if d < 0 and self._shifted(x) + d < 0:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency "
+                        f"{self._shifted(x)} {-d} times (net) would go "
+                        f"negative"
+                    )
+
+    def _admit_interned(self, net: dict) -> None:
+        # Mirrors Profiler._encode_interned check-for-check, in the
+        # same order (never-seen strict underflow wins over capacity
+        # overflow wins over known-key underflow).
+        interner = self._p._interner
+        strict = self._p.strict
+        fresh_new = []
+        for obj, d in net.items():
+            if d == 0:
+                continue
+            if interner.get(obj) is None and obj not in self._fresh:
+                if strict and d < 0:
+                    raise FrequencyUnderflowError(
+                        f"cannot remove never-seen object {obj!r} in "
+                        f"strict mode"
+                    )
+                fresh_new.append(obj)
+        capacity = self._p.capacity or 0
+        claimed = len(interner) + len(self._fresh)
+        if claimed + len(fresh_new) > capacity:
+            raise CapacityError(
+                f"batch registers {len(fresh_new)} new keys but only "
+                f"{capacity - claimed} slots remain of {capacity}"
+            )
+        if strict:
+            for obj, d in net.items():
+                if d < 0 and self._shifted(obj) + d < 0:
+                    raise FrequencyUnderflowError(
+                        f"removing object {obj!r} at frequency "
+                        f"{self._shifted(obj)} {-d} times (net) would "
+                        f"go negative"
+                    )
+        self._fresh.update(dict.fromkeys(fresh_new))
+
+    def _admit_dynamic(self, net: dict) -> None:
+        if not self._p.strict:
+            self._fresh.update(
+                dict.fromkeys(
+                    obj for obj, d in net.items()
+                    if d != 0 and obj not in self._p.backend
+                )
+            )
+            return
+        impl = self._p.backend
+        for obj, d in net.items():
+            if d >= 0:
+                continue
+            if obj not in impl and obj not in self._fresh:
+                raise FrequencyUnderflowError(
+                    f"cannot remove never-seen object {obj!r} in "
+                    f"strict mode"
+                )
+            if self._shifted(obj) + d < 0:
+                raise FrequencyUnderflowError(
+                    f"removing object {obj!r} at frequency "
+                    f"{self._shifted(obj)} {-d} times (net) would go "
+                    f"negative"
+                )
+        self._fresh.update(
+            dict.fromkeys(
+                obj for obj, d in net.items()
+                if d != 0 and obj not in impl
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Service plumbing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServerStats:
+    """Service-level counters, exposed in ``describe()['server']``."""
+
+    connections_total: int = 0
+    connections_dropped: int = 0
+    requests: int = 0
+    rejected: int = 0
+    wire_batches: int = 0
+    wire_events: int = 0
+    applied_units: int = 0
+    flushes: int = 0
+    max_flush_events: int = 0
+    queries: int = 0
+    checkpoints: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Item:
+    """One unit of the ordered pipeline."""
+
+    __slots__ = ("kind", "conn", "req_id", "data", "seq")
+
+    def __init__(self, kind, conn, req_id, data=None) -> None:
+        self.kind = kind
+        self.conn = conn
+        self.req_id = req_id
+        self.data = data
+        self.seq = None
+
+
+_STOP = _Item("stop", None, None)
+
+
+class _Connection:
+    """One client connection: serialized, timeout-guarded writes."""
+
+    __slots__ = ("server", "reader", "writer", "alive", "lock", "closing")
+
+    def __init__(self, server, reader, writer) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+        self.closing = False
+        self.lock = asyncio.Lock()
+
+    async def send(self, data: bytes) -> None:
+        """Write + drain under the slow-client timeout; abort on stall."""
+        if not self.alive:
+            return
+        async with self.lock:
+            if not self.alive:
+                return
+            try:
+                self.writer.write(data)
+                await asyncio.wait_for(
+                    self.writer.drain(), self.server._write_timeout
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                self.abort()
+
+    def abort(self) -> None:
+        """Drop the connection now (slow or broken client)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.server._stats.connections_dropped += 1
+        with contextlib.suppress(Exception):
+            self.writer.transport.abort()
+
+    async def close(self) -> None:
+        """Orderly close (pending acks were already flushed)."""
+        self.alive = False
+        with contextlib.suppress(Exception):
+            self.writer.close()
+            await self.writer.wait_closed()
+
+
+class ProfileServer:
+    """Serve one :class:`~repro.api.Profiler` over TCP.
+
+    Parameters
+    ----------
+    profiler:
+        The hosted facade; any backend works (exact backends coalesce,
+        see :func:`_resolve_strategy`).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    batch_max:
+        Flush as soon as this many *events* (not wire batches) are
+        coalesced.  ``1`` disables micro-batching — every wire batch
+        becomes its own engine call (the unbatched baseline of the
+        ``serve`` perf trajectory).
+    linger_ms:
+        How long a non-full flush may wait for more arrivals.  The
+        throughput/latency dial: 0 acks as fast as possible, a few ms
+        rides the vectorized batch path at light load too.
+    queue_size:
+        Bound of the ingest queue, in pipeline items; the backpressure
+        valve for writers.
+    write_timeout:
+        Seconds a response write may stall before the client is
+        declared slow and dropped (protects the flusher — and every
+        other client — from one dead peer).
+    max_frame:
+        Hard per-frame byte cap (both directions).
+    """
+
+    def __init__(
+        self,
+        profiler: Profiler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_max: int = 512,
+        linger_ms: float = 1.0,
+        queue_size: int = 4096,
+        write_timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if batch_max < 1:
+            raise CapacityError(f"batch_max must be >= 1, got {batch_max}")
+        if linger_ms < 0:
+            raise CapacityError(f"linger_ms must be >= 0, got {linger_ms}")
+        if queue_size < 1:
+            raise CapacityError(f"queue_size must be >= 1, got {queue_size}")
+        self._profiler = profiler
+        self._host = host
+        self._bind_port = port
+        self._batch_max = batch_max
+        self._linger = linger_ms / 1000.0
+        self._queue_size = queue_size
+        self._write_timeout = write_timeout
+        self._max_frame = max_frame
+        self._strategy = _resolve_strategy(profiler)
+        # Approx sketches take hashable keys natively whatever the
+        # facade's keys mode says; every other dense-keyed backend
+        # indexes integer arrays, so the protocol enforces int ids.
+        self._dense = (
+            profiler.keys == "dense" and self._strategy != "approx"
+        )
+        self._stats = ServerStats()
+        self._seq = 0
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._flusher: asyncio.Task | None = None
+        self._conns: set[_Connection] = set()
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._stopping = False
+        self._stopped: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "ProfileServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._stopped = asyncio.Event()
+        self._queue = asyncio.Queue(self._queue_size)
+        self._flusher = asyncio.create_task(self._flush_loop())
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._bind_port
+        )
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._bind_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def profiler(self) -> Profiler:
+        return self._profiler
+
+    @property
+    def stats(self) -> ServerStats:
+        return self._stats
+
+    @property
+    def strategy(self) -> str:
+        """The coalescing strategy resolved for the hosted backend."""
+        return self._strategy
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop reading, flush + ack the queue, close.
+
+        Idempotent; concurrent callers all return once the drain is
+        done.  Wire batches already accepted into the queue are
+        applied and acked; batches still in a socket buffer are not.
+        """
+        if self._stopping:
+            await self.wait_stopped()
+            return
+        self._stopping = True
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(
+                *self._reader_tasks, return_exceptions=True
+            )
+        if self._flusher is not None:
+            await self._queue.put(_STOP)
+            await self._flusher
+        for conn in list(self._conns):
+            await conn.close()
+        self._conns.clear()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def __aenter__(self) -> "ProfileServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- readers -------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        conn = _Connection(self, reader, writer)
+        self._conns.add(conn)
+        self._stats.connections_total += 1
+        task = asyncio.current_task()
+        self._reader_tasks.add(task)
+        await conn.send(
+            pack_frame(
+                {
+                    "server": "repro.server",
+                    "version": PROTOCOL_VERSION,
+                    "backend": self._profiler.backend_name,
+                    "keys": self._profiler.keys,
+                    "strict": self._profiler.strict,
+                    "capacity": self._profiler.capacity,
+                }
+            )
+        )
+        close_enqueued = False
+        try:
+            while conn.alive and not self._closing:
+                try:
+                    msg = await read_frame(reader, self._max_frame)
+                except ProtocolError as exc:
+                    # Framing is broken — there is no resynchronizing a
+                    # length-prefixed stream.  Flush what the client
+                    # already has queued, report, close.
+                    await self._enqueue(_Item("reject", conn, None, exc))
+                    await self._enqueue(_Item("close", conn, None))
+                    close_enqueued = True
+                    return
+                if msg is None:
+                    return
+                self._stats.requests += 1
+                req_id = msg.get("id")
+                try:
+                    item = self._decode_request(conn, req_id, msg)
+                except (ProtocolError, ReproError) as exc:
+                    item = _Item("reject", conn, req_id, exc)
+                await self._enqueue(item)
+                if item.kind == "close":
+                    close_enqueued = True
+                    return
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # stop() cancels readers; ending the connection task
+            # normally keeps asyncio's streams machinery from logging
+            # the cancellation as a connection-callback error.
+            pass
+        finally:
+            self._reader_tasks.discard(task)
+            if not close_enqueued and not self._stopping:
+                # EOF / error: flush this client's pending acks, then
+                # close its writer, in pipeline order.
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._enqueue(_Item("close", conn, None))
+
+    def _decode_request(self, conn, req_id, msg: dict) -> _Item:
+        if not isinstance(req_id, int) or isinstance(req_id, bool):
+            raise ProtocolError(
+                f"request 'id' must be an integer, got {req_id!r}"
+            )
+        op = msg.get("op")
+        if op == "ingest":
+            pairs = decode_events(msg.get("events"), dense=self._dense)
+            return _Item("ingest", conn, req_id, pairs)
+        if op == "evaluate":
+            queries = decode_queries(msg.get("queries"))
+            return _Item("evaluate", conn, req_id, queries)
+        if op in ("describe", "checkpoint", "ping", "close"):
+            return _Item(op, conn, req_id)
+        raise ProtocolError(f"unknown op {op!r}")
+
+    async def _enqueue(self, item: _Item) -> None:
+        await self._queue.put(item)
+
+    # -- the flusher ---------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        batch_max = self._batch_max
+        linger = self._linger
+        pending: list[_Item] = []
+        pending_events = 0
+        deadline = 0.0
+        item: _Item | None = None
+        while True:
+            if item is None:
+                item = await queue.get()
+            if item.kind == "stop":
+                await self._flush(pending)
+                return
+            if item.kind == "ingest":
+                if not pending:
+                    deadline = loop.time() + linger
+                pending.append(item)
+                pending_events += len(item.data)
+                item = None
+                if pending_events < batch_max:
+                    try:
+                        item = queue.get_nowait()
+                        continue
+                    except asyncio.QueueEmpty:
+                        timeout = deadline - loop.time()
+                        if timeout > 0:
+                            try:
+                                item = await asyncio.wait_for(
+                                    queue.get(), timeout
+                                )
+                                continue
+                            except asyncio.TimeoutError:
+                                pass
+                await self._flush(pending)
+                pending = []
+                pending_events = 0
+            else:
+                await self._flush(pending)
+                pending = []
+                pending_events = 0
+                await self._execute(item)
+                item = None
+
+    async def _flush(self, batch: list[_Item]) -> None:
+        """Apply one coalesced flush and ack every wire batch in it."""
+        if not batch:
+            return
+        stats = self._stats
+        stats.flushes += 1
+        n_events = sum(len(item.data) for item in batch)
+        stats.wire_batches += len(batch)
+        stats.wire_events += n_events
+        if n_events > stats.max_flush_events:
+            stats.max_flush_events = n_events
+        profiler = self._profiler
+        # Outcomes stay in pipeline order whatever order they were
+        # decided in — acks per connection must follow request order
+        # (the wire contract; blocking clients rely on it).
+        outcomes: list[tuple[_Item, Any]] = [None] * len(batch)
+        if self._strategy == "sequential":
+            for idx, item in enumerate(batch):
+                self._seq += 1
+                item.seq = self._seq
+                try:
+                    outcomes[idx] = (item, profiler.ingest(item.data))
+                except Exception as exc:
+                    outcomes[idx] = (item, exc)
+        else:
+            planner = _FlushPlanner(profiler, self._strategy)
+            admitted: list[tuple[int, _Item, int]] = []
+            for idx, item in enumerate(batch):
+                self._seq += 1
+                item.seq = self._seq
+                try:
+                    admitted.append((idx, item, planner.admit(item.data)))
+                except Exception as exc:
+                    outcomes[idx] = (item, exc)
+            if admitted:
+                merged: list = []
+                for _idx, item, _applied in admitted:
+                    merged.extend(item.data)
+                try:
+                    # Register admitted fresh keys first, in admission
+                    # order: the merged net pass drops keys whose
+                    # deltas cancel to zero across wire batches, but
+                    # sequential application would have registered
+                    # them (claiming their interned capacity slot /
+                    # universe entry).
+                    for obj in planner.fresh_keys():
+                        profiler.register(obj)
+                    profiler.ingest(merged)
+                except Exception:
+                    # Planner miss (should not happen): the merged
+                    # ingest rejected atomically, so replaying each
+                    # admitted batch individually is still exact.
+                    for idx, item, _applied in admitted:
+                        try:
+                            outcomes[idx] = (
+                                item, profiler.ingest(item.data)
+                            )
+                        except Exception as exc:
+                            outcomes[idx] = (item, exc)
+                else:
+                    for idx, item, applied in admitted:
+                        outcomes[idx] = (item, applied)
+        # One socket write per connection, acks in pipeline order.
+        per_conn: dict[_Connection, list[bytes]] = {}
+        for item, result in outcomes:
+            if isinstance(result, Exception):
+                stats.rejected += 1
+                frame = pack_frame(
+                    {
+                        "id": item.req_id,
+                        "ok": False,
+                        "seq": item.seq,
+                        "error": encode_error(result),
+                    }
+                )
+            else:
+                stats.applied_units += result
+                frame = pack_frame(
+                    {
+                        "id": item.req_id,
+                        "ok": True,
+                        "applied": result,
+                        "seq": item.seq,
+                    }
+                )
+            per_conn.setdefault(item.conn, []).append(frame)
+        for conn, frames in per_conn.items():
+            await conn.send(b"".join(frames))
+
+    async def _execute(self, item: _Item) -> None:
+        """Run one non-ingest pipeline item (queries, control)."""
+        conn = item.conn
+        kind = item.kind
+        if kind == "close":
+            if item.req_id is not None:
+                await conn.send(
+                    pack_frame(
+                        {"id": item.req_id, "ok": True, "closing": True}
+                    )
+                )
+            self._conns.discard(conn)
+            await conn.close()
+            return
+        if kind == "reject":
+            self._stats.rejected += 1
+            await conn.send(
+                pack_frame(
+                    {
+                        "id": item.req_id,
+                        "ok": False,
+                        "error": encode_error(item.data),
+                    }
+                )
+            )
+            return
+        try:
+            if kind == "evaluate":
+                self._stats.queries += 1
+                result = self._profiler.evaluate(*item.data)
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "values": [
+                        encode_value(q.kind, v) for q, v in result
+                    ],
+                }
+            elif kind == "describe":
+                info = self._profiler.describe()
+                info["server"] = self.describe_server()
+                payload = {"id": item.req_id, "ok": True, "info": info}
+            elif kind == "checkpoint":
+                self._stats.checkpoints += 1
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "state": self._profiler.to_state(),
+                }
+            elif kind == "ping":
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "pong": True,
+                    "version": PROTOCOL_VERSION,
+                    "seq": self._seq,
+                }
+            else:  # pragma: no cover - decoder emits no other kinds
+                raise ProtocolError(f"unknown pipeline item {kind!r}")
+        except Exception as exc:
+            self._stats.rejected += 1
+            payload = {
+                "id": item.req_id,
+                "ok": False,
+                "error": encode_error(exc),
+            }
+        await conn.send(pack_frame(payload))
+
+    def describe_server(self) -> dict[str, Any]:
+        """The service block of ``describe()``: config + counters."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "strategy": self._strategy,
+            "batch_max": self._batch_max,
+            "linger_ms": self._linger * 1000.0,
+            "queue_size": self._queue_size,
+            "write_timeout": self._write_timeout,
+            "seq": self._seq,
+            "connections_open": len(self._conns),
+            **self._stats.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Blocking-world adapter
+# ----------------------------------------------------------------------
+
+
+class ServerThread:
+    """Run a :class:`ProfileServer` on a daemon thread's event loop.
+
+    The bridge for synchronous callers (the blocking
+    :class:`~repro.server.client.ProfileClient`, doctests, examples):
+
+    .. code-block:: python
+
+        with ServerThread(Profiler.open(1000)) as server:
+            client = ProfileClient(server.host, server.port)
+
+    ``host``/``port`` are set once the server is listening (the
+    constructor of the context manager blocks until then); errors
+    during startup re-raise in the starting thread.
+    """
+
+    def __init__(self, profiler: Profiler, **server_kwargs) -> None:
+        self._profiler = profiler
+        self._kwargs = server_kwargs
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()),
+            name="repro-profile-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+        return self
+
+    async def _amain(self) -> None:
+        try:
+            server = ProfileServer(self._profiler, **self._kwargs)
+            await server.start()
+        except BaseException as exc:  # startup failure -> caller
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.host, self.port = server.host, server.port
+        self.server = server
+        self._ready.set()
+        await self._stop_event.wait()
+        await server.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request the graceful drain and join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -17,6 +17,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 FAST_EXAMPLES = [
     "quickstart.py",
+    "quickstart_server.py",
     "fraud_shaving.py",
     "sliding_window_analytics.py",
     "hot_key_monitor.py",

@@ -474,12 +474,11 @@ class TestCheckpoints:
             restored.ingest({2: -5})
 
     def test_unsupported_backends_refuse(self):
+        # Baselines are the only rows left without checkpoint support
+        # (approx gained to_state/from_state; see TestApproxCheckpoints).
         bucket = Profiler.open(4, backend="bucket")
         with pytest.raises(CheckpointError):
             bucket.to_state()
-        approx = Profiler.open(backend="approx")
-        with pytest.raises(CheckpointError):
-            approx.to_state()
 
     @pytest.mark.parametrize(
         "mutate",
@@ -540,3 +539,127 @@ class TestFromFrequencies:
         assert profiler.frequency(4) == 5
         assert profiler.object_at_rank(0) in (1, 3)
         assert profiler.total == 14
+
+
+class TestApproxCheckpoints:
+    """`to_state`/`from_state` parity for the sketch backend (the
+    server's checkpoint download must work for every backend row)."""
+
+    def build(self):
+        profiler = Profiler.open(backend="approx", counters=8)
+        profiler.ingest([(i % 5, +1) for i in range(60)])
+        profiler.ingest({"hot": 30, "warm": 6})
+        return profiler
+
+    def test_round_trip_preserves_every_answer(self):
+        profiler = self.build()
+        restored = Profiler.from_state(profiler.to_state())
+        assert restored.backend_name == "approx"
+        for key in (0, 1, 4, "hot", "warm", "never-seen"):
+            assert restored.frequency(key) == profiler.frequency(key)
+        assert restored.top_k(8) == profiler.top_k(8)
+        assert restored.heavy_hitters(0.2) == profiler.heavy_hitters(0.2)
+        assert restored.n_events == profiler.n_events
+        assert restored.total == profiler.total
+        assert (
+            restored.backend.error_bound()
+            == profiler.backend.error_bound()
+        )
+        assert restored.backend.guaranteed_count(
+            "hot"
+        ) == profiler.backend.guaranteed_count("hot")
+
+    def test_restored_profiler_keeps_counting(self):
+        restored = Profiler.from_state(self.build().to_state())
+        before = restored.frequency("hot")
+        restored.ingest({"hot": 5})
+        assert restored.frequency("hot") == before + 5
+
+    def test_state_is_json_safe_for_scalar_keys(self):
+        profiler = self.build()
+        state = json.loads(json.dumps(profiler.to_state()))
+        restored = Profiler.from_state(state)
+        assert restored.frequency("hot") == profiler.frequency("hot")
+        assert restored.top_k(3) == profiler.top_k(3)
+
+    def test_save_load(self, tmp_path):
+        profiler = self.build()
+        path = tmp_path / "approx.json"
+        profiler.save(path)
+        assert Profiler.load(path).frequency("hot") == (
+            profiler.frequency("hot")
+        )
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda s: s["profile"].pop("sketch"),
+            lambda s: s["profile"].update(counters=-1),
+            lambda s: s["profile"].update(n_adds="lots"),
+            lambda s: s["profile"]["sketch"].update(total=999_999),
+            lambda s: s["profile"]["summary"]["slots"].pop(),
+            lambda s: s["profile"]["summary"]["slots"][0].__setitem__(1, -4),
+            lambda s: s["profile"]["sketch"].update(a=[0, 0, 0]),
+        ],
+    )
+    def test_tampered_states_rejected(self, corrupt):
+        state = self.build().to_state()
+        corrupt(state)
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+    def test_duplicate_monitored_object_rejected(self):
+        state = self.build().to_state()
+        slots = state["profile"]["summary"]["slots"]
+        slots[1][0] = slots[0][0]
+        with pytest.raises(CheckpointError):
+            Profiler.from_state(state)
+
+
+class TestCloseMatrix:
+    """`close()` is documented idempotent on *every* backend; the
+    server's graceful shutdown leans on that, so the whole matrix is
+    pinned, not just the parallel backend."""
+
+    SPECS = [
+        ("flat", dict(capacity=64)),
+        ("exact", dict(capacity=64)),
+        ("sharded", dict(capacity=64, shards=2)),
+        ("approx", dict(counters=8)),
+        ("exact-hashable", dict(keys="hashable")),
+        ("flat-hashable", dict(capacity=64, backend="flat",
+                               keys="hashable")),
+        ("bucket", dict(capacity=64)),
+        ("parallel-inline", dict(capacity=64, workers=1)),
+    ]
+
+    def open_profiler(self, name, options):
+        options = dict(options)
+        capacity = options.pop("capacity", None)
+        backend = options.pop(
+            "backend",
+            {
+                "flat": "flat",
+                "exact": "exact",
+                "sharded": "sharded",
+                "approx": "approx",
+                "exact-hashable": "exact",
+                "bucket": "bucket",
+                "parallel-inline": "parallel",
+            }.get(name, "auto"),
+        )
+        return Profiler.open(capacity, backend=backend, **options)
+
+    @pytest.mark.parametrize(
+        "name,options", SPECS, ids=[name for name, _ in SPECS]
+    )
+    def test_close_twice_and_context_manager(self, name, options):
+        profiler = self.open_profiler(name, options)
+        key = "k" if "hashable" in name or name == "approx" else 3
+        profiler.ingest({key: 2})
+        profiler.close()
+        profiler.close()  # idempotent
+
+        with self.open_profiler(name, options) as ctx:
+            assert ctx.ingest({key: 2}) == 2
+        ctx.close()  # idempotent after __exit__ too

@@ -155,3 +155,73 @@ class TestReporting:
         )
         text = format_figure(result)
         assert "Figure 3" in text and "desc" in text and "shape" in text
+
+
+class TestPercentiles:
+    def test_nearest_rank_basics(self):
+        from repro.bench.reporting import percentiles
+
+        spread = percentiles([4.0, 1.0, 3.0, 2.0], (0, 50, 75, 100))
+        assert spread == {0: 1.0, 50: 2.0, 75: 3.0, 100: 4.0}
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.bench.reporting import percentiles
+
+        assert percentiles([7.0], (50, 99)) == {50: 7.0, 99: 7.0}
+
+    def test_tail_reports_an_observed_value(self):
+        from repro.bench.reporting import percentiles
+
+        samples = list(range(1, 101))
+        spread = percentiles(samples, (99, 95))
+        assert spread[99] == 99 and spread[95] == 95
+        assert all(value in samples for value in spread.values())
+
+    def test_validation(self):
+        from repro.bench.reporting import percentiles
+
+        with pytest.raises(ValueError):
+            percentiles([])
+        with pytest.raises(ValueError):
+            percentiles([1.0], (101,))
+
+    def test_run_series_records_samples(self):
+        series = run_series(
+            title="toy",
+            x_label="n",
+            x_values=[100],
+            profiler_factories={
+                "sprofile": lambda c: make_profiler("sprofile", c)
+            },
+            stream_for_x=lambda n: build_stream("stream1", n, 20, seed=1),
+            capacity_for_x=lambda n: 20,
+            timer=time_mode_workload,
+            repeats=3,
+        )
+        assert len(series.samples["sprofile"][0]) == 3
+        # The reported median really is the median of the samples.
+        assert series.times["sprofile"][0] == sorted(
+            series.samples["sprofile"][0]
+        )[1]
+
+    def test_table_grows_percentile_columns_with_samples(self):
+        series = SeriesResult(
+            title="demo",
+            x_label="n",
+            x_values=[1000],
+            times={"heap-max": [0.2], "sprofile": [0.1]},
+            samples={"sprofile": [[0.1, 0.15, 0.3]]},
+        )
+        table = format_series_table(series)
+        assert "sprofile p50" in table
+        assert "sprofile p99" in table
+        assert "300.00ms" in table  # the p99 of the recorded samples
+
+    def test_table_without_samples_is_unchanged(self):
+        series = SeriesResult(
+            title="demo",
+            x_label="n",
+            x_values=[1000],
+            times={"heap-max": [0.2], "sprofile": [0.1]},
+        )
+        assert "p50" not in format_series_table(series)

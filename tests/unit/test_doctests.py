@@ -11,6 +11,7 @@ import repro.apps.leaderboard
 import repro.apps.median_service
 import repro.apps.topk_tracker
 import repro.approx.spacesaving
+import repro.bench.reporting
 import repro.core.dynamic
 import repro.core.profile
 import repro.core.queries
@@ -25,6 +26,7 @@ MODULES = [
     repro.apps.median_service,
     repro.apps.topk_tracker,
     repro.approx.spacesaving,
+    repro.bench.reporting,
     repro.core.dynamic,
     repro.core.profile,
     repro.core.queries,

@@ -1,0 +1,544 @@
+"""Unit tests for the micro-batching service and its clients.
+
+Async scenarios run under ``asyncio.run`` (no event-loop plugin
+needed); blocking-client scenarios go through :class:`ServerThread`.
+The equivalence of coalesced execution against a directly-driven
+facade is property-tested in
+``tests/property/test_prop_server_equivalence.py``; here we pin the
+mechanics — coalescing, isolation of rejections, ordering, drain,
+backpressure and the planner's masking edge cases.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import Profiler, Query
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    UnsupportedQueryError,
+)
+from repro.server import (
+    AsyncProfileClient,
+    ProfileClient,
+    ProfileServer,
+    ServerThread,
+)
+from repro.server.service import _FlushPlanner, _resolve_strategy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBlockingRoundTrip:
+    @pytest.fixture(scope="class")
+    def served(self):
+        with ServerThread(Profiler.open(100), linger_ms=0.5) as server:
+            with ProfileClient(server.host, server.port) as client:
+                yield client
+
+    def test_hello_names_the_backend(self, served):
+        assert served.hello["server"] == "repro.server"
+        assert served.hello["backend"] == "flat"
+        assert served.hello["capacity"] == 100
+
+    def test_ingest_returns_net_units(self, served):
+        # Opposing deltas for one key cancel before anything is
+        # counted (facade batch semantics): net is {1: +1, 2: +1}.
+        assert served.ingest([(1, +2), (2, +1), (1, -1)]) == 2
+
+    def test_full_event_vocabulary(self, served):
+        from repro.streams.events import Action, Event
+
+        n = served.ingest([Event(5, Action.ADD), (5, True), (6, +2)])
+        assert n == 4
+        assert served.frequency(5) >= 2
+
+    def test_evaluate_fused_plan(self, served):
+        served.ingest({7: 5})
+        result = served.evaluate(
+            Query.mode(), Query.top_k(2), Query.histogram(), Query.total()
+        )
+        assert result["mode"].frequency == served.frequency(7)
+        assert result["top_k"][0].frequency == result["mode"].frequency
+        assert sum(count for _, count in result["histogram"]) == 100
+
+    def test_describe_carries_server_block(self, served):
+        info = served.describe()
+        assert info["backend"] == "flat"
+        server = info["server"]
+        assert server["strategy"] == "dense"
+        assert server["wire_batches"] >= 1
+        assert server["flushes"] >= 1
+
+    def test_checkpoint_restores_identically(self, served):
+        served.ingest({3: 4})
+        state = served.checkpoint()
+        restored = Profiler.from_state(state)
+        assert restored.frequency(3) == served.frequency(3)
+        assert restored.histogram() == served.evaluate(Query.histogram())[0]
+
+    def test_ping(self, served):
+        assert 0 <= served.ping() < 5.0
+
+    def test_rejection_raises_library_type(self, served):
+        with pytest.raises(CapacityError, match="out of range"):
+            served.ingest([(100, +1)])
+
+    def test_close_is_idempotent(self):
+        with ServerThread(Profiler.open(10)) as server:
+            client = ProfileClient(server.host, server.port)
+            client.ingest({1: 1})
+            client.close()
+            client.close()
+
+
+class TestMicroBatching:
+    def test_pipelined_writes_coalesce(self):
+        async def scenario():
+            async with ProfileServer(
+                Profiler.open(50), batch_max=512, linger_ms=20.0
+            ) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                futures = [
+                    await client.ingest([(i % 50, +1)], wait=False)
+                    for i in range(40)
+                ]
+                acks = await asyncio.gather(*futures)
+                await client.aclose()
+                return server.stats, [a["applied"] for a in acks]
+
+        stats, applied = run(scenario())
+        assert applied == [1] * 40
+        assert stats.wire_batches == 40
+        # Coalescing must have merged wire batches into fewer engine
+        # calls (the first flush may be small; the rest pile up while
+        # it runs).
+        assert stats.flushes < 40
+        assert stats.max_flush_events > 1
+
+    def test_batch_max_one_disables_coalescing(self):
+        async def scenario():
+            async with ProfileServer(
+                Profiler.open(50), batch_max=1, linger_ms=0.0
+            ) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                futures = [
+                    await client.ingest([(i % 50, +1)], wait=False)
+                    for i in range(20)
+                ]
+                await asyncio.gather(*futures)
+                await client.aclose()
+                return server.stats
+
+        stats = run(scenario())
+        assert stats.flushes == 20
+        assert stats.max_flush_events == 1
+
+    def test_seq_is_a_total_order(self):
+        async def scenario():
+            async with ProfileServer(
+                Profiler.open(50), linger_ms=10.0
+            ) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                futures = [
+                    await client.ingest([(1, +1)], wait=False)
+                    for _ in range(10)
+                ]
+                acks = await asyncio.gather(*futures)
+                await client.aclose()
+                return [a["seq"] for a in acks]
+
+        seqs = run(scenario())
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 10
+
+    def test_query_sees_consistent_batch_boundary(self):
+        """A query enqueued after N wire batches observes exactly N."""
+
+        async def scenario():
+            async with ProfileServer(
+                Profiler.open(50), linger_ms=50.0, batch_max=10_000
+            ) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                for _ in range(7):
+                    await client.ingest([(3, +1)], wait=False)
+                # The evaluate rides the same pipeline: it must flush
+                # the 7 batches before answering, long linger or not.
+                result = await client.evaluate(Query.frequency(3))
+                await client.aclose()
+                return result[0]
+
+        assert run(scenario()) == 7
+
+
+class TestRejectionIsolation:
+    def test_strict_underflow_hits_only_the_offender(self):
+        async def scenario():
+            profiler = Profiler.open(20, strict=True)
+            async with ProfileServer(profiler, linger_ms=20.0) as server:
+                good = await AsyncProfileClient.connect(port=server.port)
+                bad = await AsyncProfileClient.connect(port=server.port)
+                f_good = await good.ingest([(1, +2)], wait=False)
+                f_bad = await bad.ingest([(2, -1)], wait=False)
+                f_good2 = await good.ingest([(3, +1)], wait=False)
+                ok1 = await f_good
+                ok2 = await f_good2
+                with pytest.raises(FrequencyUnderflowError):
+                    await f_bad
+                freq = await good.evaluate(
+                    Query.frequency(1), Query.frequency(2), Query.frequency(3)
+                )
+                await good.aclose()
+                await bad.aclose()
+                return ok1["applied"], ok2["applied"], tuple(freq.values)
+
+        applied1, applied2, freqs = run(scenario())
+        assert (applied1, applied2) == (2, 1)
+        assert freqs == (2, 0, 1)
+
+    def test_masking_cancellation_does_not_resurrect_a_rejected_batch(self):
+        """Strict mode, freq(x)=0: wire batch A removes x, B adds x.
+
+        Net-summed across the flush the deltas cancel, but sequential
+        semantics reject A and apply B — the exact case that forbids
+        blind coalescing.
+        """
+
+        async def scenario():
+            profiler = Profiler.open(10, strict=True)
+            async with ProfileServer(profiler, linger_ms=50.0) as server:
+                a = await AsyncProfileClient.connect(port=server.port)
+                b = await AsyncProfileClient.connect(port=server.port)
+                f_a = await a.ingest([(4, -1)], wait=False)
+                f_b = await b.ingest([(4, +1)], wait=False)
+                outcome_a = None
+                try:
+                    await f_a
+                except FrequencyUnderflowError as exc:
+                    outcome_a = exc
+                applied_b = (await f_b)["applied"]
+                freq = (await b.evaluate(Query.frequency(4)))[0]
+                await a.aclose()
+                await b.aclose()
+                return outcome_a, applied_b, freq
+
+        outcome_a, applied_b, freq = run(scenario())
+        assert isinstance(outcome_a, FrequencyUnderflowError)
+        assert applied_b == 1
+        assert freq == 1
+
+    def test_bad_id_rejected_even_when_net_zero(self):
+        with ServerThread(Profiler.open(5)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                with pytest.raises(CapacityError):
+                    client.ingest([(9, +1), (9, -1)])
+                assert client.total() == 0
+
+    def test_protocol_reject_keeps_connection_alive(self):
+        with ServerThread(Profiler.open(5)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                from repro.server.protocol import ProtocolError
+
+                with pytest.raises(ProtocolError):
+                    client.request("ingest", events=[["a", 1]])
+                assert client.ingest({2: 3}) == 3
+
+    def test_unknown_op_rejected(self):
+        with ServerThread(Profiler.open(5)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                from repro.server.protocol import ProtocolError
+
+                with pytest.raises(ProtocolError, match="unknown op"):
+                    client.request("explode")
+
+    def test_query_errors_transport_types(self):
+        with ServerThread(Profiler.open(0)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                with pytest.raises(EmptyProfileError):
+                    client.mode()
+        sketch = Profiler.open(backend="approx", counters=4)
+        with ServerThread(sketch) as server:
+            with ProfileClient(server.host, server.port) as client:
+                client.ingest({"a": 2})
+                with pytest.raises(UnsupportedQueryError) as excinfo:
+                    client.evaluate(Query.median())
+                assert excinfo.value.query == "median"
+
+
+class TestPlanner:
+    def test_strategies(self):
+        assert _resolve_strategy(Profiler.open(10)) == "dense"
+        assert _resolve_strategy(Profiler.open(10, shards=2)) == "dense"
+        assert (
+            _resolve_strategy(Profiler.open(keys="hashable")) == "dynamic"
+        )
+        assert (
+            _resolve_strategy(Profiler.open(10, backend="flat",
+                                            keys="hashable"))
+            == "interned"
+        )
+        assert (
+            _resolve_strategy(Profiler.open(backend="approx")) == "approx"
+        )
+        assert (
+            _resolve_strategy(Profiler.open(10, backend="bucket"))
+            == "sequential"
+        )
+
+    def test_dense_strict_overlay_sees_admitted_batches(self):
+        profiler = Profiler.open(10, strict=True)
+        planner = _FlushPlanner(profiler, "dense")
+        assert planner.admit([(1, +2)]) == 2
+        # Admissible only because the first batch is counted.
+        assert planner.admit([(1, -2)]) == 2
+        with pytest.raises(FrequencyUnderflowError):
+            planner.admit([(1, -1)])
+
+    def test_interned_capacity_masking(self):
+        """Fresh-key registration is charged in admission order; a
+        later cancellation in another batch must not refund it."""
+        profiler = Profiler.open(2, backend="flat", keys="hashable")
+        profiler.ingest({"a": 1, "b": 1})
+        planner = _FlushPlanner(profiler, "interned")
+        with pytest.raises(CapacityError):
+            planner.admit([("c", +1)])
+
+    def test_interned_fresh_keys_count_once(self):
+        profiler = Profiler.open(3, backend="flat", keys="hashable")
+        planner = _FlushPlanner(profiler, "interned")
+        assert planner.admit([("x", +1)]) == 1
+        assert planner.admit([("x", +1), ("y", +1)]) == 2
+        assert planner.admit([("z", +1)]) == 1
+        with pytest.raises(CapacityError):
+            planner.admit([("w", +1)])
+
+    def test_approx_is_add_only_per_batch(self):
+        profiler = Profiler.open(backend="approx", counters=4)
+        planner = _FlushPlanner(profiler, "approx")
+        assert planner.admit([("a", +3)]) == 3
+        with pytest.raises(CapacityError):
+            planner.admit([("a", -1)])
+
+    def test_dynamic_strict_never_seen(self):
+        profiler = Profiler.open(keys="hashable", strict=True)
+        planner = _FlushPlanner(profiler, "dynamic")
+        with pytest.raises(FrequencyUnderflowError):
+            planner.admit([("ghost", -1)])
+        assert planner.admit([("real", +1)]) == 1
+        assert planner.admit([("real", -1)]) == 1
+
+
+class TestLifecycle:
+    def test_graceful_drain_acks_everything_queued(self):
+        async def scenario():
+            profiler = Profiler.open(100)
+            server = ProfileServer(profiler, linger_ms=50.0)
+            await server.start()
+            client = await AsyncProfileClient.connect(port=server.port)
+            futures = [
+                await client.ingest([(i % 100, +1)], wait=False)
+                for i in range(30)
+            ]
+            # Wait until the reader has accepted all 30 into the
+            # pipeline (the drain guarantee covers queued requests,
+            # not bytes still in socket buffers), then stop while the
+            # linger is still holding the batch open: the drain must
+            # flush and ack all 30.
+            while server.stats.requests < 30:
+                await asyncio.sleep(0.001)
+            await server.stop()
+            acks = await asyncio.gather(*futures, return_exceptions=True)
+            await client.aclose()
+            return profiler, acks
+
+        profiler, acks = run(scenario())
+        applied = [a for a in acks if isinstance(a, dict)]
+        assert len(applied) == 30
+        assert profiler.total == 30
+
+    def test_stop_is_idempotent_and_concurrent_safe(self):
+        async def scenario():
+            server = ProfileServer(Profiler.open(10))
+            await server.start()
+            await asyncio.gather(server.stop(), server.stop())
+            await server.stop()
+            return True
+
+        assert run(scenario())
+
+    def test_backpressure_bound_never_corrupts(self):
+        async def scenario():
+            profiler = Profiler.open(50)
+            async with ProfileServer(
+                profiler, queue_size=2, batch_max=4, linger_ms=0.0
+            ) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                futures = [
+                    await client.ingest([(i % 50, +1)], wait=False)
+                    for i in range(200)
+                ]
+                acks = await asyncio.gather(*futures)
+                await client.aclose()
+                return profiler.total, len(acks)
+
+        total, n_acks = run(scenario())
+        assert (total, n_acks) == (200, 200)
+
+    def test_slow_client_is_dropped_not_obeyed(self):
+        """A peer whose ack writes stall must not hold the flusher
+        (and everyone else) past write_timeout.
+
+        The stall is injected by stubbing the victim connection's
+        ``drain`` (kernel socket buffers on loopback are far too
+        generous to fill quickly in a unit test); what is under test
+        is the server's timeout -> abort -> carry-on path.
+        """
+
+        async def scenario():
+            profiler = Profiler.open(50)
+            async with ProfileServer(
+                profiler, write_timeout=0.05, linger_ms=0.0
+            ) as server:
+                victim = await AsyncProfileClient.connect(port=server.port)
+                assert await victim.ingest([(1, +1)]) == 1
+                for conn in server._conns:
+                    conn.writer.drain = lambda: asyncio.sleep(3600)
+                stalled = await victim.ingest([(1, +1)], wait=False)
+                healthy = await AsyncProfileClient.connect(port=server.port)
+                for _ in range(50):
+                    if server.stats.connections_dropped:
+                        break
+                    await asyncio.sleep(0.02)
+                dropped = server.stats.connections_dropped
+                applied = await healthy.ingest([(2, +1)])
+                freq = await healthy.frequency(2)
+                stalled.cancel()
+                await healthy.aclose()
+                await victim.aclose()
+                return dropped, applied, freq
+
+        dropped, applied, freq = run(scenario())
+        assert dropped >= 1
+        assert (applied, freq) == (1, 1)
+
+
+class TestCli:
+    def test_parser_flags(self):
+        from repro.server.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "--capacity", "100", "--backend", "sharded", "--shards",
+                "4", "--port", "0", "--batch-max", "128", "--linger-ms",
+                "2.5", "--queue-size", "64", "--strict",
+            ]
+        )
+        assert args.capacity == 100
+        assert args.backend == "sharded"
+        assert args.shards == 4
+        assert args.batch_max == 128
+        assert args.linger_ms == 2.5
+        assert args.strict is True
+
+    def test_serve_module_exposes_main(self):
+        from repro import serve
+
+        assert callable(serve.main)
+        assert serve.build_parser().prog == "python -m repro.serve"
+
+
+class TestCoalescingEdgeCases:
+    """Regressions from review: cross-batch cancellation and ordering."""
+
+    def test_cancelled_fresh_key_still_claims_its_interned_slot(self):
+        """Wire batches [('x',+1)] then [('x',-1)] net to zero across
+        the flush, but sequential semantics register 'x' — a later
+        fresh key must overflow a 1-slot universe exactly as it would
+        against a directly-driven facade."""
+
+        async def scenario():
+            profiler = Profiler.open(
+                1, backend="flat", keys="hashable"
+            )
+            async with ProfileServer(profiler, linger_ms=50.0) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                f1 = await client.ingest([("x", +1)], wait=False)
+                f2 = await client.ingest([("x", -1)], wait=False)
+                await asyncio.gather(f1, f2)
+                outcome = None
+                try:
+                    await client.ingest([("y", +1)])
+                except CapacityError as exc:
+                    outcome = exc
+                support = (await client.evaluate(Query.support(0)))[0]
+                await client.aclose()
+                return outcome, support
+
+        outcome, support = run(scenario())
+        assert isinstance(outcome, CapacityError)
+        assert support == 1  # 'x' is registered at frequency 0
+
+    def test_cancelled_fresh_key_registers_on_dynamic_universe(self):
+        async def scenario():
+            profiler = Profiler.open(keys="hashable")
+            async with ProfileServer(profiler, linger_ms=50.0) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                f1 = await client.ingest([("ghost", +2)], wait=False)
+                f2 = await client.ingest([("ghost", -2)], wait=False)
+                await asyncio.gather(f1, f2)
+                support = (await client.evaluate(Query.support(0)))[0]
+                await client.aclose()
+                return support, len(profiler)
+
+        support, size = run(scenario())
+        assert support == 1
+        assert size == 1
+
+    def test_acks_follow_request_order_per_connection(self):
+        """A rejection decided during admission must not overtake the
+        ack of an earlier request coalesced into the same flush."""
+
+        async def scenario():
+            from repro.server.protocol import pack_frame, read_frame
+
+            async with ProfileServer(
+                Profiler.open(5), linger_ms=50.0
+            ) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await read_frame(reader)  # hello
+                writer.write(
+                    pack_frame(
+                        {"id": 1, "op": "ingest", "events": [[1, 1]]}
+                    )
+                )
+                writer.write(
+                    pack_frame(
+                        {"id": 2, "op": "ingest", "events": [[99, 1]]}
+                    )
+                )
+                await writer.drain()
+                first = await read_frame(reader)
+                second = await read_frame(reader)
+                writer.close()
+                return first, second
+
+        first, second = run(scenario())
+        assert (first["id"], second["id"]) == (1, 2)
+        assert first["ok"] is True
+        assert second["ok"] is False
+
+    def test_tampered_negative_sketch_cells_rejected(self):
+        from repro.errors import CheckpointError
+
+        profiler = Profiler.open(backend="approx", counters=4)
+        profiler.ingest({"hot": 3})
+        state = profiler.to_state()
+        state["profile"]["sketch"]["table"][0][0] = -5
+        with pytest.raises(CheckpointError, match="negative"):
+            Profiler.from_state(state)

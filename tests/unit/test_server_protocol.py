@@ -1,0 +1,216 @@
+"""Unit tests for the wire protocol: framing, codecs, error transport."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.api.plan import Query
+from repro.core.queries import ModeResult, TopEntry
+from repro.errors import (
+    CapacityError,
+    EmptyProfileError,
+    FrequencyUnderflowError,
+    UnsupportedQueryError,
+)
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    RemoteError,
+    decode_body,
+    decode_error,
+    decode_events,
+    decode_queries,
+    decode_value,
+    encode_error,
+    encode_queries,
+    encode_value,
+    pack_frame,
+    read_frame,
+)
+
+
+def roundtrip_frames(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    """Feed raw bytes through the asyncio frame reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader, max_frame)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_pack_read_roundtrip(self):
+        payloads = [{"id": 1, "op": "ping"}, {"id": 2, "x": [1, "a", None]}]
+        data = b"".join(pack_frame(p) for p in payloads)
+        assert roundtrip_frames(data) == payloads
+
+    def test_clean_eof_is_none(self):
+        assert roundtrip_frames(b"") == []
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            roundtrip_frames(b"\x00\x00")
+
+    def test_eof_mid_body_raises(self):
+        data = pack_frame({"id": 1, "op": "ping"})[:-3]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            roundtrip_frames(data)
+
+    def test_oversized_frame_rejected_before_reading_body(self):
+        huge = struct.pack(">I", 10_000_000) + b"x"
+        with pytest.raises(ProtocolError, match="exceeds"):
+            roundtrip_frames(huge, max_frame=1024)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_body(b"{nope")
+
+
+class TestEventCodec:
+    def test_valid_dense_pairs(self):
+        pairs = decode_events([[3, 1], [7, -2]], dense=True)
+        assert pairs == [(3, 1), (7, -2)]
+
+    def test_hashable_accepts_json_scalars(self):
+        pairs = decode_events(
+            [["ada", 1], [None, 2], [1.5, 1], [True, -1]], dense=False
+        )
+        assert pairs[0] == ("ada", 1)
+
+    @pytest.mark.parametrize(
+        "events",
+        [
+            {"not": "a list"},
+            [[1]],
+            [[1, 2, 3]],
+            [[1, "x"]],
+            [[1, 1.5]],
+            [[1, True]],
+        ],
+    )
+    def test_malformed_events_rejected(self, events):
+        with pytest.raises(ProtocolError):
+            decode_events(events, dense=True)
+
+    @pytest.mark.parametrize("obj", ["a", None, 1.5, True])
+    def test_dense_mode_requires_integer_ids(self, obj):
+        with pytest.raises(ProtocolError, match="integers"):
+            decode_events([[obj, 1]], dense=True)
+
+    def test_hashable_mode_rejects_containers(self):
+        with pytest.raises(ProtocolError, match="scalars"):
+            decode_events([[[1, 2], 1]], dense=False)
+
+
+class TestQueryCodec:
+    def test_roundtrip_every_kind(self):
+        queries = (
+            Query.mode(),
+            Query.least(),
+            Query.max_frequency(),
+            Query.min_frequency(),
+            Query.top_k(3),
+            Query.kth_most_frequent(2),
+            Query.median(),
+            Query.quantile(0.25),
+            Query.histogram(),
+            Query.support(0),
+            Query.heavy_hitters(0.1),
+            Query.active_count(),
+            Query.frequency(7),
+            Query.total(),
+        )
+        assert decode_queries(encode_queries(queries)) == queries
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown query kind"):
+            decode_queries([{"kind": "drop_tables"}])
+
+    def test_constructor_validation_applies(self):
+        with pytest.raises(CapacityError):
+            decode_queries([{"kind": "quantile", "args": [1.5]}])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ProtocolError, match="bad arguments"):
+            decode_queries([{"kind": "top_k", "args": [1, 2]}])
+
+    def test_malformed_descriptions_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_queries("mode")
+        with pytest.raises(ProtocolError):
+            decode_queries([{"args": []}])
+        with pytest.raises(ProtocolError):
+            decode_queries([{"kind": "mode", "args": "nope"}])
+
+
+class TestValueCodec:
+    def test_mode_roundtrip(self):
+        value = ModeResult(frequency=4, count=2, example=9)
+        assert decode_value("mode", encode_value("mode", value)) == value
+
+    def test_mode_none_count_survives(self):
+        value = ModeResult(frequency=4, count=None, example="hot")
+        assert decode_value("mode", encode_value("mode", value)) == value
+
+    def test_entry_lists_roundtrip(self):
+        entries = [TopEntry(3, 9), TopEntry(1, 5)]
+        for kind in ("top_k", "heavy_hitters"):
+            assert decode_value(kind, encode_value(kind, entries)) == entries
+
+    def test_kth_roundtrip(self):
+        entry = TopEntry(7, 2)
+        wire = encode_value("kth_most_frequent", entry)
+        assert decode_value("kth_most_frequent", wire) == entry
+
+    def test_histogram_roundtrips_to_tuples(self):
+        hist = [(0, 3), (2, 1)]
+        wire = encode_value("histogram", hist)
+        assert decode_value("histogram", wire) == hist
+
+    def test_scalars_pass_through(self):
+        assert decode_value("quantile", encode_value("quantile", 3)) == 3
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CapacityError("object id 9 out of range [0, 5)"),
+            FrequencyUnderflowError("would go negative"),
+            EmptyProfileError("no events"),
+            ProtocolError("bad frame"),
+        ],
+    )
+    def test_known_types_reconstruct(self, exc):
+        decoded = decode_error(encode_error(exc))
+        assert type(decoded) is type(exc)
+        assert str(decoded) == str(exc)
+
+    def test_unsupported_query_ships_both_fields(self):
+        decoded = decode_error(
+            encode_error(UnsupportedQueryError("heap-max", "median"))
+        )
+        assert isinstance(decoded, UnsupportedQueryError)
+        assert decoded.profiler == "heap-max"
+        assert decoded.query == "median"
+
+    def test_unknown_type_degrades_to_remote_error(self):
+        decoded = decode_error({"type": "WeirdError", "message": "boom"})
+        assert isinstance(decoded, RemoteError)
+        assert "WeirdError" in str(decoded)
+
+    def test_malformed_error_payload(self):
+        assert isinstance(decode_error("nope"), RemoteError)
