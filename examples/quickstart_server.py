@@ -9,6 +9,10 @@ does after ``python -m repro.serve --capacity 10000 --port-file ...``)::
 
     REPRO_SERVER_PORT=7421 python examples/quickstart_server.py
 
+``REPRO_CODEC`` pins the wire codec (``binary``, ``json`` or the
+default ``auto`` — negotiate binary when both sides can); CI runs the
+smoke once per codec.
+
 The scenario: three "edge collectors" stream page-hit batches into one
 shared profiler; a dashboard reads the fused plan; operations downloads
 a checkpoint and restores it locally — answers must match exactly.
@@ -37,11 +41,19 @@ def collector_batches(collector: int):
 
 
 def run(host: str, port: int) -> None:
-    collectors = [ProfileClient(host, port) for _ in range(3)]
-    dashboard = ProfileClient(host, port)
+    codec = os.environ.get("REPRO_CODEC", "auto")
+    collectors = [
+        ProfileClient(host, port, codec=codec) for _ in range(3)
+    ]
+    dashboard = ProfileClient(host, port, codec=codec)
 
     print(f"connected to {host}:{port} "
-          f"(backend={dashboard.hello['backend']})")
+          f"(backend={dashboard.hello['backend']}, "
+          f"codec={dashboard.codec})")
+    if codec != "auto" and dashboard.codec != codec:
+        raise AssertionError(
+            f"asked for codec {codec!r}, negotiated {dashboard.codec!r}"
+        )
 
     total_applied = 0
     for c, client in enumerate(collectors):

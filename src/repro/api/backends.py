@@ -137,6 +137,11 @@ def build_backend(
         # Sketches take hashable keys natively and need no capacity;
         # strictness is inherent (the backend is add-only).
         return ApproxProfiler(**options), False
+    array_engine = options.pop("array_engine", None)
+    if array_engine is not None and name != "flat":
+        raise CapacityError(
+            f"array_engine= only applies to the flat backend, not {name!r}"
+        )
     if options:
         raise CapacityError(
             f"unknown options for backend {name!r}: {sorted(options)}"
@@ -161,7 +166,11 @@ def build_backend(
                 "backend='exact' with track_freq_index=True"
             )
         return (
-            FlatProfile(capacity, allow_negative=allow_negative),
+            FlatProfile(
+                capacity,
+                allow_negative=allow_negative,
+                array_engine=bool(array_engine),
+            ),
             keys == "hashable",
         )
     if name == "exact":

@@ -55,7 +55,12 @@ from repro.core.checkpoint import (
 from repro.core.dynamic import DynamicProfiler
 from repro.core.flat import FlatProfile
 from repro.core.interner import ObjectInterner
-from repro.core.profile import SProfile, net_deltas
+from repro.core.profile import (
+    SProfile,
+    net_arrays,
+    net_deltas,
+    net_deltas_arrays,
+)
 from repro.core.queries import ModeResult, TopEntry
 from repro.engine.parallel import ParallelShardedProfiler
 from repro.engine.sharding import ShardedProfiler
@@ -237,7 +242,10 @@ class Profiler:
             backends.
         options:
             Backend-specific knobs (``approx``: ``counters``, ``eps``,
-            ``delta``, ``seed``).
+            ``delta``, ``seed``; ``flat``: ``array_engine=True`` hosts
+            the struct-of-arrays state in ``int64`` ndarrays, the
+            fastest target for vectorized batch ingest — see
+            :meth:`ingest_arrays`).
         """
         if keys not in _KEY_MODES:
             raise CapacityError(
@@ -323,6 +331,37 @@ class Profiler:
         n = self._impl.apply(payload)
         self._batches += 1
         self._events += len(deltas)
+        return n
+
+    def ingest_arrays(self, ids, deltas) -> int:
+        """Apply one batch given as parallel integer arrays.
+
+        The dense-key fast path of the binary wire protocol: ``ids``
+        and ``deltas`` arrive as (NumPy) int64 arrays, coalescing
+        happens vectorized (:func:`~repro.core.profile.
+        net_deltas_arrays` — one ``unique`` + scatter-add instead of a
+        per-event dict loop), and the net map feeds the same backend
+        ``apply`` as :meth:`ingest` — identical batch semantics
+        (all-or-nothing, strict-mode checks, same return value), zero
+        per-event Python objects before the engine.
+
+        Dense key mode only: hashable keys cannot ride raw integer
+        arrays (use :meth:`ingest`).
+        """
+        if self._keys != "dense":
+            raise CapacityError(
+                "ingest_arrays() requires dense keys; hashable keys "
+                "take the ingest() vocabulary"
+            )
+        apply_arrays = getattr(self._impl, "apply_arrays", None)
+        if apply_arrays is not None:
+            keys, sums = net_arrays(ids, deltas)
+            n = apply_arrays(keys, sums)
+        else:
+            net = net_deltas_arrays(ids, deltas)
+            n = self._impl.apply(net)
+        self._batches += 1
+        self._events += len(ids)
         return n
 
     def register(self, obj: Hashable) -> None:

@@ -103,6 +103,10 @@ SCALES = {
         "serve_wire": 64,
         "serve_batch_max": 512,
         "serve_linger_ms": 1.0,
+        # Codec duel: bulk-transfer frames, sized so per-frame costs
+        # amortize and the per-event codec work dominates.
+        "serve_codec_events": 262_144,
+        "serve_codec_wire": 2_048,
     },
     "quick": {
         "single_n": 40_000,
@@ -121,6 +125,8 @@ SCALES = {
         "serve_wire": 64,
         "serve_batch_max": 512,
         "serve_linger_ms": 1.0,
+        "serve_codec_events": 131_072,
+        "serve_codec_wire": 2_048,
     },
 }
 
@@ -421,7 +427,10 @@ def _fused_plan(cfg: dict, rounds: int, seed: int) -> dict:
 def _serve(cfg: dict, rounds: int, seed: int) -> dict:
     """The serving stack end to end: TCP ingestion under concurrency.
 
-    Two contenders over identical event streams, at each client count:
+    Two experiments share the harness, at each client count:
+
+    **Micro-batching** (``serve_events`` events, ``serve_wire``
+    events/frame):
 
     - ``unbatched`` — the RPC-per-event serving model: every event is
       its own wire frame *and* its own engine transaction
@@ -431,32 +440,65 @@ def _serve(cfg: dict, rounds: int, seed: int) -> dict:
       across clients into vectorized ``ingest`` calls of up to
       ``serve_batch_max`` events (``serve_linger_ms`` linger).
 
-    Clients pipeline in both configurations (a bounded window of
-    un-acked frames), so the ratio measures per-event serving cost,
+    **Codec duel** (``serve_codec_events`` events,
+    ``serve_codec_wire`` events/frame, numpy only):
+
+    - ``codec_json`` — the JSON codec at bulk-transfer knobs: big
+      frames so per-frame costs amortize and the per-event codec work
+      (client ``json.dumps`` of event lists, server parse + validate +
+      dict netting) is what the clock sees;
+    - ``binary`` — the negotiated binary codec at the same knobs:
+      frames are raw int64 arrays (``np.frombuffer`` decode straight
+      into the vectorized array ingest), acks come back as packed
+      arrays, and clients ship precomputed array slices — zero
+      per-event Python objects end to end.  The served flat engine
+      runs ``array_engine=True`` (both codec contenders share it), so
+      batch application is vectorized all the way down.
+
+    Clients pipeline in every configuration (a bounded window of
+    un-acked frames), so the ratios measure per-event serving cost,
     not round-trip stalls.  Everything — server and clients — shares
     one event loop on one core, which is exactly the regime where
     per-frame overhead dominates; the recorded ack latencies (p50/p99,
     client-side send-to-ack) document the latency price of the linger.
+    Per client count the payload records ``speedup`` (batched JSON vs
+    unbatched JSON, the micro-batching win) and ``binary_speedup``
+    (binary vs JSON at identical bulk-transfer batching, the codec
+    win); both are regression-gated.
     """
     # Imported here: the serve path is the only trajectory consumer of
     # the serving stack, and ``repro.bench`` stays importable early.
     from repro.server.client import AsyncProfileClient
     from repro.server.service import ProfileServer
 
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-dependent
+        np = None
+
     m, n = cfg["serve_m"], cfg["serve_events"]
     counts = tuple(cfg["serve_clients"])
     wire, batch_max = cfg["serve_wire"], cfg["serve_batch_max"]
     linger = cfg["serve_linger_ms"]
-    stream = build_stream("stream1", n, m, seed=seed)
+    codec_n = cfg["serve_codec_events"] if np is not None else 0
+    codec_wire = cfg["serve_codec_wire"]
+    stream = build_stream("stream1", max(n, codec_n), m, seed=seed)
     events = list(
         zip(
             stream.ids.tolist(),
             (1 if add else -1 for add in stream.adds.tolist()),
         )
     )
+    if np is not None:
+        ids_i64 = np.ascontiguousarray(stream.ids, dtype="<i8")
+        deltas_i64 = np.where(stream.adds, 1, -1).astype("<i8")
 
-    async def run_once(n_clients, wire_batch, flush_max, linger_ms):
-        profiler = Profiler.open(m, backend="flat")
+    async def run_once(
+        n_clients, n_events, wire_batch, flush_max, linger_ms, codec
+    ):
+        profiler = Profiler.open(
+            m, backend="flat", array_engine=np is not None
+        )
         server = ProfileServer(
             profiler,
             batch_max=flush_max,
@@ -465,20 +507,25 @@ def _serve(cfg: dict, rounds: int, seed: int) -> dict:
         )
         await server.start()
         clients = [
-            await AsyncProfileClient.connect(port=server.port)
+            await AsyncProfileClient.connect(port=server.port, codec=codec)
             for _ in range(n_clients)
         ]
-        per = len(events) // n_clients
+        per = n_events // n_clients
         latencies: list[float] = []
         record = latencies.append
         window = 64 if wire_batch == 1 else max(
             4, 2 * (flush_max // wire_batch)
         )
+        binary = codec == "binary"
 
         async def drive(client, lo, hi):
             inflight = []
             for i in range(lo, hi, wire_batch):
-                frame = events[i : min(i + wire_batch, hi)]
+                j = min(i + wire_batch, hi)
+                if binary:
+                    frame = (ids_i64[i:j], deltas_i64[i:j])
+                else:
+                    frame = events[i:j]
                 t0 = perf_counter()
                 fut = await client.ingest(frame, wait=False)
                 fut.add_done_callback(
@@ -504,21 +551,37 @@ def _serve(cfg: dict, rounds: int, seed: int) -> dict:
         return elapsed, latencies, per * n_clients
 
     variants = {
-        "unbatched": (1, 1, 0.0),
-        "batched": (wire, batch_max, linger),
+        "unbatched": (n, 1, 1, 0.0, "json"),
+        "batched": (n, wire, batch_max, linger, "json"),
     }
+    if np is not None:
+        variants["codec_json"] = (
+            codec_n, codec_wire, codec_wire, linger, "json"
+        )
+        variants["binary"] = (
+            codec_n, codec_wire, codec_wire, linger, "binary"
+        )
     keys = [(name, c) for c in counts for name in variants]
     best: dict = {}
     for round_no in range(rounds):
         sequence = keys if round_no % 2 == 0 else keys[::-1]
         for key in sequence:
-            wire_batch, flush_max, linger_ms = variants[key[0]]
+            n_events, wire_batch, flush_max, linger_ms, codec = variants[
+                key[0]
+            ]
             gc.collect()
             was_enabled = gc.isenabled()
             gc.disable()
             try:
                 measured = asyncio.run(
-                    run_once(key[1], wire_batch, flush_max, linger_ms)
+                    run_once(
+                        key[1],
+                        n_events,
+                        wire_batch,
+                        flush_max,
+                        linger_ms,
+                        codec,
+                    )
                 )
             finally:
                 if was_enabled:
@@ -542,20 +605,44 @@ def _serve(cfg: dict, rounds: int, seed: int) -> dict:
             "batched_p50_ms": b_p[50] * 1e3,
             "batched_p99_ms": b_p[99] * 1e3,
         }
-    return {
+        if ("binary", c) in best:
+            j_time, j_lat, j_n = best[("codec_json", c)]
+            y_time, y_lat, y_n = best[("binary", c)]
+            j_eps, y_eps = j_n / j_time, y_n / y_time
+            j_p = percentiles(j_lat, (50, 99))
+            y_p = percentiles(y_lat, (50, 99))
+            clients_out[str(c)].update(
+                {
+                    "codec_json_eps": j_eps,
+                    "codec_json_p50_ms": j_p[50] * 1e3,
+                    "codec_json_p99_ms": j_p[99] * 1e3,
+                    "binary_eps": y_eps,
+                    "binary_speedup": y_eps / j_eps,
+                    "binary_p50_ms": y_p[50] * 1e3,
+                    "binary_p99_ms": y_p[99] * 1e3,
+                }
+            )
+    out = {
         "workload": (
-            f"TCP ingest of {n} events, m={m}: micro-batched "
-            f"({wire} ev/frame, batch_max={batch_max}, "
-            f"linger={linger}ms) vs unbatched (1 ev/frame, "
-            f"batch_max=1), clients={list(counts)}"
+            f"TCP ingest, m={m}: micro-batched ({n} events, {wire} "
+            f"ev/frame, batch_max={batch_max}, linger={linger}ms) vs "
+            f"unbatched (1 ev/frame, batch_max=1), plus the binary "
+            f"codec vs JSON at bulk-transfer knobs ({codec_n} events, "
+            f"{codec_wire} ev/frame), clients={list(counts)}"
         ),
         "events": n,
         "wire_batch": wire,
         "batch_max": batch_max,
         "linger_ms": linger,
+        "codec_events": codec_n,
+        "codec_wire": codec_wire,
         "clients": clients_out,
         "speedup": clients_out[str(max(counts))]["speedup"],
     }
+    top = clients_out[str(max(counts))]
+    if "binary_speedup" in top:
+        out["binary_speedup"] = top["binary_speedup"]
+    return out
 
 
 #: Default worker-count sweep of the ``parallel_batch`` path.
@@ -663,6 +750,14 @@ def _speedup_entries(result: dict):
                 f"{prefix}.{path_name}.c{c}.speedup",
                 entry["speedup"],
             )
+            # The codec ratio (binary vs JSON at the bulk-transfer
+            # codec-duel knobs) gates under its own key family; absent
+            # when numpy is unavailable.
+            if "binary_speedup" in entry:
+                yield (
+                    f"{prefix}.{path_name}.binary.c{c}.speedup",
+                    entry["binary_speedup"],
+                )
 
 
 def check_regressions(
@@ -742,6 +837,16 @@ def _format_summary(result: dict) -> str:
         for c, entry in sorted(
             srv["clients"].items(), key=lambda kv: int(kv[0])
         ):
+            binary = ""
+            if "binary_eps" in entry:
+                binary = (
+                    f"  codec duel: json "
+                    f"{entry['codec_json_eps'] / 1e3:.1f}k ev/s  binary "
+                    f"{entry['binary_eps'] / 1e3:.1f}k ev/s "
+                    f"(p50 {entry['binary_p50_ms']:.2f}ms, "
+                    f"p99 {entry['binary_p99_ms']:.2f}ms) "
+                    f"-> {entry['binary_speedup']:.2f}x"
+                )
             lines.append(
                 f"    c{c:>2}: unbatched "
                 f"{entry['unbatched_eps'] / 1e3:.1f}k ev/s "
@@ -750,7 +855,7 @@ def _format_summary(result: dict) -> str:
                 f"{entry['batched_eps'] / 1e3:.1f}k ev/s "
                 f"(p50 {entry['batched_p50_ms']:.2f}ms, "
                 f"p99 {entry['batched_p99_ms']:.2f}ms)"
-                f"  -> {entry['speedup']:.2f}x"
+                f"  -> {entry['speedup']:.2f}x{binary}"
             )
     return "\n".join(lines)
 

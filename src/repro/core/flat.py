@@ -1411,6 +1411,89 @@ class FlatProfile(ProfileQueryMixin):
             n += self._bulk_remove(removes)
         return n
 
+    def apply_arrays(self, keys, sums) -> int:
+        """Apply an already-netted batch given as parallel arrays.
+
+        The all-arrays twin of :meth:`apply` for the serving hot path:
+        ``keys`` are *unique* integer ids and ``sums`` their net
+        deltas (the output shape of
+        :func:`repro.core.profile.net_arrays`).  Same contract —
+        identical validation order, strict-mode underflow messages and
+        return value — but range checks, underflow checks and the
+        wholesale rebuild run vectorized, with no per-key dict.
+
+        Rebuild-vs-climb is decided per batch: climbing costs
+        O(#blocks crossed) *Python* per key while the rebuild is
+        O(m log m) at C speed, so the crossover sits near ``m / 20``
+        distinct keys (not :meth:`apply`'s ``m / 2``, which prices the
+        dict pipeline both sides of its threshold pay).
+        """
+        if _np is None:  # pragma: no cover - numpy-less fallback
+            return self.apply(dict(zip(keys, sums)))
+        keys = _np.asarray(keys)
+        sums = _np.asarray(sums)
+        m = self._m
+        if keys.size:
+            # Range-check before dropping zero-net keys: apply() does
+            # too (a bad id rejects the batch even when its deltas
+            # cancel).
+            lo = int(keys.min())
+            hi = int(keys.max())
+            if lo < 0 or hi >= m:
+                bad = lo if lo < 0 else hi
+                raise CapacityError(
+                    f"object id {bad} out of range [0, {m})"
+                )
+        live = sums != 0
+        if not live.all():
+            keys = keys[live]
+            sums = sums[live]
+        if not keys.size:
+            return 0
+        n_add = int(sums[sums > 0].sum())
+        n_rem = -int(sums[sums < 0].sum())
+        if keys.size * 20 >= m:
+            freqs = self._frequencies_np()
+            if not self._allow_negative:
+                low = freqs[keys] + sums
+                if int(low.min()) < 0:
+                    i = int(low.argmin())
+                    bad = int(keys[i])
+                    raise FrequencyUnderflowError(
+                        f"removing object {bad} at frequency "
+                        f"{int(freqs[bad])} {int(-sums[i])} times "
+                        f"(net) would go negative"
+                    )
+            freqs[keys] += sums
+            self._install_freqs_np(freqs)
+            self._n_adds += n_add
+            self._n_removes += n_rem
+            return n_add + n_rem
+        adds: dict[int, int] = {}
+        removes: dict[int, int] = {}
+        for x, d in zip(keys.tolist(), sums.tolist()):
+            if d > 0:
+                adds[x] = d
+            else:
+                removes[x] = -d
+        if removes and not self._allow_negative:
+            ptrb = self._ptrb
+            ftot = self._ftot
+            bf = self._bf
+            for x, c in removes.items():
+                f = bf[ptrb[ftot[x]]]
+                if c > f:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {f} "
+                        f"{c} times (net) would go negative"
+                    )
+        n = 0
+        if adds:
+            n += self._bulk_add(adds)
+        if removes:
+            n += self._bulk_remove(removes)
+        return n
+
     def _apply_rebuild(self, net: Mapping[int, int]) -> None:
         """Wholesale path for batches naming much of the universe.
 

@@ -52,7 +52,12 @@ from repro.core.blockset import BlockSet
 from repro.core.queries import ProfileQueryMixin
 from repro.errors import CapacityError, FrequencyUnderflowError
 
-__all__ = ["SProfile", "net_deltas"]
+try:  # same numpy gating discipline as repro.core.flat
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _np = None
+
+__all__ = ["SProfile", "net_arrays", "net_deltas", "net_deltas_arrays"]
 
 
 def net_deltas(deltas) -> dict:
@@ -68,6 +73,70 @@ def net_deltas(deltas) -> dict:
     for x, d in items:
         net[x] = net.get(x, 0) + d
     return net
+
+
+def net_deltas_arrays(ids, deltas) -> dict:
+    """:func:`net_deltas` over two parallel integer arrays.
+
+    The vectorized coalescing step of the binary wire hot path: one
+    ``unique`` + scatter-add pair replaces the per-event dict loop, so
+    a decoded ``np.frombuffer`` batch nets without materializing one
+    Python object per event.  Returns the same ``{key: net delta}``
+    dict the pair-stream form produces (Python ints, zero-net keys
+    included, first-occurrence key order).  Falls back to the scalar
+    loop when NumPy is unavailable or the inputs are plain sequences.
+    """
+    if _np is not None:
+        ids = _np.asarray(ids)
+        deltas = _np.asarray(deltas)
+        if ids.shape != deltas.shape:
+            raise CapacityError(
+                f"ids and deltas must be parallel arrays, got shapes "
+                f"{ids.shape} and {deltas.shape}"
+            )
+        keys, first, inverse = _np.unique(
+            ids, return_index=True, return_inverse=True
+        )
+        sums = _np.zeros(len(keys), dtype=_np.int64)
+        _np.add.at(sums, inverse, deltas)
+        order = _np.argsort(first, kind="stable")
+        return dict(
+            zip(keys[order].tolist(), sums[order].tolist())
+        )
+    if len(ids) != len(deltas):
+        raise CapacityError(
+            f"ids and deltas must be parallel arrays, got lengths "
+            f"{len(ids)} and {len(deltas)}"
+        )
+    return net_deltas(zip(ids, deltas))
+
+
+def net_arrays(ids, deltas):
+    """Net two parallel integer arrays into ``(keys, sums)`` arrays.
+
+    The all-arrays form of :func:`net_deltas_arrays` for consumers
+    that never need a dict (the dense serving hot path): ``keys`` is
+    the *sorted unique* int64 ids and ``sums`` their net deltas, both
+    NumPy arrays — no per-key Python objects at all.  Key order
+    differs from the dict forms (sorted, not first-occurrence), which
+    is immaterial for dense integer ids: additive netting is
+    order-free, and nothing registers keys positionally.
+    """
+    if _np is None:  # pragma: no cover - numpy-less fallback
+        net = net_deltas_arrays(ids, deltas)
+        keys = sorted(net)
+        return keys, [net[k] for k in keys]
+    ids = _np.asarray(ids)
+    deltas = _np.asarray(deltas)
+    if ids.shape != deltas.shape:
+        raise CapacityError(
+            f"ids and deltas must be parallel arrays, got shapes "
+            f"{ids.shape} and {deltas.shape}"
+        )
+    keys, inverse = _np.unique(ids, return_inverse=True)
+    sums = _np.zeros(len(keys), dtype=_np.int64)
+    _np.add.at(sums, inverse, deltas)
+    return keys, sums
 
 
 class SProfile(ProfileQueryMixin):

@@ -5,7 +5,8 @@ facade's fused plans) answers in-process; this subpackage puts it on a
 wire so many concurrent writers can share one profiler:
 
 - :mod:`repro.server.protocol` — length-prefixed JSON frames, the
-  request/response vocabulary, value and error codecs;
+  negotiated zero-copy binary frame codec, the request/response
+  vocabulary, value and error codecs;
 - :mod:`repro.server.service` — :class:`ProfileServer`, the asyncio
   TCP service with the **micro-batching** ingest pipeline (concurrent
   wire batches coalesce into one vectorized ``ingest`` without
@@ -20,7 +21,12 @@ latency-vs-throughput model of micro-batching).
 """
 
 from repro.server.client import AsyncProfileClient, ProfileClient
-from repro.server.protocol import PROTOCOL_VERSION, ProtocolError, RemoteError
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+    binary_supported,
+)
 from repro.server.service import ProfileServer, ServerStats, ServerThread
 
 __all__ = [
@@ -32,4 +38,5 @@ __all__ = [
     "RemoteError",
     "ServerStats",
     "ServerThread",
+    "binary_supported",
 ]

@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_FRAME,
         help="per-frame byte cap, both directions",
     )
+    parser.add_argument(
+        "--codec",
+        choices=("binary", "json"),
+        default="binary",
+        help="binary: clients may negotiate the binary frame codec "
+        "(JSON stays the default and fallback); json: JSON only "
+        "(default: binary)",
+    )
     return parser
 
 
@@ -146,12 +154,15 @@ async def _amain(args: argparse.Namespace) -> int:
             queue_size=args.queue_size,
             write_timeout=args.write_timeout,
             max_frame=args.max_frame,
+            binary=args.codec == "binary",
         )
         await server.start()
+        codecs = server.describe_server()["codecs"]
         print(
             f"listening on {server.host}:{server.port} "
             f"(backend={profiler.backend_name}, strategy="
-            f"{server.strategy}, batch_max={args.batch_max}, "
+            f"{server.strategy}, codecs={','.join(codecs)}, "
+            f"batch_max={args.batch_max}, "
             f"linger_ms={args.linger_ms:g})",
             flush=True,
         )

@@ -17,6 +17,15 @@ Both accept the facade's full event vocabulary (``Event`` objects,
 ``(obj, flag)`` / ``(obj, delta)`` pairs, delta mappings) — batches
 are normalized to wire pairs with the facade's own normalizer, so the
 wire contract cannot drift from the in-process one.
+
+Both clients also negotiate the **binary codec** (``codec="auto"``,
+the default): when the server's greeting offers it and numpy is
+importable, the connection's first request is a ``hello`` selecting
+binary, after which ingest batches travel as raw int64 arrays
+(:func:`~repro.server.protocol.encode_binary_ingest`) and acks come
+back as packed arrays — with a zero-work fast path for batches already
+shaped as an ``(ids, deltas)`` pair of numpy arrays.  ``codec="json"``
+opts out; ``codec="binary"`` makes negotiation failure an error.
 """
 
 from __future__ import annotations
@@ -32,19 +41,87 @@ from repro.api.facade import _normalize_batch
 from repro.api.plan import Query, normalize_queries
 from repro.api.results import EvalResult
 from repro.server.protocol import (
+    BIN_KIND_ACKS,
+    BIN_KIND_JSON,
     DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
     ProtocolError,
+    binary_supported,
     decode_body,
     decode_error,
     decode_value,
+    encode_binary_ingest,
+    encode_binary_json,
     encode_queries,
     pack_frame,
+    read_binary_frame,
+    read_binary_frame_from,
     read_frame,
 )
+
+try:  # the binary fast path moves numpy arrays; JSON needs none of it
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
 
 __all__ = ["AsyncProfileClient", "ProfileClient"]
 
 _LEN = struct.Struct(">I")
+
+_CODECS = ("auto", "binary", "json")
+
+
+def _want_binary(codec: str, greeting: dict) -> bool:
+    """Resolve the ``codec`` knob against the server greeting."""
+    if codec not in _CODECS:
+        raise ProtocolError(
+            f"unknown codec {codec!r}; choose one of {_CODECS}"
+        )
+    if codec == "json":
+        return False
+    offered = "binary" in (greeting.get("codecs") or ())
+    if codec == "binary":
+        if not binary_supported():
+            raise ProtocolError(
+                "binary codec requires numpy on the client"
+            )
+        if not offered:
+            raise ProtocolError(
+                f"server offers codecs "
+                f"{greeting.get('codecs') or ['json']}, not binary"
+            )
+        return True
+    return offered and binary_supported()
+
+
+def _as_arrays(batch):
+    """Split one ingest batch into parallel id/delta arrays.
+
+    The zero-work fast path: a 2-tuple of numpy arrays passes through
+    untouched (already wire-shaped).  Anything else runs the facade
+    normalizer and is checked id-by-id — the binary codec carries
+    integer object ids only, and booleans are rejected exactly like
+    the server-side JSON decoder rejects them for dense servers.
+    """
+    if (
+        _np is not None
+        and isinstance(batch, tuple)
+        and len(batch) == 2
+        and isinstance(batch[0], _np.ndarray)
+        and isinstance(batch[1], _np.ndarray)
+    ):
+        return batch
+    ids: list[int] = []
+    deltas: list[int] = []
+    for obj, d in _normalize_batch(batch):
+        if not isinstance(obj, int) or isinstance(obj, bool):
+            raise ProtocolError(
+                f"binary codec carries integer object ids only, got "
+                f"{obj!r}"
+            )
+        ids.append(obj)
+        deltas.append(d)
+    return ids, deltas
 
 
 class AsyncProfileClient:
@@ -55,10 +132,12 @@ class AsyncProfileClient:
     3
     """
 
-    def __init__(self, reader, writer, hello: dict) -> None:
+    def __init__(self, reader, writer, hello: dict, codec: str = "json") -> None:
         self._reader = reader
         self._writer = writer
         self._hello = hello
+        self._codec = codec
+        self._wrap = encode_binary_json if codec == "binary" else pack_frame
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
@@ -70,40 +149,98 @@ class AsyncProfileClient:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        codec: str = "auto",
         max_frame: int = DEFAULT_MAX_FRAME,
     ) -> "AsyncProfileClient":
-        """Open a connection and consume the server hello frame."""
+        """Open a connection, consume the server hello, negotiate codec."""
         reader, writer = await asyncio.open_connection(host, port)
-        hello = await read_frame(reader, max_frame)
-        if hello is None or hello.get("server") != "repro.server":
+        try:
+            hello = await read_frame(reader, max_frame)
+            if hello is None or hello.get("server") != "repro.server":
+                raise ProtocolError(
+                    f"{host}:{port} did not answer with a repro.server "
+                    f"hello"
+                )
+            negotiated = "json"
+            if _want_binary(codec, hello):
+                writer.write(
+                    pack_frame(
+                        {
+                            "id": 0,
+                            "op": "hello",
+                            "codec": "binary",
+                            "version": PROTOCOL_VERSION,
+                        }
+                    )
+                )
+                await writer.drain()
+                ack = await read_frame(reader, max_frame)
+                if ack is None:
+                    raise ConnectionError(
+                        "server closed during codec negotiation"
+                    )
+                if not ack.get("ok"):
+                    raise decode_error(ack.get("error"))
+                negotiated = "binary"
+        except BaseException:
             writer.close()
-            raise ProtocolError(
-                f"{host}:{port} did not answer with a repro.server hello"
-            )
-        return cls(reader, writer, hello)
+            raise
+        return cls(reader, writer, hello, codec=negotiated)
 
     @property
     def hello(self) -> dict:
         """The server's hello frame (backend, keys, capacity, ...)."""
         return self._hello
 
+    @property
+    def codec(self) -> str:
+        """The negotiated wire codec: ``"json"`` or ``"binary"``."""
+        return self._codec
+
     # -- plumbing ------------------------------------------------------
 
+    def _resolve(self, msg: dict) -> None:
+        future = self._pending.pop(msg.get("id"), None)
+        if future is None or future.done():
+            return
+        if msg.get("ok"):
+            future.set_result(msg)
+        else:
+            exc = decode_error(msg.get("error"))
+            exc.remote_seq = msg.get("seq")
+            future.set_exception(exc)
+
     async def _recv_loop(self) -> None:
+        binary = self._codec == "binary"
         try:
             while True:
-                msg = await read_frame(self._reader)
-                if msg is None:
-                    break
-                future = self._pending.pop(msg.get("id"), None)
-                if future is None or future.done():
-                    continue
-                if msg.get("ok"):
-                    future.set_result(msg)
+                if binary:
+                    frame = await read_binary_frame(self._reader)
+                    if frame is None:
+                        break
+                    if frame.kind == BIN_KIND_ACKS:
+                        # One packed frame acks a whole flush's worth
+                        # of pipelined ingests.
+                        for req, seq, applied in frame.payload:
+                            self._resolve(
+                                {
+                                    "id": req,
+                                    "ok": True,
+                                    "applied": applied,
+                                    "seq": seq,
+                                }
+                            )
+                        continue
+                    if frame.kind != BIN_KIND_JSON:
+                        raise ProtocolError(
+                            "unexpected ingest frame from server"
+                        )
+                    msg = frame.payload
                 else:
-                    exc = decode_error(msg.get("error"))
-                    exc.remote_seq = msg.get("seq")
-                    future.set_exception(exc)
+                    msg = await read_frame(self._reader)
+                    if msg is None:
+                        break
+                self._resolve(msg)
         except (ProtocolError, ConnectionError, OSError) as exc:
             self._fail_pending(exc)
         finally:
@@ -117,22 +254,30 @@ class AsyncProfileClient:
             if not future.done():
                 future.set_exception(exc)
 
-    async def _send(self, op: str, **fields) -> asyncio.Future:
+    async def _send_bytes(self, data: bytes, req_id: int) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(data)
+        # drain() is the client-side backpressure valve: a no-op while
+        # the transport buffer is shallow, suspends when the server
+        # stops reading.
+        await self._writer.drain()
+        return future
+
+    def _check_open(self) -> None:
         if self._closed:
             raise ConnectionError("client is closed")
         if self._recv_task.done():
             # The receiver is gone; a future registered now would
             # never resolve.
             raise ConnectionError("server connection closed")
+
+    async def _send(self, op: str, **fields) -> asyncio.Future:
+        self._check_open()
         req_id = next(self._ids)
-        future = asyncio.get_running_loop().create_future()
-        self._pending[req_id] = future
-        self._writer.write(pack_frame({"id": req_id, "op": op, **fields}))
-        # drain() is the client-side backpressure valve: a no-op while
-        # the transport buffer is shallow, suspends when the server
-        # stops reading.
-        await self._writer.drain()
-        return future
+        return await self._send_bytes(
+            self._wrap({"id": req_id, "op": op, **fields}), req_id
+        )
 
     async def request(self, op: str, **fields) -> dict:
         """Send one raw request and await its response payload."""
@@ -147,9 +292,21 @@ class AsyncProfileClient:
         resolving to the response payload (``{"applied": n, "seq": s}``)
         — the pipelining hook: keep a window of futures in flight and
         award the ack latency to the micro-batch flush that served it.
+
+        On a binary connection the batch leaves as one raw int64 array
+        frame; a batch already shaped as ``(ids, deltas)`` numpy arrays
+        skips normalization entirely (see :func:`_as_arrays`).
         """
-        pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
-        future = await self._send("ingest", events=pairs)
+        if self._codec == "binary":
+            self._check_open()
+            ids, deltas = _as_arrays(batch)
+            req_id = next(self._ids)
+            future = await self._send_bytes(
+                encode_binary_ingest(req_id, ids, deltas), req_id
+            )
+        else:
+            pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
+            future = await self._send("ingest", events=pairs)
         if not wait:
             return future
         return (await future)["applied"]
@@ -207,7 +364,7 @@ class AsyncProfileClient:
             req_id = next(self._ids)
             future = asyncio.get_running_loop().create_future()
             self._pending[req_id] = future
-            self._writer.write(pack_frame({"id": req_id, "op": "close"}))
+            self._writer.write(self._wrap({"id": req_id, "op": "close"}))
             await self._writer.drain()
             await asyncio.wait_for(future, 10.0)
         except (asyncio.TimeoutError, ConnectionError, OSError):
@@ -239,6 +396,7 @@ class ProfileClient:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        codec: str = "auto",
         timeout: float | None = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
     ) -> None:
@@ -248,12 +406,32 @@ class ProfileClient:
         self._max_frame = max_frame
         self._ids = itertools.count(1)
         self._closed = False
+        self._codec = "json"
+        self._wrap = pack_frame
+        self._ack_buf: list[dict] = []
         self.hello = self._read_frame()
         if self.hello is None or self.hello.get("server") != "repro.server":
             self.close()
             raise ProtocolError(
                 f"{host}:{port} did not answer with a repro.server hello"
             )
+        try:
+            if _want_binary(codec, self.hello):
+                # hello must be the connection's first request; its ack
+                # still arrives in JSON, then both directions flip.
+                self.request(
+                    "hello", codec="binary", version=PROTOCOL_VERSION
+                )
+                self._codec = "binary"
+                self._wrap = encode_binary_json
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def codec(self) -> str:
+        """The negotiated wire codec: ``"json"`` or ``"binary"``."""
+        return self._codec
 
     def _read_frame(self):
         head = self._file.read(_LEN.size)
@@ -272,15 +450,37 @@ class ProfileClient:
             raise ProtocolError("connection closed mid-frame")
         return decode_body(body)
 
-    def request(self, op: str, **fields) -> dict:
-        """Send one request and block for its response payload."""
-        if self._closed:
-            raise ConnectionError("client is closed")
-        req_id = next(self._ids)
-        self._file.write(pack_frame({"id": req_id, "op": op, **fields}))
-        self._file.flush()
+    def _read_message(self):
+        """One server message as a response dict, whatever the codec.
+
+        On a binary connection a packed ack frame expands into one
+        dict per acked request (buffered; strictly request/response
+        clients only ever see one, but the expansion keeps the reader
+        honest about the wire contract).
+        """
+        if self._codec != "binary":
+            return self._read_frame()
         while True:
-            msg = self._read_frame()
+            if self._ack_buf:
+                return self._ack_buf.pop(0)
+            frame = read_binary_frame_from(
+                self._file.read, self._max_frame
+            )
+            if frame is None:
+                return None
+            if frame.kind == BIN_KIND_JSON:
+                return frame.payload
+            if frame.kind == BIN_KIND_ACKS:
+                self._ack_buf = [
+                    {"id": r, "ok": True, "applied": a, "seq": s}
+                    for r, s, a in frame.payload
+                ]
+                continue
+            raise ProtocolError("unexpected ingest frame from server")
+
+    def _await(self, req_id: int) -> dict:
+        while True:
+            msg = self._read_message()
             if msg is None:
                 raise ConnectionError("server connection closed")
             if msg.get("id") != req_id:
@@ -291,10 +491,27 @@ class ProfileClient:
             exc.remote_seq = msg.get("seq")
             raise exc
 
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and block for its response payload."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        req_id = next(self._ids)
+        self._file.write(self._wrap({"id": req_id, "op": op, **fields}))
+        self._file.flush()
+        return self._await(req_id)
+
     # -- the facade verbs ----------------------------------------------
 
     def ingest(self, batch) -> int:
         """Apply one wire batch; return net unit events applied."""
+        if self._codec == "binary":
+            if self._closed:
+                raise ConnectionError("client is closed")
+            ids, deltas = _as_arrays(batch)
+            req_id = next(self._ids)
+            self._file.write(encode_binary_ingest(req_id, ids, deltas))
+            self._file.flush()
+            return self._await(req_id)["applied"]
         pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
         return self.request("ingest", events=pairs)["applied"]
 
@@ -340,10 +557,10 @@ class ProfileClient:
         self._closed = True
         try:
             req_id = next(self._ids)
-            self._file.write(pack_frame({"id": req_id, "op": "close"}))
+            self._file.write(self._wrap({"id": req_id, "op": "close"}))
             self._file.flush()
             while True:
-                msg = self._read_frame()
+                msg = self._read_message()
                 if msg is None or (
                     msg.get("id") == req_id and "closing" in msg
                 ):

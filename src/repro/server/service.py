@@ -31,6 +31,14 @@ the same queue, acting as flush barriers: a query observes precisely
 the wire batches enqueued before it, i.e. always a consistent batch
 boundary, never half a flush.
 
+Connections speak JSON until they negotiate otherwise: a ``hello``
+request — valid only as a connection's first request — may select the
+binary codec (:mod:`repro.server.protocol`), after which that
+connection's ingests arrive as raw int64 arrays (decoded zero-copy via
+``np.frombuffer``) and its flush acks leave as packed seq/status
+arrays.  Codecs are per-connection; binary and JSON clients coexist on
+one server and one flush, with identical semantics.
+
 Shutdown (:meth:`ProfileServer.stop`) is a graceful drain: stop
 accepting, stop reading, flush and ack everything already queued, then
 close the connections.
@@ -58,16 +66,28 @@ from repro.errors import (
     ReproError,
 )
 from repro.server.protocol import (
+    BIN_KIND_INGEST,
+    BIN_KIND_JSON,
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
+    ArrayBatch,
     ProtocolError,
+    binary_supported,
     decode_events,
     decode_queries,
+    encode_binary_acks,
+    encode_binary_json,
     encode_error,
     encode_value,
     pack_frame,
+    read_binary_frame,
     read_frame,
 )
+
+try:  # binary frames move int64 arrays; numpy-less hosts stay JSON
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
 
 __all__ = ["ProfileServer", "ServerStats", "ServerThread"]
 
@@ -139,8 +159,17 @@ class _FlushPlanner:
         """Admitted never-seen keys, in sequential registration order."""
         return self._fresh.keys()
 
-    def admit(self, pairs: list) -> int:
-        net = net_deltas(pairs)
+    def admit(self, pairs) -> int:
+        # Binary wire batches on a dense backend admit fully
+        # vectorized — no per-key dict, no Python loop (the point of
+        # the binary codec); everything else nets into the shared dict
+        # pipeline.
+        if isinstance(pairs, ArrayBatch):
+            if self._strategy == "dense":
+                return self._admit_dense_arrays(pairs)
+            net = pairs.net()
+        else:
+            net = net_deltas(pairs)
         strategy = self._strategy
         if strategy == "dense":
             self._admit_dense(net)
@@ -161,6 +190,45 @@ class _FlushPlanner:
             if d:
                 overlay[obj] = overlay.get(obj, 0) + d
         return sum(abs(d) for d in net.values())
+
+    def _admit_dense_arrays(self, batch: ArrayBatch) -> int:
+        """Vectorized dense admission of one binary wire batch.
+
+        Semantically identical to the dict pipeline: same range check
+        (net-zero keys included), same strict-mode underflow decision
+        against base state + overlay, same return value.  ``np.unique``
+        returns sorted keys, so the range check is two end reads.  The
+        overlay is only ever *read* by strict-mode checks, so the
+        non-strict path — the serving hot path — skips it entirely and
+        never leaves vectorized code.
+        """
+        keys, sums = batch.net_arrays()
+        m = self._p.capacity
+        if len(keys):
+            lo, hi = int(keys[0]), int(keys[-1])
+            if lo < 0 or hi >= m:
+                bad = lo if lo < 0 else hi
+                raise CapacityError(
+                    f"object id {bad} out of range [0, {m})"
+                )
+        if not self._p.strict:
+            if _np is not None and not isinstance(sums, list):
+                return int(_np.abs(sums).sum())
+            return sum(abs(d) for d in sums)
+        key_list = keys.tolist() if not isinstance(keys, list) else keys
+        sum_list = sums.tolist() if not isinstance(sums, list) else sums
+        overlay = self._overlay
+        for x, d in zip(key_list, sum_list):
+            if d < 0 and self._shifted(x) + d < 0:
+                raise FrequencyUnderflowError(
+                    f"removing object {x} at frequency "
+                    f"{self._shifted(x)} {-d} times (net) would go "
+                    f"negative"
+                )
+        for x, d in zip(key_list, sum_list):
+            if d:
+                overlay[x] = overlay.get(x, 0) + d
+        return sum(abs(d) for d in sum_list)
 
     def _shifted(self, obj) -> int:
         """Current frequency as the admitted batches would have left it."""
@@ -259,6 +327,7 @@ class ServerStats:
 
     connections_total: int = 0
     connections_dropped: int = 0
+    binary_connections: int = 0
     requests: int = 0
     rejected: int = 0
     wire_batches: int = 0
@@ -290,9 +359,20 @@ _STOP = _Item("stop", None, None)
 
 
 class _Connection:
-    """One client connection: serialized, timeout-guarded writes."""
+    """One client connection: serialized, timeout-guarded writes.
 
-    __slots__ = ("server", "reader", "writer", "alive", "lock", "closing")
+    ``rx_codec``/``tx_codec`` start as ``"json"`` and flip to
+    ``"binary"`` independently during the hello handshake: the reader
+    flips ``rx`` synchronously on a valid hello (before the next frame
+    is read — the client may pipeline binary frames right behind the
+    hello), while ``tx`` flips only after the JSON hello ack is written
+    (the client reads JSON until it sees that ack).
+    """
+
+    __slots__ = (
+        "server", "reader", "writer", "alive", "lock", "closing",
+        "rx_codec", "tx_codec", "hello_window",
+    )
 
     def __init__(self, server, reader, writer) -> None:
         self.server = server
@@ -301,6 +381,10 @@ class _Connection:
         self.alive = True
         self.closing = False
         self.lock = asyncio.Lock()
+        self.rx_codec = "json"
+        self.tx_codec = "json"
+        # A hello is valid only as the connection's very first request.
+        self.hello_window = True
 
     async def send(self, data: bytes) -> None:
         """Write + drain under the slow-client timeout; abort on stall."""
@@ -363,6 +447,11 @@ class ProfileServer:
         other client — from one dead peer).
     max_frame:
         Hard per-frame byte cap (both directions).
+    binary:
+        Whether connections may negotiate the binary codec.  Even when
+        ``True`` (the default) binary is only *offered* if numpy is
+        importable and the hosted profiler is dense-keyed (hashable
+        keys cannot ride raw int64 arrays); JSON always works.
     """
 
     def __init__(
@@ -376,6 +465,7 @@ class ProfileServer:
         queue_size: int = 4096,
         write_timeout: float = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        binary: bool = True,
     ) -> None:
         if batch_max < 1:
             raise CapacityError(f"batch_max must be >= 1, got {batch_max}")
@@ -398,6 +488,7 @@ class ProfileServer:
         self._dense = (
             profiler.keys == "dense" and self._strategy != "approx"
         )
+        self._binary = bool(binary) and binary_supported() and self._dense
         self._stats = ServerStats()
         self._seq = 0
         self._queue: asyncio.Queue | None = None
@@ -504,6 +595,9 @@ class ProfileServer:
                     "keys": self._profiler.keys,
                     "strict": self._profiler.strict,
                     "capacity": self._profiler.capacity,
+                    "codecs": (
+                        ["json", "binary"] if self._binary else ["json"]
+                    ),
                 }
             )
         )
@@ -511,7 +605,7 @@ class ProfileServer:
         try:
             while conn.alive and not self._closing:
                 try:
-                    msg = await read_frame(reader, self._max_frame)
+                    item = await self._read_request(conn)
                 except ProtocolError as exc:
                     # Framing is broken — there is no resynchronizing a
                     # length-prefixed stream.  Flush what the client
@@ -520,14 +614,8 @@ class ProfileServer:
                     await self._enqueue(_Item("close", conn, None))
                     close_enqueued = True
                     return
-                if msg is None:
+                if item is None:
                     return
-                self._stats.requests += 1
-                req_id = msg.get("id")
-                try:
-                    item = self._decode_request(conn, req_id, msg)
-                except (ProtocolError, ReproError) as exc:
-                    item = _Item("reject", conn, req_id, exc)
                 await self._enqueue(item)
                 if item.kind == "close":
                     close_enqueued = True
@@ -547,6 +635,80 @@ class ProfileServer:
                 with contextlib.suppress(asyncio.CancelledError):
                     await self._enqueue(_Item("close", conn, None))
 
+    async def _read_request(self, conn: _Connection) -> _Item | None:
+        """Read + decode one request on ``conn``'s rx codec.
+
+        Returns ``None`` on clean EOF.  Undecodable *payloads* become
+        ``reject`` items (the stream stays usable); broken *framing*
+        raises :class:`ProtocolError` to the caller, which tears the
+        connection down.
+        """
+        if conn.rx_codec == "binary":
+            frame = await read_binary_frame(conn.reader, self._max_frame)
+            if frame is None:
+                return None
+            self._stats.requests += 1
+            if frame.kind == BIN_KIND_INGEST:
+                return _Item("ingest", conn, frame.req, frame.payload)
+            if frame.kind != BIN_KIND_JSON:
+                raise ProtocolError(
+                    "ack frames flow server-to-client only"
+                )
+            msg = frame.payload
+        else:
+            msg = await read_frame(conn.reader, self._max_frame)
+            if msg is None:
+                return None
+            self._stats.requests += 1
+        req_id = msg.get("id")
+        first = conn.hello_window
+        conn.hello_window = False
+        try:
+            if msg.get("op") == "hello":
+                return self._decode_hello(conn, req_id, msg, first)
+            return self._decode_request(conn, req_id, msg)
+        except (ProtocolError, ReproError) as exc:
+            return _Item("reject", conn, req_id, exc)
+
+    def _decode_hello(self, conn, req_id, msg: dict, first: bool) -> _Item:
+        if not isinstance(req_id, int) or isinstance(req_id, bool):
+            raise ProtocolError(
+                f"request 'id' must be an integer, got {req_id!r}"
+            )
+        if not first:
+            raise ProtocolError(
+                "hello must be the first request on a connection"
+            )
+        version = msg.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client {version!r}, "
+                f"server {PROTOCOL_VERSION}"
+            )
+        codec = msg.get("codec")
+        if codec == "json":
+            return _Item("hello", conn, req_id, "json")
+        if codec != "binary":
+            raise ProtocolError(
+                f"unknown codec {codec!r}; offering: json"
+                + (", binary" if self._binary else "")
+            )
+        if not self._binary:
+            raise ProtocolError(
+                "binary codec unavailable: "
+                + (
+                    "this server hosts a hashable-key or approx "
+                    "profiler (int64 arrays cannot carry its keys)"
+                    if binary_supported()
+                    else "numpy is not importable on the server"
+                )
+            )
+        # Flip rx now, in the reader: the client may pipeline binary
+        # frames immediately behind its hello.  tx flips in _execute,
+        # after the JSON hello ack is written.
+        conn.rx_codec = "binary"
+        return _Item("hello", conn, req_id, "binary")
+
     def _decode_request(self, conn, req_id, msg: dict) -> _Item:
         if not isinstance(req_id, int) or isinstance(req_id, bool):
             raise ProtocolError(
@@ -561,6 +723,10 @@ class ProfileServer:
             return _Item("evaluate", conn, req_id, queries)
         if op in ("describe", "checkpoint", "ping", "close"):
             return _Item(op, conn, req_id)
+        if op == "hello":
+            raise ProtocolError(
+                "hello must be the first request on a connection"
+            )
         raise ProtocolError(f"unknown op {op!r}")
 
     async def _enqueue(self, item: _Item) -> None:
@@ -634,7 +800,7 @@ class ProfileServer:
                 self._seq += 1
                 item.seq = self._seq
                 try:
-                    outcomes[idx] = (item, profiler.ingest(item.data))
+                    outcomes[idx] = (item, self._ingest_one(item.data))
                 except Exception as exc:
                     outcomes[idx] = (item, exc)
         else:
@@ -648,9 +814,6 @@ class ProfileServer:
                 except Exception as exc:
                     outcomes[idx] = (item, exc)
             if admitted:
-                merged: list = []
-                for _idx, item, _applied in admitted:
-                    merged.extend(item.data)
                 try:
                     # Register admitted fresh keys first, in admission
                     # order: the merged net pass drops keys whose
@@ -660,7 +823,7 @@ class ProfileServer:
                     # universe entry).
                     for obj in planner.fresh_keys():
                         profiler.register(obj)
-                    profiler.ingest(merged)
+                    self._ingest_merged([it for _, it, _a in admitted])
                 except Exception:
                     # Planner miss (should not happen): the merged
                     # ingest rejected atomically, so replaying each
@@ -668,7 +831,7 @@ class ProfileServer:
                     for idx, item, _applied in admitted:
                         try:
                             outcomes[idx] = (
-                                item, profiler.ingest(item.data)
+                                item, self._ingest_one(item.data)
                             )
                         except Exception as exc:
                             outcomes[idx] = (item, exc)
@@ -676,31 +839,102 @@ class ProfileServer:
                     for idx, item, applied in admitted:
                         outcomes[idx] = (item, applied)
         # One socket write per connection, acks in pipeline order.
-        per_conn: dict[_Connection, list[bytes]] = {}
+        per_conn: dict[_Connection, list[tuple[_Item, Any]]] = {}
         for item, result in outcomes:
             if isinstance(result, Exception):
                 stats.rejected += 1
-                frame = pack_frame(
-                    {
-                        "id": item.req_id,
-                        "ok": False,
-                        "seq": item.seq,
-                        "error": encode_error(result),
-                    }
-                )
             else:
                 stats.applied_units += result
-                frame = pack_frame(
-                    {
-                        "id": item.req_id,
-                        "ok": True,
-                        "applied": result,
-                        "seq": item.seq,
-                    }
+            per_conn.setdefault(item.conn, []).append((item, result))
+        for conn, acks in per_conn.items():
+            await conn.send(self._pack_acks(conn, acks))
+
+    def _ingest_one(self, data) -> int:
+        """One wire batch -> one facade call, on its native path."""
+        if isinstance(data, ArrayBatch):
+            return self._profiler.ingest_arrays(data.ids, data.deltas)
+        return self._profiler.ingest(data)
+
+    def _ingest_merged(self, items: list[_Item]) -> None:
+        """Apply all admitted wire batches of a flush as one call.
+
+        An all-binary flush concatenates the raw int64 arrays and rides
+        :meth:`~repro.api.facade.Profiler.ingest_arrays` — no per-event
+        Python objects between the socket and the engine.  A flush that
+        mixes codecs falls back to materialized pairs (correct, just
+        not zero-copy; mixing is per-flush, so steady-state binary
+        clients are unaffected by an occasional JSON neighbor).
+        """
+        if all(isinstance(it.data, ArrayBatch) for it in items):
+            if len(items) == 1:
+                batch = items[0].data
+                self._profiler.ingest_arrays(batch.ids, batch.deltas)
+                return
+            self._profiler.ingest_arrays(
+                _np.concatenate([it.data.ids for it in items]),
+                _np.concatenate([it.data.deltas for it in items]),
+            )
+            return
+        merged: list = []
+        for it in items:
+            if isinstance(it.data, ArrayBatch):
+                merged.extend(it.data.pairs())
+            else:
+                merged.extend(it.data)
+        self._profiler.ingest(merged)
+
+    def _pack_acks(self, conn: _Connection, acks) -> bytes:
+        """Encode one flush's acks for ``conn`` as a single write.
+
+        JSON connections get one JSON frame per ack, as before.  Binary
+        connections get runs of consecutive OK acks packed into
+        :data:`~repro.server.protocol.BIN_KIND_ACKS` frames — three
+        int64 columns (req id, seq, applied), one header per *run*
+        instead of one JSON object per ack — with rejections carried
+        individually as JSON envelopes, in pipeline order.
+        """
+        if conn.tx_codec != "binary":
+            return b"".join(
+                pack_frame(self._ack_payload(item, result))
+                for item, result in acks
+            )
+        frames: list[bytes] = []
+        run: list[tuple[int, int, int]] = []
+        for item, result in acks:
+            if isinstance(result, Exception):
+                if run:
+                    frames.append(encode_binary_acks(run))
+                    run = []
+                frames.append(
+                    encode_binary_json(self._ack_payload(item, result))
                 )
-            per_conn.setdefault(item.conn, []).append(frame)
-        for conn, frames in per_conn.items():
-            await conn.send(b"".join(frames))
+            else:
+                run.append((item.req_id, item.seq, result))
+        if run:
+            frames.append(encode_binary_acks(run))
+        return b"".join(frames)
+
+    @staticmethod
+    def _ack_payload(item: _Item, result) -> dict:
+        if isinstance(result, Exception):
+            return {
+                "id": item.req_id,
+                "ok": False,
+                "seq": item.seq,
+                "error": encode_error(result),
+            }
+        return {
+            "id": item.req_id,
+            "ok": True,
+            "applied": result,
+            "seq": item.seq,
+        }
+
+    def _pack_response(self, conn: _Connection, payload: dict) -> bytes:
+        """Frame one response on ``conn``'s tx codec."""
+        if conn.tx_codec == "binary":
+            return encode_binary_json(payload)
+        return pack_frame(payload)
 
     async def _execute(self, item: _Item) -> None:
         """Run one non-ingest pipeline item (queries, control)."""
@@ -709,8 +943,9 @@ class ProfileServer:
         if kind == "close":
             if item.req_id is not None:
                 await conn.send(
-                    pack_frame(
-                        {"id": item.req_id, "ok": True, "closing": True}
+                    self._pack_response(
+                        conn,
+                        {"id": item.req_id, "ok": True, "closing": True},
                     )
                 )
             self._conns.discard(conn)
@@ -719,14 +954,32 @@ class ProfileServer:
         if kind == "reject":
             self._stats.rejected += 1
             await conn.send(
-                pack_frame(
+                self._pack_response(
+                    conn,
                     {
                         "id": item.req_id,
                         "ok": False,
                         "error": encode_error(item.data),
+                    },
+                )
+            )
+            return
+        if kind == "hello":
+            # Ack in the codec the client is still reading (JSON),
+            # then flip tx: every later frame to this client is binary.
+            await conn.send(
+                pack_frame(
+                    {
+                        "id": item.req_id,
+                        "ok": True,
+                        "codec": item.data,
+                        "seq": self._seq,
                     }
                 )
             )
+            if item.data == "binary":
+                conn.tx_codec = "binary"
+                self._stats.binary_connections += 1
             return
         try:
             if kind == "evaluate":
@@ -769,13 +1022,14 @@ class ProfileServer:
                 "ok": False,
                 "error": encode_error(exc),
             }
-        await conn.send(pack_frame(payload))
+        await conn.send(self._pack_response(conn, payload))
 
     def describe_server(self) -> dict[str, Any]:
         """The service block of ``describe()``: config + counters."""
         return {
             "protocol_version": PROTOCOL_VERSION,
             "strategy": self._strategy,
+            "codecs": ["json", "binary"] if self._binary else ["json"],
             "batch_max": self._batch_max,
             "linger_ms": self._linger * 1000.0,
             "queue_size": self._queue_size,

@@ -22,6 +22,7 @@ rather than a semantics change.
 
 import asyncio
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -51,13 +52,20 @@ def wire_batches(keys):
     return st.lists(batch, min_size=1, max_size=14)
 
 
-async def drive_server(profiler, batches, n_clients):
+async def drive_server(profiler, batches, n_clients, codecs=None):
     """Push ``batches`` round-robin over ``n_clients`` pipelining
-    clients; return per-batch outcomes and the final server view."""
+    clients; return per-batch outcomes and the final server view.
+
+    ``codecs`` optionally names each client's wire codec (``"json"``,
+    ``"binary"`` or ``"auto"``) — mixed lists exercise JSON and binary
+    connections coalescing into the *same* server flushes."""
     async with ProfileServer(profiler, **SERVER_KNOBS) as server:
         clients = [
-            await AsyncProfileClient.connect(port=server.port)
-            for _ in range(n_clients)
+            await AsyncProfileClient.connect(
+                port=server.port,
+                codec="json" if codecs is None else codecs[i],
+            )
+            for i in range(n_clients)
         ]
         futures = []
         for i, batch in enumerate(batches):
@@ -135,9 +143,9 @@ def assert_same_answers(server_answers, reference):
             assert value == ref_value, query
 
 
-def check_equivalence(make_profiler, batches, n_clients):
+def check_equivalence(make_profiler, batches, n_clients, codecs=None):
     outcomes, state, answers = asyncio.run(
-        drive_server(make_profiler(), batches, n_clients)
+        drive_server(make_profiler(), batches, n_clients, codecs)
     )
     assert all(seq is not None for seq, *_ in outcomes)
     reference = replay_reference(make_profiler, outcomes)
@@ -220,3 +228,41 @@ def test_sequential_strategy_baseline_equivalent(n_clients, data):
         return Profiler.open(8, backend="bucket")
 
     check_equivalence(make_profiler, batches, n_clients)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=12),
+    backend=st.sampled_from(["flat", "exact", "sharded"]),
+    strict=st.booleans(),
+    codecs=st.lists(
+        st.sampled_from(["json", "binary", "auto"]),
+        min_size=1,
+        max_size=3,
+    ),
+    data=st.data(),
+)
+def test_codec_matrix_bit_identical(capacity, backend, strict, codecs, data):
+    """The codec is invisible to semantics: any mix of JSON and binary
+    connections — pipelining, coalescing into shared flushes, strict
+    rejections included — replays in seq order to the same bits as a
+    directly driven facade."""
+    pytest.importorskip("numpy")
+    # Out-of-range ids ride binary frames too: the server, not the
+    # codec, must reject them (all-or-nothing, isolated per batch).
+    keys = st.integers(min_value=-2, max_value=capacity + 2)
+    batches = data.draw(wire_batches(keys))
+    shards = 2 if backend == "sharded" else None
+
+    def make_profiler():
+        return Profiler.open(
+            capacity, backend=backend, shards=shards, strict=strict
+        )
+
+    state, reference = check_equivalence(
+        make_profiler, batches, len(codecs), codecs
+    )
+    # Bit-identical state, via the wire checkpoint.
+    assert Profiler.from_state(state).frequencies() == (
+        reference.frequencies()
+    )

@@ -542,3 +542,226 @@ class TestCoalescingEdgeCases:
         state["profile"]["sketch"]["table"][0][0] = -5
         with pytest.raises(CheckpointError, match="negative"):
             Profiler.from_state(state)
+
+
+class TestBinaryCodec:
+    """Negotiation, mixed-codec service, and adversarial robustness of
+    the binary wire path (the codec itself is unit- and property-tested
+    in ``test_server_protocol.py`` / ``test_prop_wire_roundtrip.py``)."""
+
+    np = pytest.importorskip("numpy")
+
+    def test_async_auto_negotiates_binary_on_dense(self):
+        async def scenario():
+            async with ProfileServer(Profiler.open(10)) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                assert client.codec == "binary"
+                assert "binary" in client.hello["codecs"]
+                ids = self.np.array([1, 2, 1], dtype="<i8")
+                deltas = self.np.array([1, 1, 1], dtype="<i8")
+                assert await client.ingest((ids, deltas)) == 3
+                assert await client.frequency(1) == 2
+                await client.aclose()
+
+        run(scenario())
+
+    def test_pair_lists_ride_binary_too(self):
+        async def scenario():
+            async with ProfileServer(Profiler.open(10)) as server:
+                client = await AsyncProfileClient.connect(
+                    port=server.port, codec="binary"
+                )
+                assert await client.ingest([(3, +2), (4, -1)]) == 3
+                await client.aclose()
+
+        run(scenario())
+
+    def test_binary_refused_when_server_does_not_offer(self):
+        from repro.server.protocol import ProtocolError
+
+        async def scenario():
+            async with ProfileServer(
+                Profiler.open(10), binary=False
+            ) as server:
+                # auto degrades silently...
+                client = await AsyncProfileClient.connect(port=server.port)
+                assert client.codec == "json"
+                assert client.hello["codecs"] == ["json"]
+                await client.aclose()
+                # ...an explicit ask fails loudly.
+                with pytest.raises(ProtocolError, match="binary"):
+                    await AsyncProfileClient.connect(
+                        port=server.port, codec="binary"
+                    )
+
+        run(scenario())
+
+    def test_hashable_backend_never_offers_binary(self):
+        async def scenario():
+            profiler = Profiler.open(10, keys="hashable")
+            async with ProfileServer(profiler) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                assert client.codec == "json"
+                assert await client.ingest([("clé", 1)]) == 1
+                await client.aclose()
+
+        run(scenario())
+
+    def test_blocking_client_negotiates_and_rejects_in_binary(self):
+        with ServerThread(Profiler.open(5, strict=True)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                assert client.codec == "binary"
+                assert client.ingest([(1, +2), (2, +1)]) == 3
+                with pytest.raises(FrequencyUnderflowError):
+                    client.ingest([(2, -4)])
+                with pytest.raises(CapacityError):
+                    client.ingest([(7, +1)])
+                # The connection survives rejections and stays binary.
+                assert client.ingest([(0, +1)]) == 1
+                assert client.frequency(1) == 2
+
+    def test_hello_must_be_first_request(self):
+        from repro.server.protocol import ProtocolError
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(5)) as server:
+                client = await AsyncProfileClient.connect(
+                    port=server.port, codec="json"
+                )
+                await client.ingest([(1, 1)])
+                with pytest.raises(ProtocolError, match="first request"):
+                    await client.request(
+                        "hello", codec="binary", version=1
+                    )
+                await client.aclose()
+
+        run(scenario())
+
+    def test_wrong_version_rejected(self):
+        import struct as _struct
+
+        from repro.server.protocol import pack_frame, read_frame
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(5)) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await read_frame(reader)  # greeting
+                writer.write(
+                    pack_frame(
+                        {"id": 0, "op": "hello", "codec": "binary",
+                         "version": 99}
+                    )
+                )
+                await writer.drain()
+                ack = await read_frame(reader)
+                assert ack["ok"] is False
+                assert "version" in ack["error"]["message"]
+                writer.close()
+
+        run(scenario())
+
+    def test_malformed_binary_frame_kills_only_its_connection(self):
+        from repro.server.protocol import (
+            PROTOCOL_VERSION,
+            pack_frame,
+            read_frame,
+        )
+
+        async def scenario():
+            profiler = Profiler.open(10)
+            async with ProfileServer(profiler) as server:
+                # A well-behaved bystander on the same server.
+                good = await AsyncProfileClient.connect(port=server.port)
+                assert await good.ingest([(1, +1)]) == 1
+
+                # An adversary negotiates binary, then writes garbage.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await read_frame(reader)
+                writer.write(
+                    pack_frame(
+                        {"id": 0, "op": "hello", "codec": "binary",
+                         "version": PROTOCOL_VERSION}
+                    )
+                )
+                writer.write(b"\xde\xad\xbe\xef" + b"\x00" * 20)
+                await writer.drain()
+                ack = await read_frame(reader)  # hello ack (JSON)
+                assert ack["ok"] is True
+                # The garbage header tears this connection down...
+                data = await reader.read()
+                writer.close()
+
+                # ...while the bystander and the hosted state live on.
+                assert await good.ingest([(1, +1)]) == 1
+                assert await good.frequency(1) == 2
+                await good.aclose()
+                return data
+
+        run(scenario())
+
+    def test_client_side_ack_frames_are_rejected(self):
+        from repro.server.protocol import (
+            PROTOCOL_VERSION,
+            encode_binary_acks,
+            pack_frame,
+            read_binary_frame,
+            read_frame,
+        )
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(5)) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await read_frame(reader)
+                writer.write(
+                    pack_frame(
+                        {"id": 0, "op": "hello", "codec": "binary",
+                         "version": PROTOCOL_VERSION}
+                    )
+                )
+                writer.write(encode_binary_acks([(1, 2, 3)]))
+                await writer.drain()
+                await read_frame(reader)  # hello ack
+                reject = await read_binary_frame(reader)
+                payload = reject.payload
+                assert payload["ok"] is False
+                assert "server-to-client" in payload["error"]["message"]
+                # Frame-level violation: the server closes after it.
+                assert await read_binary_frame(reader) is None
+                writer.close()
+
+        run(scenario())
+
+    def test_binary_connections_counted(self):
+        async def scenario():
+            async with ProfileServer(Profiler.open(5)) as server:
+                a = await AsyncProfileClient.connect(port=server.port)
+                b = await AsyncProfileClient.connect(
+                    port=server.port, codec="json"
+                )
+                await a.ingest([(1, 1)])
+                await b.ingest([(2, 1)])
+                info = await a.describe()
+                assert info["server"]["binary_connections"] == 1
+                assert info["server"]["codecs"] == ["json", "binary"]
+                await a.aclose()
+                await b.aclose()
+
+        run(scenario())
+
+    def test_non_integer_ids_cannot_ride_binary(self):
+        from repro.server.protocol import ProtocolError
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(5)) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                with pytest.raises(ProtocolError, match="integer"):
+                    await client.ingest([("a", 1)])
+                await client.aclose()
+
+        run(scenario())

@@ -214,3 +214,314 @@ class TestErrorCodec:
 
     def test_malformed_error_payload(self):
         assert isinstance(decode_error("nope"), RemoteError)
+
+
+# ----------------------------------------------------------------------
+# The binary codec
+# ----------------------------------------------------------------------
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.server.protocol import (  # noqa: E402
+    BIN_KIND_ACKS,
+    BIN_KIND_INGEST,
+    BIN_KIND_JSON,
+    BINARY_MAGIC,
+    ArrayBatch,
+    encode_binary_acks,
+    encode_binary_ingest,
+    encode_binary_json,
+    parse_binary_header,
+    read_binary_frame,
+    read_binary_frame_from,
+)
+
+_HEAD = struct.Struct("<IBBHQII")
+
+
+def read_binary(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    """Feed raw bytes through the async binary frame reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_binary_frame(reader, max_frame)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(run())
+
+
+class _ByteFile:
+    """Blocking ``read(n)`` over an in-memory byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, n: int) -> bytes:
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        return chunk
+
+
+def read_binary_blocking(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    source = _ByteFile(data)
+    frames = []
+    while True:
+        frame = read_binary_frame_from(source.read, max_frame)
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+class TestBinaryFraming:
+    def test_ingest_roundtrip(self):
+        ids = np.array([3, 1, 3], dtype="<i8")
+        deltas = np.array([1, -2, 5], dtype="<i8")
+        (frame,) = read_binary(encode_binary_ingest(7, ids, deltas))
+        assert frame.kind == BIN_KIND_INGEST
+        assert frame.req == 7
+        assert frame.payload == ArrayBatch(ids, deltas)
+
+    def test_blocking_reader_matches_async(self):
+        data = encode_binary_ingest(
+            1, np.arange(4, dtype="<i8"), np.ones(4, dtype="<i8")
+        ) + encode_binary_json({"id": 2, "ok": True})
+        async_frames = read_binary(data)
+        blocking_frames = read_binary_blocking(data)
+        assert len(async_frames) == len(blocking_frames) == 2
+        for a, b in zip(async_frames, blocking_frames):
+            assert (a.kind, a.req, a.payload) == (b.kind, b.req, b.payload)
+
+    def test_acks_roundtrip(self):
+        triples = [(1, 10, 3), (2, 11, 0), (5, 12, -1)]
+        (frame,) = read_binary(encode_binary_acks(triples))
+        assert frame.kind == BIN_KIND_ACKS
+        assert frame.payload == triples
+
+    def test_zero_count_frames_are_valid(self):
+        (ingest,) = read_binary(encode_binary_ingest(0, [], []))
+        assert len(ingest.payload) == 0
+        (acks,) = read_binary(encode_binary_acks([]))
+        assert acks.payload == []
+
+    def test_json_envelope_roundtrip(self):
+        payload = {"id": 3, "op": "ping", "texte": "clé"}
+        (frame,) = read_binary(encode_binary_json(payload))
+        assert frame.kind == BIN_KIND_JSON
+        assert frame.payload == payload
+
+    def test_clean_eof_is_none(self):
+        assert read_binary(b"") == []
+        assert read_binary_blocking(b"") == []
+
+    def test_eof_mid_header_raises(self):
+        data = encode_binary_ingest(1, [1], [1])[: _HEAD.size - 3]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_binary(data)
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_binary_blocking(data)
+
+    def test_eof_mid_body_raises(self):
+        data = encode_binary_ingest(1, [1, 2], [1, 1])[:-5]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_binary(data)
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_binary_blocking(data)
+
+    def test_bad_magic_rejected(self):
+        head = _HEAD.pack(0xDEADBEEF, BIN_KIND_JSON, 0, 0, 0, 0, 2)
+        with pytest.raises(ProtocolError, match="magic"):
+            parse_binary_header(head)
+
+    def test_unknown_kind_rejected(self):
+        head = _HEAD.pack(BINARY_MAGIC, 9, 8, 0, 0, 1, 16)
+        with pytest.raises(ProtocolError, match="unknown binary frame"):
+            parse_binary_header(head)
+
+    def test_reserved_field_must_be_zero(self):
+        head = _HEAD.pack(BINARY_MAGIC, BIN_KIND_JSON, 0, 1, 0, 0, 2)
+        with pytest.raises(ProtocolError, match="reserved"):
+            parse_binary_header(head)
+
+    def test_dtype_mismatch_rejected(self):
+        head = _HEAD.pack(BINARY_MAGIC, BIN_KIND_INGEST, 4, 0, 0, 1, 16)
+        with pytest.raises(ProtocolError, match="int64"):
+            parse_binary_header(head)
+        head = _HEAD.pack(BINARY_MAGIC, BIN_KIND_JSON, 8, 0, 0, 0, 2)
+        with pytest.raises(ProtocolError, match="dtype"):
+            parse_binary_header(head)
+
+    def test_count_length_arithmetic_enforced(self):
+        head = _HEAD.pack(BINARY_MAGIC, BIN_KIND_INGEST, 8, 0, 0, 2, 16)
+        with pytest.raises(ProtocolError, match="declares 2 elements"):
+            parse_binary_header(head)
+        head = _HEAD.pack(BINARY_MAGIC, BIN_KIND_ACKS, 8, 0, 0, 1, 16)
+        with pytest.raises(ProtocolError, match="declares 1 elements"):
+            parse_binary_header(head)
+
+    def test_absurd_length_rejected_before_any_body_byte(self):
+        # The header alone must be enough to reject: no body follows,
+        # yet the error is the frame cap, not a timeout or short read.
+        count = 2**27
+        head = _HEAD.pack(
+            BINARY_MAGIC, BIN_KIND_INGEST, 8, 0, 0, count, count * 16
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_binary_header(head, max_frame=1 << 20)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_binary(head, max_frame=1 << 20)
+
+    def test_oversized_values_fall_back_to_protocol_error(self):
+        with pytest.raises(ProtocolError, match="int64"):
+            encode_binary_ingest(0, [2**80], [1])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ProtocolError, match="parallel"):
+            encode_binary_ingest(0, [1, 2], [1])
+
+
+class TestBinaryFuzz:
+    """Adversarial decoder wall: random bytes must map to clean
+    :class:`ProtocolError` (or a valid frame), never hang, never leak
+    another exception type, never mis-size an array."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(head=st.binary(min_size=_HEAD.size, max_size=_HEAD.size))
+    def test_random_headers_never_escape(self, head):
+        try:
+            kind, req, count, length = parse_binary_header(head)
+        except ProtocolError:
+            return
+        # Whatever survives validation promises a body the reader can
+        # safely size: the arithmetic is consistent by construction.
+        assert kind in (BIN_KIND_JSON, BIN_KIND_INGEST, BIN_KIND_ACKS)
+        assert length <= DEFAULT_MAX_FRAME
+        if kind == BIN_KIND_INGEST:
+            assert length == count * 16
+        elif kind == BIN_KIND_ACKS:
+            assert length == count * 24
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            max_size=8,
+        ),
+        cut=st.integers(min_value=0, max_value=200),
+    )
+    def test_truncations_raise_or_eof(self, ids, cut):
+        data = encode_binary_ingest(3, ids, [1] * len(ids))
+        truncated = data[: min(cut, len(data))]
+        if len(truncated) == len(data):
+            (frame,) = read_binary(data)
+            assert frame.payload.ids.tolist() == ids
+        elif not truncated:
+            assert read_binary(truncated) == []
+        else:
+            with pytest.raises(ProtocolError):
+                read_binary(truncated)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        pos=st.integers(min_value=0, max_value=55),
+        byte=st.integers(min_value=0, max_value=255),
+    )
+    def test_single_byte_mutations_decode_or_reject(self, pos, byte):
+        data = encode_binary_ingest(
+            1,
+            np.arange(2, dtype="<i8"),
+            np.array([1, -1], dtype="<i8"),
+        )
+        assert len(data) == 56
+        mutated = data[:pos] + bytes([byte]) + data[pos + 1 :]
+        try:
+            frames = read_binary(mutated, max_frame=1 << 16)
+        except ProtocolError:
+            return
+        # A mutation that survives (e.g. inside req or a payload int)
+        # must still decode to a structurally sound frame.
+        (frame,) = frames
+        assert len(frame.payload.ids) == len(frame.payload.deltas) == 2
+
+    @settings(max_examples=100, deadline=None)
+    @given(blob=st.binary(max_size=256))
+    def test_random_blobs_terminate(self, blob):
+        try:
+            frames = read_binary(blob, max_frame=1 << 16)
+        except ProtocolError:
+            return
+        for frame in frames:
+            assert frame.kind in (
+                BIN_KIND_JSON,
+                BIN_KIND_INGEST,
+                BIN_KIND_ACKS,
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(blob=st.binary(max_size=256))
+    def test_blocking_reader_agrees_with_async(self, blob):
+        try:
+            async_frames = read_binary(blob, max_frame=1 << 16)
+            async_err = None
+        except ProtocolError as exc:
+            async_frames, async_err = None, str(exc)
+        try:
+            blocking_frames = read_binary_blocking(blob, max_frame=1 << 16)
+            blocking_err = None
+        except ProtocolError as exc:
+            blocking_frames, blocking_err = None, str(exc)
+        assert (async_frames is None) == (blocking_frames is None)
+        if async_frames is None:
+            assert async_err == blocking_err
+        else:
+            assert len(async_frames) == len(blocking_frames)
+
+
+class TestStructuralErrorTransport:
+    def test_non_ascii_key_detail_survives_every_hop(self):
+        # KeyError subclasses str() as a *repr* of their args; rebuild
+        # from the string and a non-ASCII key grows quoting every hop.
+        # Structural args pin the round trip exactly.
+        from repro.errors import UnknownObjectError
+
+        original = UnknownObjectError("clé")
+        decoded = decode_error(encode_error(original))
+        assert type(decoded) is UnknownObjectError
+        assert decoded.args == original.args
+        assert str(decoded) == str(original)
+
+    def test_transport_is_idempotent_across_hops(self):
+        from repro.errors import UnknownObjectError
+
+        exc = UnknownObjectError("clé")
+        for _ in range(3):
+            exc = decode_error(encode_error(exc))
+        assert exc.args == ("clé",)
+        assert str(exc) == str(UnknownObjectError("clé"))
+
+    def test_args_survive_the_binary_json_envelope(self):
+        from repro.errors import UnknownObjectError
+        from repro.server.protocol import encode_binary_json
+
+        payload = {"error": encode_error(UnknownObjectError("clé"))}
+        data = encode_binary_json(payload)
+        (frame,) = read_binary(data)
+        decoded = decode_error(frame.payload["error"])
+        assert decoded.args == ("clé",)
+
+    def test_non_scalar_args_fall_back_to_message(self):
+        exc = CapacityError({"nested": "detail"})
+        wire = encode_error(exc)
+        assert "args" not in wire
+        decoded = decode_error(wire)
+        assert type(decoded) is CapacityError
+        assert str(decoded) == str(exc)
