@@ -32,7 +32,12 @@ CI can gate) how the hot paths move over time:
   counts {1, 4, 16}: the micro-batching pipeline (wire batches +
   cross-client coalescing into vectorized ``ingest`` calls) vs
   unbatched one-event-per-frame ingestion, recording sustained
-  events/sec and client-observed p50/p99 ack latency.
+  events/sec and client-observed p50/p99 ack latency;
+- ``cluster`` — the replicated tier of :mod:`repro.cluster`: a router
+  (journal + vectorized partitioning + fan-out + ack merge) fronting
+  1/2/4 replica subprocesses vs the same engine served directly, at
+  bulk-transfer wire batching.  Like ``parallel_batch``, per-replica
+  ratios gate only within the measuring machine's core budget.
 
 Measurement protocol: per path the contenders are timed in
 *interleaved* rounds (A, B, A, B, ...) and the **minimum** time per
@@ -107,6 +112,14 @@ SCALES = {
         # amortize and the per-event codec work dominates.
         "serve_codec_events": 262_144,
         "serve_codec_wire": 2_048,
+        # Replicated tier: bulk frames through the router (journal +
+        # partition + fan-out + merge) vs one directly served engine.
+        "cluster_m": 4_096,
+        "cluster_events": 65_536,
+        "cluster_wire": 1_024,
+        "cluster_batch_max": 1_024,
+        "cluster_linger_ms": 1.0,
+        "cluster_snapshot_every": 16,
     },
     "quick": {
         "single_n": 40_000,
@@ -127,6 +140,12 @@ SCALES = {
         "serve_linger_ms": 1.0,
         "serve_codec_events": 131_072,
         "serve_codec_wire": 2_048,
+        "cluster_m": 4_096,
+        "cluster_events": 16_384,
+        "cluster_wire": 1_024,
+        "cluster_batch_max": 1_024,
+        "cluster_linger_ms": 1.0,
+        "cluster_snapshot_every": 8,
     },
 }
 
@@ -645,8 +664,181 @@ def _serve(cfg: dict, rounds: int, seed: int) -> dict:
     return out
 
 
+def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
+    """The replicated tier end to end: router fan-out vs direct serve.
+
+    One :class:`~repro.cluster.router.ClusterRouter` in this process
+    fronts real ``python -m repro.serve`` replica subprocesses (spawned
+    once per replica count, outside the timed region, and reused across
+    rounds — flat-engine batch application costs the same regardless of
+    accumulated state).  The baseline contender is the same engine
+    served directly by one in-process :class:`ProfileServer`, driven
+    with identical wire frames, so the per-replica-count ``speedup``
+    reads as "what the extra hop buys (or costs)": the router pays
+    journalling, vectorized partitioning and a second wire hop per
+    event, and earns back replica-side engine parallelism only for
+    replica counts the machine can host.
+
+    Like the ``parallel_batch`` worker sweep, the payload records
+    ``cpus`` and the regression gate compares only ``rN`` entries with
+    ``N <= cpus`` — a 1-core box measuring 4 replicas measures
+    scheduling overhead, not replication.  ``snapshot_every`` is small
+    enough that the timed stream crosses several snapshot cycles, so
+    the steady-state price of the recovery machinery (journal append +
+    periodic checkpoint + journal truncation) is inside the clock.
+    """
+    # Imported here, like the serve path: only this path needs the
+    # serving/cluster stack, and ``repro.bench`` stays importable early.
+    import tempfile
+
+    from repro.cluster.router import ClusterRouter
+    from repro.cluster.supervisor import ReplicaSupervisor
+    from repro.server.client import AsyncProfileClient
+    from repro.server.service import ProfileServer
+
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-dependent
+        np = None
+
+    m, n = cfg["cluster_m"], cfg["cluster_events"]
+    wire = cfg["cluster_wire"]
+    batch_max = cfg["cluster_batch_max"]
+    linger = cfg["cluster_linger_ms"]
+    snapshot_every = cfg["cluster_snapshot_every"]
+    codec = "binary" if np is not None else "json"
+
+    stream = build_stream("stream1", n, m, seed=seed)
+    if np is not None:
+        ids_i64 = np.ascontiguousarray(stream.ids, dtype="<i8")
+        deltas_i64 = np.where(stream.adds, 1, -1).astype("<i8")
+    else:
+        events = list(
+            zip(
+                stream.ids.tolist(),
+                (1 if add else -1 for add in stream.adds.tolist()),
+            )
+        )
+
+    async def drive(client):
+        window = max(4, 2 * (batch_max // wire))
+        inflight = []
+        start = perf_counter()
+        for i in range(0, n, wire):
+            j = min(i + wire, n)
+            if np is not None:
+                frame = (ids_i64[i:j], deltas_i64[i:j])
+            else:
+                frame = events[i:j]
+            fut = await client.ingest(frame, wait=False)
+            inflight.append(fut)
+            if len(inflight) >= window:
+                await inflight.pop(0)
+        for fut in inflight:
+            await fut
+        return perf_counter() - start
+
+    async def run_direct():
+        profiler = Profiler.open(
+            m, backend="flat", array_engine=np is not None
+        )
+        server = ProfileServer(
+            profiler,
+            batch_max=batch_max,
+            linger_ms=linger,
+            queue_size=4096,
+        )
+        await server.start()
+        client = await AsyncProfileClient.connect(
+            port=server.port, codec=codec
+        )
+        elapsed = await drive(client)
+        await client.aclose()
+        await server.stop()
+        profiler.close()
+        return elapsed
+
+    async def run_cluster(supervisor):
+        router = ClusterRouter(
+            m,
+            supervisor=supervisor,
+            snapshot_every=snapshot_every,
+            port=0,
+            batch_max=batch_max,
+            linger_ms=linger,
+        )
+        await router.start()
+        client = await AsyncProfileClient.connect(
+            port=router.port, codec=codec
+        )
+        elapsed = await drive(client)
+        await client.aclose()
+        await router.stop()
+        return elapsed
+
+    serve_args = ["--batch-max", str(batch_max), "--linger-ms", str(linger)]
+    if np is not None:
+        serve_args.append("--array-engine")
+
+    supervisors: dict[int, ReplicaSupervisor] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        try:
+            for r in replica_counts:
+                supervisor = ReplicaSupervisor(
+                    m,
+                    r,
+                    workdir=Path(tmp) / f"r{r}",
+                    backend="flat",
+                    codec=codec,
+                    serve_args=serve_args,
+                )
+                asyncio.run(supervisor.start())
+                supervisors[r] = supervisor
+            timers = {"direct": lambda: asyncio.run(run_direct())}
+            for r, supervisor in supervisors.items():
+                timers[f"cluster_r{r}"] = (
+                    lambda supervisor=supervisor: asyncio.run(
+                        run_cluster(supervisor)
+                    )
+                )
+            best = _interleaved_min(timers, rounds)
+        finally:
+            for supervisor in supervisors.values():
+                supervisor.stop()
+
+    direct_eps = n / best["direct"]
+    replicas = {}
+    for r in replica_counts:
+        eps = n / best[f"cluster_r{r}"]
+        replicas[str(r)] = {"eps": eps, "speedup": eps / direct_eps}
+    max_r = max(replica_counts)
+    return {
+        "workload": (
+            f"replicated TCP ingest, m={m}: router + replica "
+            f"subprocesses vs direct serve ({n} events, {wire} "
+            f"ev/frame, batch_max={batch_max}, linger={linger}ms, "
+            f"snapshot_every={snapshot_every}, codec={codec}, "
+            f"replicas={sorted(replica_counts)})"
+        ),
+        "events": n,
+        "wire_batch": wire,
+        "batch_max": batch_max,
+        "linger_ms": linger,
+        "snapshot_every": snapshot_every,
+        "codec": codec,
+        "cpus": os.cpu_count() or 1,
+        "max_replicas": max_r,
+        "direct_eps": direct_eps,
+        "replicas": replicas,
+        "speedup": replicas[str(max_r)]["speedup"],
+    }
+
+
 #: Default worker-count sweep of the ``parallel_batch`` path.
 DEFAULT_PARALLEL_WORKERS = (1, 2, 4)
+
+#: Default replica-count sweep of the ``cluster`` path.
+DEFAULT_CLUSTER_REPLICAS = (1, 2, 4)
 
 
 def run_trajectory(
@@ -655,13 +847,17 @@ def run_trajectory(
     rounds: int = 5,
     seed: int = 0,
     parallel_workers=DEFAULT_PARALLEL_WORKERS,
+    cluster_replicas=DEFAULT_CLUSTER_REPLICAS,
 ) -> dict:
     """Measure every path; return the BENCH_core.json payload.
 
     ``parallel_workers`` is the worker-count sweep for the
     ``parallel_batch`` path (empty/None skips it; it is also
     auto-skipped when numpy is unavailable, where the parallel engine
-    cannot run but every other path still can)."""
+    cannot run but every other path still can).  ``cluster_replicas``
+    is the replica-count sweep for the ``cluster`` path (empty/None
+    skips it — it spawns real serve subprocesses, so headless boxes
+    without the package importable by child processes can opt out)."""
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
     cfg = SCALES[scale]
@@ -672,6 +868,10 @@ def run_trajectory(
         "fused_plan": _fused_plan(cfg, rounds, seed),
         "serve": _serve(cfg, rounds, seed),
     }
+    if cluster_replicas:
+        paths["cluster"] = _cluster(
+            cfg, rounds, seed, tuple(sorted(set(cluster_replicas)))
+        )
     if parallel_workers and parallel_supported():
         paths["parallel_batch"] = _parallel_batch(
             cfg, rounds, seed, tuple(sorted(set(parallel_workers)))
@@ -723,6 +923,7 @@ def _speedup_entries(result: dict):
             "speedup" in path
             and "workers" not in path
             and "clients" not in path
+            and "replicas" not in path
         ):
             yield f"{prefix}.{path_name}.speedup", path["speedup"]
         if "geomean_speedup" in path:
@@ -740,6 +941,17 @@ def _speedup_entries(result: dict):
                 continue
             yield (
                 f"{prefix}.{path_name}.w{w}.speedup",
+                entry["speedup"],
+            )
+        # Replica-sweep paths (cluster) gate like the worker sweep:
+        # per replica count, only within the machine's core budget —
+        # replicas are real subprocesses, so counts beyond the cores
+        # measure scheduling overhead, not replication.
+        for r, entry in path.get("replicas", {}).items():
+            if cpus is not None and int(r) > cpus:
+                continue
+            yield (
+                f"{prefix}.{path_name}.r{r}.speedup",
                 entry["speedup"],
             )
         # Client-sweep paths (serve) gate per client count, like the
@@ -857,6 +1069,19 @@ def _format_summary(result: dict) -> str:
                 f"p99 {entry['batched_p99_ms']:.2f}ms)"
                 f"  -> {entry['speedup']:.2f}x{binary}"
             )
+    if "cluster" in paths:
+        clu = paths["cluster"]
+        sweep = "  ".join(
+            f"r{r} {entry['eps'] / 1e3:.1f}k ({entry['speedup']:.2f}x)"
+            for r, entry in sorted(
+                clu["replicas"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(
+            f"  cluster (replicated tier)  direct "
+            f"{clu['direct_eps'] / 1e3:.1f}k ev/s  {sweep}"
+            f"   [{clu['workload']}, cpus={clu['cpus']}]"
+        )
     return "\n".join(lines)
 
 
@@ -893,6 +1118,13 @@ def main(argv: list[str] | None = None) -> int:
         "(comma-separated; '0' or '' skips the path; CI pins 2)",
     )
     parser.add_argument(
+        "--cluster-replicas",
+        metavar="N[,N...]",
+        default=",".join(str(r) for r in DEFAULT_CLUSTER_REPLICAS),
+        help="replica-count sweep for the cluster path "
+        "(comma-separated; '0' or '' skips the path)",
+    )
+    parser.add_argument(
         "--out",
         metavar="PATH",
         default="BENCH_core.json",
@@ -921,6 +1153,11 @@ def main(argv: list[str] | None = None) -> int:
         for w in str(args.parallel_workers).split(",")
         if w.strip() and int(w) > 0
     )
+    replicas = tuple(
+        int(r)
+        for r in str(args.cluster_replicas).split(",")
+        if r.strip() and int(r) > 0
+    )
 
     scale = args.scale or ("quick" if args.quick else "full")
     if scale == "both":
@@ -929,6 +1166,7 @@ def main(argv: list[str] | None = None) -> int:
             rounds=args.rounds,
             seed=args.seed,
             parallel_workers=workers,
+            cluster_replicas=replicas,
         )
         print(_format_summary(result))
         quick = run_trajectory(
@@ -936,6 +1174,7 @@ def main(argv: list[str] | None = None) -> int:
             rounds=args.rounds,
             seed=args.seed,
             parallel_workers=workers,
+            cluster_replicas=replicas,
         )
         print(_format_summary(quick))
         result["scale"] = "both"
@@ -946,6 +1185,7 @@ def main(argv: list[str] | None = None) -> int:
             rounds=args.rounds,
             seed=args.seed,
             parallel_workers=workers,
+            cluster_replicas=replicas,
         )
         print(_format_summary(result))
 

@@ -1,0 +1,28 @@
+"""repro.cluster — a replicated serving tier for one dense universe.
+
+A :class:`ClusterRouter` fronts N replica :class:`~repro.server.service
+.ProfileServer` processes: it partitions every wire batch by the
+engines' own modulus rule (``x % N`` owns, ``x // N`` is the local id),
+fans sub-batches out over the negotiated codec, merges acks, and
+answers queries by merging replica reads exactly like the in-process
+:class:`~repro.engine.sharding.ShardedProfiler`.  Replicas snapshot
+through the audited checkpoint schema; the router journals
+post-snapshot batches per partition so a killed replica recovers by
+snapshot-restore + ``seq``-ordered replay with zero acknowledged-event
+loss.
+
+``python -m repro.cluster`` stands the whole tier up in one command;
+:class:`ReplicaSupervisor` manages the replica subprocesses.
+"""
+
+from repro.cluster.journal import JournalEntry, PartitionJournal
+from repro.cluster.router import ClusterRouter, partition_capacity
+from repro.cluster.supervisor import ReplicaSupervisor
+
+__all__ = [
+    "ClusterRouter",
+    "JournalEntry",
+    "PartitionJournal",
+    "ReplicaSupervisor",
+    "partition_capacity",
+]

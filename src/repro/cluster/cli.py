@@ -1,0 +1,225 @@
+"""``python -m repro.cluster`` — stand up a replicated serving tier.
+
+One command spawns the whole tier: N ``python -m repro.serve`` replica
+subprocesses (via :class:`~repro.cluster.supervisor.ReplicaSupervisor`)
+plus the :class:`~repro.cluster.router.ClusterRouter` front end in this
+process.  Clients speak the ordinary server protocol to the router;
+replicas are an implementation detail they never see.
+
+Examples
+--------
+Three replicas over a 100k universe::
+
+    python -m repro.cluster --capacity 100000 --replicas 3
+
+Probe a running tier (prints the router's health block as JSON)::
+
+    python -m repro.cluster --status --port 7421
+
+The router prints one ``cluster listening on HOST:PORT`` line once
+bound (``--port 0`` picks a free port; ``--port-file`` publishes it
+atomically), serves until SIGINT/SIGTERM, drains, stops the replicas,
+and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import tempfile
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ReplicaSupervisor
+from repro.server.cli import DEFAULT_PORT, _write_port_file
+from repro.server.client import ProfileClient
+from repro.server.protocol import DEFAULT_MAX_FRAME
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Serve a repro profiler over N replica processes "
+        "behind one routing endpoint.",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="global universe size m (required unless --status)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replica process count / key-space partitions (default: 3)",
+    )
+    parser.add_argument(
+        "--replica-backend",
+        default="flat",
+        help="facade backend each replica opens (flat or exact keep "
+        "cluster checkpoints assemblable; default: flat)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for replica port/pid/log files (default: a "
+        "fresh temporary directory)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"router TCP port; 0 picks a free one (default: "
+        f"{DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the router's bound port here once listening "
+        "(atomic: tmp + rename)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="journal depth (wire batches) that triggers a replica "
+        "snapshot + journal truncation (default: 64)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=512,
+        help="router micro-batch flush threshold (default: 512)",
+    )
+    parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=1.0,
+        help="router micro-batch linger (default: 1.0)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=4096,
+        help="router ingest queue bound, in wire batches",
+    )
+    parser.add_argument(
+        "--max-frame",
+        type=int,
+        default=DEFAULT_MAX_FRAME,
+        help="per-frame byte cap, both directions",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("binary", "json"),
+        default="binary",
+        help="client-facing codec offer; replicas negotiate "
+        "independently (default: binary)",
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="instead of serving: connect to --host/--port, print the "
+        "router's health block as JSON, exit",
+    )
+    return parser
+
+
+def _status(args: argparse.Namespace) -> int:
+    client = ProfileClient(args.host, args.port)
+    try:
+        info = client.health()
+    finally:
+        client.close()
+    json.dump(info, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+async def _amain(args: argparse.Namespace, workdir: str) -> int:
+    supervisor = ReplicaSupervisor(
+        args.capacity,
+        args.replicas,
+        workdir=workdir,
+        host=args.host,
+        backend=args.replica_backend,
+        codec=args.codec,
+    )
+    await supervisor.start()
+    try:
+        router = ClusterRouter(
+            args.capacity,
+            supervisor=supervisor,
+            snapshot_every=args.snapshot_every,
+            host=args.host,
+            port=args.port,
+            batch_max=args.batch_max,
+            linger_ms=args.linger_ms,
+            queue_size=args.queue_size,
+            max_frame=args.max_frame,
+            binary=args.codec == "binary",
+        )
+        await router.start()
+        print(
+            f"cluster listening on {router.host}:{router.port} "
+            f"(capacity={args.capacity}, replicas={args.replicas}, "
+            f"replica_backend={args.replica_backend}, "
+            f"snapshot_every={args.snapshot_every}, "
+            f"workdir={workdir})",
+            flush=True,
+        )
+        if args.port_file:
+            _write_port_file(args.port_file, router.port)
+
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+        await stop_requested.wait()
+        print("draining...", flush=True)
+        await router.stop()
+        stats = router.stats
+        cluster = router.cluster_stats
+        print(
+            f"drained: {stats.wire_batches} wire batches "
+            f"({stats.wire_events} events) in {stats.flushes} flushes, "
+            f"{stats.rejected} rejected, "
+            f"{cluster['replica_batches']} replica sub-batches, "
+            f"{cluster['snapshots']} snapshots, "
+            f"{cluster['recoveries']} recoveries "
+            f"({supervisor.respawns} respawns)",
+            flush=True,
+        )
+    finally:
+        supervisor.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.status:
+        return _status(args)
+    if args.capacity is None:
+        build_parser().error("--capacity is required (unless --status)")
+    if args.replicas < 1:
+        build_parser().error("--replicas must be >= 1")
+    try:
+        if args.workdir is not None:
+            return asyncio.run(_amain(args, args.workdir))
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+            return asyncio.run(_amain(args, tmp))
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

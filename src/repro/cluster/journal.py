@@ -1,0 +1,107 @@
+"""Per-partition replay journals for the cluster router.
+
+The journal IS the recovery buffer: every wire batch the router
+accepts is partitioned and appended here — tagged with its ``seq``
+serialization token — *before* anything is sent to a replica.  A
+replica that dies is brought back by restoring its partition's last
+snapshot and replaying the journal entries behind it in ``seq`` order;
+because the restore rewinds the replica to the snapshot first, a send
+that raced the crash (applied on the old process, or half-delivered)
+is wiped and the replay is exact, never double-counted.
+
+Entries are only ever dropped by :meth:`PartitionJournal.clear`, which
+the router calls immediately after a successful snapshot: the router's
+pipeline is synchronous (one flusher task appends, delivers, then
+snapshots), so at snapshot time every entry present has been delivered
+on the replica's ordered connection *before* the checkpoint request —
+the snapshot covers them all by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["JournalEntry", "PartitionJournal"]
+
+
+class JournalEntry:
+    """One partitioned wire batch: parallel id/delta columns + seq."""
+
+    __slots__ = ("seq", "ids", "deltas")
+
+    def __init__(self, seq: int, ids, deltas) -> None:
+        self.seq = seq
+        self.ids = ids
+        self.deltas = deltas
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __repr__(self) -> str:
+        return f"JournalEntry(seq={self.seq}, events={len(self.ids)})"
+
+
+class PartitionJournal:
+    """Seq-ordered post-snapshot wire batches for one partition."""
+
+    __slots__ = ("partition", "_entries", "snapshot_seq", "appended_total")
+
+    def __init__(self, partition: int) -> None:
+        self.partition = partition
+        self._entries: list[JournalEntry] = []
+        #: ``seq`` high-water mark covered by the partition's snapshot
+        #: (0 before the first snapshot: "empty replica" is the
+        #: implicit snapshot every replica process boots with).
+        self.snapshot_seq = 0
+        self.appended_total = 0
+
+    def append(self, seq: int, ids, deltas) -> JournalEntry:
+        """Record one partitioned wire batch (before it is sent)."""
+        if self._entries and seq <= self._entries[-1].seq:
+            raise ValueError(
+                f"journal seq must be monotonic: {seq} after "
+                f"{self._entries[-1].seq}"
+            )
+        entry = JournalEntry(seq, ids, deltas)
+        self._entries.append(entry)
+        self.appended_total += 1
+        return entry
+
+    def entries(self) -> Iterator[JournalEntry]:
+        """The replay tape, in ``seq`` order."""
+        return iter(self._entries)
+
+    def clear(self, snapshot_seq: int) -> int:
+        """A snapshot covering ``snapshot_seq`` landed; drop the tape.
+
+        Returns the number of entries retired.  Every current entry is
+        covered (see the module docstring), so this asserts rather
+        than filters — a partial truncation would mean the router's
+        synchronous-pipeline invariant broke.
+        """
+        if self._entries and self._entries[-1].seq > snapshot_seq:
+            raise ValueError(
+                f"snapshot at seq {snapshot_seq} does not cover journal "
+                f"tail at seq {self._entries[-1].seq}"
+            )
+        retired = len(self._entries)
+        self._entries = []
+        self.snapshot_seq = max(self.snapshot_seq, snapshot_seq)
+        return retired
+
+    @property
+    def last_seq(self) -> int:
+        """Highest ``seq`` this partition has seen (journal or snapshot)."""
+        if self._entries:
+            return self._entries[-1].seq
+        return self.snapshot_seq
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionJournal(partition={self.partition}, "
+            f"entries={len(self._entries)}, "
+            f"snapshot_seq={self.snapshot_seq})"
+        )

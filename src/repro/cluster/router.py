@@ -1,0 +1,728 @@
+"""The cluster router: one wire endpoint fronting N replica servers.
+
+:class:`ClusterRouter` subclasses :class:`~repro.server.service
+.ProfileServer` and keeps its entire front half — the negotiated
+codecs, the per-connection readers, the bounded queue, the
+micro-batching flusher, the graceful drain.  What changes is what a
+flush *does*: instead of one engine call, the router
+
+1. range-validates each wire batch whole (the engines' exact error, so
+   a bad id rejects the batch before any replica sees a byte),
+   assigns its ``seq``, computes its ack value locally (net unit
+   events — additive across the partition split), and appends the
+   partitioned columns to each touched partition's
+   :class:`~repro.cluster.journal.PartitionJournal`;
+2. fans one merged sub-batch per partition out to the replicas over
+   the negotiated codec (binary where both ends support it) and
+   awaits their acks;
+3. acks its own clients — per connection, in pipeline order, exactly
+   like the base server.
+
+Because the flusher is one task and step 2 completes before step 3, a
+client ack *means* every replica holding a piece of that batch has
+acked it — and the journal entry behind it survives until a replica
+snapshot covers it.  Kill a replica at any point and recovery is
+always the same move: restore the partition's last snapshot (wiping
+whatever the dying process half-applied), then replay the journal in
+``seq`` order.  Zero acknowledged events lost, no double counts.
+
+Queries merge replica answers exactly like
+:class:`~repro.engine.sharding.ShardedProfiler` merges shard answers
+(see :mod:`repro.cluster.merge`); ``checkpoint`` assembles the replica
+checkpoints into one standard *sharded* facade state, restorable by
+``Profiler.from_state`` anywhere.
+
+The router hosts dense, non-strict profiles.  Strict mode would need
+all-or-nothing rejection *across* partitions — a two-phase commit the
+serving tier does not pay for; dense hashing is what makes the
+partition arithmetic (and the additive ack values) state-independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.api.facade import API_STATE_VERSION
+from repro.api.plan import Query
+from repro.cluster.journal import PartitionJournal
+from repro.cluster.merge import (
+    count_above,
+    count_at,
+    merge_extremes,
+    merge_histograms,
+    merge_top_entries,
+    partition_batch,
+    rank_frequency,
+    to_global,
+)
+from repro.core.queries import quantile_rank
+from repro.errors import CapacityError, CheckpointError
+from repro.server.client import AsyncProfileClient
+from repro.server.protocol import ProtocolError, encode_error, encode_value
+from repro.server.service import ProfileServer, _Item
+
+__all__ = ["ClusterRouter", "partition_capacity"]
+
+
+def partition_capacity(m: int, p: int, n_parts: int) -> int:
+    """Capacity of partition ``p``: its share of ``x % n_parts`` ids."""
+    return (m - p + n_parts - 1) // n_parts
+
+
+class _RouterFacade:
+    """The profiler-shaped stub the base server introspects.
+
+    The router hosts no engine — state lives in the replicas — but the
+    base class reads identity off its profiler (greeting, codec
+    negotiation, health).  ``backend=None`` resolves the base
+    coalescing strategy to ``"sequential"``, which the overridden
+    ``_flush`` never consults anyway.
+    """
+
+    backend = None
+    backend_name = "cluster"
+    keys = "dense"
+    strict = False
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def close(self) -> None:
+        """Nothing to release; replicas own the state."""
+
+
+class ClusterRouter(ProfileServer):
+    """Route one dense universe over ``len(endpoints)`` replicas.
+
+    Parameters (beyond the :class:`ProfileServer` serving knobs)
+    ----------------------------------------------------------------
+    capacity:
+        The global universe size ``m``; partition ``p`` owns ids
+        congruent to ``p`` and must serve a profiler of capacity
+        ``partition_capacity(m, p, n)``.
+    endpoints:
+        ``(host, port)`` per partition, in partition order.
+    supervisor:
+        Optional replica lifecycle manager (duck-typed: an async
+        ``ensure_replica(p) -> (host, port)`` that respawns a dead
+        replica and returns its current endpoint).  Without one,
+        recovery redials the configured endpoint and waits for an
+        external restart.
+    replica_codec:
+        Codec negotiated with replicas (``"auto"``: binary where both
+        ends support it).
+    snapshot_every:
+        Journal depth (wire batches) that triggers a partition
+        snapshot + journal truncation.  The bound on replay length
+        and on router memory.
+    recover_attempts:
+        Connect-restore-replay cycles before a partition is declared
+        lost (an exception that stops the router).  ``None`` retries
+        forever — the right default under a supervisor.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        endpoints=None,
+        *,
+        supervisor=None,
+        replica_codec: str = "auto",
+        snapshot_every: int = 64,
+        recover_attempts: int | None = None,
+        **server_kwargs,
+    ) -> None:
+        if endpoints is None:
+            if supervisor is None:
+                raise CapacityError(
+                    "ClusterRouter needs endpoints or a supervisor"
+                )
+            endpoints = list(supervisor.endpoints)
+        endpoints = [tuple(e) for e in endpoints]
+        n = len(endpoints)
+        if n < 1:
+            raise CapacityError("cluster needs at least one replica")
+        if capacity < n:
+            raise CapacityError(
+                f"capacity {capacity} cannot spread over {n} replicas "
+                f"(every partition needs at least one id)"
+            )
+        if snapshot_every < 1:
+            raise CapacityError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        super().__init__(
+            _RouterFacade(capacity),
+            role="router",
+            **server_kwargs,
+        )
+        self._n_parts = n
+        self._endpoints: list[tuple[str, int]] = endpoints
+        self._supervisor = supervisor
+        self._replica_codec = replica_codec
+        self._snapshot_every = snapshot_every
+        self._recover_attempts = recover_attempts
+        self._clients: dict[int, AsyncProfileClient] = {}
+        self._journals = [PartitionJournal(p) for p in range(n)]
+        self._snapshots: dict[int, dict] = {}
+        self.cluster_stats = {
+            "recoveries": 0,
+            "replayed_batches": 0,
+            "snapshots": 0,
+            "replica_batches": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def n_partitions(self) -> int:
+        return self._n_parts
+
+    async def start(self) -> "ClusterRouter":
+        # Replicas first: a config mismatch (wrong capacity, strict,
+        # hashable keys) must fail the router before it accepts a
+        # single client.
+        for p in range(self._n_parts):
+            self._clients[p] = await self._connect_replica(p)
+        await super().start()
+        return self
+
+    async def _before_close_connections(self) -> None:
+        """Say goodbye to the replicas once the flusher has drained.
+
+        By this point every accepted wire batch has been delivered and
+        acked by its replicas (the flusher awaits replica acks inside
+        each flush), so closing is pure teardown.
+        """
+        for client in self._clients.values():
+            try:
+                await client.aclose()
+            except (ConnectionError, OSError):
+                pass
+        self._clients.clear()
+
+    # -- replica connections -------------------------------------------
+
+    async def _connect_replica(self, p: int) -> AsyncProfileClient:
+        """Dial partition ``p`` and validate its identity."""
+        host, port = self._endpoints[p]
+        client = await AsyncProfileClient.connect(
+            host,
+            port,
+            codec=self._replica_codec,
+            max_frame=self._max_frame,
+            reconnect=True,
+            max_attempts=8,
+        )
+        hello = client.hello
+        expected = partition_capacity(self.capacity, p, self._n_parts)
+        if (
+            hello.get("keys") != "dense"
+            or hello.get("strict")
+            or hello.get("capacity") != expected
+        ):
+            await client.aclose()
+            raise ProtocolError(
+                f"replica {p} at {host}:{port} serves "
+                f"keys={hello.get('keys')!r} strict={hello.get('strict')!r} "
+                f"capacity={hello.get('capacity')!r}; partition {p}/"
+                f"{self._n_parts} of universe {self.capacity} needs a "
+                f"dense non-strict profiler of capacity {expected}"
+            )
+        return client
+
+    @property
+    def capacity(self) -> int:
+        return self._profiler.capacity
+
+    async def _ensure_client(self, p: int) -> AsyncProfileClient:
+        client = self._clients.get(p)
+        if client is None:
+            await self._recover(p)
+            client = self._clients[p]
+        return client
+
+    async def _recover(self, p: int) -> None:
+        """Bring partition ``p`` back: respawn, restore, replay.
+
+        The one recovery move, whatever the failure looked like: a new
+        connection, the last snapshot restored (rewinding anything the
+        dying process half-applied — this is what makes a send racing
+        the crash harmless), then the journal replayed in ``seq``
+        order.  Runs in the flusher task, so the journal cannot grow
+        underneath the replay; client readers stall on the bounded
+        queue meanwhile — recovery *is* the backpressure.
+        """
+        self.cluster_stats["recoveries"] += 1
+        stale = self._clients.pop(p, None)
+        if stale is not None:
+            try:
+                await stale.aclose()
+            except (ConnectionError, OSError):
+                pass
+        journal = self._journals[p]
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._supervisor is not None:
+                    self._endpoints[p] = tuple(
+                        await self._supervisor.ensure_replica(p)
+                    )
+                client = await self._connect_replica(p)
+                snapshot = self._snapshots.get(p)
+                if snapshot is not None:
+                    await client.restore(snapshot)
+                replayed = 0
+                for entry in journal.entries():
+                    await self._send_batch(client, entry.ids, entry.deltas)
+                    replayed += 1
+                self.cluster_stats["replayed_batches"] += replayed
+                self._clients[p] = client
+                return
+            except (ConnectionError, OSError):
+                if (
+                    self._recover_attempts is not None
+                    and attempt >= self._recover_attempts
+                ):
+                    raise ConnectionError(
+                        f"partition {p} unrecoverable after {attempt} "
+                        f"restore+replay attempts"
+                    )
+
+    async def _replica_call(self, p: int, fn):
+        """Run one replica request, recovering once on connection loss."""
+        for retry in (False, True):
+            client = await self._ensure_client(p)
+            try:
+                return await fn(client)
+            except (ConnectionError, OSError):
+                if retry:
+                    raise
+                await self._recover(p)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    async def _send_batch(client: AsyncProfileClient, ids, deltas) -> int:
+        """One partitioned column pair -> one replica ingest."""
+        if client.codec == "binary":
+            return await client.ingest((ids, deltas))
+        ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        deltas = (
+            deltas.tolist() if hasattr(deltas, "tolist") else list(deltas)
+        )
+        return await client.ingest(list(zip(ids, deltas)))
+
+    # -- the flusher: partition, journal, fan out, ack ------------------
+
+    async def _flush(self, batch: list[_Item]) -> None:
+        if not batch:
+            return
+        stats = self._stats
+        stats.flushes += 1
+        n_events = sum(len(item.data) for item in batch)
+        stats.wire_batches += len(batch)
+        stats.wire_events += n_events
+        if n_events > stats.max_flush_events:
+            stats.max_flush_events = n_events
+        outcomes: list[tuple[_Item, Any]] = []
+        pending: dict[int, list[tuple]] = {}
+        touched: set[int] = set()
+        for item in batch:
+            self._seq += 1
+            item.seq = self._seq
+            try:
+                parts, applied = partition_batch(
+                    item.data, self._n_parts, self.capacity
+                )
+            except Exception as exc:
+                outcomes.append((item, exc))
+                continue
+            for p, (ids, deltas) in parts.items():
+                self._journals[p].append(item.seq, ids, deltas)
+                pending.setdefault(p, []).append((ids, deltas))
+                touched.add(p)
+            outcomes.append((item, applied))
+        if pending:
+            await asyncio.gather(
+                *(
+                    self._deliver(p, chunks)
+                    for p, chunks in pending.items()
+                )
+            )
+        per_conn: dict[Any, list[tuple[_Item, Any]]] = {}
+        for item, result in outcomes:
+            if isinstance(result, Exception):
+                stats.rejected += 1
+            else:
+                stats.applied_units += result
+            per_conn.setdefault(item.conn, []).append((item, result))
+        for conn, acks in per_conn.items():
+            await conn.send(self._pack_acks(conn, acks))
+        for p in sorted(touched):
+            if len(self._journals[p]) >= self._snapshot_every:
+                await self._snapshot(p)
+
+    async def _deliver(self, p: int, chunks) -> None:
+        """Send one flush's sub-batches to partition ``p``; await ack.
+
+        On connection loss there is nothing to resend: the journal
+        already holds this flush's entries, so :meth:`_recover`'s
+        restore + replay applies them as a side effect.
+        """
+        client = await self._ensure_client(p)
+        try:
+            for ids, deltas in chunks:
+                await self._send_batch(client, ids, deltas)
+            self.cluster_stats["replica_batches"] += len(chunks)
+        except (ConnectionError, OSError):
+            await self._recover(p)
+
+    async def _snapshot(self, p: int) -> None:
+        """Checkpoint partition ``p`` and truncate its journal.
+
+        The checkpoint request rides the replica's ordered connection
+        behind everything this flusher already sent, so the returned
+        state covers every journal entry — ``clear`` asserts exactly
+        that.  A connection lost mid-checkpoint just recovers; the
+        journal stays and the snapshot retries after a later flush.
+        """
+        journal = self._journals[p]
+        watermark = journal.last_seq
+        try:
+            state = await self._replica_call(
+                p, lambda client: client.checkpoint()
+            )
+        except (ConnectionError, OSError):
+            return
+        self._snapshots[p] = state
+        journal.clear(watermark)
+        self.cluster_stats["snapshots"] += 1
+
+    # -- queries: merge replica answers --------------------------------
+
+    async def _execute(self, item: _Item) -> None:
+        kind = item.kind
+        if kind in ("close", "reject", "hello", "ping"):
+            await super()._execute(item)
+            return
+        try:
+            if kind == "evaluate":
+                self._stats.queries += 1
+                plan = item.data
+                values = await self._evaluate_cluster(plan)
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "values": [
+                        encode_value(q.kind, v)
+                        for q, v in zip(plan, values)
+                    ],
+                }
+            elif kind == "describe":
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "info": await self._describe_cluster(),
+                }
+            elif kind == "checkpoint":
+                self._stats.checkpoints += 1
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "state": await self._checkpoint_cluster(),
+                }
+            elif kind == "restore":
+                raise CheckpointError(
+                    "the cluster router hosts no state to restore; "
+                    "replicas recover from router snapshots"
+                )
+            else:  # pragma: no cover - decoder emits no other kinds
+                raise ProtocolError(f"unknown pipeline item {kind!r}")
+        except Exception as exc:
+            self._stats.rejected += 1
+            payload = {
+                "id": item.req_id,
+                "ok": False,
+                "error": encode_error(exc),
+            }
+        await item.conn.send(self._pack_response(item.conn, payload))
+
+    async def _evaluate_cluster(self, plan) -> list:
+        """Answer one fused plan by merging replica reads.
+
+        Phase 1 sends every replica one fused sub-plan (the union of
+        ingredient queries the merges need — deduplicated, so a
+        dashboard costs one round trip per replica however many kinds
+        it asks).  ``kth_most_frequent`` and ``heavy_hitters`` resolve
+        their global cut from the merged phase-1 answers, then fetch
+        the named objects in a second, targeted round.
+        """
+        m = self.capacity
+        n = self._n_parts
+        shared: dict[str, Query] = {}
+        owned: list[dict[str, Query]] = [{} for _ in range(n)]
+
+        def need(q: Query) -> None:
+            shared.setdefault(q.key, q)
+
+        for q in plan:
+            kind = q.kind
+            if kind == "frequency":
+                x = q.args[0]
+                if not isinstance(x, int) or not 0 <= x < m:
+                    raise CapacityError(
+                        f"object id {x} out of range [0, {m})"
+                    )
+                owned[x % n].setdefault(
+                    q.key, Query.frequency(x // n)
+                )
+            elif kind == "total":
+                need(Query.total())
+            elif kind in ("mode", "least", "max_frequency",
+                          "min_frequency", "active_count", "histogram"):
+                need(Query(kind))
+            elif kind == "support":
+                need(q)
+            elif kind == "top_k":
+                need(q)
+            elif kind in ("median", "quantile"):
+                need(Query.histogram())
+            elif kind == "kth_most_frequent":
+                k = q.args[0]
+                if not 1 <= k <= m:
+                    raise CapacityError(
+                        f"k must be in [1, {m}], got {k}"
+                    )
+                need(Query.histogram())
+            elif kind == "heavy_hitters":
+                need(Query.histogram())
+                need(Query.total())
+            else:  # pragma: no cover - Query validates kinds
+                raise ProtocolError(f"unknown query kind {kind!r}")
+
+        shared_list = list(shared.values())
+        per_part: list[dict[str, Any]] = [{} for _ in range(n)]
+
+        async def fetch(p: int) -> None:
+            # owned[] maps the *global* query key to the local-id query
+            # a replica understands; answers file under the global key.
+            keys = [q.key for q in shared_list] + list(owned[p].keys())
+            qlist = shared_list + list(owned[p].values())
+            if not qlist:
+                return
+            result = await self._replica_call(
+                p, lambda client: client.evaluate(*qlist)
+            )
+            per_part[p] = dict(zip(keys, result.values))
+
+        await asyncio.gather(*(fetch(p) for p in range(n)))
+
+        def gather_key(key: str) -> list:
+            return [per_part[p][key] for p in range(n)]
+
+        hist_key = Query.histogram().key
+        merged_hist = None
+
+        def histogram() -> list[tuple[int, int]]:
+            nonlocal merged_hist
+            if merged_hist is None:
+                merged_hist = merge_histograms(gather_key(hist_key))
+            return merged_hist
+
+        values: list[Any] = []
+        for q in plan:
+            kind = q.kind
+            if kind == "frequency":
+                values.append(per_part[q.args[0] % n][q.key])
+            elif kind in ("total", "active_count"):
+                values.append(sum(gather_key(q.key)))
+            elif kind == "support":
+                values.append(sum(gather_key(q.key)))
+            elif kind in ("mode", "least"):
+                values.append(
+                    merge_extremes(
+                        gather_key(q.key), n, desc=kind == "mode"
+                    )
+                )
+            elif kind == "max_frequency":
+                values.append(max(gather_key(q.key)))
+            elif kind == "min_frequency":
+                values.append(min(gather_key(q.key)))
+            elif kind == "top_k":
+                k = min(q.args[0], m)
+                values.append(
+                    merge_top_entries(gather_key(q.key), n, k)
+                )
+            elif kind == "histogram":
+                values.append(histogram())
+            elif kind == "median":
+                values.append(rank_frequency(histogram(), (m - 1) // 2))
+            elif kind == "quantile":
+                values.append(
+                    rank_frequency(
+                        histogram(), quantile_rank(q.args[0], m)
+                    )
+                )
+            elif kind == "kth_most_frequent":
+                values.append(
+                    await self._kth_cluster(
+                        q.args[0], histogram(), gather_key(hist_key)
+                    )
+                )
+            elif kind == "heavy_hitters":
+                values.append(
+                    await self._heavy_hitters_cluster(
+                        q.args[0],
+                        sum(gather_key(Query.total().key)),
+                        gather_key(hist_key),
+                    )
+                )
+        return values
+
+    async def _kth_cluster(self, k: int, merged_hist, hists):
+        """Resolve the k-th frequency globally, then name one holder.
+
+        Mirror of ``ShardedProfiler.kth_most_frequent``: the merged
+        histogram fixes the frequency ``f`` at global rank ``m - k``;
+        the first partition holding an object at ``f`` names it — its
+        local descending rank is (objects above ``f``) + 1.
+        """
+        m = self.capacity
+        f = rank_frequency(merged_hist, m - k)
+        for p, hist in enumerate(hists):
+            if count_at(hist, f) > 0:
+                local_rank = count_above(hist, f) + 1
+                entry = await self._replica_call(
+                    p,
+                    lambda client: client.evaluate(
+                        Query.kth_most_frequent(local_rank)
+                    ),
+                )
+                return to_global(entry.values[0], p, self._n_parts)
+        raise AssertionError("rank frequency vanished mid-query")
+
+    async def _heavy_hitters_cluster(self, phi: float, total: int, hists):
+        """Objects above ``phi * total`` — the global threshold.
+
+        Phase 1 already bought each partition's histogram, which fixes
+        *how many* qualifiers each holds (``count_above`` the global
+        cut); phase 2 fetches exactly those via per-partition
+        ``top_k`` and merges descending.
+        """
+        if total <= 0:
+            return []
+        threshold = phi * total
+        wanted = [count_above(hist, threshold) for hist in hists]
+        lists: list[list] = [[] for _ in hists]
+
+        async def fetch(p: int, k: int) -> None:
+            result = await self._replica_call(
+                p, lambda client: client.evaluate(Query.top_k(k))
+            )
+            lists[p] = result.values[0]
+
+        await asyncio.gather(
+            *(fetch(p, k) for p, k in enumerate(wanted) if k > 0)
+        )
+        return merge_top_entries(lists, self._n_parts, sum(wanted))
+
+    # -- checkpoint assembly -------------------------------------------
+
+    #: Replica facade backends whose single-profile payload can slot
+    #: into a sharded facade state, and the shard core each maps to.
+    _CORE_OF_BACKEND = {"flat": "flat", "exact": "sprofile"}
+
+    async def _checkpoint_cluster(self) -> dict[str, Any]:
+        """Assemble replica checkpoints into one *sharded* facade state.
+
+        Partition ``p`` of the cluster is, by construction, shard ``p``
+        of a ``ShardedProfiler`` over the same universe — same modulus,
+        same local ids, same per-shard capacity.  So the cluster's
+        checkpoint is simply the standard sharded state with each
+        replica's profile payload in its shard slot: restorable by
+        ``Profiler.from_state`` on any host, no cluster code needed.
+        """
+        states = await asyncio.gather(
+            *(
+                self._replica_call(p, lambda client: client.checkpoint())
+                for p in range(self._n_parts)
+            )
+        )
+        cores = []
+        for p, state in enumerate(states):
+            core = self._CORE_OF_BACKEND.get(state.get("backend"))
+            if core is None:
+                raise CheckpointError(
+                    f"replica {p} backend {state.get('backend')!r} does "
+                    f"not assemble into a sharded checkpoint (serve "
+                    f"replicas on the flat or exact backend)"
+                )
+            cores.append(core)
+        if len(set(cores)) > 1:
+            raise CheckpointError(
+                f"replica cores disagree ({sorted(set(cores))}); a "
+                f"sharded checkpoint restores one core for all shards"
+            )
+        return {
+            "version": API_STATE_VERSION,
+            "backend": "sharded",
+            "keys": "dense",
+            "strict": False,
+            "capacity": self.capacity,
+            "shards": self._n_parts,
+            "catalog": None,
+            "batches": sum(s["batches"] for s in states),
+            "events": sum(s["events"] for s in states),
+            "profile": [s["profile"] for s in states],
+            "core": cores[0],
+        }
+
+    # -- introspection -------------------------------------------------
+
+    async def _describe_cluster(self) -> dict[str, Any]:
+        replicas = await asyncio.gather(
+            *(
+                self._replica_call(p, lambda client: client.health())
+                for p in range(self._n_parts)
+            )
+        )
+        for p, block in enumerate(replicas):
+            block["endpoint"] = list(self._endpoints[p])
+        return {
+            "backend": "cluster",
+            "keys": "dense",
+            "strict": False,
+            "capacity": self.capacity,
+            "partitions": self._n_parts,
+            "replicas": replicas,
+            "server": self.describe_server(),
+        }
+
+    def health_info(self) -> dict[str, Any]:
+        info = super().health_info()
+        info["partitions"] = self._n_parts
+        info["replicas"] = [
+            {
+                "partition": [p, self._n_parts],
+                "endpoint": list(self._endpoints[p]),
+                "connected": p in self._clients,
+                "journal_depth": len(self._journals[p]),
+                "snapshot_seq": self._journals[p].snapshot_seq,
+            }
+            for p in range(self._n_parts)
+        ]
+        return info
+
+    def describe_server(self) -> dict[str, Any]:
+        out = super().describe_server()
+        out["partitions"] = self._n_parts
+        out["snapshot_every"] = self._snapshot_every
+        out["journal_depth"] = sum(len(j) for j in self._journals)
+        out.update(
+            {f"cluster_{k}": v for k, v in self.cluster_stats.items()}
+        )
+        return out

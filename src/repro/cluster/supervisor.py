@@ -1,0 +1,249 @@
+"""Replica process lifecycle: spawn, watch, respawn.
+
+:class:`ReplicaSupervisor` turns ``python -m repro.serve`` into the
+cluster's replica tier: one subprocess per partition, each serving a
+dense non-strict profiler of exactly its partition capacity, each
+publishing its bound port through an atomically written port file
+(``--port-file``; tmp + rename, so a polling supervisor never reads a
+half-written number) and its pid through a pid file (so external
+chaos — a CI kill gate, an operator — can target a replica without
+asking the supervisor).
+
+The router drives recovery through one duck-typed method:
+``await ensure_replica(p)`` returns the partition's current endpoint,
+respawning the process first if it has died.  The supervisor never
+watches proactively — the router notices a dead replica the instant a
+send fails, and whoever notices calls ``ensure_replica``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import CapacityError
+
+__all__ = ["ReplicaSupervisor"]
+
+
+def _partition_capacity(m: int, p: int, n: int) -> int:
+    return (m - p + n - 1) // n
+
+
+class ReplicaSupervisor:
+    """Manage ``n_replicas`` serve subprocesses for one universe.
+
+    Parameters
+    ----------
+    capacity:
+        Global universe size ``m``; replica ``p`` serves
+        ``(m - p + n - 1) // n`` ids.
+    n_replicas:
+        Partition count.
+    workdir:
+        Directory for port files, pid files and per-replica logs.
+    backend:
+        Facade backend each replica opens (default ``auto``; use
+        ``flat``/``exact`` — the cluster checkpoint assembles only
+        single-profile replica states).
+    codec:
+        ``--codec`` forwarded to every replica (``binary`` offers the
+        negotiated binary frame codec; ``json`` forces JSON).
+    serve_args:
+        Extra ``python -m repro.serve`` flags appended verbatim
+        (e.g. ``["--batch-max", "2048"]``).
+    boot_timeout:
+        Seconds to wait for a (re)spawned replica's port file.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        n_replicas: int,
+        *,
+        workdir: str | Path,
+        host: str = "127.0.0.1",
+        backend: str = "auto",
+        codec: str = "binary",
+        serve_args: list[str] | None = None,
+        boot_timeout: float = 30.0,
+        python: str = sys.executable,
+    ) -> None:
+        if n_replicas < 1:
+            raise CapacityError(
+                f"n_replicas must be >= 1, got {n_replicas}"
+            )
+        if capacity < n_replicas:
+            raise CapacityError(
+                f"capacity {capacity} cannot spread over {n_replicas} "
+                f"replicas"
+            )
+        self._capacity = capacity
+        self._n = n_replicas
+        self._workdir = Path(workdir)
+        self._host = host
+        self._backend = backend
+        self._codec = codec
+        self._serve_args = list(serve_args or ())
+        self._boot_timeout = boot_timeout
+        self._python = python
+        self._procs: list[subprocess.Popen | None] = [None] * n_replicas
+        self._ports: list[int | None] = [None] * n_replicas
+        self.respawns = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def port_file(self, p: int) -> Path:
+        return self._workdir / f"replica-{p}.port"
+
+    def pid_file(self, p: int) -> Path:
+        return self._workdir / f"replica-{p}.pid"
+
+    def log_file(self, p: int) -> Path:
+        return self._workdir / f"replica-{p}.log"
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def n_replicas(self) -> int:
+        return self._n
+
+    @property
+    def endpoints(self) -> list[tuple[str, int]]:
+        """Current ``(host, port)`` per partition (after :meth:`start`)."""
+        if any(port is None for port in self._ports):
+            raise RuntimeError("supervisor not started")
+        return [(self._host, port) for port in self._ports]
+
+    async def start(self) -> "ReplicaSupervisor":
+        """Spawn every replica and wait until all ports are published."""
+        self._workdir.mkdir(parents=True, exist_ok=True)
+        for p in range(self._n):
+            self._spawn(p)
+        for p in range(self._n):
+            self._ports[p] = await self._wait_port(p)
+        return self
+
+    def _spawn(self, p: int) -> None:
+        port_file = self.port_file(p)
+        port_file.unlink(missing_ok=True)
+        cmd = [
+            self._python,
+            "-m",
+            "repro.serve",
+            "--capacity",
+            str(_partition_capacity(self._capacity, p, self._n)),
+            "--backend",
+            self._backend,
+            "--host",
+            self._host,
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--codec",
+            self._codec,
+            "--role",
+            "replica",
+            "--partition",
+            f"{p}/{self._n}",
+            *self._serve_args,
+        ]
+        log = open(self.log_file(p), "ab")
+        try:
+            proc = subprocess.Popen(
+                cmd,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+            )
+        finally:
+            log.close()
+        self._procs[p] = proc
+        self.pid_file(p).write_text(f"{proc.pid}\n")
+
+    async def _wait_port(self, p: int) -> int:
+        """Poll for the replica's (atomically written) port file."""
+        deadline = time.monotonic() + self._boot_timeout
+        port_file = self.port_file(p)
+        while time.monotonic() < deadline:
+            proc = self._procs[p]
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"replica {p} exited with code {proc.returncode} "
+                    f"before binding (see {self.log_file(p)})"
+                )
+            try:
+                text = port_file.read_text()
+            except FileNotFoundError:
+                text = ""
+            if text.strip():
+                return int(text.strip())
+            await asyncio.sleep(0.02)
+        raise RuntimeError(
+            f"replica {p} did not publish a port within "
+            f"{self._boot_timeout:g}s (see {self.log_file(p)})"
+        )
+
+    def alive(self, p: int) -> bool:
+        proc = self._procs[p]
+        return proc is not None and proc.poll() is None
+
+    def pid(self, p: int) -> int:
+        proc = self._procs[p]
+        if proc is None:
+            raise RuntimeError(f"replica {p} was never spawned")
+        return proc.pid
+
+    async def ensure_replica(self, p: int) -> tuple[str, int]:
+        """The router's recovery hook: endpoint of a live replica ``p``.
+
+        A dead process is respawned (fresh, empty — the router restores
+        the snapshot and replays the journal on top) and its new port
+        awaited.  A live process just returns its current endpoint —
+        the caller's connection failure may have been transient.
+        """
+        if not 0 <= p < self._n:
+            raise CapacityError(
+                f"partition {p} out of range [0, {self._n})"
+            )
+        if not self.alive(p):
+            self.respawns += 1
+            self._spawn(p)
+            self._ports[p] = await self._wait_port(p)
+        return (self._host, self._ports[p])
+
+    def kill(self, p: int, sig: int = signal.SIGKILL) -> None:
+        """Send ``sig`` to replica ``p`` (the chaos hook for tests)."""
+        os.kill(self.pid(p), sig)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM every live replica and reap them (idempotent)."""
+        for p, proc in enumerate(self._procs):
+            if proc is None or proc.poll() is not None:
+                continue
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            if proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(5.0)
+
+    async def __aenter__(self) -> "ReplicaSupervisor":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.stop()

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 from pathlib import Path
@@ -75,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="object id mode (default: dense integers)",
     )
     parser.add_argument(
+        "--array-engine",
+        action="store_true",
+        help="host the flat backend on its NumPy array engine "
+        "(flat backend only; requires numpy)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="forbid negative frequencies (underflowing wire batches "
@@ -91,7 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file",
         metavar="PATH",
         default=None,
-        help="write the bound port here once listening (for scripts)",
+        help="write the bound port here once listening (for scripts; "
+        "written atomically via tmp + rename)",
+    )
+    parser.add_argument(
+        "--role",
+        default="standalone",
+        choices=("standalone", "replica"),
+        help="how this process is deployed (replica: fronted by a "
+        "repro.cluster router; purely introspective)",
+    )
+    parser.add_argument(
+        "--partition",
+        metavar="P/N",
+        default=None,
+        help="key-space partition this replica owns, as 'index/count' "
+        "(e.g. 1/3); introspective, surfaced by health/describe",
     )
     parser.add_argument(
         "--batch-max",
@@ -135,7 +157,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_partition(text: str | None) -> tuple[int, int] | None:
+    """Parse ``--partition P/N`` into ``(index, count)``."""
+    if text is None:
+        return None
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise SystemExit(
+            f"--partition must look like INDEX/COUNT, got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(
+            f"--partition index must be in [0, count), got {text!r}"
+        )
+    return index, count
+
+
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (tmp + rename).
+
+    Watchers (e.g. the cluster supervisor) poll for this file; the
+    rename guarantees they never observe a half-written number.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(f"{port}\n")
+    os.replace(tmp, target)
+
+
 async def _amain(args: argparse.Namespace) -> int:
+    open_options = {}
+    if args.array_engine:
+        # Only forwarded when requested: array_engine= is a
+        # flat-backend-only option and errors elsewhere.
+        open_options["array_engine"] = True
     profiler = Profiler.open(
         args.capacity,
         backend=args.backend,
@@ -143,6 +200,7 @@ async def _amain(args: argparse.Namespace) -> int:
         workers=args.workers,
         keys=args.keys,
         strict=args.strict,
+        **open_options,
     )
     with profiler:
         server = ProfileServer(
@@ -155,6 +213,8 @@ async def _amain(args: argparse.Namespace) -> int:
             write_timeout=args.write_timeout,
             max_frame=args.max_frame,
             binary=args.codec == "binary",
+            role=args.role,
+            partition=_parse_partition(args.partition),
         )
         await server.start()
         codecs = server.describe_server()["codecs"]
@@ -167,7 +227,7 @@ async def _amain(args: argparse.Namespace) -> int:
             flush=True,
         )
         if args.port_file:
-            Path(args.port_file).write_text(f"{server.port}\n")
+            _write_port_file(args.port_file, server.port)
 
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()

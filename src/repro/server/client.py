@@ -26,6 +26,18 @@ binary, after which ingest batches travel as raw int64 arrays
 back as packed arrays — with a zero-work fast path for batches already
 shaped as an ``(ids, deltas)`` pair of numpy arrays.  ``codec="json"``
 opts out; ``codec="binary"`` makes negotiation failure an error.
+
+Reconnection (``reconnect=True``) makes a client survive its server's
+restarts: dialing retries with capped exponential backoff (including
+the first dial — a client may legitimately come up before its server,
+e.g. the cluster router waiting out a replica respawn), and a dropped
+connection heals transparently on the *next* request, renegotiating
+the codec.  What reconnection never does is resend: a request in
+flight when the connection died has an unknowable fate (the ack was
+lost, not necessarily the write), so in-flight futures and the
+interrupted call fail with a clear :class:`ConnectionError` and the
+caller decides — exactly-once is the caller's contract, at-most-once
+is the client's.
 """
 
 from __future__ import annotations
@@ -34,7 +46,7 @@ import asyncio
 import itertools
 import socket
 import struct
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any
 
 from repro.api.facade import _normalize_batch
@@ -132,15 +144,42 @@ class AsyncProfileClient:
     3
     """
 
-    def __init__(self, reader, writer, hello: dict, codec: str = "json") -> None:
+    def __init__(
+        self,
+        reader,
+        writer,
+        hello: dict,
+        codec: str = "json",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        want_codec: str | None = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        reconnect: bool = False,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        max_attempts: int = 20,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._want = want_codec if want_codec is not None else codec
+        self._max_frame = max_frame
+        self._reconnect = reconnect
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._max_attempts = max_attempts
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._install(reader, writer, hello, codec)
+
+    def _install(self, reader, writer, hello: dict, codec: str) -> None:
+        """Adopt a (re)established connection: streams, codec, reader."""
         self._reader = reader
         self._writer = writer
         self._hello = hello
         self._codec = codec
         self._wrap = encode_binary_json if codec == "binary" else pack_frame
-        self._ids = itertools.count(1)
-        self._pending: dict[int, asyncio.Future] = {}
-        self._closed = False
         self._recv_task = asyncio.create_task(self._recv_loop())
 
     @classmethod
@@ -151,8 +190,48 @@ class AsyncProfileClient:
         *,
         codec: str = "auto",
         max_frame: int = DEFAULT_MAX_FRAME,
+        reconnect: bool = False,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        max_attempts: int = 20,
     ) -> "AsyncProfileClient":
-        """Open a connection, consume the server hello, negotiate codec."""
+        """Open a connection, consume the server hello, negotiate codec.
+
+        With ``reconnect=True`` the dial (this one and every later
+        transparent redial) retries refused/failed connections with
+        exponential backoff from ``backoff_base`` seconds, doubling up
+        to ``backoff_max``, giving up with :class:`ConnectionError`
+        after ``max_attempts`` tries.  Negotiation errors
+        (:class:`ProtocolError`) are configuration problems and never
+        retried.
+        """
+        if reconnect:
+            reader, writer, hello, negotiated = await cls._dial_backoff(
+                host, port, codec, max_frame,
+                backoff_base, backoff_max, max_attempts,
+            )
+        else:
+            reader, writer, hello, negotiated = await cls._dial(
+                host, port, codec, max_frame
+            )
+        return cls(
+            reader,
+            writer,
+            hello,
+            codec=negotiated,
+            host=host,
+            port=port,
+            want_codec=codec,
+            max_frame=max_frame,
+            reconnect=reconnect,
+            backoff_base=backoff_base,
+            backoff_max=backoff_max,
+            max_attempts=max_attempts,
+        )
+
+    @staticmethod
+    async def _dial(host, port, codec, max_frame):
+        """One connection attempt: TCP + server hello + codec handshake."""
         reader, writer = await asyncio.open_connection(host, port)
         try:
             hello = await read_frame(reader, max_frame)
@@ -185,7 +264,26 @@ class AsyncProfileClient:
         except BaseException:
             writer.close()
             raise
-        return cls(reader, writer, hello, codec=negotiated)
+        return reader, writer, hello, negotiated
+
+    @classmethod
+    async def _dial_backoff(
+        cls, host, port, codec, max_frame, base, cap, max_attempts
+    ):
+        """Dial until connected, backing off exponentially (capped)."""
+        delay = base
+        last: Exception | None = None
+        for _attempt in range(max_attempts):
+            try:
+                return await cls._dial(host, port, codec, max_frame)
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, cap)
+        raise ConnectionError(
+            f"could not reach {host}:{port} after {max_attempts} "
+            f"attempts (last error: {last})"
+        ) from last
 
     @property
     def hello(self) -> dict:
@@ -242,11 +340,28 @@ class AsyncProfileClient:
                         break
                 self._resolve(msg)
         except (ProtocolError, ConnectionError, OSError) as exc:
-            self._fail_pending(exc)
+            self._fail_pending(self._dropped(exc))
         finally:
-            self._fail_pending(
-                ConnectionError("server connection closed")
-            )
+            self._fail_pending(self._dropped(None))
+
+    def _dropped(self, cause: Exception | None) -> ConnectionError:
+        """A descriptive in-flight failure (never a bare socket error).
+
+        Requests that were pipelined when the connection died have an
+        unknowable fate — the *ack* was lost, not necessarily the
+        write — so the message spells out that resending is the
+        caller's call, not the client's.
+        """
+        n = len(self._pending)
+        detail = f": {cause}" if cause is not None else ""
+        exc = ConnectionError(
+            f"connection to {self._host}:{self._port} lost with "
+            f"{n} request(s) in flight{detail}; their fate is unknown "
+            f"and the client will not resend"
+        )
+        if cause is not None:
+            exc.__cause__ = cause
+        return exc
 
     def _fail_pending(self, exc: Exception) -> None:
         pending, self._pending = self._pending, {}
@@ -257,23 +372,50 @@ class AsyncProfileClient:
     async def _send_bytes(self, data: bytes, req_id: int) -> asyncio.Future:
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
-        self._writer.write(data)
-        # drain() is the client-side backpressure valve: a no-op while
-        # the transport buffer is shallow, suspends when the server
-        # stops reading.
-        await self._writer.drain()
+        try:
+            self._writer.write(data)
+            # drain() is the client-side backpressure valve: a no-op
+            # while the transport buffer is shallow, suspends when the
+            # server stops reading.
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            raise ConnectionError(
+                f"write to {self._host}:{self._port} failed: {exc}"
+            ) from exc
         return future
 
-    def _check_open(self) -> None:
+    async def _ensure_connected(self) -> None:
+        """Heal a dropped connection before the next request goes out.
+
+        Without ``reconnect=True`` this is just the liveness check a
+        pipelined sender needs (a future registered against a dead
+        receiver would never resolve).  With it, a dead receiver
+        triggers a redial with the same backoff schedule as
+        :meth:`connect`, renegotiating the codec from scratch — the
+        request id counter keeps counting across connections, so stale
+        acks from a broken predecessor can never match a new future.
+        """
         if self._closed:
             raise ConnectionError("client is closed")
-        if self._recv_task.done():
-            # The receiver is gone; a future registered now would
-            # never resolve.
+        if not self._recv_task.done():
+            return
+        if not self._reconnect:
             raise ConnectionError("server connection closed")
+        self._writer.close()
+        reader, writer, hello, negotiated = await self._dial_backoff(
+            self._host,
+            self._port,
+            self._want,
+            self._max_frame,
+            self._backoff_base,
+            self._backoff_max,
+            self._max_attempts,
+        )
+        self._install(reader, writer, hello, negotiated)
 
     async def _send(self, op: str, **fields) -> asyncio.Future:
-        self._check_open()
+        await self._ensure_connected()
         req_id = next(self._ids)
         return await self._send_bytes(
             self._wrap({"id": req_id, "op": op, **fields}), req_id
@@ -297,8 +439,8 @@ class AsyncProfileClient:
         frame; a batch already shaped as ``(ids, deltas)`` numpy arrays
         skips normalization entirely (see :func:`_as_arrays`).
         """
+        await self._ensure_connected()
         if self._codec == "binary":
-            self._check_open()
             ids, deltas = _as_arrays(batch)
             req_id = next(self._ids)
             future = await self._send_bytes(
@@ -330,6 +472,24 @@ class AsyncProfileClient:
     async def checkpoint(self) -> dict[str, Any]:
         """Download the facade checkpoint (``Profiler.to_state()``)."""
         return (await self.request("checkpoint"))["state"]
+
+    async def restore(self, state: dict) -> str:
+        """Upload a checkpoint; the server swaps its hosted profiler.
+
+        A pipelined barrier like ``checkpoint``: every ingest sent
+        before it applies to the old profiler, everything after to the
+        restored one.  Returns the restored backend name.
+        """
+        return (await self.request("restore", state=state))["restored"]
+
+    async def health(self) -> dict[str, Any]:
+        """Cheap liveness probe, answered out of band by the reader.
+
+        Unlike every other op this does NOT wait behind queued ingest
+        work, so it reflects the server's intake side (queue depth,
+        applied seq) even while the flusher is busy.
+        """
+        return (await self.request("health"))["health"]
 
     async def ping(self) -> float:
         """Round-trip time through the ordered pipeline, in seconds."""
@@ -399,39 +559,120 @@ class ProfileClient:
         codec: str = "auto",
         timeout: float | None = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        reconnect: bool = False,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        max_attempts: int = 20,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._want = codec
+        self._timeout = timeout
         self._max_frame = max_frame
+        self._reconnect = reconnect
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._max_attempts = max_attempts
         self._ids = itertools.count(1)
         self._closed = False
+        self._sock: socket.socket | None = None
+        self._file = None
         self._codec = "json"
         self._wrap = pack_frame
         self._ack_buf: list[dict] = []
-        self.hello = self._read_frame()
-        if self.hello is None or self.hello.get("server") != "repro.server":
-            self.close()
-            raise ProtocolError(
-                f"{host}:{port} did not answer with a repro.server hello"
-            )
-        try:
-            if _want_binary(codec, self.hello):
-                # hello must be the connection's first request; its ack
-                # still arrives in JSON, then both directions flip.
-                self.request(
-                    "hello", codec="binary", version=PROTOCOL_VERSION
-                )
-                self._codec = "binary"
-                self._wrap = encode_binary_json
-        except BaseException:
-            self.close()
-            raise
+        if reconnect:
+            self._connect_backoff()
+        else:
+            self._connect()
 
     @property
     def codec(self) -> str:
         """The negotiated wire codec: ``"json"`` or ``"binary"``."""
         return self._codec
+
+    # -- connection management -----------------------------------------
+
+    def _connect(self) -> None:
+        """One dial attempt: TCP + server hello + codec negotiation."""
+        sock = socket.create_connection(
+            (self._host, self._port), self._timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._codec = "json"
+        self._wrap = pack_frame
+        self._ack_buf = []
+        try:
+            self.hello = self._read_frame()
+            if (
+                self.hello is None
+                or self.hello.get("server") != "repro.server"
+            ):
+                raise ProtocolError(
+                    f"{self._host}:{self._port} did not answer with a "
+                    f"repro.server hello"
+                )
+            if _want_binary(self._want, self.hello):
+                # hello must be the connection's first request; its ack
+                # still arrives in JSON, then both directions flip.
+                req_id = next(self._ids)
+                self._file.write(
+                    pack_frame(
+                        {
+                            "id": req_id,
+                            "op": "hello",
+                            "codec": "binary",
+                            "version": PROTOCOL_VERSION,
+                        }
+                    )
+                )
+                self._file.flush()
+                self._await(req_id)
+                self._codec = "binary"
+                self._wrap = encode_binary_json
+        except BaseException:
+            self._teardown()
+            raise
+
+    def _connect_backoff(self) -> None:
+        """Dial until connected, backing off exponentially (capped)."""
+        delay = self._backoff_base
+        last: Exception | None = None
+        for _attempt in range(self._max_attempts):
+            try:
+                self._connect()
+                return
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                sleep(delay)
+                delay = min(delay * 2, self._backoff_max)
+        raise ConnectionError(
+            f"could not reach {self._host}:{self._port} after "
+            f"{self._max_attempts} attempts (last error: {last})"
+        ) from last
+
+    def _teardown(self) -> None:
+        """Discard the socket without a protocol goodbye."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except (OSError, ValueError):
+                pass
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def _ensure_connected(self) -> None:
+        """Heal a dropped connection before the next request goes out."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self._sock is not None:
+            return
+        if not self._reconnect:
+            raise ConnectionError("server connection closed")
+        self._connect_backoff()
 
     def _read_frame(self):
         head = self._file.read(_LEN.size)
@@ -491,29 +732,70 @@ class ProfileClient:
             exc.remote_seq = msg.get("seq")
             raise exc
 
+    def _roundtrip(self, encode) -> dict:
+        """One request/response exchange with the retry policy applied.
+
+        ``encode(req_id)`` builds the frame *after* the connection is
+        known good, so a redial that renegotiates the codec re-encodes
+        accordingly.  A failed WRITE is the one unambiguously safe
+        retry (the frame never left whole, so the server cannot have
+        applied it) and is retried once when reconnecting is enabled;
+        a failure while WAITING is ambiguous (the ack was lost, not
+        necessarily the request) and always raises — the client never
+        resends a request that may have been delivered.
+        """
+        for retry in (False, True):
+            self._ensure_connected()
+            req_id = next(self._ids)
+            data = encode(req_id)
+            try:
+                self._file.write(data)
+                self._file.flush()
+            except (ConnectionError, OSError, ValueError) as exc:
+                self._teardown()
+                if self._reconnect and not retry:
+                    continue
+                raise ConnectionError(
+                    f"write to {self._host}:{self._port} failed: {exc}"
+                ) from exc
+            try:
+                return self._await(req_id)
+            except (ConnectionError, OSError) as exc:
+                self._teardown()
+                raise ConnectionError(
+                    f"connection to {self._host}:{self._port} lost "
+                    f"waiting for a response; the request's fate is "
+                    f"unknown and the client will not resend"
+                ) from exc
+            except ProtocolError as exc:
+                if hasattr(exc, "remote_seq"):
+                    raise  # a server-side rejection; the link is fine
+                self._teardown()
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def request(self, op: str, **fields) -> dict:
         """Send one request and block for its response payload."""
-        if self._closed:
-            raise ConnectionError("client is closed")
-        req_id = next(self._ids)
-        self._file.write(self._wrap({"id": req_id, "op": op, **fields}))
-        self._file.flush()
-        return self._await(req_id)
+        return self._roundtrip(
+            lambda rid: self._wrap({"id": rid, "op": op, **fields})
+        )
 
     # -- the facade verbs ----------------------------------------------
 
+    def _encode_ingest(self, req_id: int, batch) -> bytes:
+        if self._codec == "binary":
+            ids, deltas = _as_arrays(batch)
+            return encode_binary_ingest(req_id, ids, deltas)
+        pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
+        return self._wrap(
+            {"id": req_id, "op": "ingest", "events": pairs}
+        )
+
     def ingest(self, batch) -> int:
         """Apply one wire batch; return net unit events applied."""
-        if self._codec == "binary":
-            if self._closed:
-                raise ConnectionError("client is closed")
-            ids, deltas = _as_arrays(batch)
-            req_id = next(self._ids)
-            self._file.write(encode_binary_ingest(req_id, ids, deltas))
-            self._file.flush()
-            return self._await(req_id)["applied"]
-        pairs = [[obj, d] for obj, d in _normalize_batch(batch)]
-        return self.request("ingest", events=pairs)["applied"]
+        return self._roundtrip(
+            lambda rid: self._encode_ingest(rid, batch)
+        )["applied"]
 
     def evaluate(self, *queries: Query) -> EvalResult:
         """The fused multi-query plan, one round trip."""
@@ -530,6 +812,14 @@ class ProfileClient:
 
     def checkpoint(self) -> dict[str, Any]:
         return self.request("checkpoint")["state"]
+
+    def restore(self, state: dict) -> str:
+        """Upload a checkpoint; the server swaps its hosted profiler."""
+        return self.request("restore", state=state)["restored"]
+
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness probe, answered out of band by the reader."""
+        return self.request("health")["health"]
 
     def ping(self) -> float:
         start = perf_counter()
@@ -555,6 +845,8 @@ class ProfileClient:
         if self._closed:
             return
         self._closed = True
+        if self._sock is None:
+            return
         try:
             req_id = next(self._ids)
             self._file.write(self._wrap({"id": req_id, "op": "close"}))
@@ -568,11 +860,7 @@ class ProfileClient:
         except (ProtocolError, ConnectionError, OSError, ValueError):
             pass
         finally:
-            try:
-                self._file.close()
-            except (OSError, ValueError):
-                pass
-            self._sock.close()
+            self._teardown()
 
     def __enter__(self) -> "ProfileClient":
         return self

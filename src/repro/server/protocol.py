@@ -75,6 +75,21 @@ Operations
 ``ping``
     Round-trip liveness probe answering ``{"pong": true}``; it rides
     the ordered pipeline, so its latency includes the queue.
+``health``
+    Cheap introspection (role, partition, backend, capacity, applied
+    ``seq``, queue depth) answered **out of band** by the connection's
+    reader — the one op that does *not* ride the ordered pipeline, so
+    a backed-up queue cannot delay a heartbeat.  Pipelining clients
+    match by id, which makes the reordering safe; strictly
+    request/response clients see no difference.
+``restore``
+    ``{"state": {...}}`` — upload a facade checkpoint and swap it in
+    as the hosted profiler.  Rides the ordered pipeline (a barrier:
+    prior ingests apply to the old state, later ones to the restored
+    one); refused unless keys mode, strict flag and capacity match the
+    hosted profiler.  The recovery half of ``checkpoint``: the
+    :mod:`repro.cluster` router brings a replacement replica current
+    with ``restore`` + seq-ordered replay of journaled wire batches.
 ``close``
     Graceful connection shutdown: the server flushes every batch
     queued before it, acks ``{"closing": true}`` and closes the

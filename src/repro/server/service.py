@@ -26,10 +26,13 @@ other batch in the flush still lands.  Each ingest ack carries ``seq``
 — the batch's position in this serialization order — so clients (and
 the equivalence property tests) can replay the exact history.
 
-Reads (``evaluate`` / ``describe`` / ``checkpoint`` / ``ping``) ride
-the same queue, acting as flush barriers: a query observes precisely
-the wire batches enqueued before it, i.e. always a consistent batch
-boundary, never half a flush.
+Reads (``evaluate`` / ``describe`` / ``checkpoint`` / ``ping``) and
+the checkpoint-upload ``restore`` ride the same queue, acting as flush
+barriers: a query observes precisely the wire batches enqueued before
+it, i.e. always a consistent batch boundary, never half a flush.  The
+one exception is ``health`` — the liveness probe is answered directly
+by the connection's reader, out of band, precisely so a backed-up
+pipeline cannot delay it.
 
 Connections speak JSON until they negotiate otherwise: a ``hello``
 request — valid only as a connection's first request — may select the
@@ -337,6 +340,7 @@ class ServerStats:
     max_flush_events: int = 0
     queries: int = 0
     checkpoints: int = 0
+    restores: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -452,6 +456,12 @@ class ProfileServer:
         ``True`` (the default) binary is only *offered* if numpy is
         importable and the hosted profiler is dense-keyed (hashable
         keys cannot ride raw int64 arrays); JSON always works.
+    role / partition:
+        Deployment annotations surfaced through the ``health`` op and
+        ``describe()``: ``role`` is ``"standalone"`` (default) or
+        ``"replica"`` (one partition of a :mod:`repro.cluster` tier),
+        ``partition`` is the owned ``(index, n_partitions)`` slot.
+        Purely introspective — the server behaves identically.
     """
 
     def __init__(
@@ -466,6 +476,8 @@ class ProfileServer:
         write_timeout: float = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
         binary: bool = True,
+        role: str = "standalone",
+        partition: tuple[int, int] | None = None,
     ) -> None:
         if batch_max < 1:
             raise CapacityError(f"batch_max must be >= 1, got {batch_max}")
@@ -489,6 +501,8 @@ class ProfileServer:
             profiler.keys == "dense" and self._strategy != "approx"
         )
         self._binary = bool(binary) and binary_supported() and self._dense
+        self._role = role
+        self._partition = tuple(partition) if partition else None
         self._stats = ServerStats()
         self._seq = 0
         self._queue: asyncio.Queue | None = None
@@ -566,11 +580,20 @@ class ProfileServer:
         if self._flusher is not None:
             await self._queue.put(_STOP)
             await self._flusher
+        await self._before_close_connections()
         for conn in list(self._conns):
             await conn.close()
         self._conns.clear()
         if self._stopped is not None:
             self._stopped.set()
+
+    async def _before_close_connections(self) -> None:
+        """Drain hook between the final flush and closing the writers.
+
+        The base server has nothing left to wait for once the flusher
+        drained; the cluster router overrides this to await the replica
+        acks still in flight so every accepted wire batch is acked
+        before the client sockets close."""
 
     async def __aenter__(self) -> "ProfileServer":
         return await self.start()
@@ -586,21 +609,7 @@ class ProfileServer:
         self._stats.connections_total += 1
         task = asyncio.current_task()
         self._reader_tasks.add(task)
-        await conn.send(
-            pack_frame(
-                {
-                    "server": "repro.server",
-                    "version": PROTOCOL_VERSION,
-                    "backend": self._profiler.backend_name,
-                    "keys": self._profiler.keys,
-                    "strict": self._profiler.strict,
-                    "capacity": self._profiler.capacity,
-                    "codecs": (
-                        ["json", "binary"] if self._binary else ["json"]
-                    ),
-                }
-            )
-        )
+        await conn.send(pack_frame(self._greeting()))
         close_enqueued = False
         try:
             while conn.alive and not self._closing:
@@ -616,6 +625,25 @@ class ProfileServer:
                     return
                 if item is None:
                     return
+                if item.kind == "health":
+                    # Health is the liveness probe: answered here, out
+                    # of band, never through the (possibly backed-up)
+                    # pipeline — that immediacy is its entire point.
+                    # Pipelining clients match responses by id, so the
+                    # reordering past queued requests is safe; it is
+                    # also the documented deviation from the otherwise
+                    # strictly ordered wire contract.
+                    await conn.send(
+                        self._pack_response(
+                            conn,
+                            {
+                                "id": item.req_id,
+                                "ok": True,
+                                "health": self.health_info(),
+                            },
+                        )
+                    )
+                    continue
                 await self._enqueue(item)
                 if item.kind == "close":
                     close_enqueued = True
@@ -703,10 +731,15 @@ class ProfileServer:
                     else "numpy is not importable on the server"
                 )
             )
-        # Flip rx now, in the reader: the client may pipeline binary
-        # frames immediately behind its hello.  tx flips in _execute,
-        # after the JSON hello ack is written.
+        # Flip both directions now, in the reader: the client may
+        # pipeline binary frames immediately behind its hello, and the
+        # reader itself answers health out of band — flipping tx in
+        # the flusher would let a health response race the flip and go
+        # out as JSON on a binary connection.  The hello ack is packed
+        # explicitly as JSON in _execute, and every pipelined response
+        # is behind the hello item, so nothing else can jump the flip.
         conn.rx_codec = "binary"
+        conn.tx_codec = "binary"
         return _Item("hello", conn, req_id, "binary")
 
     def _decode_request(self, conn, req_id, msg: dict) -> _Item:
@@ -721,8 +754,16 @@ class ProfileServer:
         if op == "evaluate":
             queries = decode_queries(msg.get("queries"))
             return _Item("evaluate", conn, req_id, queries)
-        if op in ("describe", "checkpoint", "ping", "close"):
+        if op in ("describe", "checkpoint", "ping", "close", "health"):
             return _Item(op, conn, req_id)
+        if op == "restore":
+            state = msg.get("state")
+            if not isinstance(state, dict):
+                raise ProtocolError(
+                    f"restore 'state' must be a checkpoint object, got "
+                    f"{type(state).__name__}"
+                )
+            return _Item("restore", conn, req_id, state)
         if op == "hello":
             raise ProtocolError(
                 "hello must be the first request on a connection"
@@ -965,8 +1006,9 @@ class ProfileServer:
             )
             return
         if kind == "hello":
-            # Ack in the codec the client is still reading (JSON),
-            # then flip tx: every later frame to this client is binary.
+            # Ack explicitly in JSON — the codec the client is still
+            # reading; tx already flipped at decode time (see
+            # _decode_hello), so every later frame is binary.
             await conn.send(
                 pack_frame(
                     {
@@ -978,7 +1020,6 @@ class ProfileServer:
                 )
             )
             if item.data == "binary":
-                conn.tx_codec = "binary"
                 self._stats.binary_connections += 1
             return
         try:
@@ -1005,6 +1046,13 @@ class ProfileServer:
                     "seq": self._seq,
                     "state": self._profiler.to_state(),
                 }
+            elif kind == "restore":
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "restored": self._restore_state(item.data),
+                }
             elif kind == "ping":
                 payload = {
                     "id": item.req_id,
@@ -1024,9 +1072,100 @@ class ProfileServer:
             }
         await conn.send(self._pack_response(conn, payload))
 
+    def _restore_state(self, state: dict) -> str:
+        """Swap the hosted profiler for a checkpoint (``restore`` op).
+
+        The recovery half of the checkpoint pair: a replacement replica
+        is brought current by uploading the partition's last snapshot
+        here, then replaying the journaled wire batches behind it on
+        the same (ordered) connection.  Riding the pipeline makes the
+        swap a natural barrier — every earlier wire batch is applied to
+        the old profiler and acked before the swap, every later one
+        lands on the restored state.
+
+        The restored facade must match the hosted one on keys mode,
+        strict flag and capacity: connections negotiated their codec
+        against those (and the cluster's partition arithmetic depends
+        on capacity), so a mismatched state is refused whole.
+        """
+        replacement = Profiler.from_state(state)
+        current = self._profiler
+        # A dynamic universe's "capacity" is just its registered-key
+        # count, not an identity — a fresh dynamic replica (capacity 0)
+        # must accept any dynamic checkpoint.
+        both_dynamic = isinstance(
+            replacement.backend, DynamicProfiler
+        ) and isinstance(current.backend, DynamicProfiler)
+        if (
+            replacement.keys != current.keys
+            or bool(replacement.strict) != bool(current.strict)
+            or (
+                replacement.capacity != current.capacity
+                and not both_dynamic
+            )
+        ):
+            replacement.close()
+            raise CheckpointError(
+                f"restore state (keys={replacement.keys!r}, "
+                f"strict={replacement.strict}, "
+                f"capacity={replacement.capacity}) does not match the "
+                f"hosted profiler (keys={current.keys!r}, "
+                f"strict={current.strict}, capacity={current.capacity})"
+            )
+        strategy = _resolve_strategy(replacement)
+        dense = replacement.keys == "dense" and strategy != "approx"
+        if dense != self._dense:
+            replacement.close()
+            raise CheckpointError(
+                "restore would change the wire id contract "
+                "(dense-keyed vs hashable) under live connections"
+            )
+        current.close()
+        self._profiler = replacement
+        self._strategy = strategy
+        self._stats.restores += 1
+        return replacement.backend_name
+
+    def _greeting(self) -> dict[str, Any]:
+        """The unsolicited hello frame sent on every new connection."""
+        greeting = {
+            "server": "repro.server",
+            "version": PROTOCOL_VERSION,
+            "backend": self._profiler.backend_name,
+            "keys": self._profiler.keys,
+            "strict": self._profiler.strict,
+            "capacity": self._profiler.capacity,
+            "codecs": ["json", "binary"] if self._binary else ["json"],
+        }
+        if self._role != "standalone":
+            greeting["role"] = self._role
+        return greeting
+
+    def health_info(self) -> dict[str, Any]:
+        """The cheap liveness/progress block behind the ``health`` op.
+
+        Everything a cluster heartbeat (or ``repro.cluster --status``)
+        needs without touching the engine or the pipeline: identity,
+        the applied ``seq`` high-water mark, and queue depth.
+        """
+        return {
+            "role": self._role,
+            "partition": (
+                list(self._partition) if self._partition else None
+            ),
+            "backend": self._profiler.backend_name,
+            "keys": self._profiler.keys,
+            "strict": self._profiler.strict,
+            "capacity": self._profiler.capacity,
+            "seq": self._seq,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "connections": len(self._conns),
+            "draining": self._stopping,
+        }
+
     def describe_server(self) -> dict[str, Any]:
         """The service block of ``describe()``: config + counters."""
-        return {
+        out = {
             "protocol_version": PROTOCOL_VERSION,
             "strategy": self._strategy,
             "codecs": ["json", "binary"] if self._binary else ["json"],
@@ -1038,6 +1177,12 @@ class ProfileServer:
             "connections_open": len(self._conns),
             **self._stats.as_dict(),
         }
+        if self._role != "standalone":
+            out["role"] = self._role
+            out["partition"] = (
+                list(self._partition) if self._partition else None
+            )
+        return out
 
 
 # ----------------------------------------------------------------------

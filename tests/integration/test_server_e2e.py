@@ -138,13 +138,21 @@ BACKEND_ROWS = [
 
 
 class TestCheckpointDownloadMatrix:
+    @pytest.mark.parametrize("codec", ["json", "auto"])
     @pytest.mark.parametrize("make_profiler,events", BACKEND_ROWS)
     def test_wire_checkpoint_restores_identically(
-        self, make_profiler, events
+        self, make_profiler, events, codec
     ):
         profiler = make_profiler()
         with ServerThread(profiler) as server:
-            with ProfileClient(server.host, server.port) as client:
+            with ProfileClient(
+                server.host, server.port, codec=codec
+            ) as client:
+                offered = "binary" in (client.hello.get("codecs") or [])
+                if codec == "auto" and offered:
+                    # Where the server offers binary, auto negotiates
+                    # it; the checkpoint must ride it identically.
+                    assert client.codec == "binary"
                 client.ingest(events)
                 state = json.loads(json.dumps(client.checkpoint()))
                 mode = client.mode()
@@ -159,3 +167,30 @@ class TestCheckpointDownloadMatrix:
             ]
         finally:
             restored.close()
+
+    @pytest.mark.parametrize("codec", ["json", "auto"])
+    @pytest.mark.parametrize("make_profiler,events", BACKEND_ROWS)
+    def test_wire_restore_round_trip(self, make_profiler, events, codec):
+        """Download from server A, upload into server B over the wire:
+        the restored service answers like the original."""
+        profiler = make_profiler()
+        with ServerThread(profiler) as server:
+            with ProfileClient(
+                server.host, server.port, codec=codec
+            ) as client:
+                client.ingest(events)
+                state = client.checkpoint()
+                mode = client.mode()
+        target = make_profiler()
+        with ServerThread(target) as server:
+            with ProfileClient(
+                server.host, server.port, codec=codec
+            ) as client:
+                client.restore(state)
+                for key, count in events:
+                    assert client.frequency(key) == count
+                assert client.mode().frequency == mode.frequency
+                # The restored state keeps serving ingest.
+                key0, count0 = events[0]
+                assert client.ingest([(key0, 1)]) == 1
+                assert client.frequency(key0) == count0 + 1

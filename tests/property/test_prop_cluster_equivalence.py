@@ -1,0 +1,231 @@
+"""Property: the cluster is indistinguishable from one facade — even
+through replica crashes.
+
+Random event streams are pushed through an in-process
+:class:`~repro.cluster.router.ClusterRouter` fronting in-process
+replica servers, with hypothesis choosing where (and whether) replicas
+are hard-killed mid-stream — connections aborted, flusher cancelled,
+state dropped, exactly what SIGKILL leaves behind.  A duck-typed
+supervisor respawns empty replicas; recovery is the router's
+snapshot-restore + seq-replay.  The reference is a directly driven
+facade fed the same wire batches in ack-``seq`` order: accepted and
+rejected batches must match (same error types, same ``applied``
+counts), the assembled cluster checkpoint must restore to the same
+dense frequency array bit for bit, and the merged dashboard must agree
+(tie-arbitrary kinds compared by frequency).
+
+This is the acceptance property of the replicated tier: zero
+acknowledged-event loss, no double counts, whatever dies.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Profiler, Query
+from repro.cluster import ClusterRouter, partition_capacity
+from repro.server import AsyncProfileClient, ProfileServer
+
+DASHBOARD = (
+    Query.total(),
+    Query.active_count(),
+    Query.mode(),
+    Query.least(),
+    Query.max_frequency(),
+    Query.min_frequency(),
+    Query.histogram(),
+    Query.median(),
+    Query.quantile(0.25),
+    Query.top_k(3),
+    Query.support(1),
+)
+
+
+class InProcessSupervisor:
+    """Replica tier in this process, with a SIGKILL-alike crash hook."""
+
+    def __init__(self, m, n_parts):
+        self.m = m
+        self.n = n_parts
+        self.cells = [None] * n_parts
+        self.respawns = 0
+
+    async def start(self):
+        for p in range(self.n):
+            await self._spawn(p)
+        return self
+
+    async def _spawn(self, p):
+        profiler = Profiler.open(
+            partition_capacity(self.m, p, self.n), backend="flat"
+        )
+        server = ProfileServer(
+            profiler,
+            port=0,
+            role="replica",
+            partition=(p, self.n),
+            linger_ms=0.2,
+        )
+        await server.start()
+        self.cells[p] = (server, profiler)
+
+    @property
+    def endpoints(self):
+        return [(srv.host, srv.port) for srv, _ in self.cells]
+
+    async def ensure_replica(self, p):
+        server, _profiler = self.cells[p]
+        if server._server is None or not server._server.is_serving():
+            self.respawns += 1
+            await self._spawn(p)
+            server, _profiler = self.cells[p]
+        return (server.host, server.port)
+
+    async def crash(self, p):
+        """What SIGKILL leaves: aborted sockets, no drain, state gone."""
+        server, profiler = self.cells[p]
+        server._server.close()
+        for task in list(server._reader_tasks):
+            task.cancel()
+        if server._flusher is not None:
+            server._flusher.cancel()
+        for conn in list(server._conns):
+            conn.writer.transport.abort()
+        profiler.close()
+
+    async def stop(self):
+        for server, profiler in self.cells:
+            try:
+                await server.stop()
+            except Exception:  # noqa: BLE001 - crashed cells
+                pass
+            profiler.close()
+
+
+async def drive_cluster(m, n_parts, batches, crashes, snapshot_every):
+    """Push ``batches`` through a router, crashing replicas where
+    ``crashes`` says; return per-batch outcomes + final cluster view."""
+    supervisor = await InProcessSupervisor(m, n_parts).start()
+    router = ClusterRouter(
+        m,
+        supervisor=supervisor,
+        snapshot_every=snapshot_every,
+        port=0,
+        batch_max=4,
+        linger_ms=1.0,
+    )
+    await router.start()
+    client = await AsyncProfileClient.connect(router.host, router.port)
+    try:
+        outcomes = []
+        for i, batch in enumerate(batches):
+            if i in crashes:
+                await supervisor.crash(crashes[i])
+            try:
+                # Awaited one at a time: ack order == issue order, so
+                # the replay reference is simply outcome order.
+                ack = await client.ingest(batch)
+            except Exception as exc:  # noqa: BLE001 - compared by type
+                outcomes.append((batch, None, type(exc)))
+            else:
+                outcomes.append((batch, ack, None))
+        state = await client.checkpoint()
+        answers = await client.evaluate(*DASHBOARD)
+        return outcomes, state, answers
+    finally:
+        await client.aclose()
+        await router.stop()
+        await supervisor.stop()
+
+
+def replay_reference(m, outcomes):
+    """One facade fed the accepted batches in ack order."""
+    reference = Profiler.open(m, backend="flat")
+    for batch, applied, error_type in outcomes:
+        if error_type is None:
+            assert reference.ingest(batch) == applied
+        else:
+            try:
+                reference.ingest(batch)
+            except error_type:
+                pass
+            else:
+                raise AssertionError(
+                    f"cluster rejected {batch} with "
+                    f"{error_type.__name__} but the facade accepted it"
+                )
+    return reference
+
+
+def assert_dashboard_matches(answers, reference):
+    expected = reference.evaluate(*DASHBOARD)
+    for query, value in answers:
+        ref_value = expected[query]
+        if query.kind in ("mode", "least"):
+            # Tie-arbitrary example: compare by (frequency, count) and
+            # check the named object really has that frequency.
+            assert (value.frequency, value.count) == (
+                ref_value.frequency,
+                ref_value.count,
+            ), query
+            assert reference.frequency(value.example) == value.frequency
+        elif query.kind == "top_k":
+            assert [e.frequency for e in value] == [
+                e.frequency for e in ref_value
+            ], query
+            for entry in value:
+                assert reference.frequency(entry.obj) == entry.frequency
+        else:
+            assert value == ref_value, query
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=14),
+    n_parts=st.integers(min_value=1, max_value=3),
+    snapshot_every=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_cluster_bit_identical_through_crashes(
+    capacity, n_parts, snapshot_every, data
+):
+    n_parts = min(n_parts, capacity)
+    # Out-of-range ids included: the router must reject them whole,
+    # before any replica sees a byte.
+    keys = st.integers(min_value=-2, max_value=capacity + 2)
+    pair = st.tuples(keys, st.integers(min_value=-2, max_value=3))
+    batches = data.draw(
+        st.lists(
+            st.lists(pair, min_size=1, max_size=6),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    # Up to two crash points: before batch i, kill replica p.
+    crashes = dict(
+        data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=len(batches) - 1),
+                    st.integers(min_value=0, max_value=n_parts - 1),
+                ),
+                max_size=2,
+            )
+        )
+    )
+
+    outcomes, state, answers = asyncio.run(
+        drive_cluster(capacity, n_parts, batches, crashes, snapshot_every)
+    )
+    reference = replay_reference(capacity, outcomes)
+    try:
+        # Bit-identical state, via the assembled sharded checkpoint.
+        restored = Profiler.from_state(state)
+        try:
+            assert restored.frequencies() == reference.frequencies()
+        finally:
+            restored.close()
+        assert_dashboard_matches(answers, reference)
+    finally:
+        reference.close()

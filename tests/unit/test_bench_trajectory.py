@@ -446,3 +446,111 @@ class TestCommittedServeArtifact:
                 assert entry["binary_speedup"] > 1.0
                 assert entry["binary_p50_ms"] > 0
                 assert entry["binary_p99_ms"] > 0
+
+
+def cluster_path(cpus, speedups):
+    """Fabricated cluster entry: {replica count -> speedup}."""
+    max_r = max(int(r) for r in speedups)
+    return {
+        "workload": "cluster (fabricated)",
+        "events": 16384,
+        "wire_batch": 1024,
+        "batch_max": 1024,
+        "linger_ms": 1.0,
+        "snapshot_every": 8,
+        "codec": "binary",
+        "cpus": cpus,
+        "max_replicas": max_r,
+        "direct_eps": 2e6,
+        "replicas": {
+            str(r): {"eps": 2e6 * s, "speedup": s}
+            for r, s in speedups.items()
+        },
+        "speedup": speedups[max_r],
+    }
+
+
+class TestClusterGate:
+    """Cluster ratios gate per replica count, within the core budget."""
+
+    def test_replica_ratios_within_cpu_budget_are_gated(self):
+        base = payload()
+        base["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}
+        )
+        bad = payload()
+        bad["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.2, 4: 1.4}
+        )
+        problems = check_regressions(bad, base, 0.30)
+        assert len(problems) == 1
+        assert "cluster.r2" in problems[0]
+
+    def test_replica_ratios_beyond_cpu_budget_are_ignored(self):
+        """A 1-core box hosting 4 replica subprocesses measures
+        scheduling overhead, not replication — its r2/r4 ratios must
+        not gate anything."""
+        base = payload()
+        base["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}
+        )
+        current = payload()
+        current["paths"]["cluster"] = cluster_path(
+            1, {1: 0.5, 2: 0.1, 4: 0.05}
+        )
+        assert check_regressions(current, base, 0.30) == []
+
+    def test_headline_speedup_is_not_a_gate_key(self):
+        from repro.bench.trajectory import _speedup_entries
+
+        entries = dict(
+            _speedup_entries(
+                {
+                    "scale": "full",
+                    "paths": {
+                        "cluster": cluster_path(
+                            2, {1: 0.5, 2: 0.8, 4: 1.4}
+                        )
+                    },
+                }
+            )
+        )
+        assert "full.cluster.r1.speedup" in entries
+        assert "full.cluster.r2.speedup" in entries
+        assert "full.cluster.r4.speedup" not in entries
+        assert "full.cluster.speedup" not in entries
+
+    def test_cluster_scale_knobs_exist_at_both_scales(self):
+        for scale in ("full", "quick"):
+            cfg = SCALES[scale]
+            assert cfg["cluster_m"] >= cfg["cluster_wire"]
+            assert cfg["cluster_events"] % cfg["cluster_wire"] == 0
+            # The timed stream must cross several snapshot cycles so
+            # the steady-state recovery-machinery price is measured.
+            frames = cfg["cluster_events"] // cfg["cluster_wire"]
+            assert frames >= 2 * cfg["cluster_snapshot_every"]
+
+
+class TestCommittedClusterArtifact:
+    def test_repo_baseline_records_the_replicated_tier(self):
+        """The committed artifact carries the cluster path at both
+        scales: router + 1/2/4 replicas vs direct serve, with the
+        machine's core count scoping what the gate may compare."""
+        import json as json_mod
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        data = json_mod.loads((root / "BENCH_core.json").read_text())
+        for section in (data["paths"], data["quick"]["paths"]):
+            clu = section["cluster"]
+            assert clu["cpus"] >= 1
+            assert set(clu["replicas"]) == {"1", "2", "4"}
+            assert clu["direct_eps"] > 0
+            assert clu["snapshot_every"] >= 1
+            for entry in clu["replicas"].values():
+                assert entry["eps"] > 0
+                assert entry["speedup"] > 0
+            assert (
+                clu["speedup"]
+                == clu["replicas"][str(clu["max_replicas"])]["speedup"]
+            )

@@ -1,0 +1,304 @@
+"""Unit tests for the cluster tier: journal, partition/merge algebra,
+router validation, and the two CLIs' cluster-facing pieces.
+
+The merge helpers are pinned against :class:`ShardedProfiler` ground
+truth — partition ``p`` of the cluster is shard ``p`` of a sharded
+engine over the same universe by construction, so every merged answer
+must match the in-process engine bit for bit.  Full wire-level
+equivalence (with crashes) lives in
+``tests/property/test_prop_cluster_equivalence.py`` and
+``tests/integration/test_cluster_e2e.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import Profiler, Query
+from repro.cluster import (
+    ClusterRouter,
+    PartitionJournal,
+    partition_capacity,
+)
+from repro.cluster.merge import (
+    count_above,
+    count_at,
+    merge_extremes,
+    merge_histograms,
+    merge_top_entries,
+    partition_batch,
+    rank_frequency,
+)
+from repro.errors import CapacityError
+from repro.server import ProfileServer
+from repro.server.cli import _parse_partition, _write_port_file
+from repro.server.protocol import ProtocolError
+
+
+class TestPartitionJournal:
+    def test_append_entries_clear_roundtrip(self):
+        journal = PartitionJournal(0)
+        journal.append(3, [1, 2], [1, -1])
+        journal.append(5, [0], [2])
+        assert [e.seq for e in journal.entries()] == [3, 5]
+        assert len(journal) == 2
+        assert journal.last_seq == 5
+        assert journal.clear(5) == 2
+        assert len(journal) == 0
+        assert journal.snapshot_seq == 5
+        assert journal.last_seq == 5
+
+    def test_seq_must_be_monotonic(self):
+        journal = PartitionJournal(0)
+        journal.append(4, [0], [1])
+        with pytest.raises(ValueError, match="monotonic"):
+            journal.append(4, [1], [1])
+        with pytest.raises(ValueError, match="monotonic"):
+            journal.append(2, [1], [1])
+
+    def test_clear_refuses_partial_coverage(self):
+        journal = PartitionJournal(0)
+        journal.append(2, [0], [1])
+        journal.append(7, [1], [1])
+        with pytest.raises(ValueError, match="does not cover"):
+            journal.clear(5)
+        # The tape survives a refused truncation intact.
+        assert [e.seq for e in journal.entries()] == [2, 7]
+
+    def test_boot_state_is_the_implicit_empty_snapshot(self):
+        journal = PartitionJournal(2)
+        assert journal.snapshot_seq == 0
+        assert journal.last_seq == 0
+        assert list(journal.entries()) == []
+
+
+class TestPartitionBatch:
+    def test_pairs_split_by_modulus(self):
+        parts, applied = partition_batch(
+            [(0, 1), (1, 2), (3, 1), (4, -1)], 3, 9
+        )
+        assert set(parts) == {0, 1}
+        ids0, deltas0 = parts[0]
+        assert list(ids0) == [0, 1] and list(deltas0) == [1, 1]
+        ids1, deltas1 = parts[1]
+        assert list(ids1) == [0, 1] and list(deltas1) == [2, -1]
+        assert applied == 5
+
+    def test_applied_matches_facade_ingest(self):
+        # Opposing deltas on one id cancel (net unit events).
+        batch = [(5, 2), (5, -2), (7, 1), (2, 3)]
+        with Profiler.open(9, backend="flat") as ref:
+            expected = ref.ingest(batch)
+        _parts, applied = partition_batch(batch, 2, 9)
+        assert applied == expected
+
+    def test_out_of_range_rejects_whole_batch(self):
+        with pytest.raises(
+            CapacityError, match=r"object id 9 out of range \[0, 9\)"
+        ):
+            partition_batch([(1, 1), (9, 1)], 3, 9)
+        with pytest.raises(CapacityError, match="out of range"):
+            partition_batch([(-1, 1)], 3, 9)
+
+    def test_binary_columns_split_identically(self):
+        np = pytest.importorskip("numpy")
+        from repro.server.protocol import ArrayBatch
+
+        ids = np.array([0, 1, 3, 4], dtype=np.int64)
+        deltas = np.array([1, 2, 1, -1], dtype=np.int64)
+        parts, applied = partition_batch(ArrayBatch(ids, deltas), 3, 9)
+        ref_parts, ref_applied = partition_batch(
+            list(zip(ids.tolist(), deltas.tolist())), 3, 9
+        )
+        assert applied == ref_applied
+        assert set(parts) == set(ref_parts)
+        for p in parts:
+            assert list(parts[p][0]) == list(ref_parts[p][0])
+            assert list(parts[p][1]) == list(ref_parts[p][1])
+
+    def test_empty_batch(self):
+        parts, applied = partition_batch([], 3, 9)
+        assert parts == {} and applied == 0
+
+
+def partitioned_reference(m, n_parts, events):
+    """Per-partition flat facades fed the partition split of ``events``,
+    plus one whole-universe facade — the merge helpers' ground truth."""
+    locals_ = [
+        Profiler.open(partition_capacity(m, p, n_parts), backend="flat")
+        for p in range(n_parts)
+    ]
+    whole = Profiler.open(m, backend="flat")
+    for x, d in events:
+        locals_[x % n_parts].ingest([(x // n_parts, d)])
+        whole.ingest([(x, d)])
+    return locals_, whole
+
+
+EVENTS = [(0, 3), (1, 1), (2, 4), (3, 1), (4, 1), (5, 2), (6, 4),
+          (2, -2), (8, 1), (9, 1), (6, 1), (0, 1)]
+
+
+class TestMergeAlgebra:
+    @pytest.fixture(scope="class")
+    def ground(self):
+        locals_, whole = partitioned_reference(10, 3, EVENTS)
+        yield locals_, whole
+        for prof in locals_:
+            prof.close()
+        whole.close()
+
+    def test_extremes(self, ground):
+        locals_, whole = ground
+        for kind, desc in (("mode", True), ("least", False)):
+            merged = merge_extremes(
+                [p.evaluate(Query(kind)).values[0] for p in locals_],
+                3,
+                desc=desc,
+            )
+            ref = whole.evaluate(Query(kind)).values[0]
+            assert (merged.frequency, merged.count) == (
+                ref.frequency, ref.count,
+            )
+            # The example maps back to a global id at that frequency.
+            assert whole.frequency(merged.example) == merged.frequency
+
+    def test_histogram(self, ground):
+        locals_, whole = ground
+        merged = merge_histograms(
+            [p.histogram() for p in locals_]
+        )
+        assert merged == whole.histogram()
+
+    def test_rank_walks_match_order_statistics(self, ground):
+        locals_, whole = ground
+        hist = merge_histograms([p.histogram() for p in locals_])
+        m = 10
+        assert rank_frequency(hist, (m - 1) // 2) == (
+            whole.median_frequency()
+        )
+        for rank in range(m):
+            assert rank_frequency(hist, rank) == sorted(
+                whole.frequencies()
+            )[rank]
+        with pytest.raises(CapacityError, match="rank 10 out of range"):
+            rank_frequency(hist, m)
+
+    def test_top_k_merge(self, ground):
+        locals_, whole = ground
+        for k in (0, 1, 3, 10, 15):
+            merged = merge_top_entries(
+                [p.top_k(min(k, p.capacity)) for p in locals_],
+                3,
+                min(k, 10),
+            )
+            ref = whole.top_k(k)
+            assert [e.frequency for e in merged] == [
+                e.frequency for e in ref
+            ]
+            for entry in merged:
+                assert whole.frequency(entry.obj) == entry.frequency
+
+    def test_count_above_and_at(self, ground):
+        locals_, whole = ground
+        hist = merge_histograms([p.histogram() for p in locals_])
+        freqs = whole.frequencies()
+        for f in (-1, 0, 1, 2, 3.5, 4, 99):
+            assert count_above(hist, f) == sum(
+                1 for v in freqs if v > f
+            )
+        assert count_at(hist, 1) == freqs.count(1)
+
+
+class TestRouterValidation:
+    def test_needs_endpoints_or_supervisor(self):
+        with pytest.raises(CapacityError, match="endpoints or a supervisor"):
+            ClusterRouter(10)
+
+    def test_capacity_must_cover_partitions(self):
+        with pytest.raises(CapacityError, match="cannot spread"):
+            ClusterRouter(2, [("h", 1), ("h", 2), ("h", 3)])
+
+    def test_snapshot_every_positive(self):
+        with pytest.raises(CapacityError, match="snapshot_every"):
+            ClusterRouter(10, [("h", 1)], snapshot_every=0)
+
+    def test_replica_identity_mismatch_fails_start(self):
+        # A 2-partition router over a 10-universe needs replica 0 at
+        # capacity 5; serve 7 instead and start() must refuse loudly.
+        async def scenario():
+            prof = Profiler.open(7, backend="flat")
+            async with ProfileServer(prof, port=0) as replica:
+                router = ClusterRouter(
+                    10,
+                    [(replica.host, replica.port)] * 2,
+                    port=0,
+                )
+                with pytest.raises(ProtocolError, match="capacity=7"):
+                    await router.start()
+            prof.close()
+
+        asyncio.run(scenario())
+
+    def test_partition_capacity_covers_universe(self):
+        for m in (1, 5, 9, 10, 17):
+            for n in range(1, m + 1):
+                caps = [partition_capacity(m, p, n) for p in range(n)]
+                assert sum(caps) == m
+                assert min(caps) >= 1
+
+
+class TestServeCliClusterPieces:
+    def test_parse_partition(self):
+        assert _parse_partition(None) is None
+        assert _parse_partition("0/3") == (0, 3)
+        assert _parse_partition("2/3") == (2, 3)
+        for bad in ("3/3", "-1/3", "1", "a/b", "1/0"):
+            with pytest.raises(SystemExit):
+                _parse_partition(bad)
+
+    def test_port_file_written_atomically(self, tmp_path):
+        target = tmp_path / "svc.port"
+        _write_port_file(str(target), 4242)
+        assert target.read_text() == "4242\n"
+        # No tmp residue: the rename consumed it.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_array_engine_flag(self):
+        from repro.server.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--capacity", "100", "--backend", "flat", "--array-engine"]
+        )
+        assert args.array_engine is True
+        assert build_parser().parse_args(
+            ["--capacity", "100"]
+        ).array_engine is False
+
+
+class TestClusterCliParser:
+    def test_flags(self):
+        from repro.cluster.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--capacity", "1000", "--replicas", "4",
+             "--snapshot-every", "16", "--replica-backend", "exact"]
+        )
+        assert args.capacity == 1000
+        assert args.replicas == 4
+        assert args.snapshot_every == 16
+        assert args.replica_backend == "exact"
+        assert args.status is False
+
+    def test_status_flag(self):
+        from repro.cluster.cli import build_parser
+
+        args = build_parser().parse_args(["--status", "--port", "7777"])
+        assert args.status and args.port == 7777
+
+    def test_module_entrypoint(self):
+        import repro.cluster.__main__  # noqa: F401 - importable
+
+        from repro.cluster.cli import main
+
+        assert callable(main)

@@ -765,3 +765,265 @@ class TestBinaryCodec:
                 await client.aclose()
 
         run(scenario())
+
+
+class TestHealthOp:
+    def test_health_over_both_clients(self):
+        async def scenario():
+            async with ProfileServer(Profiler.open(50)) as server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                await client.ingest([(1, 2)])
+                info = await client.health()
+                assert info["role"] == "standalone"
+                assert info["partition"] is None
+                assert info["backend"] == "flat"
+                assert info["keys"] == "dense"
+                assert info["capacity"] == 50
+                assert info["strict"] is False
+                assert info["seq"] >= 1
+                assert info["queue_depth"] >= 0
+                assert info["connections"] >= 1
+                assert info["draining"] is False
+                await client.aclose()
+
+        run(scenario())
+        with ServerThread(Profiler.open(50)) as server:
+            with ProfileClient(server.host, server.port) as client:
+                info = client.health()
+                assert info["role"] == "standalone"
+                assert info["backend"] == "flat"
+
+    def test_health_first_request_on_binary_connection(self):
+        """Health straight after codec negotiation: the out-of-band
+        responder must already see the flipped tx codec (regression —
+        the flip used to happen in the flusher, losing the race)."""
+        with ServerThread(Profiler.open(50)) as server:
+            for _ in range(8):
+                with ProfileClient(server.host, server.port) as client:
+                    assert client.codec == "binary"
+                    assert client.health()["role"] == "standalone"
+
+    def test_replica_role_surfaced(self):
+        async def scenario():
+            server = ProfileServer(
+                Profiler.open(20), role="replica", partition=(1, 3)
+            )
+            async with server:
+                client = await AsyncProfileClient.connect(port=server.port)
+                assert client.hello["role"] == "replica"
+                info = await client.health()
+                assert info["role"] == "replica"
+                assert info["partition"] == [1, 3]
+                assert (await client.describe())["server"]["role"] == (
+                    "replica"
+                )
+                await client.aclose()
+
+        run(scenario())
+
+    def test_health_answers_while_pipeline_is_backed_up(self):
+        """The liveness probe overtakes queued ingest work."""
+
+        async def scenario():
+            server = ProfileServer(
+                Profiler.open(50), batch_max=1000, linger_ms=200.0
+            )
+            async with server:
+                client = await AsyncProfileClient.connect(
+                    port=server.port, codec="json"
+                )
+                futures = [
+                    await client.ingest([(i % 50, 1)], wait=False)
+                    for i in range(64)
+                ]
+                info = await client.health()
+                assert info["queue_depth"] >= 0
+                for future in futures:
+                    await future
+                await client.aclose()
+
+        run(scenario())
+
+
+class TestRestoreOp:
+    def test_restore_swaps_state(self):
+        async def scenario():
+            async with ProfileServer(Profiler.open(30)) as a:
+                client = await AsyncProfileClient.connect(port=a.port)
+                await client.ingest([(3, 5), (7, 2)])
+                state = await client.checkpoint()
+                await client.aclose()
+            async with ProfileServer(Profiler.open(30)) as b:
+                client = await AsyncProfileClient.connect(port=b.port)
+                await client.ingest([(9, 9)])
+                # Returns the restored backend's name.
+                assert await client.restore(state) == "flat"
+                result = await client.evaluate(
+                    Query.frequency(3), Query.frequency(9), Query.total()
+                )
+                assert result.values == (5, 0, 7)
+                assert b.stats.restores == 1
+                await client.aclose()
+
+        run(scenario())
+
+    def test_restore_is_an_ordered_barrier(self):
+        """Ingest pipelined behind a restore lands on the new state."""
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(30)) as a:
+                client = await AsyncProfileClient.connect(port=a.port)
+                await client.ingest([(1, 1)])
+                state = await client.checkpoint()
+                await client.aclose()
+            async with ProfileServer(
+                Profiler.open(30), linger_ms=50.0, batch_max=100
+            ) as b:
+                client = await AsyncProfileClient.connect(port=b.port)
+                # Pipelined ahead of the restore: applies to (and is
+                # acked against) the old profiler, then is wiped.
+                before = await client.ingest([(2, 7)], wait=False)
+                assert await client.restore(state) == "flat"
+                assert (await before)["applied"] == 7
+                # Behind the restore: lands on the restored state.
+                assert await client.ingest([(2, 1)]) == 1
+                result = await client.evaluate(
+                    Query.frequency(1), Query.frequency(2)
+                )
+                assert result.values == (1, 1)
+                await client.aclose()
+
+        run(scenario())
+
+    def test_restore_refuses_mismatched_identity(self):
+        from repro.errors import CheckpointError
+
+        async def scenario():
+            async with ProfileServer(Profiler.open(30)) as a:
+                client = await AsyncProfileClient.connect(port=a.port)
+                state = await client.checkpoint()
+                await client.aclose()
+            async with ProfileServer(Profiler.open(10)) as b:
+                client = await AsyncProfileClient.connect(port=b.port)
+                with pytest.raises(CheckpointError, match="capacity"):
+                    await client.restore(state)
+                # The hosted state survived the refusal.
+                assert (await client.health())["capacity"] == 10
+                await client.aclose()
+
+        run(scenario())
+
+    def test_blocking_client_restore(self):
+        with ServerThread(Profiler.open(30)) as a:
+            with ProfileClient(a.host, a.port) as client:
+                client.ingest({4: 4})
+                state = client.checkpoint()
+        with ServerThread(Profiler.open(30)) as b:
+            with ProfileClient(b.host, b.port) as client:
+                assert client.restore(state) == "flat"
+                assert client.frequency(4) == 4
+
+
+class TestReconnect:
+    def test_async_dial_backoff_gives_up_with_context(self):
+        async def scenario():
+            with pytest.raises(ConnectionError, match="after 2 attempts"):
+                await AsyncProfileClient.connect(
+                    port=1,  # reserved, nothing listens
+                    reconnect=True,
+                    backoff_base=0.01,
+                    max_attempts=2,
+                )
+
+        run(scenario())
+
+    def test_async_redials_on_next_request(self):
+        async def scenario():
+            profiler = Profiler.open(40)
+            server = ProfileServer(profiler)
+            await server.start()
+            port = server.port
+            client = await AsyncProfileClient.connect(
+                port=port, reconnect=True, backoff_base=0.01
+            )
+            assert await client.ingest([(1, 2)]) == 2
+            await server.stop()
+            # Same port, fresh server: the next request heals the
+            # connection transparently (and renegotiates the codec).
+            server2 = ProfileServer(profiler, port=port)
+            await server2.start()
+            assert await client.ingest([(1, 3)]) == 3
+            assert client.codec == "binary"
+            await client.aclose()
+            await server2.stop()
+            profiler.close()
+
+        run(scenario())
+
+    def test_async_in_flight_futures_fail_descriptively(self):
+        async def scenario():
+            profiler = Profiler.open(40)
+            server = ProfileServer(
+                profiler, batch_max=1000, linger_ms=500.0
+            )
+            await server.start()
+            client = await AsyncProfileClient.connect(
+                port=server.port, reconnect=True
+            )
+            future = await client.ingest([(1, 1)], wait=False)
+            # Drop every connection server-side without acking.
+            for conn in list(server._conns):
+                conn.writer.transport.abort()
+            with pytest.raises(ConnectionError, match="will not resend"):
+                await future
+            await client.aclose()
+            await server.stop()
+            profiler.close()
+
+        run(scenario())
+
+    def test_async_without_reconnect_raises(self):
+        async def scenario():
+            profiler = Profiler.open(40)
+            server = ProfileServer(profiler)
+            await server.start()
+            client = await AsyncProfileClient.connect(port=server.port)
+            await server.stop()
+            profiler.close()
+            with pytest.raises(ConnectionError):
+                await client.ingest([(1, 1)])
+            # And it stays failed: no silent redial without opt-in.
+            with pytest.raises(ConnectionError):
+                await client.health()
+            await client.aclose()
+
+        run(scenario())
+
+    def test_blocking_redials_on_next_request(self):
+        profiler = Profiler.open(40)
+        with ServerThread(profiler) as server:
+            port = server.port
+            client = ProfileClient(
+                server.host, port, reconnect=True, backoff_base=0.01
+            )
+            assert client.ingest({1: 2}) == 2
+        # Server gone, replacement on the same port.  A blocking
+        # client only discovers the drop at read time — that request
+        # fails fate-unknown (never resent), and the *next* request
+        # heals the connection transparently.
+        with ServerThread(profiler, port=port):
+            with pytest.raises(ConnectionError, match="will not resend"):
+                client.ingest({1: 1})
+            assert client.ingest({1: 1}) == 1
+            assert client.codec == "binary"
+            client.close()
+        profiler.close()
+
+    def test_blocking_dial_backoff_gives_up(self):
+        with pytest.raises(ConnectionError, match="could not reach"):
+            ProfileClient(
+                port=1,
+                reconnect=True,
+                backoff_base=0.01,
+                max_attempts=2,
+            )
