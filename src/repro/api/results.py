@@ -37,11 +37,18 @@ class EvalResult:
     Index by position (``result[0]``), by the :class:`Query` itself
     (``result[Query.mode()]``) or — when unambiguous — by kind name
     (``result["mode"]``).
+
+    ``partial`` is ``False`` for every in-process evaluate; a cluster
+    router serving degraded reads sets it ``True`` when the answers
+    were merged from a subset of live partitions (one or more replicas
+    were circuit-broken) — the explicit staleness marker of the
+    degraded-read contract.
     """
 
     queries: tuple
     values: tuple
     version: int = field(default=RESULT_VERSION)
+    partial: bool = field(default=False)
 
     def __post_init__(self) -> None:
         if len(self.queries) != len(self.values):

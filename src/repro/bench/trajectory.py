@@ -686,6 +686,16 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
     enough that the timed stream crosses several snapshot cycles, so
     the steady-state price of the recovery machinery (journal append +
     periodic checkpoint + journal truncation) is inside the clock.
+
+    A second router run at the max replica count turns the durable
+    write-ahead log on (``journal_dir`` + fsync on every flushed
+    micro-batch, the crash-safe configuration the chaos suite gates).
+    Its ``wal_overhead`` ratio — WAL throughput over in-memory-journal
+    throughput at identical knobs — is the committed price of
+    durability; the regression gate fires when it *drops*, i.e. when
+    fsync'd acks get relatively more expensive.  Each timed WAL run
+    gets a fresh directory so rounds measure steady-state appends, not
+    recovery replay of earlier rounds' tapes.
     """
     # Imported here, like the serve path: only this path needs the
     # serving/cluster stack, and ``repro.bench`` stays importable early.
@@ -758,11 +768,12 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
         profiler.close()
         return elapsed
 
-    async def run_cluster(supervisor):
+    async def run_cluster(supervisor, journal_dir=None):
         router = ClusterRouter(
             m,
             supervisor=supervisor,
             snapshot_every=snapshot_every,
+            journal_dir=journal_dir,
             port=0,
             batch_max=batch_max,
             linger_ms=linger,
@@ -801,6 +812,19 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
                         run_cluster(supervisor)
                     )
                 )
+            # The durability duel: the max-replica router again, WAL
+            # on.  A fresh journal directory per round keeps recovery
+            # replay of previous rounds out of the clock.
+            max_r = max(replica_counts)
+            wal_round = iter(range(10**9))
+
+            def run_wal():
+                wal_dir = Path(tmp) / f"wal-{next(wal_round)}"
+                return asyncio.run(
+                    run_cluster(supervisors[max_r], journal_dir=wal_dir)
+                )
+
+            timers["cluster_wal"] = run_wal
             best = _interleaved_min(timers, rounds)
         finally:
             for supervisor in supervisors.values():
@@ -811,14 +835,15 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
     for r in replica_counts:
         eps = n / best[f"cluster_r{r}"]
         replicas[str(r)] = {"eps": eps, "speedup": eps / direct_eps}
-    max_r = max(replica_counts)
+    wal_eps = n / best["cluster_wal"]
     return {
         "workload": (
             f"replicated TCP ingest, m={m}: router + replica "
             f"subprocesses vs direct serve ({n} events, {wire} "
             f"ev/frame, batch_max={batch_max}, linger={linger}ms, "
             f"snapshot_every={snapshot_every}, codec={codec}, "
-            f"replicas={sorted(replica_counts)})"
+            f"replicas={sorted(replica_counts)}) + fsync WAL duel "
+            f"at r{max_r}"
         ),
         "events": n,
         "wire_batch": wire,
@@ -831,6 +856,11 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
         "direct_eps": direct_eps,
         "replicas": replicas,
         "speedup": replicas[str(max_r)]["speedup"],
+        # Durability price at max replicas: throughput retained with
+        # the fsync'd WAL on.  Gated — a drop means acked-write
+        # durability got relatively more expensive.
+        "wal_eps": wal_eps,
+        "wal_overhead": wal_eps / replicas[str(max_r)]["eps"],
     }
 
 
@@ -954,6 +984,12 @@ def _speedup_entries(result: dict):
                 f"{prefix}.{path_name}.r{r}.speedup",
                 entry["speedup"],
             )
+        # The durability ratio (fsync'd-WAL router vs in-memory-journal
+        # router at identical knobs).  Self-normalizing — both sides of
+        # the ratio share the machine's scheduling noise — so it gates
+        # without cpu scoping.
+        if "wal_overhead" in path:
+            yield f"{prefix}.{path_name}.wal_overhead", path["wal_overhead"]
         # Client-sweep paths (serve) gate per client count, like the
         # worker sweep — the headline "speedup" means "at max(sweep)".
         # Concurrency here is asyncio, not cores, so no cpu scoping.
@@ -1077,9 +1113,15 @@ def _format_summary(result: dict) -> str:
                 clu["replicas"].items(), key=lambda kv: int(kv[0])
             )
         )
+        wal = ""
+        if "wal_overhead" in clu:
+            wal = (
+                f"  wal {clu['wal_eps'] / 1e3:.1f}k "
+                f"({clu['wal_overhead']:.2f}x of r{clu['max_replicas']})"
+            )
         lines.append(
             f"  cluster (replicated tier)  direct "
-            f"{clu['direct_eps'] / 1e3:.1f}k ev/s  {sweep}"
+            f"{clu['direct_eps'] / 1e3:.1f}k ev/s  {sweep}{wal}"
             f"   [{clu['workload']}, cpus={clu['cpus']}]"
         )
     return "\n".join(lines)

@@ -11,11 +11,25 @@ post-snapshot batches per partition so a killed replica recovers by
 snapshot-restore + ``seq``-ordered replay with zero acknowledged-event
 loss.
 
+With ``journal_dir`` set, the journal is also a durable write-ahead
+log (:class:`RouterWal`): entries hit an fsync'd CRC-framed segment
+file before any replica sees a byte, so killing the *router* process
+(SIGKILL included) loses nothing — a cold router on the same directory
+restores the persisted snapshots and replays the surviving log.
+``strict=True`` adds cross-partition two-phase commit on top;
+``replica_timeout`` bounds every replica round with a circuit breaker
+so one frozen replica fails only its own partitions.
+
 ``python -m repro.cluster`` stands the whole tier up in one command;
 :class:`ReplicaSupervisor` manages the replica subprocesses.
 """
 
-from repro.cluster.journal import JournalEntry, PartitionJournal
+from repro.cluster.journal import (
+    JournalEntry,
+    PartitionJournal,
+    RouterWal,
+    WalRecovery,
+)
 from repro.cluster.router import ClusterRouter, partition_capacity
 from repro.cluster.supervisor import ReplicaSupervisor
 
@@ -24,5 +38,7 @@ __all__ = [
     "JournalEntry",
     "PartitionJournal",
     "ReplicaSupervisor",
+    "RouterWal",
+    "WalRecovery",
     "partition_capacity",
 ]

@@ -28,6 +28,7 @@ import argparse
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import sys
 import tempfile
@@ -37,6 +38,7 @@ from repro.cluster.supervisor import ReplicaSupervisor
 from repro.server.cli import DEFAULT_PORT, _write_port_file
 from repro.server.client import ProfileClient
 from repro.server.protocol import DEFAULT_MAX_FRAME
+from repro.testing.faults import FaultSchedule, arm
 
 __all__ = ["build_parser", "main"]
 
@@ -125,10 +127,57 @@ def build_parser() -> argparse.ArgumentParser:
         "independently (default: binary)",
     )
     parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="durable router WAL directory: acked batches are fsync'd "
+        "here before fan-out, and a cold router on the same directory "
+        "recovers every acked event after SIGKILL (default: in-memory "
+        "journal only)",
+    )
+    parser.add_argument(
+        "--no-wal-sync",
+        action="store_true",
+        help="keep the WAL file layout but skip the per-flush fsync "
+        "(benchmarking only; forfeits crash durability)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="all-or-nothing wire batches across partitions via "
+        "two-phase commit (replicas stay non-strict; atomicity is the "
+        "router's)",
+    )
+    parser.add_argument(
+        "--replica-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-replica send/ack deadline; a partition that blows it "
+        "trips a circuit breaker and fails fast while the rest of the "
+        "tier keeps serving (default: block and recover in place)",
+    )
+    parser.add_argument(
+        "--degraded-reads",
+        action="store_true",
+        help="with a breaker open, answer aggregate queries from the "
+        "live partitions only, marked partial=true",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="arm a deterministic fault schedule, e.g. "
+        "'router.fanout:3:delay:0.05,supervisor.spawn:1:error' "
+        "(point:occurrence:action[:arg], comma-separated; also read "
+        "from $REPRO_FAULTS) — chaos testing only",
+    )
+    parser.add_argument(
         "--status",
         action="store_true",
         help="instead of serving: connect to --host/--port, print the "
-        "router's health block as JSON, exit",
+        "router's health block as JSON (including per-replica journal "
+        "depth and lag), exit",
     )
     return parser
 
@@ -145,6 +194,10 @@ def _status(args: argparse.Namespace) -> int:
 
 
 async def _amain(args: argparse.Namespace, workdir: str) -> int:
+    spec = args.faults or os.environ.get("REPRO_FAULTS")
+    if spec:
+        arm(FaultSchedule.from_spec(spec))
+        print(f"fault schedule armed: {spec}", flush=True)
     supervisor = ReplicaSupervisor(
         args.capacity,
         args.replicas,
@@ -159,6 +212,11 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             args.capacity,
             supervisor=supervisor,
             snapshot_every=args.snapshot_every,
+            journal_dir=args.journal_dir,
+            wal_sync=not args.no_wal_sync,
+            strict=args.strict,
+            replica_timeout=args.replica_timeout,
+            degraded_reads=args.degraded_reads,
             host=args.host,
             port=args.port,
             batch_max=args.batch_max,
@@ -173,6 +231,8 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             f"(capacity={args.capacity}, replicas={args.replicas}, "
             f"replica_backend={args.replica_backend}, "
             f"snapshot_every={args.snapshot_every}, "
+            f"strict={args.strict}, "
+            f"journal_dir={args.journal_dir or 'none'}, "
             f"workdir={workdir})",
             flush=True,
         )
@@ -184,7 +244,20 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(sig, stop_requested.set)
-        await stop_requested.wait()
+        # A scheduled in-process crash (--faults ...:crash) or a
+        # terminal cluster-unhealthy escalation also stops the router;
+        # either way the process must exit, not serve a corpse.
+        stop_wait = asyncio.ensure_future(stop_requested.wait())
+        crash_wait = asyncio.ensure_future(router.wait_stopped())
+        await asyncio.wait(
+            (stop_wait, crash_wait), return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in (stop_wait, crash_wait):
+            task.cancel()
+        if router.crashed:
+            print("router crashed (scheduled fault)", flush=True)
+            supervisor.stop()
+            return 1
         print("draining...", flush=True)
         await router.stop()
         stats = router.stats

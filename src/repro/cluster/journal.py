@@ -1,4 +1,4 @@
-"""Per-partition replay journals for the cluster router.
+"""Per-partition replay journals for the cluster router + durable WAL.
 
 The journal IS the recovery buffer: every wire batch the router
 accepts is partitioned and appended here — tagged with its ``seq``
@@ -15,13 +15,54 @@ pipeline is synchronous (one flusher task appends, delivers, then
 snapshots), so at snapshot time every entry present has been delivered
 on the replica's ordered connection *before* the checkpoint request —
 the snapshot covers them all by construction.
+
+:class:`RouterWal` is the same tape made durable: an fsync'd,
+CRC-framed on-disk log that survives the *router* process.  Records
+are appended (and synced) before any replica sees a byte, so a client
+ack always has a durable record behind it; segments rotate at a byte
+threshold and a leading run of segments is deleted once the persisted
+partition snapshots cover everything in them.  A cold router pointed
+at the same directory recovers exactly like a replica does — snapshot
+load + ``seq``-ordered replay — with zero acknowledged-event loss
+(see :meth:`RouterWal.load` for the torn-tail rule that makes a crash
+mid-write safe).
+
+Record framing (little-endian)::
+
+    <u32 payload length> <u32 crc32(payload)> <payload>
+
+with payloads::
+
+    ENTRY / PENTRY:  <u8 type> <u32 partition> <u64 seq> <u32 count>
+                     <count x i64 ids> <count x i64 deltas>
+    COMMIT / ABORT:  <u8 type> <u64 seq> <u32 n> <n x u32 partitions>
+
+``ENTRY`` is a committed partitioned wire batch (the non-strict
+path).  ``PENTRY`` is the 2PC prepare half: it counts only when a
+later ``COMMIT`` for its ``seq`` lands; an ``ABORT`` — or no decision
+at all, the crashed-before-deciding case — drops it at replay (no
+replica can have applied it: commits are only sent after the decision
+record is durable).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
 
-__all__ = ["JournalEntry", "PartitionJournal"]
+from repro.errors import CheckpointError
+from repro.testing.faults import fault_point_sync
+
+try:  # array packing fast path; struct covers numpy-less hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+__all__ = ["JournalEntry", "PartitionJournal", "RouterWal", "WalRecovery"]
 
 
 class JournalEntry:
@@ -105,3 +146,491 @@ class PartitionJournal:
             f"entries={len(self._entries)}, "
             f"snapshot_seq={self.snapshot_seq})"
         )
+
+
+# ----------------------------------------------------------------------
+# The durable write-ahead log
+# ----------------------------------------------------------------------
+
+#: First bytes of every WAL segment file.
+_SEGMENT_MAGIC = b"RWAL0001"
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_ENTRY_HEAD = struct.Struct("<BIQI")  # type, partition, seq, count
+_DECISION_HEAD = struct.Struct("<BQI")  # type, seq, n partitions
+
+_REC_ENTRY = 1
+_REC_PENTRY = 2
+_REC_COMMIT = 3
+_REC_ABORT = 4
+
+
+def _pack_i64(values) -> bytes:
+    if _np is not None:
+        return _np.ascontiguousarray(values, dtype="<i8").tobytes()
+    values = list(values)
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+def _unpack_i64(buf: bytes):
+    if _np is not None:
+        return _np.frombuffer(buf, dtype="<i8")
+    return list(struct.unpack(f"<{len(buf) // 8}q", buf))
+
+
+class WalRecovery:
+    """What :meth:`RouterWal.load` found on disk.
+
+    ``snapshots`` maps partition -> persisted facade state (absent
+    partitions boot from the implicit empty snapshot);
+    ``snapshot_seqs`` maps partition -> the seq that snapshot covers;
+    ``entries`` maps partition -> committed :class:`JournalEntry` list
+    in ``seq`` order, post-snapshot only; ``last_seq`` is the highest
+    seq the log has ever assigned (committed, aborted or undecided —
+    a reborn router must never reuse one).
+    """
+
+    __slots__ = ("snapshots", "snapshot_seqs", "entries", "last_seq")
+
+    def __init__(self) -> None:
+        self.snapshots: dict[int, dict] = {}
+        self.snapshot_seqs: dict[int, int] = {}
+        self.entries: dict[int, list[JournalEntry]] = {}
+        self.last_seq = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WalRecovery(snapshots={sorted(self.snapshots)}, "
+            f"entries={{{', '.join(f'{p}: {len(e)}' for p, e in sorted(self.entries.items()))}}}, "
+            f"last_seq={self.last_seq})"
+        )
+
+
+class _SegmentMeta:
+    """Prune bookkeeping for one segment file."""
+
+    __slots__ = ("path", "index", "parts")
+
+    def __init__(self, path: Path, index: int) -> None:
+        self.path = path
+        self.index = index
+        #: partition -> highest seq this segment mentions for it
+        #: (entries and decisions both count: a decision record must
+        #: outlive the prepared entries it guards, and prefix pruning
+        #: plus this accounting guarantees it does).
+        self.parts: dict[int, int] = {}
+
+    def note(self, partition: int, seq: int) -> None:
+        if seq > self.parts.get(partition, 0):
+            self.parts[partition] = seq
+
+    def covered_by(self, snapshot_seqs: dict[int, int]) -> bool:
+        return all(
+            snapshot_seqs.get(p, 0) >= seq
+            for p, seq in self.parts.items()
+        )
+
+
+class RouterWal:
+    """The fsync'd on-disk half of the router's journal.
+
+    Parameters
+    ----------
+    path:
+        The WAL directory (created if missing): ``wal-<n>.log``
+        segments plus one ``snapshot-p<p>.json`` per partition.
+    segment_bytes:
+        Rotation threshold: an append that finds the current segment
+        at or past this size seals it and opens the next.  Small
+        enough that truncation (whole-segment deletion once snapshots
+        cover it) keeps disk bounded; large enough that rotation is
+        rare on the hot path.
+    sync:
+        ``True`` (the default) makes :meth:`sync` a real ``fsync`` —
+        the durability the ack contract is built on.  ``False`` keeps
+        the file layout but trades crash durability for speed; the
+        bench trajectory's ``wal_overhead`` ratio measures exactly
+        this gap.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        segment_bytes: int = 1 << 20,
+        sync: bool = True,
+    ) -> None:
+        if segment_bytes < 4096:
+            raise CheckpointError(
+                f"segment_bytes must be >= 4096, got {segment_bytes}"
+            )
+        self._dir = Path(path)
+        self._segment_bytes = segment_bytes
+        self._sync = bool(sync)
+        self._file = None
+        self._next_index = 1
+        self._segments: list[_SegmentMeta] = []
+        self._current: _SegmentMeta | None = None
+        self._snapshot_seqs: dict[int, int] = {}
+        self._dirty = False
+        self.stats = {
+            "records": 0,
+            "syncs": 0,
+            "bytes": 0,
+            "segments_created": 0,
+            "segments_pruned": 0,
+        }
+
+    # -- paths ---------------------------------------------------------
+
+    def _segment_path(self, index: int) -> Path:
+        return self._dir / f"wal-{index:08d}.log"
+
+    def _snapshot_path(self, partition: int) -> Path:
+        return self._dir / f"snapshot-p{partition}.json"
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    # -- recovery ------------------------------------------------------
+
+    def load(self) -> WalRecovery:
+        """Read everything back; open a fresh segment for new appends.
+
+        Snapshot files first (each is an atomic whole — tmp + fsync +
+        rename), then every segment in index order.  A broken record
+        at the very tail of the *last* segment is a torn write from
+        the crash: it cannot have been acked (acks wait for
+        :meth:`sync`, which returns only after the full record is
+        durable), so it is truncated away.  A broken record anywhere
+        else is real corruption and refuses loudly — silently
+        skipping records would un-ack acknowledged events.
+        """
+        self._dir.mkdir(parents=True, exist_ok=True)
+        recovery = WalRecovery()
+        for snap_path in sorted(self._dir.glob("snapshot-p*.json")):
+            try:
+                payload = json.loads(snap_path.read_text())
+                partition = int(payload["partition"])
+                seq = int(payload["snapshot_seq"])
+                state = payload["state"]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise CheckpointError(
+                    f"malformed WAL snapshot {snap_path.name}: {exc}"
+                ) from exc
+            recovery.snapshots[partition] = state
+            recovery.snapshot_seqs[partition] = seq
+            recovery.last_seq = max(recovery.last_seq, seq)
+        self._snapshot_seqs = dict(recovery.snapshot_seqs)
+
+        segments = sorted(self._dir.glob("wal-*.log"))
+        prepared: dict[int, list[tuple[int, Any, Any]]] = {}
+        for i, seg_path in enumerate(segments):
+            index = int(seg_path.stem.split("-")[1])
+            meta = _SegmentMeta(seg_path, index)
+            self._segments.append(meta)
+            self._next_index = max(self._next_index, index + 1)
+            self._scan_segment(
+                seg_path,
+                meta,
+                recovery,
+                prepared,
+                last=i == len(segments) - 1,
+            )
+        # Prepared-without-decision: the router died before the commit
+        # record hit disk, so no replica was told to commit — dropped.
+        # (They still counted into last_seq above: never reuse a seq.)
+        prepared.clear()
+        self.prune()
+        return recovery
+
+    def _scan_segment(
+        self,
+        seg_path: Path,
+        meta: _SegmentMeta,
+        recovery: WalRecovery,
+        prepared: dict,
+        *,
+        last: bool,
+    ) -> None:
+        data = seg_path.read_bytes()
+        if data[: len(_SEGMENT_MAGIC)] != _SEGMENT_MAGIC:
+            raise CheckpointError(
+                f"{seg_path.name} is not a WAL segment (bad magic)"
+            )
+        offset = len(_SEGMENT_MAGIC)
+        good = offset
+        n = len(data)
+        while offset < n:
+            torn = None
+            corrupt = None
+            if offset + _FRAME.size > n:
+                torn = "truncated frame header"
+            else:
+                length, crc = _FRAME.unpack_from(data, offset)
+                body_at = offset + _FRAME.size
+                if body_at + length > n:
+                    torn = "truncated record body"
+                else:
+                    payload = data[body_at : body_at + length]
+                    if zlib.crc32(payload) != crc:
+                        # A torn write is a *prefix* of one record, so a
+                        # crc-bad record followed by more bytes cannot be
+                        # the crash artifact — that is real corruption.
+                        if body_at + length == n:
+                            torn = "crc mismatch in final record"
+                        else:
+                            corrupt = "crc mismatch"
+            if corrupt is not None:
+                raise CheckpointError(
+                    f"corrupt WAL record in {seg_path.name} at byte "
+                    f"{offset} ({corrupt}) — records follow it, so this "
+                    f"is not a torn tail"
+                )
+            if torn is not None:
+                if last:
+                    # Torn tail: crash mid-write, never acked. Truncate
+                    # so the next recovery sees a clean tape.
+                    with open(seg_path, "r+b") as fh:
+                        fh.truncate(good)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    return
+                raise CheckpointError(
+                    f"corrupt WAL record in {seg_path.name} at byte "
+                    f"{offset} ({torn}) — not the last segment, so "
+                    f"this is not a torn tail"
+                )
+            self._replay_record(payload, meta, recovery, prepared)
+            offset = body_at + length
+            good = offset
+
+    def _replay_record(
+        self,
+        payload: bytes,
+        meta: _SegmentMeta,
+        recovery: WalRecovery,
+        prepared: dict,
+    ) -> None:
+        rec_type = payload[0]
+        if rec_type in (_REC_ENTRY, _REC_PENTRY):
+            _t, partition, seq, count = _ENTRY_HEAD.unpack_from(payload)
+            arrays = payload[_ENTRY_HEAD.size :]
+            if len(arrays) != 16 * count:
+                raise CheckpointError(
+                    f"WAL entry declares {count} events but carries "
+                    f"{len(arrays)} array bytes"
+                )
+            ids = _unpack_i64(arrays[: 8 * count])
+            deltas = _unpack_i64(arrays[8 * count :])
+            meta.note(partition, seq)
+            recovery.last_seq = max(recovery.last_seq, seq)
+            if rec_type == _REC_PENTRY:
+                prepared.setdefault(seq, []).append((partition, ids, deltas))
+            else:
+                self._recover_entry(recovery, partition, seq, ids, deltas)
+        elif rec_type in (_REC_COMMIT, _REC_ABORT):
+            _t, seq, n_parts = _DECISION_HEAD.unpack_from(payload)
+            parts = struct.unpack_from(f"<{n_parts}I", payload,
+                                       _DECISION_HEAD.size)
+            recovery.last_seq = max(recovery.last_seq, seq)
+            for p in parts:
+                meta.note(p, seq)
+            staged = prepared.pop(seq, [])
+            if rec_type == _REC_COMMIT:
+                for partition, ids, deltas in staged:
+                    self._recover_entry(
+                        recovery, partition, seq, ids, deltas
+                    )
+        else:
+            raise CheckpointError(
+                f"unknown WAL record type {rec_type}"
+            )
+
+    def _recover_entry(
+        self, recovery: WalRecovery, partition: int, seq: int, ids, deltas
+    ) -> None:
+        if seq <= recovery.snapshot_seqs.get(partition, 0):
+            return  # the persisted snapshot already covers it
+        recovery.entries.setdefault(partition, []).append(
+            JournalEntry(seq, ids, deltas)
+        )
+
+    # -- appending -----------------------------------------------------
+
+    def _writer(self):
+        if self._file is None or self._current is None:
+            self._open_segment()
+        elif self._file.tell() >= self._segment_bytes:
+            self._seal_segment()
+            self._open_segment()
+        return self._file
+
+    def _open_segment(self) -> None:
+        self._dir.mkdir(parents=True, exist_ok=True)
+        index = self._next_index
+        self._next_index += 1
+        path = self._segment_path(index)
+        self._file = open(path, "ab")
+        if self._file.tell() == 0:
+            self._file.write(_SEGMENT_MAGIC)
+        self._current = _SegmentMeta(path, index)
+        self._segments.append(self._current)
+        self.stats["segments_created"] += 1
+        self._fsync_dir()
+
+    def _seal_segment(self) -> None:
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._file = None
+        self._current = None
+
+    def _append(self, payload: bytes) -> None:
+        fault_point_sync("wal.append")
+        fh = self._writer()
+        fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)) + payload)
+        self._dirty = True
+        self.stats["records"] += 1
+        self.stats["bytes"] += _FRAME.size + len(payload)
+
+    def append_entry(
+        self, partition: int, seq: int, ids, deltas, *, prepared: bool = False
+    ) -> None:
+        """Record one partitioned wire batch (before anything is sent).
+
+        ``prepared=True`` writes the 2PC ``PENTRY`` flavor, which only
+        counts at replay once a ``COMMIT`` decision follows it.
+        """
+        count = len(ids)
+        payload = (
+            _ENTRY_HEAD.pack(
+                _REC_PENTRY if prepared else _REC_ENTRY,
+                partition,
+                seq,
+                count,
+            )
+            + _pack_i64(ids)
+            + _pack_i64(deltas)
+        )
+        self._append(payload)
+        self._current.note(partition, seq)
+
+    def append_decision(self, seq: int, partitions, *, commit: bool) -> None:
+        """Record the 2PC decision for ``seq`` over ``partitions``."""
+        parts = sorted(int(p) for p in partitions)
+        payload = _DECISION_HEAD.pack(
+            _REC_COMMIT if commit else _REC_ABORT, seq, len(parts)
+        ) + struct.pack(f"<{len(parts)}I", *parts)
+        self._append(payload)
+        for p in parts:
+            self._current.note(p, seq)
+
+    def sync(self) -> None:
+        """Make every appended record durable (one fsync, batched).
+
+        The router calls this once per flush, after the appends and
+        *before* any replica send or client ack — which is the entire
+        durability contract: an acked batch is on disk.
+        """
+        if not self._dirty or self._file is None:
+            return
+        fault_point_sync("wal.sync")
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        self._dirty = False
+        self.stats["syncs"] += 1
+        fault_point_sync("wal.synced")
+
+    # -- snapshots + truncation ----------------------------------------
+
+    def note_snapshot(
+        self, partition: int, snapshot_seq: int, state: dict
+    ) -> None:
+        """Persist partition ``p``'s covering snapshot; prune segments.
+
+        Atomic replace (tmp + fsync + rename + dir fsync): a crash
+        leaves either the old snapshot or the new one, never a torn
+        file.  Only after the new snapshot is durable may segments it
+        covers be deleted — the prune respects exactly that.
+        """
+        path = self._snapshot_path(partition)
+        tmp = path.with_suffix(".json.tmp")
+        payload = {
+            "partition": partition,
+            "snapshot_seq": snapshot_seq,
+            "state": state,
+        }
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir()
+        self._snapshot_seqs[partition] = max(
+            self._snapshot_seqs.get(partition, 0), snapshot_seq
+        )
+        self.prune()
+
+    def prune(self) -> int:
+        """Delete the leading run of fully covered, sealed segments.
+
+        Prefix-only on purpose: entries always precede the decision
+        records that guard them, so deleting front-to-back can never
+        orphan a prepared entry from its commit.  Returns the number
+        of segments deleted.
+        """
+        pruned = 0
+        while self._segments:
+            meta = self._segments[0]
+            if meta is self._current:
+                break
+            if not meta.covered_by(self._snapshot_seqs):
+                break
+            meta.path.unlink(missing_ok=True)
+            self._segments.pop(0)
+            pruned += 1
+        if pruned:
+            self._fsync_dir()
+            self.stats["segments_pruned"] += pruned
+        return pruned
+
+    # -- introspection / lifecycle -------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "dir": str(self._dir),
+            "segments": self.segment_count,
+            "segment_bytes": self._segment_bytes,
+            "fsync": self._sync,
+            **self.stats,
+        }
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._seal_segment()
+
+    def __enter__(self) -> "RouterWal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

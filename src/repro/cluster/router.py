@@ -11,41 +11,60 @@ flush *does*: instead of one engine call, the router
    assigns its ``seq``, computes its ack value locally (net unit
    events — additive across the partition split), and appends the
    partitioned columns to each touched partition's
-   :class:`~repro.cluster.journal.PartitionJournal`;
+   :class:`~repro.cluster.journal.PartitionJournal` — and, when a
+   ``journal_dir`` is configured, to the fsync'd
+   :class:`~repro.cluster.journal.RouterWal` (one fsync per flush,
+   before any fan-out byte);
 2. fans one merged sub-batch per partition out to the replicas over
    the negotiated codec (binary where both ends support it) and
-   awaits their acks;
+   awaits their acks — bounded by ``replica_timeout`` when set;
 3. acks its own clients — per connection, in pipeline order, exactly
    like the base server.
 
-Because the flusher is one task and step 2 completes before step 3, a
-client ack *means* every replica holding a piece of that batch has
-acked it — and the journal entry behind it survives until a replica
-snapshot covers it.  Kill a replica at any point and recovery is
-always the same move: restore the partition's last snapshot (wiping
-whatever the dying process half-applied), then replay the journal in
-``seq`` order.  Zero acknowledged events lost, no double counts.
+Durability and the ack contract
+-------------------------------
+A client ack means the batch is journaled (durably, when the WAL is
+on) and delivered to every *live* partition it touches.  A partition
+that times out or dies mid-flush still receives its share — by
+``seq``-ordered replay when it heals — so the ack never lies; what a
+slow replica costs is staleness on its partitions, not loss.  Kill the
+*router* (SIGKILL included) and a cold ``ClusterRouter`` pointed at
+the same ``journal_dir`` recovers the whole tier: persisted snapshots
+restore each replica, the surviving log replays behind them, and every
+acknowledged event is back.  New batches that touch a partition whose
+circuit breaker is open are rejected *without* journaling (typed,
+retryable :class:`~repro.errors.ReplicaUnavailableError`), so a client
+retry can never double-count.
+
+Strict mode (cross-partition two-phase commit)
+----------------------------------------------
+With ``strict=True`` every wire batch is all-or-nothing across the
+partitions it spans.  Replicas stay plain non-strict dense profilers;
+atomicity is the router's: it sends each touched replica a ``prepare``
+(the replica validates strict-mode underflow against its state plus
+already-staged transactions, and stages the sub-batch), writes the
+commit/abort decision to the WAL (the commit point), then sends phase
+two.  A replica crash between the phases is safe in both directions:
+an undecided transaction is dropped at replay (no replica applied it —
+commits are only sent after the decision record is durable), a decided
+one replays from the journal whatever the replica saw.
 
 Queries merge replica answers exactly like
 :class:`~repro.engine.sharding.ShardedProfiler` merges shard answers
 (see :mod:`repro.cluster.merge`); ``checkpoint`` assembles the replica
 checkpoints into one standard *sharded* facade state, restorable by
 ``Profiler.from_state`` anywhere.
-
-The router hosts dense, non-strict profiles.  Strict mode would need
-all-or-nothing rejection *across* partitions — a two-phase commit the
-serving tier does not pay for; dense hashing is what makes the
-partition arithmetic (and the additive ack values) state-independent.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Any
 
-from repro.api.facade import API_STATE_VERSION
+from repro.api.facade import API_STATE_VERSION, Profiler
 from repro.api.plan import Query
-from repro.cluster.journal import PartitionJournal
+from repro.cluster.journal import PartitionJournal, RouterWal
 from repro.cluster.merge import (
     count_above,
     count_at,
@@ -57,10 +76,16 @@ from repro.cluster.merge import (
     to_global,
 )
 from repro.core.queries import quantile_rank
-from repro.errors import CapacityError, CheckpointError
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    ClusterUnhealthyError,
+    ReplicaUnavailableError,
+)
 from repro.server.client import AsyncProfileClient
 from repro.server.protocol import ProtocolError, encode_error, encode_value
 from repro.server.service import ProfileServer, _Item
+from repro.testing.faults import SimulatedCrash, fault_point
 
 __all__ = ["ClusterRouter", "partition_capacity"]
 
@@ -83,10 +108,10 @@ class _RouterFacade:
     backend = None
     backend_name = "cluster"
     keys = "dense"
-    strict = False
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, strict: bool = False) -> None:
         self.capacity = capacity
+        self.strict = bool(strict)
 
     def close(self) -> None:
         """Nothing to release; replicas own the state."""
@@ -120,6 +145,35 @@ class ClusterRouter(ProfileServer):
         Connect-restore-replay cycles before a partition is declared
         lost (an exception that stops the router).  ``None`` retries
         forever — the right default under a supervisor.
+    journal_dir:
+        Directory for the durable :class:`RouterWal`.  ``None`` (the
+        default) keeps the journal in memory only — the pre-hardening
+        behavior, fine when the router process itself is not a loss
+        domain you care about.
+    wal_sync:
+        ``False`` keeps the WAL's file layout but skips the per-flush
+        ``fsync`` (the ``cluster.wal_overhead`` bench knob).  Leave
+        ``True`` for real durability.
+    strict:
+        All-or-nothing wire batches across partitions via two-phase
+        commit (see the module docstring).  Implies a per-batch
+        sequential prepare/commit round — the strictness tax.
+    replica_timeout:
+        Per-partition deadline, in seconds, on each replica
+        send/ack round during a flush or query.  A partition that
+        blows it trips a circuit breaker: its requests fail fast with
+        :class:`~repro.errors.ReplicaUnavailableError` while every
+        other partition keeps serving.  ``None`` (default) preserves
+        the legacy behavior — block and recover in place.
+    breaker_cooldown:
+        Seconds an open breaker waits before the next half-open
+        probe (a bounded reconnect + restore + replay attempt).
+    degraded_reads:
+        With breakers open, answer aggregate queries from the live
+        partitions only, marking the result ``partial=True`` —
+        instead of failing the whole evaluate.  Per-object reads on a
+        broken partition still raise (there is no partial answer to
+        ``frequency``).
     """
 
     def __init__(
@@ -131,6 +185,12 @@ class ClusterRouter(ProfileServer):
         replica_codec: str = "auto",
         snapshot_every: int = 64,
         recover_attempts: int | None = None,
+        journal_dir=None,
+        wal_sync: bool = True,
+        strict: bool = False,
+        replica_timeout: float | None = None,
+        breaker_cooldown: float = 1.0,
+        degraded_reads: bool = False,
         **server_kwargs,
     ) -> None:
         if endpoints is None:
@@ -152,8 +212,16 @@ class ClusterRouter(ProfileServer):
             raise CapacityError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
+        if replica_timeout is not None and replica_timeout <= 0:
+            raise CapacityError(
+                f"replica_timeout must be positive, got {replica_timeout}"
+            )
+        if breaker_cooldown < 0:
+            raise CapacityError(
+                f"breaker_cooldown must be >= 0, got {breaker_cooldown}"
+            )
         super().__init__(
-            _RouterFacade(capacity),
+            _RouterFacade(capacity, strict=strict),
             role="router",
             **server_kwargs,
         )
@@ -163,14 +231,36 @@ class ClusterRouter(ProfileServer):
         self._replica_codec = replica_codec
         self._snapshot_every = snapshot_every
         self._recover_attempts = recover_attempts
+        self._strict = bool(strict)
+        self._replica_timeout = replica_timeout
+        self._breaker_cooldown = breaker_cooldown
+        self._degraded = bool(degraded_reads)
+        self._wal = (
+            RouterWal(journal_dir, sync=wal_sync)
+            if journal_dir is not None
+            else None
+        )
         self._clients: dict[int, AsyncProfileClient] = {}
         self._journals = [PartitionJournal(p) for p in range(n)]
         self._snapshots: dict[int, dict] = {}
+        self._empty_states: dict[int, dict] = {}
+        #: seq high-water mark actually applied on each replica (by
+        #: delivery or replay).  Snapshots are gated on it: a replica
+        #: lagging its journal must not have its journal truncated.
+        self._delivered = [0] * n
+        #: partition -> loop time its breaker opened (absent = closed)
+        self._breakers: dict[int, float] = {}
+        self._crashed = False
         self.cluster_stats = {
             "recoveries": 0,
             "replayed_batches": 0,
             "snapshots": 0,
             "replica_batches": 0,
+            "deadline_trips": 0,
+            "breaker_rejects": 0,
+            "strict_commits": 0,
+            "strict_aborts": 0,
+            "degraded_queries": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -182,9 +272,27 @@ class ClusterRouter(ProfileServer):
     async def start(self) -> "ClusterRouter":
         # Replicas first: a config mismatch (wrong capacity, strict,
         # hashable keys) must fail the router before it accepts a
-        # single client.
-        for p in range(self._n_parts):
-            self._clients[p] = await self._connect_replica(p)
+        # single client.  With a WAL, load the surviving log first and
+        # bring every replica to the recovered state — a replica may
+        # be a fresh respawn (needs snapshot + replay) or a survivor
+        # of a router-only crash (holds batches past the snapshot, or
+        # a staged 2PC transaction; the restore rewinds it so the
+        # replay is exact, never double-counted).
+        if self._wal is not None:
+            recovery = self._wal.load()
+            self._seq = max(self._seq, recovery.last_seq)
+            self._snapshots.update(recovery.snapshots)
+            for p, seq in recovery.snapshot_seqs.items():
+                self._journals[p].snapshot_seq = seq
+            for p, entries in recovery.entries.items():
+                journal = self._journals[p]
+                for entry in entries:
+                    journal.append(entry.seq, entry.ids, entry.deltas)
+            for p in range(self._n_parts):
+                await self._recover(p, boot=True)
+        else:
+            for p in range(self._n_parts):
+                self._clients[p] = await self._connect_replica(p)
         await super().start()
         return self
 
@@ -201,6 +309,40 @@ class ClusterRouter(ProfileServer):
             except (ConnectionError, OSError):
                 pass
         self._clients.clear()
+        if self._wal is not None:
+            self._wal.close()
+
+    async def _die(self) -> None:
+        """In-process SIGKILL: drop everything exactly as a dying
+        process would — no goodbyes, no drain, no final acks.
+
+        The conversion target for :class:`SimulatedCrash` from the
+        fault-injection harness: fault schedules crash the router at
+        an exact instruction, this makes the aftermath
+        indistinguishable (to clients and replicas) from ``kill -9``.
+        """
+        self._crashed = True
+        self._closing = True
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for conn in list(self._conns):
+            conn.abort()
+        self._conns.clear()
+        for client in self._clients.values():
+            client.abort()
+        self._clients.clear()
+        if self._wal is not None:
+            self._wal.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    @property
+    def crashed(self) -> bool:
+        """True once a simulated crash (or terminal failure) fired."""
+        return self._crashed
 
     # -- replica connections -------------------------------------------
 
@@ -243,24 +385,53 @@ class ClusterRouter(ProfileServer):
             client = self._clients[p]
         return client
 
-    async def _recover(self, p: int) -> None:
+    def _empty_state(self, p: int, hello: dict) -> dict:
+        """The reset target for a partition with no snapshot yet.
+
+        Recovery must *always* rewind before replaying: a replica that
+        survived with applied state (transient connection loss, or a
+        router-only crash) would double-count a bare replay.  With no
+        snapshot on file the rewind target is the empty profile, built
+        with the replica's own backend so the restored facade matches
+        identity checks exactly.
+        """
+        state = self._empty_states.get(p)
+        if state is None:
+            profiler = Profiler.open(
+                partition_capacity(self.capacity, p, self._n_parts),
+                backend=hello.get("backend", "flat"),
+            )
+            try:
+                state = profiler.to_state()
+            finally:
+                profiler.close()
+            self._empty_states[p] = state
+        return state
+
+    async def _recover(
+        self, p: int, *, attempts: int | None = None, boot: bool = False
+    ) -> None:
         """Bring partition ``p`` back: respawn, restore, replay.
 
         The one recovery move, whatever the failure looked like: a new
-        connection, the last snapshot restored (rewinding anything the
-        dying process half-applied — this is what makes a send racing
-        the crash harmless), then the journal replayed in ``seq``
-        order.  Runs in the flusher task, so the journal cannot grow
-        underneath the replay; client readers stall on the bounded
-        queue meanwhile — recovery *is* the backpressure.
+        connection, the partition rewound to its last snapshot (or the
+        empty profile — wiping anything the old process half-applied
+        or staged, which is what makes a send racing a crash
+        harmless), then the journal replayed in ``seq`` order.  The
+        restore is flagged ``recovering`` so queries hitting the
+        replica directly fail fast instead of queueing behind the
+        replay backlog; a final ``resume`` reopens it.  Runs in the
+        flusher task, so the journal cannot grow underneath the
+        replay; client readers stall on the bounded queue meanwhile —
+        recovery *is* the backpressure.
         """
-        self.cluster_stats["recoveries"] += 1
+        if not boot:
+            self.cluster_stats["recoveries"] += 1
+        if attempts is None:
+            attempts = self._recover_attempts
         stale = self._clients.pop(p, None)
         if stale is not None:
-            try:
-                await stale.aclose()
-            except (ConnectionError, OSError):
-                pass
+            stale.abort()
         journal = self._journals[p]
         attempt = 0
         while True:
@@ -272,32 +443,125 @@ class ClusterRouter(ProfileServer):
                     )
                 client = await self._connect_replica(p)
                 snapshot = self._snapshots.get(p)
-                if snapshot is not None:
-                    await client.restore(snapshot)
+                if snapshot is None:
+                    snapshot = self._empty_state(p, client.hello)
+                await client.restore(snapshot, recovering=True)
                 replayed = 0
                 for entry in journal.entries():
                     await self._send_batch(client, entry.ids, entry.deltas)
                     replayed += 1
+                await client.resume()
                 self.cluster_stats["replayed_batches"] += replayed
                 self._clients[p] = client
+                self._delivered[p] = max(
+                    self._delivered[p], journal.last_seq
+                )
                 return
             except (ConnectionError, OSError):
-                if (
-                    self._recover_attempts is not None
-                    and attempt >= self._recover_attempts
-                ):
+                if attempts is not None and attempt >= attempts:
                     raise ConnectionError(
                         f"partition {p} unrecoverable after {attempt} "
                         f"restore+replay attempts"
                     )
 
+    # -- the circuit breaker -------------------------------------------
+
+    def _breaker_ready(self, p: int) -> bool:
+        """Is partition ``p``'s open breaker due a half-open probe?"""
+        opened = self._breakers.get(p)
+        if opened is None:
+            return True
+        loop = asyncio.get_running_loop()
+        return loop.time() - opened >= self._breaker_cooldown
+
+    def _trip(self, p: int) -> None:
+        """Open partition ``p``'s breaker and drop its connection."""
+        self._breakers[p] = asyncio.get_running_loop().time()
+        self.cluster_stats["deadline_trips"] += 1
+        client = self._clients.pop(p, None)
+        if client is not None:
+            client.abort()
+
+    async def _probe(self, p: int) -> bool:
+        """One bounded half-open attempt to heal partition ``p``.
+
+        Bounded twice over: a single connect-restore-replay cycle, and
+        a hard wall-clock cap — a SIGSTOP'd replica accepts the TCP
+        connection and then answers nothing, so an unbounded probe
+        would hang the flusher, which is exactly what the deadline
+        machinery exists to prevent.
+        """
+        budget = max(4.0 * (self._replica_timeout or 0.5), 2.0)
+        try:
+            await asyncio.wait_for(
+                self._recover(p, attempts=1), budget
+            )
+        except (ConnectionError, OSError, ProtocolError,
+                asyncio.TimeoutError):
+            self._breakers[p] = asyncio.get_running_loop().time()
+            stale = self._clients.pop(p, None)
+            if stale is not None:
+                stale.abort()
+            return False
+        self._breakers.pop(p, None)
+        return True
+
+    async def _gate(self, p: int, probed: set[int]) -> bool:
+        """Admission check for partition ``p``: closed, or heals now.
+
+        Returns ``True`` when the partition is usable.  Probes at most
+        once per flush per partition (``probed`` memoizes) so a dead
+        replica costs one bounded attempt, not one per wire batch.
+        """
+        if p not in self._breakers:
+            return True
+        if not self._breaker_ready(p) or p in probed:
+            return False
+        probed.add(p)
+        return await self._probe(p)
+
+    def _unavailable(self, p: int) -> ReplicaUnavailableError:
+        return ReplicaUnavailableError(
+            f"partition {p} is unavailable (circuit breaker open; "
+            f"replica down or past its {self._replica_timeout}s "
+            f"deadline); nothing from this request was journaled — "
+            f"retry after the partition heals"
+        )
+
+    async def _replica_failed(self, p: int) -> None:
+        """A replica op failed: recover in place, or fail fast.
+
+        Legacy mode (no ``replica_timeout``) blocks right here until
+        the partition is back — recovery is the backpressure.  With a
+        deadline configured the failure trips the breaker instead and
+        the caller surfaces a typed, retryable error; healing happens
+        on the next cooldown-gated probe.
+        """
+        if self._replica_timeout is None:
+            await self._recover(p)
+        else:
+            self._trip(p)
+
     async def _replica_call(self, p: int, fn):
-        """Run one replica request, recovering once on connection loss."""
+        """Run one replica request under the breaker + deadline rules."""
+        if p in self._breakers:
+            if not self._breaker_ready(p) or not await self._probe(p):
+                raise self._unavailable(p)
         for retry in (False, True):
             client = await self._ensure_client(p)
             try:
+                if self._replica_timeout is not None:
+                    return await asyncio.wait_for(
+                        fn(client), self._replica_timeout
+                    )
                 return await fn(client)
+            except asyncio.TimeoutError:
+                self._trip(p)
+                raise self._unavailable(p) from None
             except (ConnectionError, OSError):
+                if self._replica_timeout is not None:
+                    self._trip(p)
+                    raise self._unavailable(p) from None
                 if retry:
                     raise
                 await self._recover(p)
@@ -317,8 +581,27 @@ class ClusterRouter(ProfileServer):
     # -- the flusher: partition, journal, fan out, ack ------------------
 
     async def _flush(self, batch: list[_Item]) -> None:
+        try:
+            await self._flush_cluster(batch)
+        except SimulatedCrash:
+            # The harness scheduled process death at a fault point
+            # inside this flush.  Die exactly like SIGKILL would —
+            # connections aborted, no acks, WAL as it lay — and end
+            # the flusher without tripping asyncio's unhandled-error
+            # reporting (the crash is the scenario, not a bug).
+            await self._die()
+            raise asyncio.CancelledError from None
+        except ClusterUnhealthyError:
+            # The supervisor escalated: a replica is dying faster than
+            # recovery can help.  Terminal by contract — stop serving
+            # rather than accept batches that cannot be delivered.
+            await self._die()
+            raise asyncio.CancelledError from None
+
+    async def _flush_cluster(self, batch: list[_Item]) -> None:
         if not batch:
             return
+        await fault_point("router.flush")
         stats = self._stats
         stats.flushes += 1
         n_events = sum(len(item.data) for item in batch)
@@ -328,7 +611,10 @@ class ClusterRouter(ProfileServer):
             stats.max_flush_events = n_events
         outcomes: list[tuple[_Item, Any]] = []
         pending: dict[int, list[tuple]] = {}
+        flush_last: dict[int, int] = {}
         touched: set[int] = set()
+        probed: set[int] = set()
+        wal = self._wal
         for item in batch:
             self._seq += 1
             item.seq = self._seq
@@ -339,18 +625,50 @@ class ClusterRouter(ProfileServer):
             except Exception as exc:
                 outcomes.append((item, exc))
                 continue
+            blocked = None
+            for p in parts:
+                if not await self._gate(p, probed):
+                    blocked = p
+                    break
+            if blocked is not None:
+                # Rejected un-journaled: the typed error promises the
+                # client a retry is safe, which is only true if no
+                # partition applies any of it now or at replay.
+                self.cluster_stats["breaker_rejects"] += 1
+                outcomes.append((item, self._unavailable(blocked)))
+                continue
+            if self._strict:
+                try:
+                    await self._commit_strict(item.seq, parts)
+                except (SimulatedCrash, asyncio.CancelledError):
+                    raise
+                except Exception as exc:
+                    outcomes.append((item, exc))
+                    continue
+                for p in parts:
+                    touched.add(p)
+                outcomes.append((item, applied))
+                continue
             for p, (ids, deltas) in parts.items():
                 self._journals[p].append(item.seq, ids, deltas)
+                if wal is not None:
+                    wal.append_entry(p, item.seq, ids, deltas)
                 pending.setdefault(p, []).append((ids, deltas))
+                flush_last[p] = item.seq
                 touched.add(p)
             outcomes.append((item, applied))
+        if wal is not None and pending:
+            await fault_point("router.journal")
+            wal.sync()
         if pending:
+            await fault_point("router.fanout")
             await asyncio.gather(
                 *(
-                    self._deliver(p, chunks)
+                    self._deliver(p, chunks, flush_last[p])
                     for p, chunks in pending.items()
                 )
             )
+        await fault_point("router.acks")
         per_conn: dict[Any, list[tuple[_Item, Any]]] = {}
         for item, result in outcomes:
             if isinstance(result, Exception):
@@ -364,20 +682,107 @@ class ClusterRouter(ProfileServer):
             if len(self._journals[p]) >= self._snapshot_every:
                 await self._snapshot(p)
 
-    async def _deliver(self, p: int, chunks) -> None:
-        """Send one flush's sub-batches to partition ``p``; await ack.
+    async def _deliver(self, p: int, chunks, last_seq: int) -> None:
+        """Send one flush's sub-batches to partition ``p``; await acks.
 
         On connection loss there is nothing to resend: the journal
         already holds this flush's entries, so :meth:`_recover`'s
-        restore + replay applies them as a side effect.
+        restore + replay applies them as a side effect.  Under a
+        deadline the whole partition round must land inside
+        ``replica_timeout`` or the breaker trips — the batch is still
+        acked to the client (it is journaled; replay delivers it when
+        the partition heals), but *new* batches for this partition
+        fail fast until then.
         """
-        client = await self._ensure_client(p)
         try:
-            for ids, deltas in chunks:
-                await self._send_batch(client, ids, deltas)
+            client = await self._ensure_client(p)
+            sends = self._send_chunks(client, chunks)
+            if self._replica_timeout is not None:
+                await asyncio.wait_for(sends, self._replica_timeout)
+            else:
+                await sends
             self.cluster_stats["replica_batches"] += len(chunks)
+            self._delivered[p] = max(self._delivered[p], last_seq)
+        except asyncio.TimeoutError:
+            self._trip(p)
         except (ConnectionError, OSError):
-            await self._recover(p)
+            await self._replica_failed(p)
+
+    async def _send_chunks(self, client, chunks) -> None:
+        for ids, deltas in chunks:
+            await self._send_batch(client, ids, deltas)
+
+    async def _commit_strict(self, seq: int, parts: dict) -> None:
+        """One all-or-nothing wire batch across ``parts`` (2PC).
+
+        Phase 1 stages the sub-batches (each replica validates
+        strict-mode underflow against live state + staged overlay);
+        the decision record hitting the WAL is the commit point;
+        phase 2 applies.  A failure anywhere in phase 1 aborts
+        everywhere — journaling the abort first, so a router crash
+        mid-abort replays as an abort, never a half-commit.
+        """
+        wal = self._wal
+        ordered = sorted(parts.items())
+        if wal is not None:
+            for p, (ids, deltas) in ordered:
+                wal.append_entry(p, seq, ids, deltas, prepared=True)
+            wal.sync()
+        await fault_point("router.prepare")
+        staged: list[int] = []
+        try:
+            for p, (ids, deltas) in ordered:
+                await self._replica_call(
+                    p,
+                    lambda client, ids=ids, deltas=deltas: client.prepare(
+                        seq, ids, deltas
+                    ),
+                )
+                staged.append(p)
+        except BaseException as exc:
+            aborting = isinstance(exc, Exception)
+            if aborting and wal is not None:
+                wal.append_decision(seq, parts.keys(), commit=False)
+                wal.sync()
+            await fault_point("router.abort")
+            for p in staged:
+                with contextlib.suppress(Exception):
+                    await self._replica_call(
+                        p, lambda client: client.abort_txn(seq)
+                    )
+            if aborting:
+                self.cluster_stats["strict_aborts"] += 1
+            raise
+        if wal is not None:
+            wal.append_decision(seq, parts.keys(), commit=True)
+            wal.sync()
+        await fault_point("router.commit")
+        # Committed: journal first (the replay tape must already hold
+        # the entry when a commit send fails and recovery replays), then
+        # phase 2.
+        for p, (ids, deltas) in ordered:
+            self._journals[p].append(seq, ids, deltas)
+        for p, _cols in ordered:
+            try:
+                await self._replica_call(
+                    p, lambda client: client.commit_txn(seq)
+                )
+                self._delivered[p] = max(self._delivered[p], seq)
+            except (ReplicaUnavailableError, ConnectionError, OSError):
+                # Decided — the journal delivers it at replay.  The
+                # recover path (restore + replay) also clears the
+                # replica's staged copy, so nothing double-applies.
+                pass
+            except ProtocolError:
+                # A replica that died between the decision and this
+                # send was recovered inline by _replica_call: the
+                # restore wiped its staged copy and the journal replay
+                # (whose tape already holds this entry) delivered the
+                # events — so the retried commit finds no transaction.
+                # Benign exactly when the replay watermark covers seq.
+                if self._delivered[p] < seq:
+                    raise
+        self.cluster_stats["strict_commits"] += 1
 
     async def _snapshot(self, p: int) -> None:
         """Checkpoint partition ``p`` and truncate its journal.
@@ -385,19 +790,27 @@ class ClusterRouter(ProfileServer):
         The checkpoint request rides the replica's ordered connection
         behind everything this flusher already sent, so the returned
         state covers every journal entry — ``clear`` asserts exactly
-        that.  A connection lost mid-checkpoint just recovers; the
-        journal stays and the snapshot retries after a later flush.
+        that.  Gated on the delivery watermark: a partition that is
+        lagging its journal (breaker open, replay pending) must keep
+        its tape — truncating would turn lag into loss.  A connection
+        lost mid-checkpoint just recovers; the journal stays and the
+        snapshot retries after a later flush.
         """
         journal = self._journals[p]
         watermark = journal.last_seq
+        if self._delivered[p] < watermark or p in self._breakers:
+            return
+        await fault_point("router.snapshot")
         try:
             state = await self._replica_call(
                 p, lambda client: client.checkpoint()
             )
-        except (ConnectionError, OSError):
+        except (ReplicaUnavailableError, ConnectionError, OSError):
             return
         self._snapshots[p] = state
         journal.clear(watermark)
+        if self._wal is not None:
+            self._wal.note_snapshot(p, watermark, state)
         self.cluster_stats["snapshots"] += 1
 
     # -- queries: merge replica answers --------------------------------
@@ -411,7 +824,7 @@ class ClusterRouter(ProfileServer):
             if kind == "evaluate":
                 self._stats.queries += 1
                 plan = item.data
-                values = await self._evaluate_cluster(plan)
+                values, partial = await self._evaluate_cluster(plan)
                 payload = {
                     "id": item.req_id,
                     "ok": True,
@@ -421,6 +834,8 @@ class ClusterRouter(ProfileServer):
                         for q, v in zip(plan, values)
                     ],
                 }
+                if partial:
+                    payload["partial"] = True
             elif kind == "describe":
                 payload = {
                     "id": item.req_id,
@@ -451,7 +866,7 @@ class ClusterRouter(ProfileServer):
             }
         await item.conn.send(self._pack_response(item.conn, payload))
 
-    async def _evaluate_cluster(self, plan) -> list:
+    async def _evaluate_cluster(self, plan) -> tuple[list, bool]:
         """Answer one fused plan by merging replica reads.
 
         Phase 1 sends every replica one fused sub-plan (the union of
@@ -460,6 +875,11 @@ class ClusterRouter(ProfileServer):
         it asks).  ``kth_most_frequent`` and ``heavy_hitters`` resolve
         their global cut from the merged phase-1 answers, then fetch
         the named objects in a second, targeted round.
+
+        Returns ``(values, partial)``: ``partial`` is ``True`` when
+        ``degraded_reads`` let the plan answer from a subset of live
+        partitions (broken ones skipped) — the explicit staleness
+        marker the degraded-read contract promises.
         """
         m = self.capacity
         n = self._n_parts
@@ -505,7 +925,7 @@ class ClusterRouter(ProfileServer):
                 raise ProtocolError(f"unknown query kind {kind!r}")
 
         shared_list = list(shared.values())
-        per_part: list[dict[str, Any]] = [{} for _ in range(n)]
+        per_part: list[dict[str, Any] | None] = [None] * n
 
         async def fetch(p: int) -> None:
             # owned[] maps the *global* query key to the local-id query
@@ -513,16 +933,31 @@ class ClusterRouter(ProfileServer):
             keys = [q.key for q in shared_list] + list(owned[p].keys())
             qlist = shared_list + list(owned[p].values())
             if not qlist:
+                per_part[p] = {}
                 return
-            result = await self._replica_call(
-                p, lambda client: client.evaluate(*qlist)
-            )
+            try:
+                result = await self._replica_call(
+                    p, lambda client: client.evaluate(*qlist)
+                )
+            except ReplicaUnavailableError:
+                # Degraded reads skip the broken partition for
+                # aggregates; an owned (per-object) query has no
+                # partial answer, so it still fails the plan.
+                if not self._degraded or owned[p]:
+                    raise
+                return
             per_part[p] = dict(zip(keys, result.values))
 
         await asyncio.gather(*(fetch(p) for p in range(n)))
+        live = [p for p in range(n) if per_part[p] is not None]
+        partial = len(live) < n
+        if not live:
+            raise self._unavailable(next(iter(self._breakers), 0))
+        if partial:
+            self.cluster_stats["degraded_queries"] += 1
 
         def gather_key(key: str) -> list:
-            return [per_part[p][key] for p in range(n)]
+            return [per_part[p][key] for p in live]
 
         hist_key = Query.histogram().key
         merged_hist = None
@@ -544,8 +979,8 @@ class ClusterRouter(ProfileServer):
                 values.append(sum(gather_key(q.key)))
             elif kind in ("mode", "least"):
                 values.append(
-                    merge_extremes(
-                        gather_key(q.key), n, desc=kind == "mode"
+                    self._merge_extremes_live(
+                        gather_key(q.key), live, desc=kind == "mode"
                     )
                 )
             elif kind == "max_frequency":
@@ -555,7 +990,7 @@ class ClusterRouter(ProfileServer):
             elif kind == "top_k":
                 k = min(q.args[0], m)
                 values.append(
-                    merge_top_entries(gather_key(q.key), n, k)
+                    self._merge_top_live(gather_key(q.key), live, k)
                 )
             elif kind == "histogram":
                 values.append(histogram())
@@ -570,7 +1005,7 @@ class ClusterRouter(ProfileServer):
             elif kind == "kth_most_frequent":
                 values.append(
                     await self._kth_cluster(
-                        q.args[0], histogram(), gather_key(hist_key)
+                        q.args[0], histogram(), gather_key(hist_key), live
                     )
                 )
             elif kind == "heavy_hitters":
@@ -579,11 +1014,47 @@ class ClusterRouter(ProfileServer):
                         q.args[0],
                         sum(gather_key(Query.total().key)),
                         gather_key(hist_key),
+                        live,
                     )
                 )
-        return values
+        return values, partial
 
-    async def _kth_cluster(self, k: int, merged_hist, hists):
+    def _merge_extremes_live(self, entries, live, *, desc: bool):
+        """Partition-aware extreme merge over the live subset only."""
+        if len(live) == self._n_parts:
+            return merge_extremes(entries, self._n_parts, desc=desc)
+        full = [None] * self._n_parts
+        for p, e in zip(live, entries):
+            full[p] = e
+        placeholder = min(entries, key=lambda e: e[1]) if desc else max(
+            entries, key=lambda e: e[1]
+        )
+        # Dead partitions cannot win: fill with the worst live entry
+        # so the merge's partition arithmetic stays intact, then rely
+        # on tie-breaking order favoring real winners.
+        best = None
+        for p, e in enumerate(full):
+            if e is None:
+                continue
+            g = to_global(e[0], p, self._n_parts)
+            key = (e[1], -g) if desc else (-e[1], -g)
+            if best is None or key > best[0]:
+                best = (key, (g, e[1]))
+        return best[1]
+
+    def _merge_top_live(self, lists, live, k: int):
+        """Top-k merge over the live subset only."""
+        if len(live) == self._n_parts:
+            return merge_top_entries(lists, self._n_parts, k)
+        merged = []
+        for p, entries in zip(live, lists):
+            merged.extend(
+                (to_global(x, p, self._n_parts), f) for x, f in entries
+            )
+        merged.sort(key=lambda e: (-e[1], e[0]))
+        return merged[:k]
+
+    async def _kth_cluster(self, k: int, merged_hist, hists, live):
         """Resolve the k-th frequency globally, then name one holder.
 
         Mirror of ``ShardedProfiler.kth_most_frequent``: the merged
@@ -593,7 +1064,7 @@ class ClusterRouter(ProfileServer):
         """
         m = self.capacity
         f = rank_frequency(merged_hist, m - k)
-        for p, hist in enumerate(hists):
+        for p, hist in zip(live, hists):
             if count_at(hist, f) > 0:
                 local_rank = count_above(hist, f) + 1
                 entry = await self._replica_call(
@@ -605,7 +1076,9 @@ class ClusterRouter(ProfileServer):
                 return to_global(entry.values[0], p, self._n_parts)
         raise AssertionError("rank frequency vanished mid-query")
 
-    async def _heavy_hitters_cluster(self, phi: float, total: int, hists):
+    async def _heavy_hitters_cluster(
+        self, phi: float, total: int, hists, live
+    ):
         """Objects above ``phi * total`` — the global threshold.
 
         Phase 1 already bought each partition's histogram, which fixes
@@ -619,16 +1092,20 @@ class ClusterRouter(ProfileServer):
         wanted = [count_above(hist, threshold) for hist in hists]
         lists: list[list] = [[] for _ in hists]
 
-        async def fetch(p: int, k: int) -> None:
+        async def fetch(i: int, p: int, k: int) -> None:
             result = await self._replica_call(
                 p, lambda client: client.evaluate(Query.top_k(k))
             )
-            lists[p] = result.values[0]
+            lists[i] = result.values[0]
 
         await asyncio.gather(
-            *(fetch(p, k) for p, k in enumerate(wanted) if k > 0)
+            *(
+                fetch(i, p, k)
+                for i, (p, k) in enumerate(zip(live, wanted))
+                if k > 0
+            )
         )
-        return merge_top_entries(lists, self._n_parts, sum(wanted))
+        return self._merge_top_live(lists, live, sum(wanted))
 
     # -- checkpoint assembly -------------------------------------------
 
@@ -667,17 +1144,27 @@ class ClusterRouter(ProfileServer):
                 f"replica cores disagree ({sorted(set(cores))}); a "
                 f"sharded checkpoint restores one core for all shards"
             )
+        profiles = [s["profile"] for s in states]
+        if self._strict:
+            # Replicas run non-strict (strictness is cluster-wide, and
+            # only the router sees whole batches), so their payloads
+            # say allow_negative.  The assembled state must restore to
+            # a strict facade, and strict admission guarantees no
+            # negative mass anywhere — flip the shard flags to match.
+            profiles = [dict(p) for p in profiles]
+            for profile in profiles:
+                profile["allow_negative"] = False
         return {
             "version": API_STATE_VERSION,
             "backend": "sharded",
             "keys": "dense",
-            "strict": False,
+            "strict": self._strict,
             "capacity": self.capacity,
             "shards": self._n_parts,
             "catalog": None,
             "batches": sum(s["batches"] for s in states),
             "events": sum(s["events"] for s in states),
-            "profile": [s["profile"] for s in states],
+            "profile": profiles,
             "core": cores[0],
         }
 
@@ -695,26 +1182,39 @@ class ClusterRouter(ProfileServer):
         return {
             "backend": "cluster",
             "keys": "dense",
-            "strict": False,
+            "strict": self._strict,
             "capacity": self.capacity,
             "partitions": self._n_parts,
             "replicas": replicas,
             "server": self.describe_server(),
         }
 
+    def _journal_lag(self, p: int) -> int:
+        """Journal entries partition ``p`` has not yet applied."""
+        delivered = self._delivered[p]
+        return sum(
+            1 for e in self._journals[p].entries() if e.seq > delivered
+        )
+
     def health_info(self) -> dict[str, Any]:
         info = super().health_info()
         info["partitions"] = self._n_parts
+        info["strict"] = self._strict
         info["replicas"] = [
             {
                 "partition": [p, self._n_parts],
                 "endpoint": list(self._endpoints[p]),
                 "connected": p in self._clients,
                 "journal_depth": len(self._journals[p]),
+                "journal_lag": self._journal_lag(p),
+                "delivered_seq": self._delivered[p],
                 "snapshot_seq": self._journals[p].snapshot_seq,
+                "breaker": "open" if p in self._breakers else "closed",
             }
             for p in range(self._n_parts)
         ]
+        if self._wal is not None:
+            info["wal"] = self._wal.describe()
         return info
 
     def describe_server(self) -> dict[str, Any]:
@@ -722,6 +1222,11 @@ class ClusterRouter(ProfileServer):
         out["partitions"] = self._n_parts
         out["snapshot_every"] = self._snapshot_every
         out["journal_depth"] = sum(len(j) for j in self._journals)
+        out["strict"] = self._strict
+        out["replica_timeout"] = self._replica_timeout
+        out["degraded_reads"] = self._degraded
+        if self._wal is not None:
+            out["wal"] = self._wal.describe()
         out.update(
             {f"cluster_{k}": v for k, v in self.cluster_stats.items()}
         )

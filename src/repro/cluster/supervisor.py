@@ -14,6 +14,16 @@ The router drives recovery through one duck-typed method:
 respawning the process first if it has died.  The supervisor never
 watches proactively — the router notices a dead replica the instant a
 send fails, and whoever notices calls ``ensure_replica``.
+
+Respawning is rationed: more than ``max_respawn_burst`` respawns of
+the *same* partition inside ``respawn_window`` seconds means the
+replica is crash-looping — a bad binary, an OOM treadmill, a poisoned
+snapshot — and blindly respawning forever converts a config problem
+into an invisible availability problem.  The supervisor escalates to a
+**sticky** terminal state instead: every further ``ensure_replica``
+raises :class:`~repro.errors.ClusterUnhealthyError` (non-retryable)
+and the router shuts the tier down rather than keep accepting batches
+it cannot deliver.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ClusterUnhealthyError
+from repro.testing.faults import fault_point_sync
 
 __all__ = ["ReplicaSupervisor"]
 
@@ -59,6 +70,11 @@ class ReplicaSupervisor:
         (e.g. ``["--batch-max", "2048"]``).
     boot_timeout:
         Seconds to wait for a (re)spawned replica's port file.
+    max_respawn_burst / respawn_window:
+        The crash-loop escalation threshold: strictly more than
+        ``max_respawn_burst`` respawns of one partition within
+        ``respawn_window`` seconds marks the cluster unhealthy —
+        terminally (see the module docstring).
     """
 
     def __init__(
@@ -73,6 +89,8 @@ class ReplicaSupervisor:
         serve_args: list[str] | None = None,
         boot_timeout: float = 30.0,
         python: str = sys.executable,
+        max_respawn_burst: int = 5,
+        respawn_window: float = 30.0,
     ) -> None:
         if n_replicas < 1:
             raise CapacityError(
@@ -92,8 +110,18 @@ class ReplicaSupervisor:
         self._serve_args = list(serve_args or ())
         self._boot_timeout = boot_timeout
         self._python = python
+        if max_respawn_burst < 1:
+            raise CapacityError(
+                f"max_respawn_burst must be >= 1, got {max_respawn_burst}"
+            )
+        self._max_burst = max_respawn_burst
+        self._window = respawn_window
         self._procs: list[subprocess.Popen | None] = [None] * n_replicas
         self._ports: list[int | None] = [None] * n_replicas
+        self._respawn_times: list[list[float]] = [
+            [] for _ in range(n_replicas)
+        ]
+        self._unhealthy: str | None = None
         self.respawns = 0
 
     # -- paths ---------------------------------------------------------
@@ -130,6 +158,8 @@ class ReplicaSupervisor:
         return self
 
     def _spawn(self, p: int) -> None:
+        fault_point_sync("supervisor.spawn")
+        self._kill_stale(p)
         port_file = self.port_file(p)
         port_file.unlink(missing_ok=True)
         cmd = [
@@ -166,6 +196,29 @@ class ReplicaSupervisor:
             log.close()
         self._procs[p] = proc
         self.pid_file(p).write_text(f"{proc.pid}\n")
+
+    def _kill_stale(self, p: int) -> None:
+        """Kill a leftover replica from a dead supervisor, by pid file.
+
+        A router SIGKILL orphans its replicas: a *new* supervisor in
+        the same workdir has no Popen handle on them, but their pid
+        files survive.  Spawning a second replica for the same
+        partition next to a live orphan would split the partition's
+        state, so the stale pid is killed first.  Only pids this
+        supervisor does not own are touched, and only best-effort (the
+        pid may be long dead or recycled — ESRCH/EPERM are fine).
+        """
+        proc = self._procs[p]
+        try:
+            stale = int(self.pid_file(p).read_text().strip())
+        except (FileNotFoundError, ValueError):
+            return
+        if proc is not None and proc.pid == stale:
+            return
+        try:
+            os.kill(stale, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
 
     async def _wait_port(self, p: int) -> int:
         """Poll for the replica's (atomically written) port file."""
@@ -212,11 +265,42 @@ class ReplicaSupervisor:
             raise CapacityError(
                 f"partition {p} out of range [0, {self._n})"
             )
+        if self._unhealthy is not None:
+            raise ClusterUnhealthyError(self._unhealthy)
         if not self.alive(p):
+            self._note_respawn(p)
             self.respawns += 1
             self._spawn(p)
             self._ports[p] = await self._wait_port(p)
         return (self._host, self._ports[p])
+
+    def _note_respawn(self, p: int) -> None:
+        """Record one respawn of ``p``; escalate on a storm.
+
+        Sticky on purpose: once a partition crash-loops past the
+        threshold, the answer is an operator (or a test teardown), not
+        respawn attempt number fifty — so the unhealthy verdict never
+        resets by itself.
+        """
+        now = time.monotonic()
+        times = self._respawn_times[p]
+        times.append(now)
+        cutoff = now - self._window
+        while times and times[0] < cutoff:
+            times.pop(0)
+        if len(times) > self._max_burst:
+            self._unhealthy = (
+                f"replica {p} respawned {len(times)} times within "
+                f"{self._window:g}s (limit {self._max_burst}); the "
+                f"partition is crash-looping and the cluster is "
+                f"terminally unhealthy"
+            )
+            raise ClusterUnhealthyError(self._unhealthy)
+
+    @property
+    def unhealthy(self) -> str | None:
+        """The sticky escalation verdict (``None`` while healthy)."""
+        return self._unhealthy
 
     def kill(self, p: int, sig: int = signal.SIGKILL) -> None:
         """Send ``sig`` to replica ``p`` (the chaos hook for tests)."""

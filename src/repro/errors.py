@@ -21,6 +21,9 @@ __all__ = [
     "CheckpointError",
     "StreamConfigError",
     "WindowError",
+    "ReplicaUnavailableError",
+    "ReplicaRecoveringError",
+    "ClusterUnhealthyError",
 ]
 
 
@@ -77,3 +80,39 @@ class StreamConfigError(ReproError, ValueError):
 
 class WindowError(ReproError, ValueError):
     """Invalid sliding-window configuration or operation."""
+
+
+class ReplicaUnavailableError(ReproError, ConnectionError):
+    """A cluster partition's replica is down, slow past its deadline,
+    or circuit-broken.
+
+    Retryable: nothing from the failed request was journaled or
+    applied anywhere, so resending the exact same request later is
+    safe (the partition heals via supervisor respawn + snapshot
+    restore + journal replay, after which requests flow again).
+    """
+
+    retryable = True
+
+
+class ReplicaRecoveringError(ReproError, ConnectionError):
+    """The replica is mid-restore (snapshot upload + journal replay).
+
+    Raised *fast*, out of band, instead of letting a query queue
+    behind the replay backlog.  Retryable: once the recovery driver
+    signals completion the server answers normally again.
+    """
+
+    retryable = True
+
+
+class ClusterUnhealthyError(ReproError, RuntimeError):
+    """A replica died repeatedly within the respawn window.
+
+    Terminal, not retryable: the supervisor refuses further respawns
+    (something systemic — bad binary, OOM loop, port exhaustion — is
+    killing the replica faster than recovery can help) and the tier
+    must be torn down and fixed by an operator.
+    """
+
+    retryable = False

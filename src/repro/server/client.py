@@ -32,7 +32,11 @@ restarts: dialing retries with capped exponential backoff (including
 the first dial — a client may legitimately come up before its server,
 e.g. the cluster router waiting out a replica respawn), and a dropped
 connection heals transparently on the *next* request, renegotiating
-the codec.  What reconnection never does is resend: a request in
+the codec.  Each backoff sleep is shortened by a random jitter factor
+(``backoff_jitter``, default up to 50%) so a fleet of clients dropped
+by the same restart does not redial in lockstep and re-stampede the
+recovering server; ``backoff_rng`` injects the random source, which is
+how tests pin the exact sleep schedule.  What reconnection never does is resend: a request in
 flight when the connection died has an unknowable fate (the ack was
 lost, not necessarily the write), so in-flight futures and the
 interrupted call fail with a clear :class:`ConnectionError` and the
@@ -44,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import struct
 from time import perf_counter, sleep
@@ -159,6 +164,8 @@ class AsyncProfileClient:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         max_attempts: int = 20,
+        backoff_jitter: float = 0.5,
+        backoff_rng=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -168,6 +175,10 @@ class AsyncProfileClient:
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
         self._max_attempts = max_attempts
+        self._backoff_jitter = backoff_jitter
+        self._backoff_rng = (
+            backoff_rng if backoff_rng is not None else random.random
+        )
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
@@ -194,21 +205,27 @@ class AsyncProfileClient:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         max_attempts: int = 20,
+        backoff_jitter: float = 0.5,
+        backoff_rng=None,
     ) -> "AsyncProfileClient":
         """Open a connection, consume the server hello, negotiate codec.
 
         With ``reconnect=True`` the dial (this one and every later
         transparent redial) retries refused/failed connections with
         exponential backoff from ``backoff_base`` seconds, doubling up
-        to ``backoff_max``, giving up with :class:`ConnectionError`
-        after ``max_attempts`` tries.  Negotiation errors
+        to ``backoff_max`` — each sleep randomly shortened by up to
+        ``backoff_jitter`` of itself (``backoff_rng`` injects the
+        random source) — giving up with :class:`ConnectionError` after
+        ``max_attempts`` tries.  Negotiation errors
         (:class:`ProtocolError`) are configuration problems and never
         retried.
         """
+        rng = backoff_rng if backoff_rng is not None else random.random
         if reconnect:
             reader, writer, hello, negotiated = await cls._dial_backoff(
                 host, port, codec, max_frame,
                 backoff_base, backoff_max, max_attempts,
+                backoff_jitter, rng,
             )
         else:
             reader, writer, hello, negotiated = await cls._dial(
@@ -227,6 +244,8 @@ class AsyncProfileClient:
             backoff_base=backoff_base,
             backoff_max=backoff_max,
             max_attempts=max_attempts,
+            backoff_jitter=backoff_jitter,
+            backoff_rng=rng,
         )
 
     @staticmethod
@@ -268,9 +287,17 @@ class AsyncProfileClient:
 
     @classmethod
     async def _dial_backoff(
-        cls, host, port, codec, max_frame, base, cap, max_attempts
+        cls, host, port, codec, max_frame, base, cap, max_attempts,
+        jitter=0.5, rng=random.random,
     ):
-        """Dial until connected, backing off exponentially (capped)."""
+        """Dial until connected, backing off exponentially (capped).
+
+        The nominal delay doubles from ``base`` up to ``cap``; each
+        actual sleep is ``delay * (1 - jitter * rng())`` — full delay
+        at ``jitter=0``, anywhere down to half of it at the default —
+        desynchronizing a fleet of clients that all lost the same
+        server at the same instant.
+        """
         delay = base
         last: Exception | None = None
         for _attempt in range(max_attempts):
@@ -278,7 +305,7 @@ class AsyncProfileClient:
                 return await cls._dial(host, port, codec, max_frame)
             except (ConnectionError, OSError) as exc:
                 last = exc
-                await asyncio.sleep(delay)
+                await asyncio.sleep(delay * (1.0 - jitter * rng()))
                 delay = min(delay * 2, cap)
         raise ConnectionError(
             f"could not reach {host}:{port} after {max_attempts} "
@@ -411,6 +438,8 @@ class AsyncProfileClient:
             self._backoff_base,
             self._backoff_max,
             self._max_attempts,
+            self._backoff_jitter,
+            self._backoff_rng,
         )
         self._install(reader, writer, hello, negotiated)
 
@@ -463,7 +492,11 @@ class AsyncProfileClient:
             decode_value(q.kind, v)
             for q, v in zip(plan, resp["values"])
         )
-        return EvalResult(queries=plan, values=values)
+        return EvalResult(
+            queries=plan,
+            values=values,
+            partial=bool(resp.get("partial", False)),
+        )
 
     async def describe(self) -> dict[str, Any]:
         """Engine introspection plus the ``server`` stats block."""
@@ -473,14 +506,59 @@ class AsyncProfileClient:
         """Download the facade checkpoint (``Profiler.to_state()``)."""
         return (await self.request("checkpoint"))["state"]
 
-    async def restore(self, state: dict) -> str:
+    async def restore(
+        self, state: dict, *, recovering: bool = False
+    ) -> str:
         """Upload a checkpoint; the server swaps its hosted profiler.
 
         A pipelined barrier like ``checkpoint``: every ingest sent
         before it applies to the old profiler, everything after to the
         restored one.  Returns the restored backend name.
+
+        ``recovering=True`` (used by the cluster router) puts the
+        server in recovering mode after the swap: reads from *other*
+        connections fail fast with
+        :class:`~repro.errors.ReplicaRecoveringError` until
+        :meth:`resume` — the window in which the caller replays the
+        journal behind the snapshot.
         """
-        return (await self.request("restore", state=state))["restored"]
+        fields: dict[str, Any] = {"state": state}
+        if recovering:
+            fields["recovering"] = True
+        return (await self.request("restore", **fields))["restored"]
+
+    async def resume(self) -> bool:
+        """End the recovering window opened by ``restore(recovering=True)``."""
+        return (await self.request("resume"))["resumed"]
+
+    # -- 2PC verbs (cluster router only) --------------------------------
+
+    async def prepare(self, txn: int, ids, deltas) -> int:
+        """Phase 1: validate + stage one transaction's sub-batch.
+
+        The server checks the ids against its capacity and replays
+        strict-mode underflow admission against its state plus every
+        transaction already staged; nothing is applied.  Raises the
+        validation error on refusal.  Rides the JSON envelope on
+        either codec — 2PC traffic is the strictness tax, not the hot
+        path.
+        """
+        ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        deltas = (
+            deltas.tolist() if hasattr(deltas, "tolist") else list(deltas)
+        )
+        events = [[int(x), int(d)] for x, d in zip(ids, deltas)]
+        return (
+            await self.request("prepare", txn=txn, events=events)
+        )["staged"]
+
+    async def commit_txn(self, txn: int) -> int:
+        """Phase 2: apply a staged transaction; returns units applied."""
+        return (await self.request("commit", txn=txn))["applied"]
+
+    async def abort_txn(self, txn: int) -> bool:
+        """Drop a staged transaction (idempotent on unknown txns)."""
+        return (await self.request("abort", txn=txn))["aborted"]
 
     async def health(self) -> dict[str, Any]:
         """Cheap liveness probe, answered out of band by the reader.
@@ -512,6 +590,26 @@ class AsyncProfileClient:
         return (await self.evaluate(Query.total()))[0]
 
     # -- lifecycle -----------------------------------------------------
+
+    def abort(self) -> None:
+        """Drop the connection NOW — no goodbye, no waiting.
+
+        The circuit-breaker teardown: :meth:`aclose` politely waits up
+        to 10 s for a goodbye ack, which is exactly wrong against a
+        frozen (SIGSTOP'd) or wedged server.  In-flight futures fail
+        with the standard dropped-connection error; the client object
+        is closed and will not reconnect.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._recv_task.cancel()
+        transport = getattr(self._writer, "transport", None)
+        if transport is not None:
+            transport.abort()
+        else:  # pragma: no cover - streams always expose a transport
+            self._writer.close()
+        self._fail_pending(self._dropped(None))
 
     async def aclose(self) -> None:
         """Graceful close: drain in-flight acks, say goodbye, hang up."""
@@ -563,6 +661,8 @@ class ProfileClient:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         max_attempts: int = 20,
+        backoff_jitter: float = 0.5,
+        backoff_rng=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -573,6 +673,10 @@ class ProfileClient:
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
         self._max_attempts = max_attempts
+        self._backoff_jitter = backoff_jitter
+        self._backoff_rng = (
+            backoff_rng if backoff_rng is not None else random.random
+        )
         self._ids = itertools.count(1)
         self._closed = False
         self._sock: socket.socket | None = None
@@ -636,7 +740,12 @@ class ProfileClient:
             raise
 
     def _connect_backoff(self) -> None:
-        """Dial until connected, backing off exponentially (capped)."""
+        """Dial until connected, backing off exponentially (capped).
+
+        Same jittered schedule as the async client: each sleep is the
+        nominal delay shortened by up to ``backoff_jitter`` of itself,
+        so clients dropped together do not redial together.
+        """
         delay = self._backoff_base
         last: Exception | None = None
         for _attempt in range(self._max_attempts):
@@ -645,7 +754,7 @@ class ProfileClient:
                 return
             except (ConnectionError, OSError) as exc:
                 last = exc
-                sleep(delay)
+                sleep(delay * (1.0 - self._backoff_jitter * self._backoff_rng()))
                 delay = min(delay * 2, self._backoff_max)
         raise ConnectionError(
             f"could not reach {self._host}:{self._port} after "
@@ -761,6 +870,11 @@ class ProfileClient:
             try:
                 return self._await(req_id)
             except (ConnectionError, OSError) as exc:
+                if hasattr(exc, "remote_seq"):
+                    # A server-side rejection that merely *subclasses*
+                    # ConnectionError (e.g. ReplicaUnavailableError):
+                    # the link is fine and the answer is authoritative.
+                    raise
                 self._teardown()
                 raise ConnectionError(
                     f"connection to {self._host}:{self._port} lost "
@@ -805,7 +919,11 @@ class ProfileClient:
             decode_value(q.kind, v)
             for q, v in zip(plan, resp["values"])
         )
-        return EvalResult(queries=plan, values=values)
+        return EvalResult(
+            queries=plan,
+            values=values,
+            partial=bool(resp.get("partial", False)),
+        )
 
     def describe(self) -> dict[str, Any]:
         return self.request("describe")["info"]
@@ -813,9 +931,12 @@ class ProfileClient:
     def checkpoint(self) -> dict[str, Any]:
         return self.request("checkpoint")["state"]
 
-    def restore(self, state: dict) -> str:
+    def restore(self, state: dict, *, recovering: bool = False) -> str:
         """Upload a checkpoint; the server swaps its hosted profiler."""
-        return self.request("restore", state=state)["restored"]
+        fields: dict[str, Any] = {"state": state}
+        if recovering:
+            fields["recovering"] = True
+        return self.request("restore", **fields)["restored"]
 
     def health(self) -> dict[str, Any]:
         """Cheap liveness probe, answered out of band by the reader."""

@@ -119,9 +119,12 @@ from repro.core.queries import ModeResult, TopEntry
 from repro.errors import (
     CapacityError,
     CheckpointError,
+    ClusterUnhealthyError,
     EmptyProfileError,
     FrequencyUnderflowError,
     InvariantViolationError,
+    ReplicaRecoveringError,
+    ReplicaUnavailableError,
     ReproError,
     StreamConfigError,
     UnknownObjectError,
@@ -674,10 +677,13 @@ _ERROR_TYPES = {
     for cls in (
         CapacityError,
         CheckpointError,
+        ClusterUnhealthyError,
         EmptyProfileError,
         FrequencyUnderflowError,
         InvariantViolationError,
         ProtocolError,
+        ReplicaRecoveringError,
+        ReplicaUnavailableError,
         StreamConfigError,
         UnknownObjectError,
         WindowError,

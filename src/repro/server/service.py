@@ -66,6 +66,7 @@ from repro.errors import (
     CapacityError,
     CheckpointError,
     FrequencyUnderflowError,
+    ReplicaRecoveringError,
     ReproError,
 )
 from repro.server.protocol import (
@@ -86,6 +87,7 @@ from repro.server.protocol import (
     read_binary_frame,
     read_frame,
 )
+from repro.testing.faults import fault_point
 
 try:  # binary frames move int64 arrays; numpy-less hosts stay JSON
     import numpy as _np
@@ -505,6 +507,13 @@ class ProfileServer:
         self._partition = tuple(partition) if partition else None
         self._stats = ServerStats()
         self._seq = 0
+        # 2PC transactions staged by a cluster router (txn -> pairs +
+        # their net deltas); overlaid on prepare-time validation so
+        # concurrently staged transactions cannot jointly underflow.
+        self._staged: dict[int, tuple[Any, dict]] = {}
+        # Set while a router restore+replay is in flight: reads fail
+        # fast (out of band) instead of queueing behind the backlog.
+        self._recovering = False
         self._queue: asyncio.Queue | None = None
         self._server: asyncio.AbstractServer | None = None
         self._flusher: asyncio.Task | None = None
@@ -644,6 +653,30 @@ class ProfileServer:
                         )
                     )
                     continue
+                if self._recovering and item.kind in (
+                    "evaluate", "describe", "checkpoint"
+                ):
+                    # Mid-restore reads fail fast, out of band: the
+                    # pipeline holds a replay backlog and the answer
+                    # would be stale-then-slow.  Typed and retryable —
+                    # the replica is healing, not gone.
+                    await conn.send(
+                        self._pack_response(
+                            conn,
+                            {
+                                "id": item.req_id,
+                                "ok": False,
+                                "error": encode_error(
+                                    ReplicaRecoveringError(
+                                        "replica is restoring a "
+                                        "snapshot and replaying its "
+                                        "journal; retry shortly"
+                                    )
+                                ),
+                            },
+                        )
+                    )
+                    continue
                 await self._enqueue(item)
                 if item.kind == "close":
                     close_enqueued = True
@@ -754,8 +787,21 @@ class ProfileServer:
         if op == "evaluate":
             queries = decode_queries(msg.get("queries"))
             return _Item("evaluate", conn, req_id, queries)
-        if op in ("describe", "checkpoint", "ping", "close", "health"):
+        if op in ("describe", "checkpoint", "ping", "close", "health",
+                  "resume"):
             return _Item(op, conn, req_id)
+        if op in ("prepare", "commit", "abort"):
+            txn = msg.get("txn")
+            if not isinstance(txn, int) or isinstance(txn, bool):
+                raise ProtocolError(
+                    f"{op} 'txn' must be an integer, got {txn!r}"
+                )
+            if op == "prepare":
+                pairs = decode_events(
+                    msg.get("events"), dense=self._dense
+                )
+                return _Item("prepare", conn, req_id, (txn, pairs))
+            return _Item(op, conn, req_id, txn)
         if op == "restore":
             state = msg.get("state")
             if not isinstance(state, dict):
@@ -763,7 +809,12 @@ class ProfileServer:
                     f"restore 'state' must be a checkpoint object, got "
                     f"{type(state).__name__}"
                 )
-            return _Item("restore", conn, req_id, state)
+            return _Item(
+                "restore",
+                conn,
+                req_id,
+                (state, bool(msg.get("recovering", False))),
+            )
         if op == "hello":
             raise ProtocolError(
                 "hello must be the first request on a connection"
@@ -824,6 +875,11 @@ class ProfileServer:
         """Apply one coalesced flush and ack every wire batch in it."""
         if not batch:
             return
+        # Delay-only by convention: an exception raised here would kill
+        # the flusher task outright; schedules that want a *failure* in
+        # a replica flush target "service.execute" (whose errors become
+        # error responses) or crash the whole process externally.
+        await fault_point("service.flush")
         stats = self._stats
         stats.flushes += 1
         n_events = sum(len(item.data) for item in batch)
@@ -1023,6 +1079,7 @@ class ProfileServer:
                 self._stats.binary_connections += 1
             return
         try:
+            await fault_point("service.execute")
             if kind == "evaluate":
                 self._stats.queries += 1
                 result = self._profiler.evaluate(*item.data)
@@ -1047,11 +1104,49 @@ class ProfileServer:
                     "state": self._profiler.to_state(),
                 }
             elif kind == "restore":
+                state, recovering = item.data
                 payload = {
                     "id": item.req_id,
                     "ok": True,
                     "seq": self._seq,
-                    "restored": self._restore_state(item.data),
+                    "restored": self._restore_state(
+                        state, recovering=recovering
+                    ),
+                }
+            elif kind == "prepare":
+                txn, pairs = item.data
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "staged": self._stage_txn(txn, pairs),
+                }
+            elif kind == "commit":
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "applied": self._commit_txn(item.data),
+                }
+            elif kind == "abort":
+                # Idempotent: aborting an unknown transaction is a
+                # no-op success — the router retries aborts blindly
+                # after connection loss, and a restored replica has
+                # already dropped its staged copies.
+                self._staged.pop(item.data, None)
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "aborted": True,
+                }
+            elif kind == "resume":
+                self._recovering = False
+                payload = {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "resumed": True,
                 }
             elif kind == "ping":
                 payload = {
@@ -1072,7 +1167,53 @@ class ProfileServer:
             }
         await conn.send(self._pack_response(conn, payload))
 
-    def _restore_state(self, state: dict) -> str:
+    def _stage_txn(self, txn: int, pairs) -> int:
+        """Phase 1 of a router 2PC transaction: validate and stage.
+
+        The replica itself is non-strict (strictness is a cluster-wide
+        property only the router can see whole), so prepare replays the
+        strict admission rules locally: every id in range, and no net
+        removal may underflow the *would-be* frequency — current state
+        plus every already-staged transaction.  Staging applies
+        nothing; the pairs wait in :attr:`_staged` for the decision.
+        """
+        if isinstance(pairs, ArrayBatch):  # pragma: no cover - JSON op
+            net = pairs.net()
+        else:
+            net = net_deltas(pairs)
+        m = self._profiler.capacity
+        overlay: dict = {}
+        for staged_pairs, staged_net in self._staged.values():
+            for x, d in staged_net.items():
+                overlay[x] = overlay.get(x, 0) + d
+        for x in net:
+            if not 0 <= x < m:
+                raise CapacityError(
+                    f"object id {x} out of range [0, {m})"
+                )
+        for x, d in net.items():
+            if d < 0:
+                shifted = self._profiler.frequency(x) + overlay.get(x, 0)
+                if shifted + d < 0:
+                    raise FrequencyUnderflowError(
+                        f"removing object {x} at frequency {shifted} "
+                        f"{-d} times (net) would go negative"
+                    )
+        self._staged[txn] = (pairs, net)
+        return len(self._staged)
+
+    def _commit_txn(self, txn: int) -> int:
+        """Phase 2: apply a staged transaction."""
+        staged = self._staged.pop(txn, None)
+        if staged is None:
+            raise ProtocolError(
+                f"commit for unknown transaction {txn}; it was never "
+                f"prepared here, or a restore discarded it"
+            )
+        pairs, _net = staged
+        return self._ingest_one(pairs)
+
+    def _restore_state(self, state: dict, *, recovering: bool = False) -> str:
         """Swap the hosted profiler for a checkpoint (``restore`` op).
 
         The recovery half of the checkpoint pair: a replacement replica
@@ -1123,6 +1264,12 @@ class ProfileServer:
         current.close()
         self._profiler = replacement
         self._strategy = strategy
+        # A restore rewinds time: anything staged under the old state
+        # belongs to a router incarnation that no longer exists (the
+        # journal replay behind this restore carries every decided
+        # transaction), so staged copies are dropped wholesale.
+        self._staged.clear()
+        self._recovering = bool(recovering)
         self._stats.restores += 1
         return replacement.backend_name
 
@@ -1161,6 +1308,8 @@ class ProfileServer:
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "connections": len(self._conns),
             "draining": self._stopping,
+            "recovering": self._recovering,
+            "staged_txns": len(self._staged),
         }
 
     def describe_server(self) -> dict[str, Any]:

@@ -1,0 +1,306 @@
+"""Deterministic fault injection for the cluster/serving stack.
+
+The hardening tests need to crash, delay and drop at *exact* moments
+— "after the WAL fsync but before the fan-out", "between 2PC prepare
+and commit" — and need the same schedule to replay bit-for-bit on
+every run.  This module provides that as a seeded schedule of named
+**fault points**:
+
+- Production code declares points with :func:`fault_point` (async) or
+  :func:`fault_point_sync` (sync):  ``await fault_point("router.fanout")``.
+  With no schedule armed the call is one module-attribute check — the
+  serving hot path pays nothing.
+- Tests build a :class:`FaultSchedule` — either explicit triggers
+  (``[("router.fanout", 2, "crash")]`` = crash the 3rd time that point
+  fires) or :meth:`FaultSchedule.random` (a seeded draw over a menu of
+  points) — and :func:`arm` it around the scenario.
+
+Actions
+-------
+``"error"``
+    Raise :class:`InjectedFault` (a :class:`ConnectionError`): the
+    connection-shaped failure every retry/recovery path must absorb.
+``"crash"``
+    Raise :class:`SimulatedCrash` (``BaseException``-derived so no
+    ``except Exception`` recovery path can swallow it): process death
+    at this instruction.  The cluster router converts it into an
+    in-process SIGKILL equivalent (abort every connection, stop
+    serving, leave all state exactly as the dying process would);
+    drivers then boot a fresh router on the same journal dir.
+``float``
+    ``asyncio.sleep(x)`` at the point (sync points ``time.sleep``):
+    the injected-delay knob for deadline and circuit-breaker tests.
+``callable``
+    Run it (e.g. ``lambda: supervisor.crash(p)`` — kill a *different*
+    process at this point, which is how "replica dies between prepare
+    and commit" is scheduled deterministically).
+
+Schedules also parse from a compact spec string
+(:meth:`FaultSchedule.from_spec`, ``point:occurrence:action[:arg]``
+comma-separated) so the CI chaos job can inject real delays into a
+live ``python -m repro.cluster`` process via ``--faults`` /
+``REPRO_FAULTS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Iterable
+
+__all__ = [
+    "FaultSchedule",
+    "InjectedFault",
+    "SimulatedCrash",
+    "active_schedule",
+    "arm",
+    "disarm",
+    "fault_point",
+    "fault_point_sync",
+]
+
+
+class InjectedFault(ConnectionError):
+    """A scheduled connection-shaped failure (retry paths must absorb it)."""
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at {point!r} (occurrence {occurrence})"
+        )
+        self.point = point
+        self.occurrence = occurrence
+
+
+class SimulatedCrash(BaseException):
+    """Scheduled process death at a fault point.
+
+    Deliberately *not* an :class:`Exception`: no ``except Exception``
+    recovery path may swallow it — only the component that models the
+    crash (e.g. the router's crash converter) catches it explicitly,
+    exactly as SIGKILL gives real code no chance to clean up.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(
+            f"simulated crash at {point!r} (occurrence {occurrence})"
+        )
+        self.point = point
+        self.occurrence = occurrence
+
+
+class FaultSchedule:
+    """A deterministic map from (fault point, occurrence) to an action.
+
+    ``triggers`` is an iterable of ``(point, occurrence, action)``:
+    the ``occurrence``-th time (0-based) that ``point`` fires, run
+    ``action``.  Occurrence counting is per point name, monotonic over
+    the armed lifetime, and exposed in :attr:`counts` so tests can
+    assert a schedule actually fired (a trigger that never fires is a
+    stale point name — :meth:`unfired` names them).
+    """
+
+    def __init__(
+        self,
+        triggers: Iterable[tuple[str, int, Any]] = (),
+    ) -> None:
+        self._triggers: dict[tuple[str, int], Any] = {}
+        for point, occurrence, action in triggers:
+            self.add(point, occurrence, action)
+        self.counts: dict[str, int] = {}
+        self.fired: list[tuple[str, int, Any]] = []
+
+    def add(self, point: str, occurrence: int, action: Any) -> None:
+        if occurrence < 0:
+            raise ValueError(
+                f"occurrence must be >= 0, got {occurrence}"
+            )
+        self._validate_action(action)
+        self._triggers[(str(point), int(occurrence))] = action
+
+    @staticmethod
+    def _validate_action(action: Any) -> None:
+        if action in ("error", "crash"):
+            return
+        if isinstance(action, bool):
+            raise ValueError(f"invalid fault action {action!r}")
+        if isinstance(action, (int, float)):
+            if action < 0:
+                raise ValueError(
+                    f"delay action must be >= 0, got {action}"
+                )
+            return
+        if callable(action):
+            return
+        raise ValueError(
+            f"invalid fault action {action!r}; expected 'error', "
+            f"'crash', a delay in seconds, or a callable"
+        )
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        points: Iterable[str],
+        *,
+        n_faults: int = 3,
+        actions: tuple = ("error", "crash", 0.002),
+        max_occurrence: int = 8,
+    ) -> "FaultSchedule":
+        """A seeded draw: ``n_faults`` triggers over ``points``.
+
+        Same seed, same schedule — the property suite's replayable
+        chaos source.  Occurrences are drawn in ``[0, max_occurrence)``
+        so faults land inside a short scenario, not past its end.
+        """
+        rng = random.Random(seed)
+        points = sorted(points)
+        if not points:
+            raise ValueError("need at least one fault point")
+        schedule = cls()
+        for _ in range(n_faults):
+            schedule.add(
+                rng.choice(points),
+                rng.randrange(max_occurrence),
+                rng.choice(actions),
+            )
+        return schedule
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultSchedule":
+        """Parse ``point:occurrence:action[:arg]`` comma-separated.
+
+        ``action`` is ``error``, ``crash`` or ``delay`` (whose ``arg``
+        is seconds).  The CLI/env form used by the CI chaos job, e.g.
+        ``router.fanout:3:delay:0.05,supervisor.spawn:1:error``.
+        """
+        schedule = cls()
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            fields = chunk.split(":")
+            if len(fields) not in (3, 4):
+                raise ValueError(
+                    f"bad fault spec {chunk!r}; expected "
+                    f"point:occurrence:action[:arg]"
+                )
+            point, occurrence, action = fields[0], int(fields[1]), fields[2]
+            if action == "delay":
+                if len(fields) != 4:
+                    raise ValueError(
+                        f"delay spec {chunk!r} needs seconds, e.g. "
+                        f"{chunk}:0.05"
+                    )
+                schedule.add(point, occurrence, float(fields[3]))
+            elif action in ("error", "crash"):
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"{action} spec {chunk!r} takes no argument"
+                    )
+                schedule.add(point, occurrence, action)
+            else:
+                raise ValueError(
+                    f"unknown fault action {action!r} in {chunk!r}"
+                )
+        return schedule
+
+    # -- firing --------------------------------------------------------
+
+    def poll(self, point: str):
+        """Count one occurrence of ``point``; return the due action.
+
+        Returns ``(action, occurrence)`` or ``None``.  Pure
+        bookkeeping — the caller (the module-level fault point
+        helpers) performs the action, so ``poll`` stays synchronous
+        and testable.
+        """
+        occurrence = self.counts.get(point, 0)
+        self.counts[point] = occurrence + 1
+        action = self._triggers.get((point, occurrence))
+        if action is None:
+            return None
+        self.fired.append((point, occurrence, action))
+        return action, occurrence
+
+    def unfired(self) -> list[tuple[str, int]]:
+        """Triggers that never fired (stale point names, short runs)."""
+        fired = {(p, o) for p, o, _ in self.fired}
+        return sorted(k for k in self._triggers if k not in fired)
+
+    def __len__(self) -> int:
+        return len(self._triggers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultSchedule({len(self._triggers)} triggers, "
+            f"{len(self.fired)} fired)"
+        )
+
+
+#: The armed schedule (module-level: fault points are process-wide,
+#: like the faults they simulate).  ``None`` = every point is free.
+_ACTIVE: FaultSchedule | None = None
+
+
+def arm(schedule: FaultSchedule) -> FaultSchedule:
+    """Arm ``schedule`` process-wide; returns it (for chaining)."""
+    global _ACTIVE
+    _ACTIVE = schedule
+    return schedule
+
+
+def disarm() -> None:
+    """Disarm fault injection (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_schedule() -> FaultSchedule | None:
+    return _ACTIVE
+
+
+def _perform_sync(point: str, due) -> None:
+    action, occurrence = due
+    if action == "error":
+        raise InjectedFault(point, occurrence)
+    if action == "crash":
+        raise SimulatedCrash(point, occurrence)
+    if isinstance(action, (int, float)):
+        time.sleep(action)
+        return
+    action()
+
+
+async def fault_point(point: str) -> None:
+    """Async fault point: sleep, raise or call per the armed schedule."""
+    schedule = _ACTIVE
+    if schedule is None:
+        return
+    due = schedule.poll(point)
+    if due is None:
+        return
+    action, occurrence = due
+    if action == "error":
+        raise InjectedFault(point, occurrence)
+    if action == "crash":
+        raise SimulatedCrash(point, occurrence)
+    if isinstance(action, (int, float)):
+        await asyncio.sleep(action)
+        return
+    result = action()
+    if asyncio.iscoroutine(result):
+        await result
+
+
+def fault_point_sync(point: str) -> None:
+    """Sync fault point (journal/WAL code paths, supervisor spawns)."""
+    schedule = _ACTIVE
+    if schedule is None:
+        return
+    due = schedule.poll(point)
+    if due is None:
+        return
+    _perform_sync(point, due)

@@ -1,0 +1,256 @@
+"""Unit tests for the durable router WAL (`repro.cluster.journal`).
+
+The WAL's contract is narrow and absolute: every record appended and
+synced before a crash is recovered byte-exactly; a torn tail (the one
+artifact a mid-write crash can leave) is truncated silently; any other
+corruption refuses loudly; 2PC prepare entries surface only with a
+durable commit decision behind them; segments prune once snapshots
+cover them.
+"""
+
+import struct
+
+import pytest
+
+from repro.cluster.journal import RouterWal
+from repro.errors import CheckpointError
+
+
+def write_entries(wal, spec):
+    """spec: list of (partition, seq, ids, deltas)."""
+    for p, seq, ids, deltas in spec:
+        wal.append_entry(p, seq, ids, deltas)
+    wal.sync()
+
+
+class TestRoundTrip:
+    def test_entries_recover_exactly(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(
+                wal,
+                [
+                    (0, 1, [3, 5], [2, -1]),
+                    (1, 2, [0], [7]),
+                    (0, 3, [9], [1]),
+                ],
+            )
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.last_seq == 3
+        assert sorted(recovery.entries) == [0, 1]
+        p0 = recovery.entries[0]
+        assert [(e.seq, list(e.ids), list(e.deltas)) for e in p0] == [
+            (1, [3, 5], [2, -1]),
+            (3, [9], [1]),
+        ]
+        p1 = recovery.entries[1]
+        assert [(e.seq, list(e.ids), list(e.deltas)) for e in p1] == [
+            (2, [0], [7])
+        ]
+
+    def test_empty_dir_loads_empty(self, tmp_path):
+        recovery = RouterWal(tmp_path / "fresh").load()
+        assert recovery.last_seq == 0
+        assert recovery.entries == {}
+        assert recovery.snapshots == {}
+
+    def test_load_is_idempotent(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(0, 1, [1], [1])])
+        first = RouterWal(tmp_path).load()
+        second = RouterWal(tmp_path).load()
+        assert first.last_seq == second.last_seq == 1
+        assert len(second.entries[0]) == 1
+
+    def test_negative_deltas_and_large_seqs(self, tmp_path):
+        big = 2**40
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(2, big, [7], [-(2**33)])])
+        recovery = RouterWal(tmp_path).load()
+        entry = recovery.entries[2][0]
+        assert entry.seq == big
+        assert list(entry.deltas) == [-(2**33)]
+
+
+class TestSnapshots:
+    def test_snapshot_skips_covered_entries(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(
+                wal, [(0, 1, [1], [1]), (0, 2, [2], [1]), (0, 3, [3], [1])]
+            )
+            wal.note_snapshot(0, 2, {"fake": "state", "seq": 2})
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.snapshot_seqs == {0: 2}
+        assert recovery.snapshots[0] == {"fake": "state", "seq": 2}
+        # Entries at or below the snapshot watermark are already inside
+        # the snapshot; only seq 3 replays.
+        assert [e.seq for e in recovery.entries[0]] == [3]
+        assert recovery.last_seq == 3
+
+    def test_snapshot_overwrites_previous(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.note_snapshot(1, 5, {"v": 1})
+            wal.note_snapshot(1, 9, {"v": 2})
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.snapshots[1] == {"v": 2}
+        assert recovery.snapshot_seqs[1] == 9
+
+    def test_malformed_snapshot_refuses(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.note_snapshot(0, 1, {"v": 1})
+        snap = next(tmp_path.glob("snapshot-p*.json"))
+        snap.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            RouterWal(tmp_path).load()
+
+
+class TestTornAndCorrupt:
+    def _last_segment(self, tmp_path):
+        return sorted(tmp_path.glob("wal-*.log"))[-1]
+
+    def test_torn_tail_truncated(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(0, 1, [1], [1]), (0, 2, [2], [1])])
+        seg = self._last_segment(tmp_path)
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-3])  # tear the final record mid-payload
+        recovery = RouterWal(tmp_path).load()
+        # The torn record (seq 2) was never synced-and-acked whole in
+        # this scenario's framing; it drops, the intact prefix stays.
+        assert [e.seq for e in recovery.entries[0]] == [1]
+        assert recovery.last_seq == 1
+        # The truncation is persistent: the file now ends at the last
+        # good record and appending resumes cleanly.
+        wal2 = RouterWal(tmp_path)
+        wal2.load()
+        wal2.append_entry(0, 2, [9], [9])
+        wal2.sync()
+        wal2.close()
+        final = RouterWal(tmp_path).load()
+        assert [e.seq for e in final.entries[0]] == [1, 2]
+
+    def test_mid_segment_corruption_refuses(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(
+                wal, [(0, 1, [1], [1]), (0, 2, [2], [1]), (0, 3, [3], [1])]
+            )
+        seg = self._last_segment(tmp_path)
+        data = bytearray(seg.read_bytes())
+        # Flip a payload byte of the FIRST record (well before the
+        # tail): CRC mismatch that truncation must NOT paper over.
+        data[14] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            RouterWal(tmp_path).load()
+
+    def test_bad_magic_refuses(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(0, 1, [1], [1])])
+        seg = self._last_segment(tmp_path)
+        seg.write_bytes(b"XXXXXXXX" + seg.read_bytes()[8:])
+        with pytest.raises(CheckpointError):
+            RouterWal(tmp_path).load()
+
+    def test_truncated_frame_header_in_last_segment(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(0, 1, [1], [1])])
+        seg = self._last_segment(tmp_path)
+        seg.write_bytes(seg.read_bytes() + struct.pack("<I", 99))
+        recovery = RouterWal(tmp_path).load()
+        assert [e.seq for e in recovery.entries[0]] == [1]
+
+
+class TestTwoPhase:
+    def test_committed_prepared_entries_replay(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.append_entry(0, 1, [1], [1], prepared=True)
+            wal.append_entry(1, 1, [0], [2], prepared=True)
+            wal.sync()
+            wal.append_decision(1, [0, 1], commit=True)
+            wal.sync()
+        recovery = RouterWal(tmp_path).load()
+        assert [e.seq for e in recovery.entries[0]] == [1]
+        assert [e.seq for e in recovery.entries[1]] == [1]
+
+    def test_aborted_prepared_entries_drop(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.append_entry(0, 1, [1], [1], prepared=True)
+            wal.append_entry(1, 1, [0], [2], prepared=True)
+            wal.append_decision(1, [0, 1], commit=False)
+            wal.sync()
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.entries == {}
+        # The seq is still burned: recovery must never reuse it.
+        assert recovery.last_seq == 1
+
+    def test_undecided_prepared_entries_drop(self, tmp_path):
+        # Crash between prepare and the decision record: no replica
+        # applied anything (commits are sent only after the decision
+        # is durable), so recovery drops the transaction entirely.
+        with RouterWal(tmp_path) as wal:
+            wal.append_entry(0, 1, [1], [1], prepared=True)
+            wal.append_entry(1, 1, [0], [2], prepared=True)
+            wal.sync()
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.entries == {}
+        assert recovery.last_seq == 1
+
+    def test_decided_and_plain_interleave(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.append_entry(0, 1, [1], [1])
+            wal.append_entry(0, 2, [2], [1], prepared=True)
+            wal.append_decision(2, [0], commit=True)
+            wal.append_entry(0, 3, [3], [1], prepared=True)  # undecided
+            wal.sync()
+        recovery = RouterWal(tmp_path).load()
+        assert [e.seq for e in recovery.entries[0]] == [1, 2]
+        assert recovery.last_seq == 3
+
+
+class TestSegments:
+    def test_rotation_and_prune(self, tmp_path):
+        wal = RouterWal(tmp_path, segment_bytes=4096)
+        for seq in range(1, 40):
+            wal.append_entry(0, seq, [seq % 7] * 100, [1] * 100)
+        wal.sync()
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) > 1
+        wal.note_snapshot(0, 39, {"v": 1})
+        # Every sealed segment is covered; only the live one survives.
+        remaining = sorted(tmp_path.glob("wal-*.log"))
+        assert len(remaining) == 1
+        wal.close()
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.entries.get(0, []) == []
+        assert recovery.snapshot_seqs == {0: 39}
+
+    def test_prune_spares_uncovered_segments(self, tmp_path):
+        wal = RouterWal(tmp_path, segment_bytes=4096)
+        for seq in range(1, 40):
+            wal.append_entry(seq % 2, seq, [0] * 100, [1] * 100)
+        wal.sync()
+        before = len(sorted(tmp_path.glob("wal-*.log")))
+        # Snapshot covers only partition 0: segments holding partition
+        # 1 entries past seq 0 must all survive.
+        wal.note_snapshot(0, 39, {"v": 1})
+        wal.close()
+        recovery = RouterWal(tmp_path).load()
+        assert before >= 2
+        assert [e.seq for e in recovery.entries[1]] == list(range(1, 40, 2))
+
+    def test_describe_counters(self, tmp_path):
+        wal = RouterWal(tmp_path, segment_bytes=1 << 20)
+        wal.append_entry(0, 1, [1], [1])
+        wal.sync()
+        wal.sync()  # clean: no-op
+        info = wal.describe()
+        assert info["segments"] == 1
+        assert info["records"] == 1
+        assert info["syncs"] == 1
+        assert info["fsync"] is True
+        wal.close()
+
+    def test_nosync_mode_still_recovers_after_close(self, tmp_path):
+        with RouterWal(tmp_path, sync=False) as wal:
+            write_entries(wal, [(0, 1, [1], [1])])
+        recovery = RouterWal(tmp_path).load()
+        assert [e.seq for e in recovery.entries[0]] == [1]
