@@ -37,7 +37,11 @@ CI can gate) how the hot paths move over time:
   (journal + vectorized partitioning + fan-out + ack merge) fronting
   1/2/4 replica subprocesses vs the same engine served directly, at
   bulk-transfer wire batching.  Like ``parallel_batch``, per-replica
-  ratios gate only within the measuring machine's core budget.
+  ratios gate only within the measuring machine's core budget.  Its
+  nested ``failover`` block times the warm-standby machinery: the
+  serving gap of a lease handoff (standby promotion, WAL-primed) and
+  the ingest throughput retained while a live ``rescale`` migration
+  double-writes the stream.
 
 Measurement protocol: per path the contenders are timed in
 *interleaved* rounds (A, B, A, B, ...) and the **minimum** time per
@@ -702,6 +706,7 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
     import tempfile
 
     from repro.cluster.router import ClusterRouter
+    from repro.cluster.standby import StandbyRouter
     from repro.cluster.supervisor import ReplicaSupervisor
     from repro.server.client import AsyncProfileClient
     from repro.server.service import ProfileServer
@@ -826,9 +831,174 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
 
             timers["cluster_wal"] = run_wal
             best = _interleaved_min(timers, rounds)
+
+            # -- failover + live-rescale duel --------------------------
+            # Both numbers are self-normalizing ratios (two measurements
+            # of the same machine minutes apart), like wal_overhead, so
+            # they gate without cpu scoping.
+            prime_n = min(n, 8 * wire)
+
+            async def drive_prefix(client, upto):
+                for i in range(0, upto, wire):
+                    j = min(i + wire, upto)
+                    if np is not None:
+                        frame = (ids_i64[i:j], deltas_i64[i:j])
+                    else:
+                        frame = events[i:j]
+                    await client.ingest(frame)
+
+            async def run_promotion(supervisor, wal_dir):
+                """One handoff: prime a WAL through a leased primary,
+                then time the serving gap — from initiating the
+                primary's drain to the promoted standby's first ack."""
+                primary = ClusterRouter(
+                    m,
+                    supervisor=supervisor,
+                    snapshot_every=snapshot_every,
+                    journal_dir=wal_dir,
+                    port=0,
+                    batch_max=batch_max,
+                    linger_ms=linger,
+                    lease_interval=0.1,
+                )
+                await primary.start()
+                client = await AsyncProfileClient.connect(
+                    port=primary.port, codec=codec
+                )
+                prime_start = perf_counter()
+                await drive_prefix(client, prime_n)
+                prime_s = perf_counter() - prime_start
+                await client.aclose()
+                standby = StandbyRouter(
+                    m,
+                    wal_dir,
+                    endpoints=supervisor.endpoints,
+                    lease_timeout=30.0,
+                    poll_interval=0.02,
+                    snapshot_every=snapshot_every,
+                    port=0,
+                    batch_max=batch_max,
+                    linger_ms=linger,
+                )
+                await standby.start()
+                down_start = perf_counter()
+                await primary.stop()  # releases the lease
+                await standby.wait_promoted(timeout=60.0)
+                probe = await AsyncProfileClient.connect(
+                    port=standby.router.port, codec=codec
+                )
+                if np is not None:
+                    await probe.ingest((ids_i64[:wire], deltas_i64[:wire]))
+                else:
+                    await probe.ingest(events[:wire])
+                down_s = perf_counter() - down_start
+                await probe.aclose()
+                await standby.stop()
+                return prime_s, down_s
+
+            async def run_rescale_duel(supervisor, wal_dir, target):
+                """Steady ingest, then the same stream again with a
+                ``rescale`` migration double-writing underneath it."""
+                router = ClusterRouter(
+                    m,
+                    supervisor=supervisor,
+                    snapshot_every=snapshot_every,
+                    journal_dir=wal_dir,
+                    port=0,
+                    batch_max=batch_max,
+                    linger_ms=linger,
+                )
+                await router.start()
+                client = await AsyncProfileClient.connect(
+                    port=router.port, codec=codec
+                )
+                steady_s = await drive(client)
+                control = await AsyncProfileClient.connect(
+                    port=router.port, codec=codec
+                )
+                migration = asyncio.create_task(control.rescale(target))
+                migrating_s = await drive(client)
+                await migration
+                await control.aclose()
+                await client.aclose()
+                await router.stop()
+                return steady_s, migrating_s
+
+            fail_rounds = max(1, min(rounds, 3))
+            promo = []
+            fo_sup = ReplicaSupervisor(
+                m,
+                max_r,
+                workdir=Path(tmp) / "failover",
+                backend="flat",
+                codec=codec,
+                serve_args=serve_args,
+            )
+            asyncio.run(fo_sup.start())
+            try:
+                for k in range(fail_rounds):
+                    promo.append(
+                        asyncio.run(
+                            run_promotion(fo_sup, Path(tmp) / f"fo-{k}")
+                        )
+                    )
+            finally:
+                fo_sup.stop()
+            duels = []
+            rs_sup = ReplicaSupervisor(
+                m,
+                max_r,
+                workdir=Path(tmp) / "rescale",
+                backend="flat",
+                codec=codec,
+                serve_args=serve_args,
+            )
+            asyncio.run(rs_sup.start())
+            try:
+                current = max_r
+                for k in range(fail_rounds):
+                    target = max_r + 1 if current == max_r else max_r
+                    duels.append(
+                        asyncio.run(
+                            run_rescale_duel(
+                                rs_sup, Path(tmp) / f"rs-{k}", target
+                            )
+                        )
+                    )
+                    current = target
+            finally:
+                rs_sup.stop()
         finally:
             for supervisor in supervisors.values():
                 supervisor.stop()
+
+    prime_s, down_s = min(promo, key=lambda pair: pair[1])
+    steady_s, migrating_s = min(
+        duels, key=lambda pair: pair[1] / pair[0]
+    )
+    failover = {
+        "workload": (
+            f"lease handoff (WAL primed with {prime_n} events) + "
+            f"rescale r{max_r}<->r{max_r + 1} double-write duel "
+            f"({n} events per leg, fsync WAL on)"
+        ),
+        "prime_events": prime_n,
+        # The serving gap of a promotion: drain-initiate -> first ack
+        # from the promoted standby.  Raw milliseconds for humans; the
+        # gate uses the self-normalized ratio below.
+        "promotion_ms": down_s * 1e3,
+        # How many times faster the promotion (fence + sealed-tail
+        # replay + replica restore + bind + first ack) runs than the
+        # primed stream's original ingest.  Gated: a drop means
+        # promotion got relatively slower.
+        "promotion_speed": prime_s / down_s,
+        "steady_eps": n / steady_s,
+        "migrating_eps": n / migrating_s,
+        # Throughput retained while a live rescale double-writes the
+        # stream into the staged generation.  Gated: a drop means the
+        # handoff epoch got more expensive for foreground ingest.
+        "migration_overhead": steady_s / migrating_s,
+    }
 
     direct_eps = n / best["direct"]
     replicas = {}
@@ -861,6 +1031,9 @@ def _cluster(cfg: dict, rounds: int, seed: int, replica_counts) -> dict:
         # durability got relatively more expensive.
         "wal_eps": wal_eps,
         "wal_overhead": wal_eps / replicas[str(max_r)]["eps"],
+        # Warm-standby promotion + live-rescale double-write trajectory
+        # (see the failover dict above for per-key semantics).
+        "failover": failover,
     }
 
 
@@ -990,6 +1163,20 @@ def _speedup_entries(result: dict):
         # without cpu scoping.
         if "wal_overhead" in path:
             yield f"{prefix}.{path_name}.wal_overhead", path["wal_overhead"]
+        # Failover ratios (promotion speed vs the primed stream's
+        # ingest; ingest throughput retained under a double-writing
+        # rescale migration).  Both self-normalizing, so no cpu
+        # scoping.
+        failover = path.get("failover")
+        if failover:
+            yield (
+                f"{prefix}.{path_name}.failover.promotion_speed",
+                failover["promotion_speed"],
+            )
+            yield (
+                f"{prefix}.{path_name}.failover.migration_overhead",
+                failover["migration_overhead"],
+            )
         # Client-sweep paths (serve) gate per client count, like the
         # worker sweep — the headline "speedup" means "at max(sweep)".
         # Concurrency here is asyncio, not cores, so no cpu scoping.

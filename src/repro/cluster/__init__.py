@@ -20,7 +20,19 @@ restores the persisted snapshots and replays the surviving log.
 ``replica_timeout`` bounds every replica round with a circuit breaker
 so one frozen replica fails only its own partitions.
 
-``python -m repro.cluster`` stands the whole tier up in one command;
+The WAL directory is also the cluster's failover and rescale
+substrate.  A :class:`StandbyRouter` tails it live (:class:`WalTail`),
+detects primary death through a fenced lease file plus a health probe,
+and promotes itself in bounded time — finishing replay of the sealed
+tail and resuming acks with zero acknowledged-event loss, while the
+fencing epoch stamped into every segment header keeps a deposed
+primary from ever acking again.  The same machinery drives
+``rescale(n)``: partitions migrate to a changed replica set by
+snapshot + seq-ordered replay, double-written during the handoff
+epoch so ingest and queries never stop.
+
+``python -m repro.cluster`` stands the whole tier up in one command
+(``--standby`` follows instead of serving);
 :class:`ReplicaSupervisor` manages the replica subprocesses.
 """
 
@@ -29,8 +41,10 @@ from repro.cluster.journal import (
     PartitionJournal,
     RouterWal,
     WalRecovery,
+    WalTail,
 )
 from repro.cluster.router import ClusterRouter, partition_capacity
+from repro.cluster.standby import StandbyRouter
 from repro.cluster.supervisor import ReplicaSupervisor
 
 __all__ = [
@@ -39,6 +53,8 @@ __all__ = [
     "PartitionJournal",
     "ReplicaSupervisor",
     "RouterWal",
+    "StandbyRouter",
     "WalRecovery",
+    "WalTail",
     "partition_capacity",
 ]

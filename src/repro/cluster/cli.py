@@ -16,6 +16,11 @@ Probe a running tier (prints the router's health block as JSON)::
 
     python -m repro.cluster --status --port 7421
 
+Follow a primary's WAL as a warm standby, promoting on its death::
+
+    python -m repro.cluster --capacity 100000 --standby \
+        --journal-dir /shared/wal --port 7422
+
 The router prints one ``cluster listening on HOST:PORT`` line once
 bound (``--port 0`` picks a free port; ``--port-file`` publishes it
 atomically), serves until SIGINT/SIGTERM, drains, stops the replicas,
@@ -33,7 +38,9 @@ import signal
 import sys
 import tempfile
 
+from repro.cluster.journal import RouterWal
 from repro.cluster.router import ClusterRouter
+from repro.cluster.standby import StandbyRouter
 from repro.cluster.supervisor import ReplicaSupervisor
 from repro.server.cli import DEFAULT_PORT, _write_port_file
 from repro.server.client import ProfileClient
@@ -173,6 +180,29 @@ def build_parser() -> argparse.ArgumentParser:
         "from $REPRO_FAULTS) — chaos testing only",
     )
     parser.add_argument(
+        "--standby",
+        action="store_true",
+        help="follow the --journal-dir WAL as a warm standby instead "
+        "of serving: tail the primary's log, and promote (fence the "
+        "old primary, finish replay, bind --port) when its lease goes "
+        "stale and its endpoint stops answering",
+    )
+    parser.add_argument(
+        "--lease-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="primary WAL lease heartbeat period (default: 1.0)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=3.0,
+        metavar="SECONDS",
+        help="standby: seconds without a lease renewal before the "
+        "primary is presumed dead (default: 3.0)",
+    )
+    parser.add_argument(
         "--status",
         action="store_true",
         help="instead of serving: connect to --host/--port, print the "
@@ -193,6 +223,55 @@ def _status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _boot_replicas(args: argparse.Namespace) -> int:
+    """The replica count to boot with: the WAL's committed layout wins.
+
+    A rescale that committed before the last shutdown is durable in
+    ``layout.json``; booting at the stale ``--replicas`` count and
+    letting the router reconfigure would spawn the tier twice.
+    """
+    replicas = args.replicas
+    if args.journal_dir:
+        layout = RouterWal.peek_layout(args.journal_dir)
+        if layout is not None and layout["n_parts"] != replicas:
+            print(
+                f"WAL layout overrides --replicas={replicas}: "
+                f"generation {layout['generation']} committed "
+                f"{layout['n_parts']} partitions",
+                flush=True,
+            )
+            replicas = layout["n_parts"]
+    return replicas
+
+
+def _drain_report(router: ClusterRouter, supervisor) -> str:
+    stats = router.stats
+    cluster = router.cluster_stats
+    line = (
+        f"drained: {stats.wire_batches} wire batches "
+        f"({stats.wire_events} events) in {stats.flushes} flushes, "
+        f"{stats.rejected} rejected, "
+        f"{cluster['replica_batches']} replica sub-batches, "
+        f"{cluster['snapshots']} snapshots, "
+        f"{cluster['recoveries']} recoveries "
+        f"({supervisor.respawns} respawns)"
+    )
+    wal = router.wal_info
+    if wal is not None:
+        lease = (
+            "lease released"
+            if wal["epoch"]
+            else "fencing disarmed"
+        )
+        line += (
+            f"; wal sealed: {wal['segments']} segments, "
+            f"last seq {wal['last_synced_seq']}, "
+            f"epoch {wal['epoch']}, "
+            f"generation {wal['generation']}, {lease}"
+        )
+    return line
+
+
 async def _amain(args: argparse.Namespace, workdir: str) -> int:
     spec = args.faults or os.environ.get("REPRO_FAULTS")
     if spec:
@@ -200,7 +279,7 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
         print(f"fault schedule armed: {spec}", flush=True)
     supervisor = ReplicaSupervisor(
         args.capacity,
-        args.replicas,
+        _boot_replicas(args),
         workdir=workdir,
         host=args.host,
         backend=args.replica_backend,
@@ -214,6 +293,7 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             snapshot_every=args.snapshot_every,
             journal_dir=args.journal_dir,
             wal_sync=not args.no_wal_sync,
+            lease_interval=args.lease_interval,
             strict=args.strict,
             replica_timeout=args.replica_timeout,
             degraded_reads=args.degraded_reads,
@@ -260,18 +340,96 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             return 1
         print("draining...", flush=True)
         await router.stop()
-        stats = router.stats
-        cluster = router.cluster_stats
+        print(_drain_report(router, supervisor), flush=True)
+    finally:
+        supervisor.stop()
+    return 0
+
+
+async def _amain_standby(args: argparse.Namespace, workdir: str) -> int:
+    spec = args.faults or os.environ.get("REPRO_FAULTS")
+    if spec:
+        arm(FaultSchedule.from_spec(spec))
+        print(f"fault schedule armed: {spec}", flush=True)
+    supervisor = ReplicaSupervisor(
+        args.capacity,
+        _boot_replicas(args),
+        workdir=workdir,
+        host=args.host,
+        backend=args.replica_backend,
+        codec=args.codec,
+    )
+    # NOT started: the replicas spawn at promotion.  Warm means the
+    # WAL tail is caught up, not that a second tier burns CPU.
+    standby = StandbyRouter(
+        args.capacity,
+        args.journal_dir,
+        supervisor=supervisor,
+        lease_timeout=args.lease_timeout,
+        snapshot_every=args.snapshot_every,
+        wal_sync=not args.no_wal_sync,
+        lease_interval=args.lease_interval,
+        strict=args.strict,
+        replica_timeout=args.replica_timeout,
+        degraded_reads=args.degraded_reads,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        linger_ms=args.linger_ms,
+        queue_size=args.queue_size,
+        max_frame=args.max_frame,
+        binary=args.codec == "binary",
+    )
+    await standby.start()
+    print(
+        f"standby following {args.journal_dir} "
+        f"(capacity={args.capacity}, "
+        f"lease_timeout={args.lease_timeout:g}s)",
+        flush=True,
+    )
+    try:
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+        stop_wait = asyncio.ensure_future(stop_requested.wait())
+        watch = standby._watch_task
+        await asyncio.wait(
+            (stop_wait, watch), return_when=asyncio.FIRST_COMPLETED
+        )
+        if not standby.promoted:
+            stop_wait.cancel()
+            if watch.done() and watch.exception() is not None:
+                print(
+                    f"standby failed: {watch.exception()}", flush=True
+                )
+                await standby.stop()
+                return 1
+            print("standby stopping (never promoted)", flush=True)
+            await standby.stop()
+            return 0
+        router = standby.router
         print(
-            f"drained: {stats.wire_batches} wire batches "
-            f"({stats.wire_events} events) in {stats.flushes} flushes, "
-            f"{stats.rejected} rejected, "
-            f"{cluster['replica_batches']} replica sub-batches, "
-            f"{cluster['snapshots']} snapshots, "
-            f"{cluster['recoveries']} recoveries "
-            f"({supervisor.respawns} respawns)",
+            f"standby promoted: serving on {router.host}:{router.port} "
+            f"(epoch {router.wal_info['epoch']}; "
+            f"{standby.promote_reason})",
             flush=True,
         )
+        if args.port_file:
+            _write_port_file(args.port_file, router.port)
+        crash_wait = asyncio.ensure_future(router.wait_stopped())
+        await asyncio.wait(
+            (stop_wait, crash_wait), return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in (stop_wait, crash_wait):
+            task.cancel()
+        if router.crashed:
+            print("router crashed (scheduled fault)", flush=True)
+            return 1
+        print("draining...", flush=True)
+        await standby.stop()
+        print(_drain_report(router, supervisor), flush=True)
     finally:
         supervisor.stop()
     return 0
@@ -285,11 +443,14 @@ def main(argv: list[str] | None = None) -> int:
         build_parser().error("--capacity is required (unless --status)")
     if args.replicas < 1:
         build_parser().error("--replicas must be >= 1")
+    if args.standby and not args.journal_dir:
+        build_parser().error("--standby requires --journal-dir")
+    amain = _amain_standby if args.standby else _amain
     try:
         if args.workdir is not None:
-            return asyncio.run(_amain(args, args.workdir))
+            return asyncio.run(amain(args, args.workdir))
         with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
-            return asyncio.run(_amain(args, tmp))
+            return asyncio.run(amain(args, tmp))
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         return 0
 

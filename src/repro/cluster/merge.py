@@ -39,6 +39,7 @@ __all__ = [
     "merge_top_entries",
     "partition_batch",
     "rank_frequency",
+    "repartition_states",
     "to_global",
 ]
 
@@ -110,6 +111,57 @@ def _partition_pairs(pairs, n_parts: int, m: int):
         cols[1].append(d)
     net = net_deltas(pairs)
     return parts, sum(abs(d) for d in net.values())
+
+
+def repartition_states(
+    states: list[dict], old_n: int, new_n: int, m: int
+) -> list[dict]:
+    """Re-cut ``old_n`` partition checkpoints into ``new_n`` of them.
+
+    The migration primitive of a live rescale: each old partition's
+    facade state is restored, its dense frequency array read out, and
+    every nonzero frequency re-bucketed under the *new* modulus
+    (global id ``g = local * old_n + p`` lands in new partition
+    ``g % new_n`` at local id ``g // new_n``).  Pure and synchronous —
+    the router runs it off-loop via ``asyncio.to_thread`` so ingest
+    never stalls behind the re-cut.
+
+    Every new partition gets a state (empty ones included: a replica
+    must restore *something* to rewind whatever it booted with), built
+    on the same backend as the source states so replica identity
+    checks hold across the cutover.
+    """
+    from repro.api.facade import Profiler
+
+    def cap(q: int) -> int:
+        return (m - q + new_n - 1) // new_n
+
+    backend = (states[0] if states else {}).get("backend", "flat")
+    cols: list[tuple[list, list]] = [([], []) for _ in range(new_n)]
+    for p, state in enumerate(states):
+        source = Profiler.from_state(state)
+        try:
+            freqs = source.frequencies()
+        finally:
+            source.close()
+        for local, f in enumerate(freqs):
+            if not f:
+                continue
+            g = local * old_n + p
+            ids, deltas = cols[g % new_n]
+            ids.append(g // new_n)
+            deltas.append(f)
+    out: list[dict] = []
+    for q in range(new_n):
+        ids, deltas = cols[q]
+        target = Profiler.open(cap(q), backend=backend)
+        try:
+            if ids:
+                target.ingest_arrays(ids, deltas)
+            out.append(target.to_state())
+        finally:
+            target.close()
+    return out
 
 
 # ----------------------------------------------------------------------

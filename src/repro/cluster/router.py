@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 from typing import Any
 
 from repro.api.facade import API_STATE_VERSION, Profiler
@@ -73,6 +74,7 @@ from repro.cluster.merge import (
     merge_top_entries,
     partition_batch,
     rank_frequency,
+    repartition_states,
     to_global,
 )
 from repro.core.queries import quantile_rank
@@ -80,6 +82,7 @@ from repro.errors import (
     CapacityError,
     CheckpointError,
     ClusterUnhealthyError,
+    FencedWriterError,
     ReplicaUnavailableError,
 )
 from repro.server.client import AsyncProfileClient
@@ -154,6 +157,17 @@ class ClusterRouter(ProfileServer):
         ``False`` keeps the WAL's file layout but skips the per-flush
         ``fsync`` (the ``cluster.wal_overhead`` bench knob).  Leave
         ``True`` for real durability.
+    wal / recovery:
+        The promotion fast path: a warm standby hands in the
+        :meth:`RouterWal.resume_at` writer it built (already holding
+        the new fencing epoch) plus the :class:`WalRecovery` its tail
+        reader accumulated, and :meth:`start` skips the cold
+        ``load()`` + lease acquisition.  Mutually exclusive with
+        ``journal_dir``.
+    lease_interval:
+        Seconds between WAL lease heartbeats (ignored without a
+        fenced WAL).  The standby's failover detector keys off this
+        staleness.
     strict:
         All-or-nothing wire batches across partitions via two-phase
         commit (see the module docstring).  Implies a per-batch
@@ -187,6 +201,9 @@ class ClusterRouter(ProfileServer):
         recover_attempts: int | None = None,
         journal_dir=None,
         wal_sync: bool = True,
+        wal: RouterWal | None = None,
+        recovery=None,
+        lease_interval: float = 1.0,
         strict: bool = False,
         replica_timeout: float | None = None,
         breaker_cooldown: float = 1.0,
@@ -220,6 +237,14 @@ class ClusterRouter(ProfileServer):
             raise CapacityError(
                 f"breaker_cooldown must be >= 0, got {breaker_cooldown}"
             )
+        if wal is not None and journal_dir is not None:
+            raise CapacityError(
+                "pass journal_dir or a prebuilt wal, not both"
+            )
+        if lease_interval <= 0:
+            raise CapacityError(
+                f"lease_interval must be positive, got {lease_interval}"
+            )
         super().__init__(
             _RouterFacade(capacity, strict=strict),
             role="router",
@@ -235,11 +260,24 @@ class ClusterRouter(ProfileServer):
         self._replica_timeout = replica_timeout
         self._breaker_cooldown = breaker_cooldown
         self._degraded = bool(degraded_reads)
-        self._wal = (
-            RouterWal(journal_dir, sync=wal_sync)
-            if journal_dir is not None
-            else None
-        )
+        if wal is not None:
+            self._wal = wal
+        elif journal_dir is not None:
+            self._wal = RouterWal(journal_dir, sync=wal_sync)
+        else:
+            self._wal = None
+        #: pre-loaded WalRecovery handed in by a promoted standby (it
+        #: tailed the whole log already; re-scanning would burn
+        #: promotion time).  Consumed once by start().
+        self._boot_recovery = recovery
+        self._lease_interval = lease_interval
+        self._lease_task: asyncio.Task | None = None
+        self._generation = 0
+        #: live-rescale state: None, or the in-flight migration dict
+        #: (see _begin_rescale).  Only the flusher creates/commits it;
+        #: the background _migrate task builds the new replica tier.
+        self._migration: dict | None = None
+        self._migration_task: asyncio.Task | None = None
         self._clients: dict[int, AsyncProfileClient] = {}
         self._journals = [PartitionJournal(p) for p in range(n)]
         self._snapshots: dict[int, dict] = {}
@@ -261,6 +299,7 @@ class ClusterRouter(ProfileServer):
             "strict_commits": 0,
             "strict_aborts": 0,
             "degraded_queries": 0,
+            "rescales": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -279,7 +318,22 @@ class ClusterRouter(ProfileServer):
         # a staged 2PC transaction; the restore rewinds it so the
         # replay is exact, never double-counted).
         if self._wal is not None:
-            recovery = self._wal.load()
+            recovery = self._boot_recovery
+            self._boot_recovery = None
+            if recovery is None:
+                recovery = self._wal.load()
+                self._wal.acquire_lease(f"router-{os.getpid()}")
+            if (
+                recovery.n_parts is not None
+                and recovery.n_parts != self._n_parts
+            ):
+                # The log ended on a rescaled layout: the boot-time
+                # replica count is stale and the tier must be resized
+                # before any snapshot or entry is applied.
+                await self._adopt_layout(
+                    recovery.n_parts, recovery.generation
+                )
+            self._generation = recovery.generation
             self._seq = max(self._seq, recovery.last_seq)
             self._snapshots.update(recovery.snapshots)
             for p, seq in recovery.snapshot_seqs.items():
@@ -294,15 +348,94 @@ class ClusterRouter(ProfileServer):
             for p in range(self._n_parts):
                 self._clients[p] = await self._connect_replica(p)
         await super().start()
+        if self._wal is not None and self._wal.epoch:
+            # The port is bound now: advertise it in the lease so a
+            # standby can health-probe the primary, then keep the
+            # lease warm — a superseded heartbeat kills the router.
+            self._wal.renew_lease(endpoint=[self.host, self.port])
+            self._lease_task = asyncio.create_task(self._lease_loop())
         return self
+
+    async def _adopt_layout(self, n_new: int, generation: int) -> None:
+        """Resize the replica tier to a rescaled on-disk layout."""
+        sup = self._supervisor
+        if sup is None or not hasattr(sup, "reconfigure"):
+            raise CheckpointError(
+                f"WAL layout is generation {generation} with {n_new} "
+                f"partitions but the router booted with {self._n_parts} "
+                f"and its supervisor cannot reconfigure the replica set"
+            )
+        endpoints = [
+            tuple(e) for e in await sup.reconfigure(n_new, generation)
+        ]
+        self._reshape(n_new, endpoints)
+
+    def _reshape(self, n: int, endpoints: list[tuple[str, int]]) -> None:
+        """Swap every per-partition structure for an ``n``-wide tier.
+
+        Callers own the old clients (abort them before or after); this
+        only rebuilds the bookkeeping the partition arithmetic hangs
+        off.
+        """
+        if len(endpoints) != n:
+            raise CapacityError(
+                f"layout wants {n} partitions but got "
+                f"{len(endpoints)} endpoints"
+            )
+        if self.capacity < n:
+            raise CapacityError(
+                f"capacity {self.capacity} cannot spread over {n} "
+                f"replicas"
+            )
+        self._n_parts = n
+        self._endpoints = endpoints
+        self._journals = [PartitionJournal(p) for p in range(n)]
+        self._snapshots = {}
+        self._empty_states = {}
+        self._delivered = [0] * n
+        self._breakers = {}
+        self._clients = {}
+
+    async def _lease_loop(self) -> None:
+        """Heartbeat the WAL lease.
+
+        A renewal that finds a higher epoch in the lease file means a
+        standby promoted over us while we were idle (no flush ran to
+        trip the per-sync fence check): die immediately rather than
+        accept one more batch for a directory we no longer own.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self._lease_interval)
+                self._wal.renew_lease()
+        except FencedWriterError:
+            await self._die()
+        except asyncio.CancelledError:
+            raise
 
     async def _before_close_connections(self) -> None:
         """Say goodbye to the replicas once the flusher has drained.
 
         By this point every accepted wire batch has been delivered and
         acked by its replicas (the flusher awaits replica acks inside
-        each flush), so closing is pure teardown.
+        each flush), so closing is pure teardown.  The WAL segment is
+        sealed and the lease expired so a standby (or the next cold
+        boot) takes over without waiting out the lease timeout.
         """
+        if self._lease_task is not None:
+            self._lease_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._lease_task
+            self._lease_task = None
+        if self._migration_task is not None:
+            self._migration_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._migration_task
+            self._migration_task = None
+        if self._migration is not None:
+            for client in self._migration["clients"].values():
+                client.abort()
+            self._migration = None
         for client in self._clients.values():
             try:
                 await client.aclose()
@@ -310,6 +443,7 @@ class ClusterRouter(ProfileServer):
                 pass
         self._clients.clear()
         if self._wal is not None:
+            self._wal.release_lease()
             self._wal.close()
 
     async def _die(self) -> None:
@@ -324,6 +458,20 @@ class ClusterRouter(ProfileServer):
         self._crashed = True
         self._closing = True
         self._stopping = True
+        current = asyncio.current_task()
+        if self._lease_task is not None and self._lease_task is not current:
+            self._lease_task.cancel()
+        self._lease_task = None
+        if (
+            self._migration_task is not None
+            and self._migration_task is not current
+        ):
+            self._migration_task.cancel()
+        self._migration_task = None
+        if self._migration is not None:
+            for client in self._migration["clients"].values():
+                client.abort()
+            self._migration = None
         if self._server is not None:
             self._server.close()
         for task in list(self._reader_tasks):
@@ -344,11 +492,34 @@ class ClusterRouter(ProfileServer):
         """True once a simulated crash (or terminal failure) fired."""
         return self._crashed
 
+    @property
+    def wal_info(self) -> dict[str, Any] | None:
+        """The WAL's describe block (``None`` without a WAL).
+
+        Still readable after :meth:`stop` — the drain report uses it
+        to show what was sealed and at which epoch.
+        """
+        return None if self._wal is None else self._wal.describe()
+
     # -- replica connections -------------------------------------------
 
-    async def _connect_replica(self, p: int) -> AsyncProfileClient:
-        """Dial partition ``p`` and validate its identity."""
-        host, port = self._endpoints[p]
+    async def _connect_replica(
+        self,
+        p: int,
+        *,
+        endpoint: tuple[str, int] | None = None,
+        n_parts: int | None = None,
+    ) -> AsyncProfileClient:
+        """Dial partition ``p`` and validate its identity.
+
+        ``endpoint``/``n_parts`` override the live layout so a rescale
+        can dial the *new* generation's replicas (whose capacity is a
+        share of the new partition count) before cutover.
+        """
+        host, port = (
+            endpoint if endpoint is not None else self._endpoints[p]
+        )
+        n = n_parts if n_parts is not None else self._n_parts
         client = await AsyncProfileClient.connect(
             host,
             port,
@@ -358,7 +529,7 @@ class ClusterRouter(ProfileServer):
             max_attempts=8,
         )
         hello = client.hello
-        expected = partition_capacity(self.capacity, p, self._n_parts)
+        expected = partition_capacity(self.capacity, p, n)
         if (
             hello.get("keys") != "dense"
             or hello.get("strict")
@@ -369,7 +540,7 @@ class ClusterRouter(ProfileServer):
                 f"replica {p} at {host}:{port} serves "
                 f"keys={hello.get('keys')!r} strict={hello.get('strict')!r} "
                 f"capacity={hello.get('capacity')!r}; partition {p}/"
-                f"{self._n_parts} of universe {self.capacity} needs a "
+                f"{n} of universe {self.capacity} needs a "
                 f"dense non-strict profiler of capacity {expected}"
             )
         return client
@@ -597,6 +768,13 @@ class ClusterRouter(ProfileServer):
             # rather than accept batches that cannot be delivered.
             await self._die()
             raise asyncio.CancelledError from None
+        except FencedWriterError:
+            # A promoted standby superseded our lease: the fence check
+            # runs before the ack-gating fsync, so nothing in this
+            # flush was (or ever will be) acked.  Die like SIGKILL —
+            # the new epoch's owner serves; clients fail over to it.
+            await self._die()
+            raise asyncio.CancelledError from None
 
     async def _flush_cluster(self, batch: list[_Item]) -> None:
         if not batch:
@@ -615,6 +793,7 @@ class ClusterRouter(ProfileServer):
         touched: set[int] = set()
         probed: set[int] = set()
         wal = self._wal
+        mig = self._migration
         for item in batch:
             self._seq += 1
             item.seq = self._seq
@@ -647,6 +826,8 @@ class ClusterRouter(ProfileServer):
                     continue
                 for p in parts:
                     touched.add(p)
+                if mig is not None:
+                    self._double_write(mig, item.data)
                 outcomes.append((item, applied))
                 continue
             for p, (ids, deltas) in parts.items():
@@ -656,6 +837,8 @@ class ClusterRouter(ProfileServer):
                 pending.setdefault(p, []).append((ids, deltas))
                 flush_last[p] = item.seq
                 touched.add(p)
+            if mig is not None:
+                self._double_write(mig, item.data)
             outcomes.append((item, applied))
         if wal is not None and pending:
             await fault_point("router.journal")
@@ -813,10 +996,290 @@ class ClusterRouter(ProfileServer):
             self._wal.note_snapshot(p, watermark, state)
         self.cluster_stats["snapshots"] += 1
 
+    # -- live rebalancing: rescale(n) ----------------------------------
+
+    async def _begin_rescale(self, item: _Item) -> None:
+        """Phase A of a live rescale, inside the flusher barrier.
+
+        Validates the request, checkpoints every old partition (those
+        states are the migration base: the barrier guarantees they
+        cover exactly the acked stream so far), and opens the
+        double-write epoch.  The client response is deferred to
+        cutover (or abort) — ``rescale`` acks only once the new
+        layout actually serves.
+        """
+        await fault_point("router.rescale")
+        new_n = item.data
+        try:
+            if self._migration is not None:
+                raise ReplicaUnavailableError(
+                    "a rescale is already in flight; retry after it "
+                    "completes"
+                )
+            if new_n < 1:
+                raise CapacityError(
+                    f"rescale needs at least one replica, got {new_n}"
+                )
+            if new_n == self._n_parts:
+                raise CapacityError(
+                    f"cluster already runs {new_n} partitions"
+                )
+            if self.capacity < new_n:
+                raise CapacityError(
+                    f"capacity {self.capacity} cannot spread over "
+                    f"{new_n} replicas (every partition needs at "
+                    f"least one id)"
+                )
+            sup = self._supervisor
+            if sup is None or not hasattr(sup, "spawn_generation"):
+                raise CheckpointError(
+                    "rescale needs a supervisor able to spawn a new "
+                    "replica generation"
+                )
+            for p in range(self._n_parts):
+                if p in self._breakers or (
+                    self._delivered[p] < self._journals[p].last_seq
+                ):
+                    raise ReplicaUnavailableError(
+                        f"partition {p} is lagging or circuit-broken; "
+                        f"rescale needs a fully caught-up tier — "
+                        f"retry after it heals"
+                    )
+            states = []
+            for p in range(self._n_parts):
+                states.append(
+                    await self._replica_call(
+                        p, lambda client: client.checkpoint()
+                    )
+                )
+        except (SimulatedCrash, FencedWriterError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            self._stats.rejected += 1
+            await item.conn.send(
+                self._pack_response(
+                    item.conn,
+                    {
+                        "id": item.req_id,
+                        "ok": False,
+                        "error": encode_error(exc),
+                    },
+                )
+            )
+            return
+        self._migration = {
+            "generation": (
+                self._wal.generation
+                if self._wal is not None
+                else self._generation
+            )
+            + 1,
+            "new_n": new_n,
+            #: per-new-partition double-written column chunks; the
+            #: flusher appends, _migrate/_cutover consume by index.
+            "pending": [[] for _ in range(new_n)],
+            "consumed": [0] * new_n,
+            "start_seq": self._seq,
+            "states": states,
+            "endpoints": None,
+            "clients": {},
+            "item": item,
+        }
+        self._migration_task = asyncio.create_task(self._migrate())
+
+    def _double_write(self, mig: dict, data) -> None:
+        """Mirror one accepted wire batch into the handoff epoch.
+
+        Buffered in memory only, never WAL'd: a crash mid-migration
+        recovers the *old* layout (the RESCALE record is the only
+        commit point), whose WAL already covers every double-written
+        event.
+        """
+        parts, _applied = partition_batch(
+            data, mig["new_n"], self.capacity
+        )
+        for q, (ids, deltas) in parts.items():
+            mig["pending"][q].append((ids, deltas))
+
+    async def _migrate(self) -> None:
+        """Background half of a rescale: build the new generation.
+
+        Runs concurrently with ingest (the double-write buffers what
+        happens meanwhile) and queries (still served by the old
+        owners).  Once the new tier is restored and caught up on the
+        buffer, it enqueues the ``rescale_commit`` barrier item; the
+        flusher then performs the cutover with no ingest in flight.
+        """
+        mig = self._migration
+        try:
+            endpoints = await self._supervisor.spawn_generation(
+                mig["new_n"]
+            )
+            mig["endpoints"] = [tuple(e) for e in endpoints]
+            new_states = await asyncio.to_thread(
+                repartition_states,
+                mig["states"],
+                self._n_parts,
+                mig["new_n"],
+                self.capacity,
+            )
+            for q in range(mig["new_n"]):
+                client = await self._connect_replica(
+                    q,
+                    endpoint=mig["endpoints"][q],
+                    n_parts=mig["new_n"],
+                )
+                mig["clients"][q] = client
+                await client.restore(new_states[q], recovering=True)
+            await self._drain_pending(mig)
+            await self._enqueue(_Item("rescale_commit", None, None))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await self._abort_rescale(exc)
+
+    async def _drain_pending(self, mig: dict) -> None:
+        """Replay buffered double-writes into the new replicas."""
+        while True:
+            progress = False
+            for q, client in mig["clients"].items():
+                pending = mig["pending"][q]
+                while mig["consumed"][q] < len(pending):
+                    ids, deltas = pending[mig["consumed"][q]]
+                    await self._send_batch(client, ids, deltas)
+                    mig["consumed"][q] += 1
+                    progress = True
+            if not progress:
+                return
+
+    async def _cutover(self) -> None:
+        """Commit a rescale; the flusher barrier makes it atomic.
+
+        No ingest is in flight here, so the final buffer drain makes
+        the new generation exactly current.  The WAL's RESCALE record
+        is the durable commit point: a crash before it recovers the
+        old layout (double-writes were memory-only), a crash after it
+        boots the new one from the generation snapshots.  Queries
+        were answered by the old owners up to this very item and by
+        the new ones from the next — never by a half-migrated mix.
+        """
+        mig = self._migration
+        if mig is None:
+            return  # aborted while the commit item sat in the queue
+        item = mig["item"]
+        new_n = mig["new_n"]
+        generation = mig["generation"]
+        try:
+            await fault_point("router.cutover")
+            await self._drain_pending(mig)
+            states = []
+            for q in range(new_n):
+                await mig["clients"][q].resume()
+                states.append(await mig["clients"][q].checkpoint())
+            if self._wal is not None:
+                for q in range(new_n):
+                    self._wal.note_generation_snapshot(
+                        generation, q, self._seq, states[q]
+                    )
+                self._wal.commit_rescale(generation, new_n, self._seq)
+        except (SimulatedCrash, FencedWriterError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            await self._abort_rescale(exc)
+            return
+        # Committed.  Swap the serving fabric; nothing below may fail
+        # the rescale anymore.
+        old_clients = self._clients
+        self._reshape(new_n, mig["endpoints"])
+        self._clients = dict(mig["clients"])
+        for q in range(new_n):
+            self._journals[q].snapshot_seq = self._seq
+            self._snapshots[q] = states[q]
+            self._delivered[q] = self._seq
+        self._generation = generation
+        self._migration = None
+        self._migration_task = None
+        for client in old_clients.values():
+            client.abort()
+        sup = self._supervisor
+        if sup is not None and hasattr(sup, "commit_generation"):
+            with contextlib.suppress(Exception):
+                await sup.commit_generation()
+        self.cluster_stats["rescales"] += 1
+        await item.conn.send(
+            self._pack_response(
+                item.conn,
+                {
+                    "id": item.req_id,
+                    "ok": True,
+                    "seq": self._seq,
+                    "partitions": new_n,
+                    "generation": generation,
+                },
+            )
+        )
+
+    async def _abort_rescale(self, exc: Exception) -> None:
+        """Tear down a failed migration; the old layout never stopped
+        serving, so the only client-visible effect is the error ack."""
+        mig = self._migration
+        self._migration = None
+        self._migration_task = None
+        if mig is None:
+            return
+        for client in mig["clients"].values():
+            client.abort()
+        sup = self._supervisor
+        if sup is not None and hasattr(sup, "abort_generation"):
+            with contextlib.suppress(Exception):
+                await sup.abort_generation()
+        item = mig["item"]
+        self._stats.rejected += 1
+        with contextlib.suppress(ConnectionError, OSError):
+            await item.conn.send(
+                self._pack_response(
+                    item.conn,
+                    {
+                        "id": item.req_id,
+                        "ok": False,
+                        "error": encode_error(exc),
+                    },
+                )
+            )
+
     # -- queries: merge replica answers --------------------------------
+
+    def _decode_request(self, conn, req_id, msg: dict) -> _Item:
+        if msg.get("op") == "rescale":
+            if not isinstance(req_id, int) or isinstance(req_id, bool):
+                raise ProtocolError(
+                    f"request 'id' must be an integer, got {req_id!r}"
+                )
+            n = msg.get("n")
+            if not isinstance(n, int) or isinstance(n, bool):
+                raise ProtocolError(
+                    f"rescale 'n' must be an integer, got {n!r}"
+                )
+            return _Item("rescale", conn, req_id, n)
+        return super()._decode_request(conn, req_id, msg)
 
     async def _execute(self, item: _Item) -> None:
         kind = item.kind
+        if kind in ("rescale", "rescale_commit"):
+            # Runs outside _flush's crash converter, so convert here:
+            # a fault-scheduled crash (or a fencing trip) must look
+            # like SIGKILL, not an unhandled flusher error.  The
+            # rescale_commit item is internal (conn=None); it must
+            # never reach the generic response send below.
+            try:
+                if kind == "rescale":
+                    await self._begin_rescale(item)
+                else:
+                    await self._cutover()
+            except (SimulatedCrash, FencedWriterError):
+                await self._die()
+                raise asyncio.CancelledError from None
+            return
         if kind in ("close", "reject", "hello", "ping"):
             await super()._execute(item)
             return
@@ -1213,13 +1676,32 @@ class ClusterRouter(ProfileServer):
             }
             for p in range(self._n_parts)
         ]
+        info["generation"] = self._generation
+        if self._migration is not None:
+            mig = self._migration
+            info["migration"] = {
+                "generation": mig["generation"],
+                "new_partitions": mig["new_n"],
+                "pending_batches": sum(
+                    len(pend) - done
+                    for pend, done in zip(
+                        mig["pending"], mig["consumed"]
+                    )
+                ),
+            }
         if self._wal is not None:
             info["wal"] = self._wal.describe()
+            last = self._wal.last_synced_seq
+            info["standbys"] = [
+                {**cursor, "lag": max(0, last - cursor["seq"])}
+                for cursor in self._wal.reader_cursors()
+            ]
         return info
 
     def describe_server(self) -> dict[str, Any]:
         out = super().describe_server()
         out["partitions"] = self._n_parts
+        out["generation"] = self._generation
         out["snapshot_every"] = self._snapshot_every
         out["journal_depth"] = sum(len(j) for j in self._journals)
         out["strict"] = self._strict

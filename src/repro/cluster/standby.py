@@ -1,0 +1,369 @@
+"""Warm-standby router: tail the primary's WAL, promote on its death.
+
+:class:`StandbyRouter` is the second half of the failover story the
+fenced :class:`~repro.cluster.journal.RouterWal` enables.  It never
+serves while the primary lives — it *follows*: a
+:class:`~repro.cluster.journal.WalTail` replays every synced (hence
+ackable) record into the same shadow state cold recovery would build,
+and the standby's cursor file tells the primary's prune to defer
+segments the tail has not finished.  Promotion is therefore a bounded
+amount of work no matter how long the pair has been running: re-read
+the sealed tail (at most one poll interval of records), write the
+fence, restore the replicas, bind the port.
+
+Failure detection is two independent signals, both of which must agree
+before the standby moves:
+
+1. **Lease staleness** — the primary heartbeats ``lease.json`` every
+   ``lease_interval`` seconds; a lease not renewed for
+   ``lease_timeout`` seconds is presumed abandoned.  A *released*
+   lease (``renewed == 0``, written by a graceful drain) skips the
+   wait entirely.
+2. **Health probe** — before trusting staleness, the standby dials the
+   endpoint the lease advertises.  A primary that merely missed
+   heartbeats (GC pause, disk stall) but still accepts connections is
+   left alone; only connect failure confirms death.
+
+Promotion order is the split-brain contract, and it must not be
+reordered:
+
+1. Write ``lease.json`` at a strictly higher epoch.  From this
+   instant the old primary's next fence check (it runs *before* the
+   ack-gating fsync, and inside every lease heartbeat) raises
+   :class:`~repro.errors.FencedWriterError` — it can never ack
+   another event.
+2. Final tail poll.  Everything the old primary ever acked was
+   fsync'd before the ack left, so it is visible to this read; the
+   lease write in step 1 guarantees nothing *new* gets acked after
+   it.
+3. Write ``fence.json`` with byte-exact cuts.  Any bytes a fenced
+   writer manages to append past the cut are unacked by construction
+   (step 1 ran first) and every future reader discards them.
+
+Then the standby becomes an ordinary :class:`ClusterRouter` — via the
+promotion fast path (``wal=RouterWal.resume_at(...)``,
+``recovery=tail.recovery()``), skipping the cold ``load()`` — restores
+the replica tier, binds the service port, and resumes acking with the
+sequence numbers exactly where the primary's last ack left them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.journal import (
+    _FENCE_NAME,
+    _LEASE_NAME,
+    RouterWal,
+    WalTail,
+    _atomic_write_json,
+    _read_json,
+)
+from repro.cluster.router import ClusterRouter
+from repro.errors import CapacityError
+from repro.testing.faults import fault_point
+
+__all__ = ["StandbyRouter"]
+
+
+class StandbyRouter:
+    """Follow a primary router's WAL; take over when it dies.
+
+    Parameters
+    ----------
+    capacity:
+        Global universe size ``m`` — must match the primary's.
+    journal_dir:
+        The primary's WAL directory (shared storage in a real
+        deployment; the same local path in tests).
+    supervisor:
+        Replica lifecycle manager for the *promoted* tier (duck-typed
+        like the router's).  A supervisor on the primary's workdir
+        inherits its orphaned replicas by pid file.  Mutually
+        exclusive with ``endpoints``.
+    endpoints:
+        Static replica endpoints to adopt at promotion instead of a
+        supervisor (the replicas must survive the primary).
+    reader_id:
+        Cursor-file identity; two standbys need distinct ids.
+    lease_timeout:
+        Seconds without a lease renewal before the primary is
+        presumed dead (keep several multiples of the primary's
+        ``lease_interval``).
+    poll_interval:
+        Seconds between tail polls — the replication-lag bound while
+        the primary lives, and the detection-latency floor once it
+        stops.
+    probe_timeout:
+        Seconds a confirming health probe waits for a connection.
+    **router_kwargs:
+        Forwarded verbatim to the promoted :class:`ClusterRouter`
+        (``host``/``port``/``strict``/``snapshot_every``/...).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        journal_dir,
+        *,
+        supervisor=None,
+        endpoints=None,
+        reader_id: str = "standby",
+        lease_timeout: float = 3.0,
+        poll_interval: float = 0.1,
+        probe_timeout: float = 0.5,
+        wal_sync: bool = True,
+        **router_kwargs,
+    ) -> None:
+        if supervisor is not None and endpoints is not None:
+            raise CapacityError(
+                "pass a supervisor or static endpoints, not both"
+            )
+        if supervisor is None and endpoints is None:
+            raise CapacityError(
+                "StandbyRouter needs a supervisor or endpoints to "
+                "promote onto"
+            )
+        if lease_timeout <= 0:
+            raise CapacityError(
+                f"lease_timeout must be positive, got {lease_timeout}"
+            )
+        if poll_interval <= 0:
+            raise CapacityError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        self._capacity = capacity
+        self._dir = Path(journal_dir)
+        self._supervisor = supervisor
+        self._endpoints = (
+            None if endpoints is None else [tuple(e) for e in endpoints]
+        )
+        self._reader_id = str(reader_id)
+        self._lease_timeout = float(lease_timeout)
+        self._poll_interval = float(poll_interval)
+        self._probe_timeout = float(probe_timeout)
+        self._wal_sync = bool(wal_sync)
+        self._router_kwargs = dict(router_kwargs)
+        self._tail: WalTail | None = None
+        self._watch_task: asyncio.Task | None = None
+        self._promote_lock = asyncio.Lock()
+        self._promoted = asyncio.Event()
+        self._stopped = False
+        self.router: ClusterRouter | None = None
+        #: why the watcher decided to promote (None until it did)
+        self.promote_reason: str | None = None
+
+    # -- following ------------------------------------------------------
+
+    async def start(self) -> "StandbyRouter":
+        """Open the tail and start the watch loop (returns at once)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._tail = WalTail(self._dir, reader_id=self._reader_id)
+        await asyncio.to_thread(self._tail.poll)
+        self._watch_task = asyncio.create_task(self._watch())
+        return self
+
+    async def _watch(self) -> None:
+        """Poll the tail; promote when the primary is confirmed dead."""
+        while True:
+            await asyncio.sleep(self._poll_interval)
+            tail = self._tail
+            await asyncio.to_thread(tail.poll)
+            reason = await self._primary_dead()
+            if reason is None:
+                continue
+            self.promote_reason = reason
+            await self.promote()
+            return
+
+    async def _primary_dead(self) -> str | None:
+        """The two-signal death verdict (None = leave the primary be)."""
+        lease = _read_json(self._dir / _LEASE_NAME)
+        if lease is None:
+            # No writer ever claimed this directory; nothing to
+            # take over from (and nothing acked that we could lose).
+            return None
+        try:
+            renewed = float(lease.get("renewed", 0.0))
+        except (TypeError, ValueError):
+            renewed = 0.0
+        if renewed == 0.0:
+            return "lease released (graceful primary shutdown)"
+        age = time.time() - renewed
+        if age <= self._lease_timeout:
+            return None
+        if await self._probe(lease.get("endpoint")):
+            return None  # stale heartbeat but alive: not ours to take
+        return (
+            f"lease stale ({age:.1f}s > {self._lease_timeout:g}s) and "
+            f"endpoint probe failed"
+        )
+
+    async def _probe(self, endpoint) -> bool:
+        """True iff something still accepts connections at ``endpoint``."""
+        try:
+            host, port = endpoint
+            port = int(port)
+        except (TypeError, ValueError):
+            return False  # lease never learned its port: trust staleness
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(str(host), port),
+                self._probe_timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        writer.close()
+        with contextlib.suppress(OSError, ConnectionError):
+            await writer.wait_closed()
+        return True
+
+    # -- promotion ------------------------------------------------------
+
+    async def promote(self) -> ClusterRouter:
+        """Fence the old primary and serve in its place.
+
+        Safe to call directly (operator-forced failover) or from the
+        watch loop; concurrent calls collapse into one promotion.
+        See the module docstring for why the three-step order is
+        load-bearing.
+        """
+        async with self._promote_lock:
+            if self.router is not None:
+                return self.router
+            if self._stopped:
+                raise RuntimeError("standby is stopped")
+            watcher = self._watch_task
+            if watcher is not None and watcher is not asyncio.current_task():
+                # Operator-forced promotion: the watch loop must not
+                # poll the (not thread-safe) tail under our feet.
+                watcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await watcher
+                self._watch_task = None
+            await fault_point("standby.promote")
+            tail = self._tail
+            owner = f"standby-{self._reader_id}-{os.getpid()}"
+            # Step 1: the lease write that fences the old epoch.
+            epoch = self._claim_epoch(owner)
+            # Step 2: the sealed tail — complete, because nothing can
+            # be acked (= synced) under the old epoch anymore.
+            await asyncio.to_thread(tail.poll)
+            tail.refresh_snapshots()
+            # Step 3: the byte-exact cut every future reader obeys.
+            _atomic_write_json(
+                self._dir / _FENCE_NAME,
+                {
+                    "epoch": epoch,
+                    "cuts": {
+                        str(index): offset
+                        for index, offset in tail.cuts().items()
+                    },
+                },
+            )
+            tail.remove_cursor()
+            wal = RouterWal.resume_at(
+                self._dir,
+                epoch=epoch,
+                next_index=tail.next_index,
+                generation=tail.generation,
+                n_parts=tail.n_parts,
+                covered_seq=tail.covered_seq,
+                last_seq=tail.last_seq,
+                snapshot_seqs=dict(tail.snapshot_seqs),
+                segments=tail.segment_metas(),
+                owner=owner,
+                sync=self._wal_sync,
+            )
+            sup = self._supervisor
+            if sup is not None:
+                try:
+                    sup.endpoints
+                except RuntimeError:
+                    await sup.start()
+            router = ClusterRouter(
+                self._capacity,
+                self._endpoints,
+                supervisor=sup,
+                wal=wal,
+                recovery=tail.recovery(),
+                **self._router_kwargs,
+            )
+            await router.start()
+            self.router = router
+            self._promoted.set()
+            return router
+
+    def _claim_epoch(self, owner: str) -> int:
+        """Write ``lease.json`` at a strictly higher epoch; return it."""
+        lease = _read_json(self._dir / _LEASE_NAME) or {}
+        fence = _read_json(self._dir / _FENCE_NAME) or {}
+        epoch = (
+            max(int(lease.get("epoch", 0)), int(fence.get("epoch", 0)))
+            + 1
+        )
+        _atomic_write_json(
+            self._dir / _LEASE_NAME,
+            {
+                "epoch": epoch,
+                "owner": owner,
+                "endpoint": None,
+                "renewed": time.time(),
+            },
+        )
+        return epoch
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted.is_set()
+
+    async def wait_promoted(self, timeout: float | None = None) -> None:
+        """Block until this standby is serving (or ``timeout`` runs out)."""
+        await asyncio.wait_for(self._promoted.wait(), timeout)
+
+    def describe(self) -> dict[str, Any]:
+        """Replication/failover status for health reporting."""
+        tail = self._tail
+        lease = _read_json(self._dir / _LEASE_NAME) or {}
+        out: dict[str, Any] = {
+            "role": "standby",
+            "promoted": self.promoted,
+            "reader": self._reader_id,
+            "lease_epoch": int(lease.get("epoch", 0)),
+            "lease_owner": lease.get("owner"),
+        }
+        if tail is not None:
+            out["tail"] = tail.describe()
+        if self.promote_reason is not None:
+            out["promote_reason"] = self.promote_reason
+        return out
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def stop(self) -> None:
+        """Stop following (or, once promoted, stop serving)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watch_task
+            self._watch_task = None
+        if self.router is not None:
+            await self.router.stop()
+        elif self._tail is not None:
+            self._tail.remove_cursor()
+
+    async def __aenter__(self) -> "StandbyRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()

@@ -15,6 +15,17 @@ respawning the process first if it has died.  The supervisor never
 watches proactively — the router notices a dead replica the instant a
 send fails, and whoever notices calls ``ensure_replica``.
 
+Live rescaling runs through **generations**: ``spawn_generation(n)``
+boots a complete second replica tier (files named
+``replica-g{gen}-{p}.*`` so the current tier's files — which external
+chaos targets by name — never move) next to the serving one,
+``commit_generation()`` adopts it and retires the old tier, and
+``abort_generation()`` tears the staged tier down without a trace.
+``reconfigure(n, generation)`` is the boot-time variant: a router
+recovering a WAL whose committed layout disagrees with the configured
+replica count calls it to rebuild the tier at the durable shape before
+serving.
+
 Respawning is rationed: more than ``max_respawn_burst`` respawns of
 the *same* partition inside ``respawn_window`` seconds means the
 replica is crash-looping — a bad binary, an OOM treadmill, a poisoned
@@ -122,18 +133,32 @@ class ReplicaSupervisor:
             [] for _ in range(n_replicas)
         ]
         self._unhealthy: str | None = None
+        self._generation = 0
+        self._staged: dict | None = None
         self.respawns = 0
 
     # -- paths ---------------------------------------------------------
 
+    def _path(self, kind: str, p: int, gen: int) -> Path:
+        """Per-replica file path; generation 0 keeps the legacy names.
+
+        The bare ``replica-{p}.*`` names are load-bearing: external
+        chaos (the CI kill gate, operators) targets replicas by pid
+        file without asking the supervisor, so the serving tier's
+        files never move.  Staged/rescaled generations get the
+        ``replica-g{gen}-{p}.*`` prefix instead.
+        """
+        stem = f"replica-{p}" if gen == 0 else f"replica-g{gen}-{p}"
+        return self._workdir / f"{stem}.{kind}"
+
     def port_file(self, p: int) -> Path:
-        return self._workdir / f"replica-{p}.port"
+        return self._path("port", p, self._generation)
 
     def pid_file(self, p: int) -> Path:
-        return self._workdir / f"replica-{p}.pid"
+        return self._path("pid", p, self._generation)
 
     def log_file(self, p: int) -> Path:
-        return self._workdir / f"replica-{p}.log"
+        return self._path("log", p, self._generation)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -157,17 +182,18 @@ class ReplicaSupervisor:
             self._ports[p] = await self._wait_port(p)
         return self
 
-    def _spawn(self, p: int) -> None:
+    def _launch(self, p: int, n: int, gen: int) -> subprocess.Popen:
+        """Start one serve subprocess for partition ``p`` of an
+        ``n``-way generation-``gen`` tier and publish its pid file."""
         fault_point_sync("supervisor.spawn")
-        self._kill_stale(p)
-        port_file = self.port_file(p)
+        port_file = self._path("port", p, gen)
         port_file.unlink(missing_ok=True)
         cmd = [
             self._python,
             "-m",
             "repro.serve",
             "--capacity",
-            str(_partition_capacity(self._capacity, p, self._n)),
+            str(_partition_capacity(self._capacity, p, n)),
             "--backend",
             self._backend,
             "--host",
@@ -181,10 +207,10 @@ class ReplicaSupervisor:
             "--role",
             "replica",
             "--partition",
-            f"{p}/{self._n}",
+            f"{p}/{n}",
             *self._serve_args,
         ]
-        log = open(self.log_file(p), "ab")
+        log = open(self._path("log", p, gen), "ab")
         try:
             proc = subprocess.Popen(
                 cmd,
@@ -194,10 +220,16 @@ class ReplicaSupervisor:
             )
         finally:
             log.close()
-        self._procs[p] = proc
-        self.pid_file(p).write_text(f"{proc.pid}\n")
+        self._path("pid", p, gen).write_text(f"{proc.pid}\n")
+        return proc
 
-    def _kill_stale(self, p: int) -> None:
+    def _spawn(self, p: int) -> None:
+        self._kill_stale(self.pid_file(p), self._procs[p])
+        self._procs[p] = self._launch(p, self._n, self._generation)
+
+    def _kill_stale(
+        self, pid_path: Path, own: subprocess.Popen | None
+    ) -> None:
         """Kill a leftover replica from a dead supervisor, by pid file.
 
         A router SIGKILL orphans its replicas: a *new* supervisor in
@@ -208,28 +240,28 @@ class ReplicaSupervisor:
         supervisor does not own are touched, and only best-effort (the
         pid may be long dead or recycled — ESRCH/EPERM are fine).
         """
-        proc = self._procs[p]
         try:
-            stale = int(self.pid_file(p).read_text().strip())
+            stale = int(pid_path.read_text().strip())
         except (FileNotFoundError, ValueError):
             return
-        if proc is not None and proc.pid == stale:
+        if own is not None and own.pid == stale:
             return
         try:
             os.kill(stale, signal.SIGKILL)
         except (OSError, ProcessLookupError):
             pass
 
-    async def _wait_port(self, p: int) -> int:
-        """Poll for the replica's (atomically written) port file."""
+    async def _await_port(
+        self, proc: subprocess.Popen, port_file: Path, label: str
+    ) -> int:
+        """Poll for a replica's (atomically written) port file."""
         deadline = time.monotonic() + self._boot_timeout
-        port_file = self.port_file(p)
+        log_hint = port_file.with_suffix(".log")
         while time.monotonic() < deadline:
-            proc = self._procs[p]
-            if proc is not None and proc.poll() is not None:
+            if proc.poll() is not None:
                 raise RuntimeError(
-                    f"replica {p} exited with code {proc.returncode} "
-                    f"before binding (see {self.log_file(p)})"
+                    f"{label} exited with code {proc.returncode} "
+                    f"before binding (see {log_hint})"
                 )
             try:
                 text = port_file.read_text()
@@ -239,8 +271,13 @@ class ReplicaSupervisor:
                 return int(text.strip())
             await asyncio.sleep(0.02)
         raise RuntimeError(
-            f"replica {p} did not publish a port within "
-            f"{self._boot_timeout:g}s (see {self.log_file(p)})"
+            f"{label} did not publish a port within "
+            f"{self._boot_timeout:g}s (see {log_hint})"
+        )
+
+    async def _wait_port(self, p: int) -> int:
+        return await self._await_port(
+            self._procs[p], self.port_file(p), f"replica {p}"
         )
 
     def alive(self, p: int) -> bool:
@@ -302,13 +339,131 @@ class ReplicaSupervisor:
         """The sticky escalation verdict (``None`` while healthy)."""
         return self._unhealthy
 
+    @property
+    def generation(self) -> int:
+        """The serving tier's generation (0 until a rescale commits)."""
+        return self._generation
+
     def kill(self, p: int, sig: int = signal.SIGKILL) -> None:
         """Send ``sig`` to replica ``p`` (the chaos hook for tests)."""
         os.kill(self.pid(p), sig)
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """SIGTERM every live replica and reap them (idempotent)."""
-        for p, proc in enumerate(self._procs):
+    # -- generations (live rescale) ------------------------------------
+
+    async def spawn_generation(self, n_new: int) -> list[tuple[str, int]]:
+        """Boot a complete staged tier of ``n_new`` replicas.
+
+        The staged generation serves nothing until
+        :meth:`commit_generation` adopts it; the current tier keeps
+        running untouched.  Returns the staged endpoints.  A boot
+        failure tears down whatever partially spawned and re-raises —
+        staging is all-or-nothing.
+        """
+        if self._unhealthy is not None:
+            raise ClusterUnhealthyError(self._unhealthy)
+        if self._staged is not None:
+            raise RuntimeError(
+                "a staged generation is already in flight"
+            )
+        if n_new < 1:
+            raise CapacityError(f"n_new must be >= 1, got {n_new}")
+        if self._capacity < n_new:
+            raise CapacityError(
+                f"capacity {self._capacity} cannot spread over "
+                f"{n_new} replicas"
+            )
+        gen = self._generation + 1
+        procs: list[subprocess.Popen] = []
+        try:
+            for q in range(n_new):
+                self._kill_stale(self._path("pid", q, gen), None)
+                procs.append(self._launch(q, n_new, gen))
+            ports = []
+            for q, proc in enumerate(procs):
+                ports.append(
+                    await self._await_port(
+                        proc,
+                        self._path("port", q, gen),
+                        f"replica g{gen}-{q}",
+                    )
+                )
+        except BaseException:
+            self._stop_procs(procs, timeout=5.0)
+            raise
+        self._staged = {
+            "generation": gen,
+            "n": n_new,
+            "procs": procs,
+            "ports": ports,
+        }
+        return [(self._host, port) for port in ports]
+
+    async def commit_generation(self) -> None:
+        """Adopt the staged tier as the serving one; retire the old.
+
+        The swap is instantaneous (list assignments); only the old
+        tier's SIGTERM + reap runs off-loop, after the staged tier is
+        already serving.
+        """
+        staged = self._staged
+        if staged is None:
+            raise RuntimeError("no staged generation to commit")
+        old = [proc for proc in self._procs if proc is not None]
+        self._staged = None
+        self._generation = staged["generation"]
+        self._n = staged["n"]
+        self._procs = list(staged["procs"])
+        self._ports = list(staged["ports"])
+        self._respawn_times = [[] for _ in range(self._n)]
+        await asyncio.to_thread(self._stop_procs, old, 10.0)
+
+    async def abort_generation(self) -> None:
+        """Tear down a staged tier that will never serve (idempotent)."""
+        staged = self._staged
+        if staged is None:
+            return
+        self._staged = None
+        await asyncio.to_thread(
+            self._stop_procs, staged["procs"], 5.0
+        )
+
+    async def reconfigure(
+        self, n: int, generation: int
+    ) -> list[tuple[str, int]]:
+        """Rebuild the tier at a recovered WAL layout, before serving.
+
+        The boot-time path: the router found a committed rescale in
+        its WAL and the configured replica count is stale.  The
+        freshly started (empty) tier is stopped and respawned at the
+        durable shape — nothing has been restored into it yet, so no
+        state moves.
+        """
+        if n < 1:
+            raise CapacityError(f"n must be >= 1, got {n}")
+        if self._capacity < n:
+            raise CapacityError(
+                f"capacity {self._capacity} cannot spread over {n} "
+                f"replicas"
+            )
+        old = [proc for proc in self._procs if proc is not None]
+        await asyncio.to_thread(self._stop_procs, old, 10.0)
+        self._generation = generation
+        self._n = n
+        self._procs = [None] * n
+        self._ports = [None] * n
+        self._respawn_times = [[] for _ in range(n)]
+        for p in range(n):
+            self._spawn(p)
+        for p in range(n):
+            self._ports[p] = await self._wait_port(p)
+        return self.endpoints
+
+    # -- teardown ------------------------------------------------------
+
+    @staticmethod
+    def _stop_procs(procs, timeout: float = 10.0) -> None:
+        """SIGTERM the given processes and reap them."""
+        for proc in procs:
             if proc is None or proc.poll() is not None:
                 continue
             try:
@@ -316,7 +471,7 @@ class ReplicaSupervisor:
             except OSError:
                 pass
         deadline = time.monotonic() + timeout
-        for proc in self._procs:
+        for proc in procs:
             if proc is None:
                 continue
             remaining = max(0.1, deadline - time.monotonic())
@@ -325,6 +480,16 @@ class ReplicaSupervisor:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait(5.0)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM every live replica — staged tier included — and
+        reap them (idempotent)."""
+        staged = self._staged
+        self._staged = None
+        procs = list(self._procs)
+        if staged is not None:
+            procs.extend(staged["procs"])
+        self._stop_procs(procs, timeout)
 
     async def __aenter__(self) -> "ReplicaSupervisor":
         return await self.start()

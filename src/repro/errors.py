@@ -24,6 +24,7 @@ __all__ = [
     "ReplicaUnavailableError",
     "ReplicaRecoveringError",
     "ClusterUnhealthyError",
+    "FencedWriterError",
 ]
 
 
@@ -113,6 +114,22 @@ class ClusterUnhealthyError(ReproError, RuntimeError):
     (something systemic — bad binary, OOM loop, port exhaustion — is
     killing the replica faster than recovery can help) and the tier
     must be torn down and fixed by an operator.
+    """
+
+    retryable = False
+
+
+class FencedWriterError(ReproError, RuntimeError):
+    """This router's WAL lease was superseded by a higher fencing epoch.
+
+    A warm standby promoted itself (or an operator forced a new
+    lease) while this router still held the directory open.  Terminal
+    for this process, by design: the fence check runs *before* the
+    ack-gating fsync, so a fenced router can never acknowledge another
+    event — it must exit and let the new epoch's owner serve.  The
+    events of the batch that tripped the fence were never acked and
+    belong to no epoch; clients see a dropped connection, exactly as
+    if the old router had been SIGKILLed.
     """
 
     retryable = False

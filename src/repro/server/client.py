@@ -42,6 +42,15 @@ lost, not necessarily the write), so in-flight futures and the
 interrupted call fail with a clear :class:`ConnectionError` and the
 caller decides — exactly-once is the caller's contract, at-most-once
 is the client's.
+
+Both clients also accept an **endpoint list** (``endpoints=[(host,
+port), ...]``) instead of a single address — the warm-standby
+deployment shape, where a promoted standby serves on the next address
+in the list.  Dialing is sticky: the client stays on the endpoint
+that last answered, and only when reconnection to it is exhausted
+(the full jittered backoff schedule) does it rotate to the next one,
+wrapping around the list before giving up.  The at-most-once contract
+is unchanged: failing over never resends anything.
 """
 
 from __future__ import annotations
@@ -141,6 +150,21 @@ def _as_arrays(batch):
     return ids, deltas
 
 
+def _normalize_endpoints(host, port, endpoints) -> list[tuple[str, int]]:
+    """Resolve the (host, port) / endpoints=[...] knobs into one list.
+
+    ``endpoints`` wins when given (host/port are then ignored); a lone
+    (host, port) pair becomes a one-element list, so the failover
+    plumbing has exactly one shape to rotate over.
+    """
+    if endpoints:
+        out = [(str(h), int(p)) for h, p in endpoints]
+        if not out:
+            raise ValueError("endpoints list is empty")
+        return out
+    return [(str(host), int(port))]
+
+
 class AsyncProfileClient:
     """Pipelining asyncio client.  Construct via :meth:`connect`.
 
@@ -158,6 +182,7 @@ class AsyncProfileClient:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        endpoints=None,
         want_codec: str | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         reconnect: bool = False,
@@ -167,8 +192,14 @@ class AsyncProfileClient:
         backoff_jitter: float = 0.5,
         backoff_rng=None,
     ) -> None:
-        self._host = host
-        self._port = port
+        self._endpoints = _normalize_endpoints(host, port, endpoints)
+        try:
+            self._endpoint_idx = self._endpoints.index(
+                (str(host), int(port))
+            )
+        except ValueError:
+            self._endpoint_idx = 0
+        self._host, self._port = self._endpoints[self._endpoint_idx]
         self._want = want_codec if want_codec is not None else codec
         self._max_frame = max_frame
         self._reconnect = reconnect
@@ -199,6 +230,7 @@ class AsyncProfileClient:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        endpoints=None,
         codec: str = "auto",
         max_frame: int = DEFAULT_MAX_FRAME,
         reconnect: bool = False,
@@ -219,25 +251,28 @@ class AsyncProfileClient:
         ``max_attempts`` tries.  Negotiation errors
         (:class:`ProtocolError`) are configuration problems and never
         retried.
+
+        ``endpoints=[(host, port), ...]`` replaces the single address
+        with a failover list: each endpoint gets the full dial policy
+        (one attempt, or the whole backoff schedule under
+        ``reconnect=True``) before the client rotates to the next,
+        raising :class:`ConnectionError` only once the rotation wraps.
         """
         rng = backoff_rng if backoff_rng is not None else random.random
-        if reconnect:
-            reader, writer, hello, negotiated = await cls._dial_backoff(
-                host, port, codec, max_frame,
-                backoff_base, backoff_max, max_attempts,
-                backoff_jitter, rng,
-            )
-        else:
-            reader, writer, hello, negotiated = await cls._dial(
-                host, port, codec, max_frame
-            )
+        eps = _normalize_endpoints(host, port, endpoints)
+        idx, reader, writer, hello, negotiated = await cls._dial_rotate(
+            eps, 0, codec, max_frame,
+            backoff_base, backoff_max, max_attempts,
+            backoff_jitter, rng, reconnect,
+        )
         return cls(
             reader,
             writer,
             hello,
             codec=negotiated,
-            host=host,
-            port=port,
+            host=eps[idx][0],
+            port=eps[idx][1],
+            endpoints=eps,
             want_codec=codec,
             max_frame=max_frame,
             reconnect=reconnect,
@@ -311,6 +346,41 @@ class AsyncProfileClient:
             f"could not reach {host}:{port} after {max_attempts} "
             f"attempts (last error: {last})"
         ) from last
+
+    @classmethod
+    async def _dial_rotate(
+        cls, eps, start, codec, max_frame, base, cap, max_attempts,
+        jitter, rng, reconnect,
+    ):
+        """Dial endpoints in rotation order starting at ``start``.
+
+        Each endpoint is given the *entire* single-endpoint dial
+        policy (one attempt, or the full backoff schedule under
+        reconnect) before the rotation advances — failover is the
+        escalation after reconnection is exhausted, not a first
+        resort.  A lone endpoint re-raises its dial error untouched.
+        """
+        failures = []
+        for offset in range(len(eps)):
+            idx = (start + offset) % len(eps)
+            host, port = eps[idx]
+            try:
+                if reconnect:
+                    got = await cls._dial_backoff(
+                        host, port, codec, max_frame,
+                        base, cap, max_attempts, jitter, rng,
+                    )
+                else:
+                    got = await cls._dial(host, port, codec, max_frame)
+                return (idx, *got)
+            except (ConnectionError, OSError) as exc:
+                failures.append((f"{host}:{port}", exc))
+        if len(eps) == 1:
+            raise failures[0][1]
+        detail = "; ".join(f"{ep}: {exc}" for ep, exc in failures)
+        raise ConnectionError(
+            f"all {len(eps)} endpoints unreachable ({detail})"
+        ) from failures[-1][1]
 
     @property
     def hello(self) -> dict:
@@ -430,9 +500,9 @@ class AsyncProfileClient:
         if not self._reconnect:
             raise ConnectionError("server connection closed")
         self._writer.close()
-        reader, writer, hello, negotiated = await self._dial_backoff(
-            self._host,
-            self._port,
+        idx, reader, writer, hello, negotiated = await self._dial_rotate(
+            self._endpoints,
+            self._endpoint_idx,
             self._want,
             self._max_frame,
             self._backoff_base,
@@ -440,7 +510,10 @@ class AsyncProfileClient:
             self._max_attempts,
             self._backoff_jitter,
             self._backoff_rng,
+            True,
         )
+        self._endpoint_idx = idx
+        self._host, self._port = self._endpoints[idx]
         self._install(reader, writer, hello, negotiated)
 
     async def _send(self, op: str, **fields) -> asyncio.Future:
@@ -530,6 +603,24 @@ class AsyncProfileClient:
     async def resume(self) -> bool:
         """End the recovering window opened by ``restore(recovering=True)``."""
         return (await self.request("resume"))["resumed"]
+
+    async def rescale(self, n: int) -> dict[str, Any]:
+        """Ask a cluster router to rebalance onto ``n`` partitions.
+
+        Returns the cutover receipt ``{"partitions": n, "generation":
+        g, "seq": s}`` once the migration committed — ingest keeps
+        flowing the whole time (the router double-writes during the
+        handoff epoch), so expect this to resolve well after ingests
+        sent behind it.  Routers reject overlapping rescales with
+        :class:`~repro.errors.ReplicaUnavailableError` (retryable once
+        the in-flight migration finishes).
+        """
+        resp = await self.request("rescale", n=n)
+        return {
+            "partitions": resp["partitions"],
+            "generation": resp["generation"],
+            "seq": resp["seq"],
+        }
 
     # -- 2PC verbs (cluster router only) --------------------------------
 
@@ -654,6 +745,7 @@ class ProfileClient:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        endpoints=None,
         codec: str = "auto",
         timeout: float | None = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
@@ -664,8 +756,9 @@ class ProfileClient:
         backoff_jitter: float = 0.5,
         backoff_rng=None,
     ) -> None:
-        self._host = host
-        self._port = port
+        self._endpoints = _normalize_endpoints(host, port, endpoints)
+        self._endpoint_idx = 0
+        self._host, self._port = self._endpoints[0]
         self._want = codec
         self._timeout = timeout
         self._max_frame = max_frame
@@ -684,10 +777,7 @@ class ProfileClient:
         self._codec = "json"
         self._wrap = pack_frame
         self._ack_buf: list[dict] = []
-        if reconnect:
-            self._connect_backoff()
-        else:
-            self._connect()
+        self._connect_rotate()
 
     @property
     def codec(self) -> str:
@@ -761,6 +851,37 @@ class ProfileClient:
             f"{self._max_attempts} attempts (last error: {last})"
         ) from last
 
+    def _connect_rotate(self) -> None:
+        """Dial endpoints in rotation order from the current one.
+
+        Mirror of the async client's ``_dial_rotate``: each endpoint
+        gets the full single-endpoint dial policy (one attempt, or the
+        whole backoff schedule under ``reconnect=True``) before the
+        rotation advances, and the endpoint that answers becomes the
+        sticky current one.  A lone endpoint re-raises its dial error
+        untouched.
+        """
+        failures = []
+        eps = self._endpoints
+        for offset in range(len(eps)):
+            idx = (self._endpoint_idx + offset) % len(eps)
+            self._host, self._port = eps[idx]
+            try:
+                if self._reconnect:
+                    self._connect_backoff()
+                else:
+                    self._connect()
+                self._endpoint_idx = idx
+                return
+            except (ConnectionError, OSError) as exc:
+                failures.append((f"{self._host}:{self._port}", exc))
+        if len(eps) == 1:
+            raise failures[0][1]
+        detail = "; ".join(f"{ep}: {exc}" for ep, exc in failures)
+        raise ConnectionError(
+            f"all {len(eps)} endpoints unreachable ({detail})"
+        ) from failures[-1][1]
+
     def _teardown(self) -> None:
         """Discard the socket without a protocol goodbye."""
         if self._file is not None:
@@ -781,7 +902,7 @@ class ProfileClient:
             return
         if not self._reconnect:
             raise ConnectionError("server connection closed")
-        self._connect_backoff()
+        self._connect_rotate()
 
     def _read_frame(self):
         head = self._file.read(_LEN.size)
@@ -937,6 +1058,20 @@ class ProfileClient:
         if recovering:
             fields["recovering"] = True
         return self.request("restore", **fields)["restored"]
+
+    def rescale(self, n: int) -> dict[str, Any]:
+        """Ask a cluster router to rebalance onto ``n`` partitions.
+
+        Blocks until the migration commits (ingest from other
+        connections keeps flowing meanwhile); returns the cutover
+        receipt ``{"partitions": n, "generation": g, "seq": s}``.
+        """
+        resp = self.request("rescale", n=n)
+        return {
+            "partitions": resp["partitions"],
+            "generation": resp["generation"],
+            "seq": resp["seq"],
+        }
 
     def health(self) -> dict[str, Any]:
         """Cheap liveness probe, answered out of band by the reader."""

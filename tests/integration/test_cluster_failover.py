@@ -1,0 +1,339 @@
+"""Failover + rescale integration tests: real processes, real SIGKILL.
+
+The acceptance gates of the warm-standby tier:
+
+- A ``--standby`` process tailing the primary's WAL must promote after
+  the primary is SIGKILLed mid-stream (with scheduled fault delays in
+  play), serve a state containing every acked event (bit-identical to
+  a facade fed some send-order prefix covering the acked batches),
+  keep ingesting under the new fencing epoch, and drain clean on
+  SIGTERM — reporting the sealed WAL in its drain line.
+- ``rescale(n)`` against the CLI tier must migrate to a new replica
+  generation without stopping the stream, survive a restart (the
+  committed ``layout.json`` overrides a stale ``--replicas``), and
+  leave generation-named replica files behind.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import Profiler, Query
+from repro.server import AsyncProfileClient, ProfileClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+M = 300
+
+
+def subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def base_cmd(tmp_path, *extra, capacity=M, replicas=2):
+    return [
+        sys.executable,
+        "-m",
+        "repro.cluster",
+        "--capacity",
+        str(capacity),
+        "--replicas",
+        str(replicas),
+        "--port",
+        "0",
+        "--workdir",
+        str(tmp_path / "replicas"),
+        "--snapshot-every",
+        "8",
+        *extra,
+    ]
+
+
+def spawn_primary(tmp_path, wal, *extra, boot=1):
+    port_file = tmp_path / f"primary-{boot}.port"
+    proc = subprocess.Popen(
+        base_cmd(
+            tmp_path,
+            "--port-file",
+            str(port_file),
+            "--journal-dir",
+            str(wal),
+            "--lease-interval",
+            "0.1",
+            *extra,
+        ),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=subprocess_env(),
+    )
+    port = await_file(proc, port_file, "primary port")
+    return proc, int(port)
+
+
+def spawn_standby(tmp_path, wal, *extra):
+    """Boot a ``--standby`` follower; wait until its tail cursor shows
+    up in the WAL directory (its 'I am following' artifact)."""
+    port_file = tmp_path / "standby.port"
+    proc = subprocess.Popen(
+        base_cmd(
+            tmp_path,
+            "--port-file",
+            str(port_file),
+            "--journal-dir",
+            str(wal),
+            "--standby",
+            "--lease-timeout",
+            "0.6",
+            "--lease-interval",
+            "0.1",
+            *extra,
+        ),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=subprocess_env(),
+    )
+    await_file(proc, wal / "cursor-standby.json", "standby cursor")
+    return proc, port_file
+
+
+def await_file(proc, path, label, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"process died before {label}:\n{proc.stdout.read()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError(f"{label} never appeared at {path}")
+
+
+def cluster_status(port):
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cluster",
+            "--status",
+            "--port",
+            str(port),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=subprocess_env(),
+    )
+    assert out.returncode == 0, out.stdout + out.stderr
+    return json.loads(out.stdout)
+
+
+class TestStandbyFailover:
+    def test_sigkill_primary_standby_promotes_zero_loss(self, tmp_path):
+        wal = tmp_path / "wal"
+        primary, port = spawn_primary(
+            tmp_path,
+            wal,
+            "--faults",
+            "router.fanout:6:delay:0.02,router.acks:14:delay:0.02",
+        )
+        standby, standby_port_file = spawn_standby(tmp_path, wal)
+        acked_batches = []
+        pipelined = []
+        statuses = []
+        try:
+            async def drive():
+                client = await AsyncProfileClient.connect(port=port)
+                try:
+                    # Phase 1: awaited batches — definitely acked.
+                    for i in range(10):
+                        batch = [
+                            ((i * 17 + j) % M, 1 + (j % 3))
+                            for j in range(12)
+                        ]
+                        await client.ingest(batch)
+                        acked_batches.append(batch)
+                    # Phase 2: pipelined batches racing the SIGKILL.
+                    futures = []
+                    for i in range(30):
+                        batch = [
+                            ((500 + i * 13 + j) % M, 1 + (j % 2))
+                            for j in range(10)
+                        ]
+                        pipelined.append(batch)
+                        futures.append(
+                            await client.ingest(batch, wait=False)
+                        )
+                    os.kill(primary.pid, signal.SIGKILL)
+                    return await asyncio.gather(
+                        *futures, return_exceptions=True
+                    )
+                finally:
+                    client.abort()
+
+            results = asyncio.run(drive())
+            primary.wait(30)
+            for result in results:
+                if isinstance(result, BaseException):
+                    assert isinstance(result, ConnectionError), result
+                    statuses.append(None)
+                else:
+                    statuses.append(result["applied"])
+
+            # Acks are pipeline-ordered: definite outcomes must form a
+            # prefix of the sends.
+            acked = len(statuses)
+            for i, status in enumerate(statuses):
+                if status is None:
+                    acked = i
+                    break
+            assert all(s is None for s in statuses[acked:]), statuses
+
+            # The standby detects the death, fences, promotes, and
+            # publishes its port.
+            port2 = int(
+                await_file(
+                    standby, standby_port_file, "standby promotion"
+                )
+            )
+            with ProfileClient("127.0.0.1", port2) as client:
+                state = client.checkpoint()
+                total = client.evaluate(Query.total()).values[0]
+                # Ingest resumes under the new epoch.
+                before = client.evaluate(Query.frequency(7)).values[0]
+                assert client.ingest([(7, 5)]) == 5
+                after = client.evaluate(Query.frequency(7)).values[0]
+                assert after == before + 5
+
+            info = cluster_status(port2)
+            assert info["wal"]["epoch"] >= 2
+            assert info["wal"]["segments"] >= 1
+            assert "generation" in info["wal"]
+
+            restored = Profiler.from_state(state)
+            try:
+                frequencies = restored.frequencies()
+            finally:
+                restored.close()
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None and proc is not standby:
+                    proc.kill()
+                    proc.wait(30)
+
+        # Zero acked loss: the promoted state is exactly the facade
+        # fed the acked prefix plus some run of the in-flight suffix.
+        matched = False
+        for k in range(acked, len(pipelined) + 1):
+            reference = Profiler.open(M, backend="flat")
+            try:
+                for batch in acked_batches:
+                    reference.ingest(batch)
+                for batch, status in zip(pipelined[:k], statuses[:k]):
+                    applied = reference.ingest(batch)
+                    if status is not None:
+                        assert applied == status
+                if reference.frequencies() == frequencies:
+                    assert total == reference.evaluate(
+                        Query.total()
+                    ).values[0]
+                    matched = True
+                    break
+            finally:
+                reference.close()
+        assert matched, (
+            f"promoted state matches no prefix >= acked={acked} "
+            f"(statuses={statuses})"
+        )
+
+        # Graceful drain of the promoted router seals the WAL and says
+        # so.
+        standby.send_signal(signal.SIGTERM)
+        out, _ = standby.communicate(timeout=60)
+        assert standby.returncode == 0, out
+        assert "standby promoted:" in out
+        assert "lease stale" in out
+        assert "drained:" in out
+        assert "wal sealed:" in out
+
+    def test_unpromoted_standby_drains_clean(self, tmp_path):
+        wal = tmp_path / "wal"
+        primary, _port = spawn_primary(tmp_path, wal)
+        standby, _pf = spawn_standby(tmp_path, wal)
+        try:
+            time.sleep(0.3)
+            standby.send_signal(signal.SIGTERM)
+            out, _ = standby.communicate(timeout=60)
+            assert standby.returncode == 0, out
+            assert "standby stopping (never promoted)" in out
+            # Its cursor is withdrawn: nothing pins the primary's
+            # prune anymore.
+            assert not (wal / "cursor-standby.json").exists()
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+                    proc.wait(30)
+
+
+class TestLiveRescale:
+    def test_rescale_migrates_and_survives_restart(self, tmp_path):
+        wal = tmp_path / "wal"
+        primary, port = spawn_primary(tmp_path, wal)
+        try:
+            with ProfileClient("127.0.0.1", port) as client:
+                for i in range(12):
+                    assert client.ingest([(i % M, 1), (i * 3 % M, 2)]) == 3
+                receipt = client.rescale(3)
+                assert receipt["partitions"] == 3
+                assert receipt["generation"] == 1
+                # The stream keeps flowing on the new layout.
+                assert client.ingest([(5, 4)]) == 4
+                info = client.health()
+                assert info["partitions"] == 3
+                assert info["generation"] == 1
+                state = client.checkpoint()
+            # The new generation's replicas live in generation-named
+            # files; the old generation's processes are gone.
+            workdir = tmp_path / "replicas"
+            gen_ports = sorted(workdir.glob("replica-g1-*.port"))
+            assert len(gen_ports) == 3
+            restored = Profiler.from_state(state)
+            try:
+                frequencies = restored.frequencies()
+            finally:
+                restored.close()
+        finally:
+            primary.send_signal(signal.SIGTERM)
+            out, _ = primary.communicate(timeout=60)
+        assert primary.returncode == 0, out
+        assert "generation 1" in out
+
+        # Cold boot with a stale --replicas: the committed layout wins.
+        reboot, port2 = spawn_primary(tmp_path, wal, boot=2)
+        try:
+            with ProfileClient("127.0.0.1", port2) as client:
+                info = client.health()
+                assert info["partitions"] == 3
+                state2 = client.checkpoint()
+            restored = Profiler.from_state(state2)
+            try:
+                assert restored.frequencies() == frequencies
+            finally:
+                restored.close()
+        finally:
+            reboot.send_signal(signal.SIGTERM)
+            out2, _ = reboot.communicate(timeout=60)
+        assert reboot.returncode == 0, out2
+        assert "WAL layout overrides --replicas=2" in out2

@@ -1,0 +1,280 @@
+"""Property: a live rescale is invisible to the data.
+
+Random event streams are pushed through an in-process
+:class:`~repro.cluster.router.ClusterRouter` journaling to a real WAL,
+and hypothesis picks a point mid-stream where a second client issues
+``rescale(n ± 1)``.  Ingest never pauses: batches keep flowing (and
+keep being acked) while the migration snapshots the old tier, replays
+into the new one, and double-writes the traffic that arrives during
+the handoff.  The reference is a single directly driven facade fed the
+same wire batches in ack order — accepted and rejected batches must
+match outcome for outcome, the post-cutover checkpoint must restore to
+the same dense frequency array bit for bit, and the merged dashboard
+must agree.
+
+This is the acceptance property of live rebalancing: growing or
+shrinking the replica set loses nothing, double-counts nothing, and
+never stops the stream.
+"""
+
+import asyncio
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Profiler, Query
+from repro.cluster import ClusterRouter, partition_capacity
+from repro.server import AsyncProfileClient, ProfileServer
+
+DASHBOARD = (
+    Query.total(),
+    Query.active_count(),
+    Query.mode(),
+    Query.least(),
+    Query.max_frequency(),
+    Query.min_frequency(),
+    Query.histogram(),
+    Query.median(),
+    Query.quantile(0.25),
+    Query.top_k(3),
+    Query.support(1),
+)
+
+
+class InProcessSupervisor:
+    """Replica tier in this process, generation-aware for rescales."""
+
+    def __init__(self, m, n_parts):
+        self.m = m
+        self.n = n_parts
+        self.cells = [None] * n_parts
+        self.staged = None
+        self.generation = 0
+
+    async def start(self):
+        for p in range(self.n):
+            self.cells[p] = await self._spawn(p, self.n)
+        return self
+
+    async def _spawn(self, p, n):
+        profiler = Profiler.open(
+            partition_capacity(self.m, p, n), backend="flat"
+        )
+        server = ProfileServer(
+            profiler,
+            port=0,
+            role="replica",
+            partition=(p, n),
+            linger_ms=0.2,
+        )
+        await server.start()
+        return (server, profiler)
+
+    @property
+    def endpoints(self):
+        return [(srv.host, srv.port) for srv, _ in self.cells]
+
+    async def ensure_replica(self, p):
+        server, _profiler = self.cells[p]
+        if server._server is None or not server._server.is_serving():
+            self.cells[p] = await self._spawn(p, self.n)
+            server, _profiler = self.cells[p]
+        return (server.host, server.port)
+
+    async def spawn_generation(self, n_new):
+        assert self.staged is None, "one staged generation at a time"
+        cells = [await self._spawn(q, n_new) for q in range(n_new)]
+        self.staged = (n_new, cells)
+        return [(srv.host, srv.port) for srv, _ in cells]
+
+    async def commit_generation(self):
+        n_new, cells = self.staged
+        self.staged = None
+        old = self.cells
+        self.n = n_new
+        self.cells = cells
+        self.generation += 1
+        await self._stop_cells(old)
+
+    async def abort_generation(self):
+        if self.staged is None:
+            return
+        _n, cells = self.staged
+        self.staged = None
+        await self._stop_cells(cells)
+
+    @staticmethod
+    async def _stop_cells(cells):
+        for server, profiler in cells:
+            try:
+                await server.stop()
+            except Exception:  # noqa: BLE001 - crashed cells
+                pass
+            profiler.close()
+
+    async def stop(self):
+        cells = list(self.cells)
+        if self.staged is not None:
+            cells.extend(self.staged[1])
+        await self._stop_cells(cells)
+
+
+async def drive_rescaling_cluster(
+    m, n_parts, n_new, batches, rescale_at, snapshot_every
+):
+    """Push ``batches`` through a router, firing ``rescale(n_new)``
+    from a second connection before batch ``rescale_at`` lands — and
+    never waiting for it; ingest and migration overlap."""
+    with tempfile.TemporaryDirectory() as wal_dir:
+        supervisor = await InProcessSupervisor(m, n_parts).start()
+        router = ClusterRouter(
+            m,
+            supervisor=supervisor,
+            journal_dir=wal_dir,
+            snapshot_every=snapshot_every,
+            port=0,
+            batch_max=4,
+            linger_ms=1.0,
+        )
+        await router.start()
+        client = await AsyncProfileClient.connect(router.host, router.port)
+        control = await AsyncProfileClient.connect(
+            router.host, router.port
+        )
+        rescale_task = None
+        try:
+            outcomes = []
+            for i, batch in enumerate(batches):
+                if i == rescale_at:
+                    rescale_task = asyncio.create_task(
+                        control.rescale(n_new)
+                    )
+                try:
+                    # Awaited one at a time: ack order == issue order,
+                    # so the replay reference is simply outcome order.
+                    ack = await client.ingest(batch)
+                except Exception as exc:  # noqa: BLE001 - compared by type
+                    outcomes.append((batch, None, type(exc)))
+                else:
+                    outcomes.append((batch, ack, None))
+            if rescale_task is None:  # rescale_at == len(batches)
+                rescale_task = asyncio.create_task(
+                    control.rescale(n_new)
+                )
+            receipt = await rescale_task
+            rescale_task = None
+            # The stream keeps flowing after the cutover too.
+            for batch in batches[:3]:
+                try:
+                    ack = await client.ingest(batch)
+                except Exception as exc:  # noqa: BLE001
+                    outcomes.append((batch, None, type(exc)))
+                else:
+                    outcomes.append((batch, ack, None))
+            state = await client.checkpoint()
+            answers = await client.evaluate(*DASHBOARD)
+            health = await client.health()
+            return outcomes, state, answers, receipt, health
+        finally:
+            if rescale_task is not None:
+                rescale_task.cancel()
+            await client.aclose()
+            await control.aclose()
+            await router.stop()
+            await supervisor.stop()
+
+
+def replay_reference(m, outcomes):
+    """One facade fed the accepted batches in ack order."""
+    reference = Profiler.open(m, backend="flat")
+    for batch, applied, error_type in outcomes:
+        if error_type is None:
+            assert reference.ingest(batch) == applied
+        else:
+            try:
+                reference.ingest(batch)
+            except error_type:
+                pass
+            else:
+                raise AssertionError(
+                    f"cluster rejected {batch} with "
+                    f"{error_type.__name__} but the facade accepted it"
+                )
+    return reference
+
+
+def assert_dashboard_matches(answers, reference):
+    expected = reference.evaluate(*DASHBOARD)
+    for query, value in answers:
+        ref_value = expected[query]
+        if query.kind in ("mode", "least"):
+            assert (value.frequency, value.count) == (
+                ref_value.frequency,
+                ref_value.count,
+            ), query
+            assert reference.frequency(value.example) == value.frequency
+        elif query.kind == "top_k":
+            assert [e.frequency for e in value] == [
+                e.frequency for e in ref_value
+            ], query
+            for entry in value:
+                assert reference.frequency(entry.obj) == entry.frequency
+        else:
+            assert value == ref_value, query
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=14),
+    n_parts=st.integers(min_value=1, max_value=3),
+    grow=st.booleans(),
+    snapshot_every=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_rescale_concurrent_with_ingest_is_bit_identical(
+    capacity, n_parts, grow, snapshot_every, data
+):
+    n_parts = min(n_parts, capacity)
+    # N -> N±1, clamped to the legal range; shrinking from 1 grows
+    # instead (a same-size "rescale" is rejected by design).
+    if grow or n_parts == 1:
+        n_new = min(n_parts + 1, capacity)
+        if n_new == n_parts:
+            n_new = max(n_parts - 1, 1)
+    else:
+        n_new = n_parts - 1
+    if n_new == n_parts:
+        return  # capacity == n_parts == 1: nothing to rescale
+    keys = st.integers(min_value=-2, max_value=capacity + 2)
+    pair = st.tuples(keys, st.integers(min_value=-2, max_value=3))
+    batches = data.draw(
+        st.lists(
+            st.lists(pair, min_size=1, max_size=6),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    rescale_at = data.draw(
+        st.integers(min_value=0, max_value=len(batches))
+    )
+
+    outcomes, state, answers, receipt, health = asyncio.run(
+        drive_rescaling_cluster(
+            capacity, n_parts, n_new, batches, rescale_at, snapshot_every
+        )
+    )
+    assert receipt["partitions"] == n_new
+    assert receipt["generation"] == 1
+    assert health["partitions"] == n_new
+    assert health["generation"] == 1
+    reference = replay_reference(capacity, outcomes)
+    try:
+        restored = Profiler.from_state(state)
+        try:
+            assert restored.frequencies() == reference.frequencies()
+        finally:
+            restored.close()
+        assert_dashboard_matches(answers, reference)
+    finally:
+        reference.close()

@@ -448,10 +448,10 @@ class TestCommittedServeArtifact:
                 assert entry["binary_p99_ms"] > 0
 
 
-def cluster_path(cpus, speedups):
+def cluster_path(cpus, speedups, failover=None):
     """Fabricated cluster entry: {replica count -> speedup}."""
     max_r = max(int(r) for r in speedups)
-    return {
+    out = {
         "workload": "cluster (fabricated)",
         "events": 16384,
         "wire_batch": 1024,
@@ -468,6 +468,18 @@ def cluster_path(cpus, speedups):
         },
         "speedup": speedups[max_r],
     }
+    if failover is not None:
+        promotion, migration = failover
+        out["failover"] = {
+            "workload": "failover (fabricated)",
+            "prime_events": 8192,
+            "promotion_ms": 50.0,
+            "promotion_speed": promotion,
+            "steady_eps": 150e3,
+            "migrating_eps": 150e3 * migration,
+            "migration_overhead": migration,
+        }
+    return out
 
 
 class TestClusterGate:
@@ -520,6 +532,60 @@ class TestClusterGate:
         assert "full.cluster.r4.speedup" not in entries
         assert "full.cluster.speedup" not in entries
 
+    def test_failover_ratios_are_gated(self):
+        base = payload()
+        base["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}, failover=(1.2, 0.4)
+        )
+        slow_promote = payload()
+        slow_promote["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}, failover=(0.4, 0.4)
+        )
+        problems = check_regressions(slow_promote, base, 0.30)
+        assert len(problems) == 1
+        assert "cluster.failover.promotion_speed" in problems[0]
+
+        slow_migrate = payload()
+        slow_migrate["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}, failover=(1.2, 0.1)
+        )
+        problems = check_regressions(slow_migrate, base, 0.30)
+        assert len(problems) == 1
+        assert "cluster.failover.migration_overhead" in problems[0]
+
+    def test_failover_ratios_gate_even_on_one_core(self):
+        """promotion_speed and migration_overhead are self-normalizing
+        (same box runs both legs), so unlike the r2/r4 throughput
+        ratios they gate without cpu scoping."""
+        base = payload()
+        base["paths"]["cluster"] = cluster_path(
+            4, {1: 0.5, 2: 0.8, 4: 1.4}, failover=(1.2, 0.4)
+        )
+        current = payload()
+        current["paths"]["cluster"] = cluster_path(
+            1, {1: 0.5, 2: 0.8, 4: 1.4}, failover=(0.3, 0.4)
+        )
+        problems = check_regressions(current, base, 0.30)
+        assert len(problems) == 1
+        assert "cluster.failover.promotion_speed" in problems[0]
+
+    def test_payload_without_failover_yields_no_failover_keys(self):
+        from repro.bench.trajectory import _speedup_entries
+
+        entries = dict(
+            _speedup_entries(
+                {
+                    "scale": "full",
+                    "paths": {
+                        "cluster": cluster_path(
+                            2, {1: 0.5, 2: 0.8, 4: 1.4}
+                        )
+                    },
+                }
+            )
+        )
+        assert not any("failover" in key for key in entries)
+
     def test_cluster_scale_knobs_exist_at_both_scales(self):
         for scale in ("full", "quick"):
             cfg = SCALES[scale]
@@ -554,3 +620,22 @@ class TestCommittedClusterArtifact:
                 clu["speedup"]
                 == clu["replicas"][str(clu["max_replicas"])]["speedup"]
             )
+
+    def test_repo_baseline_records_failover(self):
+        """Both scales carry the failover block: promotion downtime
+        plus the double-write migration duel, with migration always
+        costing something (steady > migrating throughput)."""
+        import json as json_mod
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        data = json_mod.loads((root / "BENCH_core.json").read_text())
+        for section in (data["paths"], data["quick"]["paths"]):
+            failover = section["cluster"]["failover"]
+            assert failover["prime_events"] >= 1
+            assert failover["promotion_ms"] > 0
+            assert failover["promotion_speed"] > 0
+            assert failover["steady_eps"] > failover["migrating_eps"] > 0
+            assert 0 < failover["migration_overhead"] < 1
+            ratio = failover["migrating_eps"] / failover["steady_eps"]
+            assert abs(failover["migration_overhead"] - ratio) < 1e-6

@@ -9,11 +9,12 @@ cover them.
 """
 
 import struct
+import time
 
 import pytest
 
-from repro.cluster.journal import RouterWal
-from repro.errors import CheckpointError
+from repro.cluster.journal import RouterWal, WalTail
+from repro.errors import CheckpointError, FencedWriterError
 
 
 def write_entries(wal, spec):
@@ -137,7 +138,9 @@ class TestTornAndCorrupt:
         data = bytearray(seg.read_bytes())
         # Flip a payload byte of the FIRST record (well before the
         # tail): CRC mismatch that truncation must NOT paper over.
-        data[14] ^= 0xFF
+        # The segment header is magic + u64 epoch (16 bytes), the
+        # frame header 8 more; byte 30 sits inside the first payload.
+        data[30] ^= 0xFF
         seg.write_bytes(bytes(data))
         with pytest.raises(CheckpointError):
             RouterWal(tmp_path).load()
@@ -254,3 +257,166 @@ class TestSegments:
             write_entries(wal, [(0, 1, [1], [1])])
         recovery = RouterWal(tmp_path).load()
         assert [e.seq for e in recovery.entries[0]] == [1]
+
+
+class TestPruneVsTailReader:
+    """Prune racing an active standby tail: fresh cursors pin segments;
+    stale cursors stop pinning; the tail never loses a record either
+    way."""
+
+    def _fill(self, wal, start, stop):
+        for seq in range(start, stop):
+            wal.append_entry(0, seq, [seq % 7] * 100, [1] * 100)
+        wal.sync()
+
+    def test_fresh_cursor_defers_prune(self, tmp_path):
+        wal = RouterWal(tmp_path, segment_bytes=4096)
+        self._fill(wal, 1, 20)
+        tail = WalTail(tmp_path, reader_id="standby")
+        tail.poll()  # cursor now sits on the current live segment
+        pinned = wal.reader_cursors()[0]["segment"]
+        # Keep writing: rotation moves the live segment well past the
+        # cursor, then a covering snapshot makes everything prunable.
+        self._fill(wal, 20, 60)
+        wal.note_snapshot(0, 59, {"v": 1})  # auto-prunes
+        survivors = [m.index for m in wal._segments]
+        # Everything the tail has not finished reading survives ...
+        assert all(index >= pinned for index in survivors)
+        assert wal.segment_count > 1
+        # ... and once the tail catches up, the same snapshot prunes.
+        tail.poll()
+        assert tail.last_seq == 59
+        assert tail.records_consumed == 59
+        assert wal.prune() >= 1
+        assert wal.segment_count == 1
+        tail.remove_cursor()
+        wal.close()
+
+    def test_stale_cursor_stops_deferring(self, tmp_path):
+        wal = RouterWal(tmp_path, segment_bytes=4096, reader_ttl=0.05)
+        self._fill(wal, 1, 20)
+        tail = WalTail(tmp_path, reader_id="dead-standby")
+        tail.poll()
+        self._fill(wal, 20, 60)
+        time.sleep(0.1)  # past reader_ttl: the cursor no longer pins
+        cursors = wal.reader_cursors()
+        assert cursors and not cursors[0]["fresh"]
+        wal.note_snapshot(0, 59, {"v": 1})
+        assert wal.segment_count == 1
+        wal.close()
+
+    def test_tail_survives_prune_of_consumed_segments(self, tmp_path):
+        # Prune deletes only segments the tail already consumed (its
+        # cursor floor guarantees that); the next poll must skip the
+        # missing files without complaint and read on.
+        wal = RouterWal(tmp_path, segment_bytes=4096)
+        self._fill(wal, 1, 40)
+        tail = WalTail(tmp_path, reader_id="standby")
+        tail.poll()
+        wal.note_snapshot(0, 39, {"v": 1})
+        self._fill(wal, 40, 50)
+        tail.poll()
+        assert tail.last_seq == 49
+        tail.remove_cursor()
+        assert wal.prune() >= 0
+        wal.close()
+
+
+class TestLeaseAndFence:
+    def test_acquire_renew_release_round_trip(self, tmp_path):
+        wal = RouterWal(tmp_path)
+        epoch = wal.acquire_lease("primary-1", endpoint=["127.0.0.1", 4321])
+        assert epoch == 1
+        lease = wal.read_lease()
+        assert lease["owner"] == "primary-1"
+        assert lease["endpoint"] == ["127.0.0.1", 4321]
+        assert lease["renewed"] > 0
+        wal.append_entry(0, 1, [1], [1])
+        wal.sync()  # fence check passes while the lease is ours
+        wal.renew_lease()
+        wal.release_lease()
+        assert wal.read_lease()["renewed"] == 0.0
+        wal.close()
+
+    def test_superseded_writer_cannot_sync(self, tmp_path):
+        old = RouterWal(tmp_path)
+        old.acquire_lease("old-primary")
+        old.append_entry(0, 1, [1], [1])
+        old.sync()
+        # A standby claims the directory at a strictly higher epoch.
+        new = RouterWal(tmp_path)
+        assert new.acquire_lease("standby") == 2
+        # The old writer's next ack-gating sync must fail instead of
+        # making the batch durable: no ack ever escapes a fenced
+        # router.
+        old.append_entry(0, 2, [2], [1])
+        synced_before = old.last_synced_seq
+        with pytest.raises(FencedWriterError):
+            old.sync()
+        assert old.last_synced_seq == synced_before
+        with pytest.raises(FencedWriterError):
+            old.renew_lease()
+        # A fenced writer's release must not clobber the new lease.
+        old.release_lease()
+        assert new.read_lease()["owner"] == "standby"
+        assert new.read_lease()["renewed"] > 0
+        old.close()
+        new.close()
+
+    def test_epoch_zero_never_fences(self, tmp_path):
+        # Without acquire_lease the fencing machinery stays disarmed:
+        # single-writer deployments pay nothing.
+        with RouterWal(tmp_path) as wal:
+            write_entries(wal, [(0, 1, [1], [1])])
+            assert wal.epoch == 0
+        recovery = RouterWal(tmp_path).load()
+        assert [e.seq for e in recovery.entries[0]] == [1]
+
+
+class TestRescaleRecord:
+    def test_commit_rescale_round_trip(self, tmp_path):
+        wal = RouterWal(tmp_path)
+        write_entries(wal, [(0, 1, [1], [1]), (1, 2, [0], [2])])
+        for q in range(3):
+            wal.note_generation_snapshot(1, q, 2, {"part": q})
+        wal.commit_rescale(1, 3, 2)
+        assert wal.generation == 1
+        assert wal.n_parts == 3
+        assert RouterWal.peek_layout(tmp_path) == {
+            "generation": 1,
+            "n_parts": 3,
+            "seq": 2,
+        }
+        # Post-cutover traffic lands under the new layout.
+        wal.append_entry(2, 3, [5], [1])
+        wal.sync()
+        wal.close()
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.generation == 1
+        assert recovery.n_parts == 3
+        assert recovery.covered_seq == 2
+        assert recovery.snapshot_seqs == {0: 2, 1: 2, 2: 2}
+        assert recovery.snapshots[2] == {"part": 2}
+        assert {p: [e.seq for e in es] for p, es in recovery.entries.items()} == {
+            2: [3]
+        }
+        assert recovery.last_seq == 3
+
+    def test_uncommitted_rescale_recovers_old_layout(self, tmp_path):
+        # Staged generation snapshots without the RESCALE record are
+        # invisible: a crash mid-migration rolls back to the old
+        # layout.
+        wal = RouterWal(tmp_path)
+        write_entries(wal, [(0, 1, [1], [1])])
+        wal.note_generation_snapshot(1, 0, 1, {"staged": True})
+        wal.close()
+        recovery = RouterWal(tmp_path).load()
+        assert recovery.generation == 0
+        assert recovery.n_parts is None
+        assert [e.seq for e in recovery.entries[0]] == [1]
+
+    def test_rescale_generation_must_advance(self, tmp_path):
+        with RouterWal(tmp_path) as wal:
+            wal.commit_rescale(1, 2, 0)
+            with pytest.raises(CheckpointError):
+                wal.commit_rescale(1, 3, 0)
