@@ -509,6 +509,37 @@ class ApproxProfiler:
         self._summary = SpaceSaving(counters)
         self._counters = counters
         self._n_adds = 0
+        self._bind_obs(None)
+
+    def _bind_obs(self, obs) -> None:
+        """Bind the observed-error gauges (see ``_refresh_obs``)."""
+        from repro.obs.registry import resolve_registry
+
+        self._obs = resolve_registry(obs)
+        self._obs_error_bound = self._obs.gauge(
+            "approx.countmin.error_bound"
+        )
+        self._obs_eps = self._obs.gauge("approx.countmin.eps_estimate")
+        self._obs_overcount = self._obs.gauge(
+            "approx.spacesaving.max_overcount"
+        )
+
+    def _refresh_obs(self) -> None:
+        """Publish the sketches' *observed* error state.
+
+        ``error_bound`` is the Count-Min additive bound at the current
+        stream length (``~eps * N``); ``eps_estimate`` is that bound
+        normalized by ``N`` — the epsilon this width actually
+        delivers; ``max_overcount`` is SpaceSaving's realized
+        worst-case inflation.  Together they seed the ROADMAP's
+        accuracy-trajectory item: error is scrapeable live, not only a
+        committed bench artifact.
+        """
+        bound = self._sketch.error_bound()
+        self._obs_error_bound.set(round(bound, 6))
+        n = self._n_adds
+        self._obs_eps.set(round(bound / n, 9) if n else 0.0)
+        self._obs_overcount.set(self._summary.max_overcount())
 
     # -- ingestion -----------------------------------------------------
 
@@ -530,6 +561,8 @@ class ApproxProfiler:
             summary_add(obj, d)
             n += d
         self._n_adds += n
+        if self._obs.enabled:
+            self._refresh_obs()
         return n
 
     # -- queries -------------------------------------------------------
@@ -650,6 +683,7 @@ class ApproxProfiler:
         profiler._summary = summary
         profiler._counters = counters
         profiler._n_adds = n_adds
+        profiler._bind_obs(None)
         return profiler
 
     def guaranteed_count(self, obj: Hashable) -> int:

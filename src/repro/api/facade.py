@@ -70,6 +70,7 @@ from repro.errors import (
     FrequencyUnderflowError,
     UnsupportedQueryError,
 )
+from repro.obs.registry import resolve_registry
 from repro.streams.events import Action, Event
 
 __all__ = ["API_STATE_VERSION", "Profiler"]
@@ -168,6 +169,10 @@ class Profiler:
         "_capacity",
         "_batches",
         "_events",
+        "_obs",
+        "_obs_batches",
+        "_obs_events",
+        "_obs_queries",
     )
 
     def __init__(
@@ -179,6 +184,7 @@ class Profiler:
         strict: bool,
         interner: ObjectInterner | None,
         capacity: int | None,
+        obs=None,
     ) -> None:
         self._impl = impl
         self._backend_name = backend_name
@@ -188,6 +194,15 @@ class Profiler:
         self._capacity = capacity
         self._batches = 0
         self._events = 0
+        # Preallocated instrument slots: the ingest hot path touches
+        # bound counters only — no name lookups, and with obs disabled
+        # the bound instruments are the shared no-op singletons.
+        self._obs = resolve_registry(obs)
+        self._obs_batches = self._obs.counter("profiler.ingest.batches")
+        self._obs_events = self._obs.counter("profiler.ingest.events")
+        self._obs_queries = self._obs.counter("profiler.queries")
+        if isinstance(impl, (FlatProfile, ApproxProfiler)):
+            impl._bind_obs(self._obs)
 
     # ------------------------------------------------------------------
     # Construction
@@ -245,8 +260,13 @@ class Profiler:
             ``delta``, ``seed``; ``flat``: ``array_engine=True`` hosts
             the struct-of-arrays state in ``int64`` ndarrays, the
             fastest target for vectorized batch ingest — see
-            :meth:`ingest_arrays`).
+            :meth:`ingest_arrays`).  ``obs`` selects the metrics
+            registry: ``None``/``True`` — the process default
+            (disabled under ``REPRO_OBS=0``), ``False`` — no-op
+            instrumentation, or an explicit
+            :class:`~repro.obs.MetricsRegistry`.
         """
+        obs = options.pop("obs", None)
         if keys not in _KEY_MODES:
             raise CapacityError(
                 f"keys must be one of {_KEY_MODES}, got {keys!r}"
@@ -282,6 +302,7 @@ class Profiler:
             strict=strict,
             interner=ObjectInterner() if facade_interned else None,
             capacity=capacity,
+            obs=obs,
         )
 
     @classmethod
@@ -331,6 +352,8 @@ class Profiler:
         n = self._impl.apply(payload)
         self._batches += 1
         self._events += len(deltas)
+        self._obs_batches.inc()
+        self._obs_events.inc(len(deltas))
         return n
 
     def ingest_arrays(self, ids, deltas) -> int:
@@ -362,6 +385,8 @@ class Profiler:
             n = self._impl.apply(net)
         self._batches += 1
         self._events += len(ids)
+        self._obs_batches.inc()
+        self._obs_events.inc(len(ids))
         return n
 
     def register(self, obj: Hashable) -> None:
@@ -648,6 +673,7 @@ class Profiler:
         either way up to tie order inside equal frequencies.
         """
         plan = normalize_queries(queries)
+        self._obs_queries.inc(len(plan))
         view = runs_view_for(
             self._impl,
             self._decode_key if self._interner is not None else None,
@@ -751,6 +777,37 @@ class Profiler:
         elif isinstance(impl, (SProfile, FlatProfile)):
             out["engine"] = _engine_stats(impl)
         return out
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def obs_registry(self):
+        """The metrics registry this facade counts into (no-op when
+        obs is disabled)."""
+        return self._obs
+
+    def metrics_snapshot(self, detail: bool = True) -> dict[str, Any]:
+        """Point-in-time obs snapshot for this profiler.
+
+        Refreshes snapshot-time gauges from the engine's exact
+        internal counters (``n_adds``/``n_removes`` cost nothing on
+        the hot path — they were already maintained), then snapshots
+        the registry.  The parallel backend additionally folds in
+        every worker process's registry (counters merge exactly) and
+        the shard-skew gauges.  ``{}`` when obs is disabled.
+        """
+        obs = self._obs
+        impl = self._impl
+        if obs.enabled:
+            n_adds = getattr(impl, "n_adds", None)
+            if n_adds is not None:
+                obs.gauge("engine.adds").set(int(n_adds))
+                obs.gauge("engine.removes").set(int(impl.n_removes))
+        if isinstance(impl, ParallelShardedProfiler):
+            return impl.metrics_snapshot(obs, detail=detail)
+        return obs.snapshot(detail)
 
     # ------------------------------------------------------------------
     # Accounting

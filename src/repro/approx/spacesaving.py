@@ -121,6 +121,14 @@ class SpaceSaving:
         """A certain lower bound on the true count of ``obj``."""
         return self.estimate(obj) - self.error_bound(obj)
 
+    def max_overcount(self) -> int:
+        """Largest possible overcount across currently monitored
+        objects — the summary's observed worst-case error (0 until an
+        eviction has ever inflated a counter)."""
+        if not self._slot_of:
+            return 0
+        return max(self._errors[slot] for slot in self._slot_of.values())
+
     def top_k(self, k: int | None = None) -> list[TopEntry]:
         """Monitored objects by estimated count, descending."""
         entries = [

@@ -285,6 +285,51 @@ def _batch_ingest(cfg: dict, rounds: int, seed: int) -> dict:
     }
 
 
+def _obs_overhead(cfg: dict, rounds: int, seed: int) -> dict:
+    """The observability tax on the facade's hot ingest path.
+
+    The same bulk array batches through ``Profiler.open(...,
+    obs=True)`` (live metrics registry: ingest counters, grow events)
+    vs ``obs=False`` (the shared no-op singletons).  The committed
+    ``overhead`` ratio is disabled-time over enabled-time — 1.0 means
+    free, and the regression gate fires when it drops (instrumentation
+    got relatively more expensive).  Self-normalizing like
+    ``wal_overhead``, so it gates without cpu scoping.
+    """
+    size, count, m = cfg["batch_size"], cfg["batch_count"], cfg["batch_m"]
+    stream = build_stream("stream1", size * count, m, seed=seed)
+    batches = [
+        stream.ids[i * size : (i + 1) * size] for i in range(count)
+    ]
+    ones = [batch * 0 + 1 for batch in batches]
+    n_events = size * count
+
+    def time_facade(obs):
+        def timer():
+            with Profiler.open(m, backend="flat", obs=obs) as p:
+                ingest_arrays = p.ingest_arrays
+                start = perf_counter()
+                for ids, deltas in zip(batches, ones):
+                    ingest_arrays(ids, deltas)
+                return perf_counter() - start
+
+        return timer
+
+    best = _interleaved_min(
+        {"obs_on": time_facade(True), "obs_off": time_facade(False)},
+        rounds,
+    )
+    return {
+        "workload": (
+            f"facade ingest_arrays x{count}, batch={size}, m={m}, "
+            f"obs on vs off"
+        ),
+        "obs_on_eps": n_events / best["obs_on"],
+        "obs_off_eps": n_events / best["obs_off"],
+        "overhead": best["obs_off"] / best["obs_on"],
+    }
+
+
 def _sharded_batch(cfg: dict, rounds: int, seed: int) -> dict:
     """The same bulk batches through sharded engines (core ablation)."""
     size, count = cfg["batch_size"], cfg["batch_count"]
@@ -1067,6 +1112,7 @@ def run_trajectory(
     paths = {
         "single_event_mode": _single_event_mode(cfg, rounds, seed),
         "batch_ingest": _batch_ingest(cfg, rounds, seed),
+        "obs": _obs_overhead(cfg, rounds, seed),
         "sharded_batch": _sharded_batch(cfg, rounds, seed),
         "fused_plan": _fused_plan(cfg, rounds, seed),
         "serve": _serve(cfg, rounds, seed),
@@ -1163,6 +1209,11 @@ def _speedup_entries(result: dict):
         # without cpu scoping.
         if "wal_overhead" in path:
             yield f"{prefix}.{path_name}.wal_overhead", path["wal_overhead"]
+        # The observability tax (no-op-instrumented ingest vs live
+        # registry at identical knobs) — self-normalizing, same gating
+        # story as wal_overhead.
+        if "overhead" in path:
+            yield f"{prefix}.{path_name}.overhead", path["overhead"]
         # Failover ratios (promotion speed vs the primed stream's
         # ingest; ingest throughput retained under a double-writing
         # rescale migration).  Both self-normalizing, so no cpu
@@ -1245,6 +1296,14 @@ def _format_summary(result: dict) -> str:
             f"  {label:<26} sprofile {entry['sprofile_eps'] / 1e6:.2f}M"
             f"  flat {entry['flat_eps'] / 1e6:.2f}M ev/s"
             f"  -> {entry['speedup']:.2f}x   [{entry['workload']}]"
+        )
+    if "obs" in paths:
+        obs = paths["obs"]
+        lines.append(
+            f"  obs overhead               on "
+            f"{obs['obs_on_eps'] / 1e6:.2f}M  off "
+            f"{obs['obs_off_eps'] / 1e6:.2f}M ev/s"
+            f"  -> {obs['overhead']:.2f}x   [{obs['workload']}]"
         )
     if "parallel_batch" in paths:
         par = paths["parallel_batch"]

@@ -33,6 +33,7 @@ import argparse
 import asyncio
 import contextlib
 import json
+import logging
 import os
 import signal
 import sys
@@ -42,12 +43,17 @@ from repro.cluster.journal import RouterWal
 from repro.cluster.router import ClusterRouter
 from repro.cluster.standby import StandbyRouter
 from repro.cluster.supervisor import ReplicaSupervisor
+from repro.obs.http import MetricsExporter
+from repro.obs.registry import get_registry, json_sanitize
+from repro.obs.structlog import configure_logging, log_event
 from repro.server.cli import DEFAULT_PORT, _write_port_file
 from repro.server.client import ProfileClient
 from repro.server.protocol import DEFAULT_MAX_FRAME
 from repro.testing.faults import FaultSchedule, arm
 
 __all__ = ["build_parser", "main"]
+
+_log = logging.getLogger("repro.cluster")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,6 +215,27 @@ def build_parser() -> argparse.ArgumentParser:
         "router's health block as JSON (including per-replica journal "
         "depth and lag), exit",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus text exposition of the router's "
+        "metrics registry on this port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--metrics-port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound metrics port here (atomic tmp + rename)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("plain", "json"),
+        default="plain",
+        help="status-line format: plain (the legacy print lines) or "
+        "one JSON object per line (default: plain)",
+    )
     return parser
 
 
@@ -218,7 +245,10 @@ def _status(args: argparse.Namespace) -> int:
         info = client.health()
     finally:
         client.close()
-    json.dump(info, sys.stdout, indent=2, sort_keys=True)
+    # Health blocks can carry numpy scalars (engine gauges) — sanitize
+    # to native ints so the JSON dump never trips, and keep key order
+    # stable for scripted diffing.
+    json.dump(json_sanitize(info), sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
     return 0
 
@@ -234,11 +264,15 @@ def _boot_replicas(args: argparse.Namespace) -> int:
     if args.journal_dir:
         layout = RouterWal.peek_layout(args.journal_dir)
         if layout is not None and layout["n_parts"] != replicas:
-            print(
+            log_event(
+                _log,
                 f"WAL layout overrides --replicas={replicas}: "
                 f"generation {layout['generation']} committed "
                 f"{layout['n_parts']} partitions",
-                flush=True,
+                event="layout_override",
+                requested=replicas,
+                committed=layout["n_parts"],
+                generation=layout["generation"],
             )
             replicas = layout["n_parts"]
     return replicas
@@ -273,10 +307,14 @@ def _drain_report(router: ClusterRouter, supervisor) -> str:
 
 
 async def _amain(args: argparse.Namespace, workdir: str) -> int:
+    configure_logging(args.log_format)
     spec = args.faults or os.environ.get("REPRO_FAULTS")
     if spec:
         arm(FaultSchedule.from_spec(spec))
-        print(f"fault schedule armed: {spec}", flush=True)
+        log_event(
+            _log, f"fault schedule armed: {spec}",
+            event="faults_armed", spec=spec,
+        )
     supervisor = ReplicaSupervisor(
         args.capacity,
         _boot_replicas(args),
@@ -306,7 +344,8 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             binary=args.codec == "binary",
         )
         await router.start()
-        print(
+        log_event(
+            _log,
             f"cluster listening on {router.host}:{router.port} "
             f"(capacity={args.capacity}, replicas={args.replicas}, "
             f"replica_backend={args.replica_backend}, "
@@ -314,10 +353,16 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
             f"strict={args.strict}, "
             f"journal_dir={args.journal_dir or 'none'}, "
             f"workdir={workdir})",
-            flush=True,
+            event="listening",
+            host=router.host,
+            port=router.port,
+            replicas=args.replicas,
         )
         if args.port_file:
             _write_port_file(args.port_file, router.port)
+        exporter = await _start_exporter(
+            args, router.metrics_snapshot, role="router"
+        )
 
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()
@@ -335,22 +380,55 @@ async def _amain(args: argparse.Namespace, workdir: str) -> int:
         for task in (stop_wait, crash_wait):
             task.cancel()
         if router.crashed:
-            print("router crashed (scheduled fault)", flush=True)
+            log_event(
+                _log, "router crashed (scheduled fault)",
+                event="router_crashed",
+            )
             supervisor.stop()
             return 1
-        print("draining...", flush=True)
+        log_event(_log, "draining...", event="draining")
+        if exporter is not None:
+            await exporter.stop()
         await router.stop()
-        print(_drain_report(router, supervisor), flush=True)
+        log_event(_log, _drain_report(router, supervisor), event="drained")
     finally:
         supervisor.stop()
     return 0
 
 
+async def _start_exporter(
+    args: argparse.Namespace, snapshot_fn, *, role: str
+) -> MetricsExporter | None:
+    """Boot the Prometheus sidecar when ``--metrics-port`` asks for it."""
+    if args.metrics_port is None:
+        return None
+    exporter = MetricsExporter(
+        snapshot_fn,
+        host=args.host,
+        port=args.metrics_port,
+        labels={"tier": "cluster", "role": role},
+    )
+    await exporter.start()
+    log_event(
+        _log,
+        f"metrics on {args.host}:{exporter.port}/metrics",
+        event="metrics_listening",
+        port=exporter.port,
+    )
+    if args.metrics_port_file:
+        _write_port_file(args.metrics_port_file, exporter.port)
+    return exporter
+
+
 async def _amain_standby(args: argparse.Namespace, workdir: str) -> int:
+    configure_logging(args.log_format)
     spec = args.faults or os.environ.get("REPRO_FAULTS")
     if spec:
         arm(FaultSchedule.from_spec(spec))
-        print(f"fault schedule armed: {spec}", flush=True)
+        log_event(
+            _log, f"fault schedule armed: {spec}",
+            event="faults_armed", spec=spec,
+        )
     supervisor = ReplicaSupervisor(
         args.capacity,
         _boot_replicas(args),
@@ -381,11 +459,25 @@ async def _amain_standby(args: argparse.Namespace, workdir: str) -> int:
         binary=args.codec == "binary",
     )
     await standby.start()
-    print(
+    log_event(
+        _log,
         f"standby following {args.journal_dir} "
         f"(capacity={args.capacity}, "
         f"lease_timeout={args.lease_timeout:g}s)",
-        flush=True,
+        event="standby_following",
+        journal_dir=str(args.journal_dir),
+    )
+    # Pre-promotion the standby has no router: scrape the process
+    # registry (replay lag, promotion timings); the dispatch picks up
+    # the router's merged view the moment promotion lands.
+    exporter = await _start_exporter(
+        args,
+        lambda: (
+            standby.router.metrics_snapshot()
+            if standby.router is not None
+            else get_registry().snapshot()
+        ),
+        role="standby",
     )
     try:
         loop = asyncio.get_running_loop()
@@ -401,20 +493,29 @@ async def _amain_standby(args: argparse.Namespace, workdir: str) -> int:
         if not standby.promoted:
             stop_wait.cancel()
             if watch.done() and watch.exception() is not None:
-                print(
-                    f"standby failed: {watch.exception()}", flush=True
+                log_event(
+                    _log, f"standby failed: {watch.exception()}",
+                    event="standby_failed",
                 )
                 await standby.stop()
                 return 1
-            print("standby stopping (never promoted)", flush=True)
+            log_event(
+                _log, "standby stopping (never promoted)",
+                event="standby_stopping",
+            )
             await standby.stop()
             return 0
         router = standby.router
-        print(
+        log_event(
+            _log,
             f"standby promoted: serving on {router.host}:{router.port} "
             f"(epoch {router.wal_info['epoch']}; "
             f"{standby.promote_reason})",
-            flush=True,
+            event="standby_promoted",
+            host=router.host,
+            port=router.port,
+            epoch=router.wal_info["epoch"],
+            reason=standby.promote_reason,
         )
         if args.port_file:
             _write_port_file(args.port_file, router.port)
@@ -425,11 +526,16 @@ async def _amain_standby(args: argparse.Namespace, workdir: str) -> int:
         for task in (stop_wait, crash_wait):
             task.cancel()
         if router.crashed:
-            print("router crashed (scheduled fault)", flush=True)
+            log_event(
+                _log, "router crashed (scheduled fault)",
+                event="router_crashed",
+            )
             return 1
-        print("draining...", flush=True)
+        log_event(_log, "draining...", event="draining")
+        if exporter is not None:
+            await exporter.stop()
         await standby.stop()
-        print(_drain_report(router, supervisor), flush=True)
+        log_event(_log, _drain_report(router, supervisor), event="drained")
     finally:
         supervisor.stop()
     return 0

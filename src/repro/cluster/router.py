@@ -85,6 +85,7 @@ from repro.errors import (
     FencedWriterError,
     ReplicaUnavailableError,
 )
+from repro.obs.registry import LATENCY_MS_BOUNDS
 from repro.server.client import AsyncProfileClient
 from repro.server.protocol import ProtocolError, encode_error, encode_value
 from repro.server.service import ProfileServer, _Item
@@ -301,6 +302,20 @@ class ClusterRouter(ProfileServer):
             "degraded_queries": 0,
             "rescales": 0,
         }
+        # Router-tier instruments (no-op singletons when obs is off;
+        # self._obs / self._obs_on come from the base server).
+        obs = self._obs
+        self._obs_fsync = obs.histogram(
+            "router.wal.fsync_ms", LATENCY_MS_BOUNDS
+        )
+        self._obs_fanout = obs.histogram(
+            "router.fanout.rtt_ms", LATENCY_MS_BOUNDS
+        )
+        self._obs_2pc_commits = obs.counter("router.2pc.commits")
+        self._obs_2pc_aborts = obs.counter("router.2pc.aborts")
+        self._obs_breaker_trips = obs.counter("router.breaker.trips")
+        self._obs_breaker_probes = obs.counter("router.breaker.probes")
+        self._obs_breaker_heals = obs.counter("router.breaker.heals")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -649,6 +664,8 @@ class ClusterRouter(ProfileServer):
         """Open partition ``p``'s breaker and drop its connection."""
         self._breakers[p] = asyncio.get_running_loop().time()
         self.cluster_stats["deadline_trips"] += 1
+        self._obs_breaker_trips.inc()
+        self._obs.spans.record("router.breaker_trip", partition=p)
         client = self._clients.pop(p, None)
         if client is not None:
             client.abort()
@@ -663,6 +680,7 @@ class ClusterRouter(ProfileServer):
         machinery exists to prevent.
         """
         budget = max(4.0 * (self._replica_timeout or 0.5), 2.0)
+        self._obs_breaker_probes.inc()
         try:
             await asyncio.wait_for(
                 self._recover(p, attempts=1), budget
@@ -675,6 +693,7 @@ class ClusterRouter(ProfileServer):
                 stale.abort()
             return False
         self._breakers.pop(p, None)
+        self._obs_breaker_heals.inc()
         return True
 
     async def _gate(self, p: int, probed: set[int]) -> bool:
@@ -738,6 +757,16 @@ class ClusterRouter(ProfileServer):
                 await self._recover(p)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _wal_sync(self, wal) -> None:
+        """One ack-gating fsync, timed into the fsync histogram."""
+        if self._obs_on:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            wal.sync()
+            self._obs_fsync.observe((loop.time() - t0) * 1e3)
+        else:
+            wal.sync()
+
     @staticmethod
     async def _send_batch(client: AsyncProfileClient, ids, deltas) -> int:
         """One partitioned column pair -> one replica ingest."""
@@ -787,7 +816,13 @@ class ClusterRouter(ProfileServer):
         stats.wire_events += n_events
         if n_events > stats.max_flush_events:
             stats.max_flush_events = n_events
+        if self._obs_on:
+            # The base server's flush accounting (ingest counters,
+            # coalesce histograms, queue-wait spans) applies verbatim
+            # at the routing tier — same queue, same wire batches.
+            self._observe_flush(batch, n_events)
         outcomes: list[tuple[_Item, Any]] = []
+        traced: list[tuple[_Item, tuple[int, ...]]] = []
         pending: dict[int, list[tuple]] = {}
         flush_last: dict[int, int] = {}
         touched: set[int] = set()
@@ -828,6 +863,8 @@ class ClusterRouter(ProfileServer):
                     touched.add(p)
                 if mig is not None:
                     self._double_write(mig, item.data)
+                if self._obs_on and item.conn.trace:
+                    traced.append((item, tuple(parts)))
                 outcomes.append((item, applied))
                 continue
             for p, (ids, deltas) in parts.items():
@@ -839,10 +876,12 @@ class ClusterRouter(ProfileServer):
                 touched.add(p)
             if mig is not None:
                 self._double_write(mig, item.data)
+            if self._obs_on and item.conn.trace:
+                traced.append((item, tuple(parts)))
             outcomes.append((item, applied))
         if wal is not None and pending:
             await fault_point("router.journal")
-            wal.sync()
+            self._wal_sync(wal)
         if pending:
             await fault_point("router.fanout")
             await asyncio.gather(
@@ -861,9 +900,46 @@ class ClusterRouter(ProfileServer):
             per_conn.setdefault(item.conn, []).append((item, result))
         for conn, acks in per_conn.items():
             await conn.send(self._pack_acks(conn, acks))
+        if traced:
+            await self._trace_flush(traced)
         for p in sorted(touched):
             if len(self._journals[p]) >= self._snapshot_every:
                 await self._snapshot(p)
+
+    async def _trace_flush(self, traced) -> None:
+        """Stamp traced batches into the span log and the replicas.
+
+        For every traced wire batch in the flush: one ``router.flush``
+        span (queue-to-ack latency against the enqueue stamp) and one
+        best-effort ``trace`` mark forwarded to each partition the
+        batch touched, so the replica's own span log carries the
+        client's id.  Never fails the flush — the batch is already
+        acked; tracing is observability, not delivery.
+        """
+        loop = asyncio.get_running_loop()
+        for item, parts in traced:
+            trace = item.conn.trace
+            ms = (
+                round((loop.time() - item.t_enq) * 1e3, 3)
+                if item.t_enq
+                else None
+            )
+            self._obs.spans.record(
+                "router.flush",
+                trace=trace,
+                ms=ms,
+                seq=item.seq,
+                partitions=sorted(parts),
+            )
+            for p in parts:
+                client = self._clients.get(p)
+                if client is None:
+                    continue
+                with contextlib.suppress(Exception):
+                    await client.request(
+                        "trace", trace=trace, source="router",
+                        seq=item.seq,
+                    )
 
     async def _deliver(self, p: int, chunks, last_seq: int) -> None:
         """Send one flush's sub-batches to partition ``p``; await acks.
@@ -878,12 +954,19 @@ class ClusterRouter(ProfileServer):
         fail fast until then.
         """
         try:
+            t0 = (
+                asyncio.get_running_loop().time() if self._obs_on else 0.0
+            )
             client = await self._ensure_client(p)
             sends = self._send_chunks(client, chunks)
             if self._replica_timeout is not None:
                 await asyncio.wait_for(sends, self._replica_timeout)
             else:
                 await sends
+            if self._obs_on:
+                self._obs_fanout.observe(
+                    (asyncio.get_running_loop().time() - t0) * 1e3
+                )
             self.cluster_stats["replica_batches"] += len(chunks)
             self._delivered[p] = max(self._delivered[p], last_seq)
         except asyncio.TimeoutError:
@@ -910,7 +993,7 @@ class ClusterRouter(ProfileServer):
         if wal is not None:
             for p, (ids, deltas) in ordered:
                 wal.append_entry(p, seq, ids, deltas, prepared=True)
-            wal.sync()
+            self._wal_sync(wal)
         await fault_point("router.prepare")
         staged: list[int] = []
         try:
@@ -926,7 +1009,7 @@ class ClusterRouter(ProfileServer):
             aborting = isinstance(exc, Exception)
             if aborting and wal is not None:
                 wal.append_decision(seq, parts.keys(), commit=False)
-                wal.sync()
+                self._wal_sync(wal)
             await fault_point("router.abort")
             for p in staged:
                 with contextlib.suppress(Exception):
@@ -935,10 +1018,11 @@ class ClusterRouter(ProfileServer):
                     )
             if aborting:
                 self.cluster_stats["strict_aborts"] += 1
+                self._obs_2pc_aborts.inc()
             raise
         if wal is not None:
             wal.append_decision(seq, parts.keys(), commit=True)
-            wal.sync()
+            self._wal_sync(wal)
         await fault_point("router.commit")
         # Committed: journal first (the replay tape must already hold
         # the entry when a commit send fails and recovery replays), then
@@ -966,6 +1050,7 @@ class ClusterRouter(ProfileServer):
                 if self._delivered[p] < seq:
                     raise
         self.cluster_stats["strict_commits"] += 1
+        self._obs_2pc_commits.inc()
 
     async def _snapshot(self, p: int) -> None:
         """Checkpoint partition ``p`` and truncate its journal.
@@ -1697,6 +1782,30 @@ class ClusterRouter(ProfileServer):
                 for cursor in self._wal.reader_cursors()
             ]
         return info
+
+    def metrics_snapshot(self, detail: bool = True) -> dict[str, Any]:
+        """The base snapshot plus router-tier liveness gauges."""
+        if self._obs_on:
+            obs = self._obs
+            obs.gauge("router.partitions").set(self._n_parts)
+            obs.gauge("router.generation").set(self._generation)
+            obs.gauge("router.breakers.open").set(len(self._breakers))
+            obs.gauge("router.journal.depth").set(
+                sum(len(j) for j in self._journals)
+            )
+            obs.gauge("router.journal.lag").set(
+                sum(self._journal_lag(p) for p in range(self._n_parts))
+            )
+            if self._wal is not None:
+                wal = self._wal.describe()
+                obs.gauge("router.wal.segments").set(wal["segments"])
+                obs.gauge("router.wal.segments_created").set(
+                    wal["segments_created"]
+                )
+                obs.gauge("router.wal.segments_pruned").set(
+                    wal["segments_pruned"]
+                )
+        return super().metrics_snapshot(detail)
 
     def describe_server(self) -> dict[str, Any]:
         out = super().describe_server()

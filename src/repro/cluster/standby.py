@@ -66,6 +66,7 @@ from repro.cluster.journal import (
 )
 from repro.cluster.router import ClusterRouter
 from repro.errors import CapacityError
+from repro.obs.registry import LATENCY_MS_BOUNDS, get_registry
 from repro.testing.faults import fault_point
 
 __all__ = ["StandbyRouter"]
@@ -157,6 +158,16 @@ class StandbyRouter:
         self.router: ClusterRouter | None = None
         #: why the watcher decided to promote (None until it did)
         self.promote_reason: str | None = None
+        #: wall-clock seconds the last promotion took (None until then)
+        self.promote_seconds: float | None = None
+        # Standby instruments live on the process-default registry
+        # (the standby predates its router, which owns its own).
+        obs = get_registry()
+        self._obs = obs
+        self._obs_lag = obs.gauge("standby.replay.lag")
+        self._obs_promote_ms = obs.histogram(
+            "standby.promote_ms", LATENCY_MS_BOUNDS
+        )
 
     # -- following ------------------------------------------------------
 
@@ -173,7 +184,13 @@ class StandbyRouter:
         while True:
             await asyncio.sleep(self._poll_interval)
             tail = self._tail
+            behind = tail.last_seq
             await asyncio.to_thread(tail.poll)
+            if self._obs.enabled:
+                # Replay lag at poll time: how many acked batches the
+                # shadow state was behind when this poll caught it up.
+                self._obs_lag.set(max(0, tail.last_seq - behind))
+                self._obs.gauge("standby.replay.seq").set(tail.last_seq)
             reason = await self._primary_dead()
             if reason is None:
                 continue
@@ -247,6 +264,7 @@ class StandbyRouter:
                     await watcher
                 self._watch_task = None
             await fault_point("standby.promote")
+            t0 = time.monotonic()
             tail = self._tail
             owner = f"standby-{self._reader_id}-{os.getpid()}"
             # Step 1: the lease write that fences the old epoch.
@@ -296,6 +314,17 @@ class StandbyRouter:
             )
             await router.start()
             self.router = router
+            self.promote_seconds = time.monotonic() - t0
+            if self._obs.enabled:
+                ms = self.promote_seconds * 1e3
+                self._obs_promote_ms.observe(ms)
+                self._obs.spans.record(
+                    "standby.promoted",
+                    ms=round(ms, 3),
+                    epoch=epoch,
+                    seq=tail.last_seq,
+                    reason=self.promote_reason,
+                )
             self._promoted.set()
             return router
 
@@ -343,6 +372,8 @@ class StandbyRouter:
             out["tail"] = tail.describe()
         if self.promote_reason is not None:
             out["promote_reason"] = self.promote_reason
+        if self.promote_seconds is not None:
+            out["promote_seconds"] = round(self.promote_seconds, 6)
         return out
 
     # -- lifecycle -------------------------------------------------------

@@ -40,6 +40,7 @@ it cannot deliver.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import signal
 import subprocess
@@ -48,9 +49,13 @@ import time
 from pathlib import Path
 
 from repro.errors import CapacityError, ClusterUnhealthyError
+from repro.obs.registry import get_registry
+from repro.obs.structlog import log_event
 from repro.testing.faults import fault_point_sync
 
 __all__ = ["ReplicaSupervisor"]
+
+_log = logging.getLogger("repro.cluster.supervisor")
 
 
 def _partition_capacity(m: int, p: int, n: int) -> int:
@@ -221,6 +226,12 @@ class ReplicaSupervisor:
         finally:
             log.close()
         self._path("pid", p, gen).write_text(f"{proc.pid}\n")
+        log_event(
+            _log, f"replica {p} spawned (pid {proc.pid})",
+            event="replica_spawn", partition=p, generation=gen,
+            pid=proc.pid,
+        )
+        get_registry().counter("cluster.replica.spawns").inc()
         return proc
 
     def _spawn(self, p: int) -> None:
@@ -307,6 +318,12 @@ class ReplicaSupervisor:
         if not self.alive(p):
             self._note_respawn(p)
             self.respawns += 1
+            get_registry().counter("cluster.replica.respawns").inc()
+            log_event(
+                _log, f"replica {p} died; respawning",
+                event="replica_respawn", partition=p,
+                respawns=self.respawns,
+            )
             self._spawn(p)
             self._ports[p] = await self._wait_port(p)
         return (self._host, self._ports[p])
@@ -332,6 +349,17 @@ class ReplicaSupervisor:
                 f"partition is crash-looping and the cluster is "
                 f"terminally unhealthy"
             )
+            _log.error(
+                self._unhealthy,
+                extra={
+                    "fields": {
+                        "event": "cluster_unhealthy",
+                        "partition": p,
+                        "respawns_in_window": len(times),
+                    }
+                },
+            )
+            get_registry().counter("cluster.escalations").inc()
             raise ClusterUnhealthyError(self._unhealthy)
 
     @property

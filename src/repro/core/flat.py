@@ -376,6 +376,8 @@ class FlatProfile(ProfileQueryMixin):
         "_array",
         "_bn",
         "_header",
+        "_obs",
+        "_obs_grows",
     )
 
     def __init__(
@@ -384,6 +386,7 @@ class FlatProfile(ProfileQueryMixin):
         *,
         allow_negative: bool = True,
         array_engine: bool = False,
+        obs=None,
     ) -> None:
         if capacity < 0:
             raise CapacityError(f"capacity must be >= 0, got {capacity}")
@@ -430,6 +433,21 @@ class FlatProfile(ProfileQueryMixin):
         self._base_total = 0
         self._n_adds = 0
         self._n_removes = 0
+        self._bind_obs(obs)
+
+    def _bind_obs(self, obs) -> None:
+        """Resolve the obs knob and preallocate this profile's slots.
+
+        Grow events are the only counter the core increments itself —
+        ingest totals are already maintained exactly in
+        ``_n_adds``/``_n_removes`` (and mirrored through the shared
+        header), so snapshot-time gauges read them for free instead of
+        taxing the fused loop with a second count.
+        """
+        from repro.obs.registry import resolve_registry
+
+        self._obs = resolve_registry(obs)
+        self._obs_grows = self._obs.counter("engine.grow.events")
 
     @classmethod
     def from_frequencies(
@@ -567,6 +585,7 @@ class FlatProfile(ProfileQueryMixin):
                 )
             self._allow_negative = bool(int(header[_H_NEG]))
             self._load_header()
+        self._bind_obs(None)
         return self
 
     def _sync_header(self) -> None:
@@ -787,6 +806,7 @@ class FlatProfile(ProfileQueryMixin):
         cap = max(8, len(self._bl))
         while cap < need:
             cap *= 2
+        self._obs_grows.inc()
         bn = self._bn
         for name in ("_bl", "_bre", "_bf"):
             old = getattr(self, name)
@@ -1776,6 +1796,7 @@ class FlatProfile(ProfileQueryMixin):
         if not zero_emitted:
             runs.append((splice, splice + extra - 1, 0))
         self._install_runs(new_ttof, runs)
+        self._obs_grows.inc()
 
     # ------------------------------------------------------------------
     # Maintained and derived statistics

@@ -163,6 +163,10 @@ def _apply_op(profile: FlatProfile, op: str, args):
         return None
     if op == "ping":
         return None
+    if op == "metrics":
+        from repro.obs.registry import get_registry
+
+        return get_registry().snapshot()
     raise CapacityError(f"unknown worker op {op!r}")
 
 
@@ -173,6 +177,13 @@ def _worker_main(shm_name, m_local, allow_negative, conn):
     view sees consistent scalar state once the ack arrives (the array
     buffers are the same physical pages — coherent by construction).
     """
+    from repro.obs.registry import get_registry
+
+    # The worker counts into its own process-default registry
+    # (``REPRO_OBS`` rides the inherited environment); the parent
+    # folds worker snapshots through the ``metrics`` op — counters add
+    # exactly, no shared-memory coordination.
+    _obs_events = get_registry().counter("engine.worker.events")
     shm = _shm.SharedMemory(name=shm_name)
     profile = None
     try:
@@ -199,6 +210,8 @@ def _worker_main(shm_name, m_local, allow_negative, conn):
                 profile._sync_header()
                 conn.send((seq, "err", exc))
             else:
+                if type(result) is int:
+                    _obs_events.inc(result)
                 profile._sync_header()
                 conn.send((seq, "ok", result))
     finally:
@@ -761,6 +774,66 @@ class ParallelShardedProfiler:
         zero-copy shard views (what the fused-plan runs view walks)."""
         self.sync()
         return self._view
+
+    # ------------------------------------------------------------------
+    # Observability (defined explicitly: __getattr__ would wrap it)
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self, registry=None, detail: bool = True) -> dict:
+        """One merged obs snapshot: the parent registry folded with
+        every worker's process-default registry.
+
+        Barriers first, then round-trips a ``metrics`` command per
+        worker (workers answer with their registry snapshot — counters
+        accumulated worker-side merge exactly parent-side), refreshes
+        the parent's shard-skew gauges from the zero-copy views, and
+        folds everything with :func:`repro.obs.registry.
+        merge_snapshots`.  ``registry`` defaults to the process
+        default; a disabled registry short-circuits to ``{}``.
+        """
+        from repro.obs.registry import get_registry, merge_snapshots
+
+        reg = registry if registry is not None else get_registry()
+        self.sync()
+        if not reg.enabled:
+            return reg.snapshot(detail)
+        snaps: list[dict] = []
+        if not self._inline:
+            polled = []
+            for s, conn in enumerate(self._conns):
+                self._seq += 1
+                try:
+                    conn.send((self._seq, "metrics", None))
+                except (BrokenPipeError, OSError):
+                    continue
+                self._outstanding[s] += 1
+                polled.append(s)
+            for s in polled:
+                conn = self._conns[s]
+                while self._outstanding[s] > 0:
+                    try:
+                        _seq, status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._outstanding[s] = 0
+                        break
+                    self._outstanding[s] -= 1
+                    if status == "ok" and isinstance(payload, dict):
+                        snaps.append(payload)
+        self._refresh_obs_gauges(reg)
+        parent = reg.snapshot(detail)
+        if not snaps:
+            return parent
+        return merge_snapshots([parent] + snaps)
+
+    def _refresh_obs_gauges(self, registry) -> None:
+        """Shard-balance gauges, read from the zero-copy shard views
+        (call after :meth:`sync`).  Skew is max/mean of per-shard event
+        totals — 1.0 is perfectly balanced."""
+        totals = [int(shard.total) for shard in self._view.shards]
+        registry.gauge("engine.shards").set(len(totals))
+        mean = (sum(totals) / len(totals)) if totals else 0.0
+        skew = (max(totals) / mean) if mean > 0 else 0.0
+        registry.gauge("engine.shard.skew").set(round(skew, 4))
 
     def __getattr__(self, name: str):
         # Every read not defined here (mode, top_k, histogram,

@@ -1,0 +1,131 @@
+"""The Prometheus sidecar: a tiny GET-only asyncio HTTP endpoint.
+
+Runs on the same event loop as the server it observes — scrapes read
+the live registry with no cross-thread hop.  Deliberately minimal: it
+answers ``GET /metrics`` (and ``/``) with text exposition, everything
+else with 404, closes every connection after one response, and never
+keeps state per client.  It is an observability tap, not a web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.obs.prometheus import render_prometheus
+
+__all__ = ["MetricsExporter"]
+
+_MAX_REQUEST_HEAD = 8192
+
+
+class MetricsExporter:
+    """Serve a registry snapshot as Prometheus text over HTTP.
+
+    ``snapshot_fn`` is called per scrape and must return a
+    ``MetricsRegistry.snapshot()``-shaped dict — passing a bound
+    method keeps the exporter decoupled from who owns the registry
+    (server, router, or a merged parent view).
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], dict],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        labels: dict | None = None,
+    ) -> None:
+        self._snapshot_fn = snapshot_fn
+        self._host = host
+        self._port = port
+        self._labels = dict(labels) if labels else None
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("exporter not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        try:
+            request_line = head.split(b"\r\n", 1)[0].decode(
+                "latin-1", "replace"
+            )
+            parts = request_line.split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            if method != "GET" or len(head) > _MAX_REQUEST_HEAD:
+                await self._respond(
+                    writer, 405, "method not allowed\n"
+                )
+            elif path in ("/", "/metrics"):
+                body = render_prometheus(
+                    self._snapshot_fn(), labels=self._labels
+                )
+                await self._respond(
+                    writer,
+                    200,
+                    body,
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                await self._respond(writer, 404, "not found\n")
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer,
+        status: int,
+        body: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}[
+            status
+        ]
+        payload = body.encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()

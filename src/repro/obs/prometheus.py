@@ -1,0 +1,101 @@
+"""Render a registry snapshot as Prometheus text exposition (v0.0.4).
+
+Dependency-free: the exposition format is plain text — `# TYPE` lines,
+one sample per line, cumulative `_bucket{le="..."}` series for
+histograms.  Metric names are mangled from the registry's dotted names
+(``server.ingest.events`` → ``repro_server_ingest_events``); counters
+gain the conventional ``_total`` suffix.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["mangle", "render_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Every exported metric is namespaced under this prefix.
+PREFIX = "repro"
+
+
+def mangle(name: str) -> str:
+    """Dotted registry name → valid Prometheus metric name."""
+    flat = _INVALID.sub("_", name.replace(".", "_"))
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{PREFIX}_{flat}"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if value is True:
+        return "1"
+    if value is False:
+        return "0"
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_prometheus(snapshot: dict, *, labels: dict | None = None) -> str:
+    """Registry snapshot (``MetricsRegistry.snapshot()``) → exposition text.
+
+    ``labels`` (e.g. ``{"role": "router"}``) are attached to every
+    sample.  Output ends with a trailing newline as the format
+    requires; an empty snapshot renders to an empty document (still a
+    valid scrape).
+    """
+    base = ""
+    if labels:
+        base = ",".join(
+            f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+        )
+    lines: list[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = mangle(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{_braces(base)} {_fmt(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_braces(base)} {_fmt(value)}")
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist.get("buckets", []):
+            cumulative += count
+            le = "+Inf" if bound == "+Inf" else _fmt(bound)
+            pair = f'le="{le}"'
+            label_str = f"{base},{pair}" if base else pair
+            lines.append(
+                f"{metric}_bucket{{{label_str}}} {_fmt(cumulative)}"
+            )
+        lines.append(
+            f"{metric}_sum{_braces(base)} {_fmt(hist.get('sum', 0))}"
+        )
+        lines.append(
+            f"{metric}_count{_braces(base)} {_fmt(hist.get('count', 0))}"
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _braces(base: str) -> str:
+    return f"{{{base}}}" if base else ""
+
+
+def _escape(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )

@@ -1,0 +1,545 @@
+"""The metrics registry: counters, gauges, histograms, spans, traces.
+
+Dependency-free and built for a near-zero hot path:
+
+- **Preallocated slots.**  Instruments are created once (at
+  construction time of whatever they instrument) and bound to
+  attributes; a hot-path increment is one method call on an object the
+  caller already holds — no name lookup, no allocation.
+- **No locks on the asyncio path.**  A single-threaded event loop
+  increments plain slots.  :class:`Counter` is additionally exact
+  under *threads* without a lock: each thread owns a private cell in a
+  dict keyed by thread id (dict item assignment is atomic under the
+  GIL and no two threads ever write the same key), and the value is
+  the sum of the cells.
+- **Per-worker registries merged parent-side.**  A worker process
+  counts into its own (process-default) registry; the parent collects
+  snapshots and folds them together with :func:`merge_snapshots` —
+  counters and histogram buckets add, gauges sum — so cross-process
+  totals are exact without any shared-memory coordination.
+- **No-op mode.**  A disabled registry (``REPRO_OBS=0``, or
+  ``obs=False`` through the facade) hands out shared null singletons
+  whose methods do nothing and allocate nothing, so instrumented code
+  needs no ``if enabled`` branches of its own.
+
+Histograms use fixed bucket bounds plus a bounded reservoir of raw
+samples; snapshot-time percentiles ride the bench harness's
+nearest-rank :func:`repro.bench.reporting.percentiles` (imported
+lazily — the bench package pulls in the serving stack, which imports
+this module).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from collections import deque
+from threading import get_ident
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_MS_BOUNDS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SIZE_BOUNDS",
+    "SpanLog",
+    "get_registry",
+    "json_sanitize",
+    "merge_snapshots",
+    "mint_trace_id",
+    "null_registry",
+    "resolve_registry",
+    "set_default_registry",
+]
+
+#: Default bounds for millisecond timings (fsync, RTT, queue wait).
+LATENCY_MS_BOUNDS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Default bounds for sizes/counts (flush coalesce size, batch events).
+SIZE_BOUNDS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 2048, 4096, 8192, 16384, 65536,
+)
+
+#: Percentile points reported by histogram snapshots (the bench
+#: harness's spread; see ``repro.bench.reporting.DEFAULT_PERCENTILES``).
+SNAPSHOT_PERCENTILES = (50, 95, 99)
+
+
+def _percentiles(samples: Sequence[float], points=SNAPSHOT_PERCENTILES):
+    """Nearest-rank percentiles via the bench harness's estimator.
+
+    Imported lazily: :mod:`repro.bench` imports the serving stack,
+    which imports this module — a module-level import would be
+    circular.  By snapshot time everything is loaded and the import is
+    a cache hit.
+    """
+    from repro.bench.reporting import percentiles
+
+    return percentiles(samples, points)
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char request trace id (client-side mint)."""
+    return os.urandom(8).hex()
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count, exact under threads.
+
+    Each thread accumulates into its own cell (keyed by thread id):
+    no cell is ever written by two threads, so there is nothing to
+    race and nothing to lock.  ``value`` folds the cells.
+    """
+
+    __slots__ = ("name", "_cells")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cells: dict[int, int] = {}
+
+    def inc(self, n: int = 1) -> None:
+        cells = self._cells
+        tid = get_ident()
+        cells[tid] = cells.get(tid, 0) + n
+
+    @property
+    def value(self) -> int:
+        # tuple(dict.values()) is a single C-level op: safe against a
+        # concurrent first-increment from another thread.
+        return sum(tuple(self._cells.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bound buckets plus a bounded reservoir of raw samples.
+
+    ``observe`` is the hot call: one bisect into a short bounds tuple,
+    one list increment, one ring-buffer store.  Percentiles are
+    computed only at snapshot time, from the reservoir, with the bench
+    harness's nearest-rank math — so a histogram's p50/p95/p99 agree
+    exactly with ``repro.bench.reporting.percentiles`` over the same
+    (retained) samples.
+    """
+
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total",
+        "vmin", "vmax", "samples", "sample_cap", "_idx",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = LATENCY_MS_BOUNDS,
+        sample_cap: int = 512,
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError(f"histogram {name!r} needs bucket bounds")
+        # One slot per bound ("<= bound") plus the overflow slot.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+        self.samples: list[float] = []
+        self.sample_cap = sample_cap
+        self._idx = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        if len(self.samples) < self.sample_cap:
+            self.samples.append(value)
+        else:
+            # Overwrite the oldest: the reservoir tracks the recent
+            # window, which is what a live percentile should report.
+            self.samples[self._idx % self.sample_cap] = value
+            self._idx += 1
+
+    def percentiles(self, points=SNAPSHOT_PERCENTILES) -> dict:
+        if not self.samples:
+            return {}
+        return _percentiles(self.samples, points)
+
+    def snapshot(self, detail: bool = True) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+        if detail:
+            out["buckets"] = [
+                [bound, n]
+                for bound, n in zip(
+                    list(self.bounds) + ["+Inf"], self.counts
+                )
+            ]
+            if self.samples:
+                out["percentiles"] = {
+                    f"p{int(p) if float(p).is_integer() else p}": v
+                    for p, v in self.percentiles().items()
+                }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+# ----------------------------------------------------------------------
+# Spans (request tracing)
+# ----------------------------------------------------------------------
+
+
+class SpanLog:
+    """A bounded ring of per-stage timing spans, tagged by trace id.
+
+    One entry per (stage, traced request): the server's queue wait and
+    flush, the router's WAL fsync and per-replica fan-out, a replica's
+    delivery mark.  The ring keeps the recent window only — tracing is
+    a flight recorder, not an archive.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, maxlen: int = 256) -> None:
+        self._items: deque = deque(maxlen=maxlen)
+
+    def record(self, name: str, *, trace=None, ms=None, **meta) -> None:
+        span = {"name": name, "trace": trace}
+        if ms is not None:
+            span["ms"] = round(float(ms), 4)
+        if meta:
+            span.update(meta)
+        self._items.append(span)
+
+    def snapshot(self) -> list[dict]:
+        return [dict(span) for span in self._items]
+
+    def for_trace(self, trace: str) -> list[dict]:
+        return [
+            dict(span) for span in self._items if span["trace"] == trace
+        ]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _NullSpanLog(SpanLog):
+    __slots__ = ()
+
+    def record(self, name, *, trace=None, ms=None, **meta) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """A named bag of instruments plus one span log.
+
+    ``counter``/``gauge``/``histogram`` get-or-create: asking twice
+    for the same name returns the same instrument (so every tier can
+    bind its slots independently and still share aggregates), and
+    asking for a name that exists under a different instrument kind is
+    a hard error — silent kind confusion would corrupt the snapshot.
+    """
+
+    enabled = True
+
+    def __init__(self, *, span_maxlen: int = 256) -> None:
+        self._instruments: dict[str, Any] = {}
+        self.spans = SpanLog(span_maxlen)
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = LATENCY_MS_BOUNDS,
+        sample_cap: int = 512,
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds, sample_cap)
+
+    def snapshot(self, detail: bool = True) -> dict[str, Any]:
+        """The whole registry as plain sorted JSON-ready dicts.
+
+        ``detail=False`` skips histogram buckets and percentile
+        computation — the cheap form embedded in ``health`` blocks
+        that hot failure detectors poll.
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            else:
+                histograms[name] = inst.snapshot(detail)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold one :meth:`snapshot` payload into this registry.
+
+        Counters add; gauges add (a merged gauge is a cross-worker
+        total — per-worker values are available in the unmerged
+        snapshots); histograms add bucket-wise and extend the sample
+        reservoir up to its cap.  The inverse of per-worker isolation:
+        every worker counts privately, the parent folds exactly.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).inc(value)
+        for name, h in snap.get("histograms", {}).items():
+            bounds = [b for b, _n in h.get("buckets", []) if b != "+Inf"]
+            hist = self.histogram(
+                name, bounds=bounds or LATENCY_MS_BOUNDS
+            )
+            counts = [n for _b, n in h.get("buckets", [])]
+            if len(counts) == len(hist.counts):
+                for i, n in enumerate(counts):
+                    hist.counts[i] += n
+            hist.count += h.get("count", 0)
+            hist.total += h.get("sum", 0.0)
+            for bound_name, cmp_ in (("min", min), ("max", max)):
+                v = h.get(bound_name)
+                if v is None:
+                    continue
+                cur = hist.vmin if bound_name == "min" else hist.vmax
+                merged = v if cur is None else cmp_(cur, v)
+                if bound_name == "min":
+                    hist.vmin = merged
+                else:
+                    hist.vmax = merged
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared no-op singletons, zero allocation.
+
+    Every ``counter()``/``gauge()``/``histogram()`` call returns the
+    same process-wide null instrument, whose mutators do nothing —
+    instrumentation "compiles down" to a method call on a shared
+    object, and a snapshot is always empty.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._instruments = {}
+        self.spans = _NULL_SPANS
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds=LATENCY_MS_BOUNDS, sample_cap: int = 512
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self, detail: bool = True) -> dict[str, Any]:
+        return {}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        pass
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", bounds=(1.0,), sample_cap=0)
+_NULL_SPANS = _NullSpanLog(0)
+
+#: The process-wide disabled registry (shared, stateless).
+null_registry = NullRegistry()
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold several snapshot payloads into one (see ``merge_snapshot``)."""
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        if snap:
+            merged.merge_snapshot(snap)
+    return merged.snapshot()
+
+
+# ----------------------------------------------------------------------
+# The process default + the obs toggle
+# ----------------------------------------------------------------------
+
+
+def _env_disabled() -> bool:
+    return os.environ.get("REPRO_OBS", "1").strip().lower() in (
+        "0", "false", "no", "off",
+    )
+
+
+_default: MetricsRegistry = (
+    null_registry if _env_disabled() else MetricsRegistry()
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry (disabled under ``REPRO_OBS=0``)."""
+    return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default; returns the previous one (for tests)."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous
+
+
+def resolve_registry(obs) -> MetricsRegistry:
+    """Resolve the facade-level ``obs`` knob to a registry.
+
+    ``None``/``True`` — the process default (so ``REPRO_OBS=0`` still
+    wins); ``False`` — the shared null registry; a registry instance —
+    itself (injection point for tests and embedders).
+    """
+    if obs is None or obs is True:
+        return _default
+    if obs is False:
+        return null_registry
+    if isinstance(obs, MetricsRegistry):
+        return obs
+    raise ValueError(
+        f"obs must be True/False/None or a MetricsRegistry, got {obs!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON hygiene for status/health payloads
+# ----------------------------------------------------------------------
+
+
+def json_sanitize(obj):
+    """Make a status payload strictly JSON-clean and stably ordered.
+
+    numpy scalars (``np.int64`` seq/lag values leak out of the array
+    engine and the WAL math) become native ints/floats via ``.item()``;
+    dict keys are sorted; tuples/sets become lists.  Safe on payloads
+    with no numpy content at all — the scalar check is duck-typed on
+    the type's module, so numpy is never imported here.
+    """
+    if isinstance(obj, dict):
+        return {
+            str(k): json_sanitize(obj[k])
+            for k in sorted(obj, key=str)
+        }
+    if isinstance(obj, (list, tuple)):
+        return [json_sanitize(v) for v in obj]
+    if isinstance(obj, set):
+        return sorted(json_sanitize(v) for v in obj)
+    # numpy first: np.float64 subclasses float (and would pass the
+    # native-scalar check below still wearing its numpy type).
+    if type(obj).__module__ == "numpy" and hasattr(obj, "item"):
+        return obj.item()
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    return obj

@@ -1,0 +1,73 @@
+"""Structured logging for the serving CLIs.
+
+The smoke jobs grep exact legacy line text ("drained: ...", "cluster
+listening on ..."), so the default ``plain`` format emits the bare
+message — byte-identical to the ``print()`` lines it replaces — while
+``--log-format json`` switches the same call sites to one JSON object
+per line with stable sorted keys, ready for log shippers.
+
+Call sites log through ``logging.getLogger("repro.<tier>")`` and may
+attach structured fields via ``extra={"fields": {...}}``; the plain
+format drops them, the JSON format inlines them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging", "log_event"]
+
+
+class _PlainFormatter(logging.Formatter):
+    """Just the message — exactly what ``print()`` produced."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return record.getMessage()
+
+
+class _JsonFormatter(logging.Formatter):
+    """One sorted-key JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            doc.update(fields)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+def configure_logging(
+    log_format: str = "plain", *, stream=None, level: int = logging.INFO
+) -> logging.Logger:
+    """Point the ``repro`` logger tree at stdout in the chosen format.
+
+    Idempotent: reconfigures in place on repeat calls (the CLIs and
+    tests may both call it), never stacks handlers.
+    """
+    if log_format not in ("plain", "json"):
+        raise ValueError(f"unknown log format {log_format!r}")
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(
+        _JsonFormatter() if log_format == "json" else _PlainFormatter()
+    )
+    root.handlers = [handler]
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def log_event(logger: logging.Logger, msg: str, **fields) -> None:
+    """Log ``msg`` with structured ``fields`` riding along for JSON mode."""
+    if fields:
+        logger.info(msg, extra={"fields": fields})
+    else:
+        logger.info(msg)

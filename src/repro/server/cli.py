@@ -23,16 +23,21 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import logging
 import os
 import signal
 import sys
 from pathlib import Path
 
 from repro.api import Profiler, available_backends
+from repro.obs.http import MetricsExporter
+from repro.obs.structlog import configure_logging, log_event
 from repro.server.protocol import DEFAULT_MAX_FRAME
 from repro.server.service import ProfileServer
 
 __all__ = ["build_parser", "main"]
+
+_log = logging.getLogger("repro.server")
 
 #: Default TCP port (unregistered; chosen once, spelled everywhere).
 DEFAULT_PORT = 7421
@@ -154,6 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(JSON stays the default and fallback); json: JSON only "
         "(default: binary)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus text exposition of the metrics "
+        "registry on this port (0 picks a free one; off by default)",
+    )
+    parser.add_argument(
+        "--metrics-port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound metrics port here (atomic tmp + rename)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("plain", "json"),
+        default="plain",
+        help="status-line format: plain (the legacy print lines) or "
+        "one JSON object per line (default: plain)",
+    )
     return parser
 
 
@@ -188,6 +214,7 @@ def _write_port_file(path: str, port: int) -> None:
 
 
 async def _amain(args: argparse.Namespace) -> int:
+    configure_logging(args.log_format)
     open_options = {}
     if args.array_engine:
         # Only forwarded when requested: array_engine= is a
@@ -218,16 +245,37 @@ async def _amain(args: argparse.Namespace) -> int:
         )
         await server.start()
         codecs = server.describe_server()["codecs"]
-        print(
+        log_event(
+            _log,
             f"listening on {server.host}:{server.port} "
             f"(backend={profiler.backend_name}, strategy="
             f"{server.strategy}, codecs={','.join(codecs)}, "
             f"batch_max={args.batch_max}, "
             f"linger_ms={args.linger_ms:g})",
-            flush=True,
+            event="listening",
+            host=server.host,
+            port=server.port,
+            backend=profiler.backend_name,
         )
         if args.port_file:
             _write_port_file(args.port_file, server.port)
+        exporter = None
+        if args.metrics_port is not None:
+            exporter = MetricsExporter(
+                server.metrics_snapshot,
+                host=args.host,
+                port=args.metrics_port,
+                labels={"tier": "server", "role": args.role},
+            )
+            await exporter.start()
+            log_event(
+                _log,
+                f"metrics on {args.host}:{exporter.port}/metrics",
+                event="metrics_listening",
+                port=exporter.port,
+            )
+            if args.metrics_port_file:
+                _write_port_file(args.metrics_port_file, exporter.port)
 
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()
@@ -235,15 +283,23 @@ async def _amain(args: argparse.Namespace) -> int:
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(sig, stop_requested.set)
         await stop_requested.wait()
-        print("draining...", flush=True)
+        log_event(_log, "draining...", event="draining")
+        if exporter is not None:
+            await exporter.stop()
         await server.stop()
         stats = server.stats
-        print(
+        log_event(
+            _log,
             f"drained: {stats.wire_batches} wire batches "
             f"({stats.wire_events} events) in {stats.flushes} flushes, "
             f"{stats.rejected} rejected, "
             f"{stats.connections_total} connections",
-            flush=True,
+            event="drained",
+            wire_batches=stats.wire_batches,
+            wire_events=stats.wire_events,
+            flushes=stats.flushes,
+            rejected=stats.rejected,
+            connections=stats.connections_total,
         )
     return 0
 

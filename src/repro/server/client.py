@@ -66,6 +66,7 @@ from typing import Any
 from repro.api.facade import _normalize_batch
 from repro.api.plan import Query, normalize_queries
 from repro.api.results import EvalResult
+from repro.obs.registry import mint_trace_id
 from repro.server.protocol import (
     BIN_KIND_ACKS,
     BIN_KIND_JSON,
@@ -191,6 +192,7 @@ class AsyncProfileClient:
         max_attempts: int = 20,
         backoff_jitter: float = 0.5,
         backoff_rng=None,
+        trace: str | None = None,
     ) -> None:
         self._endpoints = _normalize_endpoints(host, port, endpoints)
         try:
@@ -210,6 +212,7 @@ class AsyncProfileClient:
         self._backoff_rng = (
             backoff_rng if backoff_rng is not None else random.random
         )
+        self._trace = trace
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
@@ -239,6 +242,7 @@ class AsyncProfileClient:
         max_attempts: int = 20,
         backoff_jitter: float = 0.5,
         backoff_rng=None,
+        trace: bool | str | None = None,
     ) -> "AsyncProfileClient":
         """Open a connection, consume the server hello, negotiate codec.
 
@@ -257,13 +261,21 @@ class AsyncProfileClient:
         (one attempt, or the whole backoff schedule under
         ``reconnect=True``) before the client rotates to the next,
         raising :class:`ConnectionError` only once the rotation wraps.
+
+        ``trace=True`` mints a request-trace id for this connection
+        (``trace="<id>"`` supplies one); the id rides the hello
+        envelope on either codec and stamps every span this
+        connection's requests produce server-side.
         """
         rng = backoff_rng if backoff_rng is not None else random.random
+        if trace is True:
+            trace = mint_trace_id()
+        trace = trace or None
         eps = _normalize_endpoints(host, port, endpoints)
         idx, reader, writer, hello, negotiated = await cls._dial_rotate(
             eps, 0, codec, max_frame,
             backoff_base, backoff_max, max_attempts,
-            backoff_jitter, rng, reconnect,
+            backoff_jitter, rng, reconnect, trace,
         )
         return cls(
             reader,
@@ -281,11 +293,17 @@ class AsyncProfileClient:
             max_attempts=max_attempts,
             backoff_jitter=backoff_jitter,
             backoff_rng=rng,
+            trace=trace,
         )
 
     @staticmethod
-    async def _dial(host, port, codec, max_frame):
-        """One connection attempt: TCP + server hello + codec handshake."""
+    async def _dial(host, port, codec, max_frame, trace=None):
+        """One connection attempt: TCP + server hello + codec handshake.
+
+        The hello frame doubles as the trace carrier: it is sent when
+        binary is wanted OR a trace id is set (a json-codec hello is a
+        valid first request and is acked like any other).
+        """
         reader, writer = await asyncio.open_connection(host, port)
         try:
             hello = await read_frame(reader, max_frame)
@@ -295,17 +313,17 @@ class AsyncProfileClient:
                     f"hello"
                 )
             negotiated = "json"
-            if _want_binary(codec, hello):
-                writer.write(
-                    pack_frame(
-                        {
-                            "id": 0,
-                            "op": "hello",
-                            "codec": "binary",
-                            "version": PROTOCOL_VERSION,
-                        }
-                    )
-                )
+            want_binary = _want_binary(codec, hello)
+            if want_binary or trace:
+                msg = {
+                    "id": 0,
+                    "op": "hello",
+                    "codec": "binary" if want_binary else "json",
+                    "version": PROTOCOL_VERSION,
+                }
+                if trace:
+                    msg["trace"] = trace
+                writer.write(pack_frame(msg))
                 await writer.drain()
                 ack = await read_frame(reader, max_frame)
                 if ack is None:
@@ -314,7 +332,8 @@ class AsyncProfileClient:
                     )
                 if not ack.get("ok"):
                     raise decode_error(ack.get("error"))
-                negotiated = "binary"
+                if want_binary:
+                    negotiated = "binary"
         except BaseException:
             writer.close()
             raise
@@ -323,7 +342,7 @@ class AsyncProfileClient:
     @classmethod
     async def _dial_backoff(
         cls, host, port, codec, max_frame, base, cap, max_attempts,
-        jitter=0.5, rng=random.random,
+        jitter=0.5, rng=random.random, trace=None,
     ):
         """Dial until connected, backing off exponentially (capped).
 
@@ -337,7 +356,7 @@ class AsyncProfileClient:
         last: Exception | None = None
         for _attempt in range(max_attempts):
             try:
-                return await cls._dial(host, port, codec, max_frame)
+                return await cls._dial(host, port, codec, max_frame, trace)
             except (ConnectionError, OSError) as exc:
                 last = exc
                 await asyncio.sleep(delay * (1.0 - jitter * rng()))
@@ -350,7 +369,7 @@ class AsyncProfileClient:
     @classmethod
     async def _dial_rotate(
         cls, eps, start, codec, max_frame, base, cap, max_attempts,
-        jitter, rng, reconnect,
+        jitter, rng, reconnect, trace=None,
     ):
         """Dial endpoints in rotation order starting at ``start``.
 
@@ -368,10 +387,12 @@ class AsyncProfileClient:
                 if reconnect:
                     got = await cls._dial_backoff(
                         host, port, codec, max_frame,
-                        base, cap, max_attempts, jitter, rng,
+                        base, cap, max_attempts, jitter, rng, trace,
                     )
                 else:
-                    got = await cls._dial(host, port, codec, max_frame)
+                    got = await cls._dial(
+                        host, port, codec, max_frame, trace
+                    )
                 return (idx, *got)
             except (ConnectionError, OSError) as exc:
                 failures.append((f"{host}:{port}", exc))
@@ -391,6 +412,11 @@ class AsyncProfileClient:
     def codec(self) -> str:
         """The negotiated wire codec: ``"json"`` or ``"binary"``."""
         return self._codec
+
+    @property
+    def trace(self) -> str | None:
+        """The connection's trace id (survives redials), or ``None``."""
+        return self._trace
 
     # -- plumbing ------------------------------------------------------
 
@@ -511,6 +537,7 @@ class AsyncProfileClient:
             self._backoff_jitter,
             self._backoff_rng,
             True,
+            self._trace,
         )
         self._endpoint_idx = idx
         self._host, self._port = self._endpoints[idx]
@@ -660,6 +687,20 @@ class AsyncProfileClient:
         """
         return (await self.request("health"))["health"]
 
+    async def metrics(self) -> dict[str, Any]:
+        """The server's metrics-registry snapshot plus recent spans.
+
+        Answered out of band like :meth:`health`, so it observes the
+        server even while the flusher is busy.  Returns ``{"metrics":
+        {...}, "spans": [...]}``; the metrics block is empty when the
+        server runs with observability disabled.
+        """
+        resp = await self.request("metrics")
+        return {
+            "metrics": resp.get("metrics", {}),
+            "spans": resp.get("spans", []),
+        }
+
     async def ping(self) -> float:
         """Round-trip time through the ordered pipeline, in seconds."""
         start = perf_counter()
@@ -755,6 +796,7 @@ class ProfileClient:
         max_attempts: int = 20,
         backoff_jitter: float = 0.5,
         backoff_rng=None,
+        trace: bool | str | None = None,
     ) -> None:
         self._endpoints = _normalize_endpoints(host, port, endpoints)
         self._endpoint_idx = 0
@@ -770,6 +812,9 @@ class ProfileClient:
         self._backoff_rng = (
             backoff_rng if backoff_rng is not None else random.random
         )
+        if trace is True:
+            trace = mint_trace_id()
+        self._trace = trace or None
         self._ids = itertools.count(1)
         self._closed = False
         self._sock: socket.socket | None = None
@@ -783,6 +828,11 @@ class ProfileClient:
     def codec(self) -> str:
         """The negotiated wire codec: ``"json"`` or ``"binary"``."""
         return self._codec
+
+    @property
+    def trace(self) -> str | None:
+        """The connection's trace id (survives redials), or ``None``."""
+        return self._trace
 
     # -- connection management -----------------------------------------
 
@@ -807,24 +857,26 @@ class ProfileClient:
                     f"{self._host}:{self._port} did not answer with a "
                     f"repro.server hello"
                 )
-            if _want_binary(self._want, self.hello):
+            want_binary = _want_binary(self._want, self.hello)
+            if want_binary or self._trace:
                 # hello must be the connection's first request; its ack
-                # still arrives in JSON, then both directions flip.
+                # still arrives in JSON, then both directions flip.  A
+                # json-codec hello is sent only to carry the trace id.
                 req_id = next(self._ids)
-                self._file.write(
-                    pack_frame(
-                        {
-                            "id": req_id,
-                            "op": "hello",
-                            "codec": "binary",
-                            "version": PROTOCOL_VERSION,
-                        }
-                    )
-                )
+                msg = {
+                    "id": req_id,
+                    "op": "hello",
+                    "codec": "binary" if want_binary else "json",
+                    "version": PROTOCOL_VERSION,
+                }
+                if self._trace:
+                    msg["trace"] = self._trace
+                self._file.write(pack_frame(msg))
                 self._file.flush()
                 self._await(req_id)
-                self._codec = "binary"
-                self._wrap = encode_binary_json
+                if want_binary:
+                    self._codec = "binary"
+                    self._wrap = encode_binary_json
         except BaseException:
             self._teardown()
             raise
@@ -1076,6 +1128,14 @@ class ProfileClient:
     def health(self) -> dict[str, Any]:
         """Cheap liveness probe, answered out of band by the reader."""
         return self.request("health")["health"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics-registry snapshot plus recent spans."""
+        resp = self.request("metrics")
+        return {
+            "metrics": resp.get("metrics", {}),
+            "spans": resp.get("spans", []),
+        }
 
     def ping(self) -> float:
         start = perf_counter()

@@ -87,6 +87,12 @@ from repro.server.protocol import (
     read_binary_frame,
     read_frame,
 )
+from repro.obs.registry import (
+    SIZE_BOUNDS,
+    json_sanitize,
+    merge_snapshots,
+    resolve_registry,
+)
 from repro.testing.faults import fault_point
 
 try:  # binary frames move int64 arrays; numpy-less hosts stay JSON
@@ -351,7 +357,7 @@ class ServerStats:
 class _Item:
     """One unit of the ordered pipeline."""
 
-    __slots__ = ("kind", "conn", "req_id", "data", "seq")
+    __slots__ = ("kind", "conn", "req_id", "data", "seq", "t_enq")
 
     def __init__(self, kind, conn, req_id, data=None) -> None:
         self.kind = kind
@@ -359,6 +365,9 @@ class _Item:
         self.req_id = req_id
         self.data = data
         self.seq = None
+        # Enqueue timestamp (loop.time()), stamped only when obs is
+        # enabled — feeds the queue-wait histogram and trace spans.
+        self.t_enq = 0.0
 
 
 _STOP = _Item("stop", None, None)
@@ -377,7 +386,7 @@ class _Connection:
 
     __slots__ = (
         "server", "reader", "writer", "alive", "lock", "closing",
-        "rx_codec", "tx_codec", "hello_window",
+        "rx_codec", "tx_codec", "hello_window", "trace",
     )
 
     def __init__(self, server, reader, writer) -> None:
@@ -391,6 +400,10 @@ class _Connection:
         self.tx_codec = "json"
         # A hello is valid only as the connection's very first request.
         self.hello_window = True
+        # Request-trace id carried by the hello envelope (both codecs
+        # negotiate via the same JSON hello); None = untraced, which
+        # keeps the hot path span-free.
+        self.trace = None
 
     async def send(self, data: bytes) -> None:
         """Write + drain under the slow-client timeout; abort on stall."""
@@ -413,6 +426,7 @@ class _Connection:
             return
         self.alive = False
         self.server._stats.connections_dropped += 1
+        self.server._obs_drops.inc()
         with contextlib.suppress(Exception):
             self.writer.transport.abort()
 
@@ -480,6 +494,7 @@ class ProfileServer:
         binary: bool = True,
         role: str = "standalone",
         partition: tuple[int, int] | None = None,
+        obs=None,
     ) -> None:
         if batch_max < 1:
             raise CapacityError(f"batch_max must be >= 1, got {batch_max}")
@@ -507,6 +522,23 @@ class ProfileServer:
         self._partition = tuple(partition) if partition else None
         self._stats = ServerStats()
         self._seq = 0
+        # Preallocated obs instruments (shared no-op singletons when
+        # disabled): the flusher touches bound slots only, and the
+        # per-item enqueue stamp is gated on one bool.
+        self._obs = resolve_registry(obs)
+        self._obs_on = self._obs.enabled
+        self._obs_ingest_batches = self._obs.counter("server.ingest.batches")
+        self._obs_ingest_events = self._obs.counter("server.ingest.events")
+        self._obs_flush_events = self._obs.histogram(
+            "server.flush.events", bounds=SIZE_BOUNDS
+        )
+        self._obs_flush_linger = self._obs.histogram(
+            "server.flush.linger_ms"
+        )
+        self._obs_queue_wait = self._obs.histogram("server.queue.wait_ms")
+        self._obs_queue_depth = self._obs.gauge("server.queue.depth")
+        self._obs_drops = self._obs.counter("server.connections.dropped")
+        self._obs_trace_marks = self._obs.counter("server.trace.marks")
         # 2PC transactions staged by a cluster router (txn -> pairs +
         # their net deltas); overlaid on prepare-time validation so
         # concurrently staged transactions cannot jointly underflow.
@@ -653,6 +685,56 @@ class ProfileServer:
                         )
                     )
                     continue
+                if item.kind == "metrics":
+                    # Metrics are a diagnostic tap like health:
+                    # answered out of band by the reader so a
+                    # backed-up pipeline is exactly when they still
+                    # work (and the cluster router's pipeline, which
+                    # rejects unknown kinds, never has to see them).
+                    await conn.send(
+                        self._pack_response(
+                            conn,
+                            {
+                                "id": item.req_id,
+                                "ok": True,
+                                "metrics": json_sanitize(
+                                    self.metrics_snapshot()
+                                ),
+                                "spans": self._obs.spans.snapshot(),
+                            },
+                        )
+                    )
+                    continue
+                if item.kind == "trace_mark":
+                    # A propagated trace marker (router -> replica):
+                    # record the span against this tier's flight
+                    # recorder and ack immediately, out of band — the
+                    # marker documents arrival, it is not ingest.
+                    mark = item.data if isinstance(item.data, dict) else {}
+                    trace = mark.get("trace")
+                    if isinstance(trace, str) and trace:
+                        self._obs_trace_marks.inc()
+                        self._obs.spans.record(
+                            "server.trace_mark",
+                            trace=trace[:64],
+                            **{
+                                k: v
+                                for k, v in mark.items()
+                                if isinstance(k, str)
+                                and k not in ("trace", "id", "op")
+                            },
+                        )
+                    await conn.send(
+                        self._pack_response(
+                            conn,
+                            {
+                                "id": item.req_id,
+                                "ok": True,
+                                "traced": isinstance(trace, str),
+                            },
+                        )
+                    )
+                    continue
                 if self._recovering and item.kind in (
                     "evaluate", "describe", "checkpoint"
                 ):
@@ -746,6 +828,17 @@ class ProfileServer:
                 f"protocol version mismatch: client {version!r}, "
                 f"server {PROTOCOL_VERSION}"
             )
+        trace = msg.get("trace")
+        if isinstance(trace, str) and trace:
+            # The hello envelope is the trace carrier for BOTH codecs
+            # (binary negotiation itself rides a JSON hello): the id
+            # scopes the connection, and every span this connection's
+            # items produce is stamped with it.
+            conn.trace = trace[:64]
+            self._obs.spans.record(
+                "server.hello", trace=conn.trace,
+                codec=msg.get("codec"),
+            )
         codec = msg.get("codec")
         if codec == "json":
             return _Item("hello", conn, req_id, "json")
@@ -815,6 +908,10 @@ class ProfileServer:
                 req_id,
                 (state, bool(msg.get("recovering", False))),
             )
+        if op == "metrics":
+            return _Item("metrics", conn, req_id)
+        if op == "trace":
+            return _Item("trace_mark", conn, req_id, msg)
         if op == "hello":
             raise ProtocolError(
                 "hello must be the first request on a connection"
@@ -822,6 +919,8 @@ class ProfileServer:
         raise ProtocolError(f"unknown op {op!r}")
 
     async def _enqueue(self, item: _Item) -> None:
+        if self._obs_on:
+            item.t_enq = asyncio.get_running_loop().time()
         await self._queue.put(item)
 
     # -- the flusher ---------------------------------------------------
@@ -887,6 +986,8 @@ class ProfileServer:
         stats.wire_events += n_events
         if n_events > stats.max_flush_events:
             stats.max_flush_events = n_events
+        if self._obs_on:
+            self._observe_flush(batch, n_events)
         profiler = self._profiler
         # Outcomes stay in pipeline order whatever order they were
         # decided in — acks per connection must follow request order
@@ -945,6 +1046,38 @@ class ProfileServer:
             per_conn.setdefault(item.conn, []).append((item, result))
         for conn, acks in per_conn.items():
             await conn.send(self._pack_acks(conn, acks))
+
+    def _observe_flush(self, batch: list[_Item], n_events: int) -> None:
+        """Record one coalesced flush: size/linger histograms, per-item
+        queue waits, and spans for traced connections.  Called only
+        when obs is enabled, so the disabled hot path pays one bool."""
+        now = asyncio.get_running_loop().time()
+        self._obs_ingest_batches.inc(len(batch))
+        self._obs_ingest_events.inc(n_events)
+        self._obs_flush_events.observe(n_events)
+        self._obs_queue_depth.set(self._queue.qsize() if self._queue else 0)
+        first = batch[0].t_enq
+        if first:
+            # Coalesce window: how long the oldest wire batch waited
+            # from enqueue to flush (queue wait + linger).
+            self._obs_flush_linger.observe((now - first) * 1000.0)
+        spans = self._obs.spans
+        for item in batch:
+            if not item.t_enq:
+                continue
+            wait_ms = (now - item.t_enq) * 1000.0
+            self._obs_queue_wait.observe(wait_ms)
+            conn = item.conn
+            trace = conn.trace if conn is not None else None
+            if trace is not None:
+                spans.record(
+                    "server.queue_wait",
+                    trace=trace,
+                    ms=wait_ms,
+                    events=len(item.data),
+                    flush_events=n_events,
+                    coalesced=len(batch),
+                )
 
     def _ingest_one(self, data) -> int:
         """One wire batch -> one facade call, on its native path."""
@@ -1295,7 +1428,7 @@ class ProfileServer:
         needs without touching the engine or the pipeline: identity,
         the applied ``seq`` high-water mark, and queue depth.
         """
-        return {
+        info = {
             "role": self._role,
             "partition": (
                 list(self._partition) if self._partition else None
@@ -1311,6 +1444,38 @@ class ProfileServer:
             "recovering": self._recovering,
             "staged_txns": len(self._staged),
         }
+        if self._obs_on:
+            # The cheap registry view (no buckets, no percentile
+            # math): health stays a heartbeat-priced probe.
+            info["metrics"] = json_sanitize(self._obs.snapshot(False))
+        return info
+
+    def metrics_snapshot(self, detail: bool = True) -> dict[str, Any]:
+        """One merged obs snapshot for this serving process.
+
+        Refreshes the liveness gauges, then folds the server registry
+        with the hosted profiler's (one snapshot when they share a
+        registry — the common case — so nothing double-counts; merged
+        otherwise).  The payload behind the ``metrics`` wire op and
+        the Prometheus sidecar.
+        """
+        obs = self._obs
+        if self._obs_on:
+            obs.gauge("server.queue.depth").set(
+                self._queue.qsize() if self._queue else 0
+            )
+            obs.gauge("server.connections.open").set(len(self._conns))
+            obs.gauge("server.seq").set(self._seq)
+        prof_snapshot = getattr(self._profiler, "metrics_snapshot", None)
+        if prof_snapshot is None:
+            # A profiler-shaped stub (the cluster router's facade):
+            # the server registry is the whole story.
+            return obs.snapshot(detail)
+        if getattr(self._profiler, "obs_registry", None) is obs:
+            return prof_snapshot(detail)
+        return merge_snapshots(
+            [obs.snapshot(detail), prof_snapshot(detail)]
+        )
 
     def describe_server(self) -> dict[str, Any]:
         """The service block of ``describe()``: config + counters."""

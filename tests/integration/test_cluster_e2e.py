@@ -138,6 +138,96 @@ class TestKillOneReplica:
         asyncio.run(scenario())
 
 
+class TestTracePropagation:
+    """A client-minted trace id travels client -> router -> replica."""
+
+    M = 100
+    REPLICAS = 2
+
+    def test_trace_id_reaches_router_and_replica_spans(
+        self, tmp_path, clean_pythonpath
+    ):
+        asyncio.run(self._scenario(tmp_path))
+
+    async def _scenario(self, tmp_path):
+        supervisor = ReplicaSupervisor(
+            self.M, self.REPLICAS, workdir=tmp_path, backend="flat"
+        )
+        await supervisor.start()
+        try:
+            router = ClusterRouter(
+                self.M,
+                supervisor=supervisor,
+                port=0,
+                batch_max=16,
+                linger_ms=1.0,
+            )
+            await router.start()
+            client = await AsyncProfileClient.connect(
+                router.host, router.port, trace=True
+            )
+            trace = client.trace
+            assert trace and len(trace) == 16
+            # Touch every partition so the mark fans out to each.
+            await client.ingest([(k, 1) for k in range(self.M)])
+
+            # The router stamps its flush span and forwards the trace
+            # marks only *after* acking the client (tracing stays off
+            # the ack latency path), so poll rather than assert once.
+            flush_span = None
+            for _ in range(100):
+                spans = (await client.metrics())["spans"]
+                flush_span = next(
+                    (
+                        s
+                        for s in spans
+                        if s["name"] == "router.flush"
+                        and s.get("trace") == trace
+                    ),
+                    None,
+                )
+                if flush_span is not None:
+                    break
+                await asyncio.sleep(0.05)
+            assert flush_span is not None, "router.flush span never landed"
+            assert flush_span["partitions"] == list(
+                range(self.REPLICAS)
+            )
+            assert flush_span.get("ms", 0) >= 0
+
+            # Each replica's own flight recorder carries the client's
+            # id, delivered via the forwarded trace mark.
+            for p in range(self.REPLICAS):
+                host, port = supervisor.endpoints[p]
+                replica = await AsyncProfileClient.connect(host, port)
+                try:
+                    marked = None
+                    for _ in range(100):
+                        spans = (await replica.metrics())["spans"]
+                        marked = next(
+                            (
+                                s
+                                for s in spans
+                                if s["name"] == "server.trace_mark"
+                                and s.get("trace") == trace
+                            ),
+                            None,
+                        )
+                        if marked is not None:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert marked is not None, (
+                        f"replica {p} never saw trace {trace}"
+                    )
+                    assert marked["source"] == "router"
+                finally:
+                    await replica.aclose()
+            await client.aclose()
+            await router.stop()
+        finally:
+            supervisor.stop()
+
+
 class TestClusterCli:
     def spawn_cluster(self, tmp_path, *extra):
         port_file = tmp_path / "router.port"
